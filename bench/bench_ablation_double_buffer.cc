@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: double buffering in the FPGA DNN engine (Figure 8). The
+ * paper's design prefetches each layer's weights while the previous
+ * layer computes; without it, transfer and compute serialize. The
+ * effect is largest where transfer and compute are balanced, and
+ * small where one side dominates (DET is compute-bound on the DSPs;
+ * TRA is transfer-bound on its 436 MB FC weights).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "accel/models.hh"
+#include "bench_common.hh"
+#include "sensors/camera.hh"
+
+int
+main()
+{
+    using namespace ad;
+    using accel::Component;
+    bench::printHeader("Ablation",
+                       "FPGA double buffering (layer-by-layer "
+                       "weight prefetch)");
+
+    const auto& w = accel::standardWorkloadRef();
+    constexpr double kKittiPixels = 1242.0 * 375.0;
+
+    std::printf("%-18s %-6s %14s %14s %9s\n", "resolution", "engine",
+                "buffered(ms)", "serialized(ms)", "penalty");
+    for (const auto r :
+         {sensors::Resolution::Kitti, sensors::Resolution::FHD}) {
+        const auto rs = sensors::resolutionSpec(r);
+        const auto scaled = w.scaled(
+            rs.width * static_cast<double>(rs.height) / kKittiPixels);
+        for (const auto c : {Component::Det, Component::Tra}) {
+            accel::FpgaModel fpga;
+            const double buffered = fpga.baseLatencyMs(c, scaled);
+            accel::FpgaModel::Options opts;
+            opts.doubleBuffering = false;
+            fpga.setOptions(opts);
+            const double serialized = fpga.baseLatencyMs(c, scaled);
+            std::printf("%-18s %-6s %14.1f %14.1f %8.1f%%\n", rs.name,
+                        accel::componentName(c), buffered, serialized,
+                        (serialized / buffered - 1.0) * 100.0);
+        }
+    }
+
+    // The Figure 8 schedule in detail: the five most expensive layers
+    // of each engine at KITTI scale.
+    std::printf("\nper-layer schedule (top 5 layers by time, KITTI "
+                "scale):\n");
+    for (const auto c : {Component::Det, Component::Tra}) {
+        accel::FpgaModel fpga;
+        auto schedule = fpga.schedule(c, w);
+        std::sort(schedule.begin(), schedule.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.layerMs > b.layerMs;
+                  });
+        std::printf("  %s:\n", accel::componentName(c));
+        for (std::size_t i = 0; i < schedule.size() && i < 5; ++i) {
+            const auto& e = schedule[i];
+            std::printf("    %-14s compute %8.1f ms, transfer %8.1f "
+                        "ms -> %s-bound\n", e.layer.c_str(),
+                        e.computeMs, e.transferMs,
+                        e.transferBound ? "transfer" : "compute");
+        }
+    }
+
+    std::printf("\nDET hides its (small) weight traffic almost "
+                "entirely behind compute; TRA's FC\nlayers are "
+                "transfer-bound, so buffering only hides the conv "
+                "compute. Both match\nthe paper's design rationale "
+                "for prefetching into double buffers (Section "
+                "4.2.2).\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: LUT-based trigonometry in feature extraction. The paper's
+ * FPGA design gains 1.5x and its ASIC 4x by replacing sin/cos/atan2
+ * with lookup tables (Sections 4.2.2-4.2.3). This bench shows (a) the
+ * modeled platform factors, and (b) a *measured* software analogue:
+ * the orientation stage of our real oFAST implementation with LUT vs
+ * libm atan2 on this host.
+ *
+ * Usage: bench_ablation_lut_trig [--frames=6]
+ */
+
+#include <cstdio>
+
+#include "accel/models.hh"
+#include "bench_common.hh"
+#include "common/config.hh"
+#include "common/time.hh"
+#include "sensors/camera.hh"
+#include "sensors/scenario.hh"
+#include "vision/orb.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace ad;
+    const Config cfg = Config::fromArgs(argc, argv);
+    const int frames = cfg.getInt("frames", 6);
+    bench::printHeader("Ablation", "LUT trigonometry in feature "
+                       "extraction");
+
+    // (a) Modeled hardware factors.
+    const auto& w = accel::standardWorkloadRef();
+    accel::FpgaModel fpga;
+    accel::AsicModel asic;
+    const double fpgaLut =
+        fpga.baseLatencyMs(accel::Component::Loc, w) - w.locOthersCpuMs;
+    accel::FpgaModel::Options fo;
+    fo.lutTrig = false;
+    fpga.setOptions(fo);
+    const double fpgaNaive =
+        fpga.baseLatencyMs(accel::Component::Loc, w) - w.locOthersCpuMs;
+    const double asicLut =
+        asic.baseLatencyMs(accel::Component::Loc, w) - w.locOthersCpuMs;
+    accel::AsicModel::Options ao;
+    ao.lutTrig = false;
+    asic.setOptions(ao);
+    const double asicNaive =
+        asic.baseLatencyMs(accel::Component::Loc, w) - w.locOthersCpuMs;
+
+    std::printf("modeled FE latency (standard workload):\n");
+    std::printf("  FPGA: LUT %.2f ms vs naive %.2f ms -> %.2fx "
+                "(paper: 1.5x)\n", fpgaLut, fpgaNaive,
+                fpgaNaive / fpgaLut);
+    std::printf("  ASIC: LUT %.3f ms vs naive %.3f ms -> %.2fx "
+                "(paper: 4x)\n", asicLut, asicNaive,
+                asicNaive / asicLut);
+
+    // (b) Measured software analogue on rendered frames.
+    Rng rng(42);
+    sensors::ScenarioParams sp;
+    sp.roadLength = 120.0;
+    const sensors::Scenario sc = sensors::makeUrbanScenario(rng, sp);
+    sensors::Camera camera(sensors::Resolution::HD);
+
+    double lutMs = 0;
+    double naiveMs = 0;
+    std::size_t features = 0;
+    for (int i = 0; i < frames; ++i) {
+        const Pose2 ego(10.0 + 5.0 * i,
+                        sc.world.road().laneCenter(1), 0.0);
+        const sensors::Frame frame = camera.render(sc.world, ego);
+        for (const auto mode :
+             {vision::TrigMode::Lut, vision::TrigMode::Naive}) {
+            vision::OrbParams op;
+            op.fast.trigMode = mode;
+            const vision::OrbExtractor orb(op);
+            Stopwatch watch;
+            const auto f = orb.extract(frame.image);
+            const double ms = watch.elapsedMs();
+            if (mode == vision::TrigMode::Lut) {
+                lutMs += ms;
+                features += f.size();
+            } else {
+                naiveMs += ms;
+            }
+        }
+    }
+    std::printf("\nmeasured software ORB on this host (%d HD frames, "
+                "%zu features/frame avg):\n", frames,
+                features / frames);
+    std::printf("  LUT atan2   %.1f ms total\n", lutMs);
+    std::printf("  libm atan2  %.1f ms total (%.2fx)\n", naiveMs,
+                naiveMs / lutMs);
+    std::printf("(in software the orientation stage is a small slice "
+                "of FE, so the measured gap is\nmodest; in the "
+                "hardware pipelines the trigonometric unit sits on "
+                "the critical path,\nwhich is what the modeled "
+                "factors capture)\n");
+    return 0;
+}

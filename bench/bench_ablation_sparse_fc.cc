@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: EIE-style FC compression (the paper's TRA ASIC mechanism,
+ * reference [23]). GOTURN's FC stack is ~436 MB of weights -- the
+ * transfer-bound term that pins FPGA TRA at 536 ms. Magnitude pruning
+ * plus CSR storage shrinks footprint and multiplies; this bench
+ * measures, on a real (reduced-width) FC stack: density, compressed
+ * size, output error, and measured forward time -- then applies each
+ * compression ratio to the full-scale workload's modeled FPGA latency.
+ */
+
+#include <cstdio>
+
+#include "accel/models.hh"
+#include "bench_common.hh"
+#include "common/random.hh"
+#include "common/time.hh"
+#include "nn/sparse.hh"
+
+int
+main()
+{
+    using namespace ad;
+    using namespace ad::nn;
+    bench::printHeader("Ablation",
+                       "EIE-style FC pruning on the tracker stack");
+
+    // A real (width-reduced) GOTURN-style FC layer to measure.
+    Rng rng(9);
+    const int inF = 2048;
+    const int outF = 1024;
+    FullyConnected dense("fc6", inF, outF);
+    // Realistic trained-weight distribution: most magnitudes small.
+    for (auto& w : dense.weights())
+        w = static_cast<float>(rng.normal(0.0, 0.02));
+    Tensor probe(inF, 1, 1);
+    for (int i = 0; i < inF; ++i)
+        probe.data()[i] = static_cast<float>(rng.uniform(0, 1));
+
+    // Dense baseline timing.
+    Stopwatch denseWatch;
+    for (int i = 0; i < 20; ++i)
+        dense.forward(probe);
+    const double denseMs = denseWatch.elapsedMs() / 20;
+    const double denseMb =
+        dense.profile({inF, 1, 1}).weightBytes / 1e6;
+
+    std::printf("dense baseline: %.1f MB, %.2f ms/forward (measured, "
+                "%dx%d)\n\n", denseMb, denseMs, outF, inF);
+    std::printf("%-10s %8s %12s %10s %12s %16s\n", "threshold",
+                "density", "size (MB)", "error", "fwd (ms)",
+                "FPGA TRA (ms)");
+
+    const accel::FpgaModel fpga;
+    for (const float threshold : {0.0f, 0.01f, 0.02f, 0.04f, 0.08f}) {
+        const SparseFullyConnected sparse("fc6s", dense, threshold);
+        const double err = pruningError(dense, threshold, probe);
+
+        Stopwatch watch;
+        for (int i = 0; i < 20; ++i)
+            sparse.forward(probe);
+        const double ms = watch.elapsedMs() / 20;
+
+        // Apply this compression ratio to the full-scale workload's
+        // FC layers and re-model FPGA TRA latency.
+        accel::Workload w = accel::standardWorkloadRef();
+        for (auto& layer : w.tra.layers) {
+            if (layer.kind == LayerKind::FullyConnected) {
+                layer.weightBytes = static_cast<std::uint64_t>(
+                    layer.weightBytes * (sparse.compressedBytes() /
+                                         (denseMb * 1e6)));
+                layer.flops = static_cast<std::uint64_t>(
+                    layer.flops * sparse.density());
+            }
+        }
+        const double fpgaTra =
+            fpga.baseLatencyMs(accel::Component::Tra, w);
+
+        std::printf("%-10.2f %7.1f%% %12.2f %9.4f %12.3f %16.1f\n",
+                    threshold, 100.0 * sparse.density(),
+                    sparse.compressedBytes() / 1e6, err, ms, fpgaTra);
+    }
+
+    std::printf("\nnote the threshold-0 row: CSR at full density "
+                "costs ~2x dense storage (4 B value +\n4 B index per "
+                "weight) -- compression only pays once pruning bites. "
+                "Past ~0.02 the\nnear-zero mass of the FC stack "
+                "vanishes and with it most of the 436 MB transfer\n"
+                "that pins FPGA TRA at 536 ms -- the compression EIE "
+                "banks on to reach the paper's\n1.8 ms TRA ASIC "
+                "latency (at ~0.04+ the probe error shows why "
+                "retraining after\npruning is mandatory).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Extension bench (beyond the paper's figures): the frame-service
+ * view of the Section 2.4.1 performance constraint. Frames arrive at
+ * 10 fps; each configuration serves them with its modeled end-to-end
+ * latency distribution; we report deadline misses, drops (saturation)
+ * and achieved frame rate -- plus per-frame energy.
+ *
+ * This makes Finding 4 operational: a configuration that is feasible
+ * on mean latency but not at the tail (e.g.\ LOC on the CPU) does not
+ * merely miss an SLO on paper -- its relocalization spikes queue
+ * subsequent frames and cluster misses, while truly tail-feasible
+ * designs run miss-free.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "pipeline/scheduler.hh"
+#include "vehicle/energy.hh"
+
+int
+main()
+{
+    using namespace ad;
+    using namespace ad::pipeline;
+    bench::printHeader("Extension",
+                       "frame scheduling at 10 fps: deadline misses, "
+                       "drops, energy");
+
+    Rng rng(21);
+    SystemModel model;
+    vehicle::EnergyModel energy;
+    constexpr int kFrames = 20000;
+
+    std::printf("%-28s %9s %8s %8s %9s %11s\n", "configuration",
+                "miss rate", "drops", "fps", "J/frame", "Wh/mile");
+    for (const auto& config : bench::paperConfigs()) {
+        // Build a per-frame sampler from the end-to-end structure.
+        const accel::Workload w =
+            accel::standardWorkloadRef().scaled(config.resolutionScale);
+        const auto det = accel::platformModel(config.det)
+                             .latency(accel::Component::Det, w);
+        const auto tra = accel::platformModel(config.tra)
+                             .latency(accel::Component::Tra, w);
+        const auto loc = accel::platformModel(config.loc)
+                             .latency(accel::Component::Loc, w);
+        const auto sampler = [&]() {
+            const double perception =
+                std::max(loc.sample(rng),
+                         det.sample(rng) + tra.sample(rng));
+            return perception + 0.15; // FUSION + MOTPLAN glue
+        };
+
+        const auto stats =
+            simulateSchedule(sampler, kFrames, SchedulerParams{});
+        const auto assessment = model.assess(config, 1000, rng);
+        const auto e =
+            energy.report(assessment.power.totalW(), 10.0, 100.0);
+
+        std::printf("%-28s %8.2f%% %8d %8.2f %9.1f %11.1f\n",
+                    config.name().c_str(), 100.0 * stats.missRate(),
+                    stats.framesDropped, stats.achievedFps,
+                    e.joulesPerFrame, e.whPerMile);
+    }
+
+    std::printf("\nthe all-CPU system saturates (it drives on stale "
+                "frames); the GPU+LOC:CPU design\nmisses in bursts "
+                "whenever relocalization spikes queue frames; "
+                "tail-feasible designs\nrun miss-free at the full "
+                "camera rate.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces Figure 10 (and prints Table 2): mean latency (10a),
+ * 99.99th-percentile latency (10b) and power (10c) of the three
+ * bottleneck engines across the four platforms, from the calibrated
+ * mechanistic platform models, with the paper's measured values
+ * alongside for comparison.
+ */
+
+#include <cstdio>
+
+#include "accel/models.hh"
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ad;
+    using accel::Component;
+    using accel::Platform;
+
+    bench::printHeader("Table 2", "computing platform specifications");
+    std::printf("%-6s %-30s %8s %7s %9s %10s\n", "", "model", "GHz",
+                "cores", "mem(GB)", "BW(GB/s)");
+    for (int p = 0; p < accel::kNumPlatforms; ++p) {
+        const auto spec =
+            accel::platformSpec(static_cast<Platform>(p));
+        std::printf("%-6s %-30s %8.2f %7d %9.4g %10.1f\n",
+                    accel::platformName(static_cast<Platform>(p)),
+                    spec.model, spec.frequencyGhz, spec.cores,
+                    spec.memoryGb, spec.memoryBwGBs);
+    }
+
+    Rng rng(10);
+    const auto& w = accel::standardWorkloadRef();
+    const Component comps[] = {Component::Det, Component::Tra,
+                               Component::Loc};
+
+    const auto printGrid = [&](const char* figure, const char* caption,
+                               auto model, auto paper) {
+        std::printf("\n");
+        bench::printHeader(figure, caption);
+        std::printf("%-11s %12s %12s %12s %12s\n", "", "CPU", "GPU",
+                    "FPGA", "ASIC");
+        for (const auto c : comps) {
+            std::printf("%-5s model", accel::componentName(c));
+            for (int p = 0; p < accel::kNumPlatforms; ++p)
+                std::printf(" %12.1f",
+                            model(c, static_cast<Platform>(p)));
+            std::printf("\n%-5s paper", "");
+            for (int p = 0; p < accel::kNumPlatforms; ++p)
+                std::printf(" %12.1f",
+                            paper(c, static_cast<Platform>(p)));
+            std::printf("\n");
+        }
+    };
+
+    printGrid("Figure 10a", "mean latency (ms) across platforms",
+              [&](Component c, Platform p) {
+                  return accel::platformModel(p)
+                      .latency(c, w)
+                      .summarize(100000, rng)
+                      .mean;
+              },
+              [&](Component c, Platform p) {
+                  return accel::paperAnchor(c, p).meanMs;
+              });
+
+    printGrid("Figure 10b",
+              "99.99th-percentile latency (ms) across platforms",
+              [&](Component c, Platform p) {
+                  return accel::platformModel(p)
+                      .latency(c, w)
+                      .summarize(200000, rng)
+                      .p9999;
+              },
+              [&](Component c, Platform p) {
+                  return accel::paperAnchor(c, p).tailMs;
+              });
+
+    printGrid("Figure 10c", "power (W) across platforms",
+              [&](Component c, Platform p) {
+                  return accel::platformModel(p).powerWatts(c);
+              },
+              [&](Component c, Platform p) {
+                  return accel::paperAnchor(c, p).powerW;
+              });
+
+    std::printf("\nfindings reproduced: CPUs cannot run the DNN engines "
+                "in real time; FPGAs are DSP-\nlimited on DET and "
+                "transfer-bound on TRA's 436 MB FC stack; only the CPU "
+                "and GPU\nshow mean-vs-tail divergence on LOC "
+                "(relocalization); specialized hardware is\nfar more "
+                "energy efficient (Findings 1-3).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces Figure 12: total system power and the corresponding
+ * driving-range reduction for the Figure 11 configurations, assuming
+ * eight cameras each served by a replica of the computing engines,
+ * the 41 TB US prior map's storage draw, and the cooling load that
+ * removes the added heat (Sections 2.4.4-2.4.5).
+ *
+ * Paper anchors: GPU-heavy configurations draw >1 kW and cut driving
+ * range by up to ~12%; FPGA/ASIC designs keep the impact near or
+ * under 5% (ASIC ~2-3%).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ad;
+    using namespace ad::pipeline;
+    bench::printHeader("Figure 12",
+                       "system power and driving-range reduction per "
+                       "configuration (8 cameras)");
+
+    Rng rng(12);
+    SystemModel model;
+
+    std::printf("%-28s %10s %10s %10s %10s %8s\n", "configuration",
+                "compute(W)", "storage(W)", "cooling(W)", "total(W)",
+                "range%");
+    for (const auto& config : bench::paperConfigs()) {
+        const auto a = model.assess(config, 2000, rng);
+        std::printf("%-28s %10.0f %10.0f %10.0f %10.0f %8.2f%s\n",
+                    config.name().c_str(), a.power.computeW,
+                    a.power.storageW, a.power.coolingW,
+                    a.power.totalW(), a.rangeReductionPct,
+                    a.rangeReductionPct > 10.0
+                        ? "  <- over 10% line"
+                        : (a.rangeReductionPct <= 5.0
+                               ? "  <- within 5% line"
+                               : ""));
+    }
+
+    SystemConfig gpu;
+    gpu.det = gpu.tra = gpu.loc = accel::Platform::Gpu;
+    SystemConfig asic;
+    asic.det = asic.tra = asic.loc = accel::Platform::Asic;
+    const auto g = model.assess(gpu, 1000, rng);
+    const auto a = model.assess(asic, 1000, rng);
+    std::printf("\nall-GPU: %.0f W -> -%.1f%% range (paper: up to "
+                "~12%%); all-ASIC: %.0f W -> -%.1f%%\n(paper: ~2%%). "
+                "The cooling load magnifies every IT watt by %.0f%% "
+                "(Finding 5).\n",
+                g.power.totalW(), g.rangeReductionPct, a.power.totalW(),
+                a.rangeReductionPct,
+                100.0 / model.powerModel().params().coolingCop);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces Figure 13: end-to-end 99.99th-percentile latency as a
+ * function of camera resolution (HHD through QHD) for the accelerated
+ * configurations. Spatial work (convolutions, feature extraction)
+ * scales with pixel count while the tracker's FC stack does not; the
+ * paper's finding is that some GPU/ASIC configurations still meet the
+ * 100 ms budget at FHD but none survive QHD (Finding 6).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sensors/camera.hh"
+
+int
+main()
+{
+    using namespace ad;
+    using namespace ad::pipeline;
+    bench::printHeader("Figure 13",
+                       "end-to-end p99.99 latency (ms) vs camera "
+                       "resolution");
+
+    Rng rng(13);
+    SystemModel model;
+    constexpr double kKittiPixels = 1242.0 * 375.0;
+    constexpr int kSamples = 50000;
+
+    // Configurations worth scaling (accelerated ones; CPU is off the
+    // chart at every resolution).
+    std::vector<SystemConfig> configs;
+    for (const auto& c : bench::paperConfigs())
+        if (c.det != accel::Platform::Cpu)
+            configs.push_back(c);
+
+    std::printf("%-28s", "configuration");
+    for (const auto r : sensors::allResolutions())
+        std::printf(" %11s", sensors::resolutionSpec(r).name);
+    std::printf("\n");
+
+    int meetsAtFhd = 0;
+    int meetsAtQhd = 0;
+    for (auto& config : configs) {
+        std::printf("%-28s", config.name().c_str());
+        for (const auto r : sensors::allResolutions()) {
+            const auto spec = sensors::resolutionSpec(r);
+            config.resolutionScale =
+                spec.width * static_cast<double>(spec.height) /
+                kKittiPixels;
+            const auto s =
+                model.sampleEndToEnd(config, kSamples, rng);
+            std::printf(" %10.1f%s", s.p9999,
+                        s.p9999 <= 100.0 ? " " : "*");
+            if (r == sensors::Resolution::FHD && s.p9999 <= 100.0)
+                ++meetsAtFhd;
+            if (r == sensors::Resolution::QHD && s.p9999 <= 100.0)
+                ++meetsAtQhd;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(* = exceeds the 100 ms tail budget)\n");
+    std::printf("%d configurations meet the budget at FHD; %d at QHD "
+                "(paper: some at FHD, none at QHD).\n",
+                meetsAtFhd, meetsAtQhd);
+    std::printf("computational capability, not sensing, caps the "
+                "accuracy gains of higher-resolution\ncameras "
+                "(Finding 6).\n");
+    return 0;
+}

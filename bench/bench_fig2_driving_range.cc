@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 2: driving-range reduction of a Chevy Bolt from
+ * the computing engine alone (left half) and from the entire system in
+ * aggregate -- computing + 41 TB storage + the cooling load that
+ * removes the added heat (right half) -- for the CPU+FPGA, CPU+GPU and
+ * CPU+3GPUs configurations.
+ *
+ * Paper anchors: CPU+3GPUs ~= 1 kW computing alone -> ~6% range loss;
+ * the entire system nearly doubles the power, reaching ~11.5%.
+ */
+
+#include <cstdio>
+
+#include "accel/calibration.hh"
+#include "bench_common.hh"
+#include "vehicle/power.hh"
+#include "vehicle/range.hh"
+
+int
+main()
+{
+    using namespace ad;
+    using accel::Platform;
+    bench::printHeader("Figure 2",
+                       "driving range reduction: computing engine "
+                       "alone vs entire system");
+
+    struct Config
+    {
+        const char* name;
+        double computeW;
+    };
+    const double cpu = accel::devicePowerFullUtilWatts(Platform::Cpu);
+    const double gpu = accel::devicePowerFullUtilWatts(Platform::Gpu);
+    const double fpga = accel::devicePowerFullUtilWatts(Platform::Fpga);
+    const Config configs[] = {
+        {"CPU+FPGA", cpu + fpga},
+        {"CPU+GPU", cpu + gpu},
+        {"CPU+3GPUs", cpu + 3 * gpu},
+    };
+
+    vehicle::VehiclePowerModel power;
+    vehicle::EvRangeModel ev;
+    constexpr double storageTb = 41.0;
+
+    std::printf("%-10s | %-28s | %-28s\n", "",
+                "computing engine alone", "entire system in aggregate");
+    std::printf("%-10s | %10s %16s | %10s %16s\n", "config", "power(W)",
+                "range loss (%)", "power(W)", "range loss (%)");
+    for (const auto& c : configs) {
+        const double aloneW = c.computeW;
+        const double alonePct = ev.rangeReductionPct(aloneW);
+        const auto full = power.systemPower(c.computeW, storageTb);
+        const double fullPct = ev.rangeReductionPct(full.totalW());
+        std::printf("%-10s | %10.0f %16.2f | %10.0f %16.2f\n", c.name,
+                    aloneW, alonePct, full.totalW(), fullPct);
+    }
+
+    const auto worst = power.systemPower(configs[2].computeW, storageTb);
+    std::printf("\nmagnification: storage %.0f W + cooling %.0f W nearly "
+                "double the %.0f W computing draw\n",
+                worst.storageW, worst.coolingW, worst.computeW);
+    std::printf("paper anchors: CPU+3GPUs ~6%% alone, ~11.5%% in "
+                "aggregate; reproduced %.1f%% / %.1f%%\n",
+                ev.rangeReductionPct(configs[2].computeW),
+                ev.rangeReductionPct(worst.totalW()));
+    return 0;
+}

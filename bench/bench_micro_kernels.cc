@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot kernels underneath
+ * the pipeline engines: GEMM and convolution (the DNN engine), oFAST
+ * detection and rBRIEF description (feature extraction), descriptor
+ * matching, NMS, and the two motion planners. These quantify where
+ * measured-mode cycles go and guard against performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "detect/yolo.hh"
+#include "nn/gemm.hh"
+#include "nn/models.hh"
+#include "nn/sparse.hh"
+#include "planning/conformal.hh"
+#include "planning/lattice.hh"
+#include "vision/orb.hh"
+#include "vision/spatial_matcher.hh"
+
+namespace {
+
+using namespace ad;
+
+void
+BM_Gemm(benchmark::State& state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    std::vector<float> a(n * n);
+    std::vector<float> b(n * n);
+    std::vector<float> c(n * n, 0.0f);
+    for (auto& v : a)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : b)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        nn::gemm(n, n, n, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Conv2D(benchmark::State& state)
+{
+    const int channels = static_cast<int>(state.range(0));
+    nn::Conv2D conv("bench", channels, channels, 3, 1, 1);
+    Rng rng(2);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.1, 0.1));
+    nn::Tensor in(channels, 56, 56);
+    for (auto _ : state) {
+        nn::Tensor out = conv.forward(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const auto p = conv.profile({channels, 56, 56});
+    state.SetItemsProcessed(state.iterations() * p.flops);
+}
+BENCHMARK(BM_Conv2D)->Arg(16)->Arg(64);
+
+void
+BM_DetectorForward(benchmark::State& state)
+{
+    detect::DetectorParams dp;
+    dp.inputSize = static_cast<int>(state.range(0));
+    dp.width = 0.25;
+    detect::YoloDetector detector(dp);
+    Image frame(640, 360, 80);
+    frame.fillRect(BBox(280, 160, 60, 40), 230);
+    for (auto _ : state) {
+        auto dets = detector.detect(frame);
+        benchmark::DoNotOptimize(dets.data());
+    }
+}
+BENCHMARK(BM_DetectorForward)->Arg(128)->Arg(224);
+
+void
+BM_FastDetect(benchmark::State& state)
+{
+    Rng rng(3);
+    Image img(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)) * 9 / 16, 80);
+    for (int y = 0; y < img.height(); ++y)
+        for (int x = 0; x < img.width(); ++x)
+            img.at(x, y) = static_cast<std::uint8_t>(
+                80 + rng.uniformInt(-20, 20));
+    vision::FastParams params;
+    for (auto _ : state) {
+        auto kps = vision::detectFast(img, params);
+        benchmark::DoNotOptimize(kps.data());
+    }
+    state.SetItemsProcessed(state.iterations() * img.size());
+}
+BENCHMARK(BM_FastDetect)->Arg(640)->Arg(1280);
+
+void
+BM_OrbExtract(benchmark::State& state)
+{
+    Rng rng(4);
+    Image img(640, 360, 80);
+    for (int i = 0; i < 300; ++i)
+        img.fillRect(BBox(rng.uniform(0, 600), rng.uniform(0, 330),
+                          rng.uniform(4, 30), rng.uniform(4, 30)),
+                     static_cast<std::uint8_t>(rng.uniformInt(40, 200)));
+    vision::OrbExtractor orb;
+    for (auto _ : state) {
+        auto features = orb.extract(img);
+        benchmark::DoNotOptimize(features.data());
+    }
+}
+BENCHMARK(BM_OrbExtract);
+
+void
+BM_DescriptorMatch(benchmark::State& state)
+{
+    Rng rng(5);
+    const auto makeDescs = [&rng](int n) {
+        std::vector<vision::Descriptor> d(n);
+        for (auto& desc : d)
+            for (auto& word : desc.words)
+                word = rng();
+        return d;
+    };
+    const auto a = makeDescs(static_cast<int>(state.range(0)));
+    const auto b = makeDescs(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto matches = vision::matchDescriptors(a, b, 80, 0.9);
+        benchmark::DoNotOptimize(matches.data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.size() * b.size());
+}
+BENCHMARK(BM_DescriptorMatch)->Arg(256)->Arg(1024);
+
+void
+BM_SpatialVsBruteMatch(benchmark::State& state)
+{
+    // The projection-guided matcher's speed advantage over brute
+    // force at localization-scale candidate counts.
+    Rng rng(15);
+    const int n = static_cast<int>(state.range(0));
+    std::vector<vision::Feature> features;
+    std::vector<vision::ProjectedCandidate> candidates;
+    for (int i = 0; i < n; ++i) {
+        vision::Feature f;
+        f.kp.x = static_cast<float>(rng.uniform(0, 1240));
+        f.kp.y = static_cast<float>(rng.uniform(0, 370));
+        for (auto& w : f.desc.words)
+            w = rng();
+        features.push_back(f);
+        vision::ProjectedCandidate c;
+        c.u = f.kp.x + static_cast<float>(rng.uniform(-10, 10));
+        c.v = f.kp.y + static_cast<float>(rng.uniform(-10, 10));
+        c.desc = f.desc;
+        candidates.push_back(c);
+    }
+    const vision::SpatialMatcher matcher(features, 1242, 375);
+    for (auto _ : state) {
+        auto matches = matcher.match(candidates);
+        benchmark::DoNotOptimize(matches.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpatialVsBruteMatch)->Arg(256)->Arg(1024);
+
+void
+BM_SparseVsDenseFc(benchmark::State& state)
+{
+    Rng rng(16);
+    nn::FullyConnected dense("fc", 2048, 1024);
+    for (auto& w : dense.weights())
+        w = static_cast<float>(rng.normal(0.0, 0.02));
+    const float threshold = static_cast<float>(state.range(0)) / 1000.0f;
+    const nn::SparseFullyConnected sparse("s", dense, threshold);
+    nn::Tensor x(2048, 1, 1);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(rng.uniform(0, 1));
+    for (auto _ : state) {
+        nn::Tensor y = sparse.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["density"] = sparse.density();
+}
+BENCHMARK(BM_SparseVsDenseFc)->Arg(0)->Arg(20)->Arg(40);
+
+void
+BM_Nms(benchmark::State& state)
+{
+    Rng rng(6);
+    std::vector<detect::Detection> dets(state.range(0));
+    for (auto& d : dets) {
+        d.box = BBox(rng.uniform(0, 600), rng.uniform(0, 300), 40, 30);
+        d.confidence = rng.uniform(0.1, 1.0);
+    }
+    for (auto _ : state) {
+        auto kept = detect::nonMaxSuppression(dets, 0.5);
+        benchmark::DoNotOptimize(kept.data());
+    }
+}
+BENCHMARK(BM_Nms)->Arg(64)->Arg(512);
+
+void
+BM_ConformalPlan(benchmark::State& state)
+{
+    std::vector<planning::PredictedObstacle> obstacles;
+    Rng rng(7);
+    for (int i = 0; i < state.range(0); ++i)
+        obstacles.push_back({{rng.uniform(5, 60), rng.uniform(0, 10)},
+                             {rng.uniform(-5, 5), 0},
+                             1.5});
+    const Pose2 start(0, 5.25, 0);
+    for (auto _ : state) {
+        auto traj = planning::planConformal(start, 5.25, obstacles);
+        benchmark::DoNotOptimize(traj.points.data());
+    }
+}
+BENCHMARK(BM_ConformalPlan)->Arg(0)->Arg(8)->Arg(32);
+
+void
+BM_LatticePlan(benchmark::State& state)
+{
+    std::vector<planning::Obstacle> obstacles;
+    Rng rng(8);
+    for (int i = 0; i < state.range(0); ++i)
+        obstacles.push_back({{rng.uniform(5, 35), rng.uniform(-15, 15)},
+                             1.0});
+    for (auto _ : state) {
+        auto traj = planning::planLattice(Pose2(0, 0, 0), {40, 0},
+                                          obstacles);
+        benchmark::DoNotOptimize(traj.points.data());
+    }
+}
+BENCHMARK(BM_LatticePlan)->Arg(0)->Arg(20);
+
+} // namespace
+
+BENCHMARK_MAIN();

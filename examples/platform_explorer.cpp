@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Design-space explorer: sweeps all 64 platform assignments of the
+ * three bottleneck engines (DET, TRA, LOC) across CPU/GPU/FPGA/ASIC,
+ * evaluates each against the paper's Section 2.4 constraints at a
+ * chosen camera resolution, and prints the frontier designs -- the
+ * machinery behind the paper's Section 5 exploration.
+ *
+ * Usage: platform_explorer [--resolution=KITTI|HHD|HD|HD+|FHD|QHD]
+ *                          [--cameras=8] [--samples=20000] [--seed=4]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "pipeline/constraints.hh"
+#include "pipeline/system_model.hh"
+#include "sensors/camera.hh"
+
+namespace {
+
+double
+resolutionScaleFor(const std::string& name)
+{
+    using ad::sensors::Resolution;
+    const double kittiPx = 1242.0 * 375.0;
+    for (const auto r :
+         {Resolution::HHD, Resolution::Kitti, Resolution::HD,
+          Resolution::HDPlus, Resolution::FHD, Resolution::QHD}) {
+        const auto spec = ad::sensors::resolutionSpec(r);
+        if (name == spec.name || name == std::string(spec.name).substr(
+                                             0, name.size()))
+            return spec.width * static_cast<double>(spec.height) /
+                   kittiPx;
+    }
+    ad::fatal("unknown resolution '", name,
+              "' (use HHD, KITTI, HD, HD+, FHD or QHD)");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ad;
+    using namespace ad::pipeline;
+    const Config cfg = Config::fromArgs(argc, argv);
+    const std::string resName = cfg.getString("resolution", "KITTI");
+    const int cameras = cfg.getInt("cameras", 8);
+    const int samples = cfg.getInt("samples", 20000);
+    Rng rng(cfg.getInt("seed", 4));
+
+    const double scale = resolutionScaleFor(resName);
+    std::printf("== platform design-space explorer ==\n");
+    std::printf("resolution %s (%.2fx KITTI pixels), %d cameras\n\n",
+                resName.c_str(), scale, cameras);
+
+    SystemModel model;
+    ConstraintChecker checker;
+
+    std::printf("%-28s %9s %11s %8s %7s %s\n", "configuration",
+                "mean(ms)", "p99.99(ms)", "watts", "range%",
+                "constraints");
+    int feasible = 0;
+    SystemAssessment best;
+    bool haveBest = false;
+    SystemAssessment frugal;
+    bool haveFrugal = false;
+
+    for (const auto& c : SystemModel::allConfigs(cameras, scale)) {
+        const auto a = model.assess(c, samples, rng);
+        std::string flags;
+        for (const auto& v : checker.check(a))
+            flags += v.satisfied ? '+' : '-';
+        const bool ok = checker.allSatisfied(a);
+        feasible += ok;
+        if (ok && (!haveBest || a.tailMs < best.tailMs)) {
+            best = a;
+            haveBest = true;
+        }
+        if (ok && (!haveFrugal ||
+                   a.rangeReductionPct < frugal.rangeReductionPct)) {
+            frugal = a;
+            haveFrugal = true;
+        }
+        std::printf("%-28s %9.1f %11.1f %8.0f %7.2f %s%s\n",
+                    c.name().c_str(), a.meanMs, a.tailMs,
+                    a.power.totalW(), a.rangeReductionPct,
+                    flags.c_str(), a.meetsLatencyOnMeanOnly
+                                       ? "  (mean-only!)"
+                                       : "");
+    }
+
+    std::printf("\n%d of 64 configurations satisfy every Section 2.4 "
+                "constraint.\n", feasible);
+    if (haveBest)
+        std::printf("fastest feasible: %s (p99.99 %.1f ms)\n",
+                    best.config.name().c_str(), best.tailMs);
+    if (haveFrugal)
+        std::printf("most efficient feasible: %s (range -%.2f%%)\n",
+                    frugal.config.name().c_str(),
+                    frugal.rangeReductionPct);
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "accel/calibration.hh"
+
+#include "common/logging.hh"
+
+namespace ad::accel {
+
+PaperAnchor
+paperAnchor(Component c, Platform p)
+{
+    // Figure 10a (mean), 10b (99.99th percentile) and 10c (power).
+    // Rows: DET, TRA, LOC; columns: CPU, GPU, FPGA, ASIC.
+    static constexpr PaperAnchor grid[3][4] = {
+        // DET
+        {{7150.0, 7734.4, 51.2}, {11.2, 14.3, 54.0},
+         {369.6, 369.6, 21.5}, {95.9, 95.9, 7.9}},
+        // TRA
+        {{799.0, 1334.0, 106.9}, {5.5, 6.4, 55.0},
+         {536.0, 536.0, 22.7}, {1.8, 1.8, 9.3}},
+        // LOC
+        {{40.8, 294.2, 53.8}, {20.3, 54.0, 53.0},
+         {27.1, 27.1, 19.0}, {10.1, 10.1, 0.1}},
+    };
+    const int ci = static_cast<int>(c);
+    if (ci < 0 || ci >= kNumBottlenecks)
+        panic("paperAnchor: ", componentName(c),
+              " is not a bottleneck component");
+    return grid[ci][static_cast<int>(p)];
+}
+
+double
+devicePowerFullUtilWatts(Platform p)
+{
+    switch (p) {
+      case Platform::Cpu: return 170.0; // 2 x 85 W TDP sockets
+      case Platform::Gpu: return 250.0; // Titan X board power
+      case Platform::Fpga: return 25.0; // Stratix V dev board
+      case Platform::Asic: return 18.0; // CNN+FC+FE engines combined
+    }
+    panic("devicePowerFullUtilWatts: bad platform");
+}
+
+} // namespace ad::accel

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Calibration anchors for the accelerator platform models: the paper's
+ * measured latency (Figure 10a/b) and power (Figure 10c) grid, plus
+ * full-utilization device powers for the vehicle-level analysis
+ * (Figure 2). The platform models are roofline-style formulas whose
+ * efficiency constants are fitted so that the *standard workload*
+ * (accel/workload.hh) reproduces these anchors; scaling away from the
+ * anchor (resolution, layer mix) is mechanistic. EXPERIMENTS.md
+ * documents every fitted constant and its physical plausibility.
+ */
+
+#ifndef AD_ACCEL_CALIBRATION_HH
+#define AD_ACCEL_CALIBRATION_HH
+
+#include "accel/platform.hh"
+
+namespace ad::accel {
+
+/** One anchor cell of the Figure 10 grid. */
+struct PaperAnchor
+{
+    double meanMs;
+    double tailMs;   ///< 99.99th percentile.
+    double powerW;
+};
+
+/**
+ * Figure 10 anchors for the bottleneck components. FUSION and MOTPLAN
+ * (Figure 6, CPU only) are anchored separately in the models.
+ */
+PaperAnchor paperAnchor(Component c, Platform p);
+
+/**
+ * Relocalization spike probability used for LOC's latency mixture on
+ * CPU and GPU (the accelerated FE pipelines on FPGA/ASIC measure as
+ * deterministic in the paper). Roughly one widened search per 250
+ * frames (25 s of driving at 10 fps).
+ */
+constexpr double kLocSpikeProbability = 0.004;
+
+/**
+ * Device power at full utilization (W) for the Figure 2 computing
+ * engine configurations (CPU+FPGA / CPU+GPU / CPU+3GPUs): dual-socket
+ * Xeon host, Titan X board power, Stratix V development board.
+ */
+double devicePowerFullUtilWatts(Platform p);
+
+} // namespace ad::accel
+
+#endif // AD_ACCEL_CALIBRATION_HH

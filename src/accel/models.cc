@@ -1,0 +1,253 @@
+#include "accel/models.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ad::accel {
+
+namespace {
+
+// FUSION and MOTPLAN run on the host CPU in every configuration
+// (Figure 6 anchors: ~0.1 ms and ~0.5 ms at the 99.99th percentile).
+constexpr double kFusionMeanMs = 0.05;
+constexpr double kFusionTailMs = 0.10;
+constexpr double kMotPlanMeanMs = 0.30;
+constexpr double kMotPlanTailMs = 0.50;
+
+// --- CPU constants (fitted to Figure 10a; see EXPERIMENTS.md). ---
+constexpr double kCpuDetGflops = 0.5357;   // 3.830 GFLOP / 7.150 s
+constexpr double kCpuTraGflops = 5.314;    // 4.246 GFLOP / 0.799 s
+constexpr double kCpuFeCyclesPerPixel = 80.0;
+constexpr double kCpuFeCyclesPerFeature = 9900.0;
+constexpr double kCpuFreqHz = 3.2e9;
+
+// --- GPU constants. ---
+constexpr double kGpuDetGflops = 341.9;    // 3.830 GFLOP / 11.2 ms
+constexpr double kGpuTraGflops = 772.0;    // 4.246 GFLOP / 5.5 ms
+constexpr double kGpuFeMpixelsPerSec = 80.4; // 1.17 Mpx / 14.55 ms
+
+// --- FPGA constants (Section 4.2.2 design). ---
+constexpr double kFpgaDspGflops = 102.4;   // 256 DSPs x 2 x 200 MHz
+// The 19-layer detector reconfigures the fabric per layer; its
+// effective DSP utilization is fitted at 10.4% of peak. GOTURN's five
+// large uniform convolutions sustain ~96% (it is transfer-bound
+// anyway).
+constexpr double kFpgaDetDspEff = 0.1037;
+constexpr double kFpgaTraDspEff = 0.96;
+constexpr double kFpgaHostLinkGBs = 0.90;  // effective PCIe gen2 x4
+constexpr double kFpgaFeClockHz = 250e6;
+constexpr double kFpgaFeCyclesPerPixel = 4.0;
+constexpr double kFpgaFeCyclesPerFeature = 300.0; // 256 tests + drain
+constexpr double kFpgaLutTrigSpeedup = 1.5; // Section 4.2.2
+
+// --- ASIC constants. ---
+constexpr double kAsicCnnGflops = 39.94;   // Eyeriss-style, 200 MHz
+constexpr double kAsicTraConvGflops = 2683.0; // extrapolated 45 nm array
+constexpr double kAsicFcGflops = 727.0;    // EIE-style engine
+constexpr double kAsicFeClockHz = 4e9;     // Table 3
+constexpr double kAsicFeCyclesPerPixel = 12.0; // deep re-timed pipeline
+constexpr double kAsicFeCyclesPerFeature = 1800.0;
+constexpr double kAsicLutTrigSpeedup = 4.0; // Section 4.2.3
+
+/** FE latency common helper. */
+double
+feLatencyMs(const FeWorkload& fe, double clockHz, double cyclesPerPixel,
+            double cyclesPerFeature)
+{
+    const double cycles = fe.pixels * cyclesPerPixel +
+                          fe.features * cyclesPerFeature;
+    return cycles / clockHz * 1e3;
+}
+
+} // namespace
+
+double
+PlatformModel::powerWatts(Component c) const
+{
+    switch (c) {
+      case Component::Det:
+      case Component::Tra:
+      case Component::Loc:
+        return paperAnchor(c, platform_).powerW;
+      case Component::Fusion:
+      case Component::MotPlan:
+        // Host-side glue; its draw is inside the CPU baseline.
+        return 0.0;
+    }
+    panic("powerWatts: bad component");
+}
+
+LatencyDistribution
+PlatformModel::latency(Component c, const Workload& w) const
+{
+    if (c == Component::Fusion)
+        return LatencyDistribution::fit(kFusionMeanMs, kFusionTailMs);
+    if (c == Component::MotPlan)
+        return LatencyDistribution::fit(kMotPlanMeanMs, kMotPlanTailMs);
+
+    const PaperAnchor anchor = paperAnchor(c, platform_);
+    const double scale = baseLatencyMs(c, w) /
+                         baseLatencyMs(c, standardWorkloadRef());
+    double spikeProb = 0.0;
+    if (c == Component::Loc &&
+        (platform_ == Platform::Cpu || platform_ == Platform::Gpu))
+        spikeProb = kLocSpikeProbability;
+    return LatencyDistribution::fit(anchor.meanMs * scale,
+                                    anchor.tailMs * scale, spikeProb);
+}
+
+double
+CpuModel::baseLatencyMs(Component c, const Workload& w) const
+{
+    switch (c) {
+      case Component::Det:
+        return w.det.totalFlops() / (kCpuDetGflops * 1e9) * 1e3;
+      case Component::Tra:
+        return w.tra.totalFlops() / (kCpuTraGflops * 1e9) * 1e3;
+      case Component::Loc:
+        return feLatencyMs(w.fe, kCpuFreqHz, kCpuFeCyclesPerPixel,
+                           kCpuFeCyclesPerFeature) + w.locOthersCpuMs;
+      case Component::Fusion:
+        return kFusionMeanMs;
+      case Component::MotPlan:
+        return kMotPlanMeanMs;
+    }
+    panic("CpuModel: bad component");
+}
+
+double
+GpuModel::baseLatencyMs(Component c, const Workload& w) const
+{
+    switch (c) {
+      case Component::Det:
+        return w.det.totalFlops() / (kGpuDetGflops * 1e9) * 1e3;
+      case Component::Tra:
+        return w.tra.totalFlops() / (kGpuTraGflops * 1e9) * 1e3;
+      case Component::Loc:
+        return w.fe.pixels / (kGpuFeMpixelsPerSec * 1e6) * 1e3 +
+               w.locOthersCpuMs;
+      case Component::Fusion:
+      case Component::MotPlan:
+        return 0.0; // host-side engines
+    }
+    panic("GpuModel: bad component");
+}
+
+std::vector<FpgaModel::ScheduleEntry>
+FpgaModel::schedule(Component c, const Workload& w) const
+{
+    if (c != Component::Det && c != Component::Tra)
+        panic("FpgaModel::schedule: only DNN components have a "
+              "layer schedule");
+    const nn::NetworkProfile& net = c == Component::Det ? w.det : w.tra;
+    const double eff =
+        c == Component::Det ? kFpgaDetDspEff : kFpgaTraDspEff;
+    std::vector<ScheduleEntry> entries;
+    entries.reserve(net.layers.size());
+    for (const auto& layer : net.layers) {
+        ScheduleEntry e;
+        e.layer = layer.name;
+        e.computeMs = layer.flops / (kFpgaDspGflops * eff * 1e9) * 1e3;
+        e.transferMs =
+            layer.weightBytes / (kFpgaHostLinkGBs * 1e9) * 1e3;
+        e.layerMs = opts_.doubleBuffering
+                        ? std::max(e.computeMs, e.transferMs)
+                        : e.computeMs + e.transferMs;
+        e.transferBound = e.transferMs > e.computeMs;
+        entries.push_back(e);
+    }
+    return entries;
+}
+
+double
+FpgaModel::baseLatencyMs(Component c, const Workload& w) const
+{
+    switch (c) {
+      case Component::Det:
+      case Component::Tra: {
+        // Layer-by-layer schedule (Figure 8): each layer's weights
+        // stream from the host while the fabric computes; with double
+        // buffering a layer costs max(compute, transfer), without it
+        // the two serialize.
+        double totalMs = 0;
+        for (const auto& entry : schedule(c, w))
+            totalMs += entry.layerMs;
+        return totalMs;
+      }
+      case Component::Loc: {
+        double fe = feLatencyMs(w.fe, kFpgaFeClockHz,
+                                kFpgaFeCyclesPerPixel,
+                                kFpgaFeCyclesPerFeature);
+        if (!opts_.lutTrig)
+            fe *= kFpgaLutTrigSpeedup;
+        return fe + w.locOthersCpuMs;
+      }
+      case Component::Fusion:
+      case Component::MotPlan:
+        return 0.0;
+    }
+    panic("FpgaModel: bad component");
+}
+
+double
+AsicModel::baseLatencyMs(Component c, const Workload& w) const
+{
+    switch (c) {
+      case Component::Det:
+        return w.det.totalFlops() / (kAsicCnnGflops * 1e9) * 1e3;
+      case Component::Tra: {
+        const double convMs =
+            w.tra.flopsOfKind(nn::LayerKind::Conv) /
+            (kAsicTraConvGflops * 1e9) * 1e3;
+        const double fcMs =
+            w.tra.flopsOfKind(nn::LayerKind::FullyConnected) /
+            (kAsicFcGflops * 1e9) * 1e3;
+        return convMs + fcMs;
+      }
+      case Component::Loc: {
+        double fe = feLatencyMs(w.fe, kAsicFeClockHz,
+                                kAsicFeCyclesPerPixel,
+                                kAsicFeCyclesPerFeature);
+        if (!opts_.lutTrig)
+            fe *= kAsicLutTrigSpeedup;
+        return fe + w.locOthersCpuMs;
+      }
+      case Component::Fusion:
+      case Component::MotPlan:
+        return 0.0;
+    }
+    panic("AsicModel: bad component");
+}
+
+const PlatformModel&
+platformModel(Platform p)
+{
+    static const CpuModel cpu;
+    static const GpuModel gpu;
+    static const FpgaModel fpga;
+    static const AsicModel asic;
+    switch (p) {
+      case Platform::Cpu: return cpu;
+      case Platform::Gpu: return gpu;
+      case Platform::Fpga: return fpga;
+      case Platform::Asic: return asic;
+    }
+    panic("platformModel: bad platform");
+}
+
+const Workload&
+standardWorkloadRef()
+{
+    static const Workload w = standardWorkload();
+    return w;
+}
+
+FeAsicSpec
+feAsicSpec()
+{
+    return FeAsicSpec{};
+}
+
+} // namespace ad::accel

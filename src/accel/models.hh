@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Accelerator platform models -- the substitution for the paper's
+ * physical Xeon / Titan X / Stratix V / ASIC testbed (see DESIGN.md).
+ * Each model converts a component workload (FLOPs by layer kind, bytes,
+ * pixels, features) into latency via a roofline-style formula whose
+ * efficiency constants are anchored to the paper's measurements
+ * (accel/calibration.hh), and into power via the Figure 10c
+ * measurements. Scaling behavior away from the anchor -- camera
+ * resolution (Figure 13), layer mix, double buffering and LUT
+ * trigonometry (the Section 4.2 ablations) -- is mechanistic.
+ */
+
+#ifndef AD_ACCEL_MODELS_HH
+#define AD_ACCEL_MODELS_HH
+
+#include <memory>
+
+#include "accel/calibration.hh"
+#include "accel/platform.hh"
+#include "accel/workload.hh"
+
+namespace ad::accel {
+
+/**
+ * Abstract platform model: deterministic base latency plus the
+ * fitted variability shape.
+ */
+class PlatformModel
+{
+  public:
+    virtual ~PlatformModel() = default;
+
+    Platform platform() const { return platform_; }
+
+    /**
+     * Deterministic (mean) latency of one component invocation under
+     * the given workload, in milliseconds.
+     */
+    virtual double baseLatencyMs(Component c,
+                                 const Workload& w) const = 0;
+
+    /** Component power draw (W), per Figure 10c. */
+    double powerWatts(Component c) const;
+
+    /**
+     * Full latency distribution: the Figure 10 anchor's shape
+     * (tail/mean ratio, spike mixture for LOC on CPU/GPU) scaled by
+     * the mechanistic base-latency ratio between this workload and
+     * the standard one.
+     */
+    LatencyDistribution latency(Component c, const Workload& w) const;
+
+  protected:
+    explicit PlatformModel(Platform p) : platform_(p) {}
+
+    Platform platform_;
+};
+
+/**
+ * Dual-socket Xeon E5-2630 v3 model. Effective throughputs are fitted
+ * to the paper's measured means: the YOLO-style detector runs at
+ * ~0.54 effective GFLOPS (unbatched darknet-style convolution), the
+ * Caffe-based tracker at ~5.3 GFLOPS (MKL GEMM), and feature
+ * extraction at ~80 cycles/pixel plus ~9900 cycles/feature.
+ */
+class CpuModel : public PlatformModel
+{
+  public:
+    CpuModel() : PlatformModel(Platform::Cpu) {}
+    double baseLatencyMs(Component c, const Workload& w) const override;
+};
+
+/**
+ * Titan X (Pascal) model: per-component effective GFLOPS (weights
+ * resident in device memory) and an 80 Mpixel/s CUDA ORB pipeline.
+ */
+class GpuModel : public PlatformModel
+{
+  public:
+    GpuModel() : PlatformModel(Platform::Gpu) {}
+    double baseLatencyMs(Component c, const Workload& w) const override;
+};
+
+/**
+ * Stratix V model, mirroring the paper's Section 4.2.2 design: DNNs
+ * execute layer by layer on the 256-DSP fabric (102.4 GFLOPS peak at
+ * 200 MHz) with weights streamed from the host; double buffering
+ * overlaps each layer's transfer with the previous layer's compute.
+ * GOTURN's FC stack makes TRA transfer-bound (its 436 MB of weights
+ * dominate), while the detector is compute-bound. The FE pipeline
+ * streams pixels at 250 MHz with LUT-based trigonometry.
+ */
+class FpgaModel : public PlatformModel
+{
+  public:
+    FpgaModel() : PlatformModel(Platform::Fpga) {}
+    double baseLatencyMs(Component c, const Workload& w) const override;
+
+    /** Ablation knobs (defaults reproduce the paper's design). */
+    struct Options
+    {
+        bool doubleBuffering = true; ///< overlap transfer and compute.
+        bool lutTrig = true;         ///< LUT sin/cos/atan2 in FE.
+    };
+
+    void setOptions(const Options& opts) { opts_ = opts; }
+    const Options& options() const { return opts_; }
+
+    /** One layer of the Figure 8 execution schedule. */
+    struct ScheduleEntry
+    {
+        std::string layer;
+        double computeMs = 0;
+        double transferMs = 0;
+        double layerMs = 0;      ///< after double-buffer overlap.
+        bool transferBound = false;
+    };
+
+    /**
+     * The per-layer schedule of a DNN component (DET or TRA) under
+     * the current options -- the breakdown behind the DET
+     * compute-bound / TRA transfer-bound finding.
+     */
+    std::vector<ScheduleEntry> schedule(Component c,
+                                        const Workload& w) const;
+
+  private:
+    Options opts_;
+};
+
+/**
+ * ASIC trio model: Eyeriss-style 65 nm CNN engine for the detector
+ * (200 MHz -- the clock limitation the paper notes makes ASIC DET
+ * slower than GPU), an extrapolated 45 nm array for the tracker's
+ * convolutions plus an EIE-style FC engine, and the paper's own ARM
+ * 45 nm, 4 GHz feature-extraction ASIC (Table 3: 21.97 mW,
+ * 6539.9 um^2), whose deep re-timed pipeline spends more cycles per
+ * pixel than the FPGA design but runs 16x faster.
+ */
+class AsicModel : public PlatformModel
+{
+  public:
+    AsicModel() : PlatformModel(Platform::Asic) {}
+    double baseLatencyMs(Component c, const Workload& w) const override;
+
+    /** Ablation: LUT trigonometry (4x FE latency when disabled). */
+    struct Options
+    {
+        bool lutTrig = true;
+    };
+
+    void setOptions(const Options& opts) { opts_ = opts; }
+    const Options& options() const { return opts_; }
+
+  private:
+    Options opts_;
+};
+
+/** Shared immutable model instance for a platform. */
+const PlatformModel& platformModel(Platform p);
+
+/** The standard (paper-scale, KITTI-resolution) workload, cached. */
+const Workload& standardWorkloadRef();
+
+/** Table 3: the FE ASIC's post-synthesis specification. */
+struct FeAsicSpec
+{
+    const char* technology = "ARM Artisan IBM SOI 45 nm";
+    double areaUm2 = 6539.9;
+    double clockGhz = 4.0;
+    double powerMw = 21.97;
+};
+
+FeAsicSpec feAsicSpec();
+
+} // namespace ad::accel
+
+#endif // AD_ACCEL_MODELS_HH

@@ -1,0 +1,152 @@
+#include "accel/platform.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ad::accel {
+
+const char*
+platformName(Platform p)
+{
+    switch (p) {
+      case Platform::Cpu: return "CPU";
+      case Platform::Gpu: return "GPU";
+      case Platform::Fpga: return "FPGA";
+      case Platform::Asic: return "ASIC";
+    }
+    return "?";
+}
+
+const char*
+componentName(Component c)
+{
+    switch (c) {
+      case Component::Det: return "DET";
+      case Component::Tra: return "TRA";
+      case Component::Loc: return "LOC";
+      case Component::Fusion: return "FUSION";
+      case Component::MotPlan: return "MOTPLAN";
+    }
+    return "?";
+}
+
+PlatformSpec
+platformSpec(Platform p)
+{
+    // Table 2 of the paper. Peak GFLOPS: CPU = cores x freq x 16 (AVX2
+    // FMA, 8 lanes x 2 ops); GPU = 2 x cores x freq; FPGA = 2 x DSPs x
+    // freq; ASIC column reports the Eyeriss-style CNN engine.
+    switch (p) {
+      case Platform::Cpu:
+        return {"Intel Xeon E5-2630 v3 (2S)", 3.2, 16, 128, 59.0,
+                16 * 3.2 * 16};
+      case Platform::Gpu:
+        return {"NVIDIA Titan X (Pascal)", 1.4, 3584, 12, 480.0,
+                2 * 3584 * 1.4};
+      case Platform::Fpga:
+        return {"Altera Stratix V (256 DSPs)", 0.8, 256, 2, 6.4,
+                2 * 256 * 0.2}; // DNN engine clocked at 200 MHz
+      case Platform::Asic:
+        return {"TSMC 65nm CNN / 45nm FC / ARM 45nm FE", 0.2, 168,
+                0.0001815, 0.0, 2 * 168 * 0.2};
+    }
+    panic("platformSpec: bad platform");
+}
+
+double
+LatencyDistribution::sample(Rng& rng) const
+{
+    return sampleGivenBody(rng.normal(), rng);
+}
+
+double
+LatencyDistribution::sampleGivenBody(double z, Rng& rng) const
+{
+    double v = baseMs;
+    if (sigma > 0)
+        v *= std::exp(sigma * z);
+    if (spikeProb > 0 && rng.bernoulli(spikeProb))
+        v += spikeMs * std::exp(0.2 * rng.normal());
+    return v;
+}
+
+double
+LatencyDistribution::mean() const
+{
+    // E[spike lognormal factor] = exp(0.2^2 / 2).
+    return baseMs * std::exp(sigma * sigma / 2) +
+           spikeProb * spikeMs * std::exp(0.02);
+}
+
+double
+LatencyDistribution::tail9999() const
+{
+    constexpr double z9999 = 3.719; // Phi^-1(0.9999)
+    if (spikeProb > 1e-4) {
+        // The top 1e-4 of the distribution consists of spike frames;
+        // within those, the quantile is at 1 - 1e-4/spikeProb.
+        const double q = 1.0 - 1e-4 / spikeProb;
+        // Normal quantile approximation (Acklam's simplified form is
+        // overkill here; piecewise fit is fine for q in (0.9, 1)).
+        const double z = std::sqrt(2.0) *
+            1.163 * std::log(1.0 / (2.0 * (1.0 - q))) /
+            std::sqrt(std::log(1.0 / (2.0 * (1.0 - q))) + 1.0);
+        return baseMs + spikeMs * std::exp(0.2 * std::min(z, 3.719));
+    }
+    return baseMs * std::exp(z9999 * sigma);
+}
+
+LatencySummary
+LatencyDistribution::summarize(int n, Rng& rng) const
+{
+    LatencyRecorder rec(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        rec.record(sample(rng));
+    return rec.summary();
+}
+
+LatencyDistribution
+LatencyDistribution::fit(double meanMs, double tailMs, double spikeProb)
+{
+    if (meanMs <= 0 || tailMs < meanMs)
+        panic("LatencyDistribution::fit: bad targets mean=", meanMs,
+              " tail=", tailMs);
+    LatencyDistribution d;
+    d.spikeProb = spikeProb;
+    constexpr double z9999 = 3.719;
+    if (spikeProb <= 0) {
+        // Lognormal: tail/mean = exp(z*sigma - sigma^2/2).
+        const double ratio = tailMs / meanMs;
+        double sigma = std::log(ratio) / z9999;
+        for (int i = 0; i < 8; ++i) // fixed-point refinement
+            sigma = (std::log(ratio) + sigma * sigma / 2) / z9999;
+        d.sigma = sigma;
+        d.baseMs = meanMs / std::exp(sigma * sigma / 2);
+        return d;
+    }
+    // Spike mixture: small body jitter; the tail is base + spike at
+    // the in-spike quantile (factor ~exp(0.2 * z(1 - 1e-4/p))).
+    d.sigma = 0.08;
+    const double q = 1.0 - 1e-4 / spikeProb;
+    const double z = std::sqrt(2.0) *
+        1.163 * std::log(1.0 / (2.0 * (1.0 - q))) /
+        std::sqrt(std::log(1.0 / (2.0 * (1.0 - q))) + 1.0);
+    const double spikeFactor = std::exp(0.2 * std::min(z, 3.719));
+    // Solve the 2x2 system: mean and tail as functions of base/spike.
+    // mean = base * k1 + p * spike * k2 ; tail = base + spike * f.
+    const double k1 = std::exp(d.sigma * d.sigma / 2);
+    const double k2 = std::exp(0.02);
+    // base = (tail - spike * f); substitute into the mean equation.
+    const double spike =
+        (meanMs - tailMs * k1 / 1.0) /
+        (spikeProb * k2 - spikeFactor * k1);
+    d.spikeMs = spike;
+    d.baseMs = tailMs - spike * spikeFactor;
+    if (d.spikeMs < 0 || d.baseMs <= 0)
+        panic("LatencyDistribution::fit: infeasible spike fit for mean=",
+              meanMs, " tail=", tailMs, " p=", spikeProb);
+    return d;
+}
+
+} // namespace ad::accel

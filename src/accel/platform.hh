@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Accelerator platform taxonomy and latency-distribution primitives for
+ * the paper's evaluation (Section 4/5): the four computing platforms of
+ * Table 2 (multicore Xeon CPU, Titan X Pascal GPU, Stratix V FPGA, and
+ * the ASIC trio -- Eyeriss-style CNN, EIE-style FC, and the paper's own
+ * 4 GHz feature-extraction ASIC of Table 3), the three computational
+ * bottleneck components (DET, TRA, LOC) plus the two light engines
+ * (FUSION, MOTPLAN), and the stochastic latency model that separates
+ * near-deterministic accelerators from heavy-tailed CPU execution.
+ */
+
+#ifndef AD_ACCEL_PLATFORM_HH
+#define AD_ACCEL_PLATFORM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace ad::accel {
+
+/** Computing platforms (Table 2). */
+enum class Platform { Cpu = 0, Gpu, Fpga, Asic };
+
+constexpr int kNumPlatforms = 4;
+
+/** Pipeline components characterized by the paper. */
+enum class Component { Det = 0, Tra, Loc, Fusion, MotPlan };
+
+constexpr int kNumBottlenecks = 3; ///< DET, TRA, LOC.
+
+const char* platformName(Platform p);
+const char* componentName(Component c);
+
+/** Hardware specification row from Table 2. */
+struct PlatformSpec
+{
+    const char* model;
+    double frequencyGhz;
+    int cores;              ///< cores / CUDA cores / DSPs.
+    double memoryGb;
+    double memoryBwGBs;
+    /** Peak single-precision throughput implied by the spec (GFLOPS). */
+    double peakGflops;
+};
+
+/** Table 2 lookup. */
+PlatformSpec platformSpec(Platform p);
+
+/**
+ * A component's latency distribution on a platform: a lognormal body
+ * (multiplicative execution jitter) plus an optional spike mixture
+ * modeling localization's relocalization events -- the widened map
+ * search that produces LOC's heavy tail (Section 5.1.2).
+ */
+struct LatencyDistribution
+{
+    double baseMs = 0;      ///< lognormal scale (median).
+    double sigma = 0;       ///< lognormal shape.
+    double spikeProb = 0;   ///< per-frame probability of a spike.
+    double spikeMs = 0;     ///< mean extra latency of a spike.
+
+    /** Draw one latency sample. */
+    double sample(Rng& rng) const;
+
+    /**
+     * Draw a sample whose lognormal body uses the given standard
+     * normal variate. Components sharing one physical platform
+     * experience the same congestion in a frame, so the system model
+     * draws one z per platform per frame and feeds it to every
+     * component on that platform -- which is why the paper's all-CPU
+     * end-to-end tail (9.1 s) is the *sum* of the component tails.
+     * Spike events (relocalization) remain independent.
+     */
+    double sampleGivenBody(double z, Rng& rng) const;
+
+    /** Analytic mean. */
+    double mean() const;
+
+    /**
+     * Approximate analytic 99.99th percentile: when spikes are more
+     * frequent than 1e-4 the tail is spike-dominated, otherwise the
+     * lognormal quantile applies.
+     */
+    double tail9999() const;
+
+    /** Monte Carlo summary over n samples. */
+    LatencySummary summarize(int n, Rng& rng) const;
+
+    /**
+     * Fit a distribution to a target (mean, p99.99) pair with the
+     * given spike probability (0 for pure lognormal). Used to anchor
+     * the platform models to measured data.
+     */
+    static LatencyDistribution fit(double meanMs, double tailMs,
+                                   double spikeProb = 0.0);
+};
+
+} // namespace ad::accel
+
+#endif // AD_ACCEL_PLATFORM_HH

@@ -1,0 +1,73 @@
+#include "accel/workload.hh"
+
+#include <cmath>
+
+#include "nn/models.hh"
+
+namespace ad::accel {
+
+nn::NetworkProfile
+scaleSpatial(const nn::NetworkProfile& profile, double factor)
+{
+    nn::NetworkProfile scaled = profile;
+    for (auto& l : scaled.layers) {
+        switch (l.kind) {
+          case nn::LayerKind::Conv:
+          case nn::LayerKind::Pool:
+          case nn::LayerKind::Activation:
+            l.flops = static_cast<std::uint64_t>(l.flops * factor);
+            l.inputBytes =
+                static_cast<std::uint64_t>(l.inputBytes * factor);
+            l.outputBytes =
+                static_cast<std::uint64_t>(l.outputBytes * factor);
+            break;
+          case nn::LayerKind::FullyConnected:
+            break; // feature vectors, not spatial maps
+        }
+    }
+    return scaled;
+}
+
+Workload
+standardWorkload()
+{
+    Workload w;
+    w.resolutionScale = 1.0;
+    w.det = nn::specProfile(nn::detectorSpec(416, 1.0, 4));
+    w.tra = nn::trackerProfile(227, 1.0);
+
+    // ORB over KITTI frames (1242 x 375) with the default 4-level,
+    // 1.2x pyramid: sum of 1/1.2^(2l) ~= 2.51 of the base image.
+    const double basePixels = 1242.0 * 375.0;
+    double pixels = 0;
+    double scale = 1.0;
+    for (int l = 0; l < 4; ++l) {
+        pixels += basePixels / (scale * scale);
+        scale *= 1.2;
+    }
+    w.fe.pixels = static_cast<std::uint64_t>(pixels);
+    // Keypoint budget 1000 halved per level: 1000+500+250+125.
+    w.fe.features = 1875;
+    w.fe.binaryTests = w.fe.features * 256;
+
+    // Figure 7: FE = 85.9% of LOC; the paper's CPU LOC mean is
+    // 40.8 ms, leaving 40.8 * 0.141 = 5.75 ms of host-side work.
+    w.locOthersCpuMs = 40.8 * 0.141;
+    return w;
+}
+
+Workload
+Workload::scaled(double newResolutionScale) const
+{
+    Workload w = *this;
+    const double factor = newResolutionScale / resolutionScale;
+    w.resolutionScale = newResolutionScale;
+    w.det = scaleSpatial(det, factor);
+    w.tra = scaleSpatial(tra, factor);
+    w.fe.pixels = static_cast<std::uint64_t>(fe.pixels * factor);
+    // Retained features are capped by the extractor budget; only the
+    // candidate stream grows with resolution.
+    return w;
+}
+
+} // namespace ad::accel

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Component workload descriptors for the accelerator platform models.
+ * The workloads are extracted from the real algorithm implementations
+ * (the full-scale network profiles of ad_nn and the ORB pipeline's
+ * pixel/feature counts), so the models consume the same inventory the
+ * measured system executes -- and resolution scaling (Figure 13) is
+ * applied mechanistically: spatial (conv/pool/pixel) work scales with
+ * pixel count while fully connected layers and per-feature work do
+ * not.
+ */
+
+#ifndef AD_ACCEL_WORKLOAD_HH
+#define AD_ACCEL_WORKLOAD_HH
+
+#include "nn/network.hh"
+
+namespace ad::accel {
+
+/** Feature-extraction workload (the LOC bottleneck portion). */
+struct FeWorkload
+{
+    std::uint64_t pixels = 0;      ///< pyramid pixels streamed.
+    std::uint64_t features = 0;    ///< descriptors computed.
+    std::uint64_t binaryTests = 0; ///< rBRIEF comparisons.
+};
+
+/** The per-frame workload of the three bottleneck components. */
+struct Workload
+{
+    double resolutionScale = 1.0;  ///< pixels relative to KITTI.
+    nn::NetworkProfile det;        ///< YOLO-style detector profile.
+    nn::NetworkProfile tra;        ///< GOTURN-style tracker profile.
+    FeWorkload fe;
+    /**
+     * LOC's non-FE share executed on the host regardless of the FE
+     * accelerator (map query, matching, RANSAC): Figure 7 measures FE
+     * at 85.9% of LOC, leaving 14.1% on the host.
+     */
+    double locOthersCpuMs = 0.0;
+
+    /**
+     * Derive the workload at a different camera resolution: conv,
+     * pool and activation FLOPs (and activation bytes) scale with the
+     * pixel ratio; FC layers and weight footprints do not; FE pixels
+     * scale while the retained feature count stays capped by the
+     * extractor budget.
+     */
+    Workload scaled(double newResolutionScale) const;
+};
+
+/**
+ * The paper-scale workload at the KITTI baseline resolution
+ * (1242 x 375): full-scale DET (416 input) and TRA (227 crops)
+ * profiles plus the ORB pyramid footprint.
+ */
+Workload standardWorkload();
+
+/** Spatial-scaling helper exposed for tests. */
+nn::NetworkProfile scaleSpatial(const nn::NetworkProfile& profile,
+                                double factor);
+
+} // namespace ad::accel
+
+#endif // AD_ACCEL_WORKLOAD_HH

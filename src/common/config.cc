@@ -1,0 +1,95 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace ad {
+
+Config
+Config::fromArgs(int argc, char** argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg(argv[i]);
+        if (!arg.starts_with("--"))
+            fatal("unexpected positional argument '", arg,
+                  "'; use --key=value");
+        arg.remove_prefix(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string_view::npos) {
+            cfg.set(std::string(arg.substr(0, eq)),
+                    std::string(arg.substr(eq + 1)));
+        } else if (i + 1 < argc &&
+                   !std::string_view(argv[i + 1]).starts_with("--")) {
+            cfg.set(std::string(arg), argv[i + 1]);
+            ++i;
+        } else {
+            cfg.set(std::string(arg), "true");
+        }
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string& key, const std::string& value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string& key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string& key, const std::string& def) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+int
+Config::getInt(const std::string& key, int def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "': '", it->second, "' is not an int");
+    return static_cast<int>(v);
+}
+
+double
+Config::getDouble(const std::string& key, double def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config key '", key, "': '", it->second,
+              "' is not a number");
+    return v;
+}
+
+bool
+Config::getBool(const std::string& key, bool def) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("config key '", key, "': '", v, "' is not a bool");
+}
+
+} // namespace ad

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal key=value configuration store with typed getters and a
+ * command-line parser (--key=value / --key value / --flag). Examples and
+ * bench harnesses use this for parameter sweeps instead of bespoke
+ * argument handling.
+ */
+
+#ifndef AD_COMMON_CONFIG_HH
+#define AD_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+
+namespace ad {
+
+/** String-keyed configuration with typed, defaulted lookups. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse command-line arguments of the form --key=value, --key value,
+     * or bare --flag (stored as "true"). Unrecognized positional
+     * arguments cause a fatal() since every tool here is flag-driven.
+     */
+    static Config fromArgs(int argc, char** argv);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string& key, const std::string& value);
+
+    bool has(const std::string& key) const;
+
+    /** Typed getters with defaults; fatal() on unconvertible values. */
+    std::string getString(const std::string& key,
+                          const std::string& def = "") const;
+    int getInt(const std::string& key, int def) const;
+    double getDouble(const std::string& key, double def) const;
+    bool getBool(const std::string& key, bool def) const;
+
+    const std::map<std::string, std::string>& entries() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace ad
+
+#endif // AD_COMMON_CONFIG_HH

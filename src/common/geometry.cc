@@ -1,0 +1,130 @@
+#include "common/geometry.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ad {
+
+Vec2
+Vec2::normalized() const
+{
+    const double n = norm();
+    if (n <= 0.0)
+        return {0.0, 0.0};
+    return {x / n, y / n};
+}
+
+Vec2
+Vec2::rotated(double angle) const
+{
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+}
+
+double
+wrapAngle(double angle)
+{
+    while (angle > M_PI)
+        angle -= 2.0 * M_PI;
+    while (angle <= -M_PI)
+        angle += 2.0 * M_PI;
+    return angle;
+}
+
+Vec2
+Pose2::transform(const Vec2& local) const
+{
+    return pos + local.rotated(theta);
+}
+
+Vec2
+Pose2::inverseTransform(const Vec2& world) const
+{
+    return (world - pos).rotated(-theta);
+}
+
+Pose2
+Pose2::compose(const Pose2& other) const
+{
+    return Pose2(transform(other.pos), wrapAngle(theta + other.theta));
+}
+
+Pose2
+Pose2::inverse() const
+{
+    const Vec2 p = (Vec2{0, 0} - pos).rotated(-theta);
+    return Pose2(p, wrapAngle(-theta));
+}
+
+double
+Pose2::distanceTo(const Pose2& other) const
+{
+    return (pos - other.pos).norm();
+}
+
+std::string
+Pose2::toString() const
+{
+    std::ostringstream oss;
+    oss << "(" << pos.x << ", " << pos.y << ", " << theta << " rad)";
+    return oss.str();
+}
+
+BBox
+BBox::fromCenter(double cx, double cy, double w, double h)
+{
+    return BBox(cx - w / 2, cy - h / 2, w, h);
+}
+
+bool
+BBox::contains(double px, double py) const
+{
+    return px >= x && px < x + w && py >= y && py < y + h;
+}
+
+BBox
+BBox::intersect(const BBox& o) const
+{
+    const double ix = std::max(x, o.x);
+    const double iy = std::max(y, o.y);
+    const double ix2 = std::min(xmax(), o.xmax());
+    const double iy2 = std::min(ymax(), o.ymax());
+    return BBox(ix, iy, ix2 - ix, iy2 - iy);
+}
+
+double
+BBox::iou(const BBox& o) const
+{
+    const double inter = intersect(o).area();
+    const double uni = area() + o.area() - inter;
+    if (uni <= 0.0)
+        return 0.0;
+    return inter / uni;
+}
+
+BBox
+BBox::inflated(double margin) const
+{
+    return BBox(x - margin, y - margin, w + 2 * margin, h + 2 * margin);
+}
+
+BBox
+BBox::clipped(double width, double height) const
+{
+    const double nx = std::clamp(x, 0.0, width);
+    const double ny = std::clamp(y, 0.0, height);
+    const double nx2 = std::clamp(xmax(), 0.0, width);
+    const double ny2 = std::clamp(ymax(), 0.0, height);
+    return BBox(nx, ny, nx2 - nx, ny2 - ny);
+}
+
+std::string
+BBox::toString() const
+{
+    std::ostringstream oss;
+    oss << "[" << x << ", " << y << "; " << w << " x " << h << "]";
+    return oss.str();
+}
+
+} // namespace ad

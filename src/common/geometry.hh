@@ -1,0 +1,127 @@
+/**
+ * @file
+ * 2D geometry primitives shared by the sensing, localization, fusion and
+ * planning subsystems: vectors, rigid poses (SE(2)), and axis-aligned
+ * bounding boxes with the IoU operations used for detection/tracking
+ * association.
+ *
+ * The world model is planar (x forward/east, y left/north, heading theta
+ * counter-clockwise from +x), which matches how the paper's pipeline
+ * fuses detections and vehicle location onto one coordinate space.
+ */
+
+#ifndef AD_COMMON_GEOMETRY_HH
+#define AD_COMMON_GEOMETRY_HH
+
+#include <cmath>
+#include <string>
+
+namespace ad {
+
+/** 2D vector / point. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2() = default;
+    Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+    Vec2 operator/(double s) const { return {x / s, y / s}; }
+    Vec2& operator+=(const Vec2& o) { x += o.x; y += o.y; return *this; }
+    Vec2& operator-=(const Vec2& o) { x -= o.x; y -= o.y; return *this; }
+
+    double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+    /** z-component of the 3D cross product. */
+    double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+    double norm() const { return std::hypot(x, y); }
+    double squaredNorm() const { return x * x + y * y; }
+    /** Unit vector; returns (0,0) for the zero vector. */
+    Vec2 normalized() const;
+    /** Rotate counter-clockwise by angle (radians). */
+    Vec2 rotated(double angle) const;
+};
+
+/** Wrap an angle to (-pi, pi]. */
+double wrapAngle(double angle);
+
+/**
+ * Rigid 2D pose: translation plus heading, i.e.\ an element of SE(2).
+ * Used for the ego vehicle, landmarks-relative transforms, and the
+ * fusion engine's camera-to-world projection.
+ */
+struct Pose2
+{
+    Vec2 pos;
+    double theta = 0.0; ///< heading, radians, CCW from +x.
+
+    Pose2() = default;
+    Pose2(double x, double y, double theta_) : pos(x, y), theta(theta_) {}
+    Pose2(const Vec2& p, double theta_) : pos(p), theta(theta_) {}
+
+    /** Map a point from this pose's local frame into the world frame. */
+    Vec2 transform(const Vec2& local) const;
+
+    /** Map a world point into this pose's local frame. */
+    Vec2 inverseTransform(const Vec2& world) const;
+
+    /** Compose: first apply other in this frame, then this. */
+    Pose2 compose(const Pose2& other) const;
+
+    /** The pose mapping world coordinates into this local frame. */
+    Pose2 inverse() const;
+
+    /** Euclidean distance between positions. */
+    double distanceTo(const Pose2& other) const;
+
+    std::string toString() const;
+};
+
+/**
+ * Axis-aligned bounding box in image (pixel) or world coordinates.
+ * Stored as min corner plus size; empty boxes have non-positive extent.
+ */
+struct BBox
+{
+    double x = 0.0; ///< min-x corner.
+    double y = 0.0; ///< min-y corner.
+    double w = 0.0;
+    double h = 0.0;
+
+    BBox() = default;
+    BBox(double x_, double y_, double w_, double h_)
+        : x(x_), y(y_), w(w_), h(h_) {}
+
+    /** Construct from a center point and size. */
+    static BBox fromCenter(double cx, double cy, double w, double h);
+
+    double area() const { return w > 0 && h > 0 ? w * h : 0.0; }
+    bool empty() const { return w <= 0 || h <= 0; }
+    double cx() const { return x + w / 2; }
+    double cy() const { return y + h / 2; }
+    double xmax() const { return x + w; }
+    double ymax() const { return y + h; }
+
+    bool contains(double px, double py) const;
+
+    /** Intersection box (possibly empty). */
+    BBox intersect(const BBox& o) const;
+
+    /** Intersection-over-union in [0, 1]. */
+    double iou(const BBox& o) const;
+
+    /** Box grown by the given margin on every side. */
+    BBox inflated(double margin) const;
+
+    /** Box clipped to [0,width) x [0,height). */
+    BBox clipped(double width, double height) const;
+
+    std::string toString() const;
+};
+
+} // namespace ad
+
+#endif // AD_COMMON_GEOMETRY_HH

@@ -1,0 +1,161 @@
+#include "common/image.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ad {
+
+Image::Image(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height)
+{
+    if (width < 0 || height < 0)
+        panic("Image: negative dimensions ", width, "x", height);
+    data_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+std::uint8_t
+Image::atClamped(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+void
+Image::fill(std::uint8_t value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Image::fillRect(const BBox& rect, std::uint8_t value)
+{
+    const int x0 = std::max(0, static_cast<int>(std::floor(rect.x)));
+    const int y0 = std::max(0, static_cast<int>(std::floor(rect.y)));
+    const int x1 = std::min(width_, static_cast<int>(std::ceil(rect.xmax())));
+    const int y1 = std::min(height_,
+                            static_cast<int>(std::ceil(rect.ymax())));
+    for (int y = y0; y < y1; ++y)
+        std::fill(row(y) + x0, row(y) + x1, value);
+}
+
+double
+Image::sampleBilinear(double x, double y) const
+{
+    x = std::clamp(x, 0.0, static_cast<double>(width_ - 1));
+    y = std::clamp(y, 0.0, static_cast<double>(height_ - 1));
+    const int x0 = static_cast<int>(x);
+    const int y0 = static_cast<int>(y);
+    const int x1 = std::min(x0 + 1, width_ - 1);
+    const int y1 = std::min(y0 + 1, height_ - 1);
+    const double fx = x - x0;
+    const double fy = y - y0;
+    const double top = at(x0, y0) * (1 - fx) + at(x1, y0) * fx;
+    const double bot = at(x0, y1) * (1 - fx) + at(x1, y1) * fx;
+    return top * (1 - fy) + bot * fy;
+}
+
+Image
+Image::resized(int newWidth, int newHeight) const
+{
+    Image out(newWidth, newHeight);
+    if (empty() || newWidth <= 0 || newHeight <= 0)
+        return out;
+    const double sx = static_cast<double>(width_) / newWidth;
+    const double sy = static_cast<double>(height_) / newHeight;
+    for (int y = 0; y < newHeight; ++y) {
+        const double srcY = (y + 0.5) * sy - 0.5;
+        for (int x = 0; x < newWidth; ++x) {
+            const double srcX = (x + 0.5) * sx - 0.5;
+            out.at(x, y) = static_cast<std::uint8_t>(
+                std::clamp(sampleBilinear(srcX, srcY), 0.0, 255.0));
+        }
+    }
+    return out;
+}
+
+Image
+Image::cropResized(const BBox& rect, int outW, int outH) const
+{
+    Image out(outW, outH);
+    if (empty() || rect.empty())
+        return out;
+    for (int y = 0; y < outH; ++y) {
+        const double srcY = rect.y + (y + 0.5) / outH * rect.h - 0.5;
+        for (int x = 0; x < outW; ++x) {
+            const double srcX = rect.x + (x + 0.5) / outW * rect.w - 0.5;
+            out.at(x, y) = static_cast<std::uint8_t>(
+                std::clamp(sampleBilinear(srcX, srcY), 0.0, 255.0));
+        }
+    }
+    return out;
+}
+
+Image
+Image::boxFiltered(int radius) const
+{
+    if (radius <= 0 || empty())
+        return *this;
+    IntegralImage integral(*this);
+    Image out(width_, height_);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            const int x0 = std::max(0, x - radius);
+            const int y0 = std::max(0, y - radius);
+            const int x1 = std::min(width_, x + radius + 1);
+            const int y1 = std::min(height_, y + radius + 1);
+            const std::uint64_t sum = integral.rectSum(x0, y0, x1, y1);
+            const std::uint64_t area =
+                static_cast<std::uint64_t>(x1 - x0) * (y1 - y0);
+            out.at(x, y) = static_cast<std::uint8_t>(sum / area);
+        }
+    }
+    return out;
+}
+
+double
+Image::meanIntensity() const
+{
+    if (empty())
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (const auto v : data_)
+        sum += v;
+    return static_cast<double>(sum) / static_cast<double>(data_.size());
+}
+
+IntegralImage::IntegralImage(const Image& img)
+    : width_(img.width()), height_(img.height())
+{
+    sums_.assign(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0);
+    for (int y = 0; y < height_; ++y) {
+        std::uint64_t rowSum = 0;
+        const std::uint8_t* src = img.row(y);
+        std::uint64_t* cur = sums_.data() +
+            static_cast<std::size_t>(y + 1) * (width_ + 1);
+        const std::uint64_t* prev = sums_.data() +
+            static_cast<std::size_t>(y) * (width_ + 1);
+        for (int x = 0; x < width_; ++x) {
+            rowSum += src[x];
+            cur[x + 1] = prev[x + 1] + rowSum;
+        }
+    }
+}
+
+std::uint64_t
+IntegralImage::rectSum(int x0, int y0, int x1, int y1) const
+{
+    x0 = std::clamp(x0, 0, width_);
+    y0 = std::clamp(y0, 0, height_);
+    x1 = std::clamp(x1, 0, width_);
+    y1 = std::clamp(y1, 0, height_);
+    if (x1 <= x0 || y1 <= y0)
+        return 0;
+    const auto stride = static_cast<std::size_t>(width_ + 1);
+    return sums_[y1 * stride + x1] - sums_[y0 * stride + x1] -
+           sums_[y1 * stride + x0] + sums_[y0 * stride + x0];
+}
+
+} // namespace ad

@@ -1,0 +1,44 @@
+#include "common/logging.hh"
+
+#include <atomic>
+
+namespace ad {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Info};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(std::ostream& os, std::string_view tag, const std::string& msg)
+{
+    os << tag << ": " << msg << '\n';
+}
+
+void
+abortWith(std::string_view tag, const std::string& msg)
+{
+    std::cerr << tag << ": " << msg << std::endl;
+    if (tag == "panic")
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace ad

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, modeled after the gem5
+ * logging interface: inform() and warn() report conditions without
+ * stopping execution, fatal() aborts on user error (bad configuration),
+ * and panic() aborts on internal invariant violations (library bugs).
+ */
+
+#ifndef AD_COMMON_LOGGING_HH
+#define AD_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace ad {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log-level accessor. Defaults to Info. */
+LogLevel logLevel();
+
+/** Set the global log level (e.g.\ Silent for benchmark runs). */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit a tagged line to the given stream. */
+void emit(std::ostream& os, std::string_view tag, const std::string& msg);
+
+[[noreturn]] void abortWith(std::string_view tag, const std::string& msg);
+
+} // namespace detail
+
+/**
+ * Report normal operating status the user should know but not worry
+ * about.
+ */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit(std::clog, "info", detail::concat(args...));
+}
+
+/** Report suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit(std::clog, "warn", detail::concat(args...));
+}
+
+/**
+ * Terminate because of a user-correctable condition (bad configuration,
+ * invalid arguments). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::abortWith("fatal", detail::concat(args...));
+}
+
+/**
+ * Terminate because an internal invariant was violated; this indicates a
+ * bug in the library itself, never a user error.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::abortWith("panic", detail::concat(args...));
+}
+
+} // namespace ad
+
+#endif // AD_COMMON_LOGGING_HH

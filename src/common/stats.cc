@@ -1,0 +1,158 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ad {
+
+std::string
+LatencySummary::toString(const std::string& unit) const
+{
+    std::ostringstream oss;
+    oss << "n=" << count
+        << " mean=" << mean << unit
+        << " p50=" << p50 << unit
+        << " p95=" << p95 << unit
+        << " p99=" << p99 << unit
+        << " p99.99=" << p9999 << unit
+        << " worst=" << worst << unit;
+    return oss.str();
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t expected)
+{
+    samples_.reserve(expected);
+}
+
+void
+LatencyRecorder::record(double value)
+{
+    samples_.push_back(value);
+    sortedValid_ = false;
+}
+
+void
+LatencyRecorder::merge(const LatencyRecorder& other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sortedValid_ = false;
+}
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+void
+LatencyRecorder::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+double
+LatencyRecorder::percentile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (q < 0.0 || q > 1.0)
+        panic("percentile: quantile ", q, " outside [0, 1]");
+    ensureSorted();
+    // Nearest-rank: the smallest value such that at least ceil(q * n)
+    // samples are <= it.
+    const auto n = sorted_.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted_[rank - 1];
+}
+
+double
+LatencyRecorder::worst() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.back();
+}
+
+double
+LatencyRecorder::best() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.front();
+}
+
+LatencySummary
+LatencyRecorder::summary() const
+{
+    LatencySummary s;
+    s.count = samples_.size();
+    if (!s.count)
+        return s;
+    s.mean = mean();
+    s.p50 = percentile(0.50);
+    s.p95 = percentile(0.95);
+    s.p99 = percentile(0.99);
+    s.p9999 = percentile(0.9999);
+    s.worst = worst();
+    s.best = best();
+    return s;
+}
+
+void
+LatencyRecorder::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+}
+
+void
+RunningStat::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace ad

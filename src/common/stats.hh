@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Latency statistics used throughout the reproduction. The paper's
+ * predictability constraint (Section 2.4.2) mandates evaluating
+ * autonomous-driving systems by tail latency (99th-, 99.99th-percentile)
+ * rather than mean latency; LatencyRecorder computes exact quantiles over
+ * recorded samples, and LatencySummary carries the standard set the paper
+ * reports (mean, p50, p95, p99, p99.99, worst case).
+ */
+
+#ifndef AD_COMMON_STATS_HH
+#define AD_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ad {
+
+/** The quantile summary the paper reports for every experiment. */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p9999 = 0.0; ///< 99.99th percentile, the paper's tail metric.
+    double worst = 0.0;
+    double best = 0.0;
+
+    /** One-line human-readable rendering (values in the stored unit). */
+    std::string toString(const std::string& unit = "ms") const;
+};
+
+/**
+ * Accumulates latency samples and computes exact empirical quantiles.
+ *
+ * Samples are stored (not sketched): figure-regeneration runs record at
+ * most a few hundred thousand samples, where exactness matters more than
+ * memory. Quantiles use the nearest-rank definition on the sorted sample,
+ * matching how the paper reports measured percentiles.
+ */
+class LatencyRecorder
+{
+  public:
+    LatencyRecorder() = default;
+
+    /** Pre-allocate for n samples. */
+    explicit LatencyRecorder(std::size_t expected);
+
+    /** Record one sample (any unit; the recorder is unit-agnostic). */
+    void record(double value);
+
+    /** Merge all samples from another recorder. */
+    void merge(const LatencyRecorder& other);
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** True if no samples have been recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Exact empirical quantile via nearest-rank on the sorted samples.
+     * @param q quantile in [0, 1]; e.g.\ 0.9999 for the paper's tail.
+     */
+    double percentile(double q) const;
+
+    /** Largest recorded sample; 0 when empty. */
+    double worst() const;
+
+    /** Smallest recorded sample; 0 when empty. */
+    double best() const;
+
+    /** Compute the full summary in one pass over the sorted samples. */
+    LatencySummary summary() const;
+
+    /** Drop all samples. */
+    void clear();
+
+    /** Read-only access to the raw samples (unsorted, insertion order). */
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    /** Sort the scratch copy if new samples arrived since the last sort. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+};
+
+/**
+ * Online mean/variance accumulator (Welford) for cheap streaming stats
+ * where full quantiles are not needed (e.g.\ per-layer profiling).
+ */
+class RunningStat
+{
+  public:
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace ad
+
+#endif // AD_COMMON_STATS_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the object-tracking engine: the paper
+ * (Section 3.1.2) launches a pool of trackers at startup so that
+ * incoming tracking requests never pay initialization cost. The pool
+ * also parallelizes the DET and LOC engines' frame processing in
+ * measured mode.
+ */
+
+#ifndef AD_COMMON_THREAD_POOL_HH
+#define AD_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ad {
+
+/**
+ * A simple fixed-size thread pool with a FIFO task queue and a
+ * completion barrier (waitIdle).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn the given number of workers (at least 1). */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void waitIdle();
+
+    std::size_t workerCount() const { return threads_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable idle_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace ad
+
+#endif // AD_COMMON_THREAD_POOL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Wall-clock timing helpers for measured-mode characterization (the
+ * paper's Figure 6/7 methodology): a steady-clock stopwatch returning
+ * milliseconds, and a scoped timer that accumulates into a double.
+ */
+
+#ifndef AD_COMMON_TIME_HH
+#define AD_COMMON_TIME_HH
+
+#include <chrono>
+
+namespace ad {
+
+/** Steady-clock stopwatch; all readings are in milliseconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from now. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Milliseconds elapsed since construction or the last reset. */
+    double
+    elapsedMs() const
+    {
+        const auto d = Clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(d).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * RAII timer accumulating the scope's duration (ms) into a target.
+ * Used to attribute cycles to phases (e.g.\ DNN vs. decode inside DET)
+ * for the Figure 7 cycle-breakdown measurement.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(double& accumulatorMs)
+        : accumulator_(accumulatorMs) {}
+
+    ~ScopedTimer() { accumulator_ += watch_.elapsedMs(); }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    double& accumulator_;
+    Stopwatch watch_;
+};
+
+} // namespace ad
+
+#endif // AD_COMMON_TIME_HH

@@ -1,0 +1,73 @@
+#include "fusion/fusion.hh"
+
+#include "common/logging.hh"
+#include "common/time.hh"
+
+namespace ad::fusion {
+
+FusionEngine::FusionEngine(const sensors::Camera* camera,
+                           const FusionParams& params)
+    : camera_(camera), params_(params)
+{
+    if (!camera)
+        fatal("FusionEngine: camera must be non-null");
+}
+
+FusedScene
+FusionEngine::fuse(const std::vector<track::TrackedObject>& tracks,
+                   const Pose2& egoPose, double dt, double timestamp)
+{
+    Stopwatch watch;
+    FusedScene scene;
+    scene.egoPose = egoPose;
+    scene.timestamp = timestamp;
+    if (hasLastEgo_ && dt > 1e-6)
+        scene.egoVelocity = (egoPose.pos - lastEgoPose_.pos) / dt;
+    lastEgoPose_ = egoPose;
+    hasLastEgo_ = true;
+
+    std::map<int, Vec2> current;
+    std::map<int, ConstantVelocityKalman> liveFilters;
+    for (const auto& t : tracks) {
+        // Back-project the box's bottom-center: the object's ground
+        // contact point.
+        Vec2 world;
+        if (!camera_->unprojectGround(egoPose, t.box.cx(), t.box.ymax(),
+                                      world))
+            continue;
+        FusedObject obj;
+        obj.trackId = t.id;
+        obj.cls = t.cls;
+        obj.imageBox = t.box;
+
+        if (params_.useKalman) {
+            auto it = filters_.find(t.id);
+            if (it == filters_.end()) {
+                ConstantVelocityKalman kf(params_.kalman);
+                kf.initialize(world);
+                it = filters_.emplace(t.id, kf).first;
+            } else {
+                it->second.predict(dt);
+                it->second.update(world);
+            }
+            obj.worldPos = it->second.position();
+            obj.worldVelocity = it->second.velocity();
+            liveFilters.insert(*it);
+        } else {
+            obj.worldPos = world;
+            const auto prev = lastWorldPos_.find(t.id);
+            if (prev != lastWorldPos_.end() && dt > 1e-6)
+                obj.worldVelocity = (world - prev->second) / dt;
+        }
+        obj.depth = (obj.worldPos - egoPose.pos).norm();
+        current[t.id] = world;
+        scene.objects.push_back(obj);
+    }
+    lastWorldPos_ = std::move(current);
+    filters_ = std::move(liveFilters); // prune filters of dead tracks
+
+    lastFuseMs_ = watch.elapsedMs();
+    return scene;
+}
+
+} // namespace ad::fusion

@@ -1,0 +1,97 @@
+#include "fusion/kalman.hh"
+
+#include "common/logging.hh"
+
+namespace ad::fusion {
+
+ConstantVelocityKalman::ConstantVelocityKalman(const KalmanParams& params)
+    : params_(params)
+{
+    if (params.measurementNoise <= 0 || params.processNoiseAccel <= 0)
+        fatal("ConstantVelocityKalman: noise parameters must be "
+              "positive");
+}
+
+void
+ConstantVelocityKalman::initialize(const Vec2& position)
+{
+    state_[0][0] = position.x;
+    state_[1][0] = position.y;
+    state_[0][1] = 0;
+    state_[1][1] = 0;
+    const double r = params_.measurementNoise * params_.measurementNoise;
+    for (int axis = 0; axis < 2; ++axis) {
+        cov_[axis][0][0] = r;
+        cov_[axis][0][1] = 0;
+        cov_[axis][1][0] = 0;
+        cov_[axis][1][1] = params_.initialVelocityVar;
+    }
+    initialized_ = true;
+}
+
+void
+ConstantVelocityKalman::predict(double dt)
+{
+    if (!initialized_)
+        panic("Kalman predict before initialize");
+    if (dt <= 0)
+        return;
+    const double q = params_.processNoiseAccel *
+                     params_.processNoiseAccel;
+    // Discrete white-noise-acceleration process covariance.
+    const double q11 = q * dt * dt * dt * dt / 4;
+    const double q12 = q * dt * dt * dt / 2;
+    const double q22 = q * dt * dt;
+    for (int axis = 0; axis < 2; ++axis) {
+        // x' = F x with F = [1 dt; 0 1].
+        state_[axis][0] += state_[axis][1] * dt;
+        // P' = F P F^T + Q.
+        double (&p)[2][2] = cov_[axis];
+        const double p00 = p[0][0] + dt * (p[1][0] + p[0][1]) +
+                           dt * dt * p[1][1] + q11;
+        const double p01 = p[0][1] + dt * p[1][1] + q12;
+        const double p10 = p[1][0] + dt * p[1][1] + q12;
+        const double p11 = p[1][1] + q22;
+        p[0][0] = p00;
+        p[0][1] = p01;
+        p[1][0] = p10;
+        p[1][1] = p11;
+    }
+}
+
+void
+ConstantVelocityKalman::update(const Vec2& measuredPosition)
+{
+    if (!initialized_) {
+        initialize(measuredPosition);
+        return;
+    }
+    const double r = params_.measurementNoise * params_.measurementNoise;
+    const double meas[2] = {measuredPosition.x, measuredPosition.y};
+    for (int axis = 0; axis < 2; ++axis) {
+        double (&p)[2][2] = cov_[axis];
+        const double s = p[0][0] + r;     // innovation variance
+        const double k0 = p[0][0] / s;    // Kalman gain (pos)
+        const double k1 = p[1][0] / s;    // Kalman gain (vel)
+        const double innovation = meas[axis] - state_[axis][0];
+        state_[axis][0] += k0 * innovation;
+        state_[axis][1] += k1 * innovation;
+        // P = (I - K H) P.
+        const double p00 = (1 - k0) * p[0][0];
+        const double p01 = (1 - k0) * p[0][1];
+        const double p10 = p[1][0] - k1 * p[0][0];
+        const double p11 = p[1][1] - k1 * p[0][1];
+        p[0][0] = p00;
+        p[0][1] = p01;
+        p[1][0] = p10;
+        p[1][1] = p11;
+    }
+}
+
+double
+ConstantVelocityKalman::positionVariance() const
+{
+    return (cov_[0][0][0] + cov_[1][0][0]) / 2;
+}
+
+} // namespace ad::fusion

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Constant-velocity Kalman filter over ground-plane object states.
+ * The fusion engine back-projects each tracked box to a world
+ * position; raw frame-to-frame differencing of those projections is
+ * noisy (one pixel of box jitter is decimeters of depth at range),
+ * and the motion planner's spatiotemporal obstacle prediction needs
+ * stable velocities. A per-object filter with a constant-velocity
+ * process model smooths both.
+ */
+
+#ifndef AD_FUSION_KALMAN_HH
+#define AD_FUSION_KALMAN_HH
+
+#include "common/geometry.hh"
+
+namespace ad::fusion {
+
+/** Filter tuning. */
+struct KalmanParams
+{
+    double processNoiseAccel = 3.0;  ///< accel stddev (m/s^2).
+    double measurementNoise = 0.8;   ///< position stddev (m).
+    double initialVelocityVar = 100.0;
+};
+
+/**
+ * Constant-velocity Kalman filter on state (x, y, vx, vy) with
+ * position-only measurements. Position and velocity pairs decouple,
+ * so the filter runs two independent 2x2 filters (one per axis),
+ * keeping the math explicit and allocation-free.
+ */
+class ConstantVelocityKalman
+{
+  public:
+    explicit ConstantVelocityKalman(const KalmanParams& params = {});
+
+    /** Initialize at a measured position with unknown velocity. */
+    void initialize(const Vec2& position);
+
+    bool initialized() const { return initialized_; }
+
+    /** Propagate the state dt seconds forward. */
+    void predict(double dt);
+
+    /** Fuse a position measurement. */
+    void update(const Vec2& measuredPosition);
+
+    Vec2 position() const { return {state_[0][0], state_[1][0]}; }
+    Vec2 velocity() const { return {state_[0][1], state_[1][1]}; }
+
+    /** Position variance (per-axis average), for gating/diagnostics. */
+    double positionVariance() const;
+
+  private:
+    KalmanParams params_;
+    bool initialized_ = false;
+    // Per-axis state [pos, vel] and covariance.
+    double state_[2][2] = {{0, 0}, {0, 0}};
+    double cov_[2][2][2] = {}; ///< [axis][row][col].
+};
+
+} // namespace ad::fusion
+
+#endif // AD_FUSION_KALMAN_HH

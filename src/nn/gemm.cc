@@ -1,0 +1,67 @@
+#include "nn/gemm.hh"
+
+#include <algorithm>
+
+namespace ad::nn {
+
+namespace {
+
+// Block sizes chosen so one A-block plus one B-panel fit comfortably in
+// L1/L2 on commodity cores.
+constexpr std::size_t blockM = 64;
+constexpr std::size_t blockK = 256;
+
+} // namespace
+
+void
+gemm(std::size_t m, std::size_t n, std::size_t k,
+     const float* a, const float* b, float* c)
+{
+    for (std::size_t i0 = 0; i0 < m; i0 += blockM) {
+        const std::size_t iEnd = std::min(i0 + blockM, m);
+        for (std::size_t k0 = 0; k0 < k; k0 += blockK) {
+            const std::size_t kEnd = std::min(k0 + blockK, k);
+            for (std::size_t i = i0; i < iEnd; ++i) {
+                float* cRow = c + i * n;
+                const float* aRow = a + i * k;
+                for (std::size_t kk = k0; kk < kEnd; ++kk) {
+                    // No zero-skipping: constructed weights are sparse,
+                    // and skipping would make measured latency depend on
+                    // weight values rather than network shape.
+                    const float aVal = aRow[kk];
+                    const float* bRow = b + kk * n;
+                    for (std::size_t j = 0; j < n; ++j)
+                        cRow[j] += aVal * bRow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmNaive(std::size_t m, std::size_t n, std::size_t k,
+          const float* a, const float* b, float* c)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = c[i * n + j];
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a[i * k + kk] * b[kk * n + j];
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+void
+gemv(std::size_t m, std::size_t k, const float* a, const float* x, float* y)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* row = a + i * k;
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < k; ++j)
+            acc += row[j] * x[j];
+        y[i] += acc;
+    }
+}
+
+} // namespace ad::nn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Single-precision matrix multiplication kernel. Convolution lowers to
+ * GEMM via im2col (the same scheme cuDNN-era CPU backends used), so this
+ * kernel carries essentially all DNN compute in measured mode -- the
+ * paper finds the DNN portion is 99%+ of DET and TRA cycles, making this
+ * the hottest loop in the repository.
+ */
+
+#ifndef AD_NN_GEMM_HH
+#define AD_NN_GEMM_HH
+
+#include <cstddef>
+
+namespace ad::nn {
+
+/**
+ * C += A * B for row-major matrices.
+ *
+ * @param m rows of A and C.
+ * @param n columns of B and C.
+ * @param k columns of A / rows of B.
+ * @param a m x k matrix.
+ * @param b k x n matrix.
+ * @param c m x n accumulator (not cleared).
+ *
+ * Blocked i-k-j loop order with unit-stride inner loops; no explicit
+ * SIMD so the compiler's auto-vectorizer applies.
+ */
+void gemm(std::size_t m, std::size_t n, std::size_t k,
+          const float* a, const float* b, float* c);
+
+/**
+ * Reference implementation (naive triple loop) used by the test suite
+ * to validate gemm() over random shapes.
+ */
+void gemmNaive(std::size_t m, std::size_t n, std::size_t k,
+               const float* a, const float* b, float* c);
+
+/** y += A * x for row-major A (m x k); the fully connected layer core. */
+void gemv(std::size_t m, std::size_t k, const float* a, const float* x,
+          float* y);
+
+} // namespace ad::nn
+
+#endif // AD_NN_GEMM_HH

@@ -1,0 +1,408 @@
+#include "nn/layers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/gemm.hh"
+
+namespace ad::nn {
+
+const char*
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::Pool: return "pool";
+      case LayerKind::Activation: return "act";
+      case LayerKind::FullyConnected: return "fc";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * im2col: unfold kernel-sized patches of the input into columns so the
+ * convolution becomes one GEMM. Output is (inC * k * k) x (outH * outW),
+ * row-major.
+ */
+void
+im2col(const Tensor& in, int kernel, int stride, int pad, int outH,
+       int outW, std::vector<float>& cols)
+{
+    const int inC = in.channels();
+    const int inH = in.height();
+    const int inW = in.width();
+    cols.assign(static_cast<std::size_t>(inC) * kernel * kernel * outH *
+                outW, 0.0f);
+    std::size_t rowIdx = 0;
+    for (int c = 0; c < inC; ++c) {
+        const float* plane = in.channel(c);
+        for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+                float* dst = cols.data() +
+                    rowIdx * static_cast<std::size_t>(outH) * outW;
+                ++rowIdx;
+                for (int oy = 0; oy < outH; ++oy) {
+                    const int iy = oy * stride - pad + ky;
+                    if (iy < 0 || iy >= inH) {
+                        dst += outW;
+                        continue;
+                    }
+                    const float* srcRow = plane +
+                        static_cast<std::size_t>(iy) * inW;
+                    for (int ox = 0; ox < outW; ++ox) {
+                        const int ix = ox * stride - pad + kx;
+                        *dst++ = (ix < 0 || ix >= inW) ? 0.0f : srcRow[ix];
+                    }
+                }
+            }
+        }
+    }
+}
+
+int
+convOutDim(int in, int kernel, int stride, int pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace
+
+Conv2D::Conv2D(std::string name, int inChannels, int outChannels,
+               int kernel, int stride, int pad)
+    : Layer(std::move(name)), inChannels_(inChannels),
+      outChannels_(outChannels), kernel_(kernel), stride_(stride), pad_(pad)
+{
+    if (inChannels <= 0 || outChannels <= 0 || kernel <= 0 || stride <= 0 ||
+        pad < 0)
+        panic("Conv2D ", this->name(), ": invalid geometry");
+    weights_.assign(static_cast<std::size_t>(outChannels) * inChannels *
+                    kernel * kernel, 0.0f);
+    bias_.assign(outChannels, 0.0f);
+}
+
+Shape
+Conv2D::outputShape(const Shape& in) const
+{
+    if (in.c != inChannels_)
+        panic("Conv2D ", name(), ": expected ", inChannels_,
+              " input channels, got ", in.c);
+    const int oh = convOutDim(in.h, kernel_, stride_, pad_);
+    const int ow = convOutDim(in.w, kernel_, stride_, pad_);
+    if (oh <= 0 || ow <= 0)
+        panic("Conv2D ", name(), ": input ", in.h, "x", in.w,
+              " too small for kernel");
+    return {outChannels_, oh, ow};
+}
+
+Tensor
+Conv2D::forward(const Tensor& in) const
+{
+    const Shape out = outputShape({in.channels(), in.height(), in.width()});
+    Tensor result(out.c, out.h, out.w);
+
+    static thread_local std::vector<float> cols;
+    im2col(in, kernel_, stride_, pad_, out.h, out.w, cols);
+
+    const std::size_t m = outChannels_;
+    const std::size_t k = static_cast<std::size_t>(inChannels_) * kernel_ *
+                          kernel_;
+    const std::size_t n = static_cast<std::size_t>(out.h) * out.w;
+    gemm(m, n, k, weights_.data(), cols.data(), result.data());
+
+    for (int oc = 0; oc < out.c; ++oc) {
+        const float b = bias_[oc];
+        if (b == 0.0f)
+            continue;
+        float* plane = result.channel(oc);
+        for (std::size_t i = 0; i < n; ++i)
+            plane[i] += b;
+    }
+    return result;
+}
+
+LayerProfile
+Conv2D::profile(const Shape& in) const
+{
+    const Shape out = outputShape(in);
+    LayerProfile p;
+    p.name = name();
+    p.kind = kind();
+    p.flops = 2ULL * outChannels_ * inChannels_ * kernel_ * kernel_ *
+              out.h * out.w;
+    p.weightBytes = (weights_.size() + bias_.size()) * sizeof(float);
+    p.inputBytes = in.bytes();
+    p.outputBytes = out.bytes();
+    return p;
+}
+
+void
+Conv2D::setWeight(int oc, int ic, int ky, int kx, float value)
+{
+    const std::size_t i =
+        ((static_cast<std::size_t>(oc) * inChannels_ + ic) * kernel_ + ky) *
+        kernel_ + kx;
+    weights_[i] = value;
+}
+
+void
+foldBatchNorm(Conv2D& conv, const BatchNormParams& bn)
+{
+    const auto oc = static_cast<std::size_t>(conv.outChannels());
+    if (bn.gamma.size() != oc || bn.beta.size() != oc ||
+        bn.mean.size() != oc || bn.variance.size() != oc)
+        fatal("foldBatchNorm: parameter sizes must equal ",
+              conv.outChannels(), " output channels");
+    const std::size_t filterSize =
+        static_cast<std::size_t>(conv.inChannels()) * conv.kernel() *
+        conv.kernel();
+    for (std::size_t c = 0; c < oc; ++c) {
+        const float scale =
+            bn.gamma[c] / std::sqrt(bn.variance[c] + bn.epsilon);
+        float* w = conv.weights().data() + c * filterSize;
+        for (std::size_t i = 0; i < filterSize; ++i)
+            w[i] *= scale;
+        conv.bias()[c] =
+            scale * (conv.bias()[c] - bn.mean[c]) + bn.beta[c];
+    }
+}
+
+MaxPool::MaxPool(std::string name, int kernel, int stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride)
+{
+    if (kernel <= 0 || stride <= 0)
+        panic("MaxPool ", this->name(), ": invalid geometry");
+}
+
+Shape
+MaxPool::outputShape(const Shape& in) const
+{
+    // Guard before dividing: (in - kernel) / stride truncates toward
+    // zero for negative values, which would "round" an undersized
+    // input up to a 1x1 output.
+    if (in.h < kernel_ || in.w < kernel_)
+        panic("MaxPool ", name(), ": input ", in.h, "x", in.w,
+              " too small");
+    return {in.c, (in.h - kernel_) / stride_ + 1,
+            (in.w - kernel_) / stride_ + 1};
+}
+
+Tensor
+MaxPool::forward(const Tensor& in) const
+{
+    const Shape out = outputShape({in.channels(), in.height(), in.width()});
+    Tensor result(out.c, out.h, out.w);
+    for (int c = 0; c < out.c; ++c) {
+        const float* src = in.channel(c);
+        float* dst = result.channel(c);
+        for (int oy = 0; oy < out.h; ++oy) {
+            for (int ox = 0; ox < out.w; ++ox) {
+                float best = -INFINITY;
+                for (int ky = 0; ky < kernel_; ++ky) {
+                    const float* row = src +
+                        static_cast<std::size_t>(oy * stride_ + ky) *
+                        in.width() + ox * stride_;
+                    for (int kx = 0; kx < kernel_; ++kx)
+                        best = std::max(best, row[kx]);
+                }
+                dst[static_cast<std::size_t>(oy) * out.w + ox] = best;
+            }
+        }
+    }
+    return result;
+}
+
+LayerProfile
+MaxPool::profile(const Shape& in) const
+{
+    const Shape out = outputShape(in);
+    LayerProfile p;
+    p.name = name();
+    p.kind = kind();
+    // One comparison per window element, counted as one op.
+    p.flops = static_cast<std::uint64_t>(out.elements()) * kernel_ * kernel_;
+    p.weightBytes = 0;
+    p.inputBytes = in.bytes();
+    p.outputBytes = out.bytes();
+    return p;
+}
+
+AvgPool::AvgPool(std::string name, int kernel, int stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride)
+{
+    if (kernel <= 0 || stride <= 0)
+        panic("AvgPool ", this->name(), ": invalid geometry");
+}
+
+Shape
+AvgPool::outputShape(const Shape& in) const
+{
+    // See MaxPool::outputShape: guard before the truncating division.
+    if (in.h < kernel_ || in.w < kernel_)
+        panic("AvgPool ", name(), ": input ", in.h, "x", in.w,
+              " too small");
+    return {in.c, (in.h - kernel_) / stride_ + 1,
+            (in.w - kernel_) / stride_ + 1};
+}
+
+Tensor
+AvgPool::forward(const Tensor& in) const
+{
+    const Shape out = outputShape({in.channels(), in.height(), in.width()});
+    Tensor result(out.c, out.h, out.w);
+    const float norm = 1.0f / static_cast<float>(kernel_ * kernel_);
+    for (int c = 0; c < out.c; ++c) {
+        const float* src = in.channel(c);
+        float* dst = result.channel(c);
+        for (int oy = 0; oy < out.h; ++oy) {
+            for (int ox = 0; ox < out.w; ++ox) {
+                float sum = 0;
+                for (int ky = 0; ky < kernel_; ++ky) {
+                    const float* row = src +
+                        static_cast<std::size_t>(oy * stride_ + ky) *
+                        in.width() + ox * stride_;
+                    for (int kx = 0; kx < kernel_; ++kx)
+                        sum += row[kx];
+                }
+                dst[static_cast<std::size_t>(oy) * out.w + ox] =
+                    sum * norm;
+            }
+        }
+    }
+    return result;
+}
+
+LayerProfile
+AvgPool::profile(const Shape& in) const
+{
+    const Shape out = outputShape(in);
+    LayerProfile p;
+    p.name = name();
+    p.kind = kind();
+    p.flops = static_cast<std::uint64_t>(out.elements()) * kernel_ *
+              kernel_;
+    p.inputBytes = in.bytes();
+    p.outputBytes = out.bytes();
+    return p;
+}
+
+Softmax::Softmax(std::string name) : Layer(std::move(name))
+{
+}
+
+Tensor
+Softmax::forward(const Tensor& in) const
+{
+    // Per spatial position, normalize across channels (YOLO applies
+    // softmax over class channels per grid cell).
+    Tensor out(in.channels(), in.height(), in.width());
+    const int c = in.channels();
+    for (int y = 0; y < in.height(); ++y) {
+        for (int x = 0; x < in.width(); ++x) {
+            float maxV = in.at(0, y, x);
+            for (int ci = 1; ci < c; ++ci)
+                maxV = std::max(maxV, in.at(ci, y, x));
+            float sum = 0;
+            for (int ci = 0; ci < c; ++ci) {
+                const float e = std::exp(in.at(ci, y, x) - maxV);
+                out.at(ci, y, x) = e;
+                sum += e;
+            }
+            for (int ci = 0; ci < c; ++ci)
+                out.at(ci, y, x) /= sum;
+        }
+    }
+    return out;
+}
+
+LayerProfile
+Softmax::profile(const Shape& in) const
+{
+    LayerProfile p;
+    p.name = name();
+    p.kind = kind();
+    // exp + two passes per element, counted as ~4 ops each.
+    p.flops = in.elements() * 4;
+    p.inputBytes = in.bytes();
+    p.outputBytes = in.bytes();
+    return p;
+}
+
+Activation::Activation(std::string name, float leakySlope)
+    : Layer(std::move(name)), leakySlope_(leakySlope)
+{
+}
+
+Tensor
+Activation::forward(const Tensor& in) const
+{
+    Tensor out = in;
+    float* data = out.data();
+    const std::size_t n = out.size();
+    const float slope = leakySlope_;
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = data[i] > 0.0f ? data[i] : slope * data[i];
+    return out;
+}
+
+LayerProfile
+Activation::profile(const Shape& in) const
+{
+    LayerProfile p;
+    p.name = name();
+    p.kind = kind();
+    p.flops = in.elements();
+    p.weightBytes = 0;
+    p.inputBytes = in.bytes();
+    p.outputBytes = in.bytes();
+    return p;
+}
+
+FullyConnected::FullyConnected(std::string name, int inFeatures,
+                               int outFeatures)
+    : Layer(std::move(name)), inFeatures_(inFeatures),
+      outFeatures_(outFeatures)
+{
+    if (inFeatures <= 0 || outFeatures <= 0)
+        panic("FullyConnected ", this->name(), ": invalid geometry");
+    weights_.assign(static_cast<std::size_t>(outFeatures) * inFeatures,
+                    0.0f);
+    bias_.assign(outFeatures, 0.0f);
+}
+
+Shape
+FullyConnected::outputShape(const Shape& in) const
+{
+    if (static_cast<int>(in.elements()) != inFeatures_)
+        panic("FullyConnected ", name(), ": expected ", inFeatures_,
+              " inputs, got ", in.elements());
+    return {outFeatures_, 1, 1};
+}
+
+Tensor
+FullyConnected::forward(const Tensor& in) const
+{
+    outputShape({in.channels(), in.height(), in.width()});
+    Tensor out(outFeatures_, 1, 1);
+    std::copy(bias_.begin(), bias_.end(), out.data());
+    gemv(outFeatures_, inFeatures_, weights_.data(), in.data(), out.data());
+    return out;
+}
+
+LayerProfile
+FullyConnected::profile(const Shape& in) const
+{
+    const Shape out = outputShape(in);
+    LayerProfile p;
+    p.name = name();
+    p.kind = kind();
+    p.flops = 2ULL * inFeatures_ * outFeatures_;
+    p.weightBytes = (weights_.size() + bias_.size()) * sizeof(float);
+    p.inputBytes = in.bytes();
+    p.outputBytes = out.bytes();
+    return p;
+}
+
+} // namespace ad::nn

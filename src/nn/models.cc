@@ -1,0 +1,352 @@
+#include "nn/models.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ad::nn {
+
+namespace {
+
+/** Apply the width multiplier with a floor of 4 channels. */
+int
+scaled(int channels, double width)
+{
+    return std::max(4, static_cast<int>(std::lround(channels * width)));
+}
+
+void
+addConvBlock(ModelSpec& spec, const std::string& name, int out, int kernel,
+             int stride, int pad)
+{
+    spec.layers.push_back({LayerKind::Conv, name, out, kernel, stride, pad,
+                           0.0f});
+    spec.layers.push_back({LayerKind::Activation, name + "-act", 0, 0, 1, 0,
+                           0.1f});
+}
+
+void
+addPool(ModelSpec& spec, const std::string& name)
+{
+    spec.layers.push_back({LayerKind::Pool, name, 0, 2, 2, 0, 0.0f});
+}
+
+/** Shape propagation for a LayerDesc without building a Layer. */
+Shape
+descOutputShape(const LayerDesc& d, const Shape& in)
+{
+    switch (d.kind) {
+      case LayerKind::Conv:
+        return {d.out, (in.h + 2 * d.pad - d.kernel) / d.stride + 1,
+                (in.w + 2 * d.pad - d.kernel) / d.stride + 1};
+      case LayerKind::Pool:
+        return {in.c, (in.h - d.kernel) / d.stride + 1,
+                (in.w - d.kernel) / d.stride + 1};
+      case LayerKind::Activation:
+        return in;
+      case LayerKind::FullyConnected:
+        return {d.out, 1, 1};
+    }
+    panic("descOutputShape: bad kind");
+}
+
+LayerProfile
+descProfile(const LayerDesc& d, const Shape& in)
+{
+    const Shape out = descOutputShape(d, in);
+    LayerProfile p;
+    p.name = d.name;
+    p.kind = d.kind;
+    p.inputBytes = in.bytes();
+    p.outputBytes = out.bytes();
+    switch (d.kind) {
+      case LayerKind::Conv:
+        p.flops = 2ULL * d.out * in.c * d.kernel * d.kernel * out.h * out.w;
+        p.weightBytes =
+            (static_cast<std::uint64_t>(d.out) * in.c * d.kernel * d.kernel +
+             d.out) * sizeof(float);
+        break;
+      case LayerKind::Pool:
+        p.flops = static_cast<std::uint64_t>(out.elements()) * d.kernel *
+                  d.kernel;
+        break;
+      case LayerKind::Activation:
+        p.flops = in.elements();
+        break;
+      case LayerKind::FullyConnected:
+        p.flops = 2ULL * in.elements() * d.out;
+        p.weightBytes =
+            (static_cast<std::uint64_t>(in.elements()) * d.out + d.out) *
+            sizeof(float);
+        break;
+    }
+    return p;
+}
+
+} // namespace
+
+ModelSpec
+detectorSpec(int inputSize, double width, int numClasses)
+{
+    if (inputSize % 32 != 0)
+        fatal("detectorSpec: input size ", inputSize,
+              " must be a multiple of 32 (five 2x poolings)");
+    ModelSpec spec;
+    spec.name = "det-yolo";
+    spec.input = {1, inputSize, inputSize};
+
+    // Darknet-flavored backbone: channel ramp with 2x pools, 1x1
+    // bottlenecks in the deeper stages.
+    addConvBlock(spec, "conv1", scaled(16, width), 3, 1, 1);
+    addPool(spec, "pool1");
+    addConvBlock(spec, "conv2", scaled(32, width), 3, 1, 1);
+    addPool(spec, "pool2");
+    addConvBlock(spec, "conv3", scaled(64, width), 3, 1, 1);
+    addConvBlock(spec, "conv3b", scaled(32, width), 1, 1, 0);
+    addConvBlock(spec, "conv3c", scaled(64, width), 3, 1, 1);
+    addPool(spec, "pool3");
+    addConvBlock(spec, "conv4", scaled(128, width), 3, 1, 1);
+    addConvBlock(spec, "conv4b", scaled(64, width), 1, 1, 0);
+    addConvBlock(spec, "conv4c", scaled(128, width), 3, 1, 1);
+    addPool(spec, "pool4");
+    addConvBlock(spec, "conv5", scaled(256, width), 3, 1, 1);
+    addConvBlock(spec, "conv5b", scaled(128, width), 1, 1, 0);
+    addConvBlock(spec, "conv5c", scaled(256, width), 3, 1, 1);
+    addPool(spec, "pool5");
+    addConvBlock(spec, "conv6", scaled(512, width), 3, 1, 1);
+    addConvBlock(spec, "conv6b", scaled(256, width), 1, 1, 0);
+    addConvBlock(spec, "conv6c", scaled(512, width), 3, 1, 1);
+
+    // Detection head: 1x1 conv to (objectness + 4 box + classes) per
+    // grid cell. No activation: decode applies its own threshold.
+    spec.layers.push_back({LayerKind::Conv, "head", 5 + numClasses, 1, 1, 0,
+                           0.0f});
+    return spec;
+}
+
+ModelSpec
+trackerConvSpec(int cropSize, double width)
+{
+    if (cropSize < 15)
+        fatal("trackerConvSpec: crop size ", cropSize,
+              " too small for the 11x11 stride-4 stem");
+    ModelSpec spec;
+    spec.name = "tra-goturn-conv";
+    spec.input = {1, cropSize, cropSize};
+    // AlexNet-flavored branch (GOTURN uses CaffeNet conv1-5). Track
+    // the spatial extent so pools are only emitted where they fit --
+    // reduced test-scale crops otherwise shrink below the window.
+    int h = (cropSize - 11) / 4 + 1;
+    addConvBlock(spec, "conv1", scaled(96, width), 11, 4, 0);
+    if (h >= 2) {
+        addPool(spec, "pool1");
+        h = (h - 2) / 2 + 1;
+    }
+    addConvBlock(spec, "conv2", scaled(256, width), 5, 1, 2);
+    if (h >= 2) {
+        addPool(spec, "pool2");
+        h = (h - 2) / 2 + 1;
+    }
+    addConvBlock(spec, "conv3", scaled(384, width), 3, 1, 1);
+    addConvBlock(spec, "conv4", scaled(384, width), 3, 1, 1);
+    addConvBlock(spec, "conv5", scaled(256, width), 3, 1, 1);
+    if (h >= 2)
+        addPool(spec, "pool5");
+    return spec;
+}
+
+ModelSpec
+trackerFcSpec(int convOutElements, double width)
+{
+    ModelSpec spec;
+    spec.name = "tra-goturn-fc";
+    const int concat = 2 * convOutElements;
+    spec.input = {concat, 1, 1};
+    const int wide = scaled(4096, width);
+    spec.layers.push_back({LayerKind::FullyConnected, "fc6", wide});
+    spec.layers.push_back({LayerKind::Activation, "fc6-act", 0, 0, 1, 0,
+                           0.0f});
+    spec.layers.push_back({LayerKind::FullyConnected, "fc7", wide});
+    spec.layers.push_back({LayerKind::Activation, "fc7-act", 0, 0, 1, 0,
+                           0.0f});
+    spec.layers.push_back({LayerKind::FullyConnected, "fc8", wide});
+    spec.layers.push_back({LayerKind::Activation, "fc8-act", 0, 0, 1, 0,
+                           0.0f});
+    spec.layers.push_back({LayerKind::FullyConnected, "bbox", 4});
+    return spec;
+}
+
+NetworkProfile
+specProfile(const ModelSpec& spec)
+{
+    NetworkProfile p;
+    p.name = spec.name;
+    p.inputShape = spec.input;
+    Shape s = spec.input;
+    for (const auto& d : spec.layers) {
+        p.layers.push_back(descProfile(d, s));
+        s = descOutputShape(d, s);
+    }
+    return p;
+}
+
+NetworkProfile
+trackerProfile(int cropSize, double width)
+{
+    const ModelSpec conv = trackerConvSpec(cropSize, width);
+    const NetworkProfile convProfile = specProfile(conv);
+
+    Shape convOut = conv.input;
+    for (const auto& d : conv.layers)
+        convOut = descOutputShape(d, convOut);
+
+    const ModelSpec fc =
+        trackerFcSpec(static_cast<int>(convOut.elements()), width);
+    const NetworkProfile fcProfile = specProfile(fc);
+
+    NetworkProfile p;
+    p.name = "tra-goturn";
+    p.inputShape = conv.input;
+    // Two branches (target + search region), then the FC head.
+    for (int branch = 0; branch < 2; ++branch) {
+        for (auto l : convProfile.layers) {
+            l.name += branch == 0 ? "-tgt" : "-srch";
+            p.layers.push_back(l);
+        }
+    }
+    for (const auto& l : fcProfile.layers)
+        p.layers.push_back(l);
+    return p;
+}
+
+Network
+buildNetwork(const ModelSpec& spec)
+{
+    Network net(spec.name);
+    Shape s = spec.input;
+    for (const auto& d : spec.layers) {
+        switch (d.kind) {
+          case LayerKind::Conv:
+            net.add<Conv2D>(d.name, s.c, d.out, d.kernel, d.stride, d.pad);
+            break;
+          case LayerKind::Pool:
+            net.add<MaxPool>(d.name, d.kernel, d.stride);
+            break;
+          case LayerKind::Activation:
+            net.add<Activation>(d.name, d.leaky);
+            break;
+          case LayerKind::FullyConnected:
+            net.add<FullyConnected>(d.name,
+                                    static_cast<int>(s.elements()), d.out);
+            break;
+        }
+        s = descOutputShape(d, s);
+    }
+    return net;
+}
+
+namespace {
+
+/** Fill a weight vector with small random values. */
+void
+randomize(std::vector<float>& w, Rng& rng, float stddev)
+{
+    for (auto& v : w)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+/**
+ * Make channel 0 of a conv layer the kxk box average of input channel 0,
+ * and give all other filters small random weights. The early box
+ * averages suppress pixel noise and thin structures (lane markings)
+ * relative to area-filling objects.
+ */
+void
+makeAveragingConv(Conv2D& conv, Rng& rng, float noise)
+{
+    randomize(conv.weights(), rng, noise);
+    const int k = conv.kernel();
+    const float avg = 1.0f / static_cast<float>(k * k);
+    // Zero channel-0 cross terms so the brightness channel stays pure.
+    for (int ic = 0; ic < conv.inChannels(); ++ic)
+        for (int ky = 0; ky < k; ++ky)
+            for (int kx = 0; kx < k; ++kx)
+                conv.setWeight(0, ic, ky, kx, ic == 0 ? avg : 0.0f);
+    conv.bias()[0] = 0.0f;
+}
+
+/**
+ * Make channel 0 of a conv layer pass input channel 0 through unchanged
+ * (center tap = 1). Combined with the interleaved max pools, channel 0
+ * at the output grid becomes the maximum smoothed brightness within
+ * each cell -- immune to the border attenuation repeated zero-padded
+ * averaging would cause.
+ */
+void
+makeIdentityConv(Conv2D& conv, Rng& rng, float noise)
+{
+    randomize(conv.weights(), rng, noise);
+    const int k = conv.kernel();
+    const int center = k / 2;
+    for (int ic = 0; ic < conv.inChannels(); ++ic)
+        for (int ky = 0; ky < k; ++ky)
+            for (int kx = 0; kx < k; ++kx)
+                conv.setWeight(0, ic, ky, kx,
+                               (ic == 0 && ky == center && kx == center)
+                                   ? 1.0f : 0.0f);
+    conv.bias()[0] = 0.0f;
+}
+
+} // namespace
+
+void
+initDetectorWeights(Network& net, Rng& rng)
+{
+    const std::size_t n = net.layerCount();
+    int convIndex = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Safe: we built the network, layer kinds identify the types.
+        auto* layer = const_cast<Layer*>(&net.layer(i));
+        if (layer->kind() != LayerKind::Conv)
+            continue;
+        auto& conv = static_cast<Conv2D&>(*layer);
+        ++convIndex;
+        if (conv.name() == "head") {
+            // Objectness (output 0) reads the brightness channel; box
+            // and class outputs get small random weights (decode
+            // derives geometry from the objectness map instead).
+            randomize(conv.weights(), rng, 0.01f);
+            for (int ic = 0; ic < conv.inChannels(); ++ic)
+                conv.setWeight(0, ic, 0, 0, ic == 0 ? 1.0f : 0.0f);
+            conv.bias()[0] = 0.0f;
+        } else if (convIndex <= 2) {
+            // Two early smoothing stages knock down noise and thin
+            // lane markings before the max pools take over.
+            makeAveragingConv(conv, rng, 0.01f);
+        } else {
+            makeIdentityConv(conv, rng, 0.01f);
+        }
+    }
+}
+
+void
+initTrackerWeights(Network& net, Rng& rng)
+{
+    const std::size_t n = net.layerCount();
+    for (std::size_t i = 0; i < n; ++i) {
+        auto* layer = const_cast<Layer*>(&net.layer(i));
+        if (layer->kind() == LayerKind::Conv) {
+            makeAveragingConv(static_cast<Conv2D&>(*layer), rng, 0.01f);
+        } else if (layer->kind() == LayerKind::FullyConnected) {
+            auto& fc = static_cast<FullyConnected&>(*layer);
+            // Scale by fan-in so activations stay bounded through the
+            // 4096-wide stack.
+            const float stddev =
+                0.5f / std::sqrt(static_cast<float>(fc.inFeatures()));
+            randomize(fc.weights(), rng, stddev);
+        }
+    }
+}
+
+} // namespace ad::nn

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Model definitions for the two DNN-based bottleneck engines the paper
+ * characterizes: a YOLO-style single-shot grid detector (DET, Redmon &
+ * Farhadi) and a GOTURN-style regression tracker (TRA, Held et al.).
+ *
+ * Models are described by data (ModelSpec) with two consumers:
+ *
+ *  - specProfile() computes the per-layer FLOP/byte inventory *without
+ *    allocating weights*, so the accelerator platform models can reason
+ *    about the full-scale networks (tens of millions of parameters)
+ *    cheaply; and
+ *  - buildNetwork() instantiates an executable Network, optionally at a
+ *    reduced width/input size for measured-mode runs on the host CPU.
+ *
+ * Weight construction: we have no trained checkpoints (and the paper's
+ * evaluation never depends on accuracy -- only latency/power), so
+ * buildNetwork() installs *constructed* weights: channel 0 of every conv
+ * layer computes a running 3x3 box average of the input brightness,
+ * making the detection head's objectness channel respond to
+ * area-weighted brightness -- bright, large objects on dark road. This
+ * keeps the examples functionally end-to-end (the DNN output genuinely
+ * drives detection) while the compute profile stays that of the real
+ * architecture. See DESIGN.md, "Substitutions".
+ */
+
+#ifndef AD_NN_MODELS_HH
+#define AD_NN_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "nn/network.hh"
+
+namespace ad::nn {
+
+/** One layer in a declarative model description. */
+struct LayerDesc
+{
+    LayerKind kind = LayerKind::Conv;
+    std::string name;
+    int out = 0;      ///< Conv: output channels; FC: output features.
+    int kernel = 0;   ///< Conv/Pool kernel size.
+    int stride = 1;   ///< Conv/Pool stride.
+    int pad = 0;      ///< Conv padding.
+    float leaky = 0;  ///< Activation slope.
+};
+
+/** A declarative network description. */
+struct ModelSpec
+{
+    std::string name;
+    Shape input;
+    std::vector<LayerDesc> layers;
+};
+
+/**
+ * YOLOv2-flavored detector backbone + detection head for grayscale
+ * input.
+ *
+ * @param inputSize square network input (paper-scale default 416).
+ * @param width channel-width multiplier; 1.0 is paper scale
+ *        (~9 GFLOP/frame for grayscale input), smaller values produce
+ *        nets that run in milliseconds for tests.
+ * @param numClasses detection classes (4: vehicle, bicycle, traffic
+ *        sign, pedestrian -- the classes the paper tracks).
+ */
+ModelSpec detectorSpec(int inputSize = 416, double width = 1.0,
+                       int numClasses = 4);
+
+/**
+ * GOTURN-style convolutional branch (AlexNet-flavored, applied to both
+ * the previous-frame target crop and the current-frame search region).
+ *
+ * @param cropSize square crop input (paper-scale default 227).
+ * @param width channel-width multiplier.
+ */
+ModelSpec trackerConvSpec(int cropSize = 227, double width = 1.0);
+
+/**
+ * GOTURN-style fully connected head: three 4096-wide FC layers over the
+ * concatenated branch features, then a 4-way bounding-box regression.
+ *
+ * @param convOutElements flattened feature count of ONE conv branch
+ *        (the head sees twice this after concatenation).
+ * @param width multiplier on the 4096 FC width.
+ */
+ModelSpec trackerFcSpec(int convOutElements, double width = 1.0);
+
+/** Per-layer inventory of a spec without allocating any weights. */
+NetworkProfile specProfile(const ModelSpec& spec);
+
+/**
+ * Combined profile of the full GOTURN-style tracker: two conv branches
+ * plus the FC head. This is the TRA workload the accelerator models see.
+ */
+NetworkProfile trackerProfile(int cropSize = 227, double width = 1.0);
+
+/** Instantiate an executable network (weights zero-initialized). */
+Network buildNetwork(const ModelSpec& spec);
+
+/**
+ * Install constructed detector weights: channel 0 carries a cascaded
+ * box average of image brightness; the head's objectness output reads
+ * channel 0. Remaining channels receive small random weights so the
+ * arithmetic is representative.
+ */
+void initDetectorWeights(Network& net, Rng& rng);
+
+/**
+ * Install constructed tracker weights (channel-0 averaging conv branch,
+ * small random FC stack). Functional tracking accuracy comes from the
+ * NCC refinement in ad_track; the network provides the representative
+ * DNN workload.
+ */
+void initTrackerWeights(Network& net, Rng& rng);
+
+} // namespace ad::nn
+
+#endif // AD_NN_MODELS_HH

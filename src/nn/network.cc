@@ -1,0 +1,105 @@
+#include "nn/network.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ad::nn {
+
+std::uint64_t
+NetworkProfile::totalFlops() const
+{
+    std::uint64_t sum = 0;
+    for (const auto& l : layers)
+        sum += l.flops;
+    return sum;
+}
+
+std::uint64_t
+NetworkProfile::totalWeightBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto& l : layers)
+        sum += l.weightBytes;
+    return sum;
+}
+
+std::uint64_t
+NetworkProfile::totalActivationBytes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto& l : layers)
+        sum += l.outputBytes;
+    return sum;
+}
+
+std::uint64_t
+NetworkProfile::flopsOfKind(LayerKind kind) const
+{
+    std::uint64_t sum = 0;
+    for (const auto& l : layers)
+        if (l.kind == kind)
+            sum += l.flops;
+    return sum;
+}
+
+std::uint64_t
+NetworkProfile::weightBytesOfKind(LayerKind kind) const
+{
+    std::uint64_t sum = 0;
+    for (const auto& l : layers)
+        if (l.kind == kind)
+            sum += l.weightBytes;
+    return sum;
+}
+
+std::string
+NetworkProfile::toString() const
+{
+    std::ostringstream oss;
+    oss << name << " (input " << inputShape.c << "x" << inputShape.h << "x"
+        << inputShape.w << ")\n";
+    for (const auto& l : layers) {
+        oss << "  " << std::left << std::setw(16) << l.name
+            << std::setw(6) << layerKindName(l.kind)
+            << " flops=" << l.flops
+            << " weights=" << l.weightBytes << "B"
+            << " out=" << l.outputBytes << "B\n";
+    }
+    oss << "  total: " << totalFlops() / 1e9 << " GFLOP, "
+        << totalWeightBytes() / 1e6 << " MB weights";
+    return oss.str();
+}
+
+Tensor
+Network::forward(const Tensor& input) const
+{
+    Tensor t = input;
+    for (const auto& layer : layers_)
+        t = layer->forward(t);
+    return t;
+}
+
+Shape
+Network::outputShape(const Shape& input) const
+{
+    Shape s = input;
+    for (const auto& layer : layers_)
+        s = layer->outputShape(s);
+    return s;
+}
+
+NetworkProfile
+Network::profile(const Shape& input) const
+{
+    NetworkProfile p;
+    p.name = name_;
+    p.inputShape = input;
+    Shape s = input;
+    for (const auto& layer : layers_) {
+        p.layers.push_back(layer->profile(s));
+        s = layer->outputShape(s);
+    }
+    return p;
+}
+
+} // namespace ad::nn

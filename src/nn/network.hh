@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sequential network container and executor for the DNN inference
+ * engine. Besides forward execution, the network produces a
+ * NetworkProfile -- the per-layer FLOP/byte inventory that the
+ * accelerator platform models (GPU roofline, FPGA layer-by-layer
+ * schedule, CNN/FC ASICs) consume to predict latency and power.
+ */
+
+#ifndef AD_NN_NETWORK_HH
+#define AD_NN_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hh"
+
+namespace ad::nn {
+
+/** Aggregated compute/memory inventory of a whole network. */
+struct NetworkProfile
+{
+    std::string name;
+    Shape inputShape;
+    std::vector<LayerProfile> layers;
+
+    /** Total FLOPs over all layers. */
+    std::uint64_t totalFlops() const;
+    /** Total parameter bytes. */
+    std::uint64_t totalWeightBytes() const;
+    /** Total activation bytes written. */
+    std::uint64_t totalActivationBytes() const;
+    /** FLOPs restricted to one layer kind. */
+    std::uint64_t flopsOfKind(LayerKind kind) const;
+    /** Weight bytes restricted to one layer kind. */
+    std::uint64_t weightBytesOfKind(LayerKind kind) const;
+    /** Multi-line human-readable table. */
+    std::string toString() const;
+};
+
+/**
+ * A feed-forward network: an owned sequence of layers applied in order.
+ * The YOLO-style detector and GOTURN-style tracker backbones are both
+ * expressible as sequences (the tracker's two branches share one
+ * backbone applied twice; see models.hh).
+ */
+class Network
+{
+  public:
+    /** @param name diagnostic name ("det-yolo", "tra-goturn-conv", ...). */
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    /** Append a layer; returns a reference for weight construction. */
+    template <typename L, typename... Args>
+    L&
+    add(Args&&... args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L& ref = *layer;
+        layers_.push_back(std::move(layer));
+        return ref;
+    }
+
+    std::size_t layerCount() const { return layers_.size(); }
+    const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+    /** Run all layers in order. */
+    Tensor forward(const Tensor& input) const;
+
+    /** Static shape propagation through all layers. */
+    Shape outputShape(const Shape& input) const;
+
+    /** Per-layer compute/memory inventory for the given input shape. */
+    NetworkProfile profile(const Shape& input) const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace ad::nn
+
+#endif // AD_NN_NETWORK_HH

@@ -1,0 +1,55 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ad::nn {
+
+Tensor::Tensor(int c, int h, int w) : c_(c), h_(h), w_(w)
+{
+    if (c < 0 || h < 0 || w < 0)
+        panic("Tensor: negative shape ", c, "x", h, "x", w);
+    data_.assign(static_cast<std::size_t>(c) * h * w, 0.0f);
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream oss;
+    oss << c_ << "x" << h_ << "x" << w_;
+    return oss.str();
+}
+
+Tensor
+Tensor::fromImage(const Image& img)
+{
+    Tensor t(1, img.height(), img.width());
+    float* dst = t.data();
+    const std::uint8_t* src = img.data();
+    const std::size_t n = img.size();
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<float>(src[i]) * (1.0f / 255.0f);
+    return t;
+}
+
+Tensor
+Tensor::concatChannels(const Tensor& a, const Tensor& b)
+{
+    if (a.height() != b.height() || a.width() != b.width())
+        panic("concatChannels: spatial mismatch ", a.shapeString(), " vs ",
+              b.shapeString());
+    Tensor out(a.channels() + b.channels(), a.height(), a.width());
+    std::copy(a.data(), a.data() + a.size(), out.data());
+    std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+    return out;
+}
+
+} // namespace ad::nn

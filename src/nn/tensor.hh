@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense float tensor in CHW layout (batch size is always 1: the
+ * autonomous-driving pipeline processes one frame at a time, and the
+ * paper's latency constraint precludes batching). This is the data type
+ * flowing through the from-scratch DNN inference engine used by the
+ * object-detection (YOLO-style) and object-tracking (GOTURN-style)
+ * engines.
+ */
+
+#ifndef AD_NN_TENSOR_HH
+#define AD_NN_TENSOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/image.hh"
+
+namespace ad::nn {
+
+/** Channel-major (CHW) float tensor with value semantics. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a c x h x w tensor zero-filled. */
+    Tensor(int c, int h, int w);
+
+    int channels() const { return c_; }
+    int height() const { return h_; }
+    int width() const { return w_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** Bytes occupied by the payload (fp32). */
+    std::size_t bytes() const { return data_.size() * sizeof(float); }
+
+    float at(int c, int y, int x) const { return data_[idx(c, y, x)]; }
+    float& at(int c, int y, int x) { return data_[idx(c, y, x)]; }
+
+    const float* data() const { return data_.data(); }
+    float* data() { return data_.data(); }
+
+    /** Pointer to the start of one channel plane. */
+    const float* channel(int c) const { return data_.data() + plane(c); }
+    float* channel(int c) { return data_.data() + plane(c); }
+
+    void fill(float value);
+
+    /** "c x h x w" for diagnostics. */
+    std::string shapeString() const;
+
+    /**
+     * Build a 1 x h x w tensor from a grayscale image, normalizing
+     * pixels to [0, 1] -- the network input path of DET and TRA.
+     */
+    static Tensor fromImage(const Image& img);
+
+    /**
+     * Build a 2c x h x w tensor by stacking two tensors channel-wise;
+     * the GOTURN-style tracker concatenates target and search-region
+     * features before its fully connected stack.
+     */
+    static Tensor concatChannels(const Tensor& a, const Tensor& b);
+
+  private:
+    std::size_t plane(int c) const
+    {
+        return static_cast<std::size_t>(c) * h_ * w_;
+    }
+    std::size_t idx(int c, int y, int x) const
+    {
+        return plane(c) + static_cast<std::size_t>(y) * w_ + x;
+    }
+
+    int c_ = 0;
+    int h_ = 0;
+    int w_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace ad::nn
+
+#endif // AD_NN_TENSOR_HH

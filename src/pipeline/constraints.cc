@@ -1,0 +1,104 @@
+#include "pipeline/constraints.hh"
+
+#include <sstream>
+
+namespace ad::pipeline {
+
+ConstraintChecker::ConstraintChecker(const ConstraintParams& params)
+    : params_(params)
+{
+}
+
+std::vector<ConstraintVerdict>
+ConstraintChecker::check(const SystemAssessment& a) const
+{
+    std::vector<ConstraintVerdict> verdicts;
+
+    // --- Performance (Section 2.4.1). ---
+    {
+        ConstraintVerdict v;
+        v.constraint = "performance";
+        const double frameRate = 1000.0 / std::max(1e-9, a.meanMs);
+        v.satisfied = a.tailMs <= params_.latencyBudgetMs &&
+                      frameRate >= params_.minFrameRateHz;
+        std::ostringstream oss;
+        oss << "tail " << a.tailMs << " ms vs " << params_.latencyBudgetMs
+            << " ms budget; sustainable rate " << frameRate << " fps vs "
+            << params_.minFrameRateHz << " fps";
+        v.detail = oss.str();
+        verdicts.push_back(v);
+    }
+
+    // --- Predictability (Section 2.4.2). ---
+    {
+        ConstraintVerdict v;
+        v.constraint = "predictability";
+        const double amplification =
+            a.meanMs > 0 ? a.tailMs / a.meanMs : 0;
+        v.satisfied = amplification <= params_.tailAmplificationMax;
+        std::ostringstream oss;
+        oss << "p99.99/mean = " << amplification << " (max "
+            << params_.tailAmplificationMax << ")";
+        v.detail = oss.str();
+        verdicts.push_back(v);
+    }
+
+    // --- Storage (Section 2.4.3). ---
+    {
+        ConstraintVerdict v;
+        v.constraint = "storage";
+        v.satisfied = a.config.storageTb <= params_.storageBudgetTb;
+        std::ostringstream oss;
+        oss << a.config.storageTb << " TB prior map vs "
+            << params_.storageBudgetTb << " TB on-vehicle budget";
+        v.detail = oss.str();
+        verdicts.push_back(v);
+    }
+
+    // --- Thermal (Section 2.4.4). ---
+    {
+        ConstraintVerdict v;
+        v.constraint = "thermal";
+        // Satisfied when the system sits in the climate-controlled
+        // cabin with cooling capacity matching its dissipation -- the
+        // power model already charges for that capacity, so the
+        // verdict checks the accounting is present.
+        v.satisfied = thermal_.requiresCabinPlacement() &&
+                      a.power.coolingW > 0;
+        std::ostringstream oss;
+        oss << "cabin placement required; " << a.power.coolingW
+            << " W cooling budgeted for " << a.power.itW()
+            << " W IT load (heats cabin "
+            << thermal_.heatRateCPerMin(a.power.itW())
+            << " C/min uncooled)";
+        v.detail = oss.str();
+        verdicts.push_back(v);
+    }
+
+    // --- Power (Section 2.4.5). ---
+    {
+        ConstraintVerdict v;
+        v.constraint = "power";
+        v.satisfied =
+            a.rangeReductionPct <= params_.rangeReductionMaxPct;
+        std::ostringstream oss;
+        oss << a.power.totalW() << " W total -> "
+            << a.rangeReductionPct << "% range reduction (max "
+            << params_.rangeReductionMaxPct << "%)";
+        v.detail = oss.str();
+        verdicts.push_back(v);
+    }
+
+    return verdicts;
+}
+
+bool
+ConstraintChecker::allSatisfied(const SystemAssessment& a) const
+{
+    for (const auto& v : check(a))
+        if (!v.satisfied)
+            return false;
+    return true;
+}
+
+} // namespace ad::pipeline

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The design-constraint checker (Section 2.4): given a whole-system
+ * assessment, verdicts for each of the paper's constraint classes --
+ * performance (<=100 ms tail at >=10 fps), predictability (tail
+ * amplification), storage (on-vehicle prior map), thermal (cabin
+ * placement and cooling capacity) and power (driving-range impact).
+ */
+
+#ifndef AD_PIPELINE_CONSTRAINTS_HH
+#define AD_PIPELINE_CONSTRAINTS_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/system_model.hh"
+#include "vehicle/storage.hh"
+#include "vehicle/thermal.hh"
+
+namespace ad::pipeline {
+
+/** One constraint verdict. */
+struct ConstraintVerdict
+{
+    std::string constraint; ///< e.g.\ "performance".
+    bool satisfied = false;
+    std::string detail;     ///< human-readable explanation.
+};
+
+/** Constraint thresholds (paper defaults). */
+struct ConstraintParams
+{
+    double latencyBudgetMs = 100.0;   ///< Section 2.4.1.
+    double minFrameRateHz = 10.0;     ///< Section 2.4.1.
+    double tailAmplificationMax = 3.0; ///< predictability gate.
+    double storageBudgetTb = 50.0;    ///< on-vehicle disk budget.
+    double rangeReductionMaxPct = 5.0; ///< Section 5.3 guidance.
+};
+
+/** Evaluates the full Section 2.4 constraint set. */
+class ConstraintChecker
+{
+  public:
+    explicit ConstraintChecker(const ConstraintParams& params = {});
+
+    /**
+     * Check every constraint class against an assessment.
+     *
+     * Frame-rate note: engines process streams frame by frame, so the
+     * sustainable frame rate is bounded by the mean end-to-end
+     * latency; the performance constraint requires both the 100 ms
+     * tail and a >=10 Hz sustainable rate.
+     */
+    std::vector<ConstraintVerdict> check(
+        const SystemAssessment& assessment) const;
+
+    /** True iff every verdict in check() is satisfied. */
+    bool allSatisfied(const SystemAssessment& assessment) const;
+
+    const ConstraintParams& params() const { return params_; }
+
+  private:
+    ConstraintParams params_;
+    vehicle::CabinThermalModel thermal_;
+};
+
+} // namespace ad::pipeline
+
+#endif // AD_PIPELINE_CONSTRAINTS_HH

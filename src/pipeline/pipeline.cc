@@ -1,0 +1,98 @@
+#include "pipeline/pipeline.hh"
+
+#include "common/time.hh"
+
+namespace ad::pipeline {
+
+Pipeline::Pipeline(const slam::PriorMap* map,
+                   const sensors::Camera* camera,
+                   const planning::RoadGraph* roadGraph,
+                   const PipelineParams& params)
+    : params_(params), camera_(camera), detector_(params.detector),
+      trackerPool_(params.trackerPool),
+      localizer_(map, camera, params.localizer), fusion_(camera),
+      controller_(params.control)
+{
+    if (roadGraph)
+        mission_.emplace(roadGraph, params.mission);
+}
+
+void
+Pipeline::reset(const Pose2& pose, const Vec2& velocity,
+                const Vec2& destination)
+{
+    localizer_.reset(pose, velocity);
+    if (mission_)
+        mission_->plan(pose.pos, destination);
+    controller_.reset();
+    time_ = 0;
+}
+
+FrameOutput
+Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
+{
+    FrameOutput out;
+    time_ += dt;
+
+    // --- (1a) Object detection. ---
+    detect::DetectorTimings detTimings;
+    out.detections = detector_.detect(image, &detTimings);
+    out.latencies.detMs = detTimings.totalMs;
+    cycles_.detDnnMs += detTimings.dnnMs;
+    cycles_.detOtherMs += detTimings.decodeMs;
+
+    // --- (1b) Localization (logically parallel with DET). ---
+    out.localization = localizer_.localize(image, dt);
+    out.latencies.locMs = out.localization.timings.totalMs;
+    cycles_.locFeMs += out.localization.timings.feMs;
+    cycles_.locOtherMs +=
+        out.localization.timings.totalMs - out.localization.timings.feMs;
+
+    // --- (1c) Object tracking. ---
+    track::PoolTimings traTimings;
+    trackerPool_.update(image, out.detections, &traTimings);
+    out.tracks = trackerPool_.tracks();
+    out.latencies.traMs = traTimings.totalMs;
+    cycles_.traDnnMs += traTimings.tracker.dnnMs;
+    cycles_.traOtherMs += traTimings.totalMs - traTimings.tracker.dnnMs;
+
+    // --- (2) Fusion onto the world coordinate space. ---
+    out.scene = fusion_.fuse(out.tracks, out.localization.pose, dt,
+                             time_);
+    out.latencies.fusionMs = fusion_.lastFuseMs();
+
+    // --- (4) Mission planning: only on deviation. ---
+    if (mission_)
+        out.missionReplanned =
+            mission_->checkDeviation(out.localization.pose.pos);
+
+    // --- (3) Motion planning on the fused scene. ---
+    {
+        Stopwatch watch;
+        std::vector<planning::PredictedObstacle> obstacles;
+        obstacles.reserve(out.scene.objects.size());
+        for (const auto& obj : out.scene.objects)
+            obstacles.push_back(
+                {obj.worldPos, obj.worldVelocity, 1.6});
+        out.trajectory = planning::planConformal(
+            out.localization.pose, params_.laneCenterY, obstacles,
+            params_.motionPlanner);
+        out.latencies.motPlanMs = watch.elapsedMs();
+    }
+
+    // --- (5) Vehicle control. ---
+    planning::VehicleState state;
+    state.pose = out.localization.pose;
+    state.speed = egoSpeed;
+    out.command = controller_.control(state, out.trajectory, dt);
+
+    detRec_.record(out.latencies.detMs);
+    traRec_.record(out.latencies.traMs);
+    locRec_.record(out.latencies.locMs);
+    fusionRec_.record(out.latencies.fusionMs);
+    motRec_.record(out.latencies.motPlanMs);
+    e2eRec_.record(out.latencies.endToEndMs());
+    return out;
+}
+
+} // namespace ad::pipeline

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The end-to-end autonomous driving pipeline (Figure 1), measured
+ * mode: camera frames flow into the object-detection engine (1a) and
+ * the localization engine (1b) in parallel; detections feed the object
+ * tracker (1c); tracked objects and the vehicle location fuse onto one
+ * world coordinate space (2); the motion planner produces trajectories
+ * (3); the mission planner re-routes only on deviation (4); and the
+ * vehicle controller follows the plan (5).
+ *
+ * Per-stage latencies are recorded per frame; the end-to-end latency
+ * composes as max(LOC, DET + TRA) + FUSION + MOTPLAN, reflecting the
+ * parallel branches.
+ */
+
+#ifndef AD_PIPELINE_PIPELINE_HH
+#define AD_PIPELINE_PIPELINE_HH
+
+#include <optional>
+
+#include "common/stats.hh"
+#include "detect/yolo.hh"
+#include "fusion/fusion.hh"
+#include "planning/conformal.hh"
+#include "planning/control.hh"
+#include "planning/mission.hh"
+#include "slam/localizer.hh"
+#include "track/pool.hh"
+
+namespace ad::pipeline {
+
+/** Pipeline construction parameters. */
+struct PipelineParams
+{
+    detect::DetectorParams detector;
+    track::PoolParams trackerPool;
+    slam::LocalizerParams localizer;
+    planning::ConformalParams motionPlanner;
+    planning::MissionParams mission;
+    planning::ControlParams control;
+    double laneCenterY = 5.25; ///< corridor centerline for MOTPLAN.
+};
+
+/** Wall-clock per-stage latencies of one frame (ms). */
+struct StageLatencies
+{
+    double detMs = 0;
+    double traMs = 0;
+    double locMs = 0;
+    double fusionMs = 0;
+    double motPlanMs = 0;
+
+    /** Parallel-branch composition (Figure 1). */
+    double
+    endToEndMs() const
+    {
+        const double perception = std::max(locMs, detMs + traMs);
+        return perception + fusionMs + motPlanMs;
+    }
+};
+
+/** Everything one frame produces. */
+struct FrameOutput
+{
+    std::vector<detect::Detection> detections;
+    std::vector<track::TrackedObject> tracks;
+    slam::LocResult localization;
+    fusion::FusedScene scene;
+    planning::Trajectory trajectory;
+    planning::ControlCommand command;
+    StageLatencies latencies;
+    bool missionReplanned = false;
+};
+
+/**
+ * The measured-mode end-to-end system. Holds non-owning pointers to
+ * the prior map, camera and (optionally) road graph, which must
+ * outlive the pipeline.
+ */
+class Pipeline
+{
+  public:
+    /**
+     * @param map prior map for localization.
+     * @param camera camera geometry (shared with the renderer).
+     * @param roadGraph optional road network for mission planning.
+     * @param params tuning.
+     */
+    Pipeline(const slam::PriorMap* map, const sensors::Camera* camera,
+             const planning::RoadGraph* roadGraph,
+             const PipelineParams& params);
+
+    /** Initialize the ego state and (if routable) the mission. */
+    void reset(const Pose2& pose, const Vec2& velocity,
+               const Vec2& destination);
+
+    /**
+     * Provide wheel odometry for the interval before the next frame;
+     * forwarded to the localization engine's motion model.
+     */
+    void
+    feedOdometry(const sensors::OdometryReading& odometry)
+    {
+        localizer_.feedOdometry(odometry);
+    }
+
+    /**
+     * Process one camera frame through all engines.
+     *
+     * @param image the frame.
+     * @param dt seconds since the previous frame.
+     * @param egoSpeed current ego speed (for the controller).
+     */
+    FrameOutput processFrame(const Image& image, double dt,
+                             double egoSpeed);
+
+    /** Per-stage latency recorders over all processed frames. */
+    const LatencyRecorder& detLatency() const { return detRec_; }
+    const LatencyRecorder& traLatency() const { return traRec_; }
+    const LatencyRecorder& locLatency() const { return locRec_; }
+    const LatencyRecorder& fusionLatency() const { return fusionRec_; }
+    const LatencyRecorder& motPlanLatency() const { return motRec_; }
+    const LatencyRecorder& endToEndLatency() const { return e2eRec_; }
+
+    /** Aggregate cycle attribution for the Figure 7 breakdown. */
+    struct CycleBreakdown
+    {
+        double detDnnMs = 0;
+        double detOtherMs = 0;
+        double traDnnMs = 0;
+        double traOtherMs = 0;
+        double locFeMs = 0;
+        double locOtherMs = 0;
+    };
+
+    const CycleBreakdown& cycleBreakdown() const { return cycles_; }
+
+    detect::YoloDetector& detector() { return detector_; }
+    slam::Localizer& localizer() { return localizer_; }
+    planning::MissionPlanner* missionPlanner()
+    {
+        return mission_ ? &*mission_ : nullptr;
+    }
+
+  private:
+    PipelineParams params_;
+    const sensors::Camera* camera_;
+    detect::YoloDetector detector_;
+    track::TrackerPool trackerPool_;
+    slam::Localizer localizer_;
+    fusion::FusionEngine fusion_;
+    std::optional<planning::MissionPlanner> mission_;
+    planning::VehicleController controller_;
+
+    LatencyRecorder detRec_;
+    LatencyRecorder traRec_;
+    LatencyRecorder locRec_;
+    LatencyRecorder fusionRec_;
+    LatencyRecorder motRec_;
+    LatencyRecorder e2eRec_;
+    CycleBreakdown cycles_;
+    double time_ = 0;
+};
+
+} // namespace ad::pipeline
+
+#endif // AD_PIPELINE_PIPELINE_HH

@@ -1,0 +1,76 @@
+#include "pipeline/scheduler.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace ad::pipeline {
+
+ScheduleStats
+simulateSchedule(const std::function<double()>& sampler, int frames,
+                 const SchedulerParams& params)
+{
+    if (params.framePeriodMs <= 0 || params.deadlineMs <= 0 ||
+        params.queueDepth < 0)
+        fatal("simulateSchedule: invalid parameters");
+
+    ScheduleStats stats;
+    LatencyRecorder responses(static_cast<std::size_t>(frames));
+
+    double engineFreeAt = 0.0; // time the engine finishes current work
+    std::deque<double> queue;  // arrival times of waiting frames
+    double lastCompletion = 0.0;
+
+    for (int i = 0; i < frames; ++i) {
+        const double arrival = i * params.framePeriodMs;
+        ++stats.framesArrived;
+
+        // Drain every queued frame the engine finished before this
+        // arrival.
+        while (!queue.empty() && engineFreeAt <= arrival) {
+            const double start =
+                std::max(queue.front(), engineFreeAt);
+            const double completion = start + sampler();
+            engineFreeAt = completion;
+            lastCompletion = completion;
+            const double response = completion - queue.front();
+            responses.record(response);
+            ++stats.framesProcessed;
+            stats.deadlineMisses += response > params.deadlineMs;
+            queue.pop_front();
+        }
+
+        // The queue holds only waiting frames (the in-service frame's
+        // arrival was already popped); queueDepth bounds the waiters.
+        if (static_cast<int>(queue.size()) >= params.queueDepth &&
+            engineFreeAt > arrival) {
+            // Saturated: this camera frame is never examined -- the
+            // system is driving on stale information.
+            ++stats.framesDropped;
+            continue;
+        }
+        queue.push_back(arrival);
+    }
+
+    // Drain the tail.
+    while (!queue.empty()) {
+        const double start = std::max(queue.front(), engineFreeAt);
+        const double completion = start + sampler();
+        engineFreeAt = completion;
+        lastCompletion = completion;
+        const double response = completion - queue.front();
+        responses.record(response);
+        ++stats.framesProcessed;
+        stats.deadlineMisses += response > params.deadlineMs;
+        queue.pop_front();
+    }
+
+    stats.responseTime = responses.summary();
+    if (lastCompletion > 0)
+        stats.achievedFps =
+            1000.0 * stats.framesProcessed / lastCompletion;
+    return stats;
+}
+
+} // namespace ad::pipeline

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Real-time frame scheduler: a discrete-event simulation of the
+ * camera-to-decision service loop that turns the paper's performance
+ * constraint (Section 2.4.1) into measurable outcomes. Frames arrive
+ * at the camera period; the processing engine serves them with
+ * latencies drawn from a platform configuration's end-to-end
+ * distribution; a frame whose *completion* exceeds its arrival plus
+ * the reaction budget is a deadline miss, and frames that arrive
+ * while the engine is saturated (beyond the queue bound) are dropped
+ * -- stale traffic information the vehicle never reacts to.
+ *
+ * This exposes the interaction the headline figures abstract away:
+ * mean-feasible/tail-infeasible configurations (Figure 11's
+ * "mean-only" designs) do not just miss an SLO occasionally -- their
+ * latency spikes queue subsequent frames, clustering misses.
+ */
+
+#ifndef AD_PIPELINE_SCHEDULER_HH
+#define AD_PIPELINE_SCHEDULER_HH
+
+#include <functional>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace ad::pipeline {
+
+/** Scheduler knobs (paper defaults: 10 fps camera, 100 ms budget). */
+struct SchedulerParams
+{
+    double framePeriodMs = 100.0; ///< camera period (>=10 fps).
+    double deadlineMs = 100.0;    ///< reaction budget per frame.
+    int queueDepth = 1;           ///< frames that may wait; beyond
+                                  ///  this, arrivals are dropped.
+};
+
+/** Outcome statistics of a scheduling run. */
+struct ScheduleStats
+{
+    int framesArrived = 0;
+    int framesProcessed = 0;
+    int framesDropped = 0;
+    int deadlineMisses = 0; ///< processed but past the budget.
+    LatencySummary responseTime; ///< arrival -> completion (ms).
+    double achievedFps = 0;
+
+    double
+    missRate() const
+    {
+        return framesArrived
+                   ? static_cast<double>(deadlineMisses + framesDropped) /
+                         framesArrived
+                   : 0.0;
+    }
+};
+
+/**
+ * Simulate frame service with the given per-frame latency sampler.
+ *
+ * @param sampler draws one service latency (ms) per processed frame.
+ * @param frames number of camera frames to simulate.
+ * @param params scheduler knobs.
+ */
+ScheduleStats simulateSchedule(const std::function<double()>& sampler,
+                               int frames,
+                               const SchedulerParams& params = {});
+
+} // namespace ad::pipeline
+
+#endif // AD_PIPELINE_SCHEDULER_HH

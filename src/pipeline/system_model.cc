@@ -1,0 +1,113 @@
+#include "pipeline/system_model.hh"
+
+#include <sstream>
+
+namespace ad::pipeline {
+
+using accel::Component;
+using accel::Platform;
+using accel::platformModel;
+
+std::string
+SystemConfig::name() const
+{
+    std::ostringstream oss;
+    oss << "DET:" << accel::platformName(det)
+        << " TRA:" << accel::platformName(tra)
+        << " LOC:" << accel::platformName(loc);
+    return oss.str();
+}
+
+SystemModel::SystemModel(const vehicle::PowerParams& powerParams,
+                         const vehicle::EvParams& evParams)
+    : power_(powerParams), ev_(evParams)
+{
+}
+
+LatencySummary
+SystemModel::sampleEndToEnd(const SystemConfig& config, int samples,
+                            Rng& rng) const
+{
+    const accel::Workload w =
+        accel::standardWorkloadRef().scaled(config.resolutionScale);
+    const auto detDist =
+        platformModel(config.det).latency(Component::Det, w);
+    const auto traDist =
+        platformModel(config.tra).latency(Component::Tra, w);
+    const auto locDist =
+        platformModel(config.loc).latency(Component::Loc, w);
+    const auto fusionDist =
+        platformModel(Platform::Cpu).latency(Component::Fusion, w);
+    const auto motDist =
+        platformModel(Platform::Cpu).latency(Component::MotPlan, w);
+
+    LatencyRecorder rec(static_cast<std::size_t>(samples));
+    for (int i = 0; i < samples; ++i) {
+        // One congestion variate per physical platform per frame:
+        // components sharing a platform see correlated slowdowns.
+        double z[accel::kNumPlatforms];
+        for (auto& v : z)
+            v = rng.normal();
+        const double det = detDist.sampleGivenBody(
+            z[static_cast<int>(config.det)], rng);
+        const double tra = traDist.sampleGivenBody(
+            z[static_cast<int>(config.tra)], rng);
+        const double loc = locDist.sampleGivenBody(
+            z[static_cast<int>(config.loc)], rng);
+        const double perception = std::max(loc, det + tra);
+        rec.record(perception + fusionDist.sample(rng) +
+                   motDist.sample(rng));
+    }
+    return rec.summary();
+}
+
+double
+SystemModel::computePowerW(const SystemConfig& config) const
+{
+    // Each camera stream is served by a replica of all three engines
+    // (Section 5.3).
+    const double perCamera =
+        platformModel(config.det).powerWatts(Component::Det) +
+        platformModel(config.tra).powerWatts(Component::Tra) +
+        platformModel(config.loc).powerWatts(Component::Loc);
+    return perCamera * config.cameras;
+}
+
+SystemAssessment
+SystemModel::assess(const SystemConfig& config, int samples,
+                    Rng& rng) const
+{
+    SystemAssessment a;
+    a.config = config;
+    a.endToEnd = sampleEndToEnd(config, samples, rng);
+    a.meanMs = a.endToEnd.mean;
+    a.tailMs = a.endToEnd.p9999;
+    a.power = power_.systemPower(computePowerW(config),
+                                 config.storageTb);
+    a.rangeReductionPct = ev_.rangeReductionPct(a.power.totalW());
+    a.meetsLatencyConstraint = a.tailMs <= 100.0;
+    a.meetsLatencyOnMeanOnly = a.meanMs <= 100.0 && a.tailMs > 100.0;
+    return a;
+}
+
+std::vector<SystemConfig>
+SystemModel::allConfigs(int cameras, double resolutionScale)
+{
+    std::vector<SystemConfig> configs;
+    for (int d = 0; d < accel::kNumPlatforms; ++d) {
+        for (int t = 0; t < accel::kNumPlatforms; ++t) {
+            for (int l = 0; l < accel::kNumPlatforms; ++l) {
+                SystemConfig c;
+                c.det = static_cast<Platform>(d);
+                c.tra = static_cast<Platform>(t);
+                c.loc = static_cast<Platform>(l);
+                c.cameras = cameras;
+                c.resolutionScale = resolutionScale;
+                configs.push_back(c);
+            }
+        }
+    }
+    return configs;
+}
+
+} // namespace ad::pipeline

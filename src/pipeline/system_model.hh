@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Modeled-mode system explorer: composes the accelerator platform
+ * models, the vehicle power/range models and the end-to-end latency
+ * structure into whole-system assessments -- the machinery behind the
+ * paper's Figures 11 (end-to-end latency per platform assignment), 12
+ * (power and driving range per configuration) and 13 (camera
+ * resolution scalability).
+ */
+
+#ifndef AD_PIPELINE_SYSTEM_MODEL_HH
+#define AD_PIPELINE_SYSTEM_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/models.hh"
+#include "vehicle/power.hh"
+#include "vehicle/range.hh"
+
+namespace ad::pipeline {
+
+/** A platform assignment for the three bottleneck engines. */
+struct SystemConfig
+{
+    accel::Platform det = accel::Platform::Gpu;
+    accel::Platform tra = accel::Platform::Gpu;
+    accel::Platform loc = accel::Platform::Gpu;
+    int cameras = 8;              ///< Tesla-style camera count.
+    double resolutionScale = 1.0; ///< pixels relative to KITTI.
+    double storageTb = 41.0;      ///< on-vehicle prior-map size.
+
+    /** e.g.\ "DET:GPU TRA:ASIC LOC:ASIC". */
+    std::string name() const;
+};
+
+/** Full whole-system evaluation of one configuration. */
+struct SystemAssessment
+{
+    SystemConfig config;
+    LatencySummary endToEnd;      ///< sampled e2e latency (ms).
+    double meanMs = 0;
+    double tailMs = 0;            ///< 99.99th percentile.
+    vehicle::PowerBreakdown power;
+    double rangeReductionPct = 0;
+    bool meetsLatencyConstraint = false;  ///< tail <= 100 ms.
+    bool meetsLatencyOnMeanOnly = false;  ///< mean <= 100 but not tail
+                                          ///  (the misleading-metric
+                                          ///  cases of Section 5.2).
+};
+
+/** System-level evaluator. */
+class SystemModel
+{
+  public:
+    /** @param powerParams / evParams vehicle model knobs. */
+    SystemModel(const vehicle::PowerParams& powerParams = {},
+                const vehicle::EvParams& evParams = {});
+
+    /**
+     * Sample the end-to-end latency distribution of a configuration:
+     * per frame, e2e = max(LOC, DET + TRA) + FUSION + MOTPLAN.
+     */
+    LatencySummary sampleEndToEnd(const SystemConfig& config,
+                                  int samples, Rng& rng) const;
+
+    /** Computing power across all camera replicas (W). */
+    double computePowerW(const SystemConfig& config) const;
+
+    /** Full assessment (latency + power + range + constraints). */
+    SystemAssessment assess(const SystemConfig& config, int samples,
+                            Rng& rng) const;
+
+    /**
+     * The paper's configuration sweep: all platform assignments of
+     * (DET, TRA, LOC) over the four platforms.
+     */
+    static std::vector<SystemConfig> allConfigs(
+        int cameras = 8, double resolutionScale = 1.0);
+
+    const vehicle::EvRangeModel& rangeModel() const { return ev_; }
+    const vehicle::VehiclePowerModel& powerModel() const
+    {
+        return power_;
+    }
+
+  private:
+    vehicle::VehiclePowerModel power_;
+    vehicle::EvRangeModel ev_;
+};
+
+} // namespace ad::pipeline
+
+#endif // AD_PIPELINE_SYSTEM_MODEL_HH

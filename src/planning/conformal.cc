@@ -1,0 +1,201 @@
+#include "planning/conformal.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ad::planning {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+namespace {
+
+/** One planning attempt at a fixed cruise speed (station timing). */
+Trajectory
+planConformalOnce(const Pose2& start, double centerY,
+                  const std::vector<PredictedObstacle>& obstacles,
+                  const ConformalParams& params, ConformalStats* stats)
+{
+    const int s = params.stations;
+    const int l = params.lateralSamples;
+    const double dt = params.stationSpacing /
+                      std::max(1.0, params.cruiseSpeed);
+
+    ConformalStats localStats;
+
+    // Lateral offset of each sample row.
+    std::vector<double> offsets(l);
+    for (int j = 0; j < l; ++j)
+        offsets[j] = -params.corridorHalfWidth +
+            2.0 * params.corridorHalfWidth * j / (l - 1);
+
+    // Node cost: offset preference + spatiotemporal obstacle cost.
+    const auto nodeCost = [&](int station, int lat) {
+        const double t = (station + 1) * dt;
+        const Vec2 pos{start.pos.x + (station + 1) * params.stationSpacing,
+                       centerY + offsets[lat]};
+        double cost = params.offsetWeight * offsets[lat] * offsets[lat];
+        for (const auto& o : obstacles) {
+            const Vec2 predicted = o.pos + o.velocity * t;
+            const double clearance =
+                (pos - predicted).norm() - o.radius;
+            localStats.minClearance =
+                std::min(localStats.minClearance, clearance);
+            if (clearance < params.collisionDistance)
+                return kInf;
+            if (clearance < params.safeDistance) {
+                const double x = (params.safeDistance - clearance) /
+                                 params.safeDistance;
+                cost += params.obstacleWeight * x * x;
+            }
+        }
+        return cost;
+    };
+
+    // DP over stations.
+    std::vector<std::vector<double>> best(
+        s, std::vector<double>(l, kInf));
+    std::vector<std::vector<int>> from(s, std::vector<int>(l, -1));
+
+    const double startOffset = start.pos.y - centerY;
+    for (int j = 0; j < l; ++j) {
+        const double c = nodeCost(0, j);
+        if (c == kInf)
+            continue;
+        const double d = offsets[j] - startOffset;
+        best[0][j] = c + params.smoothWeight * d * d;
+        from[0][j] = j;
+    }
+    for (int i = 1; i < s; ++i) {
+        for (int j = 0; j < l; ++j) {
+            const double c = nodeCost(i, j);
+            if (c == kInf)
+                continue;
+            for (int k = 0; k < l; ++k) {
+                if (best[i - 1][k] == kInf)
+                    continue;
+                const double d = offsets[j] - offsets[k];
+                const double total =
+                    best[i - 1][k] + c + params.smoothWeight * d * d;
+                if (total < best[i][j]) {
+                    best[i][j] = total;
+                    from[i][j] = k;
+                }
+            }
+        }
+    }
+
+    // Pick the cheapest terminal node.
+    int bestEnd = -1;
+    double bestCost = kInf;
+    for (int j = 0; j < l; ++j) {
+        if (best[s - 1][j] < bestCost) {
+            bestCost = best[s - 1][j];
+            bestEnd = j;
+        }
+    }
+
+    Trajectory result;
+    if (bestEnd < 0) {
+        // Fully blocked corridor: emit an emergency-stop trajectory in
+        // the current lane.
+        localStats.blocked = true;
+        if (stats)
+            *stats = localStats;
+        TrajPoint stop;
+        stop.pos = start.pos;
+        stop.heading = start.theta;
+        stop.speed = 0.0;
+        stop.time = 0.0;
+        result.points.push_back(stop);
+        return result;
+    }
+    localStats.cost = bestCost;
+
+    // Walk back the offset profile.
+    std::vector<int> profile(s);
+    int j = bestEnd;
+    for (int i = s - 1; i >= 0; --i) {
+        profile[i] = j;
+        j = from[i][j];
+    }
+
+    // Station speeds: cruise, capped by the car-following law against
+    // the nearest leading obstacle near the chosen lateral corridor.
+    const auto stationSpeed = [&](const Vec2& pos, double t) {
+        if (!params.adaptSpeed)
+            return params.cruiseSpeed;
+        double speed = params.cruiseSpeed;
+        for (const auto& o : obstacles) {
+            const Vec2 predicted = o.pos + o.velocity * t;
+            const double ahead = predicted.x - pos.x;
+            const double lateral = std::fabs(predicted.y - pos.y);
+            if (ahead <= 0 || lateral > 1.8)
+                continue; // behind us or out of our corridor
+            const double gap = ahead - o.radius - params.standoffGap;
+            // Time-headway law: close the gap over `timeHeadway`
+            // seconds on top of matching the lead's forward speed.
+            const double follow = std::max(0.0, gap) /
+                                      params.timeHeadway +
+                                  std::max(0.0, o.velocity.x);
+            speed = std::min(speed, follow);
+        }
+        return speed;
+    };
+
+    result.points.push_back({start.pos, start.theta,
+                             stationSpeed(start.pos, 0.0), 0.0});
+    for (int i = 0; i < s; ++i) {
+        TrajPoint p;
+        p.pos = {start.pos.x + (i + 1) * params.stationSpacing,
+                 centerY + offsets[profile[i]]};
+        p.speed = stationSpeed(p.pos, (i + 1) * dt);
+        p.time = (i + 1) * dt;
+        const Vec2 prev = result.points.back().pos;
+        p.heading = std::atan2(p.pos.y - prev.y, p.pos.x - prev.x);
+        result.points.push_back(p);
+    }
+    if (stats)
+        *stats = localStats;
+    return result;
+}
+
+} // namespace
+
+Trajectory
+planConformal(const Pose2& start, double centerY,
+              const std::vector<PredictedObstacle>& obstacles,
+              const ConformalParams& params, ConformalStats* stats)
+{
+    // Temporal fallback: if full-speed station timing collides at
+    // every lateral offset (a moving cluster occupies the corridor
+    // exactly when we would arrive), retry with slower timing -- the
+    // spatio-TEMPORAL dimension of the lattice. The commanded speeds
+    // of the accepted plan carry the reduced cruise.
+    constexpr double kFactors[] = {1.0, 0.6, 0.36, 0.2};
+    ConformalStats attemptStats;
+    for (const double factor : kFactors) {
+        ConformalParams attempt = params;
+        attempt.cruiseSpeed = params.cruiseSpeed * factor;
+        attemptStats = ConformalStats{};
+        Trajectory t = planConformalOnce(start, centerY, obstacles,
+                                         attempt, &attemptStats);
+        if (!attemptStats.blocked || !params.adaptSpeed ||
+            factor == kFactors[3]) {
+            attemptStats.speedFactor = factor;
+            if (stats)
+                *stats = attemptStats;
+            return t;
+        }
+    }
+    // Unreachable: the loop returns on its last iteration.
+    if (stats)
+        *stats = attemptStats;
+    return Trajectory{};
+}
+
+} // namespace ad::planning

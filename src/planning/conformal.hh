@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Conformal spatiotemporal lattice planner for structured roads
+ * (Section 3.1.5 of the paper / McNaughton et al.): candidate paths are
+ * laid out *conformal* to the lane centerline -- stations along the
+ * road, lateral offsets across it -- and evaluated spatio-temporally
+ * against predicted obstacle motion, so a slower lead vehicle induces a
+ * lane change or a speed reduction rather than a collision.
+ */
+
+#ifndef AD_PLANNING_CONFORMAL_HH
+#define AD_PLANNING_CONFORMAL_HH
+
+#include <vector>
+
+#include "common/geometry.hh"
+#include "planning/trajectory.hh"
+
+namespace ad::planning {
+
+/** A moving obstacle with a constant-velocity prediction. */
+struct PredictedObstacle
+{
+    Vec2 pos;
+    Vec2 velocity;
+    double radius = 1.5;
+};
+
+/** Conformal lattice knobs. */
+struct ConformalParams
+{
+    double stationSpacing = 5.0;  ///< longitudinal step (m).
+    int stations = 10;            ///< planning horizon in steps.
+    int lateralSamples = 7;       ///< offsets across the corridor.
+    double corridorHalfWidth = 3.5; ///< max |offset| from centerline.
+    double offsetWeight = 0.3;    ///< stay-near-centerline cost.
+    double smoothWeight = 2.0;    ///< lateral-change cost.
+    double obstacleWeight = 30.0; ///< proximity cost scale.
+    double safeDistance = 3.0;    ///< distance at which cost vanishes.
+    double collisionDistance = 1.2; ///< hard-blocked distance.
+    double cruiseSpeed = 25.0;    ///< desired speed (m/s).
+    /**
+     * Longitudinal adaptation (car following): cap each station's
+     * commanded speed by the time-headway law v = gap / headway
+     * against the nearest leading obstacle in the chosen corridor, so
+     * the vehicle slows behind a lead it cannot (cheaply) pass
+     * instead of tailgating at cruise speed.
+     */
+    bool adaptSpeed = true;
+    double timeHeadway = 1.5;     ///< seconds of following gap.
+    double standoffGap = 5.0;     ///< bumper-to-bumper floor (m).
+};
+
+/** Planner diagnostics. */
+struct ConformalStats
+{
+    double cost = 0.0;
+    bool blocked = false;  ///< every corridor cell was in collision.
+    double minClearance = 1e9;
+    /**
+     * Cruise-speed factor of the accepted plan. 1.0 means full-speed
+     * station timing worked; smaller values mean the temporal
+     * dimension of the lattice had to act -- the corridor only opens
+     * if the vehicle travels slower (e.g.\ behind a traffic cluster).
+     */
+    double speedFactor = 1.0;
+};
+
+/**
+ * Plan a trajectory conformal to a straight lane centerline.
+ *
+ * The centerline is the line y = centerY in world coordinates starting
+ * at startX (matching the synthetic road, which runs along +x); the
+ * planner emits stations at cruiseSpeed timing and picks the
+ * minimum-cost lateral offset profile by dynamic programming.
+ *
+ * @param start ego pose (projected onto the corridor).
+ * @param centerY lane-centerline y.
+ * @param obstacles predicted obstacle motions.
+ * @param params knobs.
+ * @param stats optional diagnostics.
+ */
+Trajectory planConformal(const Pose2& start, double centerY,
+                         const std::vector<PredictedObstacle>& obstacles,
+                         const ConformalParams& params = {},
+                         ConformalStats* stats = nullptr);
+
+} // namespace ad::planning
+
+#endif // AD_PLANNING_CONFORMAL_HH

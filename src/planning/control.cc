@@ -1,0 +1,81 @@
+#include "planning/control.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ad::planning {
+
+VehicleController::VehicleController(const ControlParams& params)
+    : params_(params)
+{
+}
+
+ControlCommand
+VehicleController::control(const VehicleState& state,
+                           const Trajectory& trajectory, double dt)
+{
+    ControlCommand cmd;
+    if (trajectory.empty())
+        return cmd;
+
+    // --- Pure pursuit: chase a lookahead point along the path. ---
+    const double lookahead =
+        params_.lookaheadBase + params_.lookaheadGain * state.speed;
+    const std::size_t nearest =
+        trajectory.closestIndex(state.pose.pos);
+    std::size_t target = nearest;
+    double walked = 0;
+    while (target + 1 < trajectory.points.size() && walked < lookahead) {
+        walked += (trajectory.points[target + 1].pos -
+                   trajectory.points[target].pos).norm();
+        ++target;
+    }
+    const Vec2 local = state.pose.inverseTransform(
+        trajectory.points[target].pos);
+    const double d2 = local.squaredNorm();
+    if (d2 > 1e-6 && local.x > 0) {
+        // Pure-pursuit curvature: 2*y / L^2.
+        const double curvature = 2.0 * local.y / d2;
+        cmd.steering = std::clamp(
+            std::atan(curvature * params_.wheelbase),
+            -params_.maxSteering, params_.maxSteering);
+    }
+
+    // --- PI speed control toward the trajectory's commanded speed,
+    // limited near the end of the path so the vehicle stops at the
+    // final point instead of sailing past it. ---
+    double remaining = (trajectory.points[target].pos -
+                        state.pose.pos).norm();
+    for (std::size_t i = target + 1; i < trajectory.points.size(); ++i)
+        remaining += (trajectory.points[i].pos -
+                      trajectory.points[i - 1].pos).norm();
+    constexpr double comfortBrake = 2.0; // m/s^2
+    const double endSpeedLimit =
+        std::sqrt(2.0 * comfortBrake * std::max(0.0, remaining));
+    double targetSpeed =
+        std::min(trajectory.points[target].speed, endSpeedLimit);
+    if (local.x <= 0)
+        targetSpeed = 0.0; // path end is behind us: stop
+    const double error = targetSpeed - state.speed;
+    integral_ = std::clamp(integral_ + error * dt, -5.0, 5.0);
+    cmd.acceleration = std::clamp(
+        params_.speedKp * error + params_.speedKi * integral_,
+        -params_.maxBrake, params_.maxAccel);
+    return cmd;
+}
+
+VehicleState
+stepBicycleModel(const VehicleState& state, const ControlCommand& cmd,
+                 double dt, double wheelbase)
+{
+    VehicleState next = state;
+    next.speed = std::max(0.0, state.speed + cmd.acceleration * dt);
+    const double yawRate =
+        next.speed * std::tan(cmd.steering) / wheelbase;
+    next.pose.theta = wrapAngle(state.pose.theta + yawRate * dt);
+    next.pose.pos += Vec2{std::cos(next.pose.theta),
+                          std::sin(next.pose.theta)} * (next.speed * dt);
+    return next;
+}
+
+} // namespace ad::planning

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Vehicle control (step 5 of Figure 1): the engine that "simply follows
+ * the planned paths and trajectories by operating the vehicle". Pure
+ * pursuit for steering, a PI controller for speed, and a kinematic
+ * bicycle model to integrate the ego state in simulation.
+ */
+
+#ifndef AD_PLANNING_CONTROL_HH
+#define AD_PLANNING_CONTROL_HH
+
+#include "common/geometry.hh"
+#include "planning/trajectory.hh"
+
+namespace ad::planning {
+
+/** Ego vehicle kinematic state. */
+struct VehicleState
+{
+    Pose2 pose;
+    double speed = 0.0; ///< m/s.
+};
+
+/** Control outputs. */
+struct ControlCommand
+{
+    double steering = 0.0;     ///< front-wheel angle (rad).
+    double acceleration = 0.0; ///< m/s^2.
+};
+
+/** Controller knobs. */
+struct ControlParams
+{
+    double wheelbase = 2.7;      ///< meters.
+    double lookaheadBase = 4.0;  ///< minimum lookahead (m).
+    double lookaheadGain = 0.5;  ///< lookahead per m/s of speed.
+    double maxSteering = 0.5;    ///< rad.
+    double speedKp = 1.2;
+    double speedKi = 0.1;
+    double maxAccel = 3.0;       ///< m/s^2.
+    double maxBrake = 6.0;       ///< m/s^2.
+};
+
+/** Pure-pursuit steering + PI speed controller. */
+class VehicleController
+{
+  public:
+    explicit VehicleController(const ControlParams& params = {});
+
+    /**
+     * Compute the command following the trajectory from the current
+     * state.
+     */
+    ControlCommand control(const VehicleState& state,
+                           const Trajectory& trajectory, double dt);
+
+    /** Reset the integral state (e.g.\ on a new trajectory). */
+    void reset() { integral_ = 0; }
+
+    const ControlParams& params() const { return params_; }
+
+  private:
+    ControlParams params_;
+    double integral_ = 0.0;
+};
+
+/** Integrate the kinematic bicycle model one step. */
+VehicleState stepBicycleModel(const VehicleState& state,
+                              const ControlCommand& cmd, double dt,
+                              double wheelbase = 2.7);
+
+} // namespace ad::planning
+
+#endif // AD_PLANNING_CONTROL_HH

@@ -1,0 +1,183 @@
+#include "planning/lattice.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+namespace ad::planning {
+
+namespace {
+
+/** Discretized search state. */
+struct Key
+{
+    std::int32_t x;
+    std::int32_t y;
+    std::int32_t h;
+
+    bool operator==(const Key&) const = default;
+};
+
+struct KeyHash
+{
+    std::size_t
+    operator()(const Key& k) const
+    {
+        std::size_t h = static_cast<std::uint32_t>(k.x) * 73856093u;
+        h ^= static_cast<std::uint32_t>(k.y) * 19349663u;
+        h ^= static_cast<std::uint32_t>(k.h) * 83492791u;
+        return h;
+    }
+};
+
+struct Node
+{
+    Pose2 pose;
+    double g = 0;       ///< cost so far.
+    double f = 0;       ///< g + heuristic.
+    Key parent{0, 0, -1};
+    bool hasParent = false;
+};
+
+struct QueueEntry
+{
+    double f;
+    Key key;
+    bool operator>(const QueueEntry& o) const { return f > o.f; }
+};
+
+bool
+collides(const Vec2& pos, const std::vector<Obstacle>& obstacles,
+         double margin)
+{
+    for (const auto& o : obstacles) {
+        const double r = o.radius + margin;
+        if ((pos - o.pos).squaredNorm() < r * r)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Trajectory
+planLattice(const Pose2& start, const Vec2& goal,
+            const std::vector<Obstacle>& obstacles,
+            const LatticeParams& params, LatticeStats* stats)
+{
+    Trajectory result;
+    LatticeStats localStats;
+
+    const double headingStep = 2.0 * M_PI / params.headingBins;
+    const auto keyOf = [&](const Pose2& p) {
+        const int hb = static_cast<int>(
+            std::lround(wrapAngle(p.theta) / headingStep));
+        return Key{
+            static_cast<std::int32_t>(std::floor(p.pos.x /
+                                                 params.cellSize)),
+            static_cast<std::int32_t>(std::floor(p.pos.y /
+                                                 params.cellSize)),
+            static_cast<std::int32_t>((hb % params.headingBins +
+                                       params.headingBins) %
+                                      params.headingBins)};
+    };
+    const auto heuristic = [&](const Vec2& p) {
+        return (goal - p).norm();
+    };
+
+    std::unordered_map<Key, Node, KeyHash> nodes;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>> open;
+
+    const Key startKey = keyOf(start);
+    nodes[startKey] = {start, 0.0, heuristic(start.pos), {}, false};
+    open.push({heuristic(start.pos), startKey});
+
+    // Motion primitives: straight, gentle left, gentle right -- each
+    // advancing stepLength of arc while turning one heading bin.
+    const double turn = headingStep;
+    Key goalKey{0, 0, -1};
+    bool found = false;
+
+    while (!open.empty() &&
+           localStats.expansions < params.maxExpansions) {
+        const QueueEntry top = open.top();
+        open.pop();
+        const auto it = nodes.find(top.key);
+        if (it == nodes.end() || top.f > it->second.f + 1e-9)
+            continue; // stale entry
+        const Node current = it->second;
+        ++localStats.expansions;
+
+        if ((current.pose.pos - goal).norm() <= params.goalTolerance) {
+            found = true;
+            goalKey = top.key;
+            localStats.cost = current.g;
+            break;
+        }
+
+        for (const double dTheta : {0.0, turn, -turn}) {
+            const double newTheta =
+                wrapAngle(current.pose.theta + dTheta);
+            // Integrate the primitive in two half steps for a smoother
+            // arc approximation.
+            const double midTheta =
+                wrapAngle(current.pose.theta + dTheta / 2);
+            Vec2 pos = current.pose.pos;
+            pos += Vec2{std::cos(midTheta), std::sin(midTheta)} *
+                   (params.stepLength / 2);
+            if (collides(pos, obstacles, params.obstacleMargin))
+                continue;
+            pos += Vec2{std::cos(newTheta), std::sin(newTheta)} *
+                   (params.stepLength / 2);
+            if (collides(pos, obstacles, params.obstacleMargin))
+                continue;
+
+            const Pose2 next(pos, newTheta);
+            const double cost = current.g + params.stepLength +
+                (dTheta != 0.0 ? params.turnPenalty : 0.0);
+            const Key key = keyOf(next);
+            const auto existing = nodes.find(key);
+            if (existing != nodes.end() && existing->second.g <= cost)
+                continue;
+            Node node;
+            node.pose = next;
+            node.g = cost;
+            node.f = cost + heuristic(pos);
+            node.parent = top.key;
+            node.hasParent = true;
+            nodes[key] = node;
+            open.push({node.f, key});
+        }
+    }
+
+    localStats.found = found;
+    if (stats)
+        *stats = localStats;
+    if (!found)
+        return result;
+
+    // Reconstruct the path.
+    std::vector<Pose2> poses;
+    Key k = goalKey;
+    for (;;) {
+        const Node& n = nodes[k];
+        poses.push_back(n.pose);
+        if (!n.hasParent)
+            break;
+        k = n.parent;
+    }
+    std::reverse(poses.begin(), poses.end());
+
+    double t = 0;
+    for (std::size_t i = 0; i < poses.size(); ++i) {
+        if (i > 0)
+            t += params.stepLength / std::max(0.1, params.cruiseSpeed);
+        result.points.push_back({poses[i].pos, poses[i].theta,
+                                 params.cruiseSpeed, t});
+    }
+    return result;
+}
+
+} // namespace ad::planning

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * State-lattice A* motion planner for unstructured areas. Following the
+ * paper's motion-planning engine (Section 3.1.5 / Autoware), a
+ * graph-search-based approach finds the minimum-cost path in a state
+ * lattice when the vehicle is in a large opening area such as a parking
+ * lot or rural area (Pivtoraiko et al.).
+ *
+ * States are (x, y, heading-bin) nodes; edges are kinematically
+ * feasible motion primitives (straight, left arc, right arc); obstacles
+ * are inflated discs.
+ */
+
+#ifndef AD_PLANNING_LATTICE_HH
+#define AD_PLANNING_LATTICE_HH
+
+#include <vector>
+
+#include "common/geometry.hh"
+#include "planning/trajectory.hh"
+
+namespace ad::planning {
+
+/** A disc obstacle in world coordinates. */
+struct Obstacle
+{
+    Vec2 pos;
+    double radius = 1.0;
+};
+
+/** Lattice planner knobs. */
+struct LatticeParams
+{
+    double cellSize = 1.0;        ///< spatial resolution (m).
+    int headingBins = 8;
+    double stepLength = 2.0;      ///< primitive arc length (m).
+    double turnPenalty = 0.5;     ///< extra cost per heading change.
+    double obstacleMargin = 0.5;  ///< inflation added to radii (m).
+    double goalTolerance = 1.5;   ///< accept radius around goal (m).
+    int maxExpansions = 200000;   ///< search budget.
+    double cruiseSpeed = 3.0;     ///< m/s assigned to the result.
+};
+
+/** Search statistics for benches/tests. */
+struct LatticeStats
+{
+    int expansions = 0;
+    bool found = false;
+    double cost = 0.0;
+};
+
+/**
+ * Plan a path from start to goal through the obstacle field.
+ *
+ * @param start start pose.
+ * @param goal goal position (heading free).
+ * @param obstacles inflated-disc obstacles.
+ * @param params knobs.
+ * @param stats optional search statistics.
+ * @return empty trajectory when no path exists within the budget.
+ */
+Trajectory planLattice(const Pose2& start, const Vec2& goal,
+                       const std::vector<Obstacle>& obstacles,
+                       const LatticeParams& params = {},
+                       LatticeStats* stats = nullptr);
+
+} // namespace ad::planning
+
+#endif // AD_PLANNING_LATTICE_HH

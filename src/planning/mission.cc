@@ -1,0 +1,162 @@
+#include "planning/mission.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace ad::planning {
+
+int
+RoadGraph::addNode(const Vec2& pos)
+{
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back({id, pos});
+    adjacency_.emplace_back();
+    return id;
+}
+
+void
+RoadGraph::addEdge(int from, int to, double speedLimit, double length)
+{
+    if (from < 0 || to < 0 ||
+        from >= static_cast<int>(nodes_.size()) ||
+        to >= static_cast<int>(nodes_.size()))
+        panic("RoadGraph::addEdge: bad node id ", from, " -> ", to);
+    RoadEdge e;
+    e.from = from;
+    e.to = to;
+    e.speedLimit = speedLimit;
+    e.length = length > 0 ? length
+                          : (nodes_[to].pos - nodes_[from].pos).norm();
+    adjacency_[from].push_back(e);
+}
+
+void
+RoadGraph::addBidirectional(int a, int b, double speedLimit)
+{
+    addEdge(a, b, speedLimit);
+    addEdge(b, a, speedLimit);
+}
+
+int
+RoadGraph::nearestNode(const Vec2& pos) const
+{
+    int best = -1;
+    double bestDist = std::numeric_limits<double>::max();
+    for (const auto& n : nodes_) {
+        const double d = (n.pos - pos).squaredNorm();
+        if (d < bestDist) {
+            bestDist = d;
+            best = n.id;
+        }
+    }
+    return best;
+}
+
+MissionPlanner::MissionPlanner(const RoadGraph* graph,
+                               const MissionParams& params)
+    : graph_(graph), params_(params)
+{
+    if (!graph)
+        fatal("MissionPlanner: graph must be non-null");
+}
+
+Route
+MissionPlanner::dijkstra(int src, int dst) const
+{
+    const auto n = graph_->nodeCount();
+    std::vector<double> dist(n, std::numeric_limits<double>::max());
+    std::vector<int> prev(n, -1);
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        open;
+    dist[src] = 0;
+    open.push({0.0, src});
+    while (!open.empty()) {
+        const auto [d, u] = open.top();
+        open.pop();
+        if (d > dist[u])
+            continue;
+        if (u == dst)
+            break;
+        for (const auto& e : graph_->edgesFrom(u)) {
+            // Rule-based cost: travel time at the limit plus a turn
+            // penalty whenever the route changes direction.
+            double cost = e.length / e.speedLimit;
+            if (prev[u] >= 0) {
+                const Vec2 inDir =
+                    (graph_->node(u).pos - graph_->node(prev[u]).pos)
+                        .normalized();
+                const Vec2 outDir =
+                    (graph_->node(e.to).pos - graph_->node(u).pos)
+                        .normalized();
+                if (inDir.dot(outDir) < 0.7)
+                    cost += params_.turnPenalty;
+            }
+            if (dist[u] + cost < dist[e.to]) {
+                dist[e.to] = dist[u] + cost;
+                prev[e.to] = u;
+                open.push({dist[e.to], e.to});
+            }
+        }
+    }
+
+    Route route;
+    if (dist[dst] == std::numeric_limits<double>::max())
+        return route;
+    route.travelTime = dist[dst];
+    for (int v = dst; v != -1; v = prev[v])
+        route.nodeIds.push_back(v);
+    std::reverse(route.nodeIds.begin(), route.nodeIds.end());
+    return route;
+}
+
+Route
+MissionPlanner::plan(const Vec2& from, const Vec2& to)
+{
+    const int src = graph_->nearestNode(from);
+    const int dst = graph_->nearestNode(to);
+    if (src < 0 || dst < 0)
+        fatal("MissionPlanner::plan: empty road graph");
+    route_ = dijkstra(src, dst);
+    destination_ = to;
+    hasRoute_ = !route_.empty();
+    return route_;
+}
+
+double
+MissionPlanner::distanceToRoute(const Vec2& pos) const
+{
+    if (!hasRoute_ || route_.nodeIds.size() < 2)
+        return hasRoute_ && !route_.nodeIds.empty()
+                   ? (graph_->node(route_.nodeIds[0]).pos - pos).norm()
+                   : std::numeric_limits<double>::max();
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t i = 1; i < route_.nodeIds.size(); ++i) {
+        const Vec2 a = graph_->node(route_.nodeIds[i - 1]).pos;
+        const Vec2 b = graph_->node(route_.nodeIds[i]).pos;
+        const Vec2 ab = b - a;
+        const double len2 = ab.squaredNorm();
+        double t = len2 > 0 ? (pos - a).dot(ab) / len2 : 0.0;
+        t = std::clamp(t, 0.0, 1.0);
+        best = std::min(best, (pos - (a + ab * t)).norm());
+    }
+    return best;
+}
+
+bool
+MissionPlanner::checkDeviation(const Vec2& pos)
+{
+    if (!hasRoute_)
+        return false;
+    if (distanceToRoute(pos) <= params_.deviationThreshold)
+        return false;
+    ++replanCount_;
+    plan(pos, destination_);
+    return true;
+}
+
+} // namespace ad::planning

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The mission-planning engine (MISPLAN, Section 3.1.6): a rule-based
+ * router over a road-network graph, following the Autoware policy the
+ * paper adopts. The route is computed once at the start of a drive and
+ * recomputed *only when the vehicle deviates from the planned route*,
+ * which is why the paper excludes MISPLAN from the per-frame latency
+ * characterization.
+ */
+
+#ifndef AD_PLANNING_MISSION_HH
+#define AD_PLANNING_MISSION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+
+namespace ad::planning {
+
+/** Road-network node (an intersection or waypoint). */
+struct RoadNode
+{
+    int id = 0;
+    Vec2 pos;
+};
+
+/** Directed road-network edge. */
+struct RoadEdge
+{
+    int from = 0;
+    int to = 0;
+    double length = 0.0;     ///< meters.
+    double speedLimit = 13.9; ///< m/s (50 km/h default).
+};
+
+/** A road network graph. */
+class RoadGraph
+{
+  public:
+    /** Add a node at a position; returns its id. */
+    int addNode(const Vec2& pos);
+
+    /** Add a directed edge; length defaults to the node distance. */
+    void addEdge(int from, int to, double speedLimit = 13.9,
+                 double length = -1.0);
+
+    /** Add edges in both directions. */
+    void addBidirectional(int a, int b, double speedLimit = 13.9);
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    const RoadNode& node(int id) const { return nodes_[id]; }
+    const std::vector<RoadEdge>& edgesFrom(int id) const
+    {
+        return adjacency_[id];
+    }
+
+    /** Nearest node to a position. */
+    int nearestNode(const Vec2& pos) const;
+
+  private:
+    std::vector<RoadNode> nodes_;
+    std::vector<std::vector<RoadEdge>> adjacency_;
+};
+
+/** A routed path through the graph. */
+struct Route
+{
+    std::vector<int> nodeIds;
+    double travelTime = 0.0; ///< seconds at the speed limits.
+
+    bool empty() const { return nodeIds.empty(); }
+};
+
+/** Mission-planner knobs. */
+struct MissionParams
+{
+    double deviationThreshold = 8.0; ///< meters off-route -> replan.
+    double turnPenalty = 5.0;        ///< rule-based turn discouragement
+                                     ///  (seconds added per turn).
+};
+
+/**
+ * Rule-based mission planner: time-optimal routing (Dijkstra over
+ * travel time plus turn penalties) with deviation-triggered replans.
+ */
+class MissionPlanner
+{
+  public:
+    MissionPlanner(const RoadGraph* graph,
+                   const MissionParams& params = {});
+
+    /** Plan a route between the nodes nearest the given positions. */
+    Route plan(const Vec2& from, const Vec2& to);
+
+    /**
+     * Per-frame check (step 4 of Figure 1): returns true (and replans
+     * from the current position) iff the vehicle strayed more than the
+     * deviation threshold from the current route.
+     */
+    bool checkDeviation(const Vec2& pos);
+
+    const Route& route() const { return route_; }
+
+    /** Replans performed since construction (excluding the first). */
+    int replanCount() const { return replanCount_; }
+
+    /** Distance from a position to the current route polyline. */
+    double distanceToRoute(const Vec2& pos) const;
+
+  private:
+    Route dijkstra(int src, int dst) const;
+
+    const RoadGraph* graph_;
+    MissionParams params_;
+    Route route_;
+    Vec2 destination_;
+    bool hasRoute_ = false;
+    int replanCount_ = 0;
+};
+
+} // namespace ad::planning
+
+#endif // AD_PLANNING_MISSION_HH

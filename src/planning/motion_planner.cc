@@ -1,0 +1,41 @@
+#include "planning/motion_planner.hh"
+
+namespace ad::planning {
+
+MotionPlanner::MotionPlanner(const MotionPlannerParams& params)
+    : params_(params)
+{
+}
+
+MotionResult
+MotionPlanner::plan(const MotionRequest& request) const
+{
+    MotionResult result;
+    result.areaUsed = request.area;
+
+    if (request.area == DrivingArea::Structured) {
+        ConformalStats stats;
+        result.trajectory =
+            planConformal(request.start, params_.laneCenterY,
+                          request.obstacles, params_.conformal, &stats);
+        result.feasible = !stats.blocked;
+        result.costOrExpansions = stats.cost;
+        return result;
+    }
+
+    // Open area: the state lattice ignores obstacle velocities (the
+    // vehicle moves slowly there); predicted obstacles convert to
+    // static discs at their current positions.
+    std::vector<Obstacle> discs;
+    discs.reserve(request.obstacles.size());
+    for (const auto& o : request.obstacles)
+        discs.push_back({o.pos, o.radius});
+    LatticeStats stats;
+    result.trajectory = planLattice(request.start, request.goal, discs,
+                                    params_.lattice, &stats);
+    result.feasible = stats.found;
+    result.costOrExpansions = stats.expansions;
+    return result;
+}
+
+} // namespace ad::planning

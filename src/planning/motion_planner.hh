@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Motion-planning facade (MOTPLAN, Section 3.1.5): the paper's system
+ * "leverages a graph-search based approach ... in space lattices when
+ * the vehicle is in a large opening area like parking lot or rural
+ * area" and "conformal lattices with spatial and temporal information"
+ * in structured areas. This facade selects between the two planners
+ * based on the declared driving area and presents one interface to
+ * the pipeline.
+ */
+
+#ifndef AD_PLANNING_MOTION_PLANNER_HH
+#define AD_PLANNING_MOTION_PLANNER_HH
+
+#include "planning/conformal.hh"
+#include "planning/lattice.hh"
+
+namespace ad::planning {
+
+/** The kind of area the vehicle is operating in. */
+enum class DrivingArea
+{
+    Structured,  ///< lanes and traffic: conformal lattice.
+    OpenArea,    ///< parking lot / rural: state-lattice search.
+};
+
+/** Facade parameters. */
+struct MotionPlannerParams
+{
+    ConformalParams conformal;
+    LatticeParams lattice;
+    double laneCenterY = 5.25; ///< structured-corridor centerline.
+};
+
+/** Unified planning request. */
+struct MotionRequest
+{
+    Pose2 start;
+    DrivingArea area = DrivingArea::Structured;
+    Vec2 goal;  ///< only used in open areas.
+    std::vector<PredictedObstacle> obstacles;
+};
+
+/** Unified planning result. */
+struct MotionResult
+{
+    Trajectory trajectory;
+    DrivingArea areaUsed = DrivingArea::Structured;
+    bool feasible = false;
+    double costOrExpansions = 0; ///< planner-specific diagnostic.
+};
+
+/** The MOTPLAN engine facade. */
+class MotionPlanner
+{
+  public:
+    explicit MotionPlanner(const MotionPlannerParams& params = {});
+
+    /** Plan a trajectory for the request. */
+    MotionResult plan(const MotionRequest& request) const;
+
+    const MotionPlannerParams& params() const { return params_; }
+
+  private:
+    MotionPlannerParams params_;
+};
+
+} // namespace ad::planning
+
+#endif // AD_PLANNING_MOTION_PLANNER_HH

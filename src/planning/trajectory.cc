@@ -1,0 +1,51 @@
+#include "planning/trajectory.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace ad::planning {
+
+double
+Trajectory::length() const
+{
+    double total = 0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        total += (points[i].pos - points[i - 1].pos).norm();
+    return total;
+}
+
+std::size_t
+Trajectory::closestIndex(const Vec2& pos) const
+{
+    std::size_t best = 0;
+    double bestDist = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double d = (points[i].pos - pos).squaredNorm();
+        if (d < bestDist) {
+            bestDist = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+Trajectory::distanceTo(const Vec2& pos) const
+{
+    double best = std::numeric_limits<double>::max();
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const Vec2 a = points[i - 1].pos;
+        const Vec2 b = points[i].pos;
+        const Vec2 ab = b - a;
+        const double len2 = ab.squaredNorm();
+        double t = len2 > 0 ? (pos - a).dot(ab) / len2 : 0.0;
+        t = std::clamp(t, 0.0, 1.0);
+        const Vec2 proj = a + ab * t;
+        best = std::min(best, (pos - proj).norm());
+    }
+    if (points.size() == 1)
+        best = (points[0].pos - pos).norm();
+    return best;
+}
+
+} // namespace ad::planning

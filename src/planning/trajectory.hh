@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trajectory types shared by the motion planners and the vehicle
+ * controller.
+ */
+
+#ifndef AD_PLANNING_TRAJECTORY_HH
+#define AD_PLANNING_TRAJECTORY_HH
+
+#include <vector>
+
+#include "common/geometry.hh"
+
+namespace ad::planning {
+
+/** One sample along a planned trajectory. */
+struct TrajPoint
+{
+    Vec2 pos;
+    double heading = 0.0; ///< radians.
+    double speed = 0.0;   ///< m/s commanded at this point.
+    double time = 0.0;    ///< seconds from plan start.
+};
+
+/** A time-parameterized path. */
+struct Trajectory
+{
+    std::vector<TrajPoint> points;
+
+    bool empty() const { return points.empty(); }
+
+    /** Total arc length (sum of segment lengths). */
+    double length() const;
+
+    /** Closest point index to a position. */
+    std::size_t closestIndex(const Vec2& pos) const;
+
+    /** Lateral distance from a position to the polyline. */
+    double distanceTo(const Vec2& pos) const;
+};
+
+} // namespace ad::planning
+
+#endif // AD_PLANNING_TRAJECTORY_HH

@@ -1,0 +1,302 @@
+#include "sensors/camera.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ad::sensors {
+
+ResolutionSpec
+resolutionSpec(Resolution r)
+{
+    switch (r) {
+      case Resolution::HHD: return {"HHD", 640, 360};
+      case Resolution::HD: return {"HD (720p)", 1280, 720};
+      case Resolution::HDPlus: return {"HD+", 1600, 900};
+      case Resolution::FHD: return {"FHD (1080p)", 1920, 1080};
+      case Resolution::QHD: return {"QHD (1440p)", 2560, 1440};
+      case Resolution::Kitti: return {"KITTI", 1242, 375};
+    }
+    panic("resolutionSpec: bad resolution");
+}
+
+const std::vector<Resolution>&
+allResolutions()
+{
+    static const std::vector<Resolution> all = {
+        Resolution::HHD, Resolution::Kitti, Resolution::HD,
+        Resolution::HDPlus, Resolution::FHD, Resolution::QHD,
+    };
+    return all;
+}
+
+Camera::Camera(Resolution res)
+    : Camera(resolutionSpec(res).width, resolutionSpec(res).height)
+{
+}
+
+Camera::Camera(int width, int height) : width_(width), height_(height)
+{
+    if (width <= 0 || height <= 0)
+        fatal("Camera: invalid resolution ", width, "x", height);
+    focal_ = width / 2.0;     // 90-degree horizontal FOV.
+    horizon_ = height / 2.0;  // zero pitch.
+}
+
+bool
+Camera::project(const Pose2& ego, const Vec2& world, double z, double& u,
+                double& v, double& depth) const
+{
+    const Vec2 local = ego.inverseTransform(world);
+    depth = local.x;
+    if (depth < nearPlane_)
+        return false;
+    u = width_ / 2.0 - focal_ * local.y / depth;
+    v = horizon_ + focal_ * (cameraHeight_ - z) / depth;
+    return true;
+}
+
+bool
+Camera::unprojectGround(const Pose2& ego, double u, double v,
+                        Vec2& world) const
+{
+    if (v <= horizon_ + 0.5)
+        return false;
+    const double depth = focal_ * cameraHeight_ / (v - horizon_);
+    const double lateral = (width_ / 2.0 - u) * depth / focal_;
+    world = ego.transform({depth, lateral});
+    return true;
+}
+
+namespace {
+
+/** Painter's-algorithm display-list entry. */
+struct DrawItem
+{
+    bool isActor = false;
+    std::size_t index = 0;
+    double depth = 0;
+};
+
+/** World-anchored asphalt/grass noise in [-amp, amp]. */
+int
+groundNoise(const Vec2& world, int amp)
+{
+    const auto gx = static_cast<std::int32_t>(std::floor(world.x * 6.0));
+    const auto gy = static_cast<std::int32_t>(std::floor(world.y * 6.0));
+    const std::uint32_t h = worldHash(0xa5fa17u, gx, gy);
+    return static_cast<int>(h % (2 * amp + 1)) - amp;
+}
+
+/** Is the world ground point on a lane-marking stripe? */
+bool
+onLaneMarking(const Road& road, const Vec2& world)
+{
+    if (world.y < -0.2 || world.y > road.width() + 0.2)
+        return false;
+    constexpr double halfStripe = 0.12;
+    for (int k = 0; k <= road.lanes; ++k) {
+        const double boundary = k * road.laneWidth;
+        if (std::fabs(world.y - boundary) > halfStripe)
+            continue;
+        // Edge lines are solid; interior boundaries are 3m-on/3m-off
+        // dashes anchored to world x.
+        if (k == 0 || k == road.lanes)
+            return true;
+        return std::fmod(std::fmod(world.x, 6.0) + 6.0, 6.0) < 3.0;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+Camera::landmarkRect(const Pose2& ego, const Landmark& lm, BBox& box,
+                     double& depth) const
+{
+    double u0, v0, u1, v1, d0, d1;
+    const Vec2 lateral{0.0, lm.width / 2.0};
+    if (!project(ego, lm.pos + lateral, lm.baseHeight, u0, v0, d0) ||
+        !project(ego, lm.pos - lateral, lm.baseHeight + lm.height, u1, v1,
+                 d1))
+        return false;
+    depth = (d0 + d1) / 2.0;
+    if (depth < nearPlane_ || depth > farPlane_)
+        return false;
+    const double x0 = std::min(u0, u1);
+    const double x1 = std::max(u0, u1);
+    const double y0 = std::min(v0, v1);
+    const double y1 = std::max(v0, v1);
+    box = BBox(x0, y0, x1 - x0, y1 - y0);
+    return true;
+}
+
+Frame
+Camera::render(const World& world, const Pose2& ego,
+               const RenderConditions& conditions) const
+{
+    Frame frame;
+    frame.egoTruth = ego;
+    frame.timestamp = world.time();
+    frame.image = Image(width_, height_);
+    Image& img = frame.image;
+
+    const Road& road = world.road();
+
+    // Background: sky above the horizon, ground below.
+    for (int y = 0; y < height_; ++y) {
+        std::uint8_t* row = img.row(y);
+        if (y <= horizon_) {
+            // Sky: mild vertical gradient, feature-poor by design.
+            const int sky = 115 + static_cast<int>(10.0 * y / horizon_);
+            std::fill(row, row + width_, static_cast<std::uint8_t>(sky));
+            continue;
+        }
+        for (int x = 0; x < width_; ++x) {
+            Vec2 ground;
+            if (!unprojectGround(ego, x + 0.5, y + 0.5, ground)) {
+                row[x] = 120;
+                continue;
+            }
+            const bool onRoad =
+                ground.y >= -0.2 && ground.y <= road.width() + 0.2;
+            // Lane markings sit below every object-class intensity band
+            // so the brightness-driven detector does not fire on them.
+            int base = onRoad ? 80 : 58;
+            if (onRoad && onLaneMarking(road, ground))
+                base = 150;
+            base += groundNoise(ground, onRoad ? 7 : 10);
+            row[x] = static_cast<std::uint8_t>(std::clamp(base, 0, 255));
+        }
+    }
+
+    // Build the far-to-near display list of landmarks and actors.
+    std::vector<DrawItem> items;
+    const auto& landmarks = world.landmarks();
+    const auto& actors = world.actors();
+    for (std::size_t i = 0; i < landmarks.size(); ++i) {
+        const Vec2 local = ego.inverseTransform(landmarks[i].pos);
+        if (local.x > nearPlane_ && local.x < farPlane_)
+            items.push_back({false, i, local.x});
+    }
+    for (std::size_t i = 0; i < actors.size(); ++i) {
+        const Vec2 local = ego.inverseTransform(actors[i].pose.pos);
+        if (local.x > nearPlane_ && local.x < farPlane_)
+            items.push_back({true, i, local.x});
+    }
+    std::sort(items.begin(), items.end(),
+              [](const DrawItem& a, const DrawItem& b) {
+                  return a.depth > b.depth;
+              });
+
+    for (const auto& item : items) {
+        if (!item.isActor) {
+            const Landmark& lm = landmarks[item.index];
+            // Boards face the camera (fronto-parallel approximation),
+            // so the image footprint is an axis-aligned rectangle.
+            BBox rect;
+            double depth;
+            if (!landmarkRect(ego, lm, rect, depth))
+                continue;
+            const int x0 = static_cast<int>(std::floor(rect.x));
+            const int x1 = static_cast<int>(std::ceil(rect.xmax()));
+            const int y0 = static_cast<int>(std::floor(rect.y));
+            const int y1 = static_cast<int>(std::ceil(rect.ymax()));
+            if (x1 <= 0 || x0 >= width_ || y1 <= 0 || y0 >= height_)
+                continue;
+            constexpr double cell = 0.18; // checker cell size (m).
+            for (int y = std::max(0, y0); y < std::min(height_, y1); ++y) {
+                for (int x = std::max(0, x0); x < std::min(width_, x1);
+                     ++x) {
+                    const double s = (x - x0) /
+                        std::max(1.0, static_cast<double>(x1 - x0));
+                    const double t = (y - y0) /
+                        std::max(1.0, static_cast<double>(y1 - y0));
+                    const auto ci = static_cast<std::int32_t>(
+                        s * lm.width / cell);
+                    const auto cj = static_cast<std::int32_t>(
+                        t * lm.height / cell);
+                    const std::uint32_t h =
+                        worldHash(lm.textureSeed, ci, cj);
+                    img.at(x, y) =
+                        static_cast<std::uint8_t>(40 + h % 120);
+                }
+            }
+            continue;
+        }
+
+        const Actor& actor = actors[item.index];
+        double u, v, depth;
+        if (!project(ego, actor.pose.pos, 0.0, u, v, depth))
+            continue;
+        // Footprint spans the larger of width and foreshortened length.
+        const double relAngle = actor.pose.theta - ego.theta;
+        const double span = std::max(
+            actor.width, actor.length * std::fabs(std::sin(relAngle)) +
+                             actor.width * std::fabs(std::cos(relAngle)));
+        const double wPx = focal_ * span / depth;
+        const double hPx = focal_ * actor.height / depth;
+        const BBox box(u - wPx / 2, v - hPx, wPx, hPx);
+        const BBox clipped = box.clipped(width_, height_);
+        if (clipped.w < 2 || clipped.h < 2)
+            continue;
+
+        const std::uint8_t intensity = objectClassIntensity(actor.cls);
+        const int x0 = static_cast<int>(clipped.x);
+        const int x1 = static_cast<int>(clipped.xmax());
+        const int y0 = static_cast<int>(clipped.y);
+        const int y1 = static_cast<int>(clipped.ymax());
+        for (int y = y0; y < y1; ++y) {
+            for (int x = x0; x < x1; ++x) {
+                const std::uint32_t h =
+                    worldHash(0xac7031u + actor.id, x - x0, y - y0);
+                const int noise = static_cast<int>(h % 17) - 8;
+                int value = intensity + noise;
+                // Dark 2px border gives the tracker/FAST texture while
+                // staying below every class intensity band (so it
+                // cannot skew the detector's class-band mean).
+                if (x - x0 < 2 || x1 - 1 - x < 2 || y - y0 < 2 ||
+                    y1 - 1 - y < 2)
+                    value = value * 2 / 5;
+                img.at(x, y) = static_cast<std::uint8_t>(
+                    std::clamp(value, 0, 255));
+            }
+        }
+
+        GroundTruthObject gt;
+        gt.actorId = actor.id;
+        gt.cls = actor.cls;
+        gt.box = clipped;
+        gt.worldPos = actor.pose.pos;
+        gt.depth = depth;
+        frame.truth.push_back(gt);
+    }
+
+    // Environmental post-processing: global illumination gain and
+    // additional sensor noise (deterministic per pixel/time so frames
+    // stay reproducible).
+    if (conditions.illumination != 1.0 || conditions.extraNoise > 0) {
+        const auto timeSalt = static_cast<std::uint32_t>(
+            world.time() * 1000.0);
+        for (int y = 0; y < height_; ++y) {
+            std::uint8_t* row = img.row(y);
+            for (int x = 0; x < width_; ++x) {
+                double v = row[x] * conditions.illumination;
+                if (conditions.extraNoise > 0) {
+                    const std::uint32_t h = worldHash(
+                        0x5eed1u + timeSalt, x, y);
+                    v += static_cast<int>(
+                             h % (2 * conditions.extraNoise + 1)) -
+                         conditions.extraNoise;
+                }
+                row[x] = static_cast<std::uint8_t>(
+                    std::clamp(v, 0.0, 255.0));
+            }
+        }
+    }
+
+    return frame;
+}
+
+} // namespace ad::sensors

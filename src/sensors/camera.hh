@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Pinhole camera model and grayscale renderer over the synthetic world.
+ * The camera substitutes for the paper's KITTI video streams: it renders
+ * frames at any of the paper's resolution presets (Figure 13 sweeps
+ * HHD through QHD) with per-frame ground truth, exercising the same
+ * detector/tracker/localizer code paths the real data would.
+ *
+ * Rendering is world-anchored: road asphalt noise, lane-marking dashes
+ * and landmark checker textures are functions of *world* coordinates,
+ * so the same physical surface produces consistent (ORB-matchable)
+ * appearance from different ego poses.
+ */
+
+#ifndef AD_SENSORS_CAMERA_HH
+#define AD_SENSORS_CAMERA_HH
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/image.hh"
+#include "sensors/world.hh"
+
+namespace ad::sensors {
+
+/** Camera resolution presets used across the paper's evaluation. */
+enum class Resolution { HHD, HD, HDPlus, FHD, QHD, Kitti };
+
+/** Pixel dimensions of a preset. */
+struct ResolutionSpec
+{
+    const char* name;
+    int width;
+    int height;
+
+    double
+    megapixels() const
+    {
+        return width * static_cast<double>(height) / 1e6;
+    }
+};
+
+/** Lookup of the preset table (Figure 13's x-axis + KITTI baseline). */
+ResolutionSpec resolutionSpec(Resolution r);
+
+/** All presets in ascending pixel count (for sweeps). */
+const std::vector<Resolution>& allResolutions();
+
+/** Ground-truth record for one rendered actor. */
+struct GroundTruthObject
+{
+    int actorId = 0;
+    ObjectClass cls = ObjectClass::Vehicle;
+    BBox box;          ///< image-space bounding box.
+    Vec2 worldPos;     ///< actor ground position.
+    double depth = 0;  ///< camera-frame forward distance (m).
+};
+
+/**
+ * Environmental rendering conditions. The paper's localization engine
+ * carries a map-update step precisely because "the current
+ * surroundings [may be] different from the prior map (e.g., the map
+ * is built under different weather conditions)"; these knobs create
+ * that appearance change.
+ */
+struct RenderConditions
+{
+    double illumination = 1.0; ///< global gain (dusk ~0.6-0.8).
+    int extraNoise = 0;        ///< added sensor noise amplitude.
+};
+
+/** One rendered camera frame. */
+struct Frame
+{
+    Image image;
+    std::vector<GroundTruthObject> truth;
+    Pose2 egoTruth;    ///< ground-truth ego pose at capture time.
+    double timestamp = 0;
+    int sequence = 0;
+};
+
+/**
+ * Forward-facing pinhole camera mounted on the ego vehicle.
+ *
+ * Geometry: camera sits cameraHeight above the ego ground point looking
+ * along the ego heading with zero pitch; horizontal FOV is 90 degrees
+ * (focal length = width / 2).
+ */
+class Camera
+{
+  public:
+    explicit Camera(Resolution res = Resolution::Kitti);
+    Camera(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    double focal() const { return focal_; }
+    double cameraHeight() const { return cameraHeight_; }
+
+    /**
+     * Project a world point (ground position + height z) into the
+     * image.
+     *
+     * @param ego ego pose (camera frame derives from it).
+     * @param world ground-plane world position.
+     * @param z height above ground.
+     * @param[out] u,v pixel coordinates.
+     * @param[out] depth camera-frame forward distance.
+     * @return false if the point is behind the near plane.
+     */
+    bool project(const Pose2& ego, const Vec2& world, double z, double& u,
+                 double& v, double& depth) const;
+
+    /**
+     * Inverse ground projection: the world ground point seen at pixel
+     * (u, v); false for pixels above the horizon.
+     */
+    bool unprojectGround(const Pose2& ego, double u, double v,
+                         Vec2& world) const;
+
+    /**
+     * Image-space rectangle of a landmark board seen from the ego pose
+     * (fronto-parallel approximation, unclipped).
+     *
+     * @return false if the board is outside the near/far range.
+     */
+    bool landmarkRect(const Pose2& ego, const Landmark& lm, BBox& box,
+                      double& depth) const;
+
+    /** Render one frame of the world from the ego pose. */
+    Frame render(const World& world, const Pose2& ego,
+                 const RenderConditions& conditions = {}) const;
+
+    double nearPlane() const { return nearPlane_; }
+    double farPlane() const { return farPlane_; }
+    double horizon() const { return horizon_; }
+
+  private:
+    int width_;
+    int height_;
+    double focal_;
+    double horizon_;               ///< image row of the horizon.
+    double cameraHeight_ = 1.5;    ///< meters above ground.
+    double nearPlane_ = 2.0;       ///< minimum render depth (m).
+    double farPlane_ = 150.0;      ///< maximum render depth (m).
+};
+
+} // namespace ad::sensors
+
+#endif // AD_SENSORS_CAMERA_HH

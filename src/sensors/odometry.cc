@@ -1,0 +1,51 @@
+#include "sensors/odometry.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ad::sensors {
+
+WheelOdometry::WheelOdometry(std::uint64_t seed,
+                             const OdometryParams& params)
+    : params_(params), rng_(seed)
+{
+    scaleBias_ = 1.0 + rng_.normal(0.0, params.wheelScaleBias);
+    gyroBias_ = rng_.normal(0.0, params.gyroBias);
+}
+
+OdometryReading
+WheelOdometry::measure(const Pose2& previous, const Pose2& current,
+                       double dt)
+{
+    if (dt <= 0)
+        fatal("WheelOdometry::measure: dt must be positive");
+    OdometryReading r;
+    r.dt = dt;
+    const double trueSpeed = (current.pos - previous.pos).norm() / dt;
+    const double trueYawRate =
+        wrapAngle(current.theta - previous.theta) / dt;
+    r.speed = trueSpeed * scaleBias_ +
+              rng_.normal(0.0, params_.speedNoise);
+    if (r.speed < 0)
+        r.speed = 0;
+    r.yawRate = trueYawRate + gyroBias_ +
+                rng_.normal(0.0, params_.gyroNoise);
+    return r;
+}
+
+Pose2
+integrateOdometry(const Pose2& from, const OdometryReading& odom)
+{
+    // Midpoint unicycle integration: rotate by half the yaw change,
+    // translate, rotate the rest.
+    const double dTheta = odom.yawRate * odom.dt;
+    const double midHeading = from.theta + dTheta / 2;
+    Pose2 out = from;
+    out.pos += Vec2{std::cos(midHeading), std::sin(midHeading)} *
+               (odom.speed * odom.dt);
+    out.theta = wrapAngle(from.theta + dTheta);
+    return out;
+}
+
+} // namespace ad::sensors

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wheel odometry + yaw-rate gyro: the proprioceptive sensors every
+ * production vehicle already carries. The localization engine's pose
+ * prediction (Figure 5's "Pose Prediction (Motion Model)") can use
+ * these instead of a constant-velocity assumption, which matters
+ * through turns and speed changes. Measurements carry realistic
+ * imperfections: wheel-radius scale bias, encoder noise, gyro bias
+ * drift and white noise.
+ */
+
+#ifndef AD_SENSORS_ODOMETRY_HH
+#define AD_SENSORS_ODOMETRY_HH
+
+#include "common/geometry.hh"
+#include "common/random.hh"
+
+namespace ad::sensors {
+
+/** One odometry sample over a frame interval. */
+struct OdometryReading
+{
+    double speed = 0.0;   ///< measured body speed (m/s).
+    double yawRate = 0.0; ///< measured yaw rate (rad/s).
+    double dt = 0.0;      ///< integration interval (s).
+};
+
+/** Sensor imperfection knobs. */
+struct OdometryParams
+{
+    double wheelScaleBias = 0.01;  ///< stddev of the per-unit scale
+                                   ///  error (tire wear/pressure).
+    double speedNoise = 0.05;      ///< encoder white noise (m/s).
+    double gyroBias = 0.002;       ///< constant bias stddev (rad/s).
+    double gyroNoise = 0.004;      ///< white noise (rad/s).
+};
+
+/**
+ * Simulated wheel-odometry unit. Biases are drawn once at
+ * construction (they are physical properties of one vehicle) and
+ * white noise per sample.
+ */
+class WheelOdometry
+{
+  public:
+    /** @param seed determines this unit's fixed biases. */
+    explicit WheelOdometry(std::uint64_t seed,
+                           const OdometryParams& params = {});
+
+    /**
+     * Measure the interval between two ground-truth poses.
+     *
+     * @param previous true pose at the interval start.
+     * @param current true pose at the interval end.
+     * @param dt interval length (s).
+     */
+    OdometryReading measure(const Pose2& previous, const Pose2& current,
+                            double dt);
+
+    /** The unit's fixed scale bias (for tests). */
+    double scaleBias() const { return scaleBias_; }
+
+  private:
+    OdometryParams params_;
+    Rng rng_;
+    double scaleBias_;  ///< multiplicative speed error.
+    double gyroBias_;   ///< additive yaw-rate error.
+};
+
+/** Integrate an odometry reading from a pose (unicycle model). */
+Pose2 integrateOdometry(const Pose2& from, const OdometryReading& odom);
+
+} // namespace ad::sensors
+
+#endif // AD_SENSORS_ODOMETRY_HH

@@ -1,0 +1,129 @@
+#include "sensors/scenario.hh"
+
+namespace ad::sensors {
+
+namespace {
+
+/** Roadside landmark boards on both sides along the whole road. */
+void
+addLandmarks(World& world, Rng& rng, double spacing)
+{
+    const Road& road = world.road();
+    for (double x = 5.0; x < road.length; x += spacing) {
+        for (const double side : {-2.5, road.width() + 2.5}) {
+            Landmark lm;
+            lm.pos = {x + rng.uniform(-1.5, 1.5),
+                      side + rng.uniform(-0.5, 0.5)};
+            lm.width = rng.uniform(0.8, 1.6);
+            lm.height = rng.uniform(1.5, 2.6);
+            lm.baseHeight = rng.uniform(0.5, 1.0);
+            world.addLandmark(lm);
+        }
+    }
+}
+
+void
+addSigns(World& world, Rng& rng, int count)
+{
+    const Road& road = world.road();
+    for (int i = 0; i < count; ++i) {
+        Actor sign;
+        sign.cls = ObjectClass::TrafficSign;
+        sign.motion = MotionKind::Stationary;
+        sign.pose = Pose2(rng.uniform(20.0, road.length - 20.0),
+                          road.width() + 1.2, 0.0);
+        sign.length = 0.8;
+        sign.width = 0.8;
+        sign.height = 2.2;
+        world.addActor(sign);
+    }
+}
+
+} // namespace
+
+Scenario
+makeHighwayScenario(Rng& rng, const ScenarioParams& params)
+{
+    Scenario sc;
+    sc.name = "highway";
+    sc.world.road().lanes = params.lanes;
+    sc.world.road().length = params.roadLength;
+    addLandmarks(sc.world, rng, params.landmarkSpacing);
+    addSigns(sc.world, rng, params.signs);
+
+    for (int i = 0; i < params.vehicles; ++i) {
+        Actor car;
+        car.cls = ObjectClass::Vehicle;
+        car.motion = MotionKind::LaneKeep;
+        const int lane = rng.uniformInt(0, params.lanes - 1);
+        car.pose = Pose2(rng.uniform(15.0, params.roadLength - 15.0),
+                         sc.world.road().laneCenter(lane), 0.0);
+        car.speed = rng.uniform(20.0, 30.0);
+        car.length = rng.uniform(4.0, 5.5);
+        car.width = rng.uniform(1.7, 2.0);
+        car.height = rng.uniform(1.4, 1.8);
+        sc.world.addActor(car);
+    }
+
+    sc.ego.lane = 1;
+    sc.ego.pose = Pose2(5.0, sc.world.road().laneCenter(1), 0.0);
+    sc.ego.speed = 25.0;
+    return sc;
+}
+
+Scenario
+makeUrbanScenario(Rng& rng, const ScenarioParams& params)
+{
+    Scenario sc;
+    sc.name = "urban";
+    sc.world.road().lanes = params.lanes;
+    sc.world.road().length = params.roadLength;
+    // Urban: denser landmarks (storefronts), more signs.
+    addLandmarks(sc.world, rng, params.landmarkSpacing * 0.6);
+    addSigns(sc.world, rng, params.signs * 2);
+
+    for (int i = 0; i < params.vehicles; ++i) {
+        Actor car;
+        car.cls = ObjectClass::Vehicle;
+        car.motion = MotionKind::LaneKeep;
+        const int lane = rng.uniformInt(0, params.lanes - 1);
+        car.pose = Pose2(rng.uniform(15.0, params.roadLength - 15.0),
+                         sc.world.road().laneCenter(lane), 0.0);
+        car.speed = rng.uniform(6.0, 14.0);
+        sc.world.addActor(car);
+    }
+
+    for (int i = 0; i < params.bicycles; ++i) {
+        Actor bike;
+        bike.cls = ObjectClass::Bicycle;
+        bike.motion = MotionKind::LaneKeep;
+        bike.pose = Pose2(rng.uniform(15.0, params.roadLength - 15.0),
+                          sc.world.road().laneCenter(0) - 1.0, 0.0);
+        bike.speed = rng.uniform(3.0, 7.0);
+        bike.length = 1.8;
+        bike.width = 0.6;
+        bike.height = 1.7;
+        sc.world.addActor(bike);
+    }
+
+    for (int i = 0; i < params.pedestrians; ++i) {
+        Actor ped;
+        ped.cls = ObjectClass::Pedestrian;
+        ped.motion = MotionKind::Crossing;
+        ped.pose = Pose2(rng.uniform(25.0, params.roadLength - 25.0),
+                         -0.5, M_PI / 2); // crossing left across the road
+        ped.speed = rng.uniform(1.0, 2.0);
+        ped.length = 0.5;
+        ped.width = 0.6;
+        ped.height = 1.75;
+        ped.crossingSpan = sc.world.road().width() + 1.0;
+        sc.world.addActor(ped);
+    }
+
+    sc.ego.lane = 1;
+    sc.ego.pose = Pose2(5.0, sc.world.road().laneCenter(1), 0.0);
+    sc.ego.speed = 10.0;
+    return sc;
+}
+
+} // namespace ad::sensors

@@ -1,0 +1,128 @@
+#include "sensors/world.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ad::sensors {
+
+const char*
+objectClassName(ObjectClass cls)
+{
+    switch (cls) {
+      case ObjectClass::Vehicle: return "vehicle";
+      case ObjectClass::Bicycle: return "bicycle";
+      case ObjectClass::TrafficSign: return "traffic-sign";
+      case ObjectClass::Pedestrian: return "pedestrian";
+    }
+    return "?";
+}
+
+std::uint8_t
+objectClassIntensity(ObjectClass cls)
+{
+    // Distinct bright bands on the dark road (~80): see world.hh.
+    switch (cls) {
+      case ObjectClass::Vehicle: return 230;
+      case ObjectClass::Bicycle: return 170;
+      case ObjectClass::TrafficSign: return 250;
+      case ObjectClass::Pedestrian: return 200;
+    }
+    return 0;
+}
+
+ObjectClass
+classFromIntensity(double intensity)
+{
+    ObjectClass best = ObjectClass::Vehicle;
+    double bestDiff = 1e9;
+    for (int i = 0; i < kNumObjectClasses; ++i) {
+        const auto cls = static_cast<ObjectClass>(i);
+        const double diff =
+            std::fabs(intensity - objectClassIntensity(cls));
+        if (diff < bestDiff) {
+            bestDiff = diff;
+            best = cls;
+        }
+    }
+    return best;
+}
+
+int
+World::addActor(Actor actor)
+{
+    actor.id = nextActorId_++;
+    if (actor.motion == MotionKind::Crossing) {
+        actor.crossingOrigin = actor.pose.pos;
+        actor.crossingHeading = actor.pose.theta;
+        if (actor.crossingSpan <= 0.0)
+            actor.crossingSpan = road_.width();
+    }
+    actors_.push_back(actor);
+    return actor.id;
+}
+
+int
+World::addLandmark(Landmark lm)
+{
+    lm.id = nextLandmarkId_++;
+    if (lm.textureSeed == 0)
+        lm.textureSeed = static_cast<std::uint32_t>(lm.id * 2654435761u);
+    landmarks_.push_back(lm);
+    return lm.id;
+}
+
+void
+World::step(double dt)
+{
+    if (dt < 0)
+        panic("World::step: negative dt ", dt);
+    time_ += dt;
+    for (auto& a : actors_) {
+        switch (a.motion) {
+          case MotionKind::Stationary:
+            break;
+          case MotionKind::Constant:
+          case MotionKind::LaneKeep: {
+            const Vec2 dir{std::cos(a.pose.theta), std::sin(a.pose.theta)};
+            a.pose.pos += dir * (a.speed * dt);
+            if (a.motion == MotionKind::LaneKeep &&
+                a.pose.pos.x > road_.length)
+                a.pose.pos.x -= road_.length;
+            if (a.motion == MotionKind::LaneKeep && a.pose.pos.x < 0)
+                a.pose.pos.x += road_.length;
+            break;
+          }
+          case MotionKind::Crossing: {
+            const Vec2 dir{std::cos(a.pose.theta), std::sin(a.pose.theta)};
+            a.pose.pos += dir * (a.speed * dt);
+            // Bounce between origin and origin + span along the
+            // outbound crossing axis.
+            const Vec2 axis{std::cos(a.crossingHeading),
+                            std::sin(a.crossingHeading)};
+            const double p = (a.pose.pos - a.crossingOrigin).dot(axis);
+            if (p > a.crossingSpan) {
+                a.pose.theta = wrapAngle(a.crossingHeading + M_PI);
+                a.pose.pos = a.crossingOrigin + axis * a.crossingSpan;
+            } else if (p < 0.0) {
+                a.pose.theta = a.crossingHeading;
+                a.pose.pos = a.crossingOrigin;
+            }
+            break;
+          }
+        }
+    }
+}
+
+std::uint32_t
+worldHash(std::uint32_t a, std::int32_t b, std::int32_t c)
+{
+    std::uint32_t h = a;
+    h ^= static_cast<std::uint32_t>(b) * 0x9e3779b9u;
+    h = (h ^ (h >> 16)) * 0x85ebca6bu;
+    h ^= static_cast<std::uint32_t>(c) * 0xc2b2ae35u;
+    h = (h ^ (h >> 13)) * 0x27d4eb2fu;
+    return h ^ (h >> 16);
+}
+
+} // namespace ad::sensors

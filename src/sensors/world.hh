@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Synthetic driving world -- the data substrate substituting for the
+ * paper's KITTI camera streams (see DESIGN.md, "Substitutions"). The
+ * world is a straight multi-lane road along +x with roadside landmarks
+ * (the feature sources for localization) and dynamic actors of the four
+ * object classes the paper's detector watches: vehicles, bicycles,
+ * traffic signs and pedestrians.
+ */
+
+#ifndef AD_SENSORS_WORLD_HH
+#define AD_SENSORS_WORLD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/random.hh"
+
+namespace ad::sensors {
+
+/** Detection classes (Section 3.1.1 of the paper). */
+enum class ObjectClass { Vehicle = 0, Bicycle, TrafficSign, Pedestrian };
+
+constexpr int kNumObjectClasses = 4;
+
+/** Short lowercase class name. */
+const char* objectClassName(ObjectClass cls);
+
+/**
+ * Mean rendered intensity per class. Classes occupy distinct intensity
+ * bands so the constructed-weight detector pipeline can both detect
+ * (bright-on-dark) and classify (band lookup) without trained weights.
+ */
+std::uint8_t objectClassIntensity(ObjectClass cls);
+
+/** Map a rendered intensity back to the nearest class band. */
+ObjectClass classFromIntensity(double intensity);
+
+/** How an actor moves each step. */
+enum class MotionKind
+{
+    Constant,  ///< constant velocity along its heading.
+    LaneKeep,  ///< follows its lane at a target speed.
+    Crossing,  ///< crosses the road laterally (pedestrians).
+    Stationary ///< parked vehicles / traffic signs.
+};
+
+/** A dynamic (or static) object in the world. */
+struct Actor
+{
+    int id = 0;
+    ObjectClass cls = ObjectClass::Vehicle;
+    Pose2 pose;            ///< ground position + heading.
+    double speed = 0.0;    ///< m/s along heading.
+    double length = 4.5;   ///< extent along heading (m).
+    double width = 1.8;    ///< lateral extent (m).
+    double height = 1.5;   ///< vertical extent (m).
+    MotionKind motion = MotionKind::Constant;
+    double crossingSpan = 0.0;    ///< lateral travel bound for Crossing.
+    Vec2 crossingOrigin;          ///< crossing start point.
+    double crossingHeading = 0.0; ///< outbound crossing direction.
+};
+
+/**
+ * A roadside landmark: a textured vertical board (sign backs, facades,
+ * poles) that supplies repeatable ORB features for the localization
+ * engine's prior map.
+ */
+struct Landmark
+{
+    int id = 0;
+    Vec2 pos;              ///< ground position.
+    double width = 1.2;    ///< board width (m).
+    double height = 2.0;   ///< board height (m).
+    double baseHeight = 0.8; ///< bottom edge above ground (m).
+    std::uint32_t textureSeed = 0; ///< world-anchored texture identity.
+};
+
+/** Road geometry: straight lanes along +x. */
+struct Road
+{
+    int lanes = 3;
+    double laneWidth = 3.5;
+    double length = 1000.0; ///< drivable extent in x (m).
+
+    /** y-coordinate of a lane center (lane 0 is the rightmost). */
+    double
+    laneCenter(int lane) const
+    {
+        return (lane + 0.5) * laneWidth;
+    }
+    /** Total road width. */
+    double width() const { return lanes * laneWidth; }
+};
+
+/**
+ * The simulated world: road, landmarks and actors, advanced by step().
+ */
+class World
+{
+  public:
+    World() = default;
+
+    Road& road() { return road_; }
+    const Road& road() const { return road_; }
+
+    std::vector<Actor>& actors() { return actors_; }
+    const std::vector<Actor>& actors() const { return actors_; }
+
+    std::vector<Landmark>& landmarks() { return landmarks_; }
+    const std::vector<Landmark>& landmarks() const { return landmarks_; }
+
+    /** Add an actor, assigning it a fresh id. Returns the id. */
+    int addActor(Actor actor);
+
+    /** Add a landmark, assigning it a fresh id. Returns the id. */
+    int addLandmark(Landmark lm);
+
+    /** Simulation time in seconds. */
+    double time() const { return time_; }
+
+    /**
+     * Advance all actors by dt seconds. Lane-keeping actors wrap around
+     * the road length so long runs never exhaust traffic.
+     */
+    void step(double dt);
+
+  private:
+    Road road_;
+    std::vector<Actor> actors_;
+    std::vector<Landmark> landmarks_;
+    double time_ = 0.0;
+    int nextActorId_ = 1;
+    int nextLandmarkId_ = 1;
+};
+
+/** Deterministic 32-bit hash used for world-anchored textures. */
+std::uint32_t worldHash(std::uint32_t a, std::int32_t b, std::int32_t c);
+
+} // namespace ad::sensors
+
+#endif // AD_SENSORS_WORLD_HH

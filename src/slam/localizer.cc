@@ -1,0 +1,270 @@
+#include "slam/localizer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/time.hh"
+
+namespace ad::slam {
+
+Localizer::Localizer(const PriorMap* map, const sensors::Camera* camera,
+                     const LocalizerParams& params, std::uint64_t seed)
+    : map_(map), camera_(camera), params_(params), orb_(params.orb),
+      rng_(seed)
+{
+    if (!map || !camera)
+        fatal("Localizer: map and camera must be non-null");
+}
+
+void
+Localizer::reset(const Pose2& pose, const Vec2& velocity)
+{
+    pose_ = pose;
+    velocity_ = velocity;
+    pendingOdometry_.reset();
+    initialized_ = true;
+}
+
+void
+Localizer::feedOdometry(const sensors::OdometryReading& odometry)
+{
+    pendingOdometry_ = odometry;
+}
+
+void
+Localizer::buildCorrespondences(
+    const std::vector<vision::Feature>& features,
+    const vision::SpatialMatcher* matcher, const Pose2& queryPose,
+    double radius, std::vector<Correspondence>& corr,
+    std::vector<std::uint32_t>& mapIndices,
+    std::vector<int>& featureIndices, int& candidateCount) const
+{
+    // Gather map points in range that project into the current view.
+    const auto nearby = map_->queryRadius(queryPose.pos, radius);
+    std::vector<std::uint32_t> visible;
+    std::vector<vision::Descriptor> candDescs;
+    std::vector<vision::ProjectedCandidate> projected;
+    for (const auto idx : nearby) {
+        const MapPoint& p = map_->point(idx);
+        double u, v, depth;
+        if (!camera_->project(queryPose, p.pos, p.height, u, v, depth))
+            continue;
+        if (depth > camera_->farPlane())
+            continue;
+        // Allow margin outside the frame: the prediction may be off.
+        const double margin = camera_->width() * 0.2;
+        if (u < -margin || u > camera_->width() + margin || v < -margin ||
+            v > camera_->height() + margin)
+            continue;
+        visible.push_back(idx);
+        candDescs.push_back(p.desc);
+        vision::ProjectedCandidate cand;
+        cand.u = static_cast<float>(u);
+        cand.v = static_cast<float>(v);
+        cand.desc = p.desc;
+        projected.push_back(cand);
+    }
+    candidateCount = static_cast<int>(visible.size());
+    if (visible.empty())
+        return;
+
+    // Pairs of (frame feature index, candidate index).
+    std::vector<std::pair<int, int>> pairs;
+    if (matcher) {
+        // Projection-guided: search only the window around each map
+        // point's predicted position.
+        vision::SpatialMatchParams smp;
+        smp.windowRadius = params_.matchWindowPx;
+        smp.maxHamming = params_.maxHamming;
+        smp.ratio = params_.matchRatio;
+        for (const auto& m : matcher->match(projected, smp))
+            pairs.push_back({m.featureIndex, m.candidateIndex});
+    } else {
+        // Global matching: the relocalization path.
+        std::vector<vision::Descriptor> frameDescs;
+        frameDescs.reserve(features.size());
+        for (const auto& f : features)
+            frameDescs.push_back(f.desc);
+        for (const auto& m : vision::matchDescriptors(
+                 frameDescs, candDescs, params_.maxHamming,
+                 params_.matchRatio))
+            pairs.push_back({m.indexA, m.indexB});
+    }
+
+    const double horizon = camera_->horizon();
+    const double focal = camera_->focal();
+    const double camH = camera_->cameraHeight();
+    for (const auto& [featureIdx, candidateIdx] : pairs) {
+        const vision::Feature& f = features[featureIdx];
+        const MapPoint& p = map_->point(visible[candidateIdx]);
+        // Ground-plane depth from the image row and the map point's
+        // known height: v - horizon = f * (camH - z) / depth.
+        const double dv = f.kp.y - horizon;
+        const double dz = camH - p.height;
+        if (std::fabs(dv) < 2.0 || dv * dz <= 0)
+            continue; // depth unobservable near the horizon
+        const double depth = focal * dz / dv;
+        if (depth < camera_->nearPlane() || depth > camera_->farPlane())
+            continue;
+        const double lateral =
+            (camera_->width() / 2.0 - f.kp.x) * depth / focal;
+        Correspondence c;
+        c.world = p.pos;
+        c.local = {depth, lateral};
+        // Depth confidence falls toward the horizon.
+        c.weight = std::min(1.0, std::fabs(dv) / 20.0);
+        corr.push_back(c);
+        mapIndices.push_back(visible[candidateIdx]);
+        featureIndices.push_back(featureIdx);
+    }
+}
+
+LocResult
+Localizer::localize(const Image& image, double dt)
+{
+    if (!initialized_)
+        panic("Localizer::localize called before reset()");
+
+    LocResult result;
+    Stopwatch total;
+    ++frameCount_;
+
+    // --- Feature extraction (the FE block of Figure 5). ---
+    std::vector<vision::Feature> features;
+    {
+        ScopedTimer timer(result.timings.feMs);
+        features = orb_.extract(image, &result.orbProfile);
+    }
+
+    // Spatial index over the frame features for projection-guided
+    // matching (tracking and loop closing; relocalization matches
+    // globally).
+    const vision::SpatialMatcher matcher(features, image.width(),
+                                         image.height());
+
+    // --- Pose prediction: odometry integration when available,
+    // constant motion model otherwise (Figure 5). ---
+    Pose2 predicted(pose_.pos + velocity_ * dt, pose_.theta);
+    if (pendingOdometry_) {
+        predicted = sensors::integrateOdometry(pose_, *pendingOdometry_);
+        pendingOdometry_.reset();
+    }
+
+    // --- Matching against the prior map. ---
+    std::vector<Correspondence> corr;
+    std::vector<std::uint32_t> mapIndices;
+    std::vector<int> featureIndices;
+    {
+        ScopedTimer timer(result.timings.matchMs);
+        buildCorrespondences(features, &matcher, predicted,
+                             params_.matchRadius, corr, mapIndices,
+                             featureIndices, result.candidates);
+    }
+    result.matches = static_cast<int>(corr.size());
+
+    // Accept a solution only if enough inliers sit above the ground
+    // plane: see LocalizerParams::minElevatedInliers.
+    const auto validate = [this](RansacResult& r,
+                                 const std::vector<std::uint32_t>& mapIdx) {
+        if (!r.ok)
+            return;
+        int elevated = 0;
+        for (const auto k : r.inlierIndices)
+            elevated += map_->point(mapIdx[k]).height > 0.3f;
+        if (elevated < params_.minElevatedInliers)
+            r.ok = false;
+    };
+
+    // --- Robust pose solve. ---
+    RansacResult solved;
+    {
+        ScopedTimer timer(result.timings.solveMs);
+        solved = ransacPose(corr, params_.ransac, rng_);
+        validate(solved, mapIndices);
+        if (solved.ok &&
+            solved.pose.distanceTo(predicted) > params_.maxPoseJump)
+            solved.ok = false; // reject wild jumps near the prediction
+    }
+
+    // --- Relocalization: widened search (the tail-latency source). ---
+    if (!solved.ok) {
+        ScopedTimer timer(result.timings.relocMs);
+        result.relocalized = true;
+        ++relocCount_;
+        corr.clear();
+        mapIndices.clear();
+        featureIndices.clear();
+        int candidates = 0;
+        buildCorrespondences(features, nullptr, predicted,
+                             params_.relocRadius, corr, mapIndices,
+                             featureIndices, candidates);
+        result.candidates += candidates;
+        result.matches = static_cast<int>(corr.size());
+        solved = ransacPose(corr, params_.relocRansac, rng_);
+        validate(solved, mapIndices);
+    }
+
+    if (solved.ok) {
+        result.ok = true;
+        // Velocity for the constant-motion model. Never differentiate
+        // across a relocalization jump (the pre-jump pose is wrong by
+        // construction), and clamp to physical speeds so one bad
+        // solve cannot launch the dead-reckoning fallback into space.
+        if (dt > 1e-6 && !result.relocalized) {
+            Vec2 v = (solved.pose.pos - pose_.pos) / dt;
+            constexpr double maxSpeed = 70.0; // m/s
+            const double speed = v.norm();
+            if (speed > maxSpeed)
+                v = v * (maxSpeed / speed);
+            velocity_ = v;
+        }
+        pose_ = solved.pose;
+        result.inliers = solved.inliers;
+
+        // --- Map update: refresh descriptors that drifted (e.g.
+        // weather/appearance change in the paper's motivation). ---
+        if (params_.mapUpdate && mutableMap_) {
+            for (const auto k : solved.inlierIndices) {
+                const auto mapIdx = mapIndices[k];
+                const auto& fresh = features[featureIndices[k]].desc;
+                if (map_->point(mapIdx).desc.hamming(fresh) >
+                    params_.mapUpdateHamming)
+                    mutableMap_->updateDescriptor(mapIdx, fresh);
+            }
+        }
+    } else {
+        // Dead reckoning: hold the constant-motion prediction.
+        result.lost = true;
+        pose_ = predicted;
+    }
+    result.pose = pose_;
+
+    // --- Periodic loop closing: an extra wide matching pass. ---
+    if (params_.loopCloseInterval > 0 &&
+        frameCount_ % params_.loopCloseInterval == 0) {
+        ScopedTimer timer(result.timings.loopMs);
+        result.loopClosed = true;
+        std::vector<Correspondence> loopCorr;
+        std::vector<std::uint32_t> loopMapIdx;
+        std::vector<int> loopFeatIdx;
+        int candidates = 0;
+        buildCorrespondences(features, &matcher, pose_,
+                             params_.loopCloseRadius, loopCorr,
+                             loopMapIdx, loopFeatIdx, candidates);
+        const RansacResult loop =
+            ransacPose(loopCorr, params_.ransac, rng_);
+        if (loop.ok && loop.pose.distanceTo(pose_) < params_.maxPoseJump) {
+            // Blend the loop-closing correction gently.
+            pose_.pos = pose_.pos * 0.8 + loop.pose.pos * 0.2;
+            pose_.theta = wrapAngle(
+                pose_.theta + 0.2 * wrapAngle(loop.pose.theta -
+                                              pose_.theta));
+            result.pose = pose_;
+        }
+    }
+
+    result.timings.totalMs = total.elapsedMs();
+    return result;
+}
+
+} // namespace ad::slam

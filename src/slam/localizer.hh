@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The localization engine (LOC) -- an ORB-SLAM-flavored prior-map
+ * localizer implementing Figure 5 of the paper: ORB feature extraction
+ * (oFAST + rBRIEF), pose prediction with a constant-motion model,
+ * descriptor matching against the prior map, robust pose solve, map
+ * update, periodic loop closing, and *relocalization* with a widened
+ * search when tracking fails.
+ *
+ * Relocalization is the architectural heart of the paper's
+ * predictability argument: its widened search makes LOC latency heavily
+ * variable (CPU mean 40.8 ms vs 99.99th-percentile 294.2 ms in Figure
+ * 10), which is why tail latency -- not mean -- must be the metric.
+ */
+
+#ifndef AD_SLAM_LOCALIZER_HH
+#define AD_SLAM_LOCALIZER_HH
+
+#include <optional>
+
+#include "common/random.hh"
+#include "sensors/camera.hh"
+#include "sensors/odometry.hh"
+#include "slam/map.hh"
+#include "slam/pose_solver.hh"
+#include "vision/orb.hh"
+#include "vision/spatial_matcher.hh"
+
+namespace ad::slam {
+
+/** Localizer tuning. */
+struct LocalizerParams
+{
+    vision::OrbParams orb;          ///< FE settings.
+    double matchRadius = 30.0;      ///< normal map-query radius (m).
+    double relocRadius = 120.0;     ///< relocalization query radius (m).
+    int maxHamming = 64;            ///< descriptor match gate.
+    double matchRatio = 0.85;       ///< best/second-best ratio test.
+    /**
+     * Pixel window around each map point's predicted projection for
+     * tracking/loop-closing matches (projection-guided matching).
+     * Relocalization always matches globally: its predicted pose is
+     * untrustworthy by definition, so projections mean nothing.
+     */
+    double matchWindowPx = 64.0;
+    RansacParams ransac{100, 0.45, 8};
+    RansacParams relocRansac{300, 0.6, 8};
+    /**
+     * Minimum accepted inliers anchored above the ground plane.
+     * Ground features (lane-marking dash corners) repeat every dash
+     * period, so a dash-only consensus can lock onto a pose shifted by
+     * a multiple of the period (perceptual aliasing); elevated
+     * landmark-board features are uniquely textured and break the tie.
+     */
+    int minElevatedInliers = 3;
+    int loopCloseInterval = 120;    ///< frames between loop closings.
+    double loopCloseRadius = 60.0;  ///< loop-closing query radius (m).
+    bool mapUpdate = true;          ///< refresh stale descriptors.
+    int mapUpdateHamming = 16;      ///< refresh when farther than this.
+    double maxPoseJump = 5.0;       ///< sanity gate vs prediction (m).
+};
+
+/** Wall-clock attribution of one localize() call (Figure 7's FE split). */
+struct LocalizerTimings
+{
+    double feMs = 0;     ///< feature extraction (oFAST + rBRIEF).
+    double matchMs = 0;  ///< map query + descriptor matching.
+    double solveMs = 0;  ///< RANSAC + refit.
+    double relocMs = 0;  ///< relocalization (when triggered).
+    double loopMs = 0;   ///< loop closing (when scheduled).
+    double totalMs = 0;
+};
+
+/** Result of one frame localization. */
+struct LocResult
+{
+    bool ok = false;          ///< pose solved this frame.
+    bool relocalized = false; ///< wide search was needed.
+    bool loopClosed = false;  ///< loop-closing pass ran.
+    bool lost = false;        ///< fell back to dead reckoning.
+    Pose2 pose;
+    int candidates = 0;       ///< map points considered.
+    int matches = 0;
+    int inliers = 0;
+    LocalizerTimings timings;
+    vision::OrbProfile orbProfile;
+};
+
+/**
+ * Prior-map localizer. Holds non-owning pointers to the map and camera
+ * model, both of which must outlive the localizer.
+ */
+class Localizer
+{
+  public:
+    /**
+     * @param map prior map to localize against.
+     * @param camera camera geometry (for projection and depth).
+     * @param params tuning.
+     * @param seed RANSAC random stream seed.
+     */
+    Localizer(const PriorMap* map, const sensors::Camera* camera,
+              const LocalizerParams& params, std::uint64_t seed = 1);
+
+    /** (Re)initialize the motion model at a known pose. */
+    void reset(const Pose2& pose, const Vec2& velocity = {0, 0});
+
+    /**
+     * Provide wheel-odometry for the interval preceding the next
+     * localize() call; the pose prediction then integrates the
+     * unicycle model instead of assuming constant velocity (better
+     * through turns and speed changes). Consumed by one localize().
+     */
+    void feedOdometry(const sensors::OdometryReading& odometry);
+
+    /**
+     * Localize one camera frame.
+     *
+     * @param image the frame.
+     * @param dt seconds since the previous frame (for prediction).
+     */
+    LocResult localize(const Image& image, double dt);
+
+    /** Current pose estimate (valid after reset()/localize()). */
+    const Pose2& pose() const { return pose_; }
+
+    /** Mutable map access for map updates; null if map is read-only. */
+    void setMutableMap(PriorMap* map) { mutableMap_ = map; }
+
+    const LocalizerParams& params() const { return params_; }
+
+    /** Number of relocalizations since construction. */
+    int relocalizationCount() const { return relocCount_; }
+
+  private:
+    /**
+     * Gather visible map points around a query pose and match the
+     * frame's features against them; produces correspondences with
+     * ground-plane depth estimates.
+     *
+     * @param matcher spatially indexed frame features; pass nullptr
+     *        to force global brute-force matching (relocalization).
+     */
+    void buildCorrespondences(const std::vector<vision::Feature>& features,
+                              const vision::SpatialMatcher* matcher,
+                              const Pose2& queryPose, double radius,
+                              std::vector<Correspondence>& corr,
+                              std::vector<std::uint32_t>& mapIndices,
+                              std::vector<int>& featureIndices,
+                              int& candidateCount) const;
+
+    const PriorMap* map_;
+    PriorMap* mutableMap_ = nullptr;
+    const sensors::Camera* camera_;
+    LocalizerParams params_;
+    vision::OrbExtractor orb_;
+    Rng rng_;
+
+    Pose2 pose_;
+    Vec2 velocity_{0, 0};
+    std::optional<sensors::OdometryReading> pendingOdometry_;
+    bool initialized_ = false;
+    int frameCount_ = 0;
+    int relocCount_ = 0;
+};
+
+} // namespace ad::slam
+
+#endif // AD_SLAM_LOCALIZER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Prior-map database for the localization engine. The paper's storage
+ * constraint (Section 2.4.3) exists because localization matches live
+ * feature descriptors against a prior map that must be carried on the
+ * vehicle (41 TB for a US-scale map); this module implements that map: a
+ * grid-indexed store of ORB landmarks with world positions, descriptor
+ * matching support, serialization, and the density figures the storage
+ * model extrapolates from.
+ */
+
+#ifndef AD_SLAM_MAP_HH
+#define AD_SLAM_MAP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "vision/brief.hh"
+
+namespace ad::slam {
+
+/** One mapped ORB landmark. */
+struct MapPoint
+{
+    std::int32_t id = 0;
+    Vec2 pos;              ///< world ground-plane position.
+    float height = 0.0f;   ///< feature height above ground (m).
+    vision::Descriptor desc;
+};
+
+/**
+ * The prior map: map points with a uniform grid index for radius
+ * queries (the localizer queries a ~20 m neighborhood every frame and a
+ * much wider one when relocalizing).
+ */
+class PriorMap
+{
+  public:
+    /** @param cellSize grid cell edge in meters. */
+    explicit PriorMap(double cellSize = 10.0);
+
+    /** Insert a point; returns its assigned id. */
+    int insert(const Vec2& pos, float height,
+               const vision::Descriptor& desc);
+
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    const MapPoint& point(std::size_t i) const { return points_[i]; }
+    const std::vector<MapPoint>& points() const { return points_; }
+
+    /** Indices of all points within radius of a position. */
+    std::vector<std::uint32_t> queryRadius(const Vec2& center,
+                                           double radius) const;
+
+    /**
+     * Nearest existing point within radius whose descriptor is within
+     * maxHamming; -1 if none. Used to deduplicate during mapping and to
+     * fuse updated observations.
+     */
+    int findSimilar(const Vec2& pos, double radius,
+                    const vision::Descriptor& desc, int maxHamming) const;
+
+    /** Replace the descriptor of a point (map-update step, Figure 5). */
+    void updateDescriptor(std::size_t index,
+                          const vision::Descriptor& desc);
+
+    /** Serialized size in bytes (the storage-constraint input). */
+    std::uint64_t storageBytes() const;
+
+    /** Binary serialization. */
+    void save(std::ostream& os) const;
+    static PriorMap load(std::istream& is);
+
+    /** Map-point density per meter of mapped x-extent. */
+    double pointsPerMeter() const;
+
+  private:
+    std::int64_t cellKey(const Vec2& pos) const;
+
+    double cellSize_;
+    std::vector<MapPoint> points_;
+    // Grid index: cell key -> point indices. A sorted flat multimap
+    // rebuilt lazily would complicate insert-heavy mapping, so use an
+    // unordered layout keyed by a 64-bit packed cell coordinate.
+    struct CellEntry
+    {
+        std::int64_t key;
+        std::uint32_t index;
+        bool operator<(const CellEntry& o) const { return key < o.key; }
+    };
+    mutable std::vector<CellEntry> index_;
+    mutable bool indexDirty_ = false;
+
+    void ensureIndex() const;
+};
+
+} // namespace ad::slam
+
+#endif // AD_SLAM_MAP_HH

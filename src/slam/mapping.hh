@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Prior-map construction: a "mapping drive" along the road renders
+ * frames from known poses, extracts ORB features and anchors them to
+ * world geometry -- landmark boards (known planes) or the ground plane
+ * (lane-marking corners). This mirrors how prior-map localization
+ * systems build their maps from survey vehicles (Section 2.4.3).
+ */
+
+#ifndef AD_SLAM_MAPPING_HH
+#define AD_SLAM_MAPPING_HH
+
+#include <vector>
+
+#include "sensors/camera.hh"
+#include "slam/map.hh"
+#include "vision/orb.hh"
+
+namespace ad::slam {
+
+/** Mapping-drive knobs. */
+struct MappingParams
+{
+    double poseSpacing = 4.0;     ///< survey pose spacing along x (m).
+    double dedupeRadius = 0.4;    ///< merge radius for repeated points.
+    int dedupeHamming = 48;       ///< merge descriptor gate.
+    vision::OrbParams orb;
+};
+
+/**
+ * Build a prior map by driving the given lane of the world's road.
+ * Actors are excluded from the survey render (they are transient).
+ *
+ * @param world the world to survey.
+ * @param camera camera geometry used for the survey (should match the
+ *        runtime camera).
+ * @param lane lane index to drive.
+ * @param params mapping knobs.
+ */
+PriorMap buildPriorMap(const sensors::World& world,
+                       const sensors::Camera& camera, int lane,
+                       const MappingParams& params = {});
+
+} // namespace ad::slam
+
+#endif // AD_SLAM_MAPPING_HH

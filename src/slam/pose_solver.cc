@@ -1,0 +1,96 @@
+#include "slam/pose_solver.hh"
+
+#include <cmath>
+
+namespace ad::slam {
+
+bool
+solveRigid2D(const std::vector<Correspondence>& corr, Pose2& pose)
+{
+    if (corr.size() < 2)
+        return false;
+
+    double wSum = 0;
+    Vec2 worldC{0, 0};
+    Vec2 localC{0, 0};
+    for (const auto& c : corr) {
+        wSum += c.weight;
+        worldC += c.world * c.weight;
+        localC += c.local * c.weight;
+    }
+    if (wSum <= 0)
+        return false;
+    worldC = worldC / wSum;
+    localC = localC / wSum;
+
+    // theta = atan2( sum w (l x w'), sum w (l . w') ) over centered
+    // vectors l and w'.
+    double sinSum = 0;
+    double cosSum = 0;
+    for (const auto& c : corr) {
+        const Vec2 l = c.local - localC;
+        const Vec2 w = c.world - worldC;
+        sinSum += c.weight * l.cross(w);
+        cosSum += c.weight * l.dot(w);
+    }
+    if (std::fabs(sinSum) < 1e-12 && std::fabs(cosSum) < 1e-12)
+        return false; // degenerate (all points coincident)
+
+    const double theta = std::atan2(sinSum, cosSum);
+    const Vec2 t = worldC - localC.rotated(theta);
+    pose = Pose2(t, theta);
+    return true;
+}
+
+RansacResult
+ransacPose(const std::vector<Correspondence>& corr,
+           const RansacParams& params, Rng& rng)
+{
+    RansacResult result;
+    const int n = static_cast<int>(corr.size());
+    if (n < params.minInliers)
+        return result;
+
+    const double thresh2 =
+        params.inlierThreshold * params.inlierThreshold;
+    std::vector<std::uint32_t> bestInliers;
+
+    for (int iter = 0; iter < params.iterations; ++iter) {
+        const int i = rng.uniformInt(0, n - 1);
+        int j = rng.uniformInt(0, n - 2);
+        if (j >= i)
+            ++j;
+        Pose2 candidate;
+        if (!solveRigid2D({corr[i], corr[j]}, candidate))
+            continue;
+
+        std::vector<std::uint32_t> inliers;
+        for (int k = 0; k < n; ++k) {
+            const Vec2 predicted = candidate.transform(corr[k].local);
+            if ((predicted - corr[k].world).squaredNorm() <= thresh2)
+                inliers.push_back(static_cast<std::uint32_t>(k));
+        }
+        if (inliers.size() > bestInliers.size())
+            bestInliers = std::move(inliers);
+    }
+
+    if (static_cast<int>(bestInliers.size()) < params.minInliers)
+        return result;
+
+    // Weighted refit on all inliers.
+    std::vector<Correspondence> inlierCorr;
+    inlierCorr.reserve(bestInliers.size());
+    for (const auto idx : bestInliers)
+        inlierCorr.push_back(corr[idx]);
+    Pose2 refined;
+    if (!solveRigid2D(inlierCorr, refined))
+        return result;
+
+    result.ok = true;
+    result.pose = refined;
+    result.inliers = static_cast<int>(bestInliers.size());
+    result.inlierIndices = std::move(bestInliers);
+    return result;
+}
+
+} // namespace ad::slam

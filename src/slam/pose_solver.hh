@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Rigid-2D pose estimation from map-point correspondences: the solver
+ * core of the localization engine. Each matched feature yields a
+ * (world-position, camera-local-position) pair; the ego pose is the
+ * SE(2) transform aligning them, estimated in closed form (weighted
+ * Procrustes) inside a RANSAC loop for outlier rejection.
+ */
+
+#ifndef AD_SLAM_POSE_SOLVER_HH
+#define AD_SLAM_POSE_SOLVER_HH
+
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/random.hh"
+
+namespace ad::slam {
+
+/** One world<->camera-frame correspondence. */
+struct Correspondence
+{
+    Vec2 world;   ///< map-point ground position.
+    Vec2 local;   ///< estimated position in the ego frame.
+    double weight = 1.0;
+};
+
+/**
+ * Closed-form weighted rigid registration: the pose P minimizing
+ * sum_i w_i | world_i - P.transform(local_i) |^2.
+ *
+ * Requires at least 2 correspondences with non-degenerate geometry;
+ * returns false otherwise.
+ */
+bool solveRigid2D(const std::vector<Correspondence>& corr, Pose2& pose);
+
+/** Result of the robust pose estimate. */
+struct RansacResult
+{
+    bool ok = false;
+    Pose2 pose;
+    int inliers = 0;
+    std::vector<std::uint32_t> inlierIndices;
+};
+
+/** RANSAC knobs. */
+struct RansacParams
+{
+    int iterations = 50;
+    double inlierThreshold = 0.5; ///< meters of world-space residual.
+    int minInliers = 6;
+};
+
+/**
+ * RANSAC over minimal 2-point samples with a final weighted refit on
+ * the inlier set.
+ */
+RansacResult ransacPose(const std::vector<Correspondence>& corr,
+                        const RansacParams& params, Rng& rng);
+
+} // namespace ad::slam
+
+#endif // AD_SLAM_POSE_SOLVER_HH

@@ -1,0 +1,166 @@
+#include "track/pool.hh"
+
+#include <algorithm>
+
+#include "common/time.hh"
+
+namespace ad::track {
+
+TrackerPool::TrackerPool(const PoolParams& params) : params_(params)
+{
+    // Launch the pool up front: construction builds each tracker's
+    // networks so no tracking request ever pays initialization cost
+    // (Section 3.1.2).
+    pool_.reserve(params_.poolSize);
+    for (int i = 0; i < params_.poolSize; ++i) {
+        TrackerParams tp = params_.tracker;
+        tp.seed = params_.tracker.seed + i;
+        pool_.push_back(std::make_unique<GoturnTracker>(tp));
+    }
+}
+
+int
+TrackerPool::claimTracker()
+{
+    for (std::size_t i = 0; i < pool_.size(); ++i)
+        if (!pool_[i]->active())
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+TrackerPool::idleTrackers() const
+{
+    int idle = 0;
+    for (const auto& t : pool_)
+        idle += !t->active();
+    return idle;
+}
+
+void
+TrackerPool::update(const Image& frame,
+                    const std::vector<detect::Detection>& detections,
+                    PoolTimings* timings)
+{
+    Stopwatch total;
+    double associateMs = 0;
+    TrackTimings trackerTimings;
+    int trackerRuns = 0;
+
+    // --- Greedy IoU association: best pairs first. ---
+    std::vector<int> trackOfDet(detections.size(), -1);
+    std::vector<bool> trackMatched(tracks_.size(), false);
+    {
+        ScopedTimer timer(associateMs);
+        struct Pair
+        {
+            double iou;
+            std::size_t det;
+            std::size_t track;
+        };
+        std::vector<Pair> pairs;
+        for (std::size_t d = 0; d < detections.size(); ++d)
+            for (std::size_t t = 0; t < tracks_.size(); ++t) {
+                const double iou =
+                    detections[d].box.iou(tracks_[t].box);
+                if (iou >= params_.associationIou)
+                    pairs.push_back({iou, d, t});
+            }
+        std::sort(pairs.begin(), pairs.end(),
+                  [](const Pair& a, const Pair& b) {
+                      return a.iou > b.iou;
+                  });
+        std::vector<bool> detMatched(detections.size(), false);
+        for (const auto& p : pairs) {
+            if (detMatched[p.det] || trackMatched[p.track])
+                continue;
+            detMatched[p.det] = true;
+            trackMatched[p.track] = true;
+            trackOfDet[p.det] = static_cast<int>(p.track);
+        }
+    }
+
+    // --- Paper-faithful workload: one tracker run per live object.
+    // Matched tracks will adopt their detection box right after. ---
+    if (params_.alwaysRunTracker) {
+        for (auto& track : tracks_) {
+            const BBox old = track.box;
+            track.box = pool_[track.trackerIndex]->track(frame,
+                                                         &trackerTimings);
+            track.velocityPx = {track.box.cx() - old.cx(),
+                                track.box.cy() - old.cy()};
+            ++trackerRuns;
+        }
+    }
+
+    // --- Matched tracks: adopt the detection box, refresh tracker. ---
+    for (std::size_t d = 0; d < detections.size(); ++d) {
+        const int t = trackOfDet[d];
+        if (t < 0)
+            continue;
+        TrackedObject& track = tracks_[t];
+        const BBox old = track.box;
+        track.velocityPx = {detections[d].box.cx() - old.cx(),
+                            detections[d].box.cy() - old.cy()};
+        track.box = detections[d].box;
+        track.cls = detections[d].cls;
+        track.confidence = detections[d].confidence;
+        track.consecutiveMisses = 0;
+        pool_[track.trackerIndex]->init(frame, track.box);
+    }
+
+    // --- Unmatched tracks: coast on the GOTURN prediction. ---
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+        TrackedObject& track = tracks_[t];
+        ++track.age;
+        if (trackMatched[t])
+            continue;
+        ++track.consecutiveMisses;
+        if (params_.alwaysRunTracker)
+            continue; // box already advanced above
+        const BBox old = track.box;
+        track.box = pool_[track.trackerIndex]->track(frame,
+                                                     &trackerTimings);
+        ++trackerRuns;
+        track.velocityPx = {track.box.cx() - old.cx(),
+                            track.box.cy() - old.cy()};
+    }
+
+    // --- Evict stale tracks (ten consecutive misses). ---
+    for (auto it = tracks_.begin(); it != tracks_.end();) {
+        if (it->consecutiveMisses >= params_.evictAfterMisses) {
+            pool_[it->trackerIndex]->release();
+            it = tracks_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // --- Unmatched detections: new tracks from the idle pool. ---
+    for (std::size_t d = 0; d < detections.size(); ++d) {
+        if (trackOfDet[d] >= 0)
+            continue;
+        const int slot = claimTracker();
+        if (slot < 0)
+            break; // pool exhausted; detection goes untracked
+        TrackedObject track;
+        track.id = nextTrackId_++;
+        track.cls = detections[d].cls;
+        track.box = detections[d].box;
+        track.confidence = detections[d].confidence;
+        track.trackerIndex = slot;
+        pool_[slot]->init(frame, track.box);
+        tracks_.push_back(track);
+    }
+
+    if (timings) {
+        timings->tracker.dnnMs += trackerTimings.dnnMs;
+        timings->tracker.otherMs += trackerTimings.otherMs;
+        timings->tracker.totalMs += trackerTimings.totalMs;
+        timings->associateMs += associateMs;
+        timings->totalMs += total.elapsedMs();
+        timings->trackerRuns += trackerRuns;
+    }
+}
+
+} // namespace ad::track

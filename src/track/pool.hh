@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tracker pool and tracked-object table (Section 3.1.2 of the paper):
+ * a pool of GOTURN-style trackers is launched at startup so incoming
+ * tracking requests never pay initialization cost; a tracked-object
+ * table records live objects, and an object is evicted after it fails
+ * to appear in ten consecutive frames, returning its tracker to the
+ * idle pool.
+ *
+ * Detections are associated to existing tracks by IoU; unmatched
+ * detections claim idle trackers; unmatched tracks coast on their
+ * tracker's prediction.
+ */
+
+#ifndef AD_TRACK_POOL_HH
+#define AD_TRACK_POOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "detect/yolo.hh"
+#include "track/goturn.hh"
+
+namespace ad::track {
+
+/** A row of the tracked-object table. */
+struct TrackedObject
+{
+    int id = 0;                  ///< stable track id.
+    sensors::ObjectClass cls = sensors::ObjectClass::Vehicle;
+    BBox box;                    ///< current image-space box.
+    Vec2 velocityPx;             ///< per-frame pixel velocity.
+    int consecutiveMisses = 0;   ///< frames since last detection match.
+    int age = 0;                 ///< frames since birth.
+    int trackerIndex = -1;       ///< pool slot driving this object.
+    double confidence = 0.0;     ///< last matched detection confidence.
+};
+
+/** Pool tuning. */
+struct PoolParams
+{
+    int poolSize = 16;           ///< warm tracker instances.
+    int evictAfterMisses = 10;   ///< the paper's ten-frame rule.
+    double associationIou = 0.3; ///< detection-track match gate.
+    /**
+     * Run the GOTURN network for every live track each frame (the
+     * paper's workload: one tracker invocation per tracked object per
+     * frame) rather than only when a track misses its detection.
+     * Matched tracks still adopt the detection box afterward.
+     */
+    bool alwaysRunTracker = false;
+    TrackerParams tracker;
+};
+
+/** Per-frame TRA statistics. */
+struct PoolTimings
+{
+    TrackTimings tracker;   ///< summed over all tracker runs.
+    double associateMs = 0; ///< detection-track association.
+    double totalMs = 0;
+    int trackerRuns = 0;    ///< DNN invocations this frame.
+};
+
+/**
+ * The object-tracking engine (TRA): tracker pool + tracked-object
+ * table.
+ */
+class TrackerPool
+{
+  public:
+    explicit TrackerPool(const PoolParams& params = {});
+
+    /**
+     * Advance all tracks by one frame.
+     *
+     * @param frame current camera frame.
+     * @param detections this frame's DET output.
+     * @param timings optional per-frame statistics.
+     */
+    void update(const Image& frame,
+                const std::vector<detect::Detection>& detections,
+                PoolTimings* timings = nullptr);
+
+    /** The live tracked-object table. */
+    const std::vector<TrackedObject>& tracks() const { return tracks_; }
+
+    /** Idle trackers remaining in the pool. */
+    int idleTrackers() const;
+
+    const PoolParams& params() const { return params_; }
+
+  private:
+    /** Pool slot of an idle tracker, or -1 when exhausted. */
+    int claimTracker();
+
+    PoolParams params_;
+    std::vector<std::unique_ptr<GoturnTracker>> pool_;
+    std::vector<TrackedObject> tracks_;
+    int nextTrackId_ = 1;
+};
+
+} // namespace ad::track
+
+#endif // AD_TRACK_POOL_HH

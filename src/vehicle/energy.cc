@@ -1,0 +1,31 @@
+#include "vehicle/energy.hh"
+
+#include "common/logging.hh"
+
+namespace ad::vehicle {
+
+EnergyModel::EnergyModel(const PowerParams& powerParams,
+                         const EvParams& evParams)
+    : power_(powerParams), ev_(evParams)
+{
+}
+
+EnergyReport
+EnergyModel::report(double totalSystemW, double frameRateHz,
+                    double tripMiles) const
+{
+    if (frameRateHz <= 0 || tripMiles <= 0)
+        fatal("EnergyModel::report: rate and trip must be positive");
+    EnergyReport r;
+    r.joulesPerFrame = totalSystemW / frameRateHz;
+    const double speedMph = ev_.params().cruiseSpeedMph;
+    // Hours per mile at cruise speed times the draw.
+    r.whPerMile = totalSystemW / speedMph;
+    r.tripKwh = r.whPerMile * tripMiles / 1e3;
+    const double batteryWh = ev_.params().batteryKwh * 1e3;
+    r.batterySharePct =
+        r.whPerMile * ev_.params().baseRangeMiles / batteryWh * 100.0;
+    return r;
+}
+
+} // namespace ad::vehicle

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Energy accounting built on the Section 2.4.5 power model: per-frame
+ * and per-mile energy of the autonomous-driving system, and the share
+ * of the traction battery it consumes over a trip. This extends the
+ * paper's driving-range analysis with the per-decision energy figures
+ * architects compare accelerators by (J/frame).
+ */
+
+#ifndef AD_VEHICLE_ENERGY_HH
+#define AD_VEHICLE_ENERGY_HH
+
+#include "vehicle/power.hh"
+#include "vehicle/range.hh"
+
+namespace ad::vehicle {
+
+/** Energy figures for one system configuration. */
+struct EnergyReport
+{
+    double joulesPerFrame = 0;   ///< full-system energy per frame.
+    double whPerMile = 0;        ///< system energy per mile driven.
+    double tripKwh = 0;          ///< system energy over the trip.
+    double batterySharePct = 0;  ///< of the EV battery per full range.
+};
+
+/** Energy model combining power, frame rate and vehicle parameters. */
+class EnergyModel
+{
+  public:
+    EnergyModel(const PowerParams& powerParams = {},
+                const EvParams& evParams = {});
+
+    /**
+     * Energy figures for a system with the given total draw.
+     *
+     * @param totalSystemW full system power (IT + cooling).
+     * @param frameRateHz processing rate (10 Hz at the paper's
+     *        constraint).
+     * @param tripMiles trip length for tripKwh.
+     */
+    EnergyReport report(double totalSystemW, double frameRateHz = 10.0,
+                        double tripMiles = 100.0) const;
+
+    const EvRangeModel& ev() const { return ev_; }
+
+  private:
+    VehiclePowerModel power_;
+    EvRangeModel ev_;
+};
+
+} // namespace ad::vehicle
+
+#endif // AD_VEHICLE_ENERGY_HH

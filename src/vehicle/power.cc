@@ -1,0 +1,39 @@
+#include "vehicle/power.hh"
+
+#include "common/logging.hh"
+
+namespace ad::vehicle {
+
+VehiclePowerModel::VehiclePowerModel(const PowerParams& params)
+    : params_(params)
+{
+    if (params.coolingCop <= 0)
+        fatal("VehiclePowerModel: COP must be positive");
+}
+
+double
+VehiclePowerModel::coolingOverheadW(double itWatts) const
+{
+    // COP = cooling delivered / work input; removing itWatts of heat
+    // costs itWatts / COP of electrical work (77% at COP 1.3).
+    return itWatts / params_.coolingCop;
+}
+
+double
+VehiclePowerModel::storagePowerW(double terabytes) const
+{
+    return terabytes * params_.storageWattsPerTb;
+}
+
+PowerBreakdown
+VehiclePowerModel::systemPower(double computeWatts,
+                               double storageTb) const
+{
+    PowerBreakdown b;
+    b.computeW = computeWatts;
+    b.storageW = storagePowerW(storageTb);
+    b.coolingW = coolingOverheadW(b.itW());
+    return b;
+}
+
+} // namespace ad::vehicle

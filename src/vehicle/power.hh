@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Vehicle-level system power model (Section 2.4.5): the autonomous
+ * driving system's draw is the computing engines plus the storage
+ * engine, magnified by the air-conditioning load needed to remove the
+ * added heat from the passenger cabin (Section 2.4.4). With the
+ * paper's coefficient of performance of 1.3, every watt of IT load
+ * imposes ~0.77 W of cooling overhead -- the effect that nearly
+ * doubles system power in Figure 2.
+ */
+
+#ifndef AD_VEHICLE_POWER_HH
+#define AD_VEHICLE_POWER_HH
+
+namespace ad::vehicle {
+
+/** Decomposition of the system's electrical draw. */
+struct PowerBreakdown
+{
+    double computeW = 0;  ///< computing engines (all cameras).
+    double storageW = 0;  ///< prior-map storage engine.
+    double coolingW = 0;  ///< A/C overhead removing the heat.
+
+    double itW() const { return computeW + storageW; }
+    double totalW() const { return itW() + coolingW; }
+};
+
+/** System power model knobs (paper defaults). */
+struct PowerParams
+{
+    /**
+     * Air-conditioner coefficient of performance: useful cooling per
+     * watt of work (Joudi et al.); 1.3 means 77% overhead.
+     */
+    double coolingCop = 1.3;
+    /** Storage power: ~8 W per 3 TB of disk (Seagate desktop HDD). */
+    double storageWattsPerTb = 8.0 / 3.0;
+};
+
+/** Computes the full system draw from IT loads. */
+class VehiclePowerModel
+{
+  public:
+    explicit VehiclePowerModel(const PowerParams& params = {});
+
+    /** Cooling watts required to remove the given IT watts. */
+    double coolingOverheadW(double itWatts) const;
+
+    /** Storage engine draw for a map of the given size. */
+    double storagePowerW(double terabytes) const;
+
+    /**
+     * Full breakdown for a computing draw and on-vehicle map size.
+     *
+     * @param computeWatts total computing power (all replicas).
+     * @param storageTb prior-map storage size.
+     */
+    PowerBreakdown systemPower(double computeWatts,
+                               double storageTb) const;
+
+    const PowerParams& params() const { return params_; }
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace ad::vehicle
+
+#endif // AD_VEHICLE_POWER_HH

@@ -1,0 +1,59 @@
+#include "vehicle/range.hh"
+
+#include "common/logging.hh"
+
+namespace ad::vehicle {
+
+EvRangeModel::EvRangeModel(const EvParams& params) : params_(params)
+{
+    if (params.batteryKwh <= 0 || params.baseRangeMiles <= 0 ||
+        params.cruiseSpeedMph <= 0)
+        fatal("EvRangeModel: parameters must be positive");
+}
+
+double
+EvRangeModel::propulsionWatts() const
+{
+    // Average consumption is battery / range (kWh per mile); at the
+    // cruise speed that is a steady power draw. Bolt defaults:
+    // 60 kWh / 238 mi * 56 mph ~= 14.1 kW.
+    const double kwhPerMile = params_.batteryKwh / params_.baseRangeMiles;
+    return kwhPerMile * params_.cruiseSpeedMph * 1e3;
+}
+
+double
+EvRangeModel::rangeMiles(double extraWatts) const
+{
+    const double prop = propulsionWatts();
+    // Driving time shrinks by prop/(prop+extra); so does distance.
+    return params_.baseRangeMiles * prop / (prop + extraWatts);
+}
+
+double
+EvRangeModel::rangeReductionPct(double extraWatts) const
+{
+    const double prop = propulsionWatts();
+    return extraWatts / (prop + extraWatts) * 100.0;
+}
+
+GasMpgModel::GasMpgModel(double baseMpg) : baseMpg_(baseMpg)
+{
+    if (baseMpg <= 0)
+        fatal("GasMpgModel: MPG must be positive");
+}
+
+double
+GasMpgModel::mpg(double extraWatts) const
+{
+    // One MPG lost per 400 W (Farrington & Rugh).
+    const double mpg = baseMpg_ - extraWatts / 400.0;
+    return mpg > 0 ? mpg : 0;
+}
+
+double
+GasMpgModel::mpgReductionPct(double extraWatts) const
+{
+    return (baseMpg_ - mpg(extraWatts)) / baseMpg_ * 100.0;
+}
+
+} // namespace ad::vehicle

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Driving-range and fuel-economy impact models (Section 2.4.5): the
+ * electric-vehicle model follows the paper's Chevy Bolt analysis
+ * (Figure 2 / Figure 12) -- extra electrical load competes with
+ * propulsion for the fixed battery -- and the gasoline model applies
+ * the paper's rule of thumb of one MPG lost per 400 W of additional
+ * electrical load.
+ */
+
+#ifndef AD_VEHICLE_RANGE_HH
+#define AD_VEHICLE_RANGE_HH
+
+namespace ad::vehicle {
+
+/** Electric-vehicle parameters (2017 Chevy Bolt defaults). */
+struct EvParams
+{
+    double batteryKwh = 60.0;
+    double baseRangeMiles = 238.0; ///< EPA rating.
+    double cruiseSpeedMph = 56.0;  ///< evaluation cruise speed.
+};
+
+/** EV driving-range impact model. */
+class EvRangeModel
+{
+  public:
+    explicit EvRangeModel(const EvParams& params = {});
+
+    /** Propulsion draw at the cruise speed (W). */
+    double propulsionWatts() const;
+
+    /**
+     * Range with an extra electrical load: energy splits between
+     * propulsion and the load, shrinking miles traveled.
+     */
+    double rangeMiles(double extraWatts) const;
+
+    /** Percent range reduction caused by the extra load. */
+    double rangeReductionPct(double extraWatts) const;
+
+    const EvParams& params() const { return params_; }
+
+  private:
+    EvParams params_;
+};
+
+/** Gasoline-vehicle fuel-economy impact (1 MPG per 400 W). */
+class GasMpgModel
+{
+  public:
+    /** @param baseMpg the vehicle's unloaded rating. */
+    explicit GasMpgModel(double baseMpg = 31.0);
+
+    /** MPG with the extra electrical load. */
+    double mpg(double extraWatts) const;
+
+    /** Percent MPG reduction (e.g.\ 400 W on a 31 MPG car: 3.23%). */
+    double mpgReductionPct(double extraWatts) const;
+
+  private:
+    double baseMpg_;
+};
+
+} // namespace ad::vehicle
+
+#endif // AD_VEHICLE_RANGE_HH

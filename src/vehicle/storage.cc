@@ -1,0 +1,42 @@
+#include "vehicle/storage.hh"
+
+#include "common/logging.hh"
+
+namespace ad::vehicle {
+
+namespace {
+
+constexpr double kKmPerMile = 1.609344;
+constexpr double kBytesPerTb = 1e12;
+
+} // namespace
+
+MapStorageModel::MapStorageModel(const StorageParams& params)
+    : params_(params)
+{
+    if (params.usRoadMiles <= 0)
+        fatal("MapStorageModel: road mileage must be positive");
+}
+
+double
+MapStorageModel::usMapTb(double bytesPerKm) const
+{
+    return bytesPerKm * params_.usRoadMiles * kKmPerMile / kBytesPerTb;
+}
+
+double
+MapStorageModel::paperImpliedBytesPerKm() const
+{
+    return params_.paperUsMapTb * kBytesPerTb /
+           (params_.usRoadMiles * kKmPerMile);
+}
+
+double
+MapStorageModel::densityRatioVsPaper(double bytesPerKm) const
+{
+    if (bytesPerKm <= 0)
+        fatal("MapStorageModel: density must be positive");
+    return paperImpliedBytesPerKm() / bytesPerKm;
+}
+
+} // namespace ad::vehicle

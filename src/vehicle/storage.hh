@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Prior-map storage model (Section 2.4.3): localization requires the
+ * prior map on the vehicle (connectivity cannot be assumed), and a map
+ * of the entire United States occupies ~41 TB. This model extrapolates
+ * from a measured map density (bytes per kilometer of surveyed road,
+ * taken from our real PriorMap serialization) to country scale and
+ * exposes the constants the storage-power and range analyses consume.
+ */
+
+#ifndef AD_VEHICLE_STORAGE_HH
+#define AD_VEHICLE_STORAGE_HH
+
+namespace ad::vehicle {
+
+/** Storage extrapolation constants. */
+struct StorageParams
+{
+    /** US public road length (FHWA Highway Statistics 2015). */
+    double usRoadMiles = 4.18e6;
+    /** The paper's US prior-map figure, for cross-checking. */
+    double paperUsMapTb = 41.0;
+};
+
+/** Prior-map storage extrapolation. */
+class MapStorageModel
+{
+  public:
+    explicit MapStorageModel(const StorageParams& params = {});
+
+    /**
+     * Extrapolated US map size (TB) from a measured map density.
+     *
+     * @param bytesPerKm serialized map bytes per km of surveyed road.
+     */
+    double usMapTb(double bytesPerKm) const;
+
+    /**
+     * Density (bytes/km) a mapping pipeline would need to stay within
+     * the paper's 41 TB budget.
+     */
+    double paperImpliedBytesPerKm() const;
+
+    /**
+     * The paper's 41 TB figure implies a much richer map than sparse
+     * ORB landmarks (dense prior maps store imagery/pointclouds);
+     * this factor reports how much denser the paper's map is than a
+     * measured sparse map.
+     */
+    double densityRatioVsPaper(double bytesPerKm) const;
+
+    const StorageParams& params() const { return params_; }
+
+  private:
+    StorageParams params_;
+};
+
+} // namespace ad::vehicle
+
+#endif // AD_VEHICLE_STORAGE_HH

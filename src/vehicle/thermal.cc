@@ -1,0 +1,41 @@
+#include "vehicle/thermal.hh"
+
+#include "common/logging.hh"
+
+namespace ad::vehicle {
+
+CabinThermalModel::CabinThermalModel(const ThermalParams& params)
+    : params_(params)
+{
+    if (params.heatRateCPerMinPerKw <= 0)
+        fatal("CabinThermalModel: heat rate must be positive");
+}
+
+bool
+CabinThermalModel::requiresCabinPlacement() const
+{
+    return params_.maxAmbientOutsideCabinC > params_.chipMaxOperatingC;
+}
+
+double
+CabinThermalModel::heatRateCPerMin(double itWatts) const
+{
+    return params_.heatRateCPerMinPerKw * itWatts / 1e3;
+}
+
+double
+CabinThermalModel::minutesToHeatBy(double itWatts, double deltaC) const
+{
+    const double rate = heatRateCPerMin(itWatts);
+    if (rate <= 0)
+        return 1e30; // effectively never
+    return deltaC / rate;
+}
+
+double
+CabinThermalModel::requiredCoolingCapacityW(double itWatts) const
+{
+    return itWatts; // steady state: remove everything dissipated
+}
+
+} // namespace ad::vehicle

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Thermal constraint model (Section 2.4.4): outside the climate
+ * controlled cabin the ambient can reach +105 C -- beyond safe chip
+ * operating temperatures -- so the computing system must live in the
+ * cabin; there, an unremoved 1 kW load heats the cabin ~10 C per
+ * minute (Fayazbakhsh & Bahrami), which is what forces the added
+ * cooling capacity the power model charges for.
+ */
+
+#ifndef AD_VEHICLE_THERMAL_HH
+#define AD_VEHICLE_THERMAL_HH
+
+namespace ad::vehicle {
+
+/** Thermal environment constants from the paper. */
+struct ThermalParams
+{
+    double maxAmbientOutsideCabinC = 105.0; ///< engine-bay ambient.
+    double chipMaxOperatingC = 75.0;        ///< typical CPU limit.
+    double cabinComfortMaxC = 27.0;
+    /** Cabin heat-up rate: degrees C per minute per kW of IT load. */
+    double heatRateCPerMinPerKw = 10.0;
+};
+
+/** Cabin thermal model. */
+class CabinThermalModel
+{
+  public:
+    explicit CabinThermalModel(const ThermalParams& params = {});
+
+    /**
+     * Must the computing system be placed inside the cabin? True
+     * whenever the outside ambient exceeds the chip's operating
+     * limit (always, for the paper's constants).
+     */
+    bool requiresCabinPlacement() const;
+
+    /** Cabin heating rate (C/minute) for an IT load without added
+     * cooling. */
+    double heatRateCPerMin(double itWatts) const;
+
+    /**
+     * Minutes until the cabin warms by deltaC under the load with no
+     * added cooling capacity.
+     */
+    double minutesToHeatBy(double itWatts, double deltaC) const;
+
+    /**
+     * Cooling capacity (thermal watts) that must be added to hold
+     * the cabin temperature: steady state requires removing the
+     * entire IT dissipation.
+     */
+    double requiredCoolingCapacityW(double itWatts) const;
+
+    const ThermalParams& params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+};
+
+} // namespace ad::vehicle
+
+#endif // AD_VEHICLE_THERMAL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * rBRIEF descriptors -- the second half of the ORB extractor (Figure 5):
+ * 256 binary intensity comparisons on a smoothed 31x31 patch, with the
+ * test pattern rotated by the keypoint's quantized orientation. Pattern
+ * rotation uses the LUT sin/cos tables by default, matching the paper's
+ * FPGA/ASIC Rotate_unit; descriptors are 256-bit strings compared by
+ * Hamming distance.
+ */
+
+#ifndef AD_VISION_BRIEF_HH
+#define AD_VISION_BRIEF_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/image.hh"
+#include "vision/fast.hh"
+
+namespace ad::vision {
+
+/** 256-bit binary descriptor. */
+struct Descriptor
+{
+    std::array<std::uint64_t, 4> words = {0, 0, 0, 0};
+
+    /** Hamming distance (0..256) via popcount. */
+    int hamming(const Descriptor& other) const;
+
+    bool operator==(const Descriptor&) const = default;
+};
+
+/** Op counters for the descriptor stage of the FE workload model. */
+struct BriefOpCounts
+{
+    std::uint64_t descriptors = 0;
+    std::uint64_t binaryTests = 0;
+};
+
+/**
+ * The rBRIEF test-pair pattern: 256 coordinate pairs inside a 31x31
+ * patch, plus the pre-rotated variants for every orientation bin
+ * (mirroring the hardware's pattern LUT).
+ */
+class BriefPattern
+{
+  public:
+    /** Singleton: the pattern is deterministic and immutable. */
+    static const BriefPattern& instance();
+
+    /** A single test: compare patch(a) < patch(b). */
+    struct TestPair
+    {
+        std::int8_t ax, ay, bx, by;
+    };
+
+    /** The 256 tests rotated to the given orientation bin. */
+    const std::array<TestPair, 256>& rotated(int bin) const
+    {
+        return rotated_[bin];
+    }
+
+    /** The unrotated base pattern. */
+    const std::array<TestPair, 256>& base() const { return rotated_[0]; }
+
+  private:
+    BriefPattern();
+
+    std::array<std::array<TestPair, 256>, kOrientationBins> rotated_;
+};
+
+/**
+ * Compute the rBRIEF descriptor of one keypoint on a (pre-smoothed)
+ * image. Keypoints closer than 16 pixels to the border are sampled with
+ * clamped reads.
+ *
+ * @param smoothed box-filtered image (radius 2, as in ORB).
+ * @param kp keypoint with orientation bin already assigned.
+ */
+Descriptor describeKeypoint(const Image& smoothed, const Keypoint& kp);
+
+/** Describe a batch of keypoints, updating the op counters. */
+std::vector<Descriptor> describeKeypoints(const Image& smoothed,
+                                          const std::vector<Keypoint>& kps,
+                                          BriefOpCounts* counts = nullptr);
+
+} // namespace ad::vision
+
+#endif // AD_VISION_BRIEF_HH

@@ -1,0 +1,168 @@
+#include "vision/fast.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ad::vision {
+
+namespace {
+
+/** Bresenham circle of radius 3: the 16 FAST test offsets, in order. */
+constexpr int kCircle[16][2] = {
+    {0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+    {0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2},
+    {-1, -3},
+};
+
+constexpr int kArcLength = 9; // FAST-9.
+
+} // namespace
+
+bool
+fastSegmentTest(const Image& img, int x, int y, int threshold)
+{
+    const int center = img.at(x, y);
+    const int hi = center + threshold;
+    const int lo = center - threshold;
+
+    // Quick reject using the 4 compass points: a contiguous arc of 9
+    // always covers at least 2 of the 4 (they are spaced 4 apart).
+    int brighter = 0;
+    int darker = 0;
+    for (int i : {0, 4, 8, 12}) {
+        const int v = img.at(x + kCircle[i][0], y + kCircle[i][1]);
+        brighter += v > hi;
+        darker += v < lo;
+    }
+    if (brighter < 2 && darker < 2)
+        return false;
+
+    // Full test: walk the circle twice to catch wrap-around arcs.
+    int runBright = 0;
+    int runDark = 0;
+    for (int i = 0; i < 32; ++i) {
+        const int idx = i & 15;
+        const int v = img.at(x + kCircle[idx][0], y + kCircle[idx][1]);
+        runBright = v > hi ? runBright + 1 : 0;
+        runDark = v < lo ? runDark + 1 : 0;
+        if (runBright >= kArcLength || runDark >= kArcLength)
+            return true;
+    }
+    return false;
+}
+
+float
+harrisResponse(const Image& img, int x, int y)
+{
+    // Structure tensor from Sobel gradients over a 7x7 window.
+    double sxx = 0;
+    double syy = 0;
+    double sxy = 0;
+    for (int dy = -3; dy <= 3; ++dy) {
+        for (int dx = -3; dx <= 3; ++dx) {
+            const int px = x + dx;
+            const int py = y + dy;
+            const double gx =
+                (img.atClamped(px + 1, py - 1) + 2 * img.atClamped(px + 1, py)
+                 + img.atClamped(px + 1, py + 1)) -
+                (img.atClamped(px - 1, py - 1) + 2 * img.atClamped(px - 1, py)
+                 + img.atClamped(px - 1, py + 1));
+            const double gy =
+                (img.atClamped(px - 1, py + 1) + 2 * img.atClamped(px, py + 1)
+                 + img.atClamped(px + 1, py + 1)) -
+                (img.atClamped(px - 1, py - 1) + 2 * img.atClamped(px, py - 1)
+                 + img.atClamped(px + 1, py - 1));
+            sxx += gx * gx;
+            syy += gy * gy;
+            sxy += gx * gy;
+        }
+    }
+    constexpr double k = 0.04;
+    const double det = sxx * syy - sxy * sxy;
+    const double trace = sxx + syy;
+    return static_cast<float>(det - k * trace * trace);
+}
+
+int
+intensityCentroidBin(const Image& img, int x, int y, TrigMode mode)
+{
+    constexpr int radius = 8;
+    float m10 = 0;
+    float m01 = 0;
+    for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+            if (dx * dx + dy * dy > radius * radius)
+                continue;
+            const float v = img.atClamped(x + dx, y + dy);
+            m10 += static_cast<float>(dx) * v;
+            m01 += static_cast<float>(dy) * v;
+        }
+    }
+    if (mode == TrigMode::Lut)
+        return TrigTables::instance().atan2Bin(m01, m10);
+    return naiveAtan2Bin(m01, m10);
+}
+
+std::vector<Keypoint>
+detectFast(const Image& img, const FastParams& params, FastOpCounts* counts)
+{
+    std::vector<Keypoint> candidates;
+    const int border = 8 + 3; // orientation disc + circle radius.
+    FastOpCounts local;
+
+    for (int y = border; y < img.height() - border; ++y) {
+        for (int x = border; x < img.width() - border; ++x) {
+            ++local.pixelsTested;
+            if (!fastSegmentTest(img, x, y, params.threshold))
+                continue;
+            ++local.candidates;
+            Keypoint kp;
+            kp.x = static_cast<float>(x);
+            kp.y = static_cast<float>(y);
+            kp.response = harrisResponse(img, x, y);
+            candidates.push_back(kp);
+        }
+    }
+
+    // Grid NMS: keep the strongest response per cell.
+    const int cell = std::max(1, params.cellSize);
+    const int gw = (img.width() + cell - 1) / cell;
+    const int gh = (img.height() + cell - 1) / cell;
+    std::vector<int> bestInCell(static_cast<std::size_t>(gw) * gh, -1);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const int cx = static_cast<int>(candidates[i].x) / cell;
+        const int cy = static_cast<int>(candidates[i].y) / cell;
+        int& best = bestInCell[static_cast<std::size_t>(cy) * gw + cx];
+        if (best < 0 ||
+            candidates[best].response < candidates[i].response)
+            best = static_cast<int>(i);
+    }
+    std::vector<Keypoint> kept;
+    for (const int idx : bestInCell)
+        if (idx >= 0)
+            kept.push_back(candidates[idx]);
+
+    // Top-N by response.
+    if (static_cast<int>(kept.size()) > params.maxKeypoints) {
+        std::nth_element(kept.begin(), kept.begin() + params.maxKeypoints,
+                         kept.end(), [](const Keypoint& a, const Keypoint& b)
+                         { return a.response > b.response; });
+        kept.resize(params.maxKeypoints);
+    }
+
+    // Orientation only for survivors (as in ORB).
+    for (auto& kp : kept)
+        kp.orientationBin = intensityCentroidBin(
+            img, static_cast<int>(kp.x), static_cast<int>(kp.y),
+            params.trigMode);
+
+    local.keypoints = kept.size();
+    if (counts) {
+        counts->pixelsTested += local.pixelsTested;
+        counts->candidates += local.candidates;
+        counts->keypoints += local.keypoints;
+    }
+    return kept;
+}
+
+} // namespace ad::vision

@@ -1,0 +1,65 @@
+#include "vision/lut_trig.hh"
+
+#include <cmath>
+
+namespace ad::vision {
+
+const TrigTables&
+TrigTables::instance()
+{
+    static const TrigTables tables;
+    return tables;
+}
+
+TrigTables::TrigTables()
+{
+    for (int i = 0; i < kOrientationBins; ++i) {
+        const float a = static_cast<float>(2.0 * M_PI * i /
+                                           kOrientationBins);
+        angle_[i] = a;
+        sin_[i] = std::sin(a);
+        cos_[i] = std::cos(a);
+    }
+    for (int i = 0; i <= kSlopeSteps; ++i)
+        atanTable_[i] = std::atan(static_cast<float>(i) / kSlopeSteps);
+}
+
+int
+TrigTables::binOf(float angle)
+{
+    float a = std::fmod(angle, static_cast<float>(2.0 * M_PI));
+    if (a < 0)
+        a += static_cast<float>(2.0 * M_PI);
+    int bin = static_cast<int>(a * kOrientationBins /
+                               static_cast<float>(2.0 * M_PI) + 0.5f);
+    return bin % kOrientationBins;
+}
+
+int
+TrigTables::atan2Bin(float y, float x) const
+{
+    if (x == 0.0f && y == 0.0f)
+        return 0;
+    const float ax = std::fabs(x);
+    const float ay = std::fabs(y);
+    // First octant: slope in [0, 1], one table read.
+    const float lo = ax > ay ? ay : ax;
+    const float hi = ax > ay ? ax : ay;
+    const int step = static_cast<int>(lo / hi * kSlopeSteps + 0.5f);
+    float a = atanTable_[step];
+    if (ay > ax)
+        a = static_cast<float>(M_PI / 2) - a;
+    if (x < 0)
+        a = static_cast<float>(M_PI) - a;
+    if (y < 0)
+        a = -a;
+    return binOf(a);
+}
+
+int
+naiveAtan2Bin(float y, float x)
+{
+    return TrigTables::binOf(std::atan2(y, x));
+}
+
+} // namespace ad::vision

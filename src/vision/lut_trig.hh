@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lookup-table trigonometry for the feature-extraction substrate.
+ *
+ * The paper's FPGA and ASIC feature-extraction designs (Section 4.2.2 /
+ * 4.2.3) replace atan2/sin/cos with lookup tables "to avoid the
+ * extensive use of multipliers and dividers", improving FE latency by
+ * 1.5x on the FPGA and 4x on the ASIC. We implement the same scheme in
+ * software: orientation is quantized to a fixed number of bins, sin/cos
+ * come from per-bin tables, and atan2 is a quadrant-folded slope table.
+ * The naive libm path is kept selectable so the ablation bench
+ * (bench_ablation_lut_trig) can quantify the trade-off.
+ */
+
+#ifndef AD_VISION_LUT_TRIG_HH
+#define AD_VISION_LUT_TRIG_HH
+
+#include <array>
+
+namespace ad::vision {
+
+/** Which trigonometry implementation the extractor uses. */
+enum class TrigMode { Lut, Naive };
+
+/**
+ * Number of discrete orientation bins. ORB quantizes to 12-degree
+ * steps (30 bins); we use 32 -- a power of two, the natural choice for
+ * the hardware pattern LUT, with the quadrant axes landing on exact
+ * bin centers.
+ */
+constexpr int kOrientationBins = 32;
+
+/**
+ * Quantized trigonometry tables shared by oFAST (orientation) and
+ * rBRIEF (pattern rotation).
+ */
+class TrigTables
+{
+  public:
+    /** Singleton accessor (tables are immutable after construction). */
+    static const TrigTables& instance();
+
+    /** sin of the bin center. */
+    float sinOf(int bin) const { return sin_[bin]; }
+    /** cos of the bin center. */
+    float cosOf(int bin) const { return cos_[bin]; }
+
+    /** Bin center angle in radians, in [0, 2*pi). */
+    float angleOf(int bin) const { return angle_[bin]; }
+
+    /** Map an arbitrary angle (radians) to its orientation bin. */
+    static int binOf(float angle);
+
+    /**
+     * LUT-based atan2 quantized directly to an orientation bin: folds
+     * (y, x) into the first octant and looks the slope up in a table,
+     * avoiding the divider/multiplier-heavy libm path -- mirroring the
+     * hardware Orient_unit.
+     */
+    int atan2Bin(float y, float x) const;
+
+  private:
+    TrigTables();
+
+    std::array<float, kOrientationBins> sin_;
+    std::array<float, kOrientationBins> cos_;
+    std::array<float, kOrientationBins> angle_;
+    // Slope table: atan(t) for t in [0, 1] at fixed resolution.
+    static constexpr int kSlopeSteps = 64;
+    std::array<float, kSlopeSteps + 1> atanTable_;
+};
+
+/** Orientation bin via libm atan2 (the "naive" ablation arm). */
+int naiveAtan2Bin(float y, float x);
+
+} // namespace ad::vision
+
+#endif // AD_VISION_LUT_TRIG_HH

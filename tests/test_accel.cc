@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the accelerator platform models: the latency-distribution
+ * primitives (fit/mean/tail identities), model anchoring to the
+ * paper's Figure 10 grid, mechanistic workload scaling (resolution,
+ * layer kinds), the Section 4.2 ablation knobs, and the paper's
+ * headline speedup factors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/models.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::accel;
+
+TEST(LatencyDistribution, LognormalFitHitsTargets)
+{
+    for (const auto& [m, t] : {std::pair{10.0, 13.0},
+                              std::pair{7150.0, 7734.4},
+                              std::pair{5.5, 6.4},
+                              std::pair{40.8, 294.2}}) {
+        const auto d = LatencyDistribution::fit(m, t);
+        EXPECT_NEAR(d.mean(), m, m * 0.01) << m;
+        EXPECT_NEAR(d.tail9999(), t, t * 0.01) << t;
+    }
+}
+
+TEST(LatencyDistribution, DegenerateDeterministicFit)
+{
+    const auto d = LatencyDistribution::fit(27.1, 27.1);
+    EXPECT_NEAR(d.sigma, 0.0, 1e-9);
+    EXPECT_NEAR(d.mean(), 27.1, 1e-6);
+    Rng rng(1);
+    EXPECT_NEAR(d.sample(rng), 27.1, 1e-6);
+}
+
+TEST(LatencyDistribution, SpikeFitHitsTargets)
+{
+    const auto d =
+        LatencyDistribution::fit(40.8, 294.2, kLocSpikeProbability);
+    EXPECT_NEAR(d.mean(), 40.8, 40.8 * 0.03);
+    EXPECT_NEAR(d.tail9999(), 294.2, 294.2 * 0.05);
+    EXPECT_GT(d.spikeMs, 0);
+}
+
+TEST(LatencyDistribution, SampledQuantilesMatchAnalytic)
+{
+    Rng rng(7);
+    const auto d =
+        LatencyDistribution::fit(40.8, 294.2, kLocSpikeProbability);
+    const auto s = d.summarize(300000, rng);
+    EXPECT_NEAR(s.mean, d.mean(), d.mean() * 0.05);
+    EXPECT_NEAR(s.p9999, d.tail9999(), d.tail9999() * 0.25);
+    // Heavy tail: the sampled p99.99 dwarfs the median.
+    EXPECT_GT(s.p9999, 4 * s.p50);
+}
+
+TEST(LatencyDistribution, SamplesArePositive)
+{
+    Rng rng(3);
+    const auto d = LatencyDistribution::fit(5.5, 6.4);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GT(d.sample(rng), 0.0);
+}
+
+TEST(PlatformSpecs, MatchTable2)
+{
+    EXPECT_EQ(platformSpec(Platform::Cpu).cores, 16);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Cpu).frequencyGhz, 3.2);
+    EXPECT_EQ(platformSpec(Platform::Gpu).cores, 3584);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Gpu).memoryBwGBs, 480.0);
+    EXPECT_EQ(platformSpec(Platform::Fpga).cores, 256);
+    EXPECT_DOUBLE_EQ(platformSpec(Platform::Fpga).memoryBwGBs, 6.4);
+}
+
+TEST(Workload, StandardMatchesFullScaleProfiles)
+{
+    const Workload& w = standardWorkloadRef();
+    EXPECT_GT(w.det.totalFlops(), 3e9);
+    EXPECT_GT(w.tra.totalWeightBytes(), 4e8); // GOTURN FC weights
+    EXPECT_NEAR(w.fe.pixels / 1e6, 1.17, 0.05);
+    EXPECT_EQ(w.fe.features, 1875u);
+    EXPECT_NEAR(w.locOthersCpuMs, 5.75, 0.1);
+}
+
+TEST(Workload, SpatialScalingLeavesFcAlone)
+{
+    const Workload& w = standardWorkloadRef();
+    const Workload big = w.scaled(4.0);
+    EXPECT_NEAR(static_cast<double>(
+                    big.det.flopsOfKind(nn::LayerKind::Conv)) /
+                    w.det.flopsOfKind(nn::LayerKind::Conv),
+                4.0, 0.01);
+    EXPECT_EQ(big.tra.flopsOfKind(nn::LayerKind::FullyConnected),
+              w.tra.flopsOfKind(nn::LayerKind::FullyConnected));
+    EXPECT_EQ(big.tra.totalWeightBytes(), w.tra.totalWeightBytes());
+    EXPECT_NEAR(static_cast<double>(big.fe.pixels) / w.fe.pixels, 4.0,
+                0.01);
+    EXPECT_EQ(big.fe.features, w.fe.features);
+}
+
+/** Every Figure 10 anchor must be reproduced by its model. */
+class AnchorTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(AnchorTest, ModelReproducesPaperCell)
+{
+    const auto c = static_cast<Component>(std::get<0>(GetParam()));
+    const auto p = static_cast<Platform>(std::get<1>(GetParam()));
+    const PlatformModel& model = platformModel(p);
+    const Workload& w = standardWorkloadRef();
+    const PaperAnchor anchor = paperAnchor(c, p);
+
+    // Mechanistic base latency within 6% of the paper's mean.
+    EXPECT_NEAR(model.baseLatencyMs(c, w), anchor.meanMs,
+                anchor.meanMs * 0.06);
+    // Fitted distribution within 3% / 6% of mean / tail.
+    const auto d = model.latency(c, w);
+    EXPECT_NEAR(d.mean(), anchor.meanMs, anchor.meanMs * 0.03);
+    EXPECT_NEAR(d.tail9999(), anchor.tailMs, anchor.tailMs * 0.06);
+    // Power is the measured constant.
+    EXPECT_DOUBLE_EQ(model.powerWatts(c), anchor.powerW);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure10Grid, AnchorTest,
+    ::testing::Combine(::testing::Range(0, kNumBottlenecks),
+                       ::testing::Range(0, kNumPlatforms)));
+
+TEST(Models, HeadlineTailSpeedups)
+{
+    // Section 5 headline: accelerators reduce the end-to-end tail by
+    // 169x (GPU), 10x (FPGA) and 93x (ASIC). End-to-end tail =
+    // max(LOC, DET + TRA) since DET/TRA and LOC run in parallel.
+    const Workload& w = standardWorkloadRef();
+    const auto e2eTail = [&](Platform p) {
+        const PlatformModel& m = platformModel(p);
+        const double detTra = m.latency(Component::Det, w).tail9999() +
+                              m.latency(Component::Tra, w).tail9999();
+        const double loc = m.latency(Component::Loc, w).tail9999();
+        return std::max(detTra, loc);
+    };
+    const double cpu = e2eTail(Platform::Cpu);
+    EXPECT_NEAR(cpu / e2eTail(Platform::Gpu), 169.0, 25.0);
+    EXPECT_NEAR(cpu / e2eTail(Platform::Fpga), 10.0, 1.5);
+    EXPECT_NEAR(cpu / e2eTail(Platform::Asic), 93.0, 12.0);
+}
+
+TEST(Models, LatencyMonotoneInResolution)
+{
+    const Workload& w = standardWorkloadRef();
+    for (int pi = 0; pi < kNumPlatforms; ++pi) {
+        const auto p = static_cast<Platform>(pi);
+        const PlatformModel& m = platformModel(p);
+        for (int ci = 0; ci < kNumBottlenecks; ++ci) {
+            const auto c = static_cast<Component>(ci);
+            double prev = 0;
+            for (const double r : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+                const double base = m.baseLatencyMs(c, w.scaled(r));
+                EXPECT_GT(base, prev)
+                    << platformName(p) << " " << componentName(c);
+                prev = base;
+            }
+        }
+    }
+}
+
+TEST(Models, TrackerResolutionScalingIsSubLinear)
+{
+    // TRA's FC stack does not grow with camera resolution, so TRA
+    // latency grows sub-linearly -- unlike DET.
+    const Workload& w = standardWorkloadRef();
+    const Workload big = w.scaled(4.0);
+    const PlatformModel& gpu = platformModel(Platform::Gpu);
+    const double traRatio = gpu.baseLatencyMs(Component::Tra, big) /
+                            gpu.baseLatencyMs(Component::Tra, w);
+    const double detRatio = gpu.baseLatencyMs(Component::Det, big) /
+                            gpu.baseLatencyMs(Component::Det, w);
+    EXPECT_LT(traRatio, detRatio);
+    EXPECT_NEAR(detRatio, 4.0, 0.1);
+}
+
+TEST(Models, FpgaTraIsTransferBound)
+{
+    // GOTURN's 436 MB FC weights dominate the FPGA schedule: with the
+    // host link halved the latency nearly doubles... equivalently,
+    // disabling double buffering (serializing transfer after compute)
+    // adds only the smaller compute time.
+    FpgaModel fpga;
+    const Workload& w = standardWorkloadRef();
+    const double with = fpga.baseLatencyMs(Component::Tra, w);
+    FpgaModel::Options opts;
+    opts.doubleBuffering = false;
+    fpga.setOptions(opts);
+    const double without = fpga.baseLatencyMs(Component::Tra, w);
+    EXPECT_GT(without, with);
+    EXPECT_LT(without / with, 1.25); // transfer-bound: modest penalty
+}
+
+TEST(Models, LutTrigAblationMatchesPaperFactors)
+{
+    const Workload& w = standardWorkloadRef();
+
+    FpgaModel fpga;
+    const double fpgaLut =
+        fpga.baseLatencyMs(Component::Loc, w) - w.locOthersCpuMs;
+    FpgaModel::Options fOpts;
+    fOpts.lutTrig = false;
+    fpga.setOptions(fOpts);
+    const double fpgaNaive =
+        fpga.baseLatencyMs(Component::Loc, w) - w.locOthersCpuMs;
+    EXPECT_NEAR(fpgaNaive / fpgaLut, 1.5, 0.01); // Section 4.2.2
+
+    AsicModel asic;
+    const double asicLut =
+        asic.baseLatencyMs(Component::Loc, w) - w.locOthersCpuMs;
+    AsicModel::Options aOpts;
+    aOpts.lutTrig = false;
+    asic.setOptions(aOpts);
+    const double asicNaive =
+        asic.baseLatencyMs(Component::Loc, w) - w.locOthersCpuMs;
+    EXPECT_NEAR(asicNaive / asicLut, 4.0, 0.01); // Section 4.2.3
+}
+
+TEST(Models, AcceleratorsAreMorePredictableThanCpu)
+{
+    const Workload& w = standardWorkloadRef();
+    for (const auto c :
+         {Component::Det, Component::Tra, Component::Loc}) {
+        const auto cpu = platformModel(Platform::Cpu).latency(c, w);
+        for (const auto p :
+             {Platform::Fpga, Platform::Asic}) {
+            const auto acc = platformModel(p).latency(c, w);
+            const double cpuRatio = cpu.tail9999() / cpu.mean();
+            const double accRatio = acc.tail9999() / acc.mean();
+            EXPECT_LE(accRatio, cpuRatio + 1e-9)
+                << componentName(c) << " " << platformName(p);
+        }
+    }
+}
+
+TEST(Models, FeAsicSpecMatchesTable3)
+{
+    const auto spec = feAsicSpec();
+    EXPECT_DOUBLE_EQ(spec.clockGhz, 4.0);
+    EXPECT_DOUBLE_EQ(spec.powerMw, 21.97);
+    EXPECT_DOUBLE_EQ(spec.areaUm2, 6539.9);
+}
+
+TEST(Models, FusionAndMotPlanAreNegligible)
+{
+    const Workload& w = standardWorkloadRef();
+    const PlatformModel& cpu = platformModel(Platform::Cpu);
+    EXPECT_LT(cpu.latency(Component::Fusion, w).tail9999(), 0.2);
+    EXPECT_LT(cpu.latency(Component::MotPlan, w).tail9999(), 0.6);
+}
+
+} // namespace

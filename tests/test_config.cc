@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the key=value configuration store and its command-line
+ * parser, which drive the bench harness parameter sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/config.hh"
+
+namespace {
+
+using ad::Config;
+
+TEST(Config, SetAndGet)
+{
+    Config cfg;
+    cfg.set("frames", "100");
+    cfg.set("rate", "2.5");
+    cfg.set("verbose", "true");
+    cfg.set("name", "kitti");
+    EXPECT_TRUE(cfg.has("frames"));
+    EXPECT_FALSE(cfg.has("missing"));
+    EXPECT_EQ(cfg.getInt("frames", 0), 100);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("rate", 0.0), 2.5);
+    EXPECT_TRUE(cfg.getBool("verbose", false));
+    EXPECT_EQ(cfg.getString("name"), "kitti");
+}
+
+TEST(Config, DefaultsWhenMissing)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.getInt("n", 7), 7);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("x", 1.5), 1.5);
+    EXPECT_FALSE(cfg.getBool("flag", false));
+    EXPECT_EQ(cfg.getString("s", "dft"), "dft");
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config cfg;
+    for (const char* v : {"true", "1", "yes", "on"}) {
+        cfg.set("k", v);
+        EXPECT_TRUE(cfg.getBool("k", false)) << v;
+    }
+    for (const char* v : {"false", "0", "no", "off"}) {
+        cfg.set("k", v);
+        EXPECT_FALSE(cfg.getBool("k", true)) << v;
+    }
+}
+
+TEST(Config, ParseEqualsForm)
+{
+    std::array<const char*, 3> argv = {"prog", "--frames=50",
+                                       "--scenario=urban"};
+    Config cfg = Config::fromArgs(argv.size(),
+                                  const_cast<char**>(argv.data()));
+    EXPECT_EQ(cfg.getInt("frames", 0), 50);
+    EXPECT_EQ(cfg.getString("scenario"), "urban");
+}
+
+TEST(Config, ParseSpaceSeparatedAndFlag)
+{
+    std::array<const char*, 5> argv = {"prog", "--frames", "25", "--fast",
+                                       "--mode=modeled"};
+    Config cfg = Config::fromArgs(argv.size(),
+                                  const_cast<char**>(argv.data()));
+    EXPECT_EQ(cfg.getInt("frames", 0), 25);
+    EXPECT_TRUE(cfg.getBool("fast", false));
+    EXPECT_EQ(cfg.getString("mode"), "modeled");
+}
+
+TEST(Config, LastValueWins)
+{
+    std::array<const char*, 3> argv = {"prog", "--n=1", "--n=2"};
+    Config cfg = Config::fromArgs(argv.size(),
+                                  const_cast<char**>(argv.data()));
+    EXPECT_EQ(cfg.getInt("n", 0), 2);
+}
+
+} // namespace

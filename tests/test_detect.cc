@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the object-detection engine: NMS behavior, end-to-end
+ * detection of planted objects in rendered scenes, class banding,
+ * lane-marking rejection and the DNN-dominated timing split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/yolo.hh"
+#include "sensors/camera.hh"
+#include "sensors/scenario.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::detect;
+using sensors::Camera;
+using sensors::ObjectClass;
+using sensors::Resolution;
+
+Detection
+makeDet(double x, double y, double w, double h, double conf)
+{
+    Detection d;
+    d.box = BBox(x, y, w, h);
+    d.confidence = conf;
+    return d;
+}
+
+TEST(Nms, SuppressesOverlapsKeepsDistinct)
+{
+    std::vector<Detection> dets = {
+        makeDet(0, 0, 10, 10, 0.9),
+        makeDet(1, 1, 10, 10, 0.8),  // overlaps the first
+        makeDet(50, 50, 10, 10, 0.7) // distinct
+    };
+    const auto kept = nonMaxSuppression(dets, 0.4);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_DOUBLE_EQ(kept[0].confidence, 0.9);
+    EXPECT_DOUBLE_EQ(kept[1].confidence, 0.7);
+}
+
+TEST(Nms, KeepsHighestConfidenceRegardlessOfOrder)
+{
+    std::vector<Detection> dets = {
+        makeDet(1, 1, 10, 10, 0.5),
+        makeDet(0, 0, 10, 10, 0.95),
+    };
+    const auto kept = nonMaxSuppression(dets, 0.4);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_DOUBLE_EQ(kept[0].confidence, 0.95);
+}
+
+TEST(Nms, EmptyInput)
+{
+    EXPECT_TRUE(nonMaxSuppression({}, 0.5).empty());
+}
+
+class DetectorTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        DetectorParams dp;
+        dp.inputSize = 224;
+        dp.width = 0.25;
+        detector_ = new YoloDetector(dp);
+        camera_ = new Camera(Resolution::HHD);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete detector_;
+        delete camera_;
+        detector_ = nullptr;
+        camera_ = nullptr;
+    }
+
+    /** Render a world with one actor of the given class ahead. */
+    static sensors::Frame
+    frameWithActor(ObjectClass cls, double distance, double lateral = 0.0)
+    {
+        sensors::World world;
+        sensors::Actor a;
+        a.cls = cls;
+        a.motion = sensors::MotionKind::Stationary;
+        a.pose = Pose2(50.0 + distance,
+                       world.road().laneCenter(1) + lateral, 0.0);
+        if (cls == ObjectClass::Pedestrian) {
+            a.length = 0.5;
+            a.width = 0.6;
+            a.height = 1.75;
+        } else if (cls == ObjectClass::Bicycle) {
+            a.length = 1.8;
+            a.width = 0.8;
+            a.height = 1.7;
+        } else if (cls == ObjectClass::TrafficSign) {
+            a.length = 0.8;
+            a.width = 0.9;
+            a.height = 2.2;
+        }
+        world.addActor(a);
+        return camera_->render(world,
+                               Pose2(50.0, world.road().laneCenter(1), 0));
+    }
+
+    static YoloDetector* detector_;
+    static Camera* camera_;
+};
+
+YoloDetector* DetectorTest::detector_ = nullptr;
+Camera* DetectorTest::camera_ = nullptr;
+
+TEST_F(DetectorTest, DetectsVehicleAhead)
+{
+    const auto frame = frameWithActor(ObjectClass::Vehicle, 15.0);
+    ASSERT_EQ(frame.truth.size(), 1u);
+    const auto dets = detector_->detect(frame.image);
+    ASSERT_FALSE(dets.empty());
+    double bestIou = 0;
+    for (const auto& d : dets)
+        bestIou = std::max(bestIou, d.box.iou(frame.truth[0].box));
+    EXPECT_GT(bestIou, 0.4);
+}
+
+TEST_F(DetectorTest, ClassifiesEachBand)
+{
+    for (const auto cls :
+         {ObjectClass::Vehicle, ObjectClass::Pedestrian,
+          ObjectClass::TrafficSign}) {
+        const auto frame = frameWithActor(cls, 10.0);
+        ASSERT_FALSE(frame.truth.empty());
+        const auto dets = detector_->detect(frame.image);
+        bool found = false;
+        for (const auto& d : dets) {
+            if (d.box.iou(frame.truth[0].box) > 0.3) {
+                found = true;
+                EXPECT_EQ(d.cls, cls) << sensors::objectClassName(cls);
+            }
+        }
+        EXPECT_TRUE(found) << sensors::objectClassName(cls);
+    }
+}
+
+TEST_F(DetectorTest, EmptyRoadYieldsNoDetections)
+{
+    sensors::World world;
+    const auto frame = camera_->render(
+        world, Pose2(50.0, world.road().laneCenter(1), 0));
+    const auto dets = detector_->detect(frame.image);
+    EXPECT_TRUE(dets.empty());
+}
+
+TEST_F(DetectorTest, LaneMarkingsDoNotFire)
+{
+    // A road with markings but no actors -- and the ego positioned so
+    // markings dominate the lower image.
+    sensors::World world;
+    world.road().lanes = 4;
+    const auto frame = camera_->render(
+        world, Pose2(100.0, world.road().laneCenter(2), 0));
+    const auto dets = detector_->detect(frame.image);
+    EXPECT_TRUE(dets.empty());
+}
+
+TEST_F(DetectorTest, DnnDominatesDetCycles)
+{
+    // Figure 7: the DNN is 99.4% of DET. Assert clear dominance.
+    const auto frame = frameWithActor(ObjectClass::Vehicle, 15.0);
+    DetectorTimings timings;
+    for (int i = 0; i < 5; ++i)
+        detector_->detect(frame.image, &timings);
+    EXPECT_GT(timings.dnnMs / timings.totalMs, 0.80);
+}
+
+TEST_F(DetectorTest, ConfidenceWithinUnitRange)
+{
+    const auto frame = frameWithActor(ObjectClass::Vehicle, 12.0);
+    for (const auto& d : detector_->detect(frame.image)) {
+        EXPECT_GT(d.confidence, 0.0);
+        EXPECT_LE(d.confidence, 1.0);
+    }
+}
+
+TEST(DetectorProfile, FullScaleMatchesPaperMagnitude)
+{
+    const auto p = YoloDetector::fullScaleProfile();
+    EXPECT_GT(p.totalFlops(), 3e9);
+    EXPECT_EQ(p.inputShape.h, 416);
+}
+
+TEST(DetectorProfile, ScalesWithInputSize)
+{
+    DetectorParams small;
+    small.inputSize = 128;
+    DetectorParams big;
+    big.inputSize = 256;
+    const YoloDetector a(small);
+    const YoloDetector b(big);
+    // 2x input -> ~4x conv FLOPs.
+    const double ratio = static_cast<double>(b.profile().totalFlops()) /
+                         static_cast<double>(a.profile().totalFlops());
+    EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+} // namespace

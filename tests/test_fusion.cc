@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the fusion engine: back-projection of tracked boxes into
+ * world coordinates, world-frame velocity estimation, and consistency
+ * with the rendering camera (render -> track -> fuse round trip).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fusion/fusion.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::fusion;
+using sensors::Camera;
+using sensors::ObjectClass;
+using sensors::Resolution;
+
+track::TrackedObject
+trackAt(const Camera& cam, const Pose2& ego, const Vec2& world,
+        double height, int id)
+{
+    // Build a track whose box bottom-center projects from the world
+    // ground point.
+    double u, v, depth;
+    EXPECT_TRUE(cam.project(ego, world, 0.0, u, v, depth));
+    const double h = cam.focal() * height / depth;
+    const double w = cam.focal() * 1.8 / depth;
+    track::TrackedObject t;
+    t.id = id;
+    t.cls = ObjectClass::Vehicle;
+    t.box = BBox(u - w / 2, v - h, w, h);
+    return t;
+}
+
+TEST(Fusion, BackProjectsToWorldPosition)
+{
+    Camera cam(Resolution::Kitti);
+    FusionEngine fusion(&cam);
+    const Pose2 ego(100, 5, 0.1);
+    const Vec2 objWorld(125, 7);
+    const auto scene = fusion.fuse({trackAt(cam, ego, objWorld, 1.5, 1)},
+                                   ego, 0.1, 1.0);
+    ASSERT_EQ(scene.objects.size(), 1u);
+    EXPECT_NEAR(scene.objects[0].worldPos.x, objWorld.x, 0.5);
+    EXPECT_NEAR(scene.objects[0].worldPos.y, objWorld.y, 0.5);
+    EXPECT_NEAR(scene.objects[0].depth, (objWorld - ego.pos).norm(), 0.6);
+    EXPECT_DOUBLE_EQ(scene.timestamp, 1.0);
+}
+
+TEST(Fusion, KalmanVelocityConvergesOverFrames)
+{
+    Camera cam(Resolution::Kitti);
+    FusionEngine fusion(&cam);
+    const Pose2 ego(100, 5, 0);
+    // Object moves 2 m forward between frames 0.1 s apart -> 20 m/s;
+    // the Kalman velocity estimate converges within a few frames.
+    fusion::FusedScene scene;
+    for (int i = 0; i <= 8; ++i)
+        scene = fusion.fuse(
+            {trackAt(cam, ego, {120.0 + 2.0 * i, 6}, 1.5, 7)}, ego,
+            0.1, 0.1 * i);
+    ASSERT_EQ(scene.objects.size(), 1u);
+    EXPECT_NEAR(scene.objects[0].worldVelocity.x, 20.0, 3.0);
+    EXPECT_NEAR(scene.objects[0].worldVelocity.y, 0.0, 2.0);
+}
+
+TEST(Fusion, RawModeDifferencesImmediately)
+{
+    Camera cam(Resolution::Kitti);
+    fusion::FusionParams params;
+    params.useKalman = false;
+    FusionEngine fusion(&cam, params);
+    const Pose2 ego(100, 5, 0);
+    fusion.fuse({trackAt(cam, ego, {120, 6}, 1.5, 7)}, ego, 0.1, 0.0);
+    const auto scene =
+        fusion.fuse({trackAt(cam, ego, {122, 6}, 1.5, 7)}, ego, 0.1,
+                    0.1);
+    ASSERT_EQ(scene.objects.size(), 1u);
+    EXPECT_NEAR(scene.objects[0].worldVelocity.x, 20.0, 3.0);
+}
+
+TEST(Fusion, KalmanSmoothsNoisierThanRaw)
+{
+    // Feed a stationary object with jittered measurements: the raw
+    // differencer reports wild velocities, the Kalman estimate stays
+    // near zero.
+    Camera cam(Resolution::Kitti);
+    FusionEngine smooth(&cam);
+    fusion::FusionParams rawParams;
+    rawParams.useKalman = false;
+    FusionEngine raw(&cam, rawParams);
+    ad::Rng rng(9);
+    const Pose2 ego(100, 5, 0);
+
+    double maxRawSpeed = 0;
+    double maxKfSpeed = 0;
+    for (int i = 0; i < 20; ++i) {
+        const Vec2 jitter{rng.normal(0, 0.3), rng.normal(0, 0.3)};
+        const auto track =
+            trackAt(cam, ego, Vec2{120, 6} + jitter, 1.5, 4);
+        const auto s1 = smooth.fuse({track}, ego, 0.1, 0.1 * i);
+        const auto s2 = raw.fuse({track}, ego, 0.1, 0.1 * i);
+        if (i >= 5) { // past filter warm-up
+            maxKfSpeed = std::max(maxKfSpeed,
+                                  s1.objects[0].worldVelocity.norm());
+            maxRawSpeed = std::max(maxRawSpeed,
+                                   s2.objects[0].worldVelocity.norm());
+        }
+    }
+    EXPECT_LT(maxKfSpeed, maxRawSpeed / 2);
+    EXPECT_LT(maxKfSpeed, 3.0);
+}
+
+TEST(Fusion, EgoVelocityFromPoseHistory)
+{
+    Camera cam(Resolution::Kitti);
+    FusionEngine fusion(&cam);
+    fusion.fuse({}, Pose2(100, 5, 0), 0.1, 0.0);
+    const auto scene = fusion.fuse({}, Pose2(102.5, 5, 0), 0.1, 0.1);
+    EXPECT_NEAR(scene.egoVelocity.x, 25.0, 1e-6);
+}
+
+TEST(Fusion, NewTrackHasZeroVelocity)
+{
+    Camera cam(Resolution::Kitti);
+    FusionEngine fusion(&cam);
+    const Pose2 ego(100, 5, 0);
+    const auto scene =
+        fusion.fuse({trackAt(cam, ego, {120, 6}, 1.5, 3)}, ego, 0.1, 0.0);
+    ASSERT_EQ(scene.objects.size(), 1u);
+    EXPECT_DOUBLE_EQ(scene.objects[0].worldVelocity.x, 0.0);
+    EXPECT_DOUBLE_EQ(scene.objects[0].worldVelocity.y, 0.0);
+}
+
+TEST(Fusion, SkipsBoxesAboveHorizon)
+{
+    Camera cam(Resolution::Kitti);
+    FusionEngine fusion(&cam);
+    track::TrackedObject sky;
+    sky.id = 9;
+    sky.box = BBox(600, 10, 40, 40); // entirely above the horizon
+    const auto scene = fusion.fuse({sky}, Pose2(0, 5, 0), 0.1, 0.0);
+    EXPECT_TRUE(scene.objects.empty());
+}
+
+TEST(Fusion, ConsistentWithRenderedGroundTruth)
+{
+    // Render a world with a known actor, hand its GT box to fusion as
+    // a track, and verify the fused world position matches the actor.
+    Camera cam(Resolution::HD);
+    sensors::World world;
+    sensors::Actor car;
+    car.cls = ObjectClass::Vehicle;
+    car.motion = sensors::MotionKind::Stationary;
+    car.pose = Pose2(80, world.road().laneCenter(0), 0);
+    world.addActor(car);
+    const Pose2 ego(50, world.road().laneCenter(1), 0);
+    const auto frame = cam.render(world, ego);
+    ASSERT_EQ(frame.truth.size(), 1u);
+
+    track::TrackedObject t;
+    t.id = 1;
+    t.cls = ObjectClass::Vehicle;
+    t.box = frame.truth[0].box;
+    FusionEngine fusion(&cam);
+    const auto scene = fusion.fuse({t}, ego, 0.1, 0.0);
+    ASSERT_EQ(scene.objects.size(), 1u);
+    EXPECT_NEAR(scene.objects[0].worldPos.x, car.pose.pos.x, 1.5);
+    EXPECT_NEAR(scene.objects[0].worldPos.y, car.pose.pos.y, 1.0);
+}
+
+} // namespace

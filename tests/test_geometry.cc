@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the 2D geometry substrate: vector algebra, SE(2) pose
+ * composition/inversion round trips, angle wrapping, and bounding-box
+ * IoU properties used by detection/tracking association.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/geometry.hh"
+#include "common/random.hh"
+
+namespace {
+
+using ad::BBox;
+using ad::Pose2;
+using ad::Rng;
+using ad::Vec2;
+using ad::wrapAngle;
+
+constexpr double kEps = 1e-9;
+
+TEST(Vec2, Arithmetic)
+{
+    const Vec2 a(1, 2);
+    const Vec2 b(3, -1);
+    EXPECT_DOUBLE_EQ((a + b).x, 4.0);
+    EXPECT_DOUBLE_EQ((a - b).y, 3.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+    EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+    EXPECT_DOUBLE_EQ(Vec2(3, 4).norm(), 5.0);
+    EXPECT_DOUBLE_EQ(Vec2(3, 4).squaredNorm(), 25.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero)
+{
+    EXPECT_DOUBLE_EQ(Vec2(0, 0).normalized().norm(), 0.0);
+    EXPECT_NEAR(Vec2(5, 0).normalized().x, 1.0, kEps);
+    EXPECT_NEAR(Vec2(2, 2).normalized().norm(), 1.0, kEps);
+}
+
+TEST(Vec2, RotationQuarterTurn)
+{
+    const Vec2 v = Vec2(1, 0).rotated(M_PI / 2);
+    EXPECT_NEAR(v.x, 0.0, kEps);
+    EXPECT_NEAR(v.y, 1.0, kEps);
+}
+
+TEST(Angle, WrapStaysInRange)
+{
+    for (double a = -20.0; a <= 20.0; a += 0.37) {
+        const double w = wrapAngle(a);
+        EXPECT_GT(w, -M_PI - kEps);
+        EXPECT_LE(w, M_PI + kEps);
+        EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+        EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+    }
+}
+
+TEST(Pose2, TransformRoundTrip)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const Pose2 pose(rng.uniform(-50, 50), rng.uniform(-50, 50),
+                         rng.uniform(-M_PI, M_PI));
+        const Vec2 p(rng.uniform(-10, 10), rng.uniform(-10, 10));
+        const Vec2 back = pose.inverseTransform(pose.transform(p));
+        EXPECT_NEAR(back.x, p.x, 1e-9);
+        EXPECT_NEAR(back.y, p.y, 1e-9);
+    }
+}
+
+TEST(Pose2, ComposeWithInverseIsIdentity)
+{
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+        const Pose2 pose(rng.uniform(-50, 50), rng.uniform(-50, 50),
+                         rng.uniform(-M_PI, M_PI));
+        const Pose2 id = pose.compose(pose.inverse());
+        EXPECT_NEAR(id.pos.x, 0.0, 1e-9);
+        EXPECT_NEAR(id.pos.y, 0.0, 1e-9);
+        EXPECT_NEAR(wrapAngle(id.theta), 0.0, 1e-9);
+    }
+}
+
+TEST(Pose2, CompositionAssociativity)
+{
+    const Pose2 a(1, 2, 0.3);
+    const Pose2 b(-4, 0.5, -1.1);
+    const Pose2 c(2, 2, 2.0);
+    const Pose2 lhs = a.compose(b).compose(c);
+    const Pose2 rhs = a.compose(b.compose(c));
+    EXPECT_NEAR(lhs.pos.x, rhs.pos.x, 1e-9);
+    EXPECT_NEAR(lhs.pos.y, rhs.pos.y, 1e-9);
+    EXPECT_NEAR(wrapAngle(lhs.theta - rhs.theta), 0.0, 1e-9);
+}
+
+TEST(BBox, BasicAccessors)
+{
+    const BBox b(10, 20, 30, 40);
+    EXPECT_DOUBLE_EQ(b.area(), 1200.0);
+    EXPECT_DOUBLE_EQ(b.cx(), 25.0);
+    EXPECT_DOUBLE_EQ(b.cy(), 40.0);
+    EXPECT_DOUBLE_EQ(b.xmax(), 40.0);
+    EXPECT_DOUBLE_EQ(b.ymax(), 60.0);
+    EXPECT_TRUE(b.contains(15, 25));
+    EXPECT_FALSE(b.contains(45, 25));
+    EXPECT_FALSE(b.empty());
+    EXPECT_TRUE(BBox().empty());
+}
+
+TEST(BBox, FromCenterInvertsCenter)
+{
+    const BBox b = BBox::fromCenter(50, 60, 10, 20);
+    EXPECT_DOUBLE_EQ(b.cx(), 50.0);
+    EXPECT_DOUBLE_EQ(b.cy(), 60.0);
+    EXPECT_DOUBLE_EQ(b.w, 10.0);
+}
+
+TEST(BBox, IoUIdentityAndDisjoint)
+{
+    const BBox b(0, 0, 10, 10);
+    EXPECT_DOUBLE_EQ(b.iou(b), 1.0);
+    EXPECT_DOUBLE_EQ(b.iou(BBox(20, 20, 5, 5)), 0.0);
+    EXPECT_DOUBLE_EQ(b.iou(BBox(10, 0, 10, 10)), 0.0); // touching edges
+}
+
+TEST(BBox, IoUKnownOverlap)
+{
+    const BBox a(0, 0, 10, 10);
+    const BBox b(5, 0, 10, 10);
+    // intersection 50, union 150.
+    EXPECT_NEAR(a.iou(b), 50.0 / 150.0, kEps);
+    EXPECT_NEAR(b.iou(a), 50.0 / 150.0, kEps); // symmetry
+}
+
+TEST(BBox, IoUPropertyBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 200; ++i) {
+        const BBox a(rng.uniform(-20, 20), rng.uniform(-20, 20),
+                     rng.uniform(0.1, 30), rng.uniform(0.1, 30));
+        const BBox b(rng.uniform(-20, 20), rng.uniform(-20, 20),
+                     rng.uniform(0.1, 30), rng.uniform(0.1, 30));
+        const double iou = a.iou(b);
+        EXPECT_GE(iou, 0.0);
+        EXPECT_LE(iou, 1.0);
+        EXPECT_NEAR(iou, b.iou(a), kEps);
+    }
+}
+
+TEST(BBox, InflateAndClip)
+{
+    const BBox b(5, 5, 10, 10);
+    const BBox big = b.inflated(3);
+    EXPECT_DOUBLE_EQ(big.x, 2.0);
+    EXPECT_DOUBLE_EQ(big.w, 16.0);
+    const BBox clipped = big.clipped(12, 12);
+    EXPECT_DOUBLE_EQ(clipped.x, 2.0);
+    EXPECT_DOUBLE_EQ(clipped.xmax(), 12.0);
+    EXPECT_DOUBLE_EQ(clipped.ymax(), 12.0);
+}
+
+TEST(BBox, IntersectEmptyWhenDisjoint)
+{
+    const BBox a(0, 0, 5, 5);
+    const BBox c = a.intersect(BBox(10, 10, 5, 5));
+    EXPECT_TRUE(c.empty());
+    EXPECT_DOUBLE_EQ(c.area(), 0.0);
+}
+
+} // namespace

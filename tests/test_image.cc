@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the image substrate: pixel access, rectangle fills, bilinear
+ * sampling/resizing, crop-resize (the tracker's input path), box
+ * filtering and integral-image rectangle sums.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/image.hh"
+#include "common/random.hh"
+
+namespace {
+
+using ad::BBox;
+using ad::Image;
+using ad::IntegralImage;
+using ad::Rng;
+
+TEST(Image, ConstructAndFill)
+{
+    Image img(8, 4, 7);
+    EXPECT_EQ(img.width(), 8);
+    EXPECT_EQ(img.height(), 4);
+    EXPECT_EQ(img.size(), 32u);
+    EXPECT_EQ(img.at(3, 2), 7);
+    img.fill(200);
+    EXPECT_EQ(img.at(7, 3), 200);
+    EXPECT_FALSE(img.empty());
+    EXPECT_TRUE(Image().empty());
+}
+
+TEST(Image, FillRectClipsToBounds)
+{
+    Image img(10, 10, 0);
+    img.fillRect(BBox(-5, -5, 8, 8), 255);
+    EXPECT_EQ(img.at(0, 0), 255);
+    EXPECT_EQ(img.at(2, 2), 255);
+    EXPECT_EQ(img.at(3, 3), 0);
+    img.fillRect(BBox(8, 8, 100, 100), 9);
+    EXPECT_EQ(img.at(9, 9), 9);
+    EXPECT_EQ(img.at(7, 7), 0);
+}
+
+TEST(Image, ClampedAccess)
+{
+    Image img(4, 4, 0);
+    img.at(0, 0) = 10;
+    img.at(3, 3) = 20;
+    EXPECT_EQ(img.atClamped(-5, -5), 10);
+    EXPECT_EQ(img.atClamped(100, 100), 20);
+}
+
+TEST(Image, BilinearInterpolatesMidpoint)
+{
+    Image img(2, 1, 0);
+    img.at(0, 0) = 0;
+    img.at(1, 0) = 100;
+    EXPECT_NEAR(img.sampleBilinear(0.5, 0.0), 50.0, 1e-9);
+    EXPECT_NEAR(img.sampleBilinear(0.0, 0.0), 0.0, 1e-9);
+    EXPECT_NEAR(img.sampleBilinear(1.0, 0.0), 100.0, 1e-9);
+}
+
+TEST(Image, ResizePreservesConstantImage)
+{
+    Image img(16, 12, 123);
+    const Image small = img.resized(7, 5);
+    EXPECT_EQ(small.width(), 7);
+    EXPECT_EQ(small.height(), 5);
+    for (int y = 0; y < 5; ++y)
+        for (int x = 0; x < 7; ++x)
+            EXPECT_EQ(small.at(x, y), 123);
+}
+
+TEST(Image, ResizeUpAndDownRoughlyPreservesMean)
+{
+    Rng rng(3);
+    Image img(32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            img.at(x, y) = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    const double mean = img.meanIntensity();
+    EXPECT_NEAR(img.resized(64, 64).meanIntensity(), mean, 4.0);
+    EXPECT_NEAR(img.resized(16, 16).meanIntensity(), mean, 6.0);
+}
+
+TEST(Image, CropResizedExtractsRegion)
+{
+    Image img(20, 20, 0);
+    img.fillRect(BBox(10, 10, 10, 10), 200);
+    // Crop exactly the bright quadrant.
+    const Image crop = img.cropResized(BBox(10, 10, 10, 10), 5, 5);
+    for (int y = 1; y < 4; ++y)
+        for (int x = 1; x < 4; ++x)
+            EXPECT_GT(crop.at(x, y), 150) << x << "," << y;
+    // Crop the dark quadrant.
+    const Image dark = img.cropResized(BBox(0, 0, 10, 10), 5, 5);
+    EXPECT_LT(dark.at(2, 2), 50);
+}
+
+TEST(Image, BoxFilterSmoothsImpulse)
+{
+    Image img(9, 9, 0);
+    img.at(4, 4) = 255;
+    const Image smooth = img.boxFiltered(1);
+    EXPECT_EQ(smooth.at(4, 4), 255 / 9);
+    EXPECT_EQ(smooth.at(3, 3), 255 / 9);
+    EXPECT_EQ(smooth.at(0, 0), 0);
+}
+
+TEST(IntegralImage, MatchesBruteForce)
+{
+    Rng rng(9);
+    Image img(17, 13);
+    for (int y = 0; y < 13; ++y)
+        for (int x = 0; x < 17; ++x)
+            img.at(x, y) = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    IntegralImage integral(img);
+    for (int trial = 0; trial < 100; ++trial) {
+        const int x0 = rng.uniformInt(0, 16);
+        const int y0 = rng.uniformInt(0, 12);
+        const int x1 = rng.uniformInt(x0, 17);
+        const int y1 = rng.uniformInt(y0, 13);
+        std::uint64_t expect = 0;
+        for (int y = y0; y < y1; ++y)
+            for (int x = x0; x < x1; ++x)
+                expect += img.at(x, y);
+        EXPECT_EQ(integral.rectSum(x0, y0, x1, y1), expect);
+    }
+}
+
+TEST(IntegralImage, EmptyAndClampedRects)
+{
+    Image img(4, 4, 10);
+    IntegralImage integral(img);
+    EXPECT_EQ(integral.rectSum(2, 2, 2, 2), 0u);
+    EXPECT_EQ(integral.rectSum(3, 3, 1, 1), 0u);
+    EXPECT_EQ(integral.rectSum(-10, -10, 100, 100), 160u);
+}
+
+} // namespace

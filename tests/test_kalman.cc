@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the constant-velocity Kalman filter: convergence to
+ * true velocity, variance contraction, noise rejection sweeps, and
+ * the predict/update identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "fusion/kalman.hh"
+
+namespace {
+
+using ad::Rng;
+using ad::Vec2;
+using ad::fusion::ConstantVelocityKalman;
+using ad::fusion::KalmanParams;
+
+TEST(Kalman, InitializeSetsPositionZeroVelocity)
+{
+    ConstantVelocityKalman kf;
+    EXPECT_FALSE(kf.initialized());
+    kf.initialize({3, -4});
+    EXPECT_TRUE(kf.initialized());
+    EXPECT_DOUBLE_EQ(kf.position().x, 3.0);
+    EXPECT_DOUBLE_EQ(kf.position().y, -4.0);
+    EXPECT_DOUBLE_EQ(kf.velocity().norm(), 0.0);
+}
+
+TEST(Kalman, PredictMovesWithVelocity)
+{
+    ConstantVelocityKalman kf;
+    kf.initialize({0, 0});
+    // Teach it a velocity with clean measurements.
+    for (int i = 1; i <= 20; ++i) {
+        kf.predict(0.1);
+        kf.update({i * 1.0, i * 0.5}); // 10 m/s, 5 m/s
+    }
+    EXPECT_NEAR(kf.velocity().x, 10.0, 0.5);
+    EXPECT_NEAR(kf.velocity().y, 5.0, 0.3);
+    const Vec2 before = kf.position();
+    kf.predict(0.2);
+    EXPECT_NEAR(kf.position().x, before.x + kf.velocity().x * 0.2,
+                1e-9);
+}
+
+TEST(Kalman, VarianceContractsWithUpdates)
+{
+    ConstantVelocityKalman kf;
+    kf.initialize({0, 0});
+    kf.predict(0.1);
+    const double before = kf.positionVariance();
+    kf.update({0.1, 0});
+    EXPECT_LT(kf.positionVariance(), before);
+}
+
+TEST(Kalman, UpdateWithoutInitializeInitializes)
+{
+    ConstantVelocityKalman kf;
+    kf.update({7, 7});
+    EXPECT_TRUE(kf.initialized());
+    EXPECT_DOUBLE_EQ(kf.position().x, 7.0);
+}
+
+TEST(Kalman, ZeroDtPredictIsNoop)
+{
+    ConstantVelocityKalman kf;
+    kf.initialize({1, 2});
+    const double var = kf.positionVariance();
+    kf.predict(0.0);
+    EXPECT_DOUBLE_EQ(kf.position().x, 1.0);
+    EXPECT_DOUBLE_EQ(kf.positionVariance(), var);
+}
+
+/** Noise sweep: estimation error stays bounded by measurement noise. */
+class KalmanNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KalmanNoiseSweep, TracksThroughNoise)
+{
+    const double noise = GetParam();
+    Rng rng(static_cast<std::uint64_t>(noise * 1000) + 3);
+    KalmanParams params;
+    params.measurementNoise = noise;
+    ConstantVelocityKalman kf(params);
+    const Vec2 v{15.0, -2.0};
+    kf.initialize({0, 0});
+    Vec2 truth{0, 0};
+    for (int i = 0; i < 60; ++i) {
+        truth += v * 0.1;
+        kf.predict(0.1);
+        kf.update({truth.x + rng.normal(0, noise),
+                   truth.y + rng.normal(0, noise)});
+    }
+    EXPECT_LT((kf.position() - truth).norm(), 3 * noise + 0.5);
+    EXPECT_NEAR(kf.velocity().x, v.x, 3.0 * noise + 1.0);
+    EXPECT_NEAR(kf.velocity().y, v.y, 3.0 * noise + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, KalmanNoiseSweep,
+                         ::testing::Values(0.1, 0.4, 1.0, 2.0));
+
+TEST(Kalman, ManeuverIsFollowed)
+{
+    // Velocity reversal: the process noise lets the filter re-learn.
+    ConstantVelocityKalman kf;
+    kf.initialize({0, 0});
+    double x = 0;
+    for (int i = 0; i < 30; ++i) {
+        x += 1.0;
+        kf.predict(0.1);
+        kf.update({x, 0});
+    }
+    EXPECT_NEAR(kf.velocity().x, 10.0, 1.0);
+    for (int i = 0; i < 40; ++i) {
+        x -= 1.0;
+        kf.predict(0.1);
+        kf.update({x, 0});
+    }
+    EXPECT_NEAR(kf.velocity().x, -10.0, 1.5);
+}
+
+} // namespace

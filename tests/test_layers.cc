@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the layer zoo: convolution against a direct reference,
+ * pooling, activations, fully connected layers, shape propagation and
+ * the FLOP/byte profiles the accelerator models rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "nn/layers.hh"
+
+namespace {
+
+using namespace ad::nn;
+using ad::Rng;
+
+Tensor
+randomTensor(int c, int h, int w, Rng& rng)
+{
+    Tensor t(c, h, w);
+    for (int ci = 0; ci < c; ++ci)
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                t.at(ci, y, x) = static_cast<float>(rng.uniform(-1, 1));
+    return t;
+}
+
+/** Direct (definition-based) convolution for validation. */
+Tensor
+convReference(const Conv2D& conv, const Tensor& in)
+{
+    const Shape outShape =
+        conv.outputShape({in.channels(), in.height(), in.width()});
+    Tensor out(outShape.c, outShape.h, outShape.w);
+    const int k = conv.kernel();
+    for (int oc = 0; oc < outShape.c; ++oc) {
+        for (int oy = 0; oy < outShape.h; ++oy) {
+            for (int ox = 0; ox < outShape.w; ++ox) {
+                float acc = conv.bias()[oc];
+                for (int ic = 0; ic < in.channels(); ++ic) {
+                    for (int ky = 0; ky < k; ++ky) {
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int iy = oy * conv.stride() - conv.pad() +
+                                           ky;
+                            const int ix = ox * conv.stride() - conv.pad() +
+                                           kx;
+                            if (iy < 0 || iy >= in.height() || ix < 0 ||
+                                ix >= in.width())
+                                continue;
+                            const std::size_t wi =
+                                ((static_cast<std::size_t>(oc) *
+                                  in.channels() + ic) * k + ky) * k + kx;
+                            acc += conv.weights()[wi] * in.at(ic, iy, ix);
+                        }
+                    }
+                }
+                out.at(oc, oy, ox) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+struct ConvCase
+{
+    int inC, outC, k, stride, pad, h, w;
+};
+
+class ConvParamTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvParamTest, MatchesDirectConvolution)
+{
+    const auto p = GetParam();
+    Rng rng(p.inC * 131 + p.outC * 17 + p.k);
+    Conv2D conv("c", p.inC, p.outC, p.k, p.stride, p.pad);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.5, 0.5));
+    for (auto& b : conv.bias())
+        b = static_cast<float>(rng.uniform(-0.5, 0.5));
+    const Tensor in = randomTensor(p.inC, p.h, p.w, rng);
+    const Tensor fast = conv.forward(in);
+    const Tensor ref = convReference(conv, in);
+    ASSERT_EQ(fast.size(), ref.size());
+    for (int c = 0; c < ref.channels(); ++c)
+        for (int y = 0; y < ref.height(); ++y)
+            for (int x = 0; x < ref.width(); ++x)
+                ASSERT_NEAR(fast.at(c, y, x), ref.at(c, y, x), 1e-3)
+                    << c << "," << y << "," << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvParamTest,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5, 5},
+                      ConvCase{1, 4, 3, 1, 1, 8, 8},
+                      ConvCase{3, 8, 3, 1, 1, 13, 17},
+                      ConvCase{4, 2, 5, 1, 2, 11, 9},
+                      ConvCase{2, 6, 3, 2, 1, 16, 16},
+                      ConvCase{8, 8, 1, 1, 0, 7, 7},
+                      ConvCase{1, 2, 11, 4, 0, 23, 23}));  // AlexNet-like
+
+TEST(Conv2D, OutputShapeArithmetic)
+{
+    Conv2D conv("c", 3, 16, 3, 1, 1);
+    const Shape out = conv.outputShape({3, 32, 48});
+    EXPECT_EQ(out.c, 16);
+    EXPECT_EQ(out.h, 32);
+    EXPECT_EQ(out.w, 48);
+    Conv2D strided("s", 3, 8, 3, 2, 1);
+    const Shape so = strided.outputShape({3, 32, 32});
+    EXPECT_EQ(so.h, 16);
+}
+
+TEST(Conv2D, ProfileCountsFlops)
+{
+    Conv2D conv("c", 2, 4, 3, 1, 1);
+    const auto p = conv.profile({2, 10, 10});
+    // 2 * outC * inC * k*k * outH * outW = 2*4*2*9*100 = 14400.
+    EXPECT_EQ(p.flops, 14400u);
+    EXPECT_EQ(p.weightBytes, (4 * 2 * 9 + 4) * sizeof(float));
+    EXPECT_EQ(p.kind, LayerKind::Conv);
+    EXPECT_EQ(p.inputBytes, 2u * 100 * 4);
+    EXPECT_EQ(p.outputBytes, 4u * 100 * 4);
+}
+
+TEST(MaxPool, SelectsWindowMaximum)
+{
+    MaxPool pool("p", 2, 2);
+    Tensor in(1, 4, 4);
+    float v = 0;
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            in.at(0, y, x) = v++;
+    const Tensor out = pool.forward(in);
+    EXPECT_EQ(out.height(), 2);
+    EXPECT_EQ(out.width(), 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 7.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 13.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool, HandlesNegativeValues)
+{
+    MaxPool pool("p", 2, 2);
+    Tensor in(1, 2, 2);
+    in.at(0, 0, 0) = -5;
+    in.at(0, 0, 1) = -2;
+    in.at(0, 1, 0) = -9;
+    in.at(0, 1, 1) = -3;
+    EXPECT_FLOAT_EQ(pool.forward(in).at(0, 0, 0), -2.0f);
+}
+
+TEST(Activation, ReluAndLeaky)
+{
+    Tensor in(1, 1, 4);
+    in.at(0, 0, 0) = -2;
+    in.at(0, 0, 1) = 3;
+    in.at(0, 0, 2) = 0;
+    in.at(0, 0, 3) = -0.5;
+    Activation relu("r", 0.0f);
+    const Tensor r = relu.forward(in);
+    EXPECT_FLOAT_EQ(r.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(r.at(0, 0, 1), 3.0f);
+    Activation leaky("l", 0.1f);
+    const Tensor l = leaky.forward(in);
+    EXPECT_FLOAT_EQ(l.at(0, 0, 0), -0.2f);
+    EXPECT_FLOAT_EQ(l.at(0, 0, 3), -0.05f);
+    EXPECT_FLOAT_EQ(l.at(0, 0, 1), 3.0f);
+}
+
+TEST(FullyConnected, ComputesAffineMap)
+{
+    FullyConnected fc("f", 3, 2);
+    // y = W x + b with W = [[1,2,3],[4,5,6]], b = [0.5, -1].
+    fc.weights() = {1, 2, 3, 4, 5, 6};
+    fc.bias() = {0.5f, -1.0f};
+    Tensor in(3, 1, 1);
+    in.at(0, 0, 0) = 1;
+    in.at(1, 0, 0) = 2;
+    in.at(2, 0, 0) = 3;
+    const Tensor out = fc.forward(in);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 14.5f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 31.0f);
+}
+
+TEST(FullyConnected, FlattensSpatialInput)
+{
+    FullyConnected fc("f", 8, 2);
+    Tensor in(2, 2, 2);
+    in.fill(1.0f);
+    fc.weights().assign(16, 0.25f);
+    const Tensor out = fc.forward(in);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.0f);
+    const Shape s = fc.outputShape({2, 2, 2});
+    EXPECT_EQ(s.c, 2);
+    EXPECT_EQ(s.h, 1);
+}
+
+TEST(FullyConnected, ProfileCountsFlopsAndWeights)
+{
+    FullyConnected fc("f", 100, 50);
+    const auto p = fc.profile({100, 1, 1});
+    EXPECT_EQ(p.flops, 2u * 100 * 50);
+    EXPECT_EQ(p.weightBytes, (100u * 50 + 50) * sizeof(float));
+    EXPECT_EQ(p.kind, LayerKind::FullyConnected);
+}
+
+TEST(AvgPool, AveragesWindow)
+{
+    AvgPool pool("p", 2, 2);
+    Tensor in(1, 2, 4);
+    float v = 0;
+    for (int y = 0; y < 2; ++y)
+        for (int x = 0; x < 4; ++x)
+            in.at(0, y, x) = v++;
+    const Tensor out = pool.forward(in);
+    EXPECT_EQ(out.width(), 2);
+    EXPECT_EQ(out.height(), 1);
+    // (0+1+4+5)/4 and (2+3+6+7)/4.
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.5f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 4.5f);
+}
+
+TEST(AvgPool, GlobalPoolingReducesToScalar)
+{
+    AvgPool pool("gap", 4, 4);
+    Tensor in(2, 4, 4);
+    in.fill(3.0f);
+    in.at(1, 0, 0) = 19.0f;
+    const Tensor out = pool.forward(in);
+    EXPECT_EQ(out.height(), 1);
+    EXPECT_EQ(out.width(), 1);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 4.0f);
+}
+
+TEST(Softmax, NormalizesPerPosition)
+{
+    Softmax sm("s");
+    Tensor in(3, 1, 2);
+    in.at(0, 0, 0) = 1.0f;
+    in.at(1, 0, 0) = 2.0f;
+    in.at(2, 0, 0) = 3.0f;
+    in.at(0, 0, 1) = 100.0f; // large values must not overflow
+    in.at(1, 0, 1) = 100.0f;
+    in.at(2, 0, 1) = 100.0f;
+    const Tensor out = sm.forward(in);
+    for (int x = 0; x < 2; ++x) {
+        float sum = 0;
+        for (int c = 0; c < 3; ++c) {
+            EXPECT_GT(out.at(c, 0, x), 0.0f);
+            sum += out.at(c, 0, x);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+    // Ordering preserved; equal logits -> uniform.
+    EXPECT_GT(out.at(2, 0, 0), out.at(1, 0, 0));
+    EXPECT_NEAR(out.at(0, 0, 1), 1.0f / 3, 1e-5);
+}
+
+TEST(FoldBatchNorm, MatchesExplicitNormalization)
+{
+    Rng rng(77);
+    Conv2D conv("c", 2, 3, 3, 1, 1);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.5, 0.5));
+    for (auto& b : conv.bias())
+        b = static_cast<float>(rng.uniform(-0.5, 0.5));
+    const Tensor in = randomTensor(2, 6, 6, rng);
+    const Tensor preBn = conv.forward(in);
+
+    BatchNormParams bn;
+    for (int c = 0; c < 3; ++c) {
+        bn.gamma.push_back(static_cast<float>(rng.uniform(0.5, 2.0)));
+        bn.beta.push_back(static_cast<float>(rng.uniform(-1, 1)));
+        bn.mean.push_back(static_cast<float>(rng.uniform(-1, 1)));
+        bn.variance.push_back(static_cast<float>(rng.uniform(0.1, 2)));
+    }
+
+    // Explicit reference: BN applied to the original conv output.
+    Tensor expected = preBn;
+    for (int c = 0; c < 3; ++c) {
+        const float scale =
+            bn.gamma[c] / std::sqrt(bn.variance[c] + bn.epsilon);
+        for (int y = 0; y < expected.height(); ++y)
+            for (int x = 0; x < expected.width(); ++x)
+                expected.at(c, y, x) =
+                    scale * (preBn.at(c, y, x) - bn.mean[c]) +
+                    bn.beta[c];
+    }
+
+    foldBatchNorm(conv, bn);
+    const Tensor folded = conv.forward(in);
+    for (int c = 0; c < 3; ++c)
+        for (int y = 0; y < folded.height(); ++y)
+            for (int x = 0; x < folded.width(); ++x)
+                ASSERT_NEAR(folded.at(c, y, x), expected.at(c, y, x),
+                            1e-4);
+}
+
+TEST(FoldBatchNorm, RejectsMismatchedSizes)
+{
+    Conv2D conv("c", 1, 4, 3, 1, 1);
+    BatchNormParams bn;
+    bn.gamma = {1, 1};
+    bn.beta = {0, 0};
+    bn.mean = {0, 0};
+    bn.variance = {1, 1};
+    EXPECT_EXIT(foldBatchNorm(conv, bn), ::testing::ExitedWithCode(1),
+                "output channels");
+}
+
+TEST(LayerKindNames, AreStable)
+{
+    EXPECT_STREQ(layerKindName(LayerKind::Conv), "conv");
+    EXPECT_STREQ(layerKindName(LayerKind::Pool), "pool");
+    EXPECT_STREQ(layerKindName(LayerKind::Activation), "act");
+    EXPECT_STREQ(layerKindName(LayerKind::FullyConnected), "fc");
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the model zoo: spec/profile consistency between the
+ * allocation-free profiler and the instantiated networks, full-scale
+ * workload sanity (the numbers the accelerator models consume), and the
+ * constructed-weight behavior that makes the detector functional.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "nn/models.hh"
+
+namespace {
+
+using namespace ad::nn;
+using ad::Rng;
+
+TEST(DetectorSpec, ShapesPropagateToGrid)
+{
+    const ModelSpec spec = detectorSpec(416, 1.0, 4);
+    const Network net = buildNetwork(spec);
+    const Shape out = net.outputShape(spec.input);
+    // Five 2x pools: 416 -> 13. Head outputs 5 + numClasses channels.
+    EXPECT_EQ(out.h, 13);
+    EXPECT_EQ(out.w, 13);
+    EXPECT_EQ(out.c, 9);
+}
+
+TEST(DetectorSpec, SpecProfileMatchesNetworkProfile)
+{
+    const ModelSpec spec = detectorSpec(128, 0.25, 4);
+    const NetworkProfile fromSpec = specProfile(spec);
+    const Network net = buildNetwork(spec);
+    const NetworkProfile fromNet = net.profile(spec.input);
+    ASSERT_EQ(fromSpec.layers.size(), fromNet.layers.size());
+    for (std::size_t i = 0; i < fromSpec.layers.size(); ++i) {
+        EXPECT_EQ(fromSpec.layers[i].flops, fromNet.layers[i].flops) << i;
+        EXPECT_EQ(fromSpec.layers[i].weightBytes,
+                  fromNet.layers[i].weightBytes) << i;
+        EXPECT_EQ(fromSpec.layers[i].outputBytes,
+                  fromNet.layers[i].outputBytes) << i;
+    }
+    EXPECT_EQ(fromSpec.totalFlops(), fromNet.totalFlops());
+}
+
+TEST(DetectorSpec, FullScaleWorkloadMagnitude)
+{
+    // Paper-scale YOLO-flavored net: multi-GFLOP per frame, conv
+    // dominated. (Grayscale input, so somewhat below RGB YOLOv2.)
+    const NetworkProfile p = specProfile(detectorSpec(416, 1.0, 4));
+    EXPECT_GT(p.totalFlops(), 3e9);
+    EXPECT_LT(p.totalFlops(), 60e9);
+    const double convShare =
+        static_cast<double>(p.flopsOfKind(LayerKind::Conv)) /
+        static_cast<double>(p.totalFlops());
+    EXPECT_GT(convShare, 0.98);
+}
+
+TEST(DetectorSpec, RejectsBadInputSize)
+{
+    EXPECT_EXIT(detectorSpec(100), ::testing::ExitedWithCode(1),
+                "multiple of 32");
+}
+
+TEST(TrackerProfile, FcDominatesWeights)
+{
+    // GOTURN's signature property: FC layers carry almost all
+    // parameters (the reason the paper maps TRA onto the EIE FC ASIC).
+    const NetworkProfile p = trackerProfile(227, 1.0);
+    const double fcWeightShare =
+        static_cast<double>(p.weightBytesOfKind(LayerKind::FullyConnected)) /
+        static_cast<double>(p.totalWeightBytes());
+    EXPECT_GT(fcWeightShare, 0.9);
+    EXPECT_GT(p.totalWeightBytes(), 100e6); // >100 MB of parameters
+}
+
+TEST(TrackerProfile, HasTwoConvBranches)
+{
+    const NetworkProfile p = trackerProfile(227, 1.0);
+    int tgt = 0;
+    int srch = 0;
+    for (const auto& l : p.layers) {
+        if (l.name.ends_with("-tgt"))
+            ++tgt;
+        if (l.name.ends_with("-srch"))
+            ++srch;
+    }
+    EXPECT_GT(tgt, 0);
+    EXPECT_EQ(tgt, srch);
+}
+
+TEST(TrackerNets, BranchAndHeadCompose)
+{
+    const ModelSpec convSpec = trackerConvSpec(67, 0.1);
+    Network conv = buildNetwork(convSpec);
+    const Shape convOut = conv.outputShape(convSpec.input);
+    const ModelSpec fcSpec =
+        trackerFcSpec(static_cast<int>(convOut.elements()), 0.1);
+    Network fc = buildNetwork(fcSpec);
+
+    Rng rng(3);
+    initTrackerWeights(conv, rng);
+    initTrackerWeights(fc, rng);
+
+    Tensor crop(1, 67, 67);
+    crop.fill(0.5f);
+    const Tensor featA = conv.forward(crop);
+    const Tensor featB = conv.forward(crop);
+    const Tensor both = Tensor::concatChannels(featA, featB);
+    const Tensor bbox = fc.forward(both);
+    EXPECT_EQ(bbox.channels(), 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(std::isfinite(bbox.at(i, 0, 0)));
+}
+
+TEST(ConstructedWeights, BrightRegionRaisesObjectness)
+{
+    const ModelSpec spec = detectorSpec(96, 0.25, 4);
+    Network net = buildNetwork(spec);
+    Rng rng(7);
+    initDetectorWeights(net, rng);
+
+    // Dark scene vs. a scene with a bright block in the upper-left.
+    Tensor dark(1, 96, 96);
+    dark.fill(0.25f);
+    Tensor bright = dark;
+    for (int y = 4; y < 36; ++y)
+        for (int x = 4; x < 36; ++x)
+            bright.at(0, y, x) = 0.9f;
+
+    const Tensor outDark = net.forward(dark);
+    const Tensor outBright = net.forward(bright);
+    // Objectness = channel 0. Grid is 3x3 for input 96.
+    EXPECT_GT(outBright.at(0, 0, 0), outDark.at(0, 0, 0) + 0.1f);
+    // A far-away cell should be nearly unchanged.
+    EXPECT_NEAR(outBright.at(0, 2, 2), outDark.at(0, 2, 2), 0.05f);
+}
+
+TEST(ConstructedWeights, ObjectnessTracksBrightnessMonotonically)
+{
+    const ModelSpec spec = detectorSpec(64, 0.25, 4);
+    Network net = buildNetwork(spec);
+    Rng rng(11);
+    initDetectorWeights(net, rng);
+    double prev = -1e9;
+    for (const float level : {0.2f, 0.4f, 0.6f, 0.8f}) {
+        Tensor in(1, 64, 64);
+        in.fill(level);
+        const double obj = net.forward(in).at(0, 0, 0);
+        EXPECT_GT(obj, prev);
+        prev = obj;
+    }
+}
+
+TEST(NetworkProfile, AggregationIdentities)
+{
+    const NetworkProfile p = specProfile(detectorSpec(64, 0.25, 4));
+    std::uint64_t byKind = 0;
+    for (const auto kind :
+         {LayerKind::Conv, LayerKind::Pool, LayerKind::Activation,
+          LayerKind::FullyConnected})
+        byKind += p.flopsOfKind(kind);
+    EXPECT_EQ(byKind, p.totalFlops());
+    EXPECT_FALSE(p.toString().empty());
+}
+
+} // namespace

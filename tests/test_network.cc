@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Network-level execution tests: mixed layer types composed in one
+ * graph (conv -> pool -> FC -> softmax classifier shape), profile
+ * consistency through mixed stacks, and shape-mismatch error paths
+ * (panic/abort on internal misuse).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "nn/network.hh"
+
+namespace {
+
+using namespace ad::nn;
+using ad::Rng;
+
+Network
+tinyClassifier()
+{
+    // 1x8x8 input -> conv(4,3x3) -> relu -> avgpool(2) -> fc(10) ->
+    // softmax.
+    Network net("classifier");
+    auto& conv = net.add<Conv2D>("conv", 1, 4, 3, 1, 1);
+    Rng rng(5);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.3, 0.3));
+    net.add<Activation>("relu", 0.0f);
+    net.add<AvgPool>("pool", 2, 2);
+    auto& fc = net.add<FullyConnected>("fc", 4 * 4 * 4, 10);
+    for (auto& w : fc.weights())
+        w = static_cast<float>(rng.uniform(-0.2, 0.2));
+    net.add<Softmax>("softmax");
+    return net;
+}
+
+TEST(Network, MixedStackProducesDistribution)
+{
+    const Network net = tinyClassifier();
+    Tensor in(1, 8, 8);
+    Rng rng(7);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            in.at(0, y, x) = static_cast<float>(rng.uniform(0, 1));
+    const Tensor out = net.forward(in);
+    ASSERT_EQ(out.channels(), 10);
+    float sum = 0;
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_GT(out.at(i, 0, 0), 0.0f);
+        sum += out.at(i, 0, 0);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(Network, OutputShapeMatchesForward)
+{
+    const Network net = tinyClassifier();
+    const Shape out = net.outputShape({1, 8, 8});
+    const Tensor result = net.forward(Tensor(1, 8, 8));
+    EXPECT_EQ(out.c, result.channels());
+    EXPECT_EQ(out.h, result.height());
+    EXPECT_EQ(out.w, result.width());
+}
+
+TEST(Network, ProfileCoversEveryLayer)
+{
+    const Network net = tinyClassifier();
+    const NetworkProfile p = net.profile({1, 8, 8});
+    ASSERT_EQ(p.layers.size(), net.layerCount());
+    for (const auto& l : p.layers) {
+        EXPECT_FALSE(l.name.empty());
+        EXPECT_GT(l.outputBytes, 0u);
+    }
+    // Conv and FC dominate the FLOPs of this stack.
+    EXPECT_GT(p.flopsOfKind(LayerKind::Conv) +
+                  p.flopsOfKind(LayerKind::FullyConnected),
+              p.totalFlops() / 2);
+}
+
+TEST(NetworkDeathTest, ConvRejectsWrongChannelCount)
+{
+    Conv2D conv("c", 3, 8, 3, 1, 1);
+    EXPECT_DEATH((void)conv.outputShape({2, 16, 16}),
+                 "input channels");
+}
+
+TEST(NetworkDeathTest, FcRejectsWrongFeatureCount)
+{
+    FullyConnected fc("f", 10, 4);
+    EXPECT_DEATH((void)fc.outputShape({3, 2, 2}), "expected 10");
+}
+
+TEST(NetworkDeathTest, PoolRejectsTooSmallInput)
+{
+    MaxPool pool("p", 4, 4);
+    EXPECT_DEATH((void)pool.outputShape({1, 2, 2}), "too small");
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the wheel-odometry sensor and its localizer integration:
+ * measurement statistics, unicycle integration exactness, bias
+ * persistence, and the prediction improvement through turns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/odometry.hh"
+#include "sensors/scenario.hh"
+#include "slam/localizer.hh"
+#include "slam/mapping.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::sensors;
+
+TEST(Odometry, CleanSensorRecoversMotion)
+{
+    OdometryParams params;
+    params.wheelScaleBias = 0;
+    params.speedNoise = 0;
+    params.gyroBias = 0;
+    params.gyroNoise = 0;
+    WheelOdometry odo(1, params);
+    const Pose2 a(0, 0, 0);
+    const Pose2 b(2.0, 0, 0.1);
+    const auto r = odo.measure(a, b, 0.1);
+    EXPECT_NEAR(r.speed, 20.0, 1e-9);
+    EXPECT_NEAR(r.yawRate, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(r.dt, 0.1);
+}
+
+TEST(Odometry, BiasIsFixedPerUnit)
+{
+    WheelOdometry odo(7);
+    const double bias = odo.scaleBias();
+    EXPECT_NEAR(bias, 1.0, 0.05);
+    // Same seed -> same unit -> same bias.
+    WheelOdometry again(7);
+    EXPECT_DOUBLE_EQ(again.scaleBias(), bias);
+    // Different unit -> (almost surely) different bias.
+    WheelOdometry other(8);
+    EXPECT_NE(other.scaleBias(), bias);
+}
+
+TEST(Odometry, NoiseAveragesOut)
+{
+    WheelOdometry odo(3);
+    const Pose2 a(0, 0, 0);
+    const Pose2 b(1.5, 0, 0);
+    double sum = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        sum += odo.measure(a, b, 0.1).speed;
+    // Mean approaches trueSpeed * scaleBias.
+    EXPECT_NEAR(sum / n, 15.0 * odo.scaleBias(), 0.05);
+}
+
+TEST(Odometry, IntegrationMatchesStraightLine)
+{
+    OdometryReading r;
+    r.speed = 10;
+    r.yawRate = 0;
+    r.dt = 0.5;
+    const Pose2 out = integrateOdometry(Pose2(1, 2, 0), r);
+    EXPECT_NEAR(out.pos.x, 6.0, 1e-9);
+    EXPECT_NEAR(out.pos.y, 2.0, 1e-9);
+    EXPECT_NEAR(out.theta, 0.0, 1e-9);
+}
+
+TEST(Odometry, IntegrationTurnsWithYawRate)
+{
+    // Quarter circle: v = r*w; after t = (pi/2)/w the heading turned
+    // 90 degrees. Midpoint integration approximates the arc chord.
+    OdometryReading r;
+    r.speed = 5.0;
+    r.yawRate = 0.5;
+    Pose2 pose(0, 0, 0);
+    const double total = (M_PI / 2) / r.yawRate;
+    const int steps = 100;
+    r.dt = total / steps;
+    for (int i = 0; i < steps; ++i)
+        pose = integrateOdometry(pose, r);
+    EXPECT_NEAR(pose.theta, M_PI / 2, 1e-6);
+    // Circle radius = v/w = 10: end point (10, 10).
+    EXPECT_NEAR(pose.pos.x, 10.0, 0.05);
+    EXPECT_NEAR(pose.pos.y, 10.0, 0.05);
+}
+
+TEST(OdometryLocalizer, PredictionSurvivesSpeedChange)
+{
+    // Build a short map, then drive with a strong speed change. The
+    // constant-velocity model mispredicts after the jump;
+    // odometry-fed prediction keeps the narrow search sufficient.
+    Rng rng(11);
+    sensors::ScenarioParams sp;
+    sp.roadLength = 150.0;
+    const Scenario sc = makeHighwayScenario(rng, sp);
+    Camera camera(Resolution::HHD);
+    const slam::PriorMap map = slam::buildPriorMap(sc.world, camera, 1);
+
+    sensors::World drive;
+    drive.road() = sc.world.road();
+    for (const auto& lm : sc.world.landmarks())
+        drive.landmarks().push_back(lm);
+
+    slam::LocalizerParams lp;
+    slam::Localizer loc(&map, &camera, lp, 5);
+    WheelOdometry odo(21);
+
+    Pose2 prev(20.0, drive.road().laneCenter(1), 0.0);
+    loc.reset(prev, {2.0, 0.0});
+    Pose2 ego = prev;
+    int okCount = 0;
+    int relocs = 0;
+    for (int i = 0; i < 12; ++i) {
+        // Speed alternates hard between 2 and 14 m/s.
+        const double speed = (i % 2) ? 14.0 : 2.0;
+        prev = ego;
+        ego.pos.x += speed * 0.1;
+        loc.feedOdometry(odo.measure(prev, ego, 0.1));
+        const auto frame = camera.render(drive, ego);
+        const auto r = loc.localize(frame.image, 0.1);
+        okCount += r.ok;
+        relocs += r.relocalized;
+        if (r.ok) {
+            EXPECT_LT(r.pose.distanceTo(ego), 1.5) << "frame " << i;
+        }
+    }
+    EXPECT_GE(okCount, 10);
+    // Odometry keeps the prediction good enough that wide searches
+    // stay rare.
+    EXPECT_LE(relocs, 2);
+}
+
+} // namespace

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Integration tests for the end-to-end pipeline (measured mode) and
+ * the modeled-mode system explorer: full scenario drives exercising
+ * every engine, the Figure 1 latency composition, the Figure 11/12
+ * configuration machinery and the Section 2.4 constraint checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/constraints.hh"
+#include "pipeline/pipeline.hh"
+#include "sensors/scenario.hh"
+#include "slam/mapping.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::pipeline;
+using accel::Platform;
+
+PipelineParams
+testParams()
+{
+    PipelineParams p;
+    p.detector.inputSize = 160;
+    p.detector.width = 0.25;
+    p.trackerPool.poolSize = 6;
+    p.trackerPool.tracker.cropSize = 32;
+    p.trackerPool.tracker.width = 0.1;
+    p.motionPlanner.cruiseSpeed = 10.0;
+    return p;
+}
+
+class PipelineIntegrationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        rng_ = new Rng(31);
+        sensors::ScenarioParams sp;
+        sp.roadLength = 150.0;
+        sp.vehicles = 3;
+        scenario_ = new sensors::Scenario(
+            sensors::makeUrbanScenario(*rng_, sp));
+        camera_ = new sensors::Camera(sensors::Resolution::HHD);
+        slam::MappingParams mp;
+        mp.orb.fast.maxKeypoints = 500;
+        map_ = new slam::PriorMap(
+            slam::buildPriorMap(scenario_->world, *camera_, 1, mp));
+
+        graph_ = new planning::RoadGraph();
+        const double y = scenario_->world.road().laneCenter(1);
+        int prev = -1;
+        for (double x = 0; x <= 150.0; x += 50.0) {
+            const int node = graph_->addNode({x, y});
+            if (prev >= 0)
+                graph_->addBidirectional(prev, node);
+            prev = node;
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete graph_;
+        delete map_;
+        delete camera_;
+        delete scenario_;
+        delete rng_;
+        graph_ = nullptr;
+        map_ = nullptr;
+        camera_ = nullptr;
+        scenario_ = nullptr;
+        rng_ = nullptr;
+    }
+
+    static Rng* rng_;
+    static sensors::Scenario* scenario_;
+    static sensors::Camera* camera_;
+    static slam::PriorMap* map_;
+    static planning::RoadGraph* graph_;
+};
+
+Rng* PipelineIntegrationTest::rng_ = nullptr;
+sensors::Scenario* PipelineIntegrationTest::scenario_ = nullptr;
+sensors::Camera* PipelineIntegrationTest::camera_ = nullptr;
+slam::PriorMap* PipelineIntegrationTest::map_ = nullptr;
+planning::RoadGraph* PipelineIntegrationTest::graph_ = nullptr;
+
+TEST_F(PipelineIntegrationTest, DrivesScenarioEndToEnd)
+{
+    PipelineParams params = testParams();
+    params.laneCenterY = scenario_->world.road().laneCenter(1);
+    Pipeline pipeline(map_, camera_, graph_, params);
+
+    sensors::World world = scenario_->world;
+    Pose2 ego = scenario_->ego.pose;
+    pipeline.reset(ego, {10, 0}, {140, params.laneCenterY});
+
+    int localized = 0;
+    int framesWithTracks = 0;
+    const int frames = 15;
+    for (int i = 0; i < frames; ++i) {
+        world.step(0.1);
+        ego.pos.x += 1.0;
+        const sensors::Frame frame = camera_->render(world, ego);
+        const FrameOutput out =
+            pipeline.processFrame(frame.image, 0.1, 10.0);
+        localized += out.localization.ok;
+        framesWithTracks += !out.tracks.empty();
+        EXPECT_FALSE(out.trajectory.empty());
+        EXPECT_GT(out.latencies.endToEndMs(), 0.0);
+    }
+    EXPECT_GE(localized, frames * 2 / 3);
+    EXPECT_GT(framesWithTracks, 0);
+    EXPECT_EQ(pipeline.endToEndLatency().count(),
+              static_cast<std::size_t>(frames));
+}
+
+TEST_F(PipelineIntegrationTest, LatencyComposesParallelBranches)
+{
+    StageLatencies lat;
+    lat.detMs = 10;
+    lat.traMs = 5;
+    lat.locMs = 8;
+    lat.fusionMs = 0.1;
+    lat.motPlanMs = 0.5;
+    // DET + TRA = 15 > LOC = 8.
+    EXPECT_NEAR(lat.endToEndMs(), 15.6, 1e-9);
+    lat.locMs = 40;
+    EXPECT_NEAR(lat.endToEndMs(), 40.6, 1e-9);
+}
+
+TEST_F(PipelineIntegrationTest, CycleBreakdownIsDnnAndFeDominated)
+{
+    PipelineParams params = testParams();
+    params.laneCenterY = scenario_->world.road().laneCenter(1);
+    Pipeline pipeline(map_, camera_, nullptr, params);
+
+    sensors::World world = scenario_->world;
+    Pose2 ego = scenario_->ego.pose;
+    pipeline.reset(ego, {10, 0}, {140, params.laneCenterY});
+    for (int i = 0; i < 8; ++i) {
+        world.step(0.1);
+        ego.pos.x += 1.0;
+        const sensors::Frame frame = camera_->render(world, ego);
+        pipeline.processFrame(frame.image, 0.1, 10.0);
+    }
+    const auto& cycles = pipeline.cycleBreakdown();
+    // Figure 7 shape: DNN dominates DET; FE dominates LOC.
+    EXPECT_GT(cycles.detDnnMs / (cycles.detDnnMs + cycles.detOtherMs),
+              0.7);
+    EXPECT_GT(cycles.locFeMs / (cycles.locFeMs + cycles.locOtherMs),
+              0.5);
+}
+
+TEST_F(PipelineIntegrationTest, DeterministicAcrossRuns)
+{
+    // Whole-system reproducibility: two pipelines with identical
+    // seeds over identical frames produce identical outputs.
+    const auto run = [&](std::vector<double>& poses,
+                         std::vector<std::size_t>& detCounts) {
+        PipelineParams params = testParams();
+        params.laneCenterY = scenario_->world.road().laneCenter(1);
+        Pipeline pipe(map_, camera_, nullptr, params);
+        sensors::World world = scenario_->world;
+        Pose2 ego = scenario_->ego.pose;
+        pipe.reset(ego, {10, 0}, {140, params.laneCenterY});
+        for (int i = 0; i < 5; ++i) {
+            world.step(0.1);
+            ego.pos.x += 1.0;
+            const sensors::Frame frame = camera_->render(world, ego);
+            const auto out = pipe.processFrame(frame.image, 0.1, 10.0);
+            poses.push_back(out.localization.pose.pos.x);
+            poses.push_back(out.localization.pose.pos.y);
+            detCounts.push_back(out.detections.size());
+        }
+    };
+    std::vector<double> posesA, posesB;
+    std::vector<std::size_t> detsA, detsB;
+    run(posesA, detsA);
+    run(posesB, detsB);
+    ASSERT_EQ(posesA.size(), posesB.size());
+    for (std::size_t i = 0; i < posesA.size(); ++i)
+        EXPECT_DOUBLE_EQ(posesA[i], posesB[i]) << i;
+    EXPECT_EQ(detsA, detsB);
+}
+
+TEST(SystemConfig, NameIsReadable)
+{
+    SystemConfig c;
+    c.det = Platform::Gpu;
+    c.tra = Platform::Asic;
+    c.loc = Platform::Cpu;
+    EXPECT_EQ(c.name(), "DET:GPU TRA:ASIC LOC:CPU");
+}
+
+TEST(SystemModel, AllConfigsEnumerates64)
+{
+    const auto configs = SystemModel::allConfigs();
+    EXPECT_EQ(configs.size(), 64u);
+}
+
+TEST(SystemModel, CpuOnlyMissesConstraintsAcceleratedMeets)
+{
+    SystemModel model;
+    Rng rng(5);
+
+    SystemConfig cpuOnly;
+    cpuOnly.det = cpuOnly.tra = cpuOnly.loc = Platform::Cpu;
+    const auto cpu = model.assess(cpuOnly, 20000, rng);
+    EXPECT_FALSE(cpu.meetsLatencyConstraint);
+    // The paper's 9.1 s end-to-end CPU tail.
+    EXPECT_NEAR(cpu.tailMs, 9100.0, 600.0);
+
+    SystemConfig best; // Figure 11's 16.1 ms design
+    best.det = Platform::Gpu;
+    best.tra = Platform::Asic;
+    best.loc = Platform::Asic;
+    const auto accel = model.assess(best, 20000, rng);
+    EXPECT_TRUE(accel.meetsLatencyConstraint);
+    EXPECT_NEAR(accel.tailMs, 16.1, 2.5);
+}
+
+TEST(SystemModel, MeanOnlyConfigsExist)
+{
+    // Section 5.2: some configurations meet 100 ms on mean latency
+    // but fail at the tail -- e.g. LOC on CPU (mean 40.8, tail 294).
+    SystemModel model;
+    Rng rng(11);
+    SystemConfig c;
+    c.det = Platform::Gpu;
+    c.tra = Platform::Gpu;
+    c.loc = Platform::Cpu;
+    const auto a = model.assess(c, 50000, rng);
+    EXPECT_TRUE(a.meetsLatencyOnMeanOnly);
+}
+
+TEST(SystemModel, GpuConfigBurnsMostPower)
+{
+    SystemModel model;
+    SystemConfig gpu;
+    gpu.det = gpu.tra = gpu.loc = Platform::Gpu;
+    SystemConfig asic;
+    asic.det = asic.tra = asic.loc = Platform::Asic;
+    EXPECT_GT(model.computePowerW(gpu), 1000.0); // >1 kW (Section 5.3)
+    EXPECT_LT(model.computePowerW(asic), 200.0);
+}
+
+TEST(SystemModel, RangeReductionShapesMatchFigure12)
+{
+    SystemModel model;
+    Rng rng(13);
+    SystemConfig gpu;
+    gpu.det = gpu.tra = gpu.loc = Platform::Gpu;
+    const auto g = model.assess(gpu, 1000, rng);
+    // All-GPU: >10% range loss (the paper reports up to 12%).
+    EXPECT_GT(g.rangeReductionPct, 10.0);
+
+    SystemConfig asic;
+    asic.det = asic.tra = asic.loc = Platform::Asic;
+    const auto a = model.assess(asic, 1000, rng);
+    // ASIC designs stay within ~2-3%.
+    EXPECT_LT(a.rangeReductionPct, 3.5);
+    EXPECT_LT(a.rangeReductionPct, g.rangeReductionPct / 3);
+}
+
+TEST(SystemModel, ResolutionSweepMatchesFigure13)
+{
+    // FHD: the best GPU/ASIC mix still meets 100 ms; QHD: nothing
+    // does.
+    SystemModel model;
+    Rng rng(17);
+    const double kittiPx = 1242.0 * 375;
+    const double fhd = 1920.0 * 1080 / kittiPx;
+    const double qhd = 2560.0 * 1440 / kittiPx;
+
+    bool anyMeetsFhd = false;
+    bool anyMeetsQhd = false;
+    for (const auto& c : SystemModel::allConfigs(8, fhd)) {
+        if (model.assess(c, 4000, rng).meetsLatencyConstraint)
+            anyMeetsFhd = true;
+    }
+    for (const auto& c : SystemModel::allConfigs(8, qhd)) {
+        if (model.assess(c, 4000, rng).meetsLatencyConstraint)
+            anyMeetsQhd = true;
+    }
+    EXPECT_TRUE(anyMeetsFhd);
+    EXPECT_FALSE(anyMeetsQhd);
+}
+
+TEST(ConstraintChecker, ReportsAllFiveClasses)
+{
+    SystemModel model;
+    Rng rng(19);
+    SystemConfig c;
+    c.det = Platform::Gpu;
+    c.tra = Platform::Asic;
+    c.loc = Platform::Asic;
+    const auto a = model.assess(c, 5000, rng);
+    ConstraintChecker checker;
+    const auto verdicts = checker.check(a);
+    ASSERT_EQ(verdicts.size(), 5u);
+    EXPECT_EQ(verdicts[0].constraint, "performance");
+    EXPECT_TRUE(verdicts[0].satisfied);
+    EXPECT_EQ(verdicts[4].constraint, "power");
+    for (const auto& v : verdicts)
+        EXPECT_FALSE(v.detail.empty());
+}
+
+TEST(ConstraintChecker, CpuSystemFailsPerformance)
+{
+    SystemModel model;
+    Rng rng(23);
+    SystemConfig c;
+    c.det = c.tra = c.loc = Platform::Cpu;
+    const auto a = model.assess(c, 5000, rng);
+    ConstraintChecker checker;
+    const auto verdicts = checker.check(a);
+    EXPECT_FALSE(verdicts[0].satisfied); // performance
+    EXPECT_FALSE(checker.allSatisfied(a));
+}
+
+TEST(ConstraintChecker, GpuSystemFailsPowerOnly)
+{
+    SystemModel model;
+    Rng rng(29);
+    SystemConfig c;
+    c.det = c.tra = c.loc = Platform::Gpu;
+    const auto a = model.assess(c, 5000, rng);
+    ConstraintChecker checker;
+    const auto verdicts = checker.check(a);
+    EXPECT_TRUE(verdicts[0].satisfied);  // performance OK
+    EXPECT_FALSE(verdicts[4].satisfied); // power: >5% range loss
+}
+
+TEST(ConstraintChecker, AcceleratedDesignSatisfiesEverything)
+{
+    SystemModel model;
+    Rng rng(31);
+    SystemConfig c; // FPGA LOC + ASIC DET/TRA: low power, low latency
+    c.det = Platform::Asic;
+    c.tra = Platform::Asic;
+    c.loc = Platform::Asic;
+    const auto a = model.assess(c, 5000, rng);
+    ConstraintChecker checker;
+    EXPECT_TRUE(checker.allSatisfied(a))
+        << "tail=" << a.tailMs << " range=" << a.rangeReductionPct;
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG: reproducibility, distribution sanity
+ * and stream-splitting independence. Whole-system reproducibility of the
+ * benchmark harness rests on these properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+
+namespace {
+
+using ad::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234);
+    Rng b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += (a() == b());
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 100; ++i)
+        vals.insert(r());
+    EXPECT_GT(vals.size(), 90u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(42);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(43);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform(-3.0, 7.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng r(44);
+    std::set<int> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const int v = r.uniformInt(2, 6);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng r(45);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleAndShift)
+{
+    Rng r(46);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu)
+{
+    Rng r(47);
+    std::vector<double> v;
+    const int n = 50001;
+    v.reserve(n);
+    for (int i = 0; i < n; ++i)
+        v.push_back(r.lognormal(1.0, 0.7));
+    std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+    EXPECT_NEAR(v[n / 2], std::exp(1.0), 0.1);
+    for (double x : v)
+        ASSERT_GT(x, 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(48);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated)
+{
+    Rng parent(99);
+    Rng childA = parent.split();
+    Rng childB = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += (childA() == childB());
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng p1(7);
+    Rng p2(7);
+    Rng c1 = p1.split();
+    Rng c2 = p2.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(c1(), c2());
+}
+
+/** Property sweep over seeds: uniform() mean stays near 0.5. */
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf)
+{
+    Rng r(GetParam());
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 3, 1ULL << 40,
+                                           0xdeadbeefULL, ~0ULL));
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the real-time frame scheduler: deterministic-service
+ * identities, deadline accounting, saturation/drop behavior, queueing
+ * of latency spikes, and the connection to the platform models (the
+ * all-CPU system cannot sustain 10 fps; accelerated systems can).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/models.hh"
+#include "pipeline/scheduler.hh"
+#include "pipeline/system_model.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::pipeline;
+
+TEST(Scheduler, FastDeterministicServiceHasNoMisses)
+{
+    // 20 ms service against a 100 ms period: every frame served
+    // immediately, response = service time.
+    const auto stats =
+        simulateSchedule([] { return 20.0; }, 100, SchedulerParams{});
+    EXPECT_EQ(stats.framesArrived, 100);
+    EXPECT_EQ(stats.framesProcessed, 100);
+    EXPECT_EQ(stats.framesDropped, 0);
+    EXPECT_EQ(stats.deadlineMisses, 0);
+    EXPECT_NEAR(stats.responseTime.mean, 20.0, 1e-9);
+    EXPECT_NEAR(stats.responseTime.worst, 20.0, 1e-9);
+    EXPECT_NEAR(stats.achievedFps, 10.0, 0.5);
+}
+
+TEST(Scheduler, ServiceEqualToPeriodJustMeets)
+{
+    const auto stats =
+        simulateSchedule([] { return 100.0; }, 50, SchedulerParams{});
+    EXPECT_EQ(stats.framesDropped, 0);
+    EXPECT_EQ(stats.deadlineMisses, 0);
+    EXPECT_NEAR(stats.responseTime.worst, 100.0, 1e-9);
+}
+
+TEST(Scheduler, SlowServiceDropsAndMisses)
+{
+    // 250 ms service against a 100 ms period: the engine can sustain
+    // only 4 fps; most frames must be dropped or late.
+    const auto stats =
+        simulateSchedule([] { return 250.0; }, 100, SchedulerParams{});
+    EXPECT_GT(stats.framesDropped, 40);
+    EXPECT_GT(stats.missRate(), 0.5);
+    EXPECT_LT(stats.achievedFps, 5.0);
+    EXPECT_EQ(stats.framesProcessed + stats.framesDropped,
+              stats.framesArrived);
+}
+
+TEST(Scheduler, SpikeQueuesSubsequentFrame)
+{
+    // One 180 ms spike in otherwise 10 ms service: the spiked frame
+    // misses its deadline and the next frame inherits queueing delay.
+    int i = 0;
+    const auto stats = simulateSchedule(
+        [&i] { return ++i == 3 ? 180.0 : 10.0; }, 10,
+        SchedulerParams{});
+    EXPECT_EQ(stats.framesDropped, 0);
+    EXPECT_EQ(stats.deadlineMisses, 1);
+    // The frame after the spike starts late: response > service.
+    EXPECT_GT(stats.responseTime.worst, 100.0);
+}
+
+TEST(Scheduler, ZeroQueueDepthDropsWhileBusy)
+{
+    SchedulerParams params;
+    params.queueDepth = 0;
+    // 150 ms service, 100 ms period: every other frame arrives while
+    // the engine is busy and is dropped instantly.
+    const auto stats =
+        simulateSchedule([] { return 150.0; }, 100, params);
+    EXPECT_GT(stats.framesDropped, 30);
+    // Processed frames never queue, so response == service.
+    EXPECT_NEAR(stats.responseTime.worst, 150.0, 1e-9);
+}
+
+TEST(Scheduler, PlatformConnectionCpuFailsAcceleratedPasses)
+{
+    Rng rng(3);
+    SystemModel model;
+
+    SystemConfig cpu;
+    cpu.det = cpu.tra = cpu.loc = accel::Platform::Cpu;
+    const accel::Workload& w = accel::standardWorkloadRef();
+    const auto cpuDet =
+        accel::platformModel(accel::Platform::Cpu)
+            .latency(accel::Component::Det, w);
+    const auto cpuStats = simulateSchedule(
+        [&] { return cpuDet.sample(rng); }, 200, SchedulerParams{});
+    EXPECT_GT(cpuStats.missRate(), 0.9); // 7 s service vs 100 ms period
+
+    SystemConfig best;
+    best.det = accel::Platform::Gpu;
+    best.tra = accel::Platform::Asic;
+    best.loc = accel::Platform::Asic;
+    const auto dist = [&] {
+        // End-to-end sampler from the system model's distributions.
+        static Rng sampleRng(11);
+        static SystemModel m;
+        return m.sampleEndToEnd(best, 1, sampleRng).mean;
+    };
+    const auto bestStats =
+        simulateSchedule(dist, 300, SchedulerParams{});
+    EXPECT_EQ(bestStats.framesDropped, 0);
+    EXPECT_EQ(bestStats.deadlineMisses, 0);
+    EXPECT_NEAR(bestStats.achievedFps, 10.0, 0.5);
+}
+
+TEST(Scheduler, ConservationInvariant)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 10; ++trial) {
+        const double base = rng.uniform(10.0, 300.0);
+        const auto stats = simulateSchedule(
+            [&] { return base * rng.lognormal(0.0, 0.4); }, 120,
+            SchedulerParams{});
+        EXPECT_EQ(stats.framesProcessed + stats.framesDropped,
+                  stats.framesArrived);
+        EXPECT_GE(stats.responseTime.worst, stats.responseTime.p50);
+    }
+}
+
+} // namespace

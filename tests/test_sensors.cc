@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the synthetic world and camera: actor kinematics, class
+ * bands, projection round trips, rendered ground truth consistency and
+ * scenario construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/camera.hh"
+#include "sensors/scenario.hh"
+
+namespace {
+
+using namespace ad::sensors;
+using ad::Pose2;
+using ad::Rng;
+using ad::Vec2;
+
+TEST(World, ClassBandsRoundTrip)
+{
+    for (int i = 0; i < kNumObjectClasses; ++i) {
+        const auto cls = static_cast<ObjectClass>(i);
+        EXPECT_EQ(classFromIntensity(objectClassIntensity(cls)), cls);
+        // Bands survive +-10 of render noise.
+        EXPECT_EQ(classFromIntensity(objectClassIntensity(cls) + 9), cls);
+        EXPECT_EQ(classFromIntensity(objectClassIntensity(cls) - 9), cls);
+    }
+}
+
+TEST(World, StepMovesConstantActor)
+{
+    World w;
+    Actor a;
+    a.motion = MotionKind::Constant;
+    a.pose = Pose2(0, 0, 0);
+    a.speed = 10.0;
+    w.addActor(a);
+    w.step(0.5);
+    EXPECT_NEAR(w.actors()[0].pose.pos.x, 5.0, 1e-9);
+    EXPECT_NEAR(w.actors()[0].pose.pos.y, 0.0, 1e-9);
+    EXPECT_NEAR(w.time(), 0.5, 1e-12);
+}
+
+TEST(World, StationaryActorStaysPut)
+{
+    World w;
+    Actor a;
+    a.motion = MotionKind::Stationary;
+    a.pose = Pose2(7, 3, 1.0);
+    a.speed = 99.0; // ignored
+    w.addActor(a);
+    w.step(10.0);
+    EXPECT_NEAR(w.actors()[0].pose.pos.x, 7.0, 1e-9);
+}
+
+TEST(World, LaneKeepWrapsAroundRoad)
+{
+    World w;
+    w.road().length = 100.0;
+    Actor a;
+    a.motion = MotionKind::LaneKeep;
+    a.pose = Pose2(95, 1.75, 0);
+    a.speed = 10.0;
+    w.addActor(a);
+    w.step(1.0);
+    EXPECT_NEAR(w.actors()[0].pose.pos.x, 5.0, 1e-9);
+}
+
+TEST(World, CrossingActorBouncesWithinSpan)
+{
+    World w;
+    Actor a;
+    a.motion = MotionKind::Crossing;
+    a.pose = Pose2(50, 0, M_PI / 2);
+    a.speed = 1.0;
+    a.crossingSpan = 3.0;
+    w.addActor(a);
+    for (int i = 0; i < 100; ++i) {
+        w.step(0.25);
+        const double y = w.actors()[0].pose.pos.y;
+        EXPECT_GE(y, -0.3);
+        EXPECT_LE(y, 3.3);
+    }
+}
+
+TEST(World, IdsAreUniqueAndSequential)
+{
+    World w;
+    const int id1 = w.addActor(Actor{});
+    const int id2 = w.addActor(Actor{});
+    const int lid = w.addLandmark(Landmark{});
+    EXPECT_NE(id1, id2);
+    EXPECT_EQ(w.actors()[0].id, id1);
+    EXPECT_EQ(w.landmarks()[0].id, lid);
+    EXPECT_NE(w.landmarks()[0].textureSeed, 0u);
+}
+
+TEST(Camera, ResolutionPresetsMatchPaper)
+{
+    EXPECT_EQ(resolutionSpec(Resolution::HD).width, 1280);
+    EXPECT_EQ(resolutionSpec(Resolution::FHD).height, 1080);
+    EXPECT_EQ(resolutionSpec(Resolution::QHD).width, 2560);
+    EXPECT_EQ(resolutionSpec(Resolution::Kitti).width, 1242);
+    // Presets sorted ascending by pixel count.
+    double prev = 0;
+    for (const auto r : allResolutions()) {
+        const double mp = resolutionSpec(r).megapixels();
+        EXPECT_GT(mp, prev);
+        prev = mp;
+    }
+}
+
+TEST(Camera, ProjectUnprojectGroundRoundTrip)
+{
+    Camera cam(Resolution::Kitti);
+    const Pose2 ego(100, 5.25, 0.2);
+    for (const Vec2 pt : {Vec2{120, 6}, Vec2{110, 2}, Vec2{140, 10}}) {
+        double u, v, depth;
+        ASSERT_TRUE(cam.project(ego, pt, 0.0, u, v, depth));
+        EXPECT_GT(depth, 0.0);
+        Vec2 back;
+        ASSERT_TRUE(cam.unprojectGround(ego, u, v, back));
+        EXPECT_NEAR(back.x, pt.x, 0.2);
+        EXPECT_NEAR(back.y, pt.y, 0.2);
+    }
+}
+
+TEST(Camera, PointsBehindCameraRejected)
+{
+    Camera cam(Resolution::Kitti);
+    const Pose2 ego(100, 5, 0);
+    double u, v, depth;
+    EXPECT_FALSE(cam.project(ego, {90, 5}, 0.0, u, v, depth));
+    Vec2 world;
+    EXPECT_FALSE(cam.unprojectGround(ego, 600, 10, world)); // above horizon
+}
+
+TEST(Camera, DepthIncreasesUpTheImage)
+{
+    Camera cam(Resolution::Kitti);
+    const Pose2 ego(0, 5, 0);
+    Vec2 nearPt, farPt;
+    ASSERT_TRUE(cam.unprojectGround(ego, 621, 370, nearPt));
+    ASSERT_TRUE(cam.unprojectGround(ego, 621, 250, farPt));
+    EXPECT_GT(farPt.x, nearPt.x);
+}
+
+TEST(Camera, RenderedFrameHasSkyRoadAndTruth)
+{
+    Rng rng(3);
+    Scenario sc = makeHighwayScenario(rng);
+    // Place a vehicle right in front of the ego.
+    Actor car;
+    car.cls = ObjectClass::Vehicle;
+    car.motion = MotionKind::Stationary;
+    car.pose = Pose2(sc.ego.pose.pos.x + 20, sc.ego.pose.pos.y, 0);
+    sc.world.addActor(car);
+
+    Camera cam(Resolution::HHD);
+    const Frame frame = cam.render(sc.world, sc.ego.pose);
+    EXPECT_EQ(frame.image.width(), 640);
+    EXPECT_EQ(frame.image.height(), 360);
+
+    // Sky is brighter than road asphalt.
+    const double sky = frame.image.at(320, 40);
+    const double road = frame.image.at(320, 330);
+    EXPECT_GT(sky, 100);
+    EXPECT_LT(road, 100);
+
+    // The planted car must appear in the ground truth with a sane box.
+    bool found = false;
+    for (const auto& gt : frame.truth) {
+        if (gt.actorId != car.id && gt.cls != ObjectClass::Vehicle)
+            continue;
+        if (std::fabs(gt.depth - 20.0) < 1.0) {
+            found = true;
+            EXPECT_GT(gt.box.w, 10);
+            EXPECT_GT(gt.box.h, 5);
+            // Box interior should carry the vehicle intensity band.
+            const int cx = static_cast<int>(gt.box.cx());
+            const int cy = static_cast<int>(gt.box.cy());
+            const double val = frame.image.at(cx, cy);
+            EXPECT_EQ(classFromIntensity(val), ObjectClass::Vehicle);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Camera, WorldAnchoredTextureIsStableAcrossFrames)
+{
+    // Render the same world from the same pose twice: identical images.
+    Rng rng(5);
+    Scenario sc = makeUrbanScenario(rng);
+    Camera cam(Resolution::HHD);
+    const Frame a = cam.render(sc.world, sc.ego.pose);
+    const Frame b = cam.render(sc.world, sc.ego.pose);
+    ASSERT_EQ(a.image.size(), b.image.size());
+    int diffs = 0;
+    for (int y = 0; y < a.image.height(); ++y)
+        for (int x = 0; x < a.image.width(); ++x)
+            diffs += a.image.at(x, y) != b.image.at(x, y);
+    EXPECT_EQ(diffs, 0);
+}
+
+TEST(Camera, TruthOnlyContainsVisibleActors)
+{
+    World w;
+    Actor behind;
+    behind.pose = Pose2(-50, 5, 0);
+    behind.motion = MotionKind::Stationary;
+    w.addActor(behind);
+    Camera cam(Resolution::HHD);
+    const Frame frame = cam.render(w, Pose2(0, 5, 0));
+    EXPECT_TRUE(frame.truth.empty());
+}
+
+TEST(Scenario, HighwayPopulatesWorld)
+{
+    Rng rng(7);
+    const Scenario sc = makeHighwayScenario(rng);
+    EXPECT_EQ(sc.name, "highway");
+    EXPECT_GT(sc.world.landmarks().size(), 50u);
+    int vehicles = 0;
+    for (const auto& a : sc.world.actors())
+        vehicles += a.cls == ObjectClass::Vehicle;
+    EXPECT_GE(vehicles, 8);
+    EXPECT_GT(sc.ego.speed, 0);
+}
+
+TEST(Scenario, UrbanHasPedestriansAndBicycles)
+{
+    Rng rng(8);
+    const Scenario sc = makeUrbanScenario(rng);
+    int peds = 0;
+    int bikes = 0;
+    for (const auto& a : sc.world.actors()) {
+        peds += a.cls == ObjectClass::Pedestrian;
+        bikes += a.cls == ObjectClass::Bicycle;
+    }
+    EXPECT_GE(peds, 3);
+    EXPECT_GE(bikes, 2);
+    // Urban landmarks denser than highway.
+    Rng rng2(7);
+    const Scenario hw = makeHighwayScenario(rng2);
+    EXPECT_GT(sc.world.landmarks().size(), hw.world.landmarks().size());
+}
+
+TEST(Scenario, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    const Scenario s1 = makeUrbanScenario(a);
+    const Scenario s2 = makeUrbanScenario(b);
+    ASSERT_EQ(s1.world.actors().size(), s2.world.actors().size());
+    for (std::size_t i = 0; i < s1.world.actors().size(); ++i) {
+        EXPECT_DOUBLE_EQ(s1.world.actors()[i].pose.pos.x,
+                         s2.world.actors()[i].pose.pos.x);
+    }
+}
+
+} // namespace

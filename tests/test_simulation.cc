@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Closed-loop simulation tests: the complete system driving itself --
+ * lane keeping, collision-free progress, localization health with
+ * odometry in the loop, and metric accounting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/simulation.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::pipeline;
+
+class SimulationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        rng_ = new Rng(51);
+        sensors::ScenarioParams sp;
+        sp.roadLength = 250.0;
+        sp.vehicles = 4;
+        scenario_ = new sensors::Scenario(
+            sensors::makeHighwayScenario(*rng_, sp));
+        // Slow the scenario traffic so the ego (cruising below
+        // highway speed for CPU-frugality) is never rear-ended --
+        // actors are not reactive.
+        for (auto& a : scenario_->world.actors())
+            if (a.motion == sensors::MotionKind::LaneKeep)
+                a.speed = 6.0;
+        scenario_->ego.speed = 8.0;
+        camera_ = new sensors::Camera(sensors::Resolution::HHD);
+        map_ = new slam::PriorMap(
+            slam::buildPriorMap(scenario_->world, *camera_, 1));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete map_;
+        delete camera_;
+        delete scenario_;
+        delete rng_;
+        map_ = nullptr;
+        camera_ = nullptr;
+        scenario_ = nullptr;
+        rng_ = nullptr;
+    }
+
+    static SimulationParams
+    simParams()
+    {
+        SimulationParams p;
+        p.pipeline.detector.inputSize = 160;
+        p.pipeline.detector.width = 0.25;
+        p.pipeline.trackerPool.tracker.cropSize = 32;
+        p.pipeline.trackerPool.tracker.width = 0.1;
+        p.pipeline.laneCenterY =
+            scenario_->world.road().laneCenter(1);
+        p.pipeline.motionPlanner.cruiseSpeed = 9.0;
+        return p;
+    }
+
+    static Rng* rng_;
+    static sensors::Scenario* scenario_;
+    static sensors::Camera* camera_;
+    static slam::PriorMap* map_;
+};
+
+Rng* SimulationTest::rng_ = nullptr;
+sensors::Scenario* SimulationTest::scenario_ = nullptr;
+sensors::Camera* SimulationTest::camera_ = nullptr;
+slam::PriorMap* SimulationTest::map_ = nullptr;
+
+TEST_F(SimulationTest, DrivesCollisionFreeAndKeepsLane)
+{
+    Simulation sim(*scenario_, map_, camera_, nullptr, simParams());
+    sim.run(40);
+    const auto& m = sim.metrics();
+    EXPECT_EQ(m.frames, 40);
+    EXPECT_EQ(m.collisionFrames, 0);
+    EXPECT_GT(m.distanceTraveled, 15.0);
+    EXPECT_LT(m.maxLaneError, 1.6);
+    EXPECT_GE(m.localizedFrames, m.frames * 2 / 3);
+    EXPECT_LT(m.maxLocalizationError, 2.0);
+    EXPECT_GT(m.meanSpeed, 3.0);
+}
+
+TEST_F(SimulationTest, MetricsAccountingInvariants)
+{
+    Simulation sim(*scenario_, map_, camera_, nullptr, simParams());
+    sim.run(10);
+    const auto& m = sim.metrics();
+    EXPECT_LE(m.localizedFrames, m.frames);
+    EXPECT_LE(m.collisionFrames, m.frames);
+    EXPECT_GE(m.minActorClearance, 0.0);
+    EXPECT_GE(m.maxLaneError, 0.0);
+    // e2e recorder saw every frame.
+    EXPECT_EQ(sim.pipeline().endToEndLatency().count(), 10u);
+}
+
+TEST_F(SimulationTest, OdometryImprovesOrMatchesLocalization)
+{
+    SimulationParams with = simParams();
+    with.useOdometry = true;
+    Simulation a(*scenario_, map_, camera_, nullptr, with);
+    a.run(25);
+
+    SimulationParams without = simParams();
+    without.useOdometry = false;
+    Simulation b(*scenario_, map_, camera_, nullptr, without);
+    b.run(25);
+
+    // Odometry prediction never does worse on relocalization count.
+    EXPECT_LE(a.metrics().relocalizations,
+              b.metrics().relocalizations + 1);
+    EXPECT_GE(a.metrics().localizedFrames,
+              b.metrics().localizedFrames - 2);
+}
+
+TEST_F(SimulationTest, StepReturnsLiveFrameOutput)
+{
+    Simulation sim(*scenario_, map_, camera_, nullptr, simParams());
+    const FrameOutput out = sim.step();
+    EXPECT_FALSE(out.trajectory.empty());
+    EXPECT_GT(out.latencies.endToEndMs(), 0.0);
+}
+
+} // namespace

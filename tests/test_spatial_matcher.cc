@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the projection-guided spatial matcher: grid indexing,
+ * window semantics, one-to-one assignment, equivalence with brute
+ * force when candidates project correctly, and superiority when the
+ * scene contains distant lookalike texture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "vision/spatial_matcher.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::vision;
+
+Descriptor
+randomDesc(Rng& rng)
+{
+    Descriptor d;
+    for (auto& w : d.words)
+        w = rng();
+    return d;
+}
+
+Feature
+featureAt(float x, float y, const Descriptor& d)
+{
+    Feature f;
+    f.kp.x = x;
+    f.kp.y = y;
+    f.desc = d;
+    return f;
+}
+
+TEST(SpatialMatcher, FeaturesNearRespectsRadius)
+{
+    Rng rng(1);
+    std::vector<Feature> features = {
+        featureAt(100, 100, randomDesc(rng)),
+        featureAt(130, 100, randomDesc(rng)),
+        featureAt(300, 300, randomDesc(rng)),
+    };
+    SpatialMatcher matcher(features, 640, 480);
+    EXPECT_EQ(matcher.featuresNear(100, 100, 10).size(), 1u);
+    EXPECT_EQ(matcher.featuresNear(100, 100, 40).size(), 2u);
+    EXPECT_EQ(matcher.featuresNear(100, 100, 500).size(), 3u);
+    EXPECT_TRUE(matcher.featuresNear(500, 100, 20).empty());
+}
+
+TEST(SpatialMatcher, MatchesWithinWindowOnly)
+{
+    Rng rng(2);
+    const Descriptor d = randomDesc(rng);
+    std::vector<Feature> features = {featureAt(100, 100, d)};
+    SpatialMatcher matcher(features, 640, 480);
+
+    ProjectedCandidate nearCand;
+    nearCand.u = 110;
+    nearCand.v = 100;
+    nearCand.desc = d;
+    ProjectedCandidate farCand;
+    farCand.u = 400;
+    farCand.v = 100;
+    farCand.desc = d;
+
+    SpatialMatchParams params;
+    params.windowRadius = 48;
+    const auto nearMatches = matcher.match({nearCand}, params);
+    ASSERT_EQ(nearMatches.size(), 1u);
+    EXPECT_EQ(nearMatches[0].featureIndex, 0);
+    EXPECT_EQ(nearMatches[0].distance, 0);
+    EXPECT_TRUE(matcher.match({farCand}, params).empty());
+}
+
+TEST(SpatialMatcher, OneToOneAssignmentPrefersCloserDescriptor)
+{
+    Rng rng(3);
+    const Descriptor d = randomDesc(rng);
+    Descriptor similar = d;
+    similar.words[0] ^= 0xff; // 8 bits away
+    std::vector<Feature> features = {featureAt(100, 100, d)};
+    SpatialMatcher matcher(features, 640, 480);
+
+    ProjectedCandidate exact;
+    exact.u = 100;
+    exact.v = 100;
+    exact.desc = d;
+    exact.tag = 1;
+    ProjectedCandidate close;
+    close.u = 105;
+    close.v = 100;
+    close.desc = similar;
+    close.tag = 2;
+    const auto matches = matcher.match({close, exact});
+    // Only one frame feature: the exact candidate must win it.
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].candidateIndex, 1);
+    EXPECT_EQ(matches[0].distance, 0);
+}
+
+TEST(SpatialMatcher, WindowDefeatsDistantLookalike)
+{
+    // Two identical descriptors in the frame (repetitive texture).
+    // Brute force cannot tell them apart (the ratio test kills the
+    // match); the window picks the geometrically consistent one.
+    Rng rng(4);
+    const Descriptor d = randomDesc(rng);
+    std::vector<Feature> features = {
+        featureAt(100, 100, d),
+        featureAt(500, 100, d), // lookalike far away
+    };
+    SpatialMatcher matcher(features, 640, 480);
+
+    ProjectedCandidate cand;
+    cand.u = 102;
+    cand.v = 100;
+    cand.desc = d;
+    const auto spatial = matcher.match({cand});
+    ASSERT_EQ(spatial.size(), 1u);
+    EXPECT_EQ(spatial[0].featureIndex, 0);
+
+    // Brute force over the same data: the ratio test rejects
+    // (best == second best).
+    const auto brute = matchDescriptors({d}, {d, d}, 64, 0.85);
+    EXPECT_TRUE(brute.empty());
+}
+
+TEST(SpatialMatcher, AgreesWithBruteForceOnCleanData)
+{
+    // Distinct random descriptors, candidates projected exactly at
+    // their features: both matchers find the same pairs.
+    Rng rng(5);
+    std::vector<Feature> features;
+    std::vector<ProjectedCandidate> candidates;
+    std::vector<Descriptor> frameDescs;
+    std::vector<Descriptor> candDescs;
+    for (int i = 0; i < 40; ++i) {
+        const Descriptor d = randomDesc(rng);
+        const float x = static_cast<float>(50 + (i % 8) * 70);
+        const float y = static_cast<float>(50 + (i / 8) * 80);
+        features.push_back(featureAt(x, y, d));
+        frameDescs.push_back(d);
+        ProjectedCandidate c;
+        c.u = x + static_cast<float>(rng.uniform(-5, 5));
+        c.v = y + static_cast<float>(rng.uniform(-5, 5));
+        c.desc = d;
+        candidates.push_back(c);
+        candDescs.push_back(d);
+    }
+    SpatialMatcher matcher(features, 640, 480);
+    const auto spatial = matcher.match(candidates);
+    const auto brute = matchDescriptors(frameDescs, candDescs, 64, 0.85);
+    EXPECT_EQ(spatial.size(), brute.size());
+    for (const auto& m : spatial)
+        EXPECT_EQ(m.featureIndex, m.candidateIndex); // identity pairs
+}
+
+TEST(SpatialMatcher, EmptyInputs)
+{
+    std::vector<Feature> none;
+    SpatialMatcher matcher(none, 640, 480);
+    EXPECT_TRUE(matcher.match({}).empty());
+    ProjectedCandidate c;
+    c.u = 10;
+    c.v = 10;
+    EXPECT_TRUE(matcher.match({c}).empty());
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit and property tests for the latency-statistics substrate. The
+ * paper's predictability constraint hinges on correct tail-percentile
+ * computation, so the quantile math is tested exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace {
+
+using ad::LatencyRecorder;
+using ad::RunningStat;
+
+TEST(LatencyRecorder, EmptyReturnsZeros)
+{
+    LatencyRecorder rec;
+    EXPECT_TRUE(rec.empty());
+    EXPECT_EQ(rec.count(), 0u);
+    EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.99), 0.0);
+    EXPECT_DOUBLE_EQ(rec.worst(), 0.0);
+    const auto s = rec.summary();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.p9999, 0.0);
+}
+
+TEST(LatencyRecorder, SingleSampleIsEveryQuantile)
+{
+    LatencyRecorder rec;
+    rec.record(42.0);
+    EXPECT_DOUBLE_EQ(rec.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(1.0), 42.0);
+    EXPECT_DOUBLE_EQ(rec.worst(), 42.0);
+    EXPECT_DOUBLE_EQ(rec.best(), 42.0);
+}
+
+TEST(LatencyRecorder, NearestRankOnKnownSequence)
+{
+    // 1..100: p50 = 50, p95 = 95, p99 = 99, p99.99 = 100.
+    LatencyRecorder rec;
+    for (int i = 1; i <= 100; ++i)
+        rec.record(i);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.9999), 100.0);
+    EXPECT_DOUBLE_EQ(rec.mean(), 50.5);
+}
+
+TEST(LatencyRecorder, OrderInvariance)
+{
+    std::vector<double> values = {5, 1, 9, 3, 7, 2, 8, 4, 6, 10};
+    LatencyRecorder fwd;
+    LatencyRecorder rev;
+    for (double v : values)
+        fwd.record(v);
+    std::reverse(values.begin(), values.end());
+    for (double v : values)
+        rev.record(v);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(fwd.percentile(q), rev.percentile(q)) << q;
+}
+
+TEST(LatencyRecorder, TailCapturesRareSpike)
+{
+    // 9998 fast samples and two 100x spikes: the mean barely moves but
+    // p99.99 lands on a spike (nearest rank 9999 of 10000) -- the
+    // paper's core argument for tail metrics (Section 2.4.2).
+    LatencyRecorder rec;
+    for (int i = 0; i < 9998; ++i)
+        rec.record(10.0);
+    rec.record(1000.0);
+    rec.record(1000.0);
+    EXPECT_NEAR(rec.mean(), 10.198, 0.001);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.99), 10.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.9999), 1000.0);
+    EXPECT_DOUBLE_EQ(rec.worst(), 1000.0);
+}
+
+TEST(LatencyRecorder, MergeMatchesCombinedRecording)
+{
+    ad::Rng rng(7);
+    LatencyRecorder a;
+    LatencyRecorder b;
+    LatencyRecorder all;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(0.0, 50.0);
+        (i % 2 ? a : b).record(v);
+        all.record(v);
+    }
+    a.merge(b);
+    for (double q : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q));
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+}
+
+TEST(LatencyRecorder, ClearResets)
+{
+    LatencyRecorder rec;
+    rec.record(1.0);
+    rec.record(2.0);
+    rec.clear();
+    EXPECT_TRUE(rec.empty());
+    EXPECT_DOUBLE_EQ(rec.percentile(0.99), 0.0);
+}
+
+TEST(LatencyRecorder, SummaryConsistency)
+{
+    ad::Rng rng(11);
+    LatencyRecorder rec;
+    for (int i = 0; i < 10000; ++i)
+        rec.record(rng.lognormal(1.0, 0.5));
+    const auto s = rec.summary();
+    EXPECT_EQ(s.count, 10000u);
+    EXPECT_LE(s.best, s.p50);
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+    EXPECT_LE(s.p99, s.p9999);
+    EXPECT_LE(s.p9999, s.worst);
+    EXPECT_GT(s.mean, 0.0);
+}
+
+/** Property sweep: quantiles are monotone in q for arbitrary data. */
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInQuantile)
+{
+    ad::Rng rng(GetParam());
+    LatencyRecorder rec;
+    const int n = 1 + static_cast<int>(rng.uniform(0, 2000));
+    for (int i = 0; i < n; ++i)
+        rec.record(rng.lognormal(0.0, 1.5));
+    double prev = rec.percentile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double cur = rec.percentile(q);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+    EXPECT_DOUBLE_EQ(rec.percentile(1.0), rec.worst());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Range(1, 16));
+
+TEST(RunningStat, MatchesClosedForm)
+{
+    RunningStat st;
+    for (int i = 1; i <= 5; ++i)
+        st.push(i);
+    EXPECT_EQ(st.count(), 5u);
+    EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(st.variance(), 2.5);
+    EXPECT_DOUBLE_EQ(st.min(), 1.0);
+    EXPECT_DOUBLE_EQ(st.max(), 5.0);
+    EXPECT_DOUBLE_EQ(st.sum(), 15.0);
+}
+
+TEST(RunningStat, EmptyAndSingle)
+{
+    RunningStat st;
+    EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+    st.push(7.0);
+    EXPECT_DOUBLE_EQ(st.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(st.stddev(), 0.0);
+}
+
+} // namespace

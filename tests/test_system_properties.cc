@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Cross-cutting property tests over the modeled system: invariants
+ * that must hold for *every* configuration, resolution and seed --
+ * monotonicity of latency in resolution, power additivity, constraint
+ * consistency, distribution-shape sanity, and the feasibility
+ * frontier's structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/constraints.hh"
+#include "pipeline/system_model.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::pipeline;
+using accel::Platform;
+
+/** Sweep over every platform assignment. */
+class AllConfigsTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    SystemConfig
+    config() const
+    {
+        return SystemModel::allConfigs()[GetParam()];
+    }
+};
+
+TEST_P(AllConfigsTest, AssessmentInvariants)
+{
+    Rng rng(100 + GetParam());
+    SystemModel model;
+    const auto a = model.assess(config(), 3000, rng);
+
+    // Latency sanity.
+    EXPECT_GT(a.meanMs, 0);
+    EXPECT_GE(a.tailMs, a.meanMs * 0.9);
+    EXPECT_GE(a.endToEnd.worst, a.endToEnd.p9999 * 0.999);
+
+    // Power additivity and positivity.
+    EXPECT_GT(a.power.computeW, 0);
+    EXPECT_NEAR(a.power.totalW(),
+                a.power.computeW + a.power.storageW + a.power.coolingW,
+                1e-9);
+    // Cooling is 1/COP of IT power.
+    EXPECT_NEAR(a.power.coolingW, a.power.itW() / 1.3, 1e-6);
+
+    // Range reduction consistent with power.
+    EXPECT_GT(a.rangeReductionPct, 0);
+    EXPECT_LT(a.rangeReductionPct, 50);
+
+    // Constraint flags consistent with the numbers.
+    EXPECT_EQ(a.meetsLatencyConstraint, a.tailMs <= 100.0);
+    if (a.meetsLatencyOnMeanOnly) {
+        EXPECT_LE(a.meanMs, 100.0);
+        EXPECT_GT(a.tailMs, 100.0);
+    }
+}
+
+TEST_P(AllConfigsTest, LatencyMonotoneInResolution)
+{
+    Rng rng(200 + GetParam());
+    SystemModel model;
+    SystemConfig c = config();
+    double prev = 0;
+    for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
+        c.resolutionScale = scale;
+        const auto s = model.sampleEndToEnd(c, 4000, rng);
+        EXPECT_GT(s.mean, prev * 0.98) << "scale " << scale;
+        prev = s.mean;
+    }
+}
+
+TEST_P(AllConfigsTest, MoreCamerasMorePower)
+{
+    SystemModel model;
+    SystemConfig c = config();
+    c.cameras = 4;
+    const double four = model.computePowerW(c);
+    c.cameras = 8;
+    const double eight = model.computePowerW(c);
+    EXPECT_NEAR(eight, 2 * four, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Every64, AllConfigsTest,
+                         ::testing::Range(0, 64));
+
+TEST(SystemProperties, FeasibilityFrontierIsMonotoneInResolution)
+{
+    // If a configuration fails the latency budget at resolution r, it
+    // must also fail at every higher resolution.
+    Rng rng(7);
+    SystemModel model;
+    for (const auto& base : SystemModel::allConfigs()) {
+        bool failed = false;
+        for (const double scale : {0.5, 1.0, 2.5, 5.0}) {
+            SystemConfig c = base;
+            c.resolutionScale = scale;
+            const bool meets =
+                model.assess(c, 2500, rng).meetsLatencyConstraint;
+            if (failed) {
+                EXPECT_FALSE(meets)
+                    << base.name() << " at scale " << scale;
+            }
+            failed = failed || !meets;
+        }
+    }
+}
+
+TEST(SystemProperties, ConstraintCheckerAgreesWithAssessmentFlags)
+{
+    Rng rng(9);
+    SystemModel model;
+    ConstraintChecker checker;
+    for (int i = 0; i < 64; i += 7) {
+        const auto a =
+            model.assess(SystemModel::allConfigs()[i], 3000, rng);
+        const auto verdicts = checker.check(a);
+        // The performance verdict must agree with the latency flag
+        // whenever the mean-rate requirement is not the binding one.
+        if (a.meanMs <= 100.0) {
+            EXPECT_EQ(verdicts[0].satisfied, a.meetsLatencyConstraint)
+                << a.config.name();
+        }
+    }
+}
+
+TEST(SystemProperties, SeedIndependenceOfPowerDeterminism)
+{
+    // Power is deterministic; latency summaries vary only within
+    // sampling noise across seeds.
+    SystemModel model;
+    SystemConfig c;
+    c.det = Platform::Gpu;
+    c.tra = Platform::Asic;
+    c.loc = Platform::Asic;
+    Rng r1(1);
+    Rng r2(2);
+    const auto a1 = model.assess(c, 40000, r1);
+    const auto a2 = model.assess(c, 40000, r2);
+    EXPECT_DOUBLE_EQ(a1.power.totalW(), a2.power.totalW());
+    EXPECT_NEAR(a1.meanMs, a2.meanMs, a1.meanMs * 0.05);
+    EXPECT_NEAR(a1.tailMs, a2.tailMs, a1.tailMs * 0.15);
+}
+
+} // namespace

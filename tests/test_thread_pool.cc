@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the worker pool that backs the tracker pool and the
+ * measured-mode engine parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace {
+
+using ad::ThreadPool;
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersClampedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 1u);
+    std::atomic<int> counter{0};
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyQueueReturns)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    SUCCEED();
+}
+
+TEST(ThreadPool, TasksCanSubmitFollowUps)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&] {
+        counter.fetch_add(1);
+        pool.submit([&] { counter.fetch_add(10); });
+    });
+    // waitIdle must also cover the follow-up task queued from inside.
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial)
+{
+    ThreadPool pool(4);
+    std::vector<long> partial(16, 0);
+    for (int t = 0; t < 16; ++t) {
+        pool.submit([&partial, t] {
+            long s = 0;
+            for (int i = t * 1000; i < (t + 1) * 1000; ++i)
+                s += i;
+            partial[t] = s;
+        });
+    }
+    pool.waitIdle();
+    long total = 0;
+    for (long p : partial)
+        total += p;
+    EXPECT_EQ(total, 16000L * 15999 / 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+        pool.waitIdle();
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+} // namespace

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the object-tracking engine: NCC localization, single-object
+ * GOTURN-style tracking across frames, the tracker pool's association /
+ * eviction / warm-start behavior, and the DNN-dominated timing split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sensors/camera.hh"
+#include "track/pool.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::track;
+using sensors::Camera;
+using sensors::ObjectClass;
+using sensors::Resolution;
+
+/** Frame with one bright square at (x, y). */
+Image
+frameWithSquare(double x, double y, double side = 20)
+{
+    Image img(160, 120, 70);
+    img.fillRect(BBox(x, y, side, side), 220);
+    // A little texture so NCC has structure.
+    for (int i = 0; i < 6; ++i)
+        img.fillRect(BBox(x + 3 + 2 * i, y + 3 + i, 2, 2), 120);
+    return img;
+}
+
+TEST(Ncc, FindsTemplateLocation)
+{
+    const Image frame = frameWithSquare(60, 40);
+    const Image tmpl = frame.cropResized(BBox(60, 40, 20, 20), 20, 20);
+    int bx, by;
+    double score;
+    nccBestOffset(frame, tmpl, bx, by, score);
+    EXPECT_NEAR(bx, 60, 2);
+    EXPECT_NEAR(by, 40, 2);
+    EXPECT_GT(score, 0.9);
+}
+
+TEST(Ncc, FlatTemplateDoesNotCrash)
+{
+    Image search(40, 40, 100);
+    Image tmpl(10, 10, 100);
+    int bx, by;
+    double score;
+    nccBestOffset(search, tmpl, bx, by, score);
+    EXPECT_GE(bx, 0);
+    EXPECT_GE(by, 0);
+}
+
+TEST(Goturn, TracksMovingSquare)
+{
+    TrackerParams tp;
+    tp.cropSize = 48;
+    tp.width = 0.25;
+    GoturnTracker tracker(tp);
+
+    double x = 40;
+    double y = 40;
+    tracker.init(frameWithSquare(x, y), BBox(x, y, 20, 20));
+    EXPECT_TRUE(tracker.active());
+
+    for (int i = 0; i < 8; ++i) {
+        x += 3;
+        y += 1;
+        const BBox box = tracker.track(frameWithSquare(x, y));
+        EXPECT_NEAR(box.cx(), x + 10, 6.0) << "frame " << i;
+        EXPECT_NEAR(box.cy(), y + 10, 6.0) << "frame " << i;
+    }
+}
+
+TEST(Goturn, DnnDominatesTraCycles)
+{
+    // Figure 7: DNN is 99.0% of TRA. Assert clear dominance at
+    // paper-like crop scale (the NCC refinement is the small "Others"
+    // slice).
+    TrackerParams tp;
+    tp.cropSize = 63;
+    tp.width = 0.5;
+    GoturnTracker tracker(tp);
+    tracker.init(frameWithSquare(40, 40), BBox(40, 40, 20, 20));
+    TrackTimings timings;
+    for (int i = 0; i < 3; ++i)
+        tracker.track(frameWithSquare(43 + 3 * i, 41 + i), &timings);
+    EXPECT_GT(timings.dnnMs / (timings.dnnMs + timings.otherMs), 0.7);
+}
+
+TEST(Goturn, FullScaleProfileIsFcHeavy)
+{
+    const auto p = GoturnTracker::fullScaleProfile();
+    const double fcShare =
+        static_cast<double>(
+            p.weightBytesOfKind(nn::LayerKind::FullyConnected)) /
+        static_cast<double>(p.totalWeightBytes());
+    EXPECT_GT(fcShare, 0.9);
+}
+
+detect::Detection
+det(double x, double y, double w, double h,
+    ObjectClass cls = ObjectClass::Vehicle)
+{
+    detect::Detection d;
+    d.box = BBox(x, y, w, h);
+    d.cls = cls;
+    d.confidence = 0.9;
+    return d;
+}
+
+PoolParams
+smallPool()
+{
+    PoolParams pp;
+    pp.poolSize = 4;
+    pp.tracker.cropSize = 32;
+    pp.tracker.width = 0.1;
+    return pp;
+}
+
+TEST(TrackerPool, CreatesTracksFromDetections)
+{
+    TrackerPool pool(smallPool());
+    const Image frame = frameWithSquare(60, 40);
+    pool.update(frame, {det(60, 40, 20, 20)});
+    ASSERT_EQ(pool.tracks().size(), 1u);
+    EXPECT_EQ(pool.tracks()[0].cls, ObjectClass::Vehicle);
+    EXPECT_EQ(pool.tracks()[0].consecutiveMisses, 0);
+    EXPECT_EQ(pool.idleTrackers(), 3);
+}
+
+TEST(TrackerPool, AssociatesByIouAndKeepsId)
+{
+    TrackerPool pool(smallPool());
+    const Image frame = frameWithSquare(60, 40);
+    pool.update(frame, {det(60, 40, 20, 20)});
+    const int id = pool.tracks()[0].id;
+    // Slightly moved detection matches the same track.
+    pool.update(frameWithSquare(63, 41), {det(63, 41, 20, 20)});
+    ASSERT_EQ(pool.tracks().size(), 1u);
+    EXPECT_EQ(pool.tracks()[0].id, id);
+    EXPECT_NEAR(pool.tracks()[0].velocityPx.x, 3.0, 1e-9);
+}
+
+TEST(TrackerPool, CoastsThroughMissedDetections)
+{
+    TrackerPool pool(smallPool());
+    double x = 60;
+    pool.update(frameWithSquare(x, 40), {det(x, 40, 20, 20)});
+    // Object keeps moving but DET misses it for 3 frames.
+    for (int i = 0; i < 3; ++i) {
+        x += 3;
+        pool.update(frameWithSquare(x, 40), {});
+    }
+    ASSERT_EQ(pool.tracks().size(), 1u);
+    EXPECT_EQ(pool.tracks()[0].consecutiveMisses, 3);
+    EXPECT_NEAR(pool.tracks()[0].box.cx(), x + 10, 8.0);
+}
+
+TEST(TrackerPool, EvictsAfterTenMisses)
+{
+    TrackerPool pool(smallPool());
+    const Image frame = frameWithSquare(60, 40);
+    pool.update(frame, {det(60, 40, 20, 20)});
+    EXPECT_EQ(pool.idleTrackers(), 3);
+    const Image empty(160, 120, 70);
+    for (int i = 0; i < 10; ++i) {
+        pool.update(empty, {});
+    }
+    EXPECT_TRUE(pool.tracks().empty());
+    EXPECT_EQ(pool.idleTrackers(), 4); // tracker returned to the pool
+}
+
+TEST(TrackerPool, PoolExhaustionDropsExtraDetections)
+{
+    TrackerPool pool(smallPool()); // 4 trackers
+    const Image frame(300, 120, 70);
+    std::vector<detect::Detection> dets;
+    for (int i = 0; i < 6; ++i)
+        dets.push_back(det(10 + i * 45, 40, 20, 20));
+    pool.update(frame, dets);
+    EXPECT_EQ(pool.tracks().size(), 4u);
+    EXPECT_EQ(pool.idleTrackers(), 0);
+}
+
+TEST(TrackerPool, DistinctObjectsGetDistinctTracks)
+{
+    TrackerPool pool(smallPool());
+    Image frame(300, 120, 70);
+    frame.fillRect(BBox(40, 40, 20, 20), 220);
+    frame.fillRect(BBox(200, 40, 20, 20), 200);
+    pool.update(frame, {det(40, 40, 20, 20),
+                        det(200, 40, 20, 20, ObjectClass::Pedestrian)});
+    ASSERT_EQ(pool.tracks().size(), 2u);
+    EXPECT_NE(pool.tracks()[0].id, pool.tracks()[1].id);
+}
+
+TEST(TrackerPool, AlwaysRunModeInvokesTrackerPerObject)
+{
+    PoolParams pp = smallPool();
+    pp.alwaysRunTracker = true;
+    TrackerPool pool(pp);
+    Image frame(300, 120, 70);
+    frame.fillRect(BBox(40, 40, 20, 20), 220);
+    frame.fillRect(BBox(200, 40, 20, 20), 220);
+    pool.update(frame, {det(40, 40, 20, 20), det(200, 40, 20, 20)});
+    PoolTimings timings;
+    pool.update(frame, {det(40, 40, 20, 20), det(200, 40, 20, 20)},
+                &timings);
+    // Two live tracks -> two tracker (DNN) runs even though both
+    // matched their detections.
+    EXPECT_EQ(timings.trackerRuns, 2);
+    EXPECT_GT(timings.tracker.dnnMs, 0.0);
+}
+
+} // namespace

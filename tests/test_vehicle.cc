@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the vehicle constraint models: cooling magnification,
+ * storage power, EV range reduction (the Figure 2 anchor points), the
+ * gasoline MPG rule of thumb, cabin thermal behavior and prior-map
+ * storage extrapolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vehicle/energy.hh"
+#include "vehicle/power.hh"
+#include "vehicle/range.hh"
+#include "vehicle/storage.hh"
+#include "vehicle/thermal.hh"
+
+namespace {
+
+using namespace ad::vehicle;
+
+TEST(Power, CoolingOverheadIs77Percent)
+{
+    VehiclePowerModel model;
+    // COP 1.3: a 100 W system imposes ~77 W of cooling (Section
+    // 2.4.5).
+    EXPECT_NEAR(model.coolingOverheadW(100.0), 76.9, 0.1);
+}
+
+TEST(Power, StorageFollowsSeagateRule)
+{
+    VehiclePowerModel model;
+    // ~8 W per 3 TB; the paper's 41 TB US map: ~110 W (Section 5.3).
+    EXPECT_NEAR(model.storagePowerW(3.0), 8.0, 1e-9);
+    EXPECT_NEAR(model.storagePowerW(41.0), 109.3, 0.2);
+}
+
+TEST(Power, BreakdownAddsUp)
+{
+    VehiclePowerModel model;
+    const PowerBreakdown b = model.systemPower(920.0, 41.0);
+    EXPECT_DOUBLE_EQ(b.computeW, 920.0);
+    EXPECT_NEAR(b.storageW, 109.3, 0.2);
+    EXPECT_NEAR(b.coolingW, (920.0 + b.storageW) / 1.3, 1e-9);
+    EXPECT_NEAR(b.totalW(), b.computeW + b.storageW + b.coolingW, 1e-9);
+    // The magnification effect: total is nearly double the compute.
+    EXPECT_GT(b.totalW(), 1.9 * b.computeW);
+}
+
+TEST(Range, BoltPropulsionPower)
+{
+    EvRangeModel ev;
+    // 60 kWh / 238 mi at 56 mph ~= 14.1 kW.
+    EXPECT_NEAR(ev.propulsionWatts() / 1e3, 14.1, 0.2);
+}
+
+TEST(Range, Figure2AnchorPoints)
+{
+    // The paper's Figure 2: 1 CPU + 3 GPUs (~920 W compute) reduces
+    // range ~6% alone and ~11.5% with storage and cooling.
+    EvRangeModel ev;
+    VehiclePowerModel power;
+    EXPECT_NEAR(ev.rangeReductionPct(920.0), 6.1, 0.5);
+    const PowerBreakdown full = power.systemPower(920.0, 41.0);
+    EXPECT_NEAR(ev.rangeReductionPct(full.totalW()), 11.5, 0.8);
+}
+
+TEST(Range, ReductionIsMonotoneAndBounded)
+{
+    EvRangeModel ev;
+    double prev = 0;
+    for (double w = 0; w <= 5000; w += 250) {
+        const double r = ev.rangeReductionPct(w);
+        EXPECT_GE(r, prev);
+        EXPECT_LT(r, 100.0);
+        prev = r;
+    }
+    EXPECT_DOUBLE_EQ(ev.rangeReductionPct(0), 0.0);
+}
+
+TEST(Range, RangeMilesConsistentWithReduction)
+{
+    EvRangeModel ev;
+    const double miles = ev.rangeMiles(1000.0);
+    const double pct = ev.rangeReductionPct(1000.0);
+    EXPECT_NEAR(miles, 238.0 * (1.0 - pct / 100.0), 1e-6);
+}
+
+TEST(Mpg, RuleOfThumbMatchesPaperExample)
+{
+    // 400 W on a 31 MPG 2017 Audi A4: one MPG, i.e. 3.23% (Section
+    // 2.4.5).
+    GasMpgModel gas(31.0);
+    EXPECT_NEAR(gas.mpg(400.0), 30.0, 1e-9);
+    EXPECT_NEAR(gas.mpgReductionPct(400.0), 3.23, 0.01);
+    EXPECT_DOUBLE_EQ(gas.mpg(0.0), 31.0);
+}
+
+TEST(Mpg, FloorsAtZero)
+{
+    GasMpgModel gas(20.0);
+    EXPECT_DOUBLE_EQ(gas.mpg(9000.0), 0.0);
+    EXPECT_DOUBLE_EQ(gas.mpgReductionPct(9000.0), 100.0);
+}
+
+TEST(Thermal, CabinPlacementIsForced)
+{
+    CabinThermalModel thermal;
+    // +105 C ambient vs 75 C chip limit: must be in the cabin.
+    EXPECT_TRUE(thermal.requiresCabinPlacement());
+}
+
+TEST(Thermal, OneKwHeatsTenDegreesPerMinute)
+{
+    CabinThermalModel thermal;
+    EXPECT_NEAR(thermal.heatRateCPerMin(1000.0), 10.0, 1e-9);
+    EXPECT_NEAR(thermal.minutesToHeatBy(1000.0, 10.0), 1.0, 1e-9);
+    EXPECT_NEAR(thermal.minutesToHeatBy(500.0, 10.0), 2.0, 1e-9);
+    EXPECT_GT(thermal.minutesToHeatBy(0.0, 10.0), 1e20);
+}
+
+TEST(Thermal, SteadyStateCoolingEqualsLoad)
+{
+    CabinThermalModel thermal;
+    EXPECT_DOUBLE_EQ(thermal.requiredCoolingCapacityW(750.0), 750.0);
+}
+
+TEST(Storage, PaperImpliedDensity)
+{
+    MapStorageModel storage;
+    // 41 TB over 4.18M miles: ~6.1 MB per km.
+    EXPECT_NEAR(storage.paperImpliedBytesPerKm() / 1e6, 6.1, 0.2);
+}
+
+TEST(Storage, ExtrapolationRoundTrip)
+{
+    MapStorageModel storage;
+    const double density = storage.paperImpliedBytesPerKm();
+    EXPECT_NEAR(storage.usMapTb(density), 41.0, 0.01);
+    EXPECT_NEAR(storage.densityRatioVsPaper(density), 1.0, 1e-9);
+}
+
+TEST(Energy, PerFrameAndPerMileIdentities)
+{
+    EnergyModel model;
+    // 500 W at 10 fps: 50 J per frame.
+    const auto r = model.report(500.0, 10.0, 100.0);
+    EXPECT_NEAR(r.joulesPerFrame, 50.0, 1e-9);
+    // 500 W at 56 mph: ~8.9 Wh per mile.
+    EXPECT_NEAR(r.whPerMile, 500.0 / 56.0, 1e-9);
+    EXPECT_NEAR(r.tripKwh, r.whPerMile * 100.0 / 1e3, 1e-12);
+}
+
+TEST(Energy, BatteryShareMatchesRangeMath)
+{
+    EnergyModel model;
+    // Over the full 238-mile range, a 2.5 kW system consumes
+    // 2.5 kW * (238/56) h = 10.6 kWh of the 60 kWh pack: ~17.7%.
+    const auto r = model.report(2500.0);
+    EXPECT_NEAR(r.batterySharePct, 2.5 * 238.0 / 56.0 / 60.0 * 100.0,
+                0.01);
+}
+
+TEST(Energy, ScalesLinearlyInPower)
+{
+    EnergyModel model;
+    const auto a = model.report(400.0);
+    const auto b = model.report(800.0);
+    EXPECT_NEAR(b.joulesPerFrame, 2 * a.joulesPerFrame, 1e-9);
+    EXPECT_NEAR(b.whPerMile, 2 * a.whPerMile, 1e-9);
+}
+
+TEST(Storage, SparseOrbMapIsFarSmaller)
+{
+    // Our sparse ORB maps measure a few hundred KB per km; the
+    // paper's dense prior maps are thousands of times larger.
+    MapStorageModel storage;
+    const double sparseBytesPerKm = 300e3;
+    EXPECT_LT(storage.usMapTb(sparseBytesPerKm), 3.0);
+    EXPECT_GT(storage.densityRatioVsPaper(sparseBytesPerKm), 10.0);
+}
+
+} // namespace
