@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lut_trig.dir/bench_ablation_lut_trig.cc.o"
+  "CMakeFiles/bench_ablation_lut_trig.dir/bench_ablation_lut_trig.cc.o.d"
+  "bench_ablation_lut_trig"
+  "bench_ablation_lut_trig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lut_trig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_acceleration.dir/bench_fig10_acceleration.cc.o"
+  "CMakeFiles/bench_fig10_acceleration.dir/bench_fig10_acceleration.cc.o.d"
+  "bench_fig10_acceleration"
+  "bench_fig10_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_fe_asic.dir/bench_tab3_fe_asic.cc.o"
+  "CMakeFiles/bench_tab3_fe_asic.dir/bench_tab3_fe_asic.cc.o.d"
+  "bench_tab3_fe_asic"
+  "bench_tab3_fe_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_fe_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

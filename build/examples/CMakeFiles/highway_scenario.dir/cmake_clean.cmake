@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_scenario.dir/highway_scenario.cpp.o"
+  "CMakeFiles/highway_scenario.dir/highway_scenario.cpp.o.d"
+  "highway_scenario"
+  "highway_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_intersection.dir/urban_intersection.cpp.o"
+  "CMakeFiles/urban_intersection.dir/urban_intersection.cpp.o.d"
+  "urban_intersection"
+  "urban_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

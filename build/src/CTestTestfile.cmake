@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nn")
+subdirs("vision")
+subdirs("sensors")
+subdirs("slam")
+subdirs("detect")
+subdirs("track")
+subdirs("fusion")
+subdirs("planning")
+subdirs("accel")
+subdirs("vehicle")
+subdirs("pipeline")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/calibration.cc" "src/accel/CMakeFiles/ad_accel.dir/calibration.cc.o" "gcc" "src/accel/CMakeFiles/ad_accel.dir/calibration.cc.o.d"
+  "/root/repo/src/accel/models.cc" "src/accel/CMakeFiles/ad_accel.dir/models.cc.o" "gcc" "src/accel/CMakeFiles/ad_accel.dir/models.cc.o.d"
+  "/root/repo/src/accel/platform.cc" "src/accel/CMakeFiles/ad_accel.dir/platform.cc.o" "gcc" "src/accel/CMakeFiles/ad_accel.dir/platform.cc.o.d"
+  "/root/repo/src/accel/workload.cc" "src/accel/CMakeFiles/ad_accel.dir/workload.cc.o" "gcc" "src/accel/CMakeFiles/ad_accel.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ad_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_accel.dir/calibration.cc.o"
+  "CMakeFiles/ad_accel.dir/calibration.cc.o.d"
+  "CMakeFiles/ad_accel.dir/models.cc.o"
+  "CMakeFiles/ad_accel.dir/models.cc.o.d"
+  "CMakeFiles/ad_accel.dir/platform.cc.o"
+  "CMakeFiles/ad_accel.dir/platform.cc.o.d"
+  "CMakeFiles/ad_accel.dir/workload.cc.o"
+  "CMakeFiles/ad_accel.dir/workload.cc.o.d"
+  "libad_accel.a"
+  "libad_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

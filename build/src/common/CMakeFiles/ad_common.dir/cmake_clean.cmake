@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_common.dir/config.cc.o"
+  "CMakeFiles/ad_common.dir/config.cc.o.d"
+  "CMakeFiles/ad_common.dir/geometry.cc.o"
+  "CMakeFiles/ad_common.dir/geometry.cc.o.d"
+  "CMakeFiles/ad_common.dir/image.cc.o"
+  "CMakeFiles/ad_common.dir/image.cc.o.d"
+  "CMakeFiles/ad_common.dir/logging.cc.o"
+  "CMakeFiles/ad_common.dir/logging.cc.o.d"
+  "CMakeFiles/ad_common.dir/random.cc.o"
+  "CMakeFiles/ad_common.dir/random.cc.o.d"
+  "CMakeFiles/ad_common.dir/stats.cc.o"
+  "CMakeFiles/ad_common.dir/stats.cc.o.d"
+  "CMakeFiles/ad_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ad_common.dir/thread_pool.cc.o.d"
+  "libad_common.a"
+  "libad_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

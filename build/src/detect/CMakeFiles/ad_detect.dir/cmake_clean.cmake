@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_detect.dir/yolo.cc.o"
+  "CMakeFiles/ad_detect.dir/yolo.cc.o.d"
+  "libad_detect.a"
+  "libad_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

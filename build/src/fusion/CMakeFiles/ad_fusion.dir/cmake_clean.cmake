@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_fusion.dir/fusion.cc.o"
+  "CMakeFiles/ad_fusion.dir/fusion.cc.o.d"
+  "CMakeFiles/ad_fusion.dir/kalman.cc.o"
+  "CMakeFiles/ad_fusion.dir/kalman.cc.o.d"
+  "libad_fusion.a"
+  "libad_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

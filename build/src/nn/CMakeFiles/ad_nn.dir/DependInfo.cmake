@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gemm.cc" "src/nn/CMakeFiles/ad_nn.dir/gemm.cc.o" "gcc" "src/nn/CMakeFiles/ad_nn.dir/gemm.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/ad_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/ad_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/ad_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/ad_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/ad_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/ad_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/sparse.cc" "src/nn/CMakeFiles/ad_nn.dir/sparse.cc.o" "gcc" "src/nn/CMakeFiles/ad_nn.dir/sparse.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/ad_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/ad_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

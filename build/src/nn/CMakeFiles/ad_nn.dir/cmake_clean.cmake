@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_nn.dir/gemm.cc.o"
+  "CMakeFiles/ad_nn.dir/gemm.cc.o.d"
+  "CMakeFiles/ad_nn.dir/layers.cc.o"
+  "CMakeFiles/ad_nn.dir/layers.cc.o.d"
+  "CMakeFiles/ad_nn.dir/models.cc.o"
+  "CMakeFiles/ad_nn.dir/models.cc.o.d"
+  "CMakeFiles/ad_nn.dir/network.cc.o"
+  "CMakeFiles/ad_nn.dir/network.cc.o.d"
+  "CMakeFiles/ad_nn.dir/sparse.cc.o"
+  "CMakeFiles/ad_nn.dir/sparse.cc.o.d"
+  "CMakeFiles/ad_nn.dir/tensor.cc.o"
+  "CMakeFiles/ad_nn.dir/tensor.cc.o.d"
+  "libad_nn.a"
+  "libad_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/constraints.cc" "src/pipeline/CMakeFiles/ad_pipeline.dir/constraints.cc.o" "gcc" "src/pipeline/CMakeFiles/ad_pipeline.dir/constraints.cc.o.d"
+  "/root/repo/src/pipeline/multi_camera.cc" "src/pipeline/CMakeFiles/ad_pipeline.dir/multi_camera.cc.o" "gcc" "src/pipeline/CMakeFiles/ad_pipeline.dir/multi_camera.cc.o.d"
+  "/root/repo/src/pipeline/pipeline.cc" "src/pipeline/CMakeFiles/ad_pipeline.dir/pipeline.cc.o" "gcc" "src/pipeline/CMakeFiles/ad_pipeline.dir/pipeline.cc.o.d"
+  "/root/repo/src/pipeline/scheduler.cc" "src/pipeline/CMakeFiles/ad_pipeline.dir/scheduler.cc.o" "gcc" "src/pipeline/CMakeFiles/ad_pipeline.dir/scheduler.cc.o.d"
+  "/root/repo/src/pipeline/simulation.cc" "src/pipeline/CMakeFiles/ad_pipeline.dir/simulation.cc.o" "gcc" "src/pipeline/CMakeFiles/ad_pipeline.dir/simulation.cc.o.d"
+  "/root/repo/src/pipeline/system_model.cc" "src/pipeline/CMakeFiles/ad_pipeline.dir/system_model.cc.o" "gcc" "src/pipeline/CMakeFiles/ad_pipeline.dir/system_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ad_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/ad_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/ad_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/ad_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/planning/CMakeFiles/ad_planning.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/ad_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/ad_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/ad_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/ad_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ad_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_pipeline.dir/constraints.cc.o"
+  "CMakeFiles/ad_pipeline.dir/constraints.cc.o.d"
+  "CMakeFiles/ad_pipeline.dir/multi_camera.cc.o"
+  "CMakeFiles/ad_pipeline.dir/multi_camera.cc.o.d"
+  "CMakeFiles/ad_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/ad_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/ad_pipeline.dir/scheduler.cc.o"
+  "CMakeFiles/ad_pipeline.dir/scheduler.cc.o.d"
+  "CMakeFiles/ad_pipeline.dir/simulation.cc.o"
+  "CMakeFiles/ad_pipeline.dir/simulation.cc.o.d"
+  "CMakeFiles/ad_pipeline.dir/system_model.cc.o"
+  "CMakeFiles/ad_pipeline.dir/system_model.cc.o.d"
+  "libad_pipeline.a"
+  "libad_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

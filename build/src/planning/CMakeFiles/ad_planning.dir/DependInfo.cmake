@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planning/conformal.cc" "src/planning/CMakeFiles/ad_planning.dir/conformal.cc.o" "gcc" "src/planning/CMakeFiles/ad_planning.dir/conformal.cc.o.d"
+  "/root/repo/src/planning/control.cc" "src/planning/CMakeFiles/ad_planning.dir/control.cc.o" "gcc" "src/planning/CMakeFiles/ad_planning.dir/control.cc.o.d"
+  "/root/repo/src/planning/lattice.cc" "src/planning/CMakeFiles/ad_planning.dir/lattice.cc.o" "gcc" "src/planning/CMakeFiles/ad_planning.dir/lattice.cc.o.d"
+  "/root/repo/src/planning/mission.cc" "src/planning/CMakeFiles/ad_planning.dir/mission.cc.o" "gcc" "src/planning/CMakeFiles/ad_planning.dir/mission.cc.o.d"
+  "/root/repo/src/planning/motion_planner.cc" "src/planning/CMakeFiles/ad_planning.dir/motion_planner.cc.o" "gcc" "src/planning/CMakeFiles/ad_planning.dir/motion_planner.cc.o.d"
+  "/root/repo/src/planning/trajectory.cc" "src/planning/CMakeFiles/ad_planning.dir/trajectory.cc.o" "gcc" "src/planning/CMakeFiles/ad_planning.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

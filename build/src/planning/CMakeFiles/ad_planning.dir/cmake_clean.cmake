@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_planning.dir/conformal.cc.o"
+  "CMakeFiles/ad_planning.dir/conformal.cc.o.d"
+  "CMakeFiles/ad_planning.dir/control.cc.o"
+  "CMakeFiles/ad_planning.dir/control.cc.o.d"
+  "CMakeFiles/ad_planning.dir/lattice.cc.o"
+  "CMakeFiles/ad_planning.dir/lattice.cc.o.d"
+  "CMakeFiles/ad_planning.dir/mission.cc.o"
+  "CMakeFiles/ad_planning.dir/mission.cc.o.d"
+  "CMakeFiles/ad_planning.dir/motion_planner.cc.o"
+  "CMakeFiles/ad_planning.dir/motion_planner.cc.o.d"
+  "CMakeFiles/ad_planning.dir/trajectory.cc.o"
+  "CMakeFiles/ad_planning.dir/trajectory.cc.o.d"
+  "libad_planning.a"
+  "libad_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/camera.cc" "src/sensors/CMakeFiles/ad_sensors.dir/camera.cc.o" "gcc" "src/sensors/CMakeFiles/ad_sensors.dir/camera.cc.o.d"
+  "/root/repo/src/sensors/odometry.cc" "src/sensors/CMakeFiles/ad_sensors.dir/odometry.cc.o" "gcc" "src/sensors/CMakeFiles/ad_sensors.dir/odometry.cc.o.d"
+  "/root/repo/src/sensors/scenario.cc" "src/sensors/CMakeFiles/ad_sensors.dir/scenario.cc.o" "gcc" "src/sensors/CMakeFiles/ad_sensors.dir/scenario.cc.o.d"
+  "/root/repo/src/sensors/world.cc" "src/sensors/CMakeFiles/ad_sensors.dir/world.cc.o" "gcc" "src/sensors/CMakeFiles/ad_sensors.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

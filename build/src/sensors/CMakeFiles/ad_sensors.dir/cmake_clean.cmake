@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_sensors.dir/camera.cc.o"
+  "CMakeFiles/ad_sensors.dir/camera.cc.o.d"
+  "CMakeFiles/ad_sensors.dir/odometry.cc.o"
+  "CMakeFiles/ad_sensors.dir/odometry.cc.o.d"
+  "CMakeFiles/ad_sensors.dir/scenario.cc.o"
+  "CMakeFiles/ad_sensors.dir/scenario.cc.o.d"
+  "CMakeFiles/ad_sensors.dir/world.cc.o"
+  "CMakeFiles/ad_sensors.dir/world.cc.o.d"
+  "libad_sensors.a"
+  "libad_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

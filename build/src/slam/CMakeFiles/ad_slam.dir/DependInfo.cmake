@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/localizer.cc" "src/slam/CMakeFiles/ad_slam.dir/localizer.cc.o" "gcc" "src/slam/CMakeFiles/ad_slam.dir/localizer.cc.o.d"
+  "/root/repo/src/slam/map.cc" "src/slam/CMakeFiles/ad_slam.dir/map.cc.o" "gcc" "src/slam/CMakeFiles/ad_slam.dir/map.cc.o.d"
+  "/root/repo/src/slam/mapping.cc" "src/slam/CMakeFiles/ad_slam.dir/mapping.cc.o" "gcc" "src/slam/CMakeFiles/ad_slam.dir/mapping.cc.o.d"
+  "/root/repo/src/slam/pose_solver.cc" "src/slam/CMakeFiles/ad_slam.dir/pose_solver.cc.o" "gcc" "src/slam/CMakeFiles/ad_slam.dir/pose_solver.cc.o.d"
+  "/root/repo/src/slam/tiled_store.cc" "src/slam/CMakeFiles/ad_slam.dir/tiled_store.cc.o" "gcc" "src/slam/CMakeFiles/ad_slam.dir/tiled_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/ad_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/ad_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_slam.dir/localizer.cc.o"
+  "CMakeFiles/ad_slam.dir/localizer.cc.o.d"
+  "CMakeFiles/ad_slam.dir/map.cc.o"
+  "CMakeFiles/ad_slam.dir/map.cc.o.d"
+  "CMakeFiles/ad_slam.dir/mapping.cc.o"
+  "CMakeFiles/ad_slam.dir/mapping.cc.o.d"
+  "CMakeFiles/ad_slam.dir/pose_solver.cc.o"
+  "CMakeFiles/ad_slam.dir/pose_solver.cc.o.d"
+  "CMakeFiles/ad_slam.dir/tiled_store.cc.o"
+  "CMakeFiles/ad_slam.dir/tiled_store.cc.o.d"
+  "libad_slam.a"
+  "libad_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

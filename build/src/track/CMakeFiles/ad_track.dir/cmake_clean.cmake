@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_track.dir/goturn.cc.o"
+  "CMakeFiles/ad_track.dir/goturn.cc.o.d"
+  "CMakeFiles/ad_track.dir/pool.cc.o"
+  "CMakeFiles/ad_track.dir/pool.cc.o.d"
+  "libad_track.a"
+  "libad_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/energy.cc" "src/vehicle/CMakeFiles/ad_vehicle.dir/energy.cc.o" "gcc" "src/vehicle/CMakeFiles/ad_vehicle.dir/energy.cc.o.d"
+  "/root/repo/src/vehicle/power.cc" "src/vehicle/CMakeFiles/ad_vehicle.dir/power.cc.o" "gcc" "src/vehicle/CMakeFiles/ad_vehicle.dir/power.cc.o.d"
+  "/root/repo/src/vehicle/range.cc" "src/vehicle/CMakeFiles/ad_vehicle.dir/range.cc.o" "gcc" "src/vehicle/CMakeFiles/ad_vehicle.dir/range.cc.o.d"
+  "/root/repo/src/vehicle/storage.cc" "src/vehicle/CMakeFiles/ad_vehicle.dir/storage.cc.o" "gcc" "src/vehicle/CMakeFiles/ad_vehicle.dir/storage.cc.o.d"
+  "/root/repo/src/vehicle/thermal.cc" "src/vehicle/CMakeFiles/ad_vehicle.dir/thermal.cc.o" "gcc" "src/vehicle/CMakeFiles/ad_vehicle.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_vehicle.dir/energy.cc.o"
+  "CMakeFiles/ad_vehicle.dir/energy.cc.o.d"
+  "CMakeFiles/ad_vehicle.dir/power.cc.o"
+  "CMakeFiles/ad_vehicle.dir/power.cc.o.d"
+  "CMakeFiles/ad_vehicle.dir/range.cc.o"
+  "CMakeFiles/ad_vehicle.dir/range.cc.o.d"
+  "CMakeFiles/ad_vehicle.dir/storage.cc.o"
+  "CMakeFiles/ad_vehicle.dir/storage.cc.o.d"
+  "CMakeFiles/ad_vehicle.dir/thermal.cc.o"
+  "CMakeFiles/ad_vehicle.dir/thermal.cc.o.d"
+  "libad_vehicle.a"
+  "libad_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/brief.cc" "src/vision/CMakeFiles/ad_vision.dir/brief.cc.o" "gcc" "src/vision/CMakeFiles/ad_vision.dir/brief.cc.o.d"
+  "/root/repo/src/vision/fast.cc" "src/vision/CMakeFiles/ad_vision.dir/fast.cc.o" "gcc" "src/vision/CMakeFiles/ad_vision.dir/fast.cc.o.d"
+  "/root/repo/src/vision/lut_trig.cc" "src/vision/CMakeFiles/ad_vision.dir/lut_trig.cc.o" "gcc" "src/vision/CMakeFiles/ad_vision.dir/lut_trig.cc.o.d"
+  "/root/repo/src/vision/orb.cc" "src/vision/CMakeFiles/ad_vision.dir/orb.cc.o" "gcc" "src/vision/CMakeFiles/ad_vision.dir/orb.cc.o.d"
+  "/root/repo/src/vision/spatial_matcher.cc" "src/vision/CMakeFiles/ad_vision.dir/spatial_matcher.cc.o" "gcc" "src/vision/CMakeFiles/ad_vision.dir/spatial_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_vision.dir/brief.cc.o"
+  "CMakeFiles/ad_vision.dir/brief.cc.o.d"
+  "CMakeFiles/ad_vision.dir/fast.cc.o"
+  "CMakeFiles/ad_vision.dir/fast.cc.o.d"
+  "CMakeFiles/ad_vision.dir/lut_trig.cc.o"
+  "CMakeFiles/ad_vision.dir/lut_trig.cc.o.d"
+  "CMakeFiles/ad_vision.dir/orb.cc.o"
+  "CMakeFiles/ad_vision.dir/orb.cc.o.d"
+  "CMakeFiles/ad_vision.dir/spatial_matcher.cc.o"
+  "CMakeFiles/ad_vision.dir/spatial_matcher.cc.o.d"
+  "libad_vision.a"
+  "libad_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

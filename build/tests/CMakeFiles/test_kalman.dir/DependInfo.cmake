@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kalman.cc" "tests/CMakeFiles/test_kalman.dir/test_kalman.cc.o" "gcc" "tests/CMakeFiles/test_kalman.dir/test_kalman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/ad_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/ad_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/ad_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ad_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/ad_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_odometry.dir/test_odometry.cc.o"
+  "CMakeFiles/test_odometry.dir/test_odometry.cc.o.d"
+  "test_odometry"
+  "test_odometry.pdb"
+  "test_odometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_odometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planning.dir/test_planning.cc.o"
+  "CMakeFiles/test_planning.dir/test_planning.cc.o.d"
+  "test_planning"
+  "test_planning.pdb"
+  "test_planning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slam.dir/test_slam.cc.o"
+  "CMakeFiles/test_slam.dir/test_slam.cc.o.d"
+  "test_slam"
+  "test_slam.pdb"
+  "test_slam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

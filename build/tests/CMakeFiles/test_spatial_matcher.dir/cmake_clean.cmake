@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_matcher.dir/test_spatial_matcher.cc.o"
+  "CMakeFiles/test_spatial_matcher.dir/test_spatial_matcher.cc.o.d"
+  "test_spatial_matcher"
+  "test_spatial_matcher.pdb"
+  "test_spatial_matcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

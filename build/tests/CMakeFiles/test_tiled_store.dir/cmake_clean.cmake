@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled_store.dir/test_tiled_store.cc.o"
+  "CMakeFiles/test_tiled_store.dir/test_tiled_store.cc.o.d"
+  "test_tiled_store"
+  "test_tiled_store.pdb"
+  "test_tiled_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/admap.cc" "tools/CMakeFiles/admap.dir/admap.cc.o" "gcc" "tools/CMakeFiles/admap.dir/admap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/ad_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/ad_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/ad_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/ad_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admap.dir/admap.cc.o"
+  "CMakeFiles/admap.dir/admap.cc.o.d"
+  "admap"
+  "admap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

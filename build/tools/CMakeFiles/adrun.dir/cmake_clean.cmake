@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adrun.dir/adrun.cc.o"
+  "CMakeFiles/adrun.dir/adrun.cc.o.d"
+  "adrun"
+  "adrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
