@@ -10,20 +10,30 @@
  * (DET:GPU TRA:ASIC LOC:ASIC) reaches 16.1 ms; some configurations
  * meet 100 ms on mean latency but fail at the tail (Finding 4); the
  * headline tail reductions are 169x (GPU), 10x (FPGA), 93x (ASIC).
+ *
+ * --threads=N shrinks CPU-assigned engines by the parallel kernel
+ * layer's modeled Amdahl speedup (SystemConfig::cpuThreads); the
+ * default 1 reproduces the paper's single-socket anchors.
  */
 
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "common/config.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace ad;
     using namespace ad::pipeline;
+    const Config cfg = Config::fromArgs(argc, argv);
+    const int threads = cfg.getInt("threads", 1);
     bench::printHeader("Figure 11",
                        "end-to-end latency across configurations "
                        "(100 ms budget)");
+    if (threads > 1)
+        std::printf("(CPU engines modeled with %d kernel-layer "
+                    "threads)\n", threads);
 
     Rng rng(11);
     SystemModel model;
@@ -34,7 +44,8 @@ main()
     double cpuTail = 0;
     double bestTail = 1e18;
     std::string bestName;
-    for (const auto& config : bench::paperConfigs()) {
+    for (auto config : bench::paperConfigs()) {
+        config.cpuThreads = threads;
         const auto s = model.sampleEndToEnd(config, kSamples, rng);
         if (config.det == accel::Platform::Cpu &&
             config.loc == accel::Platform::Cpu)
@@ -61,6 +72,7 @@ main()
                          accel::Platform::Asic}) {
         SystemConfig c;
         c.det = c.tra = c.loc = p;
+        c.cpuThreads = threads;
         const auto s = model.sampleEndToEnd(c, kSamples, rng);
         std::printf("  all-%-5s %8.1f ms -> %6.0fx (paper: %s)\n",
                     accel::platformName(p), s.p9999, cpuTail / s.p9999,

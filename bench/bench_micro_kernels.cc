@@ -5,11 +5,21 @@
  * detection and rBRIEF description (feature extraction), descriptor
  * matching, NMS, and the two motion planners. These quantify where
  * measured-mode cycles go and guard against performance regressions.
+ *
+ * On top of the google-benchmark suite, main() runs a fixed GEMM
+ * scaling sweep (seed blocked kernel vs packed kernel at 1/2/4/8
+ * threads) and records it to BENCH_gemm.json, the artifact backing
+ * the parallel-kernel-layer speedup claim in DESIGN.md.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <functional>
+#include <thread>
+
 #include "common/random.hh"
+#include "common/time.hh"
 #include "detect/yolo.hh"
 #include "nn/gemm.hh"
 #include "nn/models.hh"
@@ -42,6 +52,60 @@ BM_Gemm(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmBlockedReference(benchmark::State& state)
+{
+    // The seed (pre-packing) kernel, kept as the speedup baseline.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    std::vector<float> a(n * n);
+    std::vector<float> b(n * n);
+    std::vector<float> c(n * n, 0.0f);
+    for (auto& v : a)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : b)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        nn::gemmBlockedReference(n, n, n, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlockedReference)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmParallel(benchmark::State& state)
+{
+    // The packed kernel sharded over the pool: range(0) = matrix
+    // order, range(1) = nn.threads.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const int threads = static_cast<int>(state.range(1));
+    const nn::KernelContext ctx = nn::kernelContext(threads);
+    Rng rng(1);
+    std::vector<float> a(n * n);
+    std::vector<float> b(n * n);
+    std::vector<float> c(n * n, 0.0f);
+    for (auto& v : a)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : b)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        nn::gemm(n, n, n, a.data(), b.data(), c.data(), ctx);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    state.counters["threads"] = threads;
+}
+BENCHMARK(BM_GemmParallel)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8});
 
 void
 BM_Conv2D(benchmark::State& state)
@@ -234,6 +298,83 @@ BM_LatticePlan(benchmark::State& state)
 }
 BENCHMARK(BM_LatticePlan)->Arg(0)->Arg(20);
 
+void
+runGemmScalingSweep(const char* path)
+{
+    constexpr std::size_t n = 512;
+    constexpr int reps = 3;
+    Rng rng(1);
+    std::vector<float> a(n * n);
+    std::vector<float> b(n * n);
+    std::vector<float> c(n * n);
+    for (auto& v : a)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : b)
+        v = static_cast<float>(rng.uniform(-1, 1));
+
+    const auto bestOf = [&](const std::function<void()>& fn) {
+        double best = 0;
+        for (int r = 0; r < reps; ++r) {
+            std::fill(c.begin(), c.end(), 0.0f);
+            Stopwatch watch;
+            fn();
+            const double ms = watch.elapsedMs();
+            if (r == 0 || ms < best)
+                best = ms;
+        }
+        return best;
+    };
+
+    const double baselineMs = bestOf([&] {
+        nn::gemmBlockedReference(n, n, n, a.data(), b.data(), c.data());
+    });
+
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(f, "{\n  \"kernel\": \"sgemm\",\n");
+    std::fprintf(f, "  \"m\": %zu, \"n\": %zu, \"k\": %zu,\n", n, n, n);
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"baseline\": \"gemmBlockedReference\",\n");
+    std::fprintf(f, "  \"baseline_ms\": %.3f,\n", baselineMs);
+    std::fprintf(f, "  \"results\": [\n");
+    const int threadCounts[] = {1, 2, 4, 8};
+    bool first = true;
+    for (const int threads : threadCounts) {
+        const nn::KernelContext ctx = nn::kernelContext(threads);
+        const double ms = bestOf([&] {
+            nn::gemm(n, n, n, a.data(), b.data(), c.data(), ctx);
+        });
+        if (!first)
+            std::fprintf(f, ",\n");
+        first = false;
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"ms\": %.3f, "
+                     "\"speedup_vs_baseline\": %.2f}",
+                     threads, ms, baselineMs / ms);
+        std::printf("gemm %zux%zux%zu threads=%d: %.3f ms "
+                    "(%.2fx vs seed kernel)\n",
+                    n, n, n, threads, ms, baselineMs / ms);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // The JSON sweep runs first so the scaling artifact is produced
+    // even when --benchmark_filter excludes the GEMM benches.
+    runGemmScalingSweep("BENCH_gemm.json");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

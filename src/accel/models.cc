@@ -244,6 +244,24 @@ standardWorkloadRef()
     return w;
 }
 
+double
+cpuParallelSpeedup(Component c, int threads)
+{
+    if (threads <= 1)
+        return 1.0;
+    // Parallel fractions from the Figure 7 cycle breakdown: what the
+    // row-sharded kernel layer covers on each engine.
+    double parallel = 0.0;
+    switch (c) {
+      case Component::Det: parallel = 0.994; break; // DNN share
+      case Component::Tra: parallel = 0.99;  break; // DNN share
+      case Component::Loc: parallel = 0.70;  break; // RANSAC counting
+      case Component::Fusion:
+      case Component::MotPlan: return 1.0;   // below the knob's reach
+    }
+    return 1.0 / ((1.0 - parallel) + parallel / threads);
+}
+
 FeAsicSpec
 feAsicSpec()
 {

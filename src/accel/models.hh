@@ -160,6 +160,17 @@ class AsicModel : public PlatformModel
 /** Shared immutable model instance for a platform. */
 const PlatformModel& platformModel(Platform p);
 
+/**
+ * Amdahl's-law speedup of a component on the multicore CPU when its
+ * kernel layer shards across `threads` cores. The parallel fractions
+ * come from the Figure 7 cycle breakdown: the DNN share of DET
+ * (~99.4%) and TRA (~99%) shards row-wise through the parallel GEMM,
+ * while LOC's parallel share is only its RANSAC counting pass (~70%)
+ * -- feature extraction stays serial, which is why multicore helps
+ * LOC least and the tail argument survives more cores.
+ */
+double cpuParallelSpeedup(Component c, int threads);
+
 /** The standard (paper-scale, KITTI-resolution) workload, cached. */
 const Workload& standardWorkloadRef();
 

@@ -97,6 +97,15 @@ LatencyDistribution::tail9999() const
     return baseMs * std::exp(z9999 * sigma);
 }
 
+LatencyDistribution
+LatencyDistribution::scaledBy(double factor) const
+{
+    LatencyDistribution d = *this;
+    d.baseMs *= factor;
+    d.spikeMs *= factor;
+    return d;
+}
+
 LatencySummary
 LatencyDistribution::summarize(int n, Rng& rng) const
 {

@@ -90,6 +90,14 @@ struct LatencyDistribution
     LatencySummary summarize(int n, Rng& rng) const;
 
     /**
+     * The same distribution with all latency scales (body median and
+     * spike mean) multiplied by `factor`; the shape (sigma, spike
+     * probability) is unchanged. Used to apply modeled multicore
+     * speedups to the measured single-socket CPU anchors.
+     */
+    LatencyDistribution scaledBy(double factor) const;
+
+    /**
      * Fit a distribution to a target (mean, p99.99) pair with the
      * given spike probability (0 for pure lognormal). Used to anchor
      * the platform models to measured data.

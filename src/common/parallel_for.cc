@@ -1,0 +1,124 @@
+#include "common/parallel_for.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hh"
+
+namespace ad {
+
+namespace {
+
+/** Completion latch + first-exception capture shared by the chunks. */
+struct ForkState
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+
+    void
+    finish(std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (e && !error)
+            error = std::move(e);
+        if (--remaining == 0)
+            done.notify_all();
+    }
+};
+
+} // namespace
+
+void
+parallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+            std::size_t grain,
+            const std::function<void(std::size_t, std::size_t)>& fn,
+            std::size_t maxThreads)
+{
+    if (end <= begin)
+        return;
+    const std::size_t range = end - begin;
+    if (grain == 0)
+        grain = 1;
+
+    std::size_t limit = maxThreads;
+    if (limit == 0)
+        limit = pool ? pool->workerCount() + 1 : 1;
+    const std::size_t chunks =
+        std::min(limit, (range + grain - 1) / grain);
+
+    if (!pool || chunks <= 1 || ThreadPool::insideWorker()) {
+        fn(begin, end);
+        return;
+    }
+
+    // Static even split: chunk i covers base indices plus one extra for
+    // the first `rem` chunks. Boundaries depend only on (range, chunks).
+    const std::size_t base = range / chunks;
+    const std::size_t rem = range % chunks;
+    const auto chunkBounds = [&](std::size_t i) {
+        const std::size_t lo =
+            begin + i * base + std::min<std::size_t>(i, rem);
+        return std::pair<std::size_t, std::size_t>(
+            lo, lo + base + (i < rem ? 1 : 0));
+    };
+
+    ForkState state;
+    state.remaining = chunks - 1;
+    std::size_t submitted = 0;
+    for (std::size_t i = 1; i < chunks; ++i) {
+        const auto [lo, hi] = chunkBounds(i);
+        const bool accepted = pool->submit([&fn, &state, lo, hi] {
+            std::exception_ptr e;
+            try {
+                fn(lo, hi);
+            } catch (...) {
+                e = std::current_exception();
+            }
+            state.finish(std::move(e));
+        });
+        if (!accepted)
+            break; // pool shutting down; run the rest inline below
+        ++submitted;
+    }
+
+    // The caller executes chunk 0 (and any chunks a shutting-down pool
+    // refused) instead of idling on the latch.
+    std::exception_ptr callerError;
+    try {
+        const auto [lo, hi] = chunkBounds(0);
+        fn(lo, hi);
+        for (std::size_t i = submitted + 1; i < chunks; ++i) {
+            const auto [l2, h2] = chunkBounds(i);
+            fn(l2, h2);
+        }
+    } catch (...) {
+        callerError = std::current_exception();
+    }
+
+    if (submitted > 0) {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.remaining -= chunks - 1 - submitted; // never-submitted
+        state.done.wait(lock, [&state] { return state.remaining == 0; });
+    }
+    if (callerError)
+        std::rethrow_exception(callerError);
+    if (state.error)
+        std::rethrow_exception(state.error);
+}
+
+ThreadPool&
+sharedWorkerPool()
+{
+    static ThreadPool pool([] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hw > 1 ? hw - 1 : 1);
+    }());
+    return pool;
+}
+
+} // namespace ad

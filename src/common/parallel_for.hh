@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic data-parallel loop primitive on top of ad::ThreadPool.
+ *
+ * parallelFor splits an index range into contiguous chunks and runs
+ * each chunk as one pool task (the calling thread executes the first
+ * chunk itself).
+ *
+ * Determinism contract: the body receives a half-open [begin, end)
+ * sub-range and must compute each index's result independently of how
+ * the range was chunked -- disjoint outputs, no cross-index
+ * accumulation across chunk boundaries. Under that contract the
+ * overall result is bitwise-identical for every worker count,
+ * including fully serial execution, which is what lets the NN kernels
+ * reproduce paper figures exactly regardless of `nn.threads`. The
+ * kernels uphold it by sharding only over output rows while keeping
+ * each row's reduction order fixed.
+ */
+
+#ifndef AD_COMMON_PARALLEL_FOR_HH
+#define AD_COMMON_PARALLEL_FOR_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace ad {
+
+class ThreadPool;
+
+/**
+ * Run fn over [begin, end) in parallel chunks.
+ *
+ * The range is split into at most min(maxThreads, workers + 1) chunks
+ * of at least `grain` indices each (static partitioning; chunk
+ * boundaries depend only on the range and chunk count). Runs inline
+ * when pool is null, the range fits one grain, only one chunk would
+ * result, or the caller is itself a pool worker (nested parallelFor
+ * degrades to serial instead of risking worker starvation).
+ *
+ * Exceptions thrown by fn are caught per chunk; the first one is
+ * rethrown on the calling thread after every chunk has finished, so a
+ * failing shard can never leave the pool deadlocked.
+ *
+ * @param pool worker pool, or nullptr for serial execution.
+ * @param begin first index.
+ * @param end one past the last index.
+ * @param grain minimum indices per chunk (0 is treated as 1).
+ * @param fn body invoked as fn(chunkBegin, chunkEnd).
+ * @param maxThreads cap on concurrent chunks; 0 means workers + 1.
+ */
+void parallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t maxThreads = 0);
+
+/**
+ * Lazily created process-wide worker pool for kernel sharding, sized
+ * hardware_concurrency - 1 (the calling thread is the extra worker in
+ * every parallelFor). Never use it for tasks that block on other
+ * shared-pool tasks.
+ */
+ThreadPool& sharedWorkerPool();
+
+} // namespace ad
+
+#endif // AD_COMMON_PARALLEL_FOR_HH

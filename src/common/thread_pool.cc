@@ -1,8 +1,24 @@
 #include "common/thread_pool.hh"
 
+#include <exception>
 #include <utility>
 
+#include "common/logging.hh"
+
 namespace ad {
+
+namespace {
+
+/// Set for the duration of workerLoop on pool worker threads.
+thread_local bool tlsInsideWorker = false;
+
+} // namespace
+
+bool
+ThreadPool::insideWorker()
+{
+    return tlsInsideWorker;
+}
 
 ThreadPool::ThreadPool(std::size_t workers)
 {
@@ -15,23 +31,37 @@ ThreadPool::ThreadPool(std::size_t workers)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
         stopping_ = true;
     }
     taskReady_.notify_all();
     for (auto& t : threads_)
-        t.join();
+        if (t.joinable())
+            t.join();
 }
 
-void
+bool
 ThreadPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) {
+            warn("ThreadPool: task submitted after shutdown; dropped");
+            return false;
+        }
         queue_.push_back(std::move(task));
     }
     taskReady_.notify_one();
+    return true;
 }
 
 void
@@ -44,6 +74,7 @@ ThreadPool::waitIdle()
 void
 ThreadPool::workerLoop()
 {
+    tlsInsideWorker = true;
     for (;;) {
         std::function<void()> task;
         {
@@ -52,12 +83,23 @@ ThreadPool::workerLoop()
                 return stopping_ || !queue_.empty();
             });
             if (stopping_ && queue_.empty())
-                return;
+                break;
             task = std::move(queue_.front());
             queue_.pop_front();
             ++active_;
         }
-        task();
+        // A throwing task must not unwind out of the worker (that would
+        // std::terminate) nor skip the active count bookkeeping below
+        // (that would deadlock every waitIdle forever after).
+        try {
+            task();
+        } catch (const std::exception& e) {
+            failedTasks_.fetch_add(1, std::memory_order_relaxed);
+            warn("ThreadPool: task threw: ", e.what());
+        } catch (...) {
+            failedTasks_.fetch_add(1, std::memory_order_relaxed);
+            warn("ThreadPool: task threw a non-std exception");
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --active_;
@@ -65,6 +107,7 @@ ThreadPool::workerLoop()
                 idle_.notify_all();
         }
     }
+    tlsInsideWorker = false;
 }
 
 } // namespace ad

@@ -1,15 +1,17 @@
 /**
  * @file
- * Fixed-size worker pool used by the object-tracking engine: the paper
+ * Fixed-size worker pool shared by the compute engines: the paper
  * (Section 3.1.2) launches a pool of trackers at startup so that
- * incoming tracking requests never pay initialization cost. The pool
- * also parallelizes the DET and LOC engines' frame processing in
- * measured mode.
+ * incoming tracking requests never pay initialization cost, and the
+ * parallel NN kernel layer (nn/kernel_context.hh) shards GEMM,
+ * convolution and sparse-FC row ranges across the same workers via
+ * parallelFor (common/parallel_for.hh).
  */
 
 #ifndef AD_COMMON_THREAD_POOL_HH
 #define AD_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -23,6 +25,11 @@ namespace ad {
 /**
  * A simple fixed-size thread pool with a FIFO task queue and a
  * completion barrier (waitIdle).
+ *
+ * Tasks that throw are caught inside the worker loop (logged and
+ * counted via failedTaskCount()) so one failing kernel shard can
+ * neither terminate the process nor leave waitIdle() blocked on a
+ * never-decremented active count.
  */
 class ThreadPool
 {
@@ -36,13 +43,35 @@ class ThreadPool
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /** Enqueue a task for asynchronous execution. */
-    void submit(std::function<void()> task);
+    /**
+     * Enqueue a task for asynchronous execution.
+     *
+     * @return false (task dropped, with a warning) when the pool is
+     *         shutting down -- enqueuing after shutdown()/destruction
+     *         begins would otherwise race the worker join.
+     */
+    bool submit(std::function<void()> task);
 
     /** Block until the queue is empty and all workers are idle. */
     void waitIdle();
 
+    /**
+     * Drain the queue and join all workers; further submit() calls are
+     * rejected. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
     std::size_t workerCount() const { return threads_.size(); }
+
+    /** Tasks that terminated by throwing, since construction. */
+    std::size_t failedTaskCount() const { return failedTasks_.load(); }
+
+    /**
+     * True when the calling thread is a worker of *any* ThreadPool.
+     * parallelFor uses this to degrade to inline execution instead of
+     * blocking a worker on sub-chunks it might itself be needed for.
+     */
+    static bool insideWorker();
 
   private:
     void workerLoop();
@@ -54,6 +83,7 @@ class ThreadPool
     std::condition_variable idle_;
     std::size_t active_ = 0;
     bool stopping_ = false;
+    std::atomic<std::size_t> failedTasks_{0};
 };
 
 } // namespace ad

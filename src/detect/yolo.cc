@@ -126,7 +126,8 @@ YoloDetector::detect(const Image& frame, DetectorTimings* timings)
         ScopedTimer timer(dnnMs);
         const Image resized =
             frame.resized(params_.inputSize, params_.inputSize);
-        out = net_.forward(nn::Tensor::fromImage(resized));
+        out = net_.forward(nn::Tensor::fromImage(resized),
+                           nn::kernelContext(params_.threads));
     }
 
     // --- Decode. ---

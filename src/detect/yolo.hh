@@ -57,6 +57,13 @@ struct DetectorParams
     int brightPixel = 160;        ///< refinement threshold (above the
                                   ///  150 lane-marking intensity).
     std::uint64_t seed = 1;
+
+    /**
+     * NN kernel threads for the forward pass (the `nn.threads` knob).
+     * 1 = exact pre-parallel serial behavior; <= 0 = hardware
+     * concurrency. Results are bitwise-identical for any value.
+     */
+    int threads = 1;
 };
 
 /**

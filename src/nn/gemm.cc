@@ -1,22 +1,157 @@
 #include "nn/gemm.hh"
 
 #include <algorithm>
+#include <vector>
 
 namespace ad::nn {
 
 namespace {
 
-// Block sizes chosen so one A-block plus one B-panel fit comfortably in
-// L1/L2 on commodity cores.
-constexpr std::size_t blockM = 64;
+// Micro-kernel register tile: MR C-rows by NR C-columns of fp32
+// accumulators live in registers across the whole k loop (8 SSE
+// registers at the baseline ISA; the compiler's auto-vectorizer maps
+// the unit-stride j loop onto them).
+constexpr std::size_t microM = 4;
+constexpr std::size_t microN = 8;
+
+// K-block: one packed A block (microM x blockK) stays L1-resident
+// while a packed B panel (blockK x microN) streams through it.
 constexpr std::size_t blockK = 256;
+
+// Row grain for sharding M across the pool: chunks never get fewer
+// rows than this, keeping per-task overhead negligible.
+constexpr std::size_t rowGrain = 16;
+
+/**
+ * Pack B[kBegin:kEnd, :] into microN-wide panels: panel p holds
+ * columns [p*microN, p*microN + microN) as kc consecutive microN-rows,
+ * zero-padded past n. Padded lanes multiply against discarded
+ * accumulators, so padding never reaches C.
+ */
+void
+packB(std::size_t panelLo, std::size_t panelHi, std::size_t kBegin,
+      std::size_t kEnd, std::size_t n, const float* b, float* bPack)
+{
+    const std::size_t kc = kEnd - kBegin;
+    for (std::size_t p = panelLo; p < panelHi; ++p) {
+        const std::size_t j0 = p * microN;
+        float* dst = bPack + p * kc * microN;
+        for (std::size_t kk = kBegin; kk < kEnd; ++kk) {
+            const float* src = b + kk * n + j0;
+            for (std::size_t j = 0; j < microN; ++j)
+                dst[j] = (j0 + j < n) ? src[j] : 0.0f;
+            dst += microN;
+        }
+    }
+}
+
+/**
+ * Pack A[i0:i0+mr, kBegin:kEnd) column-interleaved: aPack[kk*microM+r]
+ * is A(i0+r, kBegin+kk), zero-padded past mr.
+ */
+void
+packA(std::size_t i0, std::size_t mr, std::size_t kBegin, std::size_t kEnd,
+      std::size_t k, const float* a, float* aPack)
+{
+    for (std::size_t kk = kBegin; kk < kEnd; ++kk) {
+        float* dst = aPack + (kk - kBegin) * microM;
+        for (std::size_t r = 0; r < microM; ++r)
+            dst[r] = (r < mr)
+                ? a[(i0 + r) * k + kk]
+                : 0.0f;
+    }
+}
+
+/**
+ * acc[r][j] += sum_kk aPanel[kk*microM+r] * bPanel[kk*microN+j], kk
+ * ascending -- the fixed per-element accumulation order behind the
+ * bitwise-determinism guarantee.
+ */
+inline void
+microKernel(std::size_t kc, const float* aPanel, const float* bPanel,
+            float acc[microM][microN])
+{
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+        const float* aCol = aPanel + kk * microM;
+        const float* bRow = bPanel + kk * microN;
+        for (std::size_t r = 0; r < microM; ++r) {
+            const float av = aCol[r];
+            for (std::size_t j = 0; j < microN; ++j)
+                acc[r][j] += av * bRow[j];
+        }
+    }
+}
+
+/** All row-blocks in [rowLo, rowHi) against every packed B panel. */
+void
+gemmRowRange(std::size_t rowLo, std::size_t rowHi, std::size_t n,
+             std::size_t k, std::size_t kBegin, std::size_t kEnd,
+             const float* a, const float* bPack, float* c)
+{
+    const std::size_t kc = kEnd - kBegin;
+    const std::size_t panels = (n + microN - 1) / microN;
+    static thread_local std::vector<float> aPack;
+    aPack.resize(blockK * microM);
+
+    for (std::size_t i0 = rowLo; i0 < rowHi; i0 += microM) {
+        const std::size_t mr = std::min(microM, rowHi - i0);
+        packA(i0, mr, kBegin, kEnd, k, a, aPack.data());
+        for (std::size_t p = 0; p < panels; ++p) {
+            const std::size_t j0 = p * microN;
+            const std::size_t nr = std::min(microN, n - j0);
+            float acc[microM][microN];
+            for (std::size_t r = 0; r < microM; ++r)
+                for (std::size_t j = 0; j < microN; ++j)
+                    acc[r][j] = (r < mr && j < nr)
+                        ? c[(i0 + r) * n + j0 + j]
+                        : 0.0f;
+            microKernel(kc, aPack.data(), bPack + p * kc * microN, acc);
+            for (std::size_t r = 0; r < mr; ++r)
+                for (std::size_t j = 0; j < nr; ++j)
+                    c[(i0 + r) * n + j0 + j] = acc[r][j];
+        }
+    }
+}
 
 } // namespace
 
 void
 gemm(std::size_t m, std::size_t n, std::size_t k,
-     const float* a, const float* b, float* c)
+     const float* a, const float* b, float* c, const KernelContext& ctx)
 {
+    if (m == 0 || n == 0 || k == 0)
+        return;
+
+    const std::size_t panels = (n + microN - 1) / microN;
+    // The packed B panel belongs to the calling thread; workers only
+    // read it, and parallelFor joins before it can be resized again.
+    // Shards get the raw pointer: thread_locals are not captured by
+    // lambdas, so naming bPack inside one would resolve to the
+    // worker's own (empty) instance.
+    static thread_local std::vector<float> bPack;
+
+    for (std::size_t k0 = 0; k0 < k; k0 += blockK) {
+        const std::size_t kEnd = std::min(k0 + blockK, k);
+        const std::size_t kc = kEnd - k0;
+        bPack.resize(panels * kc * microN);
+        float* bPackData = bPack.data();
+        kernelParallelFor(ctx, 0, panels, 8,
+                          [&, bPackData](std::size_t lo, std::size_t hi) {
+                              packB(lo, hi, k0, kEnd, n, b, bPackData);
+                          });
+        kernelParallelFor(ctx, 0, m, rowGrain,
+                          [&, bPackData](std::size_t lo, std::size_t hi) {
+                              gemmRowRange(lo, hi, n, k, k0, kEnd, a,
+                                           bPackData, c);
+                          });
+    }
+}
+
+void
+gemmBlockedReference(std::size_t m, std::size_t n, std::size_t k,
+                     const float* a, const float* b, float* c)
+{
+    constexpr std::size_t blockM = 64;
     for (std::size_t i0 = 0; i0 < m; i0 += blockM) {
         const std::size_t iEnd = std::min(i0 + blockM, m);
         for (std::size_t k0 = 0; k0 < k; k0 += blockK) {
@@ -53,15 +188,19 @@ gemmNaive(std::size_t m, std::size_t n, std::size_t k,
 }
 
 void
-gemv(std::size_t m, std::size_t k, const float* a, const float* x, float* y)
+gemv(std::size_t m, std::size_t k, const float* a, const float* x,
+     float* y, const KernelContext& ctx)
 {
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* row = a + i * k;
-        float acc = 0.0f;
-        for (std::size_t j = 0; j < k; ++j)
-            acc += row[j] * x[j];
-        y[i] += acc;
-    }
+    kernelParallelFor(ctx, 0, m, 64,
+                      [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                              const float* row = a + i * k;
+                              float acc = 0.0f;
+                              for (std::size_t j = 0; j < k; ++j)
+                                  acc += row[j] * x[j];
+                              y[i] += acc;
+                          }
+                      });
 }
 
 } // namespace ad::nn

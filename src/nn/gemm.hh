@@ -1,10 +1,18 @@
 /**
  * @file
- * Single-precision matrix multiplication kernel. Convolution lowers to
+ * Single-precision matrix multiplication kernels. Convolution lowers to
  * GEMM via im2col (the same scheme cuDNN-era CPU backends used), so this
  * kernel carries essentially all DNN compute in measured mode -- the
  * paper finds the DNN portion is 99%+ of DET and TRA cycles, making this
  * the hottest loop in the repository.
+ *
+ * The production kernel packs B into register-tile-width panels, runs a
+ * 4x8 register-accumulating micro-kernel, and shards output rows across
+ * the shared ThreadPool via a KernelContext (see DESIGN.md, "Parallel
+ * NN kernel layer"). Every output element accumulates in ascending-k
+ * order regardless of blocking, packing or thread count, so results are
+ * bitwise-deterministic -- a hard requirement since the benchmarks
+ * reproduce paper figures.
  */
 
 #ifndef AD_NN_GEMM_HH
@@ -12,10 +20,13 @@
 
 #include <cstddef>
 
+#include "nn/kernel_context.hh"
+
 namespace ad::nn {
 
 /**
- * C += A * B for row-major matrices.
+ * C += A * B for row-major matrices, packed micro-kernel execution,
+ * sharded over ctx when it is parallel.
  *
  * @param m rows of A and C.
  * @param n columns of B and C.
@@ -23,12 +34,24 @@ namespace ad::nn {
  * @param a m x k matrix.
  * @param b k x n matrix.
  * @param c m x n accumulator (not cleared).
+ * @param ctx kernel execution context (serial by default).
  *
- * Blocked i-k-j loop order with unit-stride inner loops; no explicit
- * SIMD so the compiler's auto-vectorizer applies.
+ * Bitwise-deterministic: each C element is accumulated in ascending-k
+ * order whatever the thread count, so any ctx produces the identical
+ * result, which also equals gemmBlockedReference / gemmNaive up to
+ * their own (same) summation order.
  */
 void gemm(std::size_t m, std::size_t n, std::size_t k,
-          const float* a, const float* b, float* c);
+          const float* a, const float* b, float* c,
+          const KernelContext& ctx = KernelContext::serial());
+
+/**
+ * The pre-parallel blocked i-k-j kernel (the seed implementation),
+ * kept as the performance baseline for bench_micro_kernels and as a
+ * bitwise reference for the packed kernel's determinism tests.
+ */
+void gemmBlockedReference(std::size_t m, std::size_t n, std::size_t k,
+                          const float* a, const float* b, float* c);
 
 /**
  * Reference implementation (naive triple loop) used by the test suite
@@ -37,9 +60,13 @@ void gemm(std::size_t m, std::size_t n, std::size_t k,
 void gemmNaive(std::size_t m, std::size_t n, std::size_t k,
                const float* a, const float* b, float* c);
 
-/** y += A * x for row-major A (m x k); the fully connected layer core. */
+/**
+ * y += A * x for row-major A (m x k); the fully connected layer core.
+ * Rows shard across ctx; each row's reduction order is fixed, so the
+ * result is bitwise-deterministic for any thread count.
+ */
 void gemv(std::size_t m, std::size_t k, const float* a, const float* x,
-          float* y);
+          float* y, const KernelContext& ctx = KernelContext::serial());
 
 } // namespace ad::nn
 

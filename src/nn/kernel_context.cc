@@ -1,0 +1,51 @@
+#include "nn/kernel_context.hh"
+
+#include <thread>
+
+#include "common/parallel_for.hh"
+#include "common/thread_pool.hh"
+
+namespace ad::nn {
+
+const KernelContext&
+KernelContext::serial()
+{
+    static const KernelContext ctx;
+    return ctx;
+}
+
+int
+resolveKernelThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+KernelContext
+kernelContext(int threads)
+{
+    const int resolved = resolveKernelThreads(threads);
+    if (resolved <= 1)
+        return {};
+    KernelContext ctx;
+    ctx.pool = &sharedWorkerPool();
+    ctx.maxThreads = static_cast<std::size_t>(resolved);
+    return ctx;
+}
+
+void
+kernelParallelFor(const KernelContext& ctx, std::size_t begin,
+                  std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn)
+{
+    if (!ctx.parallel()) {
+        if (end > begin)
+            fn(begin, end);
+        return;
+    }
+    parallelFor(ctx.pool, begin, end, grain, fn, ctx.maxThreads);
+}
+
+} // namespace ad::nn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Execution context for the NN kernel layer: which ThreadPool (if any)
+ * a kernel may shard onto and how many threads it may occupy. The
+ * context is threaded through Network/Layer::forward so the DET, TRA
+ * and LOC engines opt into multicore kernels with one config knob
+ * (`nn.threads`) while every existing single-threaded call site keeps
+ * its exact old behavior and, by the parallelFor determinism contract,
+ * its exact old numerics.
+ */
+
+#ifndef AD_NN_KERNEL_CONTEXT_HH
+#define AD_NN_KERNEL_CONTEXT_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace ad {
+class ThreadPool;
+}
+
+namespace ad::nn {
+
+/**
+ * Kernel execution context. Default-constructed means serial -- the
+ * exact pre-parallel behavior, bit for bit.
+ */
+struct KernelContext
+{
+    ThreadPool* pool = nullptr;   ///< null = serial execution.
+    std::size_t maxThreads = 1;   ///< cap on concurrent shards.
+
+    /** True when kernels may actually fan out. */
+    bool parallel() const { return pool != nullptr && maxThreads > 1; }
+
+    /** The serial context (also what default construction yields). */
+    static const KernelContext& serial();
+};
+
+/**
+ * Resolve an `nn.threads`-style request: values <= 0 mean "hardware
+ * concurrency" (the knob's default), anything else passes through.
+ */
+int resolveKernelThreads(int requested);
+
+/**
+ * Context for the given thread count, backed by the process-wide
+ * shared worker pool (common/parallel_for.hh). resolveKernelThreads is
+ * applied first; a resolved count of 1 yields the serial context.
+ */
+KernelContext kernelContext(int threads);
+
+/**
+ * parallelFor over [begin, end) under the context's pool and thread
+ * cap; inline when the context is serial. Same determinism contract as
+ * ad::parallelFor.
+ */
+void kernelParallelFor(
+    const KernelContext& ctx, std::size_t begin, std::size_t end,
+    std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+} // namespace ad::nn
+
+#endif // AD_NN_KERNEL_CONTEXT_HH

@@ -25,41 +25,43 @@ namespace {
 /**
  * im2col: unfold kernel-sized patches of the input into columns so the
  * convolution becomes one GEMM. Output is (inC * k * k) x (outH * outW),
- * row-major.
+ * row-major. The (c, ky, kx) rows are independent pure writes, so they
+ * shard across the kernel context with bitwise-deterministic results.
  */
 void
 im2col(const Tensor& in, int kernel, int stride, int pad, int outH,
-       int outW, std::vector<float>& cols)
+       int outW, std::vector<float>& cols, const KernelContext& ctx)
 {
     const int inC = in.channels();
     const int inH = in.height();
     const int inW = in.width();
-    cols.assign(static_cast<std::size_t>(inC) * kernel * kernel * outH *
-                outW, 0.0f);
-    std::size_t rowIdx = 0;
-    for (int c = 0; c < inC; ++c) {
-        const float* plane = in.channel(c);
-        for (int ky = 0; ky < kernel; ++ky) {
-            for (int kx = 0; kx < kernel; ++kx) {
-                float* dst = cols.data() +
-                    rowIdx * static_cast<std::size_t>(outH) * outW;
-                ++rowIdx;
-                for (int oy = 0; oy < outH; ++oy) {
-                    const int iy = oy * stride - pad + ky;
-                    if (iy < 0 || iy >= inH) {
-                        dst += outW;
-                        continue;
-                    }
-                    const float* srcRow = plane +
-                        static_cast<std::size_t>(iy) * inW;
-                    for (int ox = 0; ox < outW; ++ox) {
-                        const int ix = ox * stride - pad + kx;
-                        *dst++ = (ix < 0 || ix >= inW) ? 0.0f : srcRow[ix];
-                    }
+    const std::size_t rows =
+        static_cast<std::size_t>(inC) * kernel * kernel;
+    cols.assign(rows * outH * outW, 0.0f);
+    kernelParallelFor(ctx, 0, rows, 4, [&](std::size_t lo,
+                                           std::size_t hi) {
+        for (std::size_t rowIdx = lo; rowIdx < hi; ++rowIdx) {
+            const int kx = static_cast<int>(rowIdx % kernel);
+            const int ky = static_cast<int>(rowIdx / kernel % kernel);
+            const int c = static_cast<int>(rowIdx / kernel / kernel);
+            const float* plane = in.channel(c);
+            float* dst = cols.data() +
+                rowIdx * static_cast<std::size_t>(outH) * outW;
+            for (int oy = 0; oy < outH; ++oy) {
+                const int iy = oy * stride - pad + ky;
+                if (iy < 0 || iy >= inH) {
+                    dst += outW;
+                    continue;
+                }
+                const float* srcRow = plane +
+                    static_cast<std::size_t>(iy) * inW;
+                for (int ox = 0; ox < outW; ++ox) {
+                    const int ix = ox * stride - pad + kx;
+                    *dst++ = (ix < 0 || ix >= inW) ? 0.0f : srcRow[ix];
                 }
             }
         }
-    }
+    });
 }
 
 int
@@ -98,19 +100,19 @@ Conv2D::outputShape(const Shape& in) const
 }
 
 Tensor
-Conv2D::forward(const Tensor& in) const
+Conv2D::forwardImpl(const Tensor& in, const KernelContext& ctx) const
 {
     const Shape out = outputShape({in.channels(), in.height(), in.width()});
     Tensor result(out.c, out.h, out.w);
 
     static thread_local std::vector<float> cols;
-    im2col(in, kernel_, stride_, pad_, out.h, out.w, cols);
+    im2col(in, kernel_, stride_, pad_, out.h, out.w, cols, ctx);
 
     const std::size_t m = outChannels_;
     const std::size_t k = static_cast<std::size_t>(inChannels_) * kernel_ *
                           kernel_;
     const std::size_t n = static_cast<std::size_t>(out.h) * out.w;
-    gemm(m, n, k, weights_.data(), cols.data(), result.data());
+    gemm(m, n, k, weights_.data(), cols.data(), result.data(), ctx);
 
     for (int oc = 0; oc < out.c; ++oc) {
         const float b = bias_[oc];
@@ -190,7 +192,7 @@ MaxPool::outputShape(const Shape& in) const
 }
 
 Tensor
-MaxPool::forward(const Tensor& in) const
+MaxPool::forwardImpl(const Tensor& in, const KernelContext&) const
 {
     const Shape out = outputShape({in.channels(), in.height(), in.width()});
     Tensor result(out.c, out.h, out.w);
@@ -248,7 +250,7 @@ AvgPool::outputShape(const Shape& in) const
 }
 
 Tensor
-AvgPool::forward(const Tensor& in) const
+AvgPool::forwardImpl(const Tensor& in, const KernelContext&) const
 {
     const Shape out = outputShape({in.channels(), in.height(), in.width()});
     Tensor result(out.c, out.h, out.w);
@@ -293,7 +295,7 @@ Softmax::Softmax(std::string name) : Layer(std::move(name))
 }
 
 Tensor
-Softmax::forward(const Tensor& in) const
+Softmax::forwardImpl(const Tensor& in, const KernelContext&) const
 {
     // Per spatial position, normalize across channels (YOLO applies
     // softmax over class channels per grid cell).
@@ -336,7 +338,7 @@ Activation::Activation(std::string name, float leakySlope)
 }
 
 Tensor
-Activation::forward(const Tensor& in) const
+Activation::forwardImpl(const Tensor& in, const KernelContext&) const
 {
     Tensor out = in;
     float* data = out.data();
@@ -382,12 +384,14 @@ FullyConnected::outputShape(const Shape& in) const
 }
 
 Tensor
-FullyConnected::forward(const Tensor& in) const
+FullyConnected::forwardImpl(const Tensor& in,
+                            const KernelContext& ctx) const
 {
     outputShape({in.channels(), in.height(), in.width()});
     Tensor out(outFeatures_, 1, 1);
     std::copy(bias_.begin(), bias_.end(), out.data());
-    gemv(outFeatures_, inFeatures_, weights_.data(), in.data(), out.data());
+    gemv(outFeatures_, inFeatures_, weights_.data(), in.data(), out.data(),
+         ctx);
     return out;
 }
 

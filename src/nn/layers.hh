@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/kernel_context.hh"
 #include "nn/tensor.hh"
 
 namespace ad::nn {
@@ -88,11 +89,31 @@ class Layer
     /** Output shape for the given input shape; fatal() on mismatch. */
     virtual Shape outputShape(const Shape& in) const = 0;
 
-    /** Execute the layer. */
-    virtual Tensor forward(const Tensor& in) const = 0;
+    /** Execute the layer serially (the exact pre-parallel behavior). */
+    Tensor
+    forward(const Tensor& in) const
+    {
+        return forwardImpl(in, KernelContext::serial());
+    }
+
+    /**
+     * Execute the layer under a kernel context. Parallel contexts
+     * shard compute-heavy layers (conv, FC) across the pool; results
+     * are bitwise-identical to serial execution for any thread count.
+     */
+    Tensor
+    forward(const Tensor& in, const KernelContext& ctx) const
+    {
+        return forwardImpl(in, ctx);
+    }
 
     /** Compute/memory footprint for the given input shape. */
     virtual LayerProfile profile(const Shape& in) const = 0;
+
+  protected:
+    /** Layer execution; ctx is serial unless the caller opted in. */
+    virtual Tensor forwardImpl(const Tensor& in,
+                               const KernelContext& ctx) const = 0;
 
   private:
     std::string name_;
@@ -118,7 +139,6 @@ class Conv2D : public Layer
 
     LayerKind kind() const override { return LayerKind::Conv; }
     Shape outputShape(const Shape& in) const override;
-    Tensor forward(const Tensor& in) const override;
     LayerProfile profile(const Shape& in) const override;
 
     int inChannels() const { return inChannels_; }
@@ -135,6 +155,10 @@ class Conv2D : public Layer
 
     /** Set the weight for one (outC, inC, ky, kx) tap. */
     void setWeight(int oc, int ic, int ky, int kx, float value);
+
+  protected:
+    Tensor forwardImpl(const Tensor& in,
+                       const KernelContext& ctx) const override;
 
   private:
     int inChannels_;
@@ -166,11 +190,14 @@ class MaxPool : public Layer
 
     LayerKind kind() const override { return LayerKind::Pool; }
     Shape outputShape(const Shape& in) const override;
-    Tensor forward(const Tensor& in) const override;
     LayerProfile profile(const Shape& in) const override;
 
     int kernel() const { return kernel_; }
     int stride() const { return stride_; }
+
+  protected:
+    Tensor forwardImpl(const Tensor& in,
+                       const KernelContext& ctx) const override;
 
   private:
     int kernel_;
@@ -185,11 +212,14 @@ class AvgPool : public Layer
 
     LayerKind kind() const override { return LayerKind::Pool; }
     Shape outputShape(const Shape& in) const override;
-    Tensor forward(const Tensor& in) const override;
     LayerProfile profile(const Shape& in) const override;
 
     int kernel() const { return kernel_; }
     int stride() const { return stride_; }
+
+  protected:
+    Tensor forwardImpl(const Tensor& in,
+                       const KernelContext& ctx) const override;
 
   private:
     int kernel_;
@@ -207,8 +237,11 @@ class Softmax : public Layer
 
     LayerKind kind() const override { return LayerKind::Activation; }
     Shape outputShape(const Shape& in) const override { return in; }
-    Tensor forward(const Tensor& in) const override;
     LayerProfile profile(const Shape& in) const override;
+
+  protected:
+    Tensor forwardImpl(const Tensor& in,
+                       const KernelContext& ctx) const override;
 };
 
 /** Pointwise activation: ReLU or LeakyReLU(slope). */
@@ -220,10 +253,13 @@ class Activation : public Layer
 
     LayerKind kind() const override { return LayerKind::Activation; }
     Shape outputShape(const Shape& in) const override { return in; }
-    Tensor forward(const Tensor& in) const override;
     LayerProfile profile(const Shape& in) const override;
 
     float leakySlope() const { return leakySlope_; }
+
+  protected:
+    Tensor forwardImpl(const Tensor& in,
+                       const KernelContext& ctx) const override;
 
   private:
     float leakySlope_;
@@ -241,7 +277,6 @@ class FullyConnected : public Layer
 
     LayerKind kind() const override { return LayerKind::FullyConnected; }
     Shape outputShape(const Shape& in) const override;
-    Tensor forward(const Tensor& in) const override;
     LayerProfile profile(const Shape& in) const override;
 
     int inFeatures() const { return inFeatures_; }
@@ -251,6 +286,10 @@ class FullyConnected : public Layer
     const std::vector<float>& weights() const { return weights_; }
     std::vector<float>& bias() { return bias_; }
     const std::vector<float>& bias() const { return bias_; }
+
+  protected:
+    Tensor forwardImpl(const Tensor& in,
+                       const KernelContext& ctx) const override;
 
   private:
     int inFeatures_;

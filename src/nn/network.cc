@@ -73,9 +73,15 @@ NetworkProfile::toString() const
 Tensor
 Network::forward(const Tensor& input) const
 {
+    return forward(input, KernelContext::serial());
+}
+
+Tensor
+Network::forward(const Tensor& input, const KernelContext& ctx) const
+{
     Tensor t = input;
     for (const auto& layer : layers_)
-        t = layer->forward(t);
+        t = layer->forward(t, ctx);
     return t;
 }
 

@@ -67,8 +67,15 @@ class Network
     std::size_t layerCount() const { return layers_.size(); }
     const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
-    /** Run all layers in order. */
+    /** Run all layers in order, serially. */
     Tensor forward(const Tensor& input) const;
+
+    /**
+     * Run all layers in order under a kernel context; parallel
+     * contexts shard the conv/FC kernels over the pool with
+     * bitwise-identical results to the serial path.
+     */
+    Tensor forward(const Tensor& input, const KernelContext& ctx) const;
 
     /** Static shape propagation through all layers. */
     Shape outputShape(const Shape& input) const;

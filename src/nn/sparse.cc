@@ -40,19 +40,26 @@ SparseFullyConnected::outputShape(const Shape& in) const
 }
 
 Tensor
-SparseFullyConnected::forward(const Tensor& in) const
+SparseFullyConnected::forwardImpl(const Tensor& in,
+                                  const KernelContext& ctx) const
 {
     outputShape({in.channels(), in.height(), in.width()});
     Tensor out(outFeatures_, 1, 1);
     const float* x = in.data();
     float* y = out.data();
-    for (int r = 0; r < outFeatures_; ++r) {
-        float acc = bias_[r];
-        const std::uint32_t end = rowPtr_[r + 1];
-        for (std::uint32_t i = rowPtr_[r]; i < end; ++i)
-            acc += values_[i] * x[cols_[i]];
-        y[r] = acc;
-    }
+    // CSR rows write disjoint outputs and each row reduces in index
+    // order, so sharding over rows keeps results bitwise-serial.
+    kernelParallelFor(
+        ctx, 0, static_cast<std::size_t>(outFeatures_), 64,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r) {
+                float acc = bias_[r];
+                const std::uint32_t end = rowPtr_[r + 1];
+                for (std::uint32_t i = rowPtr_[r]; i < end; ++i)
+                    acc += values_[i] * x[cols_[i]];
+                y[r] = acc;
+            }
+        });
     return out;
 }
 

@@ -39,7 +39,6 @@ class SparseFullyConnected : public Layer
 
     LayerKind kind() const override { return LayerKind::FullyConnected; }
     Shape outputShape(const Shape& in) const override;
-    Tensor forward(const Tensor& in) const override;
     LayerProfile profile(const Shape& in) const override;
 
     int inFeatures() const { return inFeatures_; }
@@ -58,6 +57,10 @@ class SparseFullyConnected : public Layer
      * comparability with the dense path.)
      */
     std::uint64_t compressedBytes() const;
+
+  protected:
+    Tensor forwardImpl(const Tensor& in,
+                       const KernelContext& ctx) const override;
 
   private:
     int inFeatures_;

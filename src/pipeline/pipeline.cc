@@ -4,17 +4,33 @@
 
 namespace ad::pipeline {
 
+namespace {
+
+/** Fan the pipeline-wide nn.threads override out to the engines. */
+PipelineParams
+applyNnThreads(PipelineParams p)
+{
+    if (p.nnThreads != 0) {
+        p.detector.threads = p.nnThreads;
+        p.trackerPool.tracker.threads = p.nnThreads;
+        p.localizer.threads = p.nnThreads;
+    }
+    return p;
+}
+
+} // namespace
+
 Pipeline::Pipeline(const slam::PriorMap* map,
                    const sensors::Camera* camera,
                    const planning::RoadGraph* roadGraph,
                    const PipelineParams& params)
-    : params_(params), camera_(camera), detector_(params.detector),
-      trackerPool_(params.trackerPool),
-      localizer_(map, camera, params.localizer), fusion_(camera),
-      controller_(params.control)
+    : params_(applyNnThreads(params)), camera_(camera),
+      detector_(params_.detector), trackerPool_(params_.trackerPool),
+      localizer_(map, camera, params_.localizer), fusion_(camera),
+      controller_(params_.control)
 {
     if (roadGraph)
-        mission_.emplace(roadGraph, params.mission);
+        mission_.emplace(roadGraph, params_.mission);
 }
 
 void

@@ -39,6 +39,14 @@ struct PipelineParams
     planning::MissionParams mission;
     planning::ControlParams control;
     double laneCenterY = 5.25; ///< corridor centerline for MOTPLAN.
+
+    /**
+     * The `nn.threads` knob applied to every engine at once. 0 leaves
+     * the per-engine `threads` fields untouched; any other value
+     * overrides DET, TRA and LOC (1 = serial pre-parallel behavior,
+     * < 0 = hardware concurrency). Outputs are identical either way.
+     */
+    int nnThreads = 0;
 };
 
 /** Wall-clock per-stage latencies of one frame (ms). */

@@ -30,12 +30,18 @@ SystemModel::sampleEndToEnd(const SystemConfig& config, int samples,
 {
     const accel::Workload w =
         accel::standardWorkloadRef().scaled(config.resolutionScale);
-    const auto detDist =
-        platformModel(config.det).latency(Component::Det, w);
-    const auto traDist =
-        platformModel(config.tra).latency(Component::Tra, w);
-    const auto locDist =
-        platformModel(config.loc).latency(Component::Loc, w);
+    // CPU-assigned engines shrink by the modeled multicore speedup of
+    // the parallel kernel layer; accelerators are unaffected.
+    const auto engineDist = [&](Platform p, Component c) {
+        auto dist = platformModel(p).latency(c, w);
+        if (p == Platform::Cpu && config.cpuThreads > 1)
+            dist = dist.scaledBy(
+                1.0 / accel::cpuParallelSpeedup(c, config.cpuThreads));
+        return dist;
+    };
+    const auto detDist = engineDist(config.det, Component::Det);
+    const auto traDist = engineDist(config.tra, Component::Tra);
+    const auto locDist = engineDist(config.loc, Component::Loc);
     const auto fusionDist =
         platformModel(Platform::Cpu).latency(Component::Fusion, w);
     const auto motDist =

@@ -29,6 +29,14 @@ struct SystemConfig
     int cameras = 8;              ///< Tesla-style camera count.
     double resolutionScale = 1.0; ///< pixels relative to KITTI.
     double storageTb = 41.0;      ///< on-vehicle prior-map size.
+    /**
+     * Kernel-layer threads on CPU-assigned engines (the `nn.threads`
+     * knob in modeled mode). 1 keeps the paper's measured single-
+     * socket anchors; more cores shrink CPU latencies by the
+     * per-component Amdahl factor (accel::cpuParallelSpeedup).
+     * Accelerated platforms are unaffected.
+     */
+    int cpuThreads = 1;
 
     /** e.g.\ "DET:GPU TRA:ASIC LOC:ASIC". */
     std::string name() const;

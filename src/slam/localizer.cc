@@ -1,11 +1,34 @@
 #include "slam/localizer.hh"
 
 #include <cmath>
+#include <thread>
 
 #include "common/logging.hh"
+#include "common/parallel_for.hh"
 #include "common/time.hh"
 
 namespace ad::slam {
+
+namespace {
+
+/** The `threads` knob resolved: <= 0 means hardware concurrency. */
+std::size_t
+resolvedThreads(int requested)
+{
+    if (requested > 0)
+        return static_cast<std::size_t>(requested);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/** The pool for the RANSAC counting pass; null when serial. */
+ThreadPool*
+solverPool(int requested)
+{
+    return resolvedThreads(requested) > 1 ? &sharedWorkerPool() : nullptr;
+}
+
+} // namespace
 
 Localizer::Localizer(const PriorMap* map, const sensors::Camera* camera,
                      const LocalizerParams& params, std::uint64_t seed)
@@ -179,7 +202,9 @@ Localizer::localize(const Image& image, double dt)
     RansacResult solved;
     {
         ScopedTimer timer(result.timings.solveMs);
-        solved = ransacPose(corr, params_.ransac, rng_);
+        solved = ransacPose(corr, params_.ransac, rng_,
+                            solverPool(params_.threads),
+                            resolvedThreads(params_.threads));
         validate(solved, mapIndices);
         if (solved.ok &&
             solved.pose.distanceTo(predicted) > params_.maxPoseJump)
@@ -200,7 +225,9 @@ Localizer::localize(const Image& image, double dt)
                              featureIndices, candidates);
         result.candidates += candidates;
         result.matches = static_cast<int>(corr.size());
-        solved = ransacPose(corr, params_.relocRansac, rng_);
+        solved = ransacPose(corr, params_.relocRansac, rng_,
+                            solverPool(params_.threads),
+                            resolvedThreads(params_.threads));
         validate(solved, mapIndices);
     }
 
@@ -252,7 +279,9 @@ Localizer::localize(const Image& image, double dt)
                              params_.loopCloseRadius, loopCorr,
                              loopMapIdx, loopFeatIdx, candidates);
         const RansacResult loop =
-            ransacPose(loopCorr, params_.ransac, rng_);
+            ransacPose(loopCorr, params_.ransac, rng_,
+                       solverPool(params_.threads),
+                       resolvedThreads(params_.threads));
         if (loop.ok && loop.pose.distanceTo(pose_) < params_.maxPoseJump) {
             // Blend the loop-closing correction gently.
             pose_.pos = pose_.pos * 0.8 + loop.pose.pos * 0.2;

@@ -58,6 +58,14 @@ struct LocalizerParams
     bool mapUpdate = true;          ///< refresh stale descriptors.
     int mapUpdateHamming = 16;      ///< refresh when farther than this.
     double maxPoseJump = 5.0;       ///< sanity gate vs prediction (m).
+
+    /**
+     * Worker threads for the RANSAC counting pass (the `nn.threads`
+     * knob; LOC has no DNN, so this is its compute-sharding analog).
+     * 1 = serial; <= 0 = hardware concurrency. Pose results are
+     * identical for any value.
+     */
+    int threads = 1;
 };
 
 /** Wall-clock attribution of one localize() call (Figure 7's FE split). */

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel_for.hh"
+
 namespace ad::slam {
 
 bool
@@ -44,38 +46,77 @@ solveRigid2D(const std::vector<Correspondence>& corr, Pose2& pose)
 
 RansacResult
 ransacPose(const std::vector<Correspondence>& corr,
-           const RansacParams& params, Rng& rng)
+           const RansacParams& params, Rng& rng, ThreadPool* pool,
+           std::size_t maxThreads)
 {
     RansacResult result;
     const int n = static_cast<int>(corr.size());
-    if (n < params.minInliers)
+    if (n < params.minInliers || params.iterations <= 0)
         return result;
 
     const double thresh2 =
         params.inlierThreshold * params.inlierThreshold;
-    std::vector<std::uint32_t> bestInliers;
 
-    for (int iter = 0; iter < params.iterations; ++iter) {
+    // Pass 1 (serial): draw every minimal sample and solve its
+    // candidate pose, consuming the rng stream exactly as the
+    // iteration loop always has.
+    const std::size_t iterations =
+        static_cast<std::size_t>(params.iterations);
+    std::vector<Pose2> candidates(iterations);
+    std::vector<char> valid(iterations, 0);
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
         const int i = rng.uniformInt(0, n - 1);
         int j = rng.uniformInt(0, n - 2);
         if (j >= i)
             ++j;
-        Pose2 candidate;
-        if (!solveRigid2D({corr[i], corr[j]}, candidate))
-            continue;
-
-        std::vector<std::uint32_t> inliers;
-        for (int k = 0; k < n; ++k) {
-            const Vec2 predicted = candidate.transform(corr[k].local);
-            if ((predicted - corr[k].world).squaredNorm() <= thresh2)
-                inliers.push_back(static_cast<std::uint32_t>(k));
-        }
-        if (inliers.size() > bestInliers.size())
-            bestInliers = std::move(inliers);
+        valid[iter] = solveRigid2D({corr[i], corr[j]}, candidates[iter])
+            ? 1
+            : 0;
     }
 
-    if (static_cast<int>(bestInliers.size()) < params.minInliers)
+    // Pass 2 (parallel): count inliers per candidate. Iterations write
+    // disjoint slots, so sharding cannot change any count.
+    std::vector<int> counts(iterations, 0);
+    parallelFor(
+        pool, 0, iterations, 8,
+        [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t iter = lo; iter < hi; ++iter) {
+                if (!valid[iter])
+                    continue;
+                const Pose2& candidate = candidates[iter];
+                int count = 0;
+                for (int k = 0; k < n; ++k) {
+                    const Vec2 predicted =
+                        candidate.transform(corr[k].local);
+                    if ((predicted - corr[k].world).squaredNorm() <=
+                        thresh2)
+                        ++count;
+                }
+                counts[iter] = count;
+            }
+        },
+        maxThreads);
+
+    // Winner: lowest iteration with the maximal count -- what serial
+    // strictly-greater updating selects.
+    std::size_t best = iterations;
+    int bestCount = 0;
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+        if (counts[iter] > bestCount) {
+            bestCount = counts[iter];
+            best = iter;
+        }
+    }
+    if (best == iterations || bestCount < params.minInliers)
         return result;
+
+    std::vector<std::uint32_t> bestInliers;
+    bestInliers.reserve(static_cast<std::size_t>(bestCount));
+    for (int k = 0; k < n; ++k) {
+        const Vec2 predicted = candidates[best].transform(corr[k].local);
+        if ((predicted - corr[k].world).squaredNorm() <= thresh2)
+            bestInliers.push_back(static_cast<std::uint32_t>(k));
+    }
 
     // Weighted refit on all inliers.
     std::vector<Correspondence> inlierCorr;

@@ -15,6 +15,10 @@
 #include "common/geometry.hh"
 #include "common/random.hh"
 
+namespace ad {
+class ThreadPool;
+}
+
 namespace ad::slam {
 
 /** One world<->camera-frame correspondence. */
@@ -54,9 +58,21 @@ struct RansacParams
 /**
  * RANSAC over minimal 2-point samples with a final weighted refit on
  * the inlier set.
+ *
+ * All minimal samples are drawn from rng up front (the stream advances
+ * exactly as in the serial implementation); the per-iteration inlier
+ * counting then shards across the pool when one is given. The winner
+ * is the lowest-iteration candidate with the maximal inlier count --
+ * the same hypothesis serial strictly-greater updating selects -- so
+ * the result is identical for any pool/thread configuration.
+ *
+ * @param pool optional worker pool for the counting pass.
+ * @param maxThreads cap on concurrent shards (<= 1 means serial).
  */
 RansacResult ransacPose(const std::vector<Correspondence>& corr,
-                        const RansacParams& params, Rng& rng);
+                        const RansacParams& params, Rng& rng,
+                        ThreadPool* pool = nullptr,
+                        std::size_t maxThreads = 1);
 
 } // namespace ad::slam
 

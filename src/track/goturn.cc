@@ -83,13 +83,14 @@ GoturnTracker::track(const Image& frame, TrackTimings* timings)
     // FC regression stack. ---
     {
         ScopedTimer timer(dnnMs);
+        const nn::KernelContext ctx = nn::kernelContext(params_.threads);
         const nn::Tensor targetFeat =
-            convBranch_.forward(nn::Tensor::fromImage(targetCrop_));
+            convBranch_.forward(nn::Tensor::fromImage(targetCrop_), ctx);
         const nn::Tensor searchFeat =
-            convBranch_.forward(nn::Tensor::fromImage(searchCrop));
+            convBranch_.forward(nn::Tensor::fromImage(searchCrop), ctx);
         const nn::Tensor both =
             nn::Tensor::concatChannels(targetFeat, searchFeat);
-        (void)fcHead_.forward(both);
+        (void)fcHead_.forward(both, ctx);
     }
 
     // --- NCC refinement: locate the target appearance inside the

@@ -40,6 +40,13 @@ struct TrackerParams
     double width = 0.25;       ///< channel-width multiplier.
     double searchScale = 2.0;  ///< search region / target size ratio.
     std::uint64_t seed = 1;
+
+    /**
+     * NN kernel threads for the forward passes (the `nn.threads`
+     * knob). 1 = exact pre-parallel serial behavior; <= 0 = hardware
+     * concurrency. Results are bitwise-identical for any value.
+     */
+    int threads = 1;
 };
 
 /**

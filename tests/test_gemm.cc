@@ -12,13 +12,16 @@
 
 #include "common/random.hh"
 #include "nn/gemm.hh"
+#include "nn/kernel_context.hh"
 
 namespace {
 
 using ad::Rng;
 using ad::nn::gemm;
+using ad::nn::gemmBlockedReference;
 using ad::nn::gemmNaive;
 using ad::nn::gemv;
+using ad::nn::kernelContext;
 
 std::vector<float>
 randomMatrix(std::size_t n, Rng& rng)
@@ -94,6 +97,94 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(64, 64, 256),  // exactly block-sized
                       std::make_tuple(128, 10, 512),
                       std::make_tuple(16, 169, 144)));  // conv-like
+
+/**
+ * The determinism contract of the parallel kernel layer: the packed
+ * kernel produces bitwise-identical C for every thread count, and
+ * matches the seed serial kernel bit for bit (same per-element
+ * ascending-k accumulation order). Ragged shapes exercise partial
+ * micro-tiles and K-block edges.
+ */
+class GemmDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(GemmDeterminismTest, ParallelBitwiseEqualsSerial)
+{
+    const auto [m, n, k] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + k));
+    std::vector<float> a(static_cast<std::size_t>(m) * k);
+    std::vector<float> b(static_cast<std::size_t>(k) * n);
+    for (auto& v : a)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : b)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    std::vector<float> serial(static_cast<std::size_t>(m) * n, 0.25f);
+    gemm(m, n, k, a.data(), b.data(), serial.data());
+
+    for (const int threads : {2, 4, 8}) {
+        std::vector<float> parallel(static_cast<std::size_t>(m) * n,
+                                    0.25f);
+        gemm(m, n, k, a.data(), b.data(), parallel.data(),
+             kernelContext(threads));
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            ASSERT_EQ(serial[i], parallel[i])
+                << "bitwise divergence at " << i << " with " << threads
+                << " threads";
+    }
+}
+
+TEST_P(GemmDeterminismTest, PackedBitwiseEqualsSeedKernel)
+{
+    const auto [m, n, k] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + k));
+    std::vector<float> a(static_cast<std::size_t>(m) * k);
+    std::vector<float> b(static_cast<std::size_t>(k) * n);
+    for (auto& v : a)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : b)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    std::vector<float> packed(static_cast<std::size_t>(m) * n, 0.25f);
+    std::vector<float> seed = packed;
+    gemm(m, n, k, a.data(), b.data(), packed.data(),
+         kernelContext(4));
+    gemmBlockedReference(m, n, k, a.data(), b.data(), seed.data());
+    for (std::size_t i = 0; i < seed.size(); ++i)
+        ASSERT_EQ(seed[i], packed[i]) << "bitwise divergence at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RaggedShapes, GemmDeterminismTest,
+    ::testing::Values(std::make_tuple(65, 33, 257),
+                      std::make_tuple(7, 130, 700),
+                      std::make_tuple(129, 257, 513),
+                      std::make_tuple(1, 8, 256),
+                      std::make_tuple(16, 169, 144)));
+
+TEST(Gemv, ParallelBitwiseEqualsSerial)
+{
+    Rng rng(10);
+    const std::size_t m = 301;
+    const std::size_t k = 517;
+    std::vector<float> a(m * k);
+    std::vector<float> x(k);
+    for (auto& v : a)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    std::vector<float> serial(m, 0.5f);
+    gemv(m, k, a.data(), x.data(), serial.data());
+    for (const int threads : {2, 8}) {
+        std::vector<float> parallel(m, 0.5f);
+        gemv(m, k, a.data(), x.data(), parallel.data(),
+             kernelContext(threads));
+        for (std::size_t i = 0; i < m; ++i)
+            ASSERT_EQ(serial[i], parallel[i]) << "at " << i;
+    }
+}
 
 TEST(Gemv, MatchesGemmColumnCase)
 {

@@ -101,6 +101,43 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{8, 8, 1, 1, 0, 7, 7},
                       ConvCase{1, 2, 11, 4, 0, 23, 23}));  // AlexNet-like
 
+TEST(Conv2D, ParallelForwardBitwiseEqualsSerial)
+{
+    // The kernel-layer determinism contract at the layer level: a
+    // parallel context must not change a single output bit.
+    Rng rng(77);
+    Conv2D conv("c", 8, 16, 3, 1, 1);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.5, 0.5));
+    for (auto& b : conv.bias())
+        b = static_cast<float>(rng.uniform(-0.5, 0.5));
+    const Tensor in = randomTensor(8, 29, 31, rng);
+    const Tensor serial = conv.forward(in);
+    for (const int threads : {2, 4, 8}) {
+        const Tensor parallel = conv.forward(in, kernelContext(threads));
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            ASSERT_EQ(serial.data()[i], parallel.data()[i])
+                << "bitwise divergence at " << i << " with " << threads
+                << " threads";
+    }
+}
+
+TEST(FullyConnected, ParallelForwardBitwiseEqualsSerial)
+{
+    Rng rng(78);
+    FullyConnected fc("fc", 257, 131);
+    for (auto& w : fc.weights())
+        w = static_cast<float>(rng.uniform(-0.5, 0.5));
+    for (auto& b : fc.bias())
+        b = static_cast<float>(rng.uniform(-0.5, 0.5));
+    const Tensor in = randomTensor(257, 1, 1, rng);
+    const Tensor serial = fc.forward(in);
+    const Tensor parallel = fc.forward(in, kernelContext(4));
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial.data()[i], parallel.data()[i]) << "at " << i;
+}
+
 TEST(Conv2D, OutputShapeArithmetic)
 {
     Conv2D conv("c", 3, 16, 3, 1, 1);

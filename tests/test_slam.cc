@@ -11,6 +11,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel_for.hh"
 #include "sensors/scenario.hh"
 #include "slam/localizer.hh"
 #include "slam/mapping.hh"
@@ -173,6 +174,39 @@ TEST_P(RansacNoiseTest, RecoversUnderOutlierFraction)
 
 INSTANTIATE_TEST_SUITE_P(OutlierFractions, RansacNoiseTest,
                          ::testing::Values(0.0, 0.2, 0.4, 0.6));
+
+TEST(RansacPose, ParallelIdenticalToSerial)
+{
+    // The pool-sharded counting pass must select the same hypothesis,
+    // pose and inlier set as serial execution, from the same rng state.
+    Rng rngA(21);
+    Rng rngB(21);
+    const Pose2 truth(10.0, -4.0, -0.3);
+    std::vector<Correspondence> corr;
+    for (int i = 0; i < 80; ++i) {
+        const Vec2 local{rngA.uniform(3, 60), rngA.uniform(-25, 25)};
+        Vec2 world = truth.transform(local);
+        if (i % 4 == 0) {
+            world.x += rngA.uniform(-30, 30);
+            world.y += rngA.uniform(-30, 30);
+        }
+        corr.push_back({world, local, 1.0});
+    }
+    rngB = rngA; // identical stream position for both solves
+    RansacParams params{150, 0.5, 8};
+    const RansacResult serial = ransacPose(corr, params, rngA);
+    const RansacResult parallel = ransacPose(
+        corr, params, rngB, &ad::sharedWorkerPool(), 4);
+    ASSERT_EQ(serial.ok, parallel.ok);
+    ASSERT_TRUE(serial.ok);
+    EXPECT_EQ(serial.pose.pos.x, parallel.pose.pos.x);
+    EXPECT_EQ(serial.pose.pos.y, parallel.pose.pos.y);
+    EXPECT_EQ(serial.pose.theta, parallel.pose.theta);
+    EXPECT_EQ(serial.inliers, parallel.inliers);
+    EXPECT_EQ(serial.inlierIndices, parallel.inlierIndices);
+    // Both solvers must leave the rng at the same position too.
+    EXPECT_EQ(rngA(), rngB());
+}
 
 TEST(RansacPose, FailsGracefullyOnPureNoise)
 {

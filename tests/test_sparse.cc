@@ -129,6 +129,28 @@ TEST(SparseFc, CompressionCutsFpgaTransferLatency)
     EXPECT_LT(after, before * 0.25);
 }
 
+TEST(SparseFc, ParallelForwardBitwiseEqualsSerial)
+{
+    ad::Rng rng(31);
+    ad::nn::FullyConnected dense("fc", 300, 170);
+    for (auto& w : dense.weights())
+        w = static_cast<float>(rng.normal(0.0, 0.1));
+    for (auto& b : dense.bias())
+        b = static_cast<float>(rng.uniform(-0.5, 0.5));
+    const ad::nn::SparseFullyConnected sparse("s", dense, 0.05f);
+    ad::nn::Tensor x(300, 1, 1);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    const ad::nn::Tensor serial = sparse.forward(x);
+    for (const int threads : {2, 8}) {
+        const ad::nn::Tensor parallel =
+            sparse.forward(x, ad::nn::kernelContext(threads));
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            ASSERT_EQ(serial.data()[i], parallel.data()[i])
+                << "at " << i << " with " << threads << " threads";
+    }
+}
+
 TEST(SparseFc, RejectsNegativeThreshold)
 {
     Rng rng(6);

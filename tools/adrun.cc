@@ -9,7 +9,11 @@
  * Usage:
  *   adrun [--scenario=highway|urban] [--frames=100]
  *         [--resolution=HHD|KITTI|HD] [--seed=1] [--csv=out.csv]
- *         [--det-input=160] [--summary]
+ *         [--det-input=160] [--summary] [--nn.threads=N]
+ *
+ * --nn.threads drives the parallel NN kernel layer in every engine:
+ * 0 (the default) resolves to hardware concurrency, 1 restores the
+ * exact serial behavior. Outputs are bitwise-identical either way.
  */
 
 #include <cstdio>
@@ -18,6 +22,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "nn/kernel_context.hh"
 #include "pipeline/pipeline.hh"
 #include "sensors/scenario.hh"
 #include "slam/mapping.hh"
@@ -68,6 +73,10 @@ main(int argc, char** argv)
     params.trackerPool.tracker.width = 0.1;
     params.laneCenterY = scenario.world.road().laneCenter(1);
     params.motionPlanner.cruiseSpeed = scenario.ego.speed;
+    // 0 = hardware concurrency (PipelineParams uses 0 as "no
+    // override", so resolve the knob before handing it down).
+    params.nnThreads =
+        nn::resolveKernelThreads(cfg.getInt("nn.threads", 0));
     pipeline::Pipeline pipe(&map, &camera, nullptr, params);
 
     Pose2 ego = scenario.ego.pose;
