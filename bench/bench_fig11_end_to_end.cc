@@ -20,6 +20,7 @@
 
 #include "bench_common.hh"
 #include "common/config.hh"
+#include "obs/obs.hh"
 
 int
 main(int argc, char** argv)
@@ -27,6 +28,7 @@ main(int argc, char** argv)
     using namespace ad;
     using namespace ad::pipeline;
     const Config cfg = Config::fromArgs(argc, argv);
+    const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
     const int threads = cfg.getInt("threads", 1);
     bench::printHeader("Figure 11",
                        "end-to-end latency across configurations "
@@ -46,7 +48,13 @@ main(int argc, char** argv)
     std::string bestName;
     for (auto config : bench::paperConfigs()) {
         config.cpuThreads = threads;
+        obs::TraceSpan span(obs::tracer(), config.name(), "fig11");
         const auto s = model.sampleEndToEnd(config, kSamples, rng);
+        if (obs::metricsEnabled()) {
+            obs::metrics()
+                .gauge("fig11." + config.name() + ".p9999_ms")
+                .set(s.p9999);
+        }
         if (config.det == accel::Platform::Cpu &&
             config.loc == accel::Platform::Cpu)
             cpuTail = s.p9999;
@@ -80,5 +88,6 @@ main(int argc, char** argv)
                         ? "169x"
                         : (p == accel::Platform::Fpga ? "10x" : "93x"));
     }
+    obs::finish(obsOpt);
     return 0;
 }

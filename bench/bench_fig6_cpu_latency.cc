@@ -20,6 +20,7 @@
 #include "accel/models.hh"
 #include "bench_common.hh"
 #include "common/config.hh"
+#include "obs/obs.hh"
 
 int
 main(int argc, char** argv)
@@ -28,6 +29,7 @@ main(int argc, char** argv)
     using accel::Component;
     using accel::Platform;
     const Config cfg = Config::fromArgs(argc, argv);
+    const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
     const int threads = cfg.getInt("threads", 1);
     bench::printHeader("Figure 6",
                        "per-component latency on the multicore CPU");
@@ -43,9 +45,17 @@ main(int argc, char** argv)
     for (const auto c :
          {Component::Det, Component::Tra, Component::Loc,
           Component::Fusion, Component::MotPlan}) {
+        obs::TraceSpan span(obs::tracer(), accel::componentName(c),
+                            "fig6");
         const auto dist = cpu.latency(c, w).scaledBy(
             1.0 / accel::cpuParallelSpeedup(c, threads));
         const auto s = dist.summarize(200000, rng);
+        if (obs::metricsEnabled()) {
+            const std::string base =
+                std::string("fig6.") + accel::componentName(c);
+            obs::metrics().gauge(base + ".mean_ms").set(s.mean);
+            obs::metrics().gauge(base + ".p9999_ms").set(s.p9999);
+        }
         std::printf("%-8s %12.1f %12.1f %14.1f %s\n",
                     accel::componentName(c), s.mean, s.p99, s.p9999,
                     s.p9999 > 100.0 ? "YES -> bottleneck" : "no");
@@ -54,5 +64,6 @@ main(int argc, char** argv)
     std::printf("\nDET, TRA and LOC each exceed the end-to-end budget "
                 "alone: conventional\nmulticore CPUs cannot meet the "
                 "design constraints (Section 3.2).\n");
+    obs::finish(obsOpt);
     return 0;
 }

@@ -8,14 +8,18 @@
  *
  * On top of the google-benchmark suite, main() runs a fixed GEMM
  * scaling sweep (seed blocked kernel vs packed kernel at 1/2/4/8
- * threads) and records it to BENCH_gemm.json, the artifact backing
- * the parallel-kernel-layer speedup claim in DESIGN.md.
+ * threads) and records it to BENCH_gemm.json (override the location
+ * with --gemm-json=PATH), the artifact backing the
+ * parallel-kernel-layer speedup claim in DESIGN.md. The resolved
+ * output path is printed when the sweep completes.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <string>
 #include <thread>
 
 #include "common/random.hh"
@@ -361,7 +365,11 @@ runGemmScalingSweep(const char* path)
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
-    std::printf("wrote %s\n", path);
+    char resolved[4096];
+    if (path[0] != '/' && ::realpath(path, resolved))
+        std::printf("wrote gemm scaling sweep to %s\n", resolved);
+    else
+        std::printf("wrote gemm scaling sweep to %s\n", path);
 }
 
 } // namespace
@@ -369,9 +377,24 @@ runGemmScalingSweep(const char* path)
 int
 main(int argc, char** argv)
 {
+    // --gemm-json=PATH redirects the scaling artifact away from the
+    // CWD; it is ours, not google-benchmark's, so strip it from argv
+    // before benchmark::Initialize sees (and rejects) it.
+    std::string gemmJsonPath = "BENCH_gemm.json";
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--gemm-json=", 0) == 0)
+            gemmJsonPath = arg.substr(12);
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+    argv[argc] = nullptr;
+
     // The JSON sweep runs first so the scaling artifact is produced
     // even when --benchmark_filter excludes the GEMM benches.
-    runGemmScalingSweep("BENCH_gemm.json");
+    runGemmScalingSweep(gemmJsonPath.c_str());
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -117,6 +117,14 @@ LatencyRecorder::summary() const
     return s;
 }
 
+std::optional<LatencySummary>
+LatencyRecorder::summaryIfAny() const
+{
+    if (samples_.empty())
+        return std::nullopt;
+    return summary();
+}
+
 void
 LatencyRecorder::clear()
 {

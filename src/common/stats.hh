@@ -12,6 +12,7 @@
 #define AD_COMMON_STATS_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,14 @@ class LatencyRecorder
 
     /** Compute the full summary in one pass over the sorted samples. */
     LatencySummary summary() const;
+
+    /**
+     * summary() guarded for the empty case: nullopt when no samples
+     * have been recorded, so report writers can distinguish "all
+     * quantiles are zero" from "this stage never ran" instead of
+     * printing a misleading n=0 row of zeros.
+     */
+    std::optional<LatencySummary> summaryIfAny() const;
 
     /** Drop all samples. */
     void clear();

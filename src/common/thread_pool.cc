@@ -59,6 +59,8 @@ ThreadPool::submit(std::function<void()> task)
             return false;
         }
         queue_.push_back(std::move(task));
+        if (queue_.size() > peakQueue_.load(std::memory_order_relaxed))
+            peakQueue_.store(queue_.size(), std::memory_order_relaxed);
     }
     taskReady_.notify_one();
     return true;
@@ -100,6 +102,7 @@ ThreadPool::workerLoop()
             failedTasks_.fetch_add(1, std::memory_order_relaxed);
             warn("ThreadPool: task threw a non-std exception");
         }
+        executedTasks_.fetch_add(1, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --active_;

@@ -66,6 +66,19 @@ class ThreadPool
     /** Tasks that terminated by throwing, since construction. */
     std::size_t failedTaskCount() const { return failedTasks_.load(); }
 
+    /** Tasks executed to completion (including throwing ones). */
+    std::size_t executedTaskCount() const
+    {
+        return executedTasks_.load();
+    }
+
+    /**
+     * High-water mark of the task queue (waiting tasks observed at
+     * submit time); the observability layer reports it as a saturation
+     * signal for the shared kernel pool.
+     */
+    std::size_t peakQueueDepth() const { return peakQueue_.load(); }
+
     /**
      * True when the calling thread is a worker of *any* ThreadPool.
      * parallelFor uses this to degrade to inline execution instead of
@@ -84,6 +97,8 @@ class ThreadPool
     std::size_t active_ = 0;
     bool stopping_ = false;
     std::atomic<std::size_t> failedTasks_{0};
+    std::atomic<std::size_t> executedTasks_{0};
+    std::atomic<std::size_t> peakQueue_{0};
 };
 
 } // namespace ad

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/time.hh"
+#include "obs/trace.hh"
 
 namespace ad::detect {
 
@@ -123,6 +124,7 @@ YoloDetector::detect(const Image& frame, DetectorTimings* timings)
     double dnnMs = 0;
     nn::Tensor out;
     {
+        obs::TraceSpan span(obs::tracer(), "det.dnn", "det");
         ScopedTimer timer(dnnMs);
         const Image resized =
             frame.resized(params_.inputSize, params_.inputSize);
@@ -133,6 +135,7 @@ YoloDetector::detect(const Image& frame, DetectorTimings* timings)
     // --- Decode. ---
     double decodeMs = 0;
     {
+        obs::TraceSpan span(obs::tracer(), "det.decode", "det");
         ScopedTimer timer(decodeMs);
         const double sx =
             static_cast<double>(frame.width()) / gridSize_;

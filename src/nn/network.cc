@@ -3,6 +3,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace ad::nn {
 
 std::uint64_t
@@ -80,9 +83,41 @@ Tensor
 Network::forward(const Tensor& input, const KernelContext& ctx) const
 {
     Tensor t = input;
+    // Per-layer spans are opt-in (obs.trace_nn): they multiply the
+    // event count by the layer count, so the common tracing path pays
+    // only this one predictable branch.
+    if (obs::tracer().nnLayerSpans()) {
+        for (const auto& layer : layers_) {
+            obs::TraceSpan span(obs::tracer(),
+                               name_ + "/" + layer->name(), "nn");
+            t = layer->forward(t, ctx);
+        }
+        return t;
+    }
     for (const auto& layer : layers_)
         t = layer->forward(t, ctx);
     return t;
+}
+
+void
+profileToMetrics(const NetworkProfile& profile, obs::MetricRegistry& reg)
+{
+    const std::string base = "nn." + profile.name;
+    reg.gauge(base + ".total_flops")
+        .set(static_cast<double>(profile.totalFlops()));
+    reg.gauge(base + ".total_weight_bytes")
+        .set(static_cast<double>(profile.totalWeightBytes()));
+    reg.gauge(base + ".total_activation_bytes")
+        .set(static_cast<double>(profile.totalActivationBytes()));
+    for (const auto& l : profile.layers) {
+        const std::string layerBase = base + ".layer." + l.name;
+        reg.gauge(layerBase + ".flops")
+            .set(static_cast<double>(l.flops));
+        reg.gauge(layerBase + ".weight_bytes")
+            .set(static_cast<double>(l.weightBytes));
+        reg.gauge(layerBase + ".output_bytes")
+            .set(static_cast<double>(l.outputBytes));
+    }
 }
 
 Shape

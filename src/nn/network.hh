@@ -16,6 +16,10 @@
 
 #include "nn/layers.hh"
 
+namespace ad::obs {
+class MetricRegistry;
+}
+
 namespace ad::nn {
 
 /** Aggregated compute/memory inventory of a whole network. */
@@ -87,6 +91,14 @@ class Network
     std::string name_;
     std::vector<std::unique_ptr<Layer>> layers_;
 };
+
+/**
+ * Publish a network's per-layer FLOP/byte inventory as metric gauges
+ * ("nn.<net>.layer.<name>.flops", ... plus totals) so a --metrics dump
+ * carries the compute footprint next to the measured latencies.
+ */
+void profileToMetrics(const NetworkProfile& profile,
+                      obs::MetricRegistry& reg);
 
 } // namespace ad::nn
 

@@ -1,0 +1,108 @@
+#include "obs/deadline.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ad::obs {
+
+const char*
+stageName(Stage stage)
+{
+    switch (stage) {
+    case Stage::Det:
+        return "DET";
+    case Stage::Tra:
+        return "TRA";
+    case Stage::Loc:
+        return "LOC";
+    case Stage::Fusion:
+        return "FUSION";
+    case Stage::MotPlan:
+        return "MOTPLAN";
+    }
+    return "?";
+}
+
+DeadlineMonitor::DeadlineMonitor(const DeadlineParams& params)
+    : params_(params)
+{
+}
+
+Stage
+DeadlineMonitor::worstStage(const FrameLatencySample& s)
+{
+    // Only stages on the critical path can be blamed: the slower
+    // perception branch (LOC vs DET+TRA), then FUSION and MOTPLAN
+    // which are always serial.
+    Stage worst;
+    double worstMs;
+    if (s.locMs >= s.detMs + s.traMs) {
+        worst = Stage::Loc;
+        worstMs = s.locMs;
+    } else if (s.detMs >= s.traMs) {
+        worst = Stage::Det;
+        worstMs = s.detMs;
+    } else {
+        worst = Stage::Tra;
+        worstMs = s.traMs;
+    }
+    if (s.fusionMs > worstMs) {
+        worst = Stage::Fusion;
+        worstMs = s.fusionMs;
+    }
+    if (s.motPlanMs > worstMs)
+        worst = Stage::MotPlan;
+    return worst;
+}
+
+void
+DeadlineMonitor::observe(std::int64_t frame,
+                         const FrameLatencySample& sample)
+{
+    ++frames_;
+    const double e2e = sample.endToEndMs();
+    if (e2e <= params_.budgetMs)
+        return;
+
+    ++violations_;
+    const Stage stage = worstStage(sample);
+    ++byStage_[static_cast<std::size_t>(stage)];
+    const double overrun = e2e - params_.budgetMs;
+    if (overrun > worstOverrunMs_) {
+        worstOverrunMs_ = overrun;
+        worstFrame_ = frame;
+    }
+
+    if (params_.logViolations && logged_ < params_.maxLoggedViolations) {
+        ++logged_;
+        warn("deadline: frame ", frame, " e2e ", e2e, " ms exceeds ",
+             params_.budgetMs, " ms budget (worst stage ",
+             stageName(stage), ")",
+             logged_ == params_.maxLoggedViolations
+                 ? "; further violations suppressed"
+                 : "");
+    }
+}
+
+std::string
+DeadlineMonitor::report() const
+{
+    std::ostringstream os;
+    os << "deadline budget " << params_.budgetMs << " ms: "
+       << violations_ << "/" << frames_ << " frames violated";
+    if (violations_) {
+        os << " (worst frame " << worstFrame_ << ", +" << worstOverrunMs_
+           << " ms over budget)\n";
+        os << "violation attribution by worst critical-path stage:\n";
+        for (std::size_t i = 0; i < kStageCount; ++i) {
+            os << "  " << stageName(static_cast<Stage>(i)) << ": "
+               << byStage_[i] << "\n";
+        }
+    } else {
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ad::obs

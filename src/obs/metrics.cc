@@ -1,0 +1,117 @@
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include "common/thread_pool.hh"
+
+namespace ad::obs {
+
+MetricRegistry&
+MetricRegistry::instance()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+Counter&
+MetricRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+MetricRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+MetricRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+MetricRegistry::captureThreadPool(const std::string& prefix,
+                                  const ThreadPool& pool)
+{
+    gauge(prefix + ".workers")
+        .set(static_cast<double>(pool.workerCount()));
+    gauge(prefix + ".tasks_run")
+        .set(static_cast<double>(pool.executedTaskCount()));
+    gauge(prefix + ".tasks_thrown")
+        .set(static_cast<double>(pool.failedTaskCount()));
+    gauge(prefix + ".peak_queue_depth")
+        .set(static_cast<double>(pool.peakQueueDepth()));
+}
+
+std::string
+MetricRegistry::textDump() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    for (const auto& [name, c] : counters_)
+        os << name << " = " << c->value() << "\n";
+    for (const auto& [name, g] : gauges_)
+        os << name << " = " << g->value() << "\n";
+    for (const auto& [name, h] : histograms_)
+        os << name << " " << h->summary().toString() << "\n";
+    return os.str();
+}
+
+std::string
+MetricRegistry::jsonDump() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << name
+           << "\": " << c->value();
+        first = false;
+    }
+    os << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << name
+           << "\": " << g->value();
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        const auto s = h->summary();
+        os << (first ? "" : ",") << "\n    \"" << name
+           << "\": {\"count\": " << s.count << ", \"mean\": " << s.mean
+           << ", \"p50\": " << s.p50 << ", \"p95\": " << s.p95
+           << ", \"p99\": " << s.p99 << ", \"p9999\": " << s.p9999
+           << ", \"worst\": " << s.worst << "}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+    return os.str();
+}
+
+void
+MetricRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+} // namespace ad::obs

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Process-wide metric registry: named counters (monotonic, atomic),
+ * gauges (last-written value) and latency histograms (backed by
+ * LatencyRecorder so --metrics reports the same tail quantiles the
+ * paper's figures use). The registry powers the `--metrics` dump in
+ * adrun and the fig6/fig11 harnesses: per-stage latency summaries, NN
+ * per-layer FLOP/byte inventories, thread-pool task counters and the
+ * deadline watchdog's violation table all land here.
+ *
+ * Hot-path sites guard on metricsEnabled() (one relaxed atomic load)
+ * and cache Counter/Gauge references, so the disabled cost is a
+ * predicted-not-taken branch.
+ */
+
+#ifndef AD_OBS_METRICS_HH
+#define AD_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace ad {
+class ThreadPool;
+}
+
+namespace ad::obs {
+
+/** Monotonic event counter; add() is lock-free. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value (queue depth, thread count, ...). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Thread-safe latency histogram with the paper's quantile summary. */
+class Histogram
+{
+  public:
+    void
+    record(double v)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        recorder_.record(v);
+    }
+
+    /** Merge an externally collected recorder (e.g.\ a stage's). */
+    void
+    mergeFrom(const LatencyRecorder& other)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        recorder_.merge(other);
+    }
+
+    LatencySummary
+    summary() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return recorder_.summary();
+    }
+
+    std::size_t
+    count() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return recorder_.count();
+    }
+
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        recorder_.clear();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    LatencyRecorder recorder_;
+};
+
+/**
+ * Name -> metric map. Metric objects are created on first lookup and
+ * never destroyed before the registry, so call sites may cache the
+ * returned references across frames.
+ */
+class MetricRegistry
+{
+  public:
+    /** The process-wide registry used by all instrumentation sites. */
+    static MetricRegistry& instance();
+
+    /** Master switch consulted by hot-path instrumentation sites. */
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /**
+     * Snapshot a thread pool's task accounting into gauges under
+     * @p prefix: tasks_run, tasks_thrown, peak_queue_depth, workers.
+     */
+    void captureThreadPool(const std::string& prefix,
+                           const ThreadPool& pool);
+
+    /** Multi-line human-readable dump, sorted by metric name. */
+    std::string textDump() const;
+
+    /** The same content as a JSON object. */
+    std::string jsonDump() const;
+
+    /** Drop all metrics (counters, gauges and histograms). */
+    void reset();
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry (shorthand for MetricRegistry::instance). */
+inline MetricRegistry&
+metrics()
+{
+    return MetricRegistry::instance();
+}
+
+/** True when hot-path sites should record into the registry. */
+inline bool
+metricsEnabled()
+{
+    return MetricRegistry::instance().enabled();
+}
+
+} // namespace ad::obs
+
+#endif // AD_OBS_METRICS_HH

@@ -1,0 +1,60 @@
+#include "obs/obs.hh"
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+
+namespace ad::obs {
+
+ObsOptions
+setupFromConfig(const Config& cfg)
+{
+    ObsOptions opt;
+
+    // --trace may carry the output path (`--trace trace.json`) or be
+    // a bare flag (value "true"); obs.trace / obs.trace_file are the
+    // config-knob spellings of the same choice.
+    std::string traceArg = cfg.getString("trace");
+    if (traceArg == "true")
+        traceArg.clear();
+    opt.traceFile = !traceArg.empty()
+                        ? traceArg
+                        : cfg.getString("obs.trace_file");
+    opt.trace = !opt.traceFile.empty() || cfg.has("trace") ||
+                cfg.getBool("obs.trace", false);
+    if (opt.trace && opt.traceFile.empty())
+        opt.traceFile = "trace.json";
+
+    opt.traceNnLayers = cfg.getBool("obs.trace_nn", false);
+    opt.metricsDump = cfg.getBool("metrics", false) ||
+                      cfg.getBool("obs.metrics", false);
+    opt.budgetMs = cfg.getDouble("obs.budget_ms", 100.0);
+
+    tracer().setEnabled(opt.trace);
+    tracer().setNnLayerSpans(opt.traceNnLayers);
+    metrics().setEnabled(opt.metricsDump);
+    return opt;
+}
+
+void
+finish(const ObsOptions& options)
+{
+    if (options.trace) {
+        auto& rec = tracer();
+        if (rec.writeChromeTrace(options.traceFile))
+            std::fprintf(stderr,
+                         "trace: wrote %zu events to %s "
+                         "(open in chrome://tracing or Perfetto)\n",
+                         rec.eventCount(), options.traceFile.c_str());
+    }
+    if (options.metricsDump) {
+        metrics().captureThreadPool("thread_pool.shared",
+                                    sharedWorkerPool());
+        std::fprintf(stderr, "--- metrics ---\n%s",
+                     metrics().textDump().c_str());
+    }
+}
+
+} // namespace ad::obs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Umbrella header and command-line glue for the observability layer.
+ * Tools and benches call setupFromConfig() after Config::fromArgs to
+ * honor the shared knobs --
+ *
+ *   --trace <file>    enable tracing and write a Chrome trace there
+ *   --metrics         enable the metric registry and dump it on exit
+ *   --obs.trace       bool knob form of --trace
+ *   --obs.trace_file  trace output path (default trace.json)
+ *   --obs.trace_nn    also emit per-NN-layer spans (off by default)
+ *   --obs.metrics     bool knob form of --metrics
+ *   --obs.budget_ms   deadline watchdog budget (default 100)
+ *
+ * -- and finish() at the end of the run to write the trace file and
+ * print the metrics dump to stderr.
+ */
+
+#ifndef AD_OBS_OBS_HH
+#define AD_OBS_OBS_HH
+
+#include <string>
+
+#include "obs/deadline.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace ad {
+class Config;
+}
+
+namespace ad::obs {
+
+/** Resolved observability options for one tool run. */
+struct ObsOptions
+{
+    bool trace = false;
+    std::string traceFile; ///< empty unless trace is enabled.
+    bool traceNnLayers = false;
+    bool metricsDump = false;
+    double budgetMs = 100.0;
+
+    bool any() const { return trace || metricsDump; }
+};
+
+/**
+ * Parse the obs.* / --trace / --metrics knobs and enable the global
+ * recorder and registry accordingly.
+ */
+ObsOptions setupFromConfig(const Config& cfg);
+
+/**
+ * End-of-run actions: write the Chrome trace (reporting the path and
+ * event count) and dump the metric registry to stderr.
+ */
+void finish(const ObsOptions& options);
+
+} // namespace ad::obs
+
+#endif // AD_OBS_OBS_HH

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "common/logging.hh"
 #include "common/time.hh"
+#include "obs/trace.hh"
 
 namespace ad::pipeline {
 
@@ -62,6 +65,11 @@ MultiCameraRig::step(const sensors::World& world, const Pose2& egoTruth,
 {
     RigOutput out;
     time_ += dt;
+    const std::int64_t frameId = frameIndex_++;
+    auto& tracerRef = obs::tracer();
+    if (tracerRef.enabled())
+        tracerRef.setFrame(frameId);
+    obs::TraceSpan frameSpan(tracerRef, "RIG_FRAME", "frame", frameId);
 
     // Render every head from its mounted pose.
     std::vector<sensors::Frame> frames;
@@ -77,6 +85,7 @@ MultiCameraRig::step(const sensors::World& world, const Pose2& egoTruth,
 
     // LOC on the forward camera (runs in parallel with detection).
     {
+        obs::TraceSpan span(tracerRef, "LOC", "rig");
         Stopwatch watch;
         out.localization = localizer_->localize(frames[0].image, dt);
         out.locMs = watch.elapsedMs();
@@ -90,6 +99,9 @@ MultiCameraRig::step(const sensors::World& world, const Pose2& egoTruth,
     std::vector<std::vector<track::TrackedObject>> tracksPerCamera(
         cameras_.size());
     for (std::size_t i = 0; i < cameras_.size(); ++i) {
+        obs::TraceSpan span(tracerRef,
+                            "CAM" + std::to_string(i) + ".det+tra",
+                            "rig");
         Stopwatch watch;
         const auto detections =
             detectors_[i]->detect(frames[i].image);
@@ -104,6 +116,7 @@ MultiCameraRig::step(const sensors::World& world, const Pose2& egoTruth,
     // Fusion: project every camera's tracks through its own head pose
     // (derived from the *estimated* ego pose) into one scene.
     {
+        obs::TraceSpan span(tracerRef, "FUSION", "rig");
         Stopwatch watch;
         out.scene.egoPose = out.localization.pose;
         out.scene.timestamp = time_;

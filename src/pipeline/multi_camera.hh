@@ -18,6 +18,7 @@
 #ifndef AD_PIPELINE_MULTI_CAMERA_HH
 #define AD_PIPELINE_MULTI_CAMERA_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -113,6 +114,7 @@ class MultiCameraRig
     std::vector<std::unique_ptr<fusion::FusionEngine>> fusions_;
     LatencyRecorder e2eRec_;
     double time_ = 0;
+    std::int64_t frameIndex_ = 0;
 };
 
 } // namespace ad::pipeline

@@ -1,6 +1,8 @@
 #include "pipeline/pipeline.hh"
 
 #include "common/time.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace ad::pipeline {
 
@@ -27,7 +29,7 @@ Pipeline::Pipeline(const slam::PriorMap* map,
     : params_(applyNnThreads(params)), camera_(camera),
       detector_(params_.detector), trackerPool_(params_.trackerPool),
       localizer_(map, camera, params_.localizer), fusion_(camera),
-      controller_(params_.control)
+      controller_(params_.control), deadline_(params_.deadline)
 {
     if (roadGraph)
         mission_.emplace(roadGraph, params_.mission);
@@ -49,16 +51,27 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
 {
     FrameOutput out;
     time_ += dt;
+    const std::int64_t frameId = frameIndex_++;
+    auto& tracerRef = obs::tracer();
+    if (tracerRef.enabled())
+        tracerRef.setFrame(frameId);
+    obs::TraceSpan frameSpan(tracerRef, "FRAME", "frame", frameId);
 
     // --- (1a) Object detection. ---
     detect::DetectorTimings detTimings;
-    out.detections = detector_.detect(image, &detTimings);
+    {
+        obs::TraceSpan span(tracerRef, "DET");
+        out.detections = detector_.detect(image, &detTimings);
+    }
     out.latencies.detMs = detTimings.totalMs;
     cycles_.detDnnMs += detTimings.dnnMs;
     cycles_.detOtherMs += detTimings.decodeMs;
 
     // --- (1b) Localization (logically parallel with DET). ---
-    out.localization = localizer_.localize(image, dt);
+    {
+        obs::TraceSpan span(tracerRef, "LOC");
+        out.localization = localizer_.localize(image, dt);
+    }
     out.latencies.locMs = out.localization.timings.totalMs;
     cycles_.locFeMs += out.localization.timings.feMs;
     cycles_.locOtherMs +=
@@ -66,15 +79,21 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
 
     // --- (1c) Object tracking. ---
     track::PoolTimings traTimings;
-    trackerPool_.update(image, out.detections, &traTimings);
+    {
+        obs::TraceSpan span(tracerRef, "TRA");
+        trackerPool_.update(image, out.detections, &traTimings);
+    }
     out.tracks = trackerPool_.tracks();
     out.latencies.traMs = traTimings.totalMs;
     cycles_.traDnnMs += traTimings.tracker.dnnMs;
     cycles_.traOtherMs += traTimings.totalMs - traTimings.tracker.dnnMs;
 
     // --- (2) Fusion onto the world coordinate space. ---
-    out.scene = fusion_.fuse(out.tracks, out.localization.pose, dt,
-                             time_);
+    {
+        obs::TraceSpan span(tracerRef, "FUSION");
+        out.scene = fusion_.fuse(out.tracks, out.localization.pose, dt,
+                                 time_);
+    }
     out.latencies.fusionMs = fusion_.lastFuseMs();
 
     // --- (4) Mission planning: only on deviation. ---
@@ -84,6 +103,7 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
 
     // --- (3) Motion planning on the fused scene. ---
     {
+        obs::TraceSpan span(tracerRef, "MOTPLAN");
         Stopwatch watch;
         std::vector<planning::PredictedObstacle> obstacles;
         obstacles.reserve(out.scene.objects.size());
@@ -108,6 +128,31 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
     fusionRec_.record(out.latencies.fusionMs);
     motRec_.record(out.latencies.motPlanMs);
     e2eRec_.record(out.latencies.endToEndMs());
+
+    // Deadline watchdog: every frame, whatever the obs switches say
+    // (observe() is a few comparisons and mutates nothing the engines
+    // read).
+    deadline_.observe(frameId, {out.latencies.detMs,
+                                out.latencies.traMs,
+                                out.latencies.locMs,
+                                out.latencies.fusionMs,
+                                out.latencies.motPlanMs});
+
+    if (obs::metricsEnabled()) {
+        auto& reg = obs::metrics();
+        reg.counter("pipeline.frames").add();
+        reg.histogram("pipeline.det_ms").record(out.latencies.detMs);
+        reg.histogram("pipeline.tra_ms").record(out.latencies.traMs);
+        reg.histogram("pipeline.loc_ms").record(out.latencies.locMs);
+        reg.histogram("pipeline.fusion_ms")
+            .record(out.latencies.fusionMs);
+        reg.histogram("pipeline.motplan_ms")
+            .record(out.latencies.motPlanMs);
+        reg.histogram("pipeline.e2e_ms")
+            .record(out.latencies.endToEndMs());
+        reg.counter("pipeline.mission_replans")
+            .add(out.missionReplanned ? 1 : 0);
+    }
     return out;
 }
 

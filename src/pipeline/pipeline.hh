@@ -20,6 +20,7 @@
 
 #include "common/stats.hh"
 #include "detect/yolo.hh"
+#include "obs/deadline.hh"
 #include "fusion/fusion.hh"
 #include "planning/conformal.hh"
 #include "planning/control.hh"
@@ -47,6 +48,14 @@ struct PipelineParams
      * < 0 = hardware concurrency). Outputs are identical either way.
      */
     int nnThreads = 0;
+
+    /**
+     * Deadline watchdog knobs (100 ms budget by default). The monitor
+     * observes every frame -- it is a handful of comparisons -- and
+     * never influences engine behavior, so outputs are identical
+     * whatever the budget.
+     */
+    obs::DeadlineParams deadline;
 };
 
 /** Wall-clock per-stage latencies of one frame (ms). */
@@ -143,6 +152,12 @@ class Pipeline
 
     const CycleBreakdown& cycleBreakdown() const { return cycles_; }
 
+    /** The 100 ms reaction-budget watchdog fed by every frame. */
+    const obs::DeadlineMonitor& deadlineMonitor() const
+    {
+        return deadline_;
+    }
+
     detect::YoloDetector& detector() { return detector_; }
     slam::Localizer& localizer() { return localizer_; }
     planning::MissionPlanner* missionPlanner()
@@ -167,7 +182,9 @@ class Pipeline
     LatencyRecorder motRec_;
     LatencyRecorder e2eRec_;
     CycleBreakdown cycles_;
+    obs::DeadlineMonitor deadline_;
     double time_ = 0;
+    std::int64_t frameIndex_ = 0;
 };
 
 } // namespace ad::pipeline

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace ad::pipeline {
 
@@ -70,6 +71,19 @@ simulateSchedule(const std::function<double()>& sampler, int frames,
     if (lastCompletion > 0)
         stats.achievedFps =
             1000.0 * stats.framesProcessed / lastCompletion;
+
+    if (obs::metricsEnabled()) {
+        auto& reg = obs::metrics();
+        reg.counter("scheduler.frames_arrived")
+            .add(static_cast<std::uint64_t>(stats.framesArrived));
+        reg.counter("scheduler.frames_processed")
+            .add(static_cast<std::uint64_t>(stats.framesProcessed));
+        reg.counter("scheduler.frames_dropped")
+            .add(static_cast<std::uint64_t>(stats.framesDropped));
+        reg.counter("scheduler.deadline_misses")
+            .add(static_cast<std::uint64_t>(stats.deadlineMisses));
+        reg.histogram("scheduler.response_ms").mergeFrom(responses);
+    }
     return stats;
 }
 

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "common/time.hh"
+#include "obs/trace.hh"
 
 namespace ad::slam {
 
@@ -155,6 +156,7 @@ Localizer::localize(const Image& image, double dt)
     // --- Feature extraction (the FE block of Figure 5). ---
     std::vector<vision::Feature> features;
     {
+        obs::TraceSpan span(obs::tracer(), "loc.fe", "loc");
         ScopedTimer timer(result.timings.feMs);
         features = orb_.extract(image, &result.orbProfile);
     }
@@ -178,6 +180,7 @@ Localizer::localize(const Image& image, double dt)
     std::vector<std::uint32_t> mapIndices;
     std::vector<int> featureIndices;
     {
+        obs::TraceSpan span(obs::tracer(), "loc.match", "loc");
         ScopedTimer timer(result.timings.matchMs);
         buildCorrespondences(features, &matcher, predicted,
                              params_.matchRadius, corr, mapIndices,
@@ -201,6 +204,7 @@ Localizer::localize(const Image& image, double dt)
     // --- Robust pose solve. ---
     RansacResult solved;
     {
+        obs::TraceSpan span(obs::tracer(), "loc.solve", "loc");
         ScopedTimer timer(result.timings.solveMs);
         solved = ransacPose(corr, params_.ransac, rng_,
                             solverPool(params_.threads),
@@ -213,6 +217,7 @@ Localizer::localize(const Image& image, double dt)
 
     // --- Relocalization: widened search (the tail-latency source). ---
     if (!solved.ok) {
+        obs::TraceSpan span(obs::tracer(), "loc.reloc", "loc");
         ScopedTimer timer(result.timings.relocMs);
         result.relocalized = true;
         ++relocCount_;
@@ -269,6 +274,7 @@ Localizer::localize(const Image& image, double dt)
     // --- Periodic loop closing: an extra wide matching pass. ---
     if (params_.loopCloseInterval > 0 &&
         frameCount_ % params_.loopCloseInterval == 0) {
+        obs::TraceSpan span(obs::tracer(), "loc.loop", "loc");
         ScopedTimer timer(result.timings.loopMs);
         result.loopClosed = true;
         std::vector<Correspondence> loopCorr;

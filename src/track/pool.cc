@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/time.hh"
+#include "obs/trace.hh"
 
 namespace ad::track {
 
@@ -51,6 +52,7 @@ TrackerPool::update(const Image& frame,
     std::vector<int> trackOfDet(detections.size(), -1);
     std::vector<bool> trackMatched(tracks_.size(), false);
     {
+        obs::TraceSpan span(obs::tracer(), "tra.associate", "tra");
         ScopedTimer timer(associateMs);
         struct Pair
         {
@@ -83,6 +85,7 @@ TrackerPool::update(const Image& frame,
     // --- Paper-faithful workload: one tracker run per live object.
     // Matched tracks will adopt their detection box right after. ---
     if (params_.alwaysRunTracker) {
+        obs::TraceSpan span(obs::tracer(), "tra.track_all", "tra");
         for (auto& track : tracks_) {
             const BBox old = track.box;
             track.box = pool_[track.trackerIndex]->track(frame,

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the metric registry and the deadline watchdog: counter
+ * atomicity under parallelFor contention, gauge/histogram semantics,
+ * thread-pool capture, dump contents, violation counting against
+ * synthetic latencies and critical-path stage attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/parallel_for.hh"
+#include "common/thread_pool.hh"
+#include "obs/deadline.hh"
+#include "obs/metrics.hh"
+
+namespace {
+
+using namespace ad;
+using obs::DeadlineMonitor;
+using obs::DeadlineParams;
+using obs::FrameLatencySample;
+using obs::MetricRegistry;
+using obs::Stage;
+
+TEST(MetricRegistry, CounterGaugeHistogramBasics)
+{
+    MetricRegistry reg;
+    auto& c = reg.counter("c");
+    c.add();
+    c.add(9);
+    EXPECT_EQ(c.value(), 10u);
+    // Same name resolves to the same object (call sites cache refs).
+    EXPECT_EQ(&reg.counter("c"), &c);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+
+    auto& g = reg.gauge("g");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.set(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+
+    auto& h = reg.histogram("h");
+    for (int i = 1; i <= 100; ++i)
+        h.record(i);
+    EXPECT_EQ(h.count(), 100u);
+    const auto s = h.summary();
+    EXPECT_DOUBLE_EQ(s.p50, 50.0);
+    EXPECT_DOUBLE_EQ(s.worst, 100.0);
+
+    LatencyRecorder rec;
+    rec.record(1000.0);
+    h.mergeFrom(rec);
+    EXPECT_EQ(h.count(), 101u);
+    EXPECT_DOUBLE_EQ(h.summary().worst, 1000.0);
+
+    reg.reset();
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(MetricRegistry, CounterIsExactUnderParallelFor)
+{
+    MetricRegistry reg;
+    auto& c = reg.counter("parallel");
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 200000;
+    parallelFor(&pool, 0, kN, 1024,
+                [&c](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                        c.add();
+                });
+    // Lock-free adds from every shard, not one lost increment.
+    EXPECT_EQ(c.value(), kN);
+}
+
+TEST(MetricRegistry, CaptureThreadPoolSnapshotsCounters)
+{
+    MetricRegistry reg;
+    ThreadPool pool(2);
+    parallelFor(&pool, 0, 1000, 10,
+                [](std::size_t, std::size_t) {});
+    reg.captureThreadPool("pool", pool);
+    EXPECT_DOUBLE_EQ(reg.gauge("pool.workers").value(), 2.0);
+    // The calling thread runs the first chunk itself, so the workers
+    // executed some-but-not-all of the remaining chunks.
+    EXPECT_GE(reg.gauge("pool.tasks_run").value(), 0.0);
+    EXPECT_GE(reg.gauge("pool.peak_queue_depth").value(), 0.0);
+}
+
+TEST(MetricRegistry, TextDumpContainsEveryMetric)
+{
+    MetricRegistry reg;
+    reg.counter("frames").add(42);
+    reg.gauge("budget_ms").set(100.0);
+    reg.histogram("det_ms").record(12.5);
+    const std::string dump = reg.textDump();
+    EXPECT_NE(dump.find("frames"), std::string::npos);
+    EXPECT_NE(dump.find("42"), std::string::npos);
+    EXPECT_NE(dump.find("budget_ms"), std::string::npos);
+    EXPECT_NE(dump.find("det_ms"), std::string::npos);
+
+    const std::string json = reg.jsonDump();
+    EXPECT_NE(json.find("\"frames\""), std::string::npos);
+}
+
+TEST(MetricRegistry, EnabledFlagDefaultsOff)
+{
+    MetricRegistry reg;
+    EXPECT_FALSE(reg.enabled());
+    reg.setEnabled(true);
+    EXPECT_TRUE(reg.enabled());
+}
+
+TEST(DeadlineMonitor, CountsViolationsAgainstBudget)
+{
+    DeadlineParams params;
+    params.budgetMs = 100.0;
+    DeadlineMonitor mon(params);
+
+    // Composed e2e = max(40, 30 + 20) + 1 + 2 = 53 ms: within budget.
+    mon.observe(0, {30, 20, 40, 1, 2});
+    EXPECT_EQ(mon.framesObserved(), 1u);
+    EXPECT_EQ(mon.violations(), 0u);
+
+    // max(90, 80 + 45) + 5 + 5 = 135 ms: violation, DET dominates the
+    // slower perception branch.
+    mon.observe(1, {80, 45, 90, 5, 5});
+    EXPECT_EQ(mon.violations(), 1u);
+    EXPECT_DOUBLE_EQ(mon.worstOverrunMs(), 35.0);
+    EXPECT_EQ(mon.worstFrame(), 1);
+    EXPECT_EQ(mon.violationsByStage()[static_cast<int>(Stage::Det)], 1u);
+
+    // max(150, 10 + 10) + 1 + 1 = 152 ms: LOC is the critical branch.
+    mon.observe(2, {10, 10, 150, 1, 1});
+    EXPECT_EQ(mon.violations(), 2u);
+    EXPECT_DOUBLE_EQ(mon.worstOverrunMs(), 52.0);
+    EXPECT_EQ(mon.worstFrame(), 2);
+    EXPECT_EQ(mon.violationsByStage()[static_cast<int>(Stage::Loc)], 1u);
+}
+
+TEST(DeadlineMonitor, WorstStageFollowsCriticalPath)
+{
+    // LOC slower than DET+TRA: blame LOC even though DET is large.
+    EXPECT_EQ(DeadlineMonitor::worstStage({40, 10, 60, 1, 1}),
+              Stage::Loc);
+    // DET+TRA branch dominates; TRA is its larger half.
+    EXPECT_EQ(DeadlineMonitor::worstStage({20, 50, 60, 1, 1}),
+              Stage::Tra);
+    // A slow LOC hidden under a slower DET+TRA branch is not blamed.
+    EXPECT_EQ(DeadlineMonitor::worstStage({80, 30, 90, 1, 1}),
+              Stage::Det);
+    // FUSION / MOTPLAN win only when individually dominant.
+    EXPECT_EQ(DeadlineMonitor::worstStage({5, 5, 5, 200, 1}),
+              Stage::Fusion);
+    EXPECT_EQ(DeadlineMonitor::worstStage({5, 5, 5, 1, 200}),
+              Stage::MotPlan);
+}
+
+TEST(DeadlineMonitor, TightBudgetSyntheticSweep)
+{
+    DeadlineParams params;
+    params.budgetMs = 10.0;
+    DeadlineMonitor mon(params);
+    for (int i = 0; i < 100; ++i) {
+        // Every third frame spikes DET to 3x budget.
+        const double det = (i % 3 == 0) ? 30.0 : 2.0;
+        mon.observe(i, {det, 1.0, 2.0, 0.1, 0.2});
+    }
+    EXPECT_EQ(mon.framesObserved(), 100u);
+    EXPECT_EQ(mon.violations(), 34u); // frames 0, 3, ..., 99.
+    EXPECT_EQ(mon.violationsByStage()[static_cast<int>(Stage::Det)],
+              34u);
+    EXPECT_EQ(mon.violationsByStage()[static_cast<int>(Stage::Loc)], 0u);
+    // 30 + 1 + 0.1 + 0.2 = 31.3 ms against a 10 ms budget.
+    EXPECT_NEAR(mon.worstOverrunMs(), 21.3, 1e-9);
+}
+
+TEST(DeadlineMonitor, ReportNamesViolationsAndStages)
+{
+    DeadlineParams params;
+    params.budgetMs = 50.0;
+    DeadlineMonitor mon(params);
+    mon.observe(0, {10, 5, 12, 1, 1});
+    mon.observe(1, {70, 10, 12, 1, 1});
+    const std::string report = mon.report();
+    EXPECT_NE(report.find("1"), std::string::npos);
+    EXPECT_NE(report.find("DET"), std::string::npos);
+    // All five stages appear in the attribution table.
+    for (const char* stage :
+         {"DET", "TRA", "LOC", "FUSION", "MOTPLAN"})
+        EXPECT_NE(report.find(stage), std::string::npos) << stage;
+}
+
+TEST(DeadlineMonitor, NoViolationsReportIsQuietAboutWorstFrame)
+{
+    DeadlineMonitor mon;
+    mon.observe(0, {10, 5, 12, 1, 1});
+    EXPECT_EQ(mon.violations(), 0u);
+    EXPECT_EQ(mon.worstFrame(), -1);
+    EXPECT_DOUBLE_EQ(mon.worstOverrunMs(), 0.0);
+}
+
+} // namespace

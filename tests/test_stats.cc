@@ -103,6 +103,56 @@ TEST(LatencyRecorder, MergeMatchesCombinedRecording)
     EXPECT_DOUBLE_EQ(a.mean(), all.mean());
 }
 
+TEST(LatencyRecorder, SummaryIfAnyEmptyIsNullopt)
+{
+    LatencyRecorder rec;
+    EXPECT_FALSE(rec.summaryIfAny().has_value());
+    rec.record(3.0);
+    rec.clear();
+    EXPECT_FALSE(rec.summaryIfAny().has_value());
+}
+
+TEST(LatencyRecorder, SummaryIfAnySingleSample)
+{
+    LatencyRecorder rec;
+    rec.record(42.0);
+    const auto s = rec.summaryIfAny();
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->count, 1u);
+    EXPECT_DOUBLE_EQ(s->mean, 42.0);
+    EXPECT_DOUBLE_EQ(s->p50, 42.0);
+    EXPECT_DOUBLE_EQ(s->p9999, 42.0);
+    EXPECT_DOUBLE_EQ(s->worst, 42.0);
+    EXPECT_DOUBLE_EQ(s->best, 42.0);
+}
+
+TEST(LatencyRecorder, MergeWithEmptyIsIdentity)
+{
+    LatencyRecorder rec;
+    for (int i = 1; i <= 10; ++i)
+        rec.record(i);
+    const LatencyRecorder empty;
+
+    // Non-empty <- empty: nothing changes.
+    rec.merge(empty);
+    EXPECT_EQ(rec.count(), 10u);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(rec.mean(), 5.5);
+
+    // Empty <- non-empty: adopts the other's samples.
+    LatencyRecorder fresh;
+    fresh.merge(rec);
+    EXPECT_EQ(fresh.count(), 10u);
+    EXPECT_DOUBLE_EQ(fresh.percentile(0.5), 5.0);
+    ASSERT_TRUE(fresh.summaryIfAny().has_value());
+
+    // Empty <- empty stays empty.
+    LatencyRecorder a;
+    a.merge(empty);
+    EXPECT_TRUE(a.empty());
+    EXPECT_FALSE(a.summaryIfAny().has_value());
+}
+
 TEST(LatencyRecorder, ClearResets)
 {
     LatencyRecorder rec;

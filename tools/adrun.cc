@@ -10,10 +10,19 @@
  *   adrun [--scenario=highway|urban] [--frames=100]
  *         [--resolution=HHD|KITTI|HD] [--seed=1] [--csv=out.csv]
  *         [--det-input=160] [--summary] [--nn.threads=N]
+ *         [--trace <file>] [--metrics] [--obs.trace_nn]
+ *         [--obs.budget_ms=100]
  *
  * --nn.threads drives the parallel NN kernel layer in every engine:
  * 0 (the default) resolves to hardware concurrency, 1 restores the
  * exact serial behavior. Outputs are bitwise-identical either way.
+ *
+ * --trace writes a Chrome trace_event JSON (chrome://tracing /
+ * Perfetto) with per-stage spans carrying frame ids; --metrics dumps
+ * the metric registry (per-stage latency summaries, NN per-layer
+ * FLOPs/bytes, thread-pool counters, deadline-violation attribution)
+ * to stderr at exit. Both are zero-cost when off and perturb no
+ * outputs when on (see tests/test_trace.cc determinism test).
  */
 
 #include <cstdio>
@@ -23,6 +32,8 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "nn/kernel_context.hh"
+#include "nn/network.hh"
+#include "obs/obs.hh"
 #include "pipeline/pipeline.hh"
 #include "sensors/scenario.hh"
 #include "slam/mapping.hh"
@@ -50,6 +61,7 @@ main(int argc, char** argv)
 {
     using namespace ad;
     const Config cfg = Config::fromArgs(argc, argv);
+    const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
     const int frames = cfg.getInt("frames", 100);
     Rng rng(cfg.getInt("seed", 1));
 
@@ -77,6 +89,8 @@ main(int argc, char** argv)
     // override", so resolve the knob before handing it down).
     params.nnThreads =
         nn::resolveKernelThreads(cfg.getInt("nn.threads", 0));
+    params.deadline.budgetMs = obsOpt.budgetMs;
+    params.deadline.logViolations = obsOpt.any();
     pipeline::Pipeline pipe(&map, &camera, nullptr, params);
 
     Pose2 ego = scenario.ego.pose;
@@ -128,5 +142,25 @@ main(int argc, char** argv)
                  pipe.locLatency().summary().toString().c_str());
     std::fprintf(stderr, "E2E     %s\n",
                  pipe.endToEndLatency().summary().toString().c_str());
+
+    const auto& watchdog = pipe.deadlineMonitor();
+    std::fprintf(stderr, "%s", watchdog.report().c_str());
+
+    if (obsOpt.metricsDump) {
+        auto& reg = obs::metrics();
+        // The NN compute inventory next to the measured latencies.
+        nn::profileToMetrics(pipe.detector().profile(), reg);
+        reg.counter("deadline.frames").add(watchdog.framesObserved());
+        reg.counter("deadline.violations").add(watchdog.violations());
+        const auto& byStage = watchdog.violationsByStage();
+        for (std::size_t i = 0; i < obs::kStageCount; ++i)
+            reg.counter(std::string("deadline.violations.") +
+                        obs::stageName(static_cast<obs::Stage>(i)))
+                .add(byStage[i]);
+        reg.gauge("deadline.budget_ms").set(watchdog.params().budgetMs);
+        reg.gauge("deadline.worst_overrun_ms")
+            .set(watchdog.worstOverrunMs());
+    }
+    obs::finish(obsOpt);
     return 0;
 }

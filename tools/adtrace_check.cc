@@ -1,0 +1,113 @@
+/**
+ * @file
+ * adtrace_check -- validate a Chrome trace_event JSON file emitted by
+ * the observability layer. Parses the document back (no grepping),
+ * asserts the traceEvents array exists with at least --min-events
+ * entries, that every event carries the required fields (name, ph,
+ * ts, plus dur for complete events and args.frame for stage spans),
+ * and that every --require=NAME span name is present. Exit status 0
+ * on success, 1 with a diagnostic otherwise -- the obs_smoke ctest
+ * chains this after an adrun --trace run.
+ *
+ * Usage:
+ *   adtrace_check <trace.json> [--min-events=N] [--require=NAME]...
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace {
+
+using ad::obs::json::Value;
+
+int
+fail(const std::string& message)
+{
+    std::fprintf(stderr, "adtrace_check: %s\n", message.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    long minEvents = 1;
+    std::vector<std::string> required;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--min-events=", 0) == 0)
+            minEvents = std::strtol(arg.c_str() + 13, nullptr, 10);
+        else if (arg.rfind("--require=", 0) == 0)
+            required.push_back(arg.substr(10));
+        else if (path.empty())
+            path = arg;
+        else
+            return fail("unexpected argument '" + arg + "'");
+    }
+    if (path.empty())
+        return fail("usage: adtrace_check <trace.json> "
+                    "[--min-events=N] [--require=NAME]...");
+
+    std::string error;
+    const auto doc = ad::obs::json::parseFile(path, &error);
+    if (!doc)
+        return fail("'" + path + "' is not valid JSON: " + error);
+    if (!doc->isObject())
+        return fail("top-level value is not an object");
+
+    const Value* events = doc->find("traceEvents");
+    if (!events || !events->isArray())
+        return fail("missing traceEvents array");
+    const auto& arr = events->asArray();
+    if (static_cast<long>(arr.size()) < minEvents)
+        return fail("only " + std::to_string(arr.size()) +
+                    " events, expected at least " +
+                    std::to_string(minEvents));
+
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const Value& e = arr[i];
+        const std::string where = "event " + std::to_string(i);
+        if (!e.isObject())
+            return fail(where + " is not an object");
+        const Value* name = e.find("name");
+        const Value* ph = e.find("ph");
+        const Value* ts = e.find("ts");
+        if (!name || !name->isString())
+            return fail(where + " lacks a string name");
+        if (!ph || !ph->isString())
+            return fail(where + " lacks a ph field");
+        if (!ts || !ts->isNumber())
+            return fail(where + " lacks a numeric ts");
+        const std::string& phase = ph->asString();
+        if (phase != "X" && phase != "B" && phase != "E")
+            return fail(where + " has unsupported phase '" + phase +
+                        "'");
+        if (phase == "X") {
+            const Value* dur = e.find("dur");
+            if (!dur || !dur->isNumber())
+                return fail(where + " is complete (X) but lacks dur");
+        }
+        const Value* args = e.find("args");
+        if (!args || !args->find("frame") ||
+            !args->find("frame")->isNumber())
+            return fail(where + " lacks args.frame");
+        names.insert(name->asString());
+    }
+
+    for (const auto& want : required)
+        if (!names.count(want))
+            return fail("required span '" + want +
+                        "' missing from trace");
+
+    std::printf("adtrace_check: %s ok (%zu events, %zu span names)\n",
+                path.c_str(), arr.size(), names.size());
+    return 0;
+}
