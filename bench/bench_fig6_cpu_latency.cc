@@ -29,6 +29,11 @@ main(int argc, char** argv)
     using accel::Component;
     using accel::Platform;
     const Config cfg = Config::fromArgs(argc, argv);
+    {
+        auto known = obs::knownConfigKeys();
+        known.push_back("threads");
+        cfg.warnUnknownKeys(known);
+    }
     const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
     const int threads = cfg.getInt("threads", 1);
     bench::printHeader("Figure 6",

@@ -1,11 +1,35 @@
 #include "common/config.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string_view>
 
 #include "common/logging.hh"
 
 namespace ad {
+
+namespace {
+
+/** Classic two-row Levenshtein distance. */
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
 
 Config
 Config::fromArgs(int argc, char** argv)
@@ -76,6 +100,32 @@ Config::getDouble(const std::string& key, double def) const
         fatal("config key '", key, "': '", it->second,
               "' is not a number");
     return v;
+}
+
+int
+Config::warnUnknownKeys(const std::vector<std::string>& known) const
+{
+    int unknown = 0;
+    for (const auto& [key, value] : values_) {
+        if (std::find(known.begin(), known.end(), key) != known.end())
+            continue;
+        ++unknown;
+        const std::string* best = nullptr;
+        std::size_t bestDist = 0;
+        for (const auto& candidate : known) {
+            const std::size_t d = editDistance(key, candidate);
+            if (!best || d < bestDist) {
+                best = &candidate;
+                bestDist = d;
+            }
+        }
+        if (best && bestDist <= std::max<std::size_t>(2, key.size() / 3))
+            warn("unknown config key '--", key, "'; did you mean '--",
+                 *best, "'?");
+        else
+            warn("unknown config key '--", key, "' (ignored)");
+    }
+    return unknown;
 }
 
 bool

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ad {
 
@@ -43,6 +44,15 @@ class Config
     {
         return values_;
     }
+
+    /**
+     * Warn (stderr) about every stored key absent from `known`,
+     * suggesting the nearest known key by edit distance when one is
+     * plausibly a typo (distance <= max(2, len/3)). Catches silently
+     * ignored misspellings like --fault.drop-p for --fault.drop_p.
+     * Returns the number of unknown keys.
+     */
+    int warnUnknownKeys(const std::vector<std::string>& known) const;
 
   private:
     std::map<std::string, std::string> values_;

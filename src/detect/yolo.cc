@@ -104,6 +104,16 @@ refineBox(const Image& frame, const BBox& candidate, int brightPixel,
 
 } // namespace
 
+DetectorParams
+DetectorParams::scaledInput(double scale) const
+{
+    DetectorParams p = *this;
+    const int scaled =
+        static_cast<int>(inputSize * std::clamp(scale, 0.0, 1.0));
+    p.inputSize = std::max(64, scaled - scaled % 32);
+    return p;
+}
+
 YoloDetector::YoloDetector(const DetectorParams& params)
     : params_(params),
       net_(nn::buildNetwork(nn::detectorSpec(params.inputSize, params.width,

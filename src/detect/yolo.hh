@@ -64,6 +64,15 @@ struct DetectorParams
      * concurrency. Results are bitwise-identical for any value.
      */
     int threads = 1;
+
+    /**
+     * The same params with the square input downscaled by `scale`,
+     * rounded down to the grid's multiple-of-32 constraint and
+     * floored at 64 px. The degradation governor's DEGRADED mode
+     * builds its warm standby detector from this (forward cost scales
+     * roughly with input area, so scale 0.5 is ~4x cheaper).
+     */
+    DetectorParams scaledInput(double scale) const;
 };
 
 /**

@@ -38,6 +38,14 @@ setupFromConfig(const Config& cfg)
     return opt;
 }
 
+std::vector<std::string>
+knownConfigKeys()
+{
+    return {"trace",       "metrics",        "obs.trace",
+            "obs.trace_file", "obs.trace_nn", "obs.metrics",
+            "obs.budget_ms"};
+}
+
 void
 finish(const ObsOptions& options)
 {

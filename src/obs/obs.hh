@@ -20,6 +20,7 @@
 #define AD_OBS_OBS_HH
 
 #include <string>
+#include <vector>
 
 #include "obs/deadline.hh"
 #include "obs/metrics.hh"
@@ -48,6 +49,12 @@ struct ObsOptions
  * recorder and registry accordingly.
  */
 ObsOptions setupFromConfig(const Config& cfg);
+
+/**
+ * Every config key setupFromConfig reads, for composing a tool's
+ * known-key list (Config::warnUnknownKeys).
+ */
+std::vector<std::string> knownConfigKeys();
 
 /**
  * End-of-run actions: write the Chrome trace (reporting the path and

@@ -3,6 +3,7 @@
 #include "common/time.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sensors/corruption.hh"
 
 namespace ad::pipeline {
 
@@ -20,6 +21,13 @@ applyNnThreads(PipelineParams p)
     return p;
 }
 
+/** Virtual spike milliseconds injected on one stage this frame. */
+double
+spikeOn(const FaultPlan& fault, obs::Stage stage)
+{
+    return fault.spikeMs[static_cast<std::size_t>(stage)];
+}
+
 } // namespace
 
 Pipeline::Pipeline(const slam::PriorMap* map,
@@ -33,6 +41,16 @@ Pipeline::Pipeline(const slam::PriorMap* map,
 {
     if (roadGraph)
         mission_.emplace(roadGraph, params_.mission);
+    if (params_.faults.enabled)
+        faults_.emplace(params_.faults);
+    if (params_.governor.enabled) {
+        governor_.emplace(params_.governor);
+        // Warm standby detector at degraded scale: built now so
+        // DEGRADED-mode frames never pay construction cost (the
+        // tracker-pool warm-start rule, Section 3.1.2).
+        degradedDetector_.emplace(params_.detector.scaledInput(
+            params_.governor.degradedDetScale));
+    }
 }
 
 void
@@ -44,6 +62,11 @@ Pipeline::reset(const Pose2& pose, const Vec2& velocity,
         mission_->plan(pose.pos, destination);
     controller_.reset();
     time_ = 0;
+    lastLocPose_ = pose;
+    lastLocVelocity_ = velocity;
+    lastDetections_.clear();
+    detStaleFrames_ = 0;
+    locStaleFrames_ = 0;
 }
 
 FrameOutput
@@ -57,22 +80,87 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
         tracerRef.setFrame(frameId);
     obs::TraceSpan frameSpan(tracerRef, "FRAME", "frame", frameId);
 
+    // Fault plan for this frame (a fixed number of seeded draws) and
+    // the governor's actuation plan. With both subsystems disabled
+    // this degenerates to "run everything", the pre-governor flow.
+    const FaultPlan fault =
+        faults_ ? faults_->planFrame() : FaultPlan{};
+    const FramePlan plan = governor_ ? governor_->plan(frameId)
+                                     : FramePlan{};
+    out.mode = plan.mode;
+    out.frameDropped = fault.dropFrame;
+
+    // Sensor corruption reaches the engines through the pixels; the
+    // frame is copied only when a corruption fault actually fired.
+    const Image* frame = &image;
+    Image corrupted;
+    if (!fault.dropFrame &&
+        (fault.blackout || fault.noiseSigma > 0)) {
+        corrupted = image;
+        if (fault.blackout) {
+            sensors::blackout(corrupted);
+        } else {
+            Rng noiseRng(fault.noiseSeed);
+            sensors::addPixelNoise(corrupted, noiseRng,
+                                   fault.noiseSigma);
+        }
+        frame = &corrupted;
+    }
+
     // --- (1a) Object detection. ---
     detect::DetectorTimings detTimings;
-    {
+    const int maxStale = params_.governor.maxStaleFrames;
+    const bool wantDet = plan.runDet && !fault.dropFrame;
+    if (wantDet && !fault.detFail) {
         obs::TraceSpan span(tracerRef, "DET");
-        out.detections = detector_.detect(image, &detTimings);
+        detect::YoloDetector& det =
+            plan.degradedDet && degradedDetector_ ? *degradedDetector_
+                                                  : detector_;
+        out.detections = det.detect(*frame, &detTimings);
+        out.detRan = true;
+        lastDetections_ = out.detections;
+        detStaleFrames_ = 0;
+    } else if (wantDet) {
+        // Transient DET failure: reuse the last good detections while
+        // they are fresh enough (timeout-with-fallback).
+        ++detStaleFrames_;
+        if (detStaleFrames_ <= maxStale) {
+            out.detections = lastDetections_;
+            out.detFellBack = true;
+        }
     }
-    out.latencies.detMs = detTimings.totalMs;
+    out.latencies.detMs =
+        detTimings.totalMs + spikeOn(fault, obs::Stage::Det);
     cycles_.detDnnMs += detTimings.dnnMs;
     cycles_.detOtherMs += detTimings.decodeMs;
 
     // --- (1b) Localization (logically parallel with DET). ---
-    {
+    if (!fault.dropFrame && !fault.locFail) {
         obs::TraceSpan span(tracerRef, "LOC");
-        out.localization = localizer_.localize(image, dt);
+        out.localization = localizer_.localize(*frame, dt);
+        if (out.localization.ok) {
+            if (dt > 0)
+                lastLocVelocity_ =
+                    (out.localization.pose.pos - lastLocPose_.pos) *
+                    (1.0 / dt);
+            lastLocPose_ = out.localization.pose;
+            locStaleFrames_ = 0;
+        }
+    } else {
+        // LOC never ran: dead-reckon from the last good pose under
+        // the bounded-staleness contract; blowing the bound forces
+        // SAFE_STOP (docs/OPERATING_MODES.md).
+        lastLocPose_.pos += lastLocVelocity_ * dt;
+        out.localization.pose = lastLocPose_;
+        out.localization.ok = false;
+        out.localization.lost = true;
+        out.locFellBack = true;
+        ++locStaleFrames_;
+        if (governor_ && locStaleFrames_ > maxStale)
+            governor_->forceSafeStop(frameId, "stale:LOC");
     }
-    out.latencies.locMs = out.localization.timings.totalMs;
+    out.latencies.locMs = out.localization.timings.totalMs +
+                          spikeOn(fault, obs::Stage::Loc);
     cycles_.locFeMs += out.localization.timings.feMs;
     cycles_.locOtherMs +=
         out.localization.timings.totalMs - out.localization.timings.feMs;
@@ -81,10 +169,21 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
     track::PoolTimings traTimings;
     {
         obs::TraceSpan span(tracerRef, "TRA");
-        trackerPool_.update(image, out.detections, &traTimings);
+        if (fault.dropFrame || fault.traFail) {
+            trackerPool_.coastBlind(&traTimings);
+            out.traCoasted = true;
+        } else if (!plan.runDet) {
+            // Deliberately skipped detection (interval stretching /
+            // TRACKING_ONLY): GOTURN coasting without miss counting.
+            trackerPool_.coast(*frame, &traTimings);
+            out.traCoasted = true;
+        } else {
+            trackerPool_.update(*frame, out.detections, &traTimings);
+        }
     }
     out.tracks = trackerPool_.tracks();
-    out.latencies.traMs = traTimings.totalMs;
+    out.latencies.traMs =
+        traTimings.totalMs + spikeOn(fault, obs::Stage::Tra);
     cycles_.traDnnMs += traTimings.tracker.dnnMs;
     cycles_.traOtherMs += traTimings.totalMs - traTimings.tracker.dnnMs;
 
@@ -94,7 +193,8 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
         out.scene = fusion_.fuse(out.tracks, out.localization.pose, dt,
                                  time_);
     }
-    out.latencies.fusionMs = fusion_.lastFuseMs();
+    out.latencies.fusionMs =
+        fusion_.lastFuseMs() + spikeOn(fault, obs::Stage::Fusion);
 
     // --- (4) Mission planning: only on deviation. ---
     if (mission_)
@@ -115,12 +215,19 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
             params_.motionPlanner);
         out.latencies.motPlanMs = watch.elapsedMs();
     }
+    out.latencies.motPlanMs += spikeOn(fault, obs::Stage::MotPlan);
 
     // --- (5) Vehicle control. ---
     planning::VehicleState state;
     state.pose = out.localization.pose;
     state.speed = egoSpeed;
     out.command = controller_.control(state, out.trajectory, dt);
+    if (plan.safeStop) {
+        // SAFE_STOP actuation: hold the wheel straight and brake at
+        // the controller's limit until the governor recovers.
+        out.command.steering = 0.0;
+        out.command.acceleration = -params_.control.maxBrake;
+    }
 
     detRec_.record(out.latencies.detMs);
     traRec_.record(out.latencies.traMs);
@@ -131,12 +238,15 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
 
     // Deadline watchdog: every frame, whatever the obs switches say
     // (observe() is a few comparisons and mutates nothing the engines
-    // read).
-    deadline_.observe(frameId, {out.latencies.detMs,
-                                out.latencies.traMs,
-                                out.latencies.locMs,
-                                out.latencies.fusionMs,
-                                out.latencies.motPlanMs});
+    // read). Injected virtual spikes are included in the sample, so
+    // the watchdog and governor see faults exactly as they would see
+    // real stalls.
+    const obs::FrameLatencySample sample{
+        out.latencies.detMs, out.latencies.traMs, out.latencies.locMs,
+        out.latencies.fusionMs, out.latencies.motPlanMs};
+    deadline_.observe(frameId, sample);
+    if (governor_)
+        governor_->observe(frameId, sample);
 
     if (obs::metricsEnabled()) {
         auto& reg = obs::metrics();
@@ -152,6 +262,16 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
             .record(out.latencies.endToEndMs());
         reg.counter("pipeline.mission_replans")
             .add(out.missionReplanned ? 1 : 0);
+        reg.counter("pipeline.frames_dropped")
+            .add(out.frameDropped ? 1 : 0);
+        reg.counter("pipeline.det_skipped")
+            .add(!plan.runDet ? 1 : 0);
+        reg.counter("pipeline.det_fallback")
+            .add(out.detFellBack ? 1 : 0);
+        reg.counter("pipeline.loc_fallback")
+            .add(out.locFellBack ? 1 : 0);
+        reg.counter("pipeline.tra_coasted")
+            .add(out.traCoasted ? 1 : 0);
     }
     return out;
 }

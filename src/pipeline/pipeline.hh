@@ -22,6 +22,8 @@
 #include "detect/yolo.hh"
 #include "obs/deadline.hh"
 #include "fusion/fusion.hh"
+#include "pipeline/fault_injector.hh"
+#include "pipeline/governor.hh"
 #include "planning/conformal.hh"
 #include "planning/control.hh"
 #include "planning/mission.hh"
@@ -56,6 +58,24 @@ struct PipelineParams
      * whatever the budget.
      */
     obs::DeadlineParams deadline;
+
+    /**
+     * Fault injection (`fault.*` knobs / adrun `--faults`). Disabled
+     * by default; when disabled the pipeline draws nothing from the
+     * fault stream and behaves exactly as before.
+     */
+    FaultInjectorParams faults;
+
+    /**
+     * Degradation governor (`gov.*` knobs / adrun `--governor`).
+     * Disabled by default -- the pipeline then runs every stage every
+     * frame (NOMINAL behavior, identical to the pre-governor system).
+     * Enabling it also builds the warm standby detector at
+     * `governor.degradedDetScale` input scale so DEGRADED-mode frames
+     * never pay detector construction cost (the same warm-start rule
+     * as the tracker pool, Section 3.1.2).
+     */
+    GovernorParams governor;
 };
 
 /** Wall-clock per-stage latencies of one frame (ms). */
@@ -87,6 +107,19 @@ struct FrameOutput
     planning::ControlCommand command;
     StageLatencies latencies;
     bool missionReplanned = false;
+
+    /** Governor operating mode during this frame. */
+    OperatingMode mode = OperatingMode::Nominal;
+    /** The camera delivered nothing this frame (injected drop). */
+    bool frameDropped = false;
+    /** The detection engine actually executed this frame. */
+    bool detRan = false;
+    /** Stale detections were reused (transient DET failure). */
+    bool detFellBack = false;
+    /** Pose was dead-reckoned (frame drop or transient LOC failure). */
+    bool locFellBack = false;
+    /** Tracks advanced by coasting rather than a full update. */
+    bool traCoasted = false;
 };
 
 /**
@@ -158,6 +191,18 @@ class Pipeline
         return deadline_;
     }
 
+    /** The degradation governor, or null when disabled. */
+    const DegradationGovernor* governor() const
+    {
+        return governor_ ? &*governor_ : nullptr;
+    }
+
+    /** The fault injector, or null when disabled. */
+    const FaultInjector* faultInjector() const
+    {
+        return faults_ ? &*faults_ : nullptr;
+    }
+
     detect::YoloDetector& detector() { return detector_; }
     slam::Localizer& localizer() { return localizer_; }
     planning::MissionPlanner* missionPlanner()
@@ -169,11 +214,22 @@ class Pipeline
     PipelineParams params_;
     const sensors::Camera* camera_;
     detect::YoloDetector detector_;
+    /** Warm standby at degraded input scale (governor enabled only). */
+    std::optional<detect::YoloDetector> degradedDetector_;
     track::TrackerPool trackerPool_;
     slam::Localizer localizer_;
     fusion::FusionEngine fusion_;
     std::optional<planning::MissionPlanner> mission_;
     planning::VehicleController controller_;
+    std::optional<FaultInjector> faults_;
+    std::optional<DegradationGovernor> governor_;
+
+    /** Fallback state: last good results + bounded staleness ages. */
+    std::vector<detect::Detection> lastDetections_;
+    Pose2 lastLocPose_;
+    Vec2 lastLocVelocity_{0, 0};
+    int detStaleFrames_ = 0;
+    int locStaleFrames_ = 0;
 
     LatencyRecorder detRec_;
     LatencyRecorder traRec_;

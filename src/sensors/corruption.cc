@@ -1,0 +1,49 @@
+#include "sensors/corruption.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ad::sensors {
+
+void
+addPixelNoise(Image& image, Rng& rng, double sigma)
+{
+    if (sigma <= 0)
+        return;
+    const int w = image.width();
+    const int h = image.height();
+    for (int y = 0; y < h; ++y) {
+        std::uint8_t* row = image.row(y);
+        for (int x = 0; x < w; ++x) {
+            const double v = row[x] + rng.normal(0.0, sigma);
+            row[x] = static_cast<std::uint8_t>(
+                std::clamp(v, 0.0, 255.0));
+        }
+    }
+}
+
+void
+blackout(Image& image, std::uint8_t level)
+{
+    image.fill(level);
+}
+
+void
+blackoutBand(Image& image, double startFraction, double fraction,
+             std::uint8_t level)
+{
+    if (image.empty() || fraction <= 0)
+        return;
+    startFraction = std::clamp(startFraction, 0.0, 1.0);
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const int h = image.height();
+    const int y0 = static_cast<int>(std::floor(startFraction * h));
+    const int y1 = std::min(
+        h, y0 + static_cast<int>(std::ceil(fraction * h)));
+    for (int y = y0; y < y1; ++y) {
+        std::uint8_t* row = image.row(y);
+        std::fill(row, row + image.width(), level);
+    }
+}
+
+} // namespace ad::sensors

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic sensor-corruption primitives for fault injection:
+ * additive pixel noise (a degraded or rain-specked sensor) and full or
+ * partial blackout (an occluded, failed or over/under-exposed camera).
+ * Every operation consumes an explicit Rng so a corrupted run is
+ * bit-reproducible from the fault seed, matching the library-wide
+ * no-global-randomness rule (common/random.hh).
+ *
+ * These primitives mutate only the Image handed to them -- never the
+ * renderer or the world -- so the downstream engines (DET, LOC, TRA)
+ * see the corruption exactly as a real pipeline would: through the
+ * pixels.
+ */
+
+#ifndef AD_SENSORS_CORRUPTION_HH
+#define AD_SENSORS_CORRUPTION_HH
+
+#include "common/image.hh"
+#include "common/random.hh"
+
+namespace ad::sensors {
+
+/**
+ * Add zero-mean Gaussian noise with the given standard deviation (in
+ * intensity levels) to every pixel, clamping to [0, 255]. One normal
+ * draw per pixel, row-major, so the consumed rng stream depends only
+ * on the image dimensions.
+ */
+void addPixelNoise(Image& image, Rng& rng, double sigma);
+
+/**
+ * Blackout: fill the whole frame with the given level (default 0, a
+ * dead sensor; 255 models saturation/glare). Draws nothing from any
+ * rng.
+ */
+void blackout(Image& image, std::uint8_t level = 0);
+
+/**
+ * Blackout a horizontal band covering `fraction` of the frame height
+ * starting at `startFraction` from the top (both clamped to [0, 1]) --
+ * partial occlusion such as a wiper or splash. Draws nothing.
+ */
+void blackoutBand(Image& image, double startFraction, double fraction,
+                  std::uint8_t level = 0);
+
+} // namespace ad::sensors
+
+#endif // AD_SENSORS_CORRUPTION_HH

@@ -166,4 +166,48 @@ TrackerPool::update(const Image& frame,
     }
 }
 
+void
+TrackerPool::coast(const Image& frame, PoolTimings* timings)
+{
+    Stopwatch total;
+    TrackTimings trackerTimings;
+    int trackerRuns = 0;
+    {
+        obs::TraceSpan span(obs::tracer(), "tra.coast", "tra");
+        for (auto& track : tracks_) {
+            const BBox old = track.box;
+            track.box =
+                pool_[track.trackerIndex]->track(frame,
+                                                 &trackerTimings);
+            track.velocityPx = {track.box.cx() - old.cx(),
+                                track.box.cy() - old.cy()};
+            ++track.age;
+            ++trackerRuns;
+        }
+    }
+    if (timings) {
+        timings->tracker.dnnMs += trackerTimings.dnnMs;
+        timings->tracker.otherMs += trackerTimings.otherMs;
+        timings->tracker.totalMs += trackerTimings.totalMs;
+        timings->totalMs += total.elapsedMs();
+        timings->trackerRuns += trackerRuns;
+    }
+}
+
+void
+TrackerPool::coastBlind(PoolTimings* timings)
+{
+    Stopwatch total;
+    {
+        obs::TraceSpan span(obs::tracer(), "tra.coast_blind", "tra");
+        for (auto& track : tracks_) {
+            track.box.x += track.velocityPx.x;
+            track.box.y += track.velocityPx.y;
+            ++track.age;
+        }
+    }
+    if (timings)
+        timings->totalMs += total.elapsedMs();
+}
+
 } // namespace ad::track

@@ -81,6 +81,29 @@ class TrackerPool
                 const std::vector<detect::Detection>& detections,
                 PoolTimings* timings = nullptr);
 
+    /**
+     * Advance every live track one frame on its GOTURN prediction
+     * alone -- no detections, no association, and, unlike update()
+     * with an empty detection list, no detection-miss counting, so
+     * deliberately skipped detection frames (the governor's
+     * DEGRADED/TRACKING_ONLY detection-interval stretching) never push
+     * tracks toward the ten-miss eviction.
+     *
+     * @param frame current camera frame.
+     * @param timings optional per-frame statistics.
+     */
+    void coast(const Image& frame, PoolTimings* timings = nullptr);
+
+    /**
+     * Advance every live track by its last pixel velocity without
+     * touching the image -- the fallback for frames the camera never
+     * delivered (frame drop) or where TRA itself failed transiently.
+     * Tracker-internal state is left untouched; the next real
+     * update()/coast() searches from the pre-coast location, which is
+     * bounded drift over the staleness window the governor allows.
+     */
+    void coastBlind(PoolTimings* timings = nullptr);
+
     /** The live tracked-object table. */
     const std::vector<TrackedObject>& tracks() const { return tracks_; }
 

@@ -80,4 +80,29 @@ TEST(Config, LastValueWins)
     EXPECT_EQ(cfg.getInt("n", 0), 2);
 }
 
+TEST(Config, WarnUnknownKeysSuggestsNearestKnownKey)
+{
+    const std::vector<std::string> known = {"faults", "fault.drop_p",
+                                            "obs.budget_ms",
+                                            "nn.threads"};
+    // All keys known: nothing to warn about.
+    Config clean;
+    clean.set("faults", "0.1");
+    clean.set("nn.threads", "4");
+    EXPECT_EQ(clean.warnUnknownKeys(known), 0);
+
+    // A near-miss spelling counts as one unknown key (and the warning
+    // it prints suggests the intended key; the count is what the API
+    // contract exposes).
+    Config typo;
+    typo.set("fault.drop-p", "0.1");
+    EXPECT_EQ(typo.warnUnknownKeys(known), 1);
+
+    // Completely alien keys still count, with no plausible suggestion.
+    Config alien;
+    alien.set("zzzzzzzzzzzz", "1");
+    alien.set("faults", "0.2");
+    EXPECT_EQ(alien.warnUnknownKeys(known), 1);
+}
+
 } // namespace

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the degradation governor state machine: every escalation
+ * and recovery transition, the hysteresis thresholds, the exponential
+ * recovery backoff and its reset, forced SAFE_STOP, and the per-mode
+ * actuation knobs plan() hands the pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "pipeline/governor.hh"
+
+namespace {
+
+using namespace ad;
+using pipeline::DegradationGovernor;
+using pipeline::FramePlan;
+using pipeline::GovernorParams;
+using pipeline::OperatingMode;
+
+/** A latency sample whose end-to-end latency is exactly `ms`. */
+obs::FrameLatencySample
+sampleMs(double ms)
+{
+    return {ms, 0, 0, 0, 0};
+}
+
+/** Small thresholds so transitions happen within a few frames. */
+GovernorParams
+testParams()
+{
+    GovernorParams p;
+    p.enabled = true;
+    p.budgetMs = 100.0;
+    p.escalateAfterMisses = 2;
+    p.recoverAfterFrames = 3;
+    p.recoveryBackoff = 2.0;
+    p.maxRecoverAfterFrames = 12;
+    p.backoffResetFactor = 2;
+    return p;
+}
+
+/** Feed `n` frames of the given latency, returning the next frame id. */
+std::int64_t
+feed(DegradationGovernor& gov, std::int64_t frame, int n, double ms)
+{
+    for (int i = 0; i < n; ++i)
+        gov.observe(frame++, sampleMs(ms));
+    return frame;
+}
+
+TEST(Governor, ModeNamesMatchDocumentedContract)
+{
+    EXPECT_STREQ(pipeline::modeName(OperatingMode::Nominal), "NOMINAL");
+    EXPECT_STREQ(pipeline::modeName(OperatingMode::Degraded),
+                 "DEGRADED");
+    EXPECT_STREQ(pipeline::modeName(OperatingMode::TrackingOnly),
+                 "TRACKING_ONLY");
+    EXPECT_STREQ(pipeline::modeName(OperatingMode::SafeStop),
+                 "SAFE_STOP");
+}
+
+TEST(Governor, EscalatesOneLevelPerMissRun)
+{
+    DegradationGovernor gov(testParams());
+    ASSERT_EQ(gov.mode(), OperatingMode::Nominal);
+
+    // One miss is not enough (escalateAfterMisses = 2)...
+    std::int64_t f = feed(gov, 0, 1, 150.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::Nominal);
+    // ...a clean frame resets the run...
+    f = feed(gov, f, 1, 50.0);
+    f = feed(gov, f, 1, 150.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::Nominal);
+    // ...and two consecutive misses escalate exactly one level.
+    f = feed(gov, f, 1, 150.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::Degraded);
+
+    // Each further miss run walks one more level, ending pinned at
+    // SAFE_STOP (no escalation past the last level).
+    f = feed(gov, f, 2, 150.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::TrackingOnly);
+    f = feed(gov, f, 2, 150.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::SafeStop);
+    feed(gov, f, 4, 150.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::SafeStop);
+
+    ASSERT_EQ(gov.transitions().size(), 3u);
+    for (const auto& t : gov.transitions())
+        EXPECT_EQ(t.reason, "miss");
+}
+
+TEST(Governor, RecoversOneLevelAfterCleanRunWithHysteresis)
+{
+    DegradationGovernor gov(testParams());
+    std::int64_t f = feed(gov, 0, 2, 150.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::Degraded);
+
+    // recoverAfterFrames - 1 clean frames are not enough...
+    f = feed(gov, f, 2, 50.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::Degraded);
+    // ...and a miss resets the clean run without escalating.
+    f = feed(gov, f, 1, 150.0);
+    f = feed(gov, f, 2, 50.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::Degraded);
+    // The full clean run de-escalates exactly one level.
+    f = feed(gov, f, 1, 50.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::Nominal);
+    EXPECT_EQ(gov.transitions().back().reason, "recovered");
+}
+
+TEST(Governor, FailedRecoveryBacksOffExponentiallyThenCaps)
+{
+    DegradationGovernor gov(testParams());
+    EXPECT_EQ(gov.currentRecoverThreshold(), 3);
+
+    // Escalate, recover, then miss again promptly: the de-escalation
+    // did not hold, so the required clean run doubles.
+    std::int64_t f = feed(gov, 0, 2, 150.0);
+    f = feed(gov, f, 3, 50.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::Nominal);
+    f = feed(gov, f, 2, 150.0);
+    EXPECT_EQ(gov.currentRecoverThreshold(), 6);
+
+    // Again: 6 clean frames to recover, prompt re-miss doubles to 12
+    // (the configured cap).
+    f = feed(gov, f, 6, 50.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::Nominal);
+    f = feed(gov, f, 2, 150.0);
+    EXPECT_EQ(gov.currentRecoverThreshold(), 12);
+
+    // The cap holds on further failed recoveries.
+    f = feed(gov, f, 12, 50.0);
+    f = feed(gov, f, 2, 150.0);
+    EXPECT_EQ(gov.currentRecoverThreshold(), 12);
+}
+
+TEST(Governor, SustainedNominalResetsBackoff)
+{
+    DegradationGovernor gov(testParams());
+    std::int64_t f = feed(gov, 0, 2, 150.0);
+    f = feed(gov, f, 3, 50.0);
+    f = feed(gov, f, 2, 150.0);
+    ASSERT_EQ(gov.currentRecoverThreshold(), 6);
+
+    // Recover, then hold NOMINAL for backoffResetFactor x
+    // recoverAfterFrames clean frames: the fault pressure has passed
+    // and the threshold returns to its base value.
+    f = feed(gov, f, 6, 50.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::Nominal);
+    f = feed(gov, f, 2 * 3, 50.0);
+    EXPECT_EQ(gov.currentRecoverThreshold(), 3);
+}
+
+TEST(Governor, ForceSafeStopFromAnyModeRecordsReason)
+{
+    DegradationGovernor gov(testParams());
+    gov.forceSafeStop(17, "stale:LOC");
+    EXPECT_EQ(gov.mode(), OperatingMode::SafeStop);
+    ASSERT_EQ(gov.transitions().size(), 1u);
+    EXPECT_EQ(gov.transitions().back().frame, 17);
+    EXPECT_EQ(gov.transitions().back().from, OperatingMode::Nominal);
+    EXPECT_EQ(gov.transitions().back().reason, "stale:LOC");
+
+    // Idempotent: forcing again records nothing new.
+    gov.forceSafeStop(18, "stale:LOC");
+    EXPECT_EQ(gov.transitions().size(), 1u);
+
+    // SAFE_STOP recovers through the same hysteresis as any mode.
+    feed(gov, 19, 3, 50.0);
+    EXPECT_EQ(gov.mode(), OperatingMode::TrackingOnly);
+}
+
+TEST(Governor, PlanActuatesTheDocumentedKnobsPerMode)
+{
+    GovernorParams p = testParams();
+    p.degradedDetInterval = 2;
+    p.trackingOnlyDetInterval = 0;
+    DegradationGovernor gov(p);
+
+    // NOMINAL: full detector every frame.
+    FramePlan plan = gov.plan(0);
+    EXPECT_EQ(plan.mode, OperatingMode::Nominal);
+    EXPECT_TRUE(plan.runDet);
+    EXPECT_FALSE(plan.degradedDet);
+    EXPECT_FALSE(plan.safeStop);
+
+    // DEGRADED: downscaled detector on every 2nd frame.
+    std::int64_t f = feed(gov, 0, 2, 150.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::Degraded);
+    EXPECT_TRUE(gov.plan(4).runDet);
+    EXPECT_FALSE(gov.plan(5).runDet);
+    EXPECT_TRUE(gov.plan(4).degradedDet);
+    EXPECT_FALSE(gov.plan(4).safeStop);
+
+    // TRACKING_ONLY with interval 0: detector fully off.
+    f = feed(gov, f, 2, 150.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::TrackingOnly);
+    EXPECT_FALSE(gov.plan(6).runDet);
+    EXPECT_FALSE(gov.plan(7).runDet);
+
+    // SAFE_STOP: no detection, controller told to brake.
+    f = feed(gov, f, 2, 150.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::SafeStop);
+    EXPECT_FALSE(gov.plan(8).runDet);
+    EXPECT_TRUE(gov.plan(8).safeStop);
+}
+
+TEST(Governor, TrackingOnlyReseedIntervalRunsDegradedDetector)
+{
+    GovernorParams p = testParams();
+    p.trackingOnlyDetInterval = 4;
+    DegradationGovernor gov(p);
+    std::int64_t f = feed(gov, 0, 2, 150.0);
+    feed(gov, f, 2, 150.0);
+    ASSERT_EQ(gov.mode(), OperatingMode::TrackingOnly);
+    // One reseeding detection every 4 frames, downscaled.
+    EXPECT_TRUE(gov.plan(8).runDet);
+    EXPECT_TRUE(gov.plan(8).degradedDet);
+    EXPECT_FALSE(gov.plan(9).runDet);
+    EXPECT_FALSE(gov.plan(10).runDet);
+    EXPECT_FALSE(gov.plan(11).runDet);
+    EXPECT_TRUE(gov.plan(12).runDet);
+}
+
+TEST(Governor, FramesInModeAccountsEveryObservedFrame)
+{
+    DegradationGovernor gov(testParams());
+    std::int64_t f = feed(gov, 0, 5, 50.0);   // NOMINAL
+    f = feed(gov, f, 2, 150.0);               // escalate at end
+    feed(gov, f, 3, 50.0);                    // DEGRADED, recovers
+    const auto& inMode = gov.framesInMode();
+    EXPECT_EQ(inMode[static_cast<std::size_t>(OperatingMode::Nominal)],
+              7u);
+    EXPECT_EQ(inMode[static_cast<std::size_t>(OperatingMode::Degraded)],
+              3u);
+    EXPECT_EQ(inMode[0] + inMode[1] + inMode[2] + inMode[3], 10u);
+
+    const std::string report = gov.report();
+    EXPECT_NE(report.find("NOMINAL"), std::string::npos);
+    EXPECT_NE(report.find("transitions"), std::string::npos);
+}
+
+TEST(Governor, FromConfigReadsEveryKey)
+{
+    Config cfg;
+    cfg.set("governor", "true");
+    cfg.set("gov.budget_ms", "80");
+    cfg.set("gov.escalate_misses", "3");
+    cfg.set("gov.recover_frames", "10");
+    cfg.set("gov.recovery_backoff", "4.0");
+    cfg.set("gov.max_recover_frames", "640");
+    cfg.set("gov.backoff_reset", "8");
+    cfg.set("gov.det_scale", "0.75");
+    cfg.set("gov.det_interval", "3");
+    cfg.set("gov.tracking_det_interval", "5");
+    cfg.set("gov.max_stale", "4");
+
+    const GovernorParams p = GovernorParams::fromConfig(cfg, 100.0);
+    EXPECT_TRUE(p.enabled);
+    EXPECT_DOUBLE_EQ(p.budgetMs, 80.0);
+    EXPECT_EQ(p.escalateAfterMisses, 3);
+    EXPECT_EQ(p.recoverAfterFrames, 10);
+    EXPECT_DOUBLE_EQ(p.recoveryBackoff, 4.0);
+    EXPECT_EQ(p.maxRecoverAfterFrames, 640);
+    EXPECT_EQ(p.backoffResetFactor, 8);
+    EXPECT_DOUBLE_EQ(p.degradedDetScale, 0.75);
+    EXPECT_EQ(p.degradedDetInterval, 3);
+    EXPECT_EQ(p.trackingOnlyDetInterval, 5);
+    EXPECT_EQ(p.maxStaleFrames, 4);
+
+    // The watchdog budget is the default when gov.budget_ms is absent.
+    Config bare;
+    EXPECT_DOUBLE_EQ(GovernorParams::fromConfig(bare, 60.0).budgetMs,
+                     60.0);
+    EXPECT_FALSE(GovernorParams::fromConfig(bare).enabled);
+}
+
+} // namespace

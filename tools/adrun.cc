@@ -12,6 +12,7 @@
  *         [--det-input=160] [--summary] [--nn.threads=N]
  *         [--trace <file>] [--metrics] [--obs.trace_nn]
  *         [--obs.budget_ms=100]
+ *         [--faults=0.1] [--fault.*=...] [--governor] [--gov.*=...]
  *
  * --nn.threads drives the parallel NN kernel layer in every engine:
  * 0 (the default) resolves to hardware concurrency, 1 restores the
@@ -23,6 +24,14 @@
  * FLOPs/bytes, thread-pool counters, deadline-violation attribution)
  * to stderr at exit. Both are zero-cost when off and perturb no
  * outputs when on (see tests/test_trace.cc determinism test).
+ *
+ * --faults=<intensity in [0,1]> injects a seeded, reproducible mix of
+ * frame drops, sensor corruption, virtual latency spikes and transient
+ * stage failures; individual `fault.*` keys override the mix.
+ * --governor enables the graceful-degradation state machine
+ * (NOMINAL -> DEGRADED -> TRACKING_ONLY -> SAFE_STOP); `gov.*` keys
+ * tune it. The contract both sides implement is documented in
+ * docs/OPERATING_MODES.md.
  */
 
 #include <cstdio>
@@ -54,6 +63,23 @@ parseResolution(const std::string& name)
     fatal("unknown --resolution '", name, "'");
 }
 
+/** Every key adrun itself reads, plus the obs/fault/governor sets. */
+std::vector<std::string>
+knownKeys()
+{
+    std::vector<std::string> keys = {
+        "scenario", "frames",    "resolution", "seed",      "csv",
+        "det-input", "det-width", "summary",    "length",
+        "nn.threads"};
+    for (const auto& k : obs::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : pipeline::FaultInjectorParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : pipeline::GovernorParams::knownConfigKeys())
+        keys.push_back(k);
+    return keys;
+}
+
 } // namespace
 
 int
@@ -61,6 +87,7 @@ main(int argc, char** argv)
 {
     using namespace ad;
     const Config cfg = Config::fromArgs(argc, argv);
+    cfg.warnUnknownKeys(knownKeys());
     const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
     const int frames = cfg.getInt("frames", 100);
     Rng rng(cfg.getInt("seed", 1));
@@ -91,6 +118,9 @@ main(int argc, char** argv)
         nn::resolveKernelThreads(cfg.getInt("nn.threads", 0));
     params.deadline.budgetMs = obsOpt.budgetMs;
     params.deadline.logViolations = obsOpt.any();
+    params.faults = pipeline::FaultInjectorParams::fromConfig(cfg);
+    params.governor =
+        pipeline::GovernorParams::fromConfig(cfg, obsOpt.budgetMs);
     pipeline::Pipeline pipe(&map, &camera, nullptr, params);
 
     Pose2 ego = scenario.ego.pose;
@@ -110,7 +140,8 @@ main(int argc, char** argv)
     }
     if (csv)
         *csv << "frame,det_ms,tra_ms,loc_ms,fusion_ms,motplan_ms,"
-                "e2e_ms,localized,relocalized,detections,tracks\n";
+                "e2e_ms,localized,relocalized,detections,tracks,"
+                "mode,dropped\n";
 
     sensors::World world = scenario.world;
     for (int i = 0; i < frames; ++i) {
@@ -129,7 +160,8 @@ main(int argc, char** argv)
                  << out.localization.ok << ','
                  << out.localization.relocalized << ','
                  << out.detections.size() << ',' << out.tracks.size()
-                 << '\n';
+                 << ',' << pipeline::modeName(out.mode) << ','
+                 << out.frameDropped << '\n';
         }
     }
 
@@ -145,6 +177,10 @@ main(int argc, char** argv)
 
     const auto& watchdog = pipe.deadlineMonitor();
     std::fprintf(stderr, "%s", watchdog.report().c_str());
+    if (const auto* injector = pipe.faultInjector())
+        std::fprintf(stderr, "%s", injector->report().c_str());
+    if (const auto* governor = pipe.governor())
+        std::fprintf(stderr, "%s", governor->report().c_str());
 
     if (obsOpt.metricsDump) {
         auto& reg = obs::metrics();
@@ -160,6 +196,16 @@ main(int argc, char** argv)
         reg.gauge("deadline.budget_ms").set(watchdog.params().budgetMs);
         reg.gauge("deadline.worst_overrun_ms")
             .set(watchdog.worstOverrunMs());
+        if (const auto* injector = pipe.faultInjector()) {
+            const auto& c = injector->counts();
+            reg.counter("faults.drops").add(c.drops);
+            reg.counter("faults.noise").add(c.noisy);
+            reg.counter("faults.blackouts").add(c.blackouts);
+            reg.counter("faults.spikes").add(c.spikes);
+            reg.counter("faults.det_fails").add(c.detFails);
+            reg.counter("faults.loc_fails").add(c.locFails);
+            reg.counter("faults.tra_fails").add(c.traFails);
+        }
     }
     obs::finish(obsOpt);
     return 0;
