@@ -99,6 +99,38 @@ Network::forward(const Tensor& input, const KernelContext& ctx) const
     return t;
 }
 
+std::vector<Tensor>
+Network::forwardBatch(const std::vector<Tensor>& inputs,
+                      const KernelContext& ctx) const
+{
+    std::vector<Tensor> outputs(inputs.size());
+    if (inputs.empty())
+        return outputs;
+    if (obs::metricsEnabled()) {
+        auto& reg = obs::metrics();
+        reg.counter("nn." + name_ + ".batch_calls").add();
+        reg.counter("nn." + name_ + ".batch_items")
+            .add(inputs.size());
+    }
+    if (!ctx.parallel() || inputs.size() == 1) {
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            outputs[i] = forward(inputs[i], ctx);
+        return outputs;
+    }
+    // Batch-level parallelism: one pool fan-out for the whole batch
+    // beats one per layer, and each item runs the serial kernels,
+    // which the determinism contract makes bitwise-identical to any
+    // other execution of the same input.
+    kernelParallelFor(ctx, 0, inputs.size(), 1,
+                      [&](std::size_t b0, std::size_t b1) {
+                          for (std::size_t b = b0; b < b1; ++b)
+                              outputs[b] = forward(
+                                  inputs[b],
+                                  KernelContext::serial());
+                      });
+    return outputs;
+}
+
 void
 profileToMetrics(const NetworkProfile& profile, obs::MetricRegistry& reg)
 {

@@ -81,6 +81,21 @@ class Network
      */
     Tensor forward(const Tensor& input, const KernelContext& ctx) const;
 
+    /**
+     * Run a batch of independent inputs through the network -- the
+     * cross-stream batched path of the serving layer (ad_serve).
+     *
+     * Under a parallel context the batch items are sharded across
+     * the pool and each item executes with serial kernels, so the
+     * whole batch costs one parallelFor instead of one per layer.
+     * By the kernel determinism contract, outputs[i] is
+     * bitwise-identical to forward(inputs[i]) for every batch size
+     * and thread count -- batching is a throughput decision, never
+     * a numerics decision.
+     */
+    std::vector<Tensor> forwardBatch(const std::vector<Tensor>& inputs,
+                                     const KernelContext& ctx) const;
+
     /** Static shape propagation through all layers. */
     Shape outputShape(const Shape& input) const;
 

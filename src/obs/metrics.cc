@@ -57,6 +57,40 @@ MetricRegistry::captureThreadPool(const std::string& prefix,
         .set(static_cast<double>(pool.peakQueueDepth()));
 }
 
+void
+MetricRegistry::merge(const MetricRegistry& other)
+{
+    if (&other == this)
+        return;
+    // scoped_lock's deadlock-avoidance covers concurrent cross-merges.
+    std::scoped_lock lock(mutex_, other.mutex_);
+    for (const auto& [name, c] : other.counters_) {
+        auto& slot = counters_[name];
+        if (!slot)
+            slot = std::make_unique<Counter>();
+        slot->add(c->value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+        auto& slot = gauges_[name];
+        if (!slot)
+            slot = std::make_unique<Gauge>();
+        slot->set(g->value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+        auto& slot = histograms_[name];
+        if (!slot)
+            slot = std::make_unique<Histogram>();
+        slot->mergeFrom(h->snapshot());
+    }
+}
+
+std::string
+labeled(const std::string& name, const std::string& key,
+        const std::string& value)
+{
+    return name + "{" + key + "=" + value + "}";
+}
+
 std::string
 MetricRegistry::textDump() const
 {

@@ -97,6 +97,14 @@ class Histogram
         return recorder_.summary();
     }
 
+    /** Copy of the underlying recorder (for registry merging). */
+    LatencyRecorder
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return recorder_;
+    }
+
     std::size_t
     count() const
     {
@@ -120,10 +128,20 @@ class Histogram
  * Name -> metric map. Metric objects are created on first lookup and
  * never destroyed before the registry, so call sites may cache the
  * returned references across frames.
+ *
+ * Besides the process-wide instance(), registries are freely
+ * constructible: a worker or server keeps its own local registry on
+ * the hot path (no shared lock, no contention) and folds it into
+ * the global one with a single merge() when its run ends. The
+ * serving layer's per-stream labeled metrics use exactly this
+ * pattern.
  */
 class MetricRegistry
 {
   public:
+    /** A fresh, empty, local registry (see class comment). */
+    MetricRegistry() = default;
+
     /** The process-wide registry used by all instrumentation sites. */
     static MetricRegistry& instance();
 
@@ -150,6 +168,16 @@ class MetricRegistry
     void captureThreadPool(const std::string& prefix,
                            const ThreadPool& pool);
 
+    /**
+     * Fold another registry into this one: counters add, gauges
+     * take the other's last-written value, histograms merge their
+     * samples. Metrics absent here are created. Self-merge is a
+     * no-op. Both registries are locked for the duration, so merge
+     * belongs at aggregation points (end of a run, end of a worker),
+     * never on a per-frame path.
+     */
+    void merge(const MetricRegistry& other);
+
     /** Multi-line human-readable dump, sorted by metric name. */
     std::string textDump() const;
 
@@ -166,6 +194,14 @@ class MetricRegistry
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/**
+ * Canonical labeled-metric name: "name{key=value}". One flat string
+ * keeps the registry's map simple while giving per-stream (or
+ * per-shard, per-camera, ...) metrics a uniform, parseable form.
+ */
+std::string labeled(const std::string& name, const std::string& key,
+                    const std::string& value);
 
 /** The process-wide registry (shorthand for MetricRegistry::instance). */
 inline MetricRegistry&

@@ -135,17 +135,7 @@ DegradationGovernor::observe(std::int64_t frame,
         ++consecutiveMisses_;
         if (consecutiveMisses_ >= params_.escalateAfterMisses &&
             mode_ != OperatingMode::SafeStop) {
-            if (probing_) {
-                // The last de-escalation did not hold: demand a
-                // longer clean run before probing again.
-                const double next =
-                    recoverThreshold_ * params_.recoveryBackoff;
-                recoverThreshold_ = std::min(
-                    params_.maxRecoverAfterFrames,
-                    std::max(recoverThreshold_ + 1,
-                             static_cast<int>(next)));
-                probing_ = false;
-            }
+            applyProbeBackoff();
             transitionTo(frame, escalated(mode_), "miss");
             consecutiveMisses_ = 0;
         }
@@ -168,6 +158,34 @@ DegradationGovernor::observe(std::int64_t frame,
         probing_ = false;
         recoverThreshold_ = params_.recoverAfterFrames;
     }
+}
+
+void
+DegradationGovernor::applyProbeBackoff()
+{
+    if (!probing_)
+        return;
+    // The last de-escalation did not hold: demand a longer clean
+    // run before probing again.
+    const double next = recoverThreshold_ * params_.recoveryBackoff;
+    recoverThreshold_ =
+        std::min(params_.maxRecoverAfterFrames,
+                 std::max(recoverThreshold_ + 1,
+                          static_cast<int>(next)));
+    probing_ = false;
+}
+
+void
+DegradationGovernor::requestEscalation(std::int64_t frame,
+                                       OperatingMode to,
+                                       const std::string& reason)
+{
+    if (to <= mode_)
+        return; // only strict escalations may be requested.
+    applyProbeBackoff();
+    transitionTo(frame, to, reason);
+    consecutiveMisses_ = 0;
+    cleanFrames_ = 0;
 }
 
 void

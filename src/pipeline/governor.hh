@@ -157,6 +157,21 @@ class DegradationGovernor
      */
     void forceSafeStop(std::int64_t frame, const std::string& reason);
 
+    /**
+     * Externally requested escalation -- the serving layer's
+     * admission controller sheds load by degrading the streams with
+     * the most slack (src/serve/admission.hh). Transitions only
+     * when `to` is a strict escalation of the current mode (a
+     * request to de-escalate or stay is ignored: recovery always
+     * rides the internal hysteresis). An escalation that lands
+     * while a de-escalation probe is outstanding applies the same
+     * recovery backoff as a latency miss would -- external pressure
+     * that returns right after recovery is the same oscillation,
+     * whoever reports it.
+     */
+    void requestEscalation(std::int64_t frame, OperatingMode to,
+                           const std::string& reason);
+
     OperatingMode mode() const { return mode_; }
 
     /** Frames observed in each mode (index by OperatingMode). */
@@ -183,6 +198,9 @@ class DegradationGovernor
   private:
     void transitionTo(std::int64_t frame, OperatingMode to,
                       const std::string& reason);
+
+    /** Grow the clean-run requirement after a failed recovery probe. */
+    void applyProbeBackoff();
 
     GovernorParams params_;
     OperatingMode mode_ = OperatingMode::Nominal;

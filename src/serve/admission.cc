@@ -1,0 +1,121 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ad::serve {
+
+namespace {
+
+pipeline::OperatingMode
+escalatedMode(pipeline::OperatingMode m)
+{
+    return m == pipeline::OperatingMode::SafeStop
+               ? m
+               : static_cast<pipeline::OperatingMode>(
+                     static_cast<int>(m) + 1);
+}
+
+} // namespace
+
+AdmissionController::AdmissionController(const AdmissionParams& params,
+                                         StreamRegistry& registry)
+    : params_(params), registry_(registry),
+      expectedCostMs_(params.initialCostMs)
+{
+    if (params.initialCostMs <= 0 || params.costEwmaAlpha <= 0 ||
+        params.costEwmaAlpha > 1 || params.tailDecay <= 0 ||
+        params.tailDecay > 1 || params.evalPeriodFrames < 1 ||
+        params.riskFactor < 1)
+        fatal("AdmissionController: invalid parameters");
+}
+
+AdmitDecision
+AdmissionController::decide(const FrameTicket& ticket, double nowMs,
+                            double engineBacklogMs,
+                            double batchWindowMs)
+{
+    StreamState& s = registry_.stream(ticket.stream);
+    const pipeline::FramePlan plan = s.governor.plan(ticket.seq);
+
+    AdmitDecision d;
+    if (!plan.runDet) {
+        // The governor's detection interval skips the engine this
+        // frame entirely: trackers coast locally.
+        d.action = AdmitAction::Coast;
+        d.degraded = true;
+        return d;
+    }
+    d.degraded = plan.degradedDet;
+    d.costScale = plan.degradedDet ? params_.degradedCostScale : 1.0;
+    if (!params_.enabled)
+        return d;
+
+    // Deadline-aware per-frame test: would this frame complete in
+    // time, given everything already ahead of it? Its own inference
+    // is costed at the risk-inflated worst case -- admitting on the
+    // mean is how tails die.
+    const double predictedDoneMs =
+        nowMs + engineBacklogMs + batchWindowMs +
+        expectedCostMs_ * d.costScale * params_.riskFactor +
+        params_.headroomMs;
+    if (predictedDoneMs > ticket.deadlineMs(s.params)) {
+        d.action = AdmitAction::Shed;
+        return d;
+    }
+    return d;
+}
+
+void
+AdmissionController::onCompletion(const FrameTicket& ticket,
+                                  double latencyMs, bool engineServed)
+{
+    registry_.stream(ticket.stream)
+        .observeCompletion(ticket.seq, latencyMs, params_.tailDecay,
+                           engineServed);
+}
+
+void
+AdmissionController::onBatchExecuted(double costMs,
+                                     double totalCostScale)
+{
+    if (totalCostScale <= 0)
+        return;
+    const double perUnit = costMs / totalCostScale;
+    expectedCostMs_ += params_.costEwmaAlpha *
+                       (perUnit - expectedCostMs_);
+}
+
+void
+AdmissionController::evaluatePressure(std::int64_t globalFrame,
+                                      double engineBacklogMs)
+{
+    if (!params_.enabled)
+        return;
+    if (++arrivalsSinceEval_ < params_.evalPeriodFrames)
+        return;
+    arrivalsSinceEval_ = 0;
+
+    // Pressure is backlog in units of the (common) budget; use the
+    // first stream's budget as the reference -- streams share the
+    // paper's 100 ms constraint.
+    if (registry_.size() == 0)
+        return;
+    const double budget = registry_.stream(0).params.deadlineMs;
+    const double pressure = engineBacklogMs / budget;
+    if (pressure <= params_.degradePressure)
+        return;
+
+    const int victim =
+        registry_.mostSlackStream(params_.maxPressureMode);
+    if (victim < 0)
+        return; // everyone already gave what admission may take.
+    StreamState& s = registry_.stream(victim);
+    s.governor.requestEscalation(globalFrame,
+                                 escalatedMode(s.governor.mode()),
+                                 "admission:pressure");
+    ++pressureEscalations_;
+}
+
+} // namespace ad::serve

@@ -1,0 +1,100 @@
+#include "serve/batch_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ad::serve {
+
+double
+Batch::totalCostScale() const
+{
+    double sum = 0.0;
+    for (const auto& r : items)
+        sum += r.costScale;
+    return sum;
+}
+
+BatchScheduler::BatchScheduler(const BatchPolicy& policy)
+    : policy_(policy)
+{
+    if (policy.maxBatch < 1 || policy.maxWaitMs < 0 ||
+        policy.latestStartSlackMs < 0)
+        fatal("BatchScheduler: invalid policy");
+}
+
+void
+BatchScheduler::enqueue(const InferenceRequest& request)
+{
+    queue_.push_back(request);
+}
+
+double
+BatchScheduler::mustStartByMs() const
+{
+    // Window bound on the oldest request, slack bound on the tightest.
+    double bound =
+        queue_.front().enqueueMs + policy_.maxWaitMs;
+    for (const auto& r : queue_)
+        bound = std::min(bound,
+                         r.deadlineMs - policy_.latestStartSlackMs);
+    return bound;
+}
+
+std::optional<double>
+BatchScheduler::nextDispatchMs(double nowMs) const
+{
+    if (queue_.empty())
+        return std::nullopt;
+    if (static_cast<int>(queue_.size()) >= policy_.maxBatch)
+        return nowMs;
+    return std::max(nowMs, mustStartByMs());
+}
+
+std::optional<Batch>
+BatchScheduler::tryDispatch(double nowMs)
+{
+    if (queue_.empty())
+        return std::nullopt;
+    const bool full =
+        static_cast<int>(queue_.size()) >= policy_.maxBatch;
+    if (!full && nowMs < mustStartByMs())
+        return std::nullopt;
+
+    Batch batch;
+    batch.formedAtMs = nowMs;
+    const std::size_t n = std::min<std::size_t>(
+        queue_.size(), static_cast<std::size_t>(policy_.maxBatch));
+    batch.items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        totalWaitMs_ += nowMs - queue_.front().enqueueMs;
+        batch.items.push_back(queue_.front());
+        queue_.pop_front();
+    }
+    ++batches_;
+    dispatched_ += static_cast<std::int64_t>(n);
+    return batch;
+}
+
+double
+BatchScheduler::pendingCostScale() const
+{
+    double sum = 0.0;
+    for (const auto& r : queue_)
+        sum += r.costScale;
+    return sum;
+}
+
+double
+BatchScheduler::meanBatchSize() const
+{
+    return batches_ ? static_cast<double>(dispatched_) / batches_ : 0.0;
+}
+
+double
+BatchScheduler::meanWaitMs() const
+{
+    return dispatched_ ? totalWaitMs_ / dispatched_ : 0.0;
+}
+
+} // namespace ad::serve

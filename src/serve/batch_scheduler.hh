@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Multi-stream serving layer, part 2: cross-stream batching.
+ *
+ * DET/TRA inference requests from different vehicle streams are
+ * coalesced into one NN batch so the engine amortizes its fixed
+ * per-invocation cost (weight streaming, kernel launch, im2col
+ * packing) over several frames. Batching buys throughput at the
+ * price of latency -- a request may wait for companions -- so the
+ * batching window is bounded twice over:
+ *
+ *  1. `maxWaitMs`: no request waits longer than the window, and
+ *  2. a slack bound: a batch is dispatched early whenever *any*
+ *     queued request would otherwise get within `latestStartSlackMs`
+ *     of its absolute deadline (queueing for throughput must never
+ *     cause the deadline miss it exists to prevent).
+ *
+ * The scheduler is pure policy over explicit timestamps: it never
+ * reads a clock and never blocks, which keeps it deterministic and
+ * testable without sleeps. The serving loop asks "when should the
+ * engine next act?" (nextDispatchMs) and "give me the batch due now"
+ * (tryDispatch).
+ */
+
+#ifndef AD_SERVE_BATCH_SCHEDULER_HH
+#define AD_SERVE_BATCH_SCHEDULER_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "serve/stream.hh"
+
+namespace ad::serve {
+
+/** Batching knobs. */
+struct BatchPolicy
+{
+    int maxBatch = 8;        ///< close the batch at this size.
+    double maxWaitMs = 6.0;  ///< longest any request may wait.
+    /**
+     * Dispatch no later than (deadline - latestStartSlackMs) of the
+     * tightest queued request: the reserve covers the expected
+     * engine cost plus per-stream post-processing, so batching never
+     * converts an admissible frame into a deadline miss. The serving
+     * loop refreshes it from the admission controller's online cost
+     * estimate.
+     */
+    double latestStartSlackMs = 25.0;
+};
+
+/** One queued inference request (a frame needing DET/TRA compute). */
+struct InferenceRequest
+{
+    FrameTicket ticket;
+    double enqueueMs = 0.0;   ///< when the request entered the queue.
+    double deadlineMs = 0.0;  ///< absolute completion deadline.
+    /**
+     * Relative engine cost of this request: 1 for a full-scale
+     * inference, e.g.\ 0.25 when the stream's governor runs the
+     * half-scale degraded detector (quarter the pixels).
+     */
+    double costScale = 1.0;
+    bool degraded = false; ///< admitted at the degraded scale.
+};
+
+/** One dispatched cross-stream batch. */
+struct Batch
+{
+    std::vector<InferenceRequest> items;
+    double formedAtMs = 0.0;
+
+    std::size_t size() const { return items.size(); }
+    /** Sum of the members' cost scales (engine work units). */
+    double totalCostScale() const;
+};
+
+/**
+ * FIFO request queue with batched release. Requests are released in
+ * arrival order (no reordering across streams -- fairness is the
+ * admission controller's job, not the batcher's).
+ */
+class BatchScheduler
+{
+  public:
+    explicit BatchScheduler(const BatchPolicy& policy);
+
+    void enqueue(const InferenceRequest& request);
+
+    /**
+     * Earliest time the engine should form a batch, assuming it is
+     * free: now if the batch is already full or a bound has expired,
+     * later if waiting for companions is still safe, nullopt when
+     * nothing is queued.
+     *
+     * @param nowMs current virtual time.
+     */
+    std::optional<double> nextDispatchMs(double nowMs) const;
+
+    /**
+     * Form and return a batch if one is due at `nowMs` (full, window
+     * expired, or slack bound reached); nullopt when the engine
+     * should keep waiting. Takes the oldest `maxBatch` requests.
+     */
+    std::optional<Batch> tryDispatch(double nowMs);
+
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Sum of queued cost scales (admission backlog estimation). */
+    double pendingCostScale() const;
+
+    /** Refresh the slack reserve from the online cost estimate. */
+    void setLatestStartSlackMs(double ms)
+    {
+        policy_.latestStartSlackMs = ms;
+    }
+
+    const BatchPolicy& policy() const { return policy_; }
+
+    /** Batches dispatched since construction. */
+    std::int64_t batchesFormed() const { return batches_; }
+    /** Requests dispatched since construction. */
+    std::int64_t requestsDispatched() const { return dispatched_; }
+    /** Mean batch size over all dispatches (0 when none). */
+    double meanBatchSize() const;
+    /** Mean request wait between enqueue and dispatch (ms). */
+    double meanWaitMs() const;
+
+  private:
+    /** Absolute time by which a batch must start, given the queue. */
+    double mustStartByMs() const;
+
+    BatchPolicy policy_;
+    std::deque<InferenceRequest> queue_;
+    std::int64_t batches_ = 0;
+    std::int64_t dispatched_ = 0;
+    double totalWaitMs_ = 0.0;
+};
+
+} // namespace ad::serve
+
+#endif // AD_SERVE_BATCH_SCHEDULER_HH

@@ -1,0 +1,458 @@
+#include "serve/serve.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/time.hh"
+#include "nn/kernel_context.hh"
+#include "nn/network.hh"
+
+namespace ad::serve {
+
+// ---------------------------------------------------------------- engines
+
+ModeledBatchEngine::ModeledBatchEngine(const ModeledEngineParams& params)
+    : params_(params), rng_(params.seed)
+{
+    if (params.fixedMs < 0 || params.marginalMs <= 0)
+        fatal("ModeledBatchEngine: invalid cost model");
+}
+
+double
+ModeledBatchEngine::meanCostMs(double totalCostScale) const
+{
+    return params_.fixedMs + params_.marginalMs * totalCostScale;
+}
+
+double
+ModeledBatchEngine::runBatch(const Batch& batch)
+{
+    // Fixed draw count per call (jitter, spike) keeps the cost
+    // stream a pure function of (seed, call index).
+    const double jitter = rng_.lognormal(
+        -0.5 * params_.jitterSigma * params_.jitterSigma,
+        params_.jitterSigma);
+    const bool spike = rng_.bernoulli(params_.spikeP);
+    double cost = meanCostMs(batch.totalCostScale()) * jitter;
+    if (spike)
+        cost *= params_.spikeFactor;
+    return cost;
+}
+
+NnBatchEngine::NnBatchEngine(const nn::Network& net,
+                             std::vector<nn::Tensor> inputs,
+                             int threads)
+    : net_(net), inputs_(std::move(inputs)),
+      ctx_(std::make_unique<nn::KernelContext>(
+          nn::kernelContext(threads)))
+{
+    if (inputs_.empty())
+        fatal("NnBatchEngine: no per-stream inputs");
+}
+
+NnBatchEngine::~NnBatchEngine() = default;
+
+double
+NnBatchEngine::runBatch(const Batch& batch)
+{
+    std::vector<nn::Tensor> ins;
+    ins.reserve(batch.size());
+    for (const auto& item : batch.items)
+        ins.push_back(
+            inputs_[static_cast<std::size_t>(item.ticket.stream) %
+                    inputs_.size()]);
+    Stopwatch watch;
+    const std::vector<nn::Tensor> outs =
+        net_.forwardBatch(ins, *ctx_);
+    const double ms = watch.elapsedMs();
+    // Order-independent output digest: XOR of each item's summed
+    // output bit pattern -- identical whatever the batching was.
+    std::uint64_t digest = 0;
+    std::memcpy(&digest, &checksum_, sizeof(double));
+    for (const auto& out : outs) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < out.size(); ++i)
+            sum += out.data()[i];
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &sum, sizeof(double));
+        digest ^= bits;
+    }
+    std::memcpy(&checksum_, &digest, sizeof(double));
+    return ms;
+}
+
+// ----------------------------------------------------------------- report
+
+std::string
+ServeReport::toString() const
+{
+    std::ostringstream oss;
+    oss << "serve: " << framesArrived << " frames arrived, "
+        << framesAdmitted << " engine-served (" << framesDegraded
+        << " degraded), " << framesCoasted << " coasted, "
+        << framesShed << " shed (" << 100.0 * shedRate << "%)\n";
+    oss << "  admitted latency: " << admittedLatency.toString()
+        << "\n";
+    oss << "  deadline misses (engine-served): " << deadlineMisses
+        << ", goodput " << goodputFps << " fps (total "
+        << totalGoodputFps << " fps)\n";
+    oss << "  batches: " << batches << ", mean size " << meanBatchSize
+        << ", mean wait " << meanBatchWaitMs << " ms, "
+        << pressureEscalations << " pressure escalations\n";
+    oss << "  mode residency:";
+    for (std::size_t m = 0; m < pipeline::kOperatingModeCount; ++m)
+        oss << ' '
+            << pipeline::modeName(
+                   static_cast<pipeline::OperatingMode>(m))
+            << '=' << framesInMode[m];
+    oss << '\n';
+    return oss.str();
+}
+
+// ----------------------------------------------------------------- server
+
+/** One discrete event of the serving loop (ordered by time, kind). */
+struct MultiStreamServer::Event
+{
+    enum class Kind { Completion = 0, Arrival = 1, EngineCheck = 2 };
+
+    double timeMs = 0.0;
+    Kind kind = Kind::Arrival;
+    int stream = -1;
+    std::int64_t seq = -1;
+    double arrivalMs = 0.0;
+    bool engineServed = false; ///< Completion: needed the engine.
+
+    bool
+    operator>(const Event& o) const
+    {
+        if (timeMs != o.timeMs)
+            return timeMs > o.timeMs;
+        if (kind != o.kind)
+            return static_cast<int>(kind) > static_cast<int>(o.kind);
+        if (stream != o.stream)
+            return stream > o.stream;
+        return seq > o.seq;
+    }
+};
+
+MultiStreamServer::MultiStreamServer(const ServeParams& params,
+                                     BatchEngine& engine)
+    : params_(params), engine_(engine), scheduler_(params.batch),
+      admission_(params.admission, registry_),
+      postRng_(params.seed ^ 0xa5a5a5a5a5a5a5a5ull)
+{
+    if (params.streams < 1)
+        fatal("MultiStreamServer: need at least one stream");
+    for (int i = 0; i < params.streams; ++i) {
+        StreamParams sp = params.stream;
+        if (params.stagger)
+            sp.phaseMs = sp.framePeriodMs * i / params.streams;
+        registry_.addStream(sp, params.governor);
+    }
+}
+
+ServeReport
+MultiStreamServer::run(std::int64_t framesPerStream)
+{
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        events;
+    double engineFreeAtMs = 0.0;
+    double pendingCheckMs =
+        std::numeric_limits<double>::infinity();
+    std::int64_t globalArrivals = 0;
+    LatencyRecorder admittedRec(
+        static_cast<std::size_t>(framesPerStream) *
+        static_cast<std::size_t>(params_.streams));
+    std::int64_t onTimeServed = 0;
+    std::int64_t onTimeCoasted = 0;
+    double lastEventMs = 0.0;
+
+    const auto samplePost = [&]() {
+        return params_.postMeanMs *
+               postRng_.lognormal(-0.5 * params_.postJitterSigma *
+                                      params_.postJitterSigma,
+                                  params_.postJitterSigma);
+    };
+
+    const auto backlogMs = [&](double now) {
+        return std::max(0.0, engineFreeAtMs - now) +
+               scheduler_.pendingCostScale() *
+                   admission_.expectedCostMs();
+    };
+
+    const auto scheduleCheck = [&](double at) {
+        if (at >= pendingCheckMs)
+            return;
+        pendingCheckMs = at;
+        events.push(
+            Event{at, Event::Kind::EngineCheck, -1, -1, 0.0, false});
+    };
+
+    const auto promote = [&](const FrameTicket& ticket, double now) {
+        StreamState& s = registry_.stream(ticket.stream);
+        const AdmitDecision d = admission_.decide(
+            ticket, now, backlogMs(now), params_.batch.maxWaitMs);
+        switch (d.action) {
+        case AdmitAction::Shed:
+            ++s.stats.shedAdmission;
+            break;
+        case AdmitAction::Coast: {
+            ++s.stats.coasted;
+            s.inFlight = true;
+            events.push(Event{now + params_.coastMs,
+                              Event::Kind::Completion, ticket.stream,
+                              ticket.seq, ticket.arrivalMs, false});
+            break;
+        }
+        case AdmitAction::Admit: {
+            ++s.stats.admitted;
+            if (d.degraded)
+                ++s.stats.degraded;
+            InferenceRequest req;
+            req.ticket = ticket;
+            req.enqueueMs = now;
+            req.deadlineMs = ticket.deadlineMs(s.params);
+            req.costScale = d.costScale;
+            req.degraded = d.degraded;
+            scheduler_.enqueue(req);
+            s.inFlight = true;
+            break;
+        }
+        }
+    };
+
+    // A frame shed after admission (it queued too long): undo its
+    // admit accounting and free the stream for its next waiter.
+    const auto shedLate = [&](const InferenceRequest& req,
+                              double now) {
+        StreamState& s = registry_.stream(req.ticket.stream);
+        --s.stats.admitted;
+        if (req.degraded)
+            --s.stats.degraded;
+        ++s.stats.shedLate;
+        s.inFlight = false;
+        while (!s.inFlight) {
+            const auto next = s.queue.pop();
+            if (!next)
+                break;
+            promote(*next, now);
+        }
+    };
+
+    // Dispatch a batch if one is due; otherwise arrange a wake-up.
+    const auto maybeDispatch = [&](double now) {
+        while (true) {
+            if (engineFreeAtMs > now) {
+                scheduleCheck(engineFreeAtMs);
+                return;
+            }
+            const auto at = scheduler_.nextDispatchMs(now);
+            if (!at)
+                return;
+            if (*at > now) {
+                scheduleCheck(*at);
+                return;
+            }
+            auto batch = scheduler_.tryDispatch(now);
+            if (!batch)
+                return;
+            // Late shed: the tail guarantee is enforced here, at the
+            // last decision point before engine time is spent. A
+            // frame stays in the batch only if even a risk-inflated
+            // (contention-spiked) batch cost meets its deadline;
+            // anything else would either miss anyway or drag the
+            // whole batch's completion past its co-batched peers'.
+            const double risk = params_.admission.riskFactor;
+            const double perUnit = admission_.expectedCostMs();
+            for (bool changed = params_.admission.enabled; changed;) {
+                changed = false;
+                const double worstDoneMs =
+                    now +
+                    risk * perUnit * batch->totalCostScale() +
+                    params_.postMeanMs +
+                    params_.admission.headroomMs;
+                for (std::size_t i = 0; i < batch->items.size();
+                     ++i) {
+                    if (worstDoneMs <= batch->items[i].deadlineMs)
+                        continue;
+                    shedLate(batch->items[i], now);
+                    batch->items.erase(batch->items.begin() +
+                                       static_cast<std::ptrdiff_t>(i));
+                    changed = true;
+                    break;
+                }
+            }
+            if (batch->items.empty())
+                continue; // everything was too late; try the rest.
+            const double cost = engine_.runBatch(*batch);
+            admission_.onBatchExecuted(cost, batch->totalCostScale());
+            // Keep the batcher's dispatch-by bound in step with the
+            // measured cost: reserve worst-case inference + post +
+            // headroom.
+            scheduler_.setLatestStartSlackMs(
+                risk * admission_.expectedCostMs() +
+                params_.postMeanMs + params_.admission.headroomMs);
+            engineFreeAtMs = now + cost;
+            for (const auto& item : batch->items) {
+                const double post = samplePost();
+                events.push(Event{now + cost + post,
+                                  Event::Kind::Completion,
+                                  item.ticket.stream, item.ticket.seq,
+                                  item.ticket.arrivalMs, true});
+            }
+            scheduleCheck(engineFreeAtMs);
+            return;
+        }
+    };
+
+    for (int i = 0; i < params_.streams; ++i) {
+        const StreamState& s = registry_.stream(i);
+        events.push(Event{s.params.phaseMs, Event::Kind::Arrival, i,
+                          0, s.params.phaseMs, false});
+    }
+
+    while (!events.empty()) {
+        const Event ev = events.top();
+        events.pop();
+        const double now = ev.timeMs;
+        lastEventMs = std::max(lastEventMs, now);
+
+        switch (ev.kind) {
+        case Event::Kind::Arrival: {
+            StreamState& s = registry_.stream(ev.stream);
+            ++s.stats.arrived;
+            if (ev.seq + 1 < framesPerStream) {
+                const double next = now + s.params.framePeriodMs;
+                events.push(Event{next, Event::Kind::Arrival,
+                                  ev.stream, ev.seq + 1, next,
+                                  false});
+            }
+            admission_.evaluatePressure(globalArrivals++,
+                                        backlogMs(now));
+            const FrameTicket ticket{ev.stream, ev.seq, now};
+            if (s.inFlight) {
+                if (const auto evicted = s.queue.push(ticket))
+                    ++s.stats.shedStale;
+            } else {
+                promote(ticket, now);
+            }
+            break;
+        }
+        case Event::Kind::Completion: {
+            StreamState& s = registry_.stream(ev.stream);
+            const double latency = now - ev.arrivalMs;
+            admission_.onCompletion(
+                FrameTicket{ev.stream, ev.seq, ev.arrivalMs},
+                latency, ev.engineServed);
+            if (ev.engineServed) {
+                ++s.stats.completed;
+                admittedRec.record(latency);
+                if (latency > s.params.deadlineMs)
+                    ++s.stats.missedDeadline;
+                else
+                    ++onTimeServed;
+            } else if (latency <= s.params.deadlineMs) {
+                ++onTimeCoasted;
+            }
+            s.inFlight = false;
+            // Drain: a promoted frame may itself be shed, freeing
+            // the stream for the next waiter.
+            while (!s.inFlight) {
+                const auto next = s.queue.pop();
+                if (!next)
+                    break;
+                promote(*next, now);
+            }
+            break;
+        }
+        case Event::Kind::EngineCheck:
+            pendingCheckMs =
+                std::numeric_limits<double>::infinity();
+            break;
+        }
+        maybeDispatch(now);
+    }
+
+    ServeReport report;
+    for (int i = 0; i < params_.streams; ++i) {
+        const StreamStats& st = registry_.stream(i).stats;
+        report.framesArrived += st.arrived;
+        report.framesAdmitted += st.admitted;
+        report.framesDegraded += st.degraded;
+        report.framesCoasted += st.coasted;
+        report.framesShed +=
+            st.shedAdmission + st.shedStale + st.shedLate;
+        report.deadlineMisses += st.missedDeadline;
+        const auto& inMode =
+            registry_.stream(i).governor.framesInMode();
+        for (std::size_t m = 0; m < pipeline::kOperatingModeCount;
+             ++m)
+            report.framesInMode[m] += inMode[m];
+    }
+    report.admittedLatency = admittedRec.summary();
+    report.durationMs = lastEventMs;
+    if (lastEventMs > 0) {
+        report.goodputFps = 1000.0 * onTimeServed / lastEventMs;
+        report.totalGoodputFps =
+            1000.0 * (onTimeServed + onTimeCoasted) / lastEventMs;
+    }
+    if (report.framesArrived > 0)
+        report.shedRate = static_cast<double>(report.framesShed) /
+                          report.framesArrived;
+    report.batches = scheduler_.batchesFormed();
+    report.meanBatchSize = scheduler_.meanBatchSize();
+    report.meanBatchWaitMs = scheduler_.meanWaitMs();
+    report.pressureEscalations = admission_.pressureEscalations();
+
+    publishMetrics();
+    return report;
+}
+
+void
+MultiStreamServer::publishMetrics()
+{
+    // Per-stream labeled metrics land in the server-local registry;
+    // one merge at the end of the run touches the global lock once
+    // instead of once per frame.
+    const std::string& prefix = params_.metricPrefix;
+    for (int i = 0; i < params_.streams; ++i) {
+        const StreamState& s = registry_.stream(i);
+        const std::string id = std::to_string(i);
+        local_
+            .counter(obs::labeled(prefix + ".frames_arrived",
+                                  "stream", id))
+            .add(static_cast<std::uint64_t>(s.stats.arrived));
+        local_
+            .counter(obs::labeled(prefix + ".frames_admitted",
+                                  "stream", id))
+            .add(static_cast<std::uint64_t>(s.stats.admitted));
+        local_
+            .counter(
+                obs::labeled(prefix + ".frames_shed", "stream", id))
+            .add(static_cast<std::uint64_t>(s.stats.shedAdmission +
+                                            s.stats.shedStale +
+                                            s.stats.shedLate));
+        local_
+            .counter(obs::labeled(prefix + ".deadline_misses",
+                                  "stream", id))
+            .add(static_cast<std::uint64_t>(s.stats.missedDeadline));
+        local_
+            .histogram(
+                obs::labeled(prefix + ".latency_ms", "stream", id))
+            .mergeFrom(s.servedLatency);
+        local_
+            .gauge(obs::labeled(prefix + ".slack_ms", "stream", id))
+            .set(s.slackMs());
+    }
+    if (obs::metricsEnabled())
+        obs::metrics().merge(local_);
+}
+
+} // namespace ad::serve

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Multi-stream serving layer, part 4: the server itself.
+ *
+ * MultiStreamServer multiplexes N vehicle streams over one shared
+ * inference engine: arrivals flow through per-stream bounded
+ * ingestion queues (freshest-frame drop), the deadline-aware
+ * admission controller sheds or degrades what the machine cannot
+ * serve in time, and the batch scheduler coalesces the admitted
+ * requests of different streams into cross-stream NN batches.
+ *
+ * The server is a discrete-event loop over an explicit virtual
+ * clock. What makes the clock tick is the engine: a pluggable
+ * BatchEngine reports how long each batch took. Two engines ship:
+ *
+ *  - ModeledBatchEngine: seeded cost model (fixed + marginal per
+ *    work unit, lognormal jitter, rare tail spikes), so scale
+ *    sweeps over 32 streams x 100k frames run in milliseconds and
+ *    are bit-reproducible; and
+ *  - NnBatchEngine: the real thing -- Network::forwardBatch over
+ *    the shared ThreadPool, timed with a Stopwatch, so the serving
+ *    policies are exercised against genuine multithreaded kernels
+ *    (this is the TSan target).
+ *
+ * Per-stream metrics are recorded into a server-local
+ * MetricRegistry with labeled names ("serve.stream{id=3}.…") and
+ * merged into the process-wide registry at the end of a run, so the
+ * hot path never touches the global registry lock.
+ */
+
+#ifndef AD_SERVE_SERVE_HH
+#define AD_SERVE_SERVE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "obs/metrics.hh"
+#include "serve/admission.hh"
+#include "serve/batch_scheduler.hh"
+#include "serve/stream.hh"
+
+namespace ad::nn {
+class Network;
+struct KernelContext;
+class Tensor;
+}
+
+namespace ad::serve {
+
+/**
+ * Executes one cross-stream batch and reports its engine-occupancy
+ * cost in (virtual) milliseconds. Implementations may do real work.
+ */
+class BatchEngine
+{
+  public:
+    virtual ~BatchEngine() = default;
+
+    /** Run the batch; return how long the engine was busy (ms). */
+    virtual double runBatch(const Batch& batch) = 0;
+};
+
+/** Cost-model knobs of the modeled engine. */
+struct ModeledEngineParams
+{
+    /** Per-invocation fixed cost: weight streaming, launch, packing. */
+    double fixedMs = 8.0;
+    /** Marginal cost per work unit (one full-scale request). */
+    double marginalMs = 9.0;
+    /** Lognormal jitter sigma applied per batch (mean-preserving). */
+    double jitterSigma = 0.08;
+    /** Probability of a contention spike on one batch. */
+    double spikeP = 0.002;
+    /**
+     * Multiplicative cost factor of a spike (weight eviction,
+     * co-runner contention: the batch runs at half speed). The
+     * admission controller's riskFactor must cover this for the
+     * tail guarantee to hold.
+     */
+    double spikeFactor = 2.0;
+    std::uint64_t seed = 17;
+};
+
+/**
+ * Seeded analytic engine: cost = fixed + marginal x total work
+ * units, jittered. Deterministic for a given seed and call
+ * sequence; never touches a real clock.
+ */
+class ModeledBatchEngine : public BatchEngine
+{
+  public:
+    explicit ModeledBatchEngine(const ModeledEngineParams& params);
+
+    double runBatch(const Batch& batch) override;
+
+    /** Mean cost of a batch with the given total work units. */
+    double meanCostMs(double totalCostScale) const;
+
+  private:
+    ModeledEngineParams params_;
+    Rng rng_;
+};
+
+/**
+ * Real-inference engine: stacks one prebuilt per-stream input
+ * tensor per batch item and runs Network::forwardBatch under a
+ * KernelContext (batch items shard across the ThreadPool), timing
+ * the call with a wall-clock Stopwatch. Degraded cost scales are
+ * honored by running the same network on the same input (the
+ * measured path has no half-scale standby net); the point of this
+ * engine is policy-under-real-kernels, not cost fidelity.
+ */
+class NnBatchEngine : public BatchEngine
+{
+  public:
+    /**
+     * @param net network shared by all streams (outlives the engine).
+     * @param inputs one input tensor per stream id.
+     * @param threads `nn.threads`-style request for the kernel pool.
+     */
+    NnBatchEngine(const nn::Network& net,
+                  std::vector<nn::Tensor> inputs, int threads);
+    ~NnBatchEngine() override;
+
+    double runBatch(const Batch& batch) override;
+
+    /**
+     * Order-independent checksum over every output element produced
+     * so far; two runs that served the same (stream, seq) set must
+     * agree bit-for-bit regardless of how requests were batched.
+     */
+    double outputChecksum() const { return checksum_; }
+
+  private:
+    const nn::Network& net_;
+    std::vector<nn::Tensor> inputs_;
+    std::unique_ptr<nn::KernelContext> ctx_;
+    double checksum_ = 0.0;
+};
+
+/** Server construction parameters. */
+struct ServeParams
+{
+    int streams = 8;
+    StreamParams stream;          ///< common per-stream knobs.
+    BatchPolicy batch;
+    AdmissionParams admission;
+    pipeline::GovernorParams governor; ///< per-stream copy.
+    /**
+     * Stagger stream phases across one camera period (stream i
+     * starts at i/N of the period) instead of arriving in lockstep.
+     */
+    bool stagger = true;
+    /** Per-stream post-inference cost (fusion + planning glue), ms. */
+    double postMeanMs = 1.5;
+    double postJitterSigma = 0.2;
+    /** Local serving cost of a coasted (tracking-only) frame, ms. */
+    double coastMs = 2.0;
+    std::uint64_t seed = 29;
+    /** Prefix of metric names ("serve" unless a tool overrides). */
+    std::string metricPrefix = "serve";
+};
+
+/** Aggregate outcome of one serving run. */
+struct ServeReport
+{
+    std::int64_t framesArrived = 0;
+    std::int64_t framesAdmitted = 0;  ///< engine-served.
+    std::int64_t framesDegraded = 0;  ///< admitted at degraded cost.
+    std::int64_t framesCoasted = 0;   ///< served without the engine.
+    std::int64_t framesShed = 0;      ///< admission + staleness drops.
+    std::int64_t deadlineMisses = 0;  ///< engine-served, late.
+    LatencySummary admittedLatency;   ///< arrival -> completion (ms).
+    double durationMs = 0.0;          ///< virtual time span of the run.
+    /** Engine-served frames completing inside the budget, per second. */
+    double goodputFps = 0.0;
+    /** All served frames (incl. coasted) inside budget, per second. */
+    double totalGoodputFps = 0.0;
+    double shedRate = 0.0;            ///< shed / arrived.
+    std::int64_t batches = 0;
+    double meanBatchSize = 0.0;
+    double meanBatchWaitMs = 0.0;
+    std::int64_t pressureEscalations = 0;
+    /** Frames spent in each governor mode, summed over streams. */
+    std::array<std::uint64_t, pipeline::kOperatingModeCount>
+        framesInMode{};
+
+    /** Multi-line human-readable summary. */
+    std::string toString() const;
+};
+
+/**
+ * The multi-stream serving loop. Construction registers the
+ * streams; run() plays `framesPerStream` camera frames per stream
+ * through admission, batching and the engine on virtual time.
+ */
+class MultiStreamServer
+{
+  public:
+    MultiStreamServer(const ServeParams& params, BatchEngine& engine);
+
+    /** Serve every stream for the given number of camera frames. */
+    ServeReport run(std::int64_t framesPerStream);
+
+    const StreamRegistry& registry() const { return registry_; }
+    const BatchScheduler& scheduler() const { return scheduler_; }
+    const AdmissionController& admission() const { return admission_; }
+
+    /**
+     * Server-local metric registry (per-stream labeled counters and
+     * latency histograms). run() merges it into the global registry
+     * when metrics are enabled.
+     */
+    const obs::MetricRegistry& localMetrics() const { return local_; }
+
+  private:
+    struct Event;
+
+    void publishMetrics();
+
+    ServeParams params_;
+    BatchEngine& engine_;
+    StreamRegistry registry_;
+    BatchScheduler scheduler_;
+    AdmissionController admission_;
+    Rng postRng_;
+    obs::MetricRegistry local_;
+};
+
+} // namespace ad::serve
+
+#endif // AD_SERVE_SERVE_HH

@@ -1,0 +1,108 @@
+#include "serve/stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ad::serve {
+
+FrameQueue::FrameQueue(int depth) : depth_(depth)
+{
+    if (depth < 0)
+        fatal("FrameQueue: negative depth");
+}
+
+std::optional<FrameTicket>
+FrameQueue::push(const FrameTicket& ticket)
+{
+    if (depth_ == 0)
+        return ticket; // nothing may wait: the offer itself is stale.
+    if (static_cast<int>(queue_.size()) < depth_) {
+        queue_.push_back(ticket);
+        return std::nullopt;
+    }
+    // Freshest-frame policy: evict the oldest waiter, keep the new
+    // frame -- the vehicle reacts to the newest view of the road.
+    FrameTicket evicted = queue_.front();
+    queue_.pop_front();
+    queue_.push_back(ticket);
+    return evicted;
+}
+
+std::optional<FrameTicket>
+FrameQueue::pop()
+{
+    if (queue_.empty())
+        return std::nullopt;
+    FrameTicket t = queue_.front();
+    queue_.pop_front();
+    return t;
+}
+
+StreamState::StreamState(int id_, const StreamParams& params_,
+                         const pipeline::GovernorParams& governorParams)
+    : id(id_), params(params_), queue(params_.queueDepth),
+      deadline(obs::DeadlineParams{params_.deadlineMs, false, 0}),
+      governor(governorParams)
+{
+}
+
+void
+StreamState::observeCompletion(std::int64_t frame, double latencyMs,
+                               double tailDecay, bool engineServed)
+{
+    tailEstimateMs = std::max(latencyMs, tailEstimateMs * tailDecay);
+    if (engineServed)
+        servedLatency.record(latencyMs);
+    // The watchdog sees the whole serving latency on the DET axis:
+    // queueing + batching + inference is the detection branch of the
+    // stream's frame, and endToEndMs() then equals latencyMs.
+    obs::FrameLatencySample sample;
+    sample.detMs = latencyMs;
+    deadline.observe(frame, sample);
+    governor.observe(frame, sample);
+}
+
+double
+StreamState::slackMs() const
+{
+    return std::max(0.0, params.deadlineMs - tailEstimateMs);
+}
+
+int
+StreamRegistry::addStream(const StreamParams& params,
+                          const pipeline::GovernorParams& governorParams)
+{
+    const int id = static_cast<int>(streams_.size());
+    streams_.push_back(
+        std::make_unique<StreamState>(id, params, governorParams));
+    return id;
+}
+
+std::int64_t
+StreamRegistry::totalArrived() const
+{
+    std::int64_t sum = 0;
+    for (const auto& s : streams_)
+        sum += s->stats.arrived;
+    return sum;
+}
+
+int
+StreamRegistry::mostSlackStream(pipeline::OperatingMode cap) const
+{
+    int best = -1;
+    double bestSlack = -1.0;
+    for (const auto& s : streams_) {
+        if (s->governor.mode() >= cap)
+            continue;
+        const double slack = s->slackMs();
+        if (slack > bestSlack) {
+            bestSlack = slack;
+            best = s->id;
+        }
+    }
+    return best;
+}
+
+} // namespace ad::serve

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Multi-stream serving layer, part 1: stream identity and ingestion.
+ *
+ * The paper's constraints (Section 2.4) are stated for one vehicle:
+ * <= 100 ms at the 99.99th percentile, >= 10 fps. The serving layer
+ * grows that into "N vehicles share this machine": every vehicle is a
+ * *stream* of camera frames arriving at the camera period, and the
+ * machine must keep each admitted stream inside the same per-vehicle
+ * constraint while serving as many streams as the hardware allows.
+ *
+ * This header holds the per-stream state: a bounded ingestion queue
+ * with a freshest-frame drop policy (a stale camera frame is worse
+ * than no frame -- the vehicle would react to old traffic), the
+ * per-stream DeadlineMonitor feeding admission-control slack, and the
+ * per-stream DegradationGovernor the admission controller actuates
+ * when the machine is oversubscribed.
+ *
+ * Everything here runs on an explicit timestamp ("virtual clock"):
+ * like the DegradationGovernor, the serving layer never reads the
+ * wall clock itself, so a modeled run is bit-reproducible and the
+ * tests need no sleeps.
+ */
+
+#ifndef AD_SERVE_STREAM_HH
+#define AD_SERVE_STREAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/deadline.hh"
+#include "pipeline/governor.hh"
+
+namespace ad::serve {
+
+/** Per-stream knobs (paper defaults: 10 fps camera, 100 ms budget). */
+struct StreamParams
+{
+    double framePeriodMs = 100.0; ///< camera period (>= 10 fps).
+    double deadlineMs = 100.0;    ///< per-frame reaction budget.
+    int queueDepth = 1;           ///< frames that may wait unadmitted.
+    double phaseMs = 0.0;         ///< arrival phase offset.
+};
+
+/** One camera frame of one stream, identified by (stream, seq). */
+struct FrameTicket
+{
+    int stream = -1;
+    std::int64_t seq = -1;
+    double arrivalMs = 0.0;
+
+    /** Absolute completion deadline of this frame. */
+    double
+    deadlineMs(const StreamParams& params) const
+    {
+        return arrivalMs + params.deadlineMs;
+    }
+};
+
+/**
+ * Bounded ingestion queue with a freshest-frame drop policy: when a
+ * frame arrives while the queue is full, the *oldest* queued frame is
+ * evicted (returned to the caller for accounting) and the new frame
+ * is kept. The vehicle always waits on the newest view of the road.
+ */
+class FrameQueue
+{
+  public:
+    /** @param depth maximum frames waiting (>= 0; 0 never queues). */
+    explicit FrameQueue(int depth);
+
+    /**
+     * Offer one frame. Returns the evicted (stale) frame when the
+     * queue was full, or the offered frame itself when depth is 0.
+     */
+    std::optional<FrameTicket> push(const FrameTicket& ticket);
+
+    /** Remove and return the oldest queued frame. */
+    std::optional<FrameTicket> pop();
+
+    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+    int depth() const { return depth_; }
+
+  private:
+    int depth_;
+    std::deque<FrameTicket> queue_;
+};
+
+/** Lifetime counters of one stream (see DESIGN.md section 9). */
+struct StreamStats
+{
+    std::int64_t arrived = 0;     ///< camera frames produced.
+    std::int64_t admitted = 0;    ///< sent to the inference engine.
+    std::int64_t degraded = 0;    ///< admitted at degraded cost.
+    std::int64_t coasted = 0;     ///< served locally (no engine work).
+    std::int64_t shedAdmission = 0; ///< rejected by admission control.
+    std::int64_t shedStale = 0;   ///< evicted by freshest-frame policy.
+    std::int64_t shedLate = 0;    ///< dropped at dispatch: now too late.
+    std::int64_t completed = 0;   ///< engine-served frames finished.
+    std::int64_t missedDeadline = 0; ///< completed past the budget.
+};
+
+/**
+ * Everything the serving layer knows about one stream: parameters,
+ * ingestion queue, whether a frame is currently in flight, the
+ * deadline watchdog whose data drives admission slack, and the
+ * degradation governor the admission controller escalates under
+ * load pressure.
+ */
+struct StreamState
+{
+    StreamState(int id, const StreamParams& params,
+                const pipeline::GovernorParams& governorParams);
+
+    int id;
+    StreamParams params;
+    FrameQueue queue;
+    StreamStats stats;
+    /** Sensing half of the per-stream control loop. */
+    obs::DeadlineMonitor deadline;
+    /** Actuation half; admission control escalates it under pressure. */
+    pipeline::DegradationGovernor governor;
+
+    /** True while a frame of this stream is queued for or in service. */
+    bool inFlight = false;
+
+    /**
+     * Peak-decay tail estimate of recent served latencies (ms): jumps
+     * to any new maximum, decays geometrically otherwise. Slack is
+     * measured against this rather than the mean so one spike
+     * immediately revokes a stream's "sheddable" status.
+     */
+    double tailEstimateMs = 0.0;
+
+    /** Latency of engine-served (admitted) frames, arrival->done. */
+    LatencyRecorder servedLatency;
+
+    /**
+     * Record one completion into the tail estimate, watchdog and
+     * governor. Coasted frames (engineServed = false) feed the
+     * control loop -- the governor needs clean frames to recover --
+     * but stay out of the engine-served latency record.
+     */
+    void observeCompletion(std::int64_t frame, double latencyMs,
+                           double tailDecay, bool engineServed);
+
+    /** Budget minus the tail estimate, floored at zero. */
+    double slackMs() const;
+};
+
+/**
+ * Owner of all registered streams. Streams are registered before the
+ * serving loop starts and never removed (a disconnected vehicle is a
+ * stream that stops producing arrivals), so lookups are index-based
+ * and the serving hot path never allocates or locks here.
+ */
+class StreamRegistry
+{
+  public:
+    /**
+     * Register one stream.
+     * @return its dense id (0-based).
+     */
+    int addStream(const StreamParams& params,
+                  const pipeline::GovernorParams& governorParams);
+
+    std::size_t size() const { return streams_.size(); }
+
+    StreamState& stream(int id) { return *streams_[id]; }
+    const StreamState& stream(int id) const { return *streams_[id]; }
+
+    /** Sum of `arrived` over all streams. */
+    std::int64_t totalArrived() const;
+
+    /**
+     * The stream with the largest admission slack among those whose
+     * governor still has a level to give (mode < cap). Ties resolve
+     * to the lowest id, keeping the policy deterministic. Returns -1
+     * when every stream is already at or beyond the cap.
+     */
+    int mostSlackStream(pipeline::OperatingMode cap) const;
+
+  private:
+    std::vector<std::unique_ptr<StreamState>> streams_;
+};
+
+} // namespace ad::serve
+
+#endif // AD_SERVE_STREAM_HH

@@ -242,6 +242,68 @@ TEST(Governor, FramesInModeAccountsEveryObservedFrame)
     EXPECT_NE(report.find("transitions"), std::string::npos);
 }
 
+TEST(Governor, RequestEscalationHonorsOnlyStrictEscalations)
+{
+    DegradationGovernor gov(testParams());
+    ASSERT_EQ(gov.mode(), OperatingMode::Nominal);
+
+    // A request to stay or de-escalate is ignored.
+    gov.requestEscalation(0, OperatingMode::Nominal, "noop");
+    EXPECT_EQ(gov.mode(), OperatingMode::Nominal);
+    EXPECT_TRUE(gov.transitions().empty());
+
+    // Strict escalation transitions and records the reason.
+    gov.requestEscalation(1, OperatingMode::Degraded,
+                          "admission:pressure");
+    EXPECT_EQ(gov.mode(), OperatingMode::Degraded);
+    ASSERT_EQ(gov.transitions().size(), 1u);
+    EXPECT_EQ(gov.transitions()[0].reason, "admission:pressure");
+
+    // Multi-level jumps are allowed (shedding may cut straight to
+    // tracking) but never downward.
+    gov.requestEscalation(2, OperatingMode::Nominal, "downward");
+    EXPECT_EQ(gov.mode(), OperatingMode::Degraded);
+    gov.requestEscalation(3, OperatingMode::SafeStop, "fault");
+    EXPECT_EQ(gov.mode(), OperatingMode::SafeStop);
+    gov.requestEscalation(4, OperatingMode::SafeStop, "again");
+    EXPECT_EQ(gov.transitions().size(), 2u);
+}
+
+TEST(Governor, RequestEscalationInterruptsCleanRun)
+{
+    DegradationGovernor gov(testParams());
+    gov.requestEscalation(0, OperatingMode::Degraded, "pressure");
+    // Two clean frames toward the three needed to recover...
+    gov.observe(1, sampleMs(10));
+    gov.observe(2, sampleMs(10));
+    // ...an external escalation resets the clean-run count.
+    gov.requestEscalation(3, OperatingMode::TrackingOnly, "pressure");
+    EXPECT_EQ(gov.mode(), OperatingMode::TrackingOnly);
+    gov.observe(4, sampleMs(10));
+    gov.observe(5, sampleMs(10));
+    EXPECT_EQ(gov.mode(), OperatingMode::TrackingOnly);
+    gov.observe(6, sampleMs(10));
+    EXPECT_EQ(gov.mode(), OperatingMode::Degraded);
+}
+
+TEST(Governor, RequestEscalationDuringProbeAppliesRecoveryBackoff)
+{
+    // External pressure arriving right after a recovery probe is the
+    // same oscillation as a latency miss: the clean-run requirement
+    // must back off identically (2x here).
+    DegradationGovernor gov(testParams());
+    gov.requestEscalation(0, OperatingMode::Degraded, "pressure");
+    gov.observe(1, sampleMs(10));
+    gov.observe(2, sampleMs(10));
+    gov.observe(3, sampleMs(10));
+    ASSERT_EQ(gov.mode(), OperatingMode::Nominal); // probing.
+    EXPECT_EQ(gov.currentRecoverThreshold(), 3);
+
+    gov.requestEscalation(4, OperatingMode::Degraded, "pressure");
+    EXPECT_EQ(gov.mode(), OperatingMode::Degraded);
+    EXPECT_EQ(gov.currentRecoverThreshold(), 6);
+}
+
 TEST(Governor, FromConfigReadsEveryKey)
 {
     Config cfg;

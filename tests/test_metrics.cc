@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <string>
 
 #include "common/parallel_for.hh"
@@ -112,6 +113,76 @@ TEST(MetricRegistry, EnabledFlagDefaultsOff)
     EXPECT_FALSE(reg.enabled());
     reg.setEnabled(true);
     EXPECT_TRUE(reg.enabled());
+}
+
+TEST(MetricRegistry, MergeFoldsCountersGaugesAndHistograms)
+{
+    MetricRegistry global;
+    global.counter("frames").add(10);
+    global.gauge("mode").set(1.0);
+    global.histogram("latency").record(5.0);
+
+    MetricRegistry local;
+    local.counter("frames").add(32);       // existing: adds.
+    local.counter("sheds").add(3);         // new: created.
+    local.gauge("mode").set(2.0);          // existing: overwrites.
+    local.histogram("latency").record(50.0);
+    local.histogram("latency").record(500.0);
+
+    global.merge(local);
+    EXPECT_EQ(global.counter("frames").value(), 42u);
+    EXPECT_EQ(global.counter("sheds").value(), 3u);
+    EXPECT_DOUBLE_EQ(global.gauge("mode").value(), 2.0);
+    EXPECT_EQ(global.histogram("latency").count(), 3u);
+    EXPECT_DOUBLE_EQ(global.histogram("latency").summary().worst,
+                     500.0);
+    // The source registry is untouched.
+    EXPECT_EQ(local.counter("frames").value(), 32u);
+    EXPECT_EQ(local.histogram("latency").count(), 2u);
+}
+
+TEST(MetricRegistry, SelfMergeIsANoOp)
+{
+    MetricRegistry reg;
+    reg.counter("c").add(7);
+    reg.merge(reg);
+    EXPECT_EQ(reg.counter("c").value(), 7u);
+}
+
+TEST(MetricRegistry, WorkerLocalRegistriesAggregateExactly)
+{
+    // The serving-layer pattern: each worker records into its own
+    // registry on the hot path, one merge per worker at the end.
+    MetricRegistry global;
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 100000;
+    std::mutex mergeMutex;
+    std::size_t merges = 0;
+    parallelFor(&pool, 0, kN, 1000,
+                [&](std::size_t begin, std::size_t end) {
+                    MetricRegistry local;
+                    local.counter("work").add(end - begin);
+                    local.histogram("chunk").record(
+                        static_cast<double>(end - begin));
+                    std::lock_guard<std::mutex> lock(mergeMutex);
+                    global.merge(local);
+                    ++merges;
+                });
+    // Not one unit lost or double-counted across worker-local
+    // registries, and one histogram sample per merge.
+    EXPECT_EQ(global.counter("work").value(), kN);
+    EXPECT_EQ(global.histogram("chunk").count(), merges);
+    EXPECT_GE(merges, 2u);
+}
+
+TEST(MetricRegistry, LabeledComposesCanonicalNames)
+{
+    EXPECT_EQ(obs::labeled("serve.frames", "stream", "3"),
+              "serve.frames{stream=3}");
+    MetricRegistry reg;
+    reg.counter(obs::labeled("serve.frames", "stream", "3")).add();
+    EXPECT_NE(reg.textDump().find("serve.frames{stream=3}"),
+              std::string::npos);
 }
 
 TEST(DeadlineMonitor, CountsViolationsAgainstBudget)

@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "nn/kernel_context.hh"
 #include "nn/network.hh"
 
 namespace {
@@ -78,6 +82,69 @@ TEST(Network, ProfileCoversEveryLayer)
     EXPECT_GT(p.flopsOfKind(LayerKind::Conv) +
                   p.flopsOfKind(LayerKind::FullyConnected),
               p.totalFlops() / 2);
+}
+
+Tensor
+randomInput(Rng& rng)
+{
+    Tensor in(1, 8, 8);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            in.at(0, y, x) = static_cast<float>(rng.uniform(0, 1));
+    return in;
+}
+
+void
+expectBitwiseEqual(const Tensor& a, const Tensor& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          a.size() * sizeof(float)),
+              0);
+}
+
+TEST(Network, ForwardBatchMatchesSerialForwardBitwise)
+{
+    // The serving layer's batched path must be bitwise-identical to
+    // per-stream serial inference for every batch size and thread
+    // count -- batching is a scheduling decision, never a numerics
+    // one (PR 1's determinism contract extended to batches).
+    const Network net = tinyClassifier();
+    Rng rng(11);
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < 8; ++i)
+        inputs.push_back(randomInput(rng));
+
+    std::vector<Tensor> serial;
+    for (const auto& in : inputs)
+        serial.push_back(net.forward(in));
+
+    for (const std::size_t batch : {1u, 2u, 8u}) {
+        const std::vector<Tensor> ins(inputs.begin(),
+                                      inputs.begin() + batch);
+        // Serial context first...
+        const auto outsSerial =
+            net.forwardBatch(ins, KernelContext::serial());
+        ASSERT_EQ(outsSerial.size(), batch);
+        for (std::size_t i = 0; i < batch; ++i)
+            expectBitwiseEqual(outsSerial[i], serial[i]);
+        // ...then every parallel context.
+        for (const std::size_t threads : {2u, 5u}) {
+            ad::ThreadPool pool(threads);
+            const KernelContext ctx{&pool, threads};
+            const auto outs = net.forwardBatch(ins, ctx);
+            ASSERT_EQ(outs.size(), batch);
+            for (std::size_t i = 0; i < batch; ++i)
+                expectBitwiseEqual(outs[i], serial[i]);
+        }
+    }
+}
+
+TEST(Network, ForwardBatchEmptyInputYieldsEmptyOutput)
+{
+    const Network net = tinyClassifier();
+    EXPECT_TRUE(
+        net.forwardBatch({}, KernelContext::serial()).empty());
 }
 
 TEST(NetworkDeathTest, ConvRejectsWrongChannelCount)

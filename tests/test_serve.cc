@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Tests for the multi-stream serving layer: freshest-frame ingestion
+ * queues, batch-scheduler dispatch triggers (size, window, slack),
+ * deadline-aware admission decisions, most-slack-first pressure
+ * degradation, and the MultiStreamServer end to end -- conservation
+ * invariants, bit-reproducibility, the overload acceptance property
+ * (admission + batching holds the admitted tail where the serial
+ * baseline cannot), real-NN batched inference, and per-stream labeled
+ * metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "nn/kernel_context.hh"
+#include "nn/models.hh"
+#include "serve/serve.hh"
+
+namespace {
+
+using namespace ad;
+using namespace ad::serve;
+using pipeline::OperatingMode;
+
+FrameTicket
+ticket(int stream, std::int64_t seq, double arrivalMs)
+{
+    return FrameTicket{stream, seq, arrivalMs};
+}
+
+TEST(FrameQueue, FreshestFrameDropPolicy)
+{
+    FrameQueue q(2);
+    EXPECT_FALSE(q.push(ticket(0, 0, 0.0)).has_value());
+    EXPECT_FALSE(q.push(ticket(0, 1, 100.0)).has_value());
+    EXPECT_EQ(q.size(), 2u);
+
+    // Full: the *oldest* waiter is evicted, the new frame kept.
+    const auto evicted = q.push(ticket(0, 2, 200.0));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->seq, 0);
+    EXPECT_EQ(q.size(), 2u);
+
+    const auto a = q.pop();
+    const auto b = q.pop();
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->seq, 1);
+    EXPECT_EQ(b->seq, 2);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(FrameQueue, ZeroDepthNeverQueues)
+{
+    FrameQueue q(0);
+    const auto back = q.push(ticket(3, 7, 50.0));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->stream, 3);
+    EXPECT_EQ(back->seq, 7);
+    EXPECT_TRUE(q.empty());
+}
+
+InferenceRequest
+request(int stream, std::int64_t seq, double enqueueMs,
+        double deadlineMs, double costScale = 1.0)
+{
+    InferenceRequest r;
+    r.ticket = ticket(stream, seq, enqueueMs);
+    r.enqueueMs = enqueueMs;
+    r.deadlineMs = deadlineMs;
+    r.costScale = costScale;
+    return r;
+}
+
+TEST(BatchScheduler, FullBatchDispatchesImmediately)
+{
+    BatchPolicy policy;
+    policy.maxBatch = 2;
+    policy.maxWaitMs = 50.0;
+    BatchScheduler sched(policy);
+    sched.enqueue(request(0, 0, 0.0, 1000.0));
+    sched.enqueue(request(1, 0, 1.0, 1000.0));
+
+    const auto at = sched.nextDispatchMs(1.0);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_DOUBLE_EQ(*at, 1.0); // full: no waiting.
+    const auto batch = sched.tryDispatch(1.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->size(), 2u);
+    // FIFO order across streams.
+    EXPECT_EQ(batch->items[0].ticket.stream, 0);
+    EXPECT_EQ(batch->items[1].ticket.stream, 1);
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(BatchScheduler, WindowBoundsTheWaitOnTheOldestRequest)
+{
+    BatchPolicy policy;
+    policy.maxBatch = 8;
+    policy.maxWaitMs = 6.0;
+    policy.latestStartSlackMs = 25.0;
+    BatchScheduler sched(policy);
+    sched.enqueue(request(0, 0, 10.0, 1000.0));
+
+    // Not due before the window expires...
+    EXPECT_FALSE(sched.tryDispatch(12.0).has_value());
+    const auto at = sched.nextDispatchMs(12.0);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_DOUBLE_EQ(*at, 16.0); // enqueue + window.
+    // ...and due exactly at it.
+    const auto batch = sched.tryDispatch(16.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->size(), 1u);
+}
+
+TEST(BatchScheduler, DeadlineSlackDispatchesEarly)
+{
+    BatchPolicy policy;
+    policy.maxBatch = 8;
+    policy.maxWaitMs = 50.0;
+    policy.latestStartSlackMs = 30.0;
+    BatchScheduler sched(policy);
+    sched.enqueue(request(0, 0, 0.0, 1000.0));
+    // A tight-deadline request pulls the whole batch forward: it must
+    // start by deadline - slack = 40 - 30 = 10, well before the
+    // window bound at 50.
+    sched.enqueue(request(1, 0, 2.0, 40.0));
+
+    const auto at = sched.nextDispatchMs(5.0);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_DOUBLE_EQ(*at, 10.0);
+    EXPECT_FALSE(sched.tryDispatch(9.0).has_value());
+    const auto batch = sched.tryDispatch(10.0);
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->size(), 2u);
+    EXPECT_DOUBLE_EQ(sched.meanBatchSize(), 2.0);
+    // Waits: 10-0 and 10-2, mean 9.
+    EXPECT_DOUBLE_EQ(sched.meanWaitMs(), 9.0);
+}
+
+TEST(Admission, AdmitsWithSlackShedsUnderBacklog)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    AdmissionParams params; // initialCost 15, risk 2.2, headroom 5.
+    AdmissionController ctl(params, registry);
+
+    // predicted = 0 + 6 + 15 x 2.2 + 5 = 44 <= 100: admit full-scale.
+    const auto ok = ctl.decide(ticket(0, 0, 0.0), 0.0, 0.0, 6.0);
+    EXPECT_EQ(ok.action, AdmitAction::Admit);
+    EXPECT_DOUBLE_EQ(ok.costScale, 1.0);
+    EXPECT_FALSE(ok.degraded);
+
+    // 60 ms of engine backlog pushes the prediction past the budget.
+    const auto no = ctl.decide(ticket(0, 1, 0.0), 0.0, 60.0, 6.0);
+    EXPECT_EQ(no.action, AdmitAction::Shed);
+
+    // Admission off admits the same frame regardless.
+    AdmissionParams off;
+    off.enabled = false;
+    AdmissionController openCtl(off, registry);
+    EXPECT_EQ(openCtl.decide(ticket(0, 2, 0.0), 0.0, 60.0, 6.0).action,
+              AdmitAction::Admit);
+}
+
+TEST(Admission, RiskFactorInflatesTheCostTest)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    // Backlog 60 + window 6 + headroom 5 leaves 29 ms for inference:
+    // the mean (15 ms) fits, the risk-inflated worst case does not.
+    AdmissionParams meanOnly;
+    meanOnly.riskFactor = 1.0;
+    AdmissionController meanCtl(meanOnly, registry);
+    EXPECT_EQ(meanCtl.decide(ticket(0, 0, 0.0), 0.0, 60.0, 6.0).action,
+              AdmitAction::Admit);
+
+    AdmissionParams risky;
+    risky.riskFactor = 2.2;
+    AdmissionController riskCtl(risky, registry);
+    EXPECT_EQ(riskCtl.decide(ticket(0, 0, 0.0), 0.0, 60.0, 6.0).action,
+              AdmitAction::Shed);
+}
+
+TEST(Admission, GovernorModeMapsToDegradedAndCoast)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    StreamState& s = registry.stream(0);
+    AdmissionController ctl(AdmissionParams{}, registry);
+
+    s.governor.requestEscalation(0, OperatingMode::Degraded, "test");
+    // DEGRADED, detection interval 2: even frames run the half-scale
+    // detector (quarter cost), odd frames coast on tracking.
+    const auto even = ctl.decide(ticket(0, 0, 0.0), 0.0, 0.0, 0.0);
+    EXPECT_EQ(even.action, AdmitAction::Admit);
+    EXPECT_TRUE(even.degraded);
+    EXPECT_DOUBLE_EQ(even.costScale, 0.25);
+    const auto odd = ctl.decide(ticket(0, 1, 0.0), 0.0, 0.0, 0.0);
+    EXPECT_EQ(odd.action, AdmitAction::Coast);
+
+    s.governor.requestEscalation(2, OperatingMode::TrackingOnly,
+                                 "test");
+    // TRACKING_ONLY with the default reseed interval 0: never runs
+    // the detector.
+    EXPECT_EQ(ctl.decide(ticket(0, 2, 0.0), 0.0, 0.0, 0.0).action,
+              AdmitAction::Coast);
+}
+
+TEST(Admission, CostEstimateFollowsExecutedBatches)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    AdmissionController ctl(AdmissionParams{}, registry);
+    EXPECT_DOUBLE_EQ(ctl.expectedCostMs(), 15.0);
+    // 20 ms over 2 work units = 10 ms/unit; EWMA alpha 0.2.
+    ctl.onBatchExecuted(20.0, 2.0);
+    EXPECT_DOUBLE_EQ(ctl.expectedCostMs(), 14.0);
+}
+
+TEST(Admission, PressureDegradesTheMostSlackStreamFirst)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    AdmissionParams params;
+    params.evalPeriodFrames = 1; // evaluate on every arrival.
+    AdmissionController ctl(params, registry);
+
+    // Stream 0 skirts its deadline (tail 95 of 100); stream 1 has
+    // plenty of slack (tail 10).
+    ctl.onCompletion(ticket(0, 0, 0.0), 95.0);
+    ctl.onCompletion(ticket(1, 0, 0.0), 10.0);
+    EXPECT_EQ(registry.mostSlackStream(OperatingMode::TrackingOnly),
+              1);
+
+    // Backlog pressure 0.9 > 0.8: the slack-rich stream pays first.
+    ctl.evaluatePressure(0, 90.0);
+    EXPECT_EQ(registry.stream(1).governor.mode(),
+              OperatingMode::Degraded);
+    EXPECT_EQ(registry.stream(0).governor.mode(),
+              OperatingMode::Nominal);
+
+    // Sustained pressure walks it to the cap, then turns to the
+    // tight stream; at the cap everywhere, no further escalation.
+    ctl.evaluatePressure(1, 90.0);
+    EXPECT_EQ(registry.stream(1).governor.mode(),
+              OperatingMode::TrackingOnly);
+    ctl.evaluatePressure(2, 90.0);
+    EXPECT_EQ(registry.stream(0).governor.mode(),
+              OperatingMode::Degraded);
+    ctl.evaluatePressure(3, 90.0);
+    EXPECT_EQ(registry.stream(0).governor.mode(),
+              OperatingMode::TrackingOnly);
+    EXPECT_EQ(ctl.pressureEscalations(), 4);
+    ctl.evaluatePressure(4, 90.0);
+    EXPECT_EQ(ctl.pressureEscalations(), 4);
+    // SAFE_STOP is never admission's to request.
+    EXPECT_EQ(registry.stream(0).governor.mode(),
+              OperatingMode::TrackingOnly);
+    EXPECT_EQ(registry.stream(1).governor.mode(),
+              OperatingMode::TrackingOnly);
+}
+
+TEST(Admission, BelowPressureThresholdLeavesStreamsAlone)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    AdmissionParams params;
+    params.evalPeriodFrames = 1;
+    AdmissionController ctl(params, registry);
+    ctl.evaluatePressure(0, 50.0); // pressure 0.5 <= 0.8.
+    EXPECT_EQ(registry.stream(0).governor.mode(),
+              OperatingMode::Nominal);
+    EXPECT_EQ(ctl.pressureEscalations(), 0);
+}
+
+TEST(StreamState, TailEstimatePeaksAndDecays)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    StreamState& s = registry.stream(0);
+    s.observeCompletion(0, 80.0, 0.9, true);
+    EXPECT_DOUBLE_EQ(s.tailEstimateMs, 80.0); // jumps to the peak.
+    s.observeCompletion(1, 10.0, 0.9, true);
+    EXPECT_DOUBLE_EQ(s.tailEstimateMs, 72.0); // decays geometrically.
+    EXPECT_DOUBLE_EQ(s.slackMs(), 28.0);
+    EXPECT_EQ(s.servedLatency.count(), 2u);
+    // Coasted frames feed the control loop but not the served record.
+    s.observeCompletion(2, 2.0, 0.9, false);
+    EXPECT_EQ(s.servedLatency.count(), 2u);
+    EXPECT_EQ(s.deadline.framesObserved(), 3u);
+}
+
+ServeParams
+modeledParams(int streams, bool admission)
+{
+    ServeParams sp;
+    sp.streams = streams;
+    sp.governor.enabled = true;
+    if (!admission) {
+        sp.batch.maxBatch = 1;
+        sp.batch.maxWaitMs = 0.0;
+        sp.admission.enabled = false;
+    }
+    return sp;
+}
+
+ServeReport
+runModeled(const ServeParams& sp, std::int64_t frames)
+{
+    ModeledBatchEngine engine(ModeledEngineParams{});
+    MultiStreamServer server(sp, engine);
+    return server.run(frames);
+}
+
+TEST(MultiStreamServer, ConservationInvariant)
+{
+    const ServeParams sp = modeledParams(6, true);
+    ModeledBatchEngine engine(ModeledEngineParams{});
+    MultiStreamServer server(sp, engine);
+    const ServeReport r = server.run(200);
+
+    EXPECT_EQ(r.framesArrived, 6 * 200);
+    EXPECT_EQ(server.registry().totalArrived(), 6 * 200);
+    // Every arrival is exactly one of engine-served, coasted or shed.
+    EXPECT_EQ(r.framesAdmitted + r.framesCoasted + r.framesShed,
+              r.framesArrived);
+    // Every admitted frame completed (the run drains fully).
+    std::int64_t completed = 0;
+    for (int i = 0; i < sp.streams; ++i)
+        completed += server.registry().stream(i).stats.completed;
+    EXPECT_EQ(completed, r.framesAdmitted);
+    EXPECT_EQ(r.admittedLatency.count,
+              static_cast<std::size_t>(r.framesAdmitted));
+}
+
+TEST(MultiStreamServer, SameSeedIsBitReproducible)
+{
+    const ServeParams sp = modeledParams(8, true);
+    const ServeReport a = runModeled(sp, 250);
+    const ServeReport b = runModeled(sp, 250);
+    EXPECT_EQ(a.framesArrived, b.framesArrived);
+    EXPECT_EQ(a.framesAdmitted, b.framesAdmitted);
+    EXPECT_EQ(a.framesDegraded, b.framesDegraded);
+    EXPECT_EQ(a.framesCoasted, b.framesCoasted);
+    EXPECT_EQ(a.framesShed, b.framesShed);
+    EXPECT_EQ(a.deadlineMisses, b.deadlineMisses);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_EQ(a.pressureEscalations, b.pressureEscalations);
+    EXPECT_DOUBLE_EQ(a.admittedLatency.mean, b.admittedLatency.mean);
+    EXPECT_DOUBLE_EQ(a.admittedLatency.p9999,
+                     b.admittedLatency.p9999);
+    EXPECT_DOUBLE_EQ(a.goodputFps, b.goodputFps);
+    EXPECT_DOUBLE_EQ(a.durationMs, b.durationMs);
+    EXPECT_EQ(a.framesInMode, b.framesInMode);
+}
+
+TEST(MultiStreamServer, OverloadAcceptanceProperty)
+{
+    // ISSUE 4 acceptance at 8 streams: the offered load (80 fps)
+    // exceeds the engine's serial capacity (~59 fps), so the
+    // unbatched, unshedded baseline blows the p99.99 budget -- while
+    // batching + admission holds every admitted frame inside it at
+    // strictly higher goodput.
+    const double budgetMs = 100.0;
+    const ServeReport baseline =
+        runModeled(modeledParams(8, false), 400);
+    const ServeReport served = runModeled(modeledParams(8, true), 400);
+
+    EXPECT_GT(baseline.admittedLatency.p9999, budgetMs);
+    EXPECT_GT(baseline.deadlineMisses, 0);
+
+    EXPECT_LE(served.admittedLatency.p9999, budgetMs);
+    EXPECT_EQ(served.deadlineMisses, 0);
+    EXPECT_GT(served.goodputFps, baseline.goodputFps);
+    EXPECT_GT(served.meanBatchSize, 1.0);
+}
+
+TEST(MultiStreamServer, SingleStreamIsUnderloadedAndClean)
+{
+    const ServeReport r = runModeled(modeledParams(1, true), 300);
+    EXPECT_EQ(r.framesArrived, 300);
+    EXPECT_EQ(r.framesShed, 0);
+    EXPECT_EQ(r.deadlineMisses, 0);
+    EXPECT_DOUBLE_EQ(r.meanBatchSize, 1.0);
+}
+
+TEST(MultiStreamServer, PublishesPerStreamLabeledMetrics)
+{
+    const ServeParams sp = modeledParams(3, true);
+    ModeledBatchEngine engine(ModeledEngineParams{});
+    MultiStreamServer server(sp, engine);
+    (void)server.run(50);
+    const std::string dump = server.localMetrics().textDump();
+    for (int i = 0; i < 3; ++i) {
+        const std::string id = std::to_string(i);
+        EXPECT_NE(dump.find("serve.frames_arrived{stream=" + id + "}"),
+                  std::string::npos);
+        EXPECT_NE(dump.find("serve.latency_ms{stream=" + id + "}"),
+                  std::string::npos);
+    }
+    EXPECT_NE(dump.find("serve.slack_ms{stream=0}"),
+              std::string::npos);
+}
+
+TEST(MultiStreamServer, ReportToStringNamesTheHeadlines)
+{
+    const ServeReport r = runModeled(modeledParams(2, true), 50);
+    const std::string s = r.toString();
+    EXPECT_NE(s.find("frames arrived"), std::string::npos);
+    EXPECT_NE(s.find("goodput"), std::string::npos);
+    EXPECT_NE(s.find("NOMINAL"), std::string::npos);
+}
+
+TEST(NnBatchEngine, BatchedInferenceMatchesSerialChecksum)
+{
+    // The measured engine end to end: four streams, one frame each,
+    // arriving together and coalescing into one NN batch. The
+    // engine's order-independent checksum must equal the one
+    // computed from plain serial forward() calls -- batching is
+    // bitwise invisible (determinism contract).
+    const nn::ModelSpec spec = nn::detectorSpec(32, 0.05);
+    nn::Network net = nn::buildNetwork(spec);
+    Rng weightRng(7);
+    nn::initDetectorWeights(net, weightRng);
+
+    std::vector<nn::Tensor> inputs;
+    Rng inputRng(21);
+    for (int s = 0; s < 4; ++s) {
+        nn::Tensor t(1, 32, 32);
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t.data()[i] =
+                static_cast<float>(inputRng.uniform(0.0, 1.0));
+        inputs.push_back(t);
+    }
+
+    std::uint64_t expected = 0;
+    for (const auto& in : inputs) {
+        const nn::Tensor out =
+            net.forward(in, nn::KernelContext::serial());
+        double sum = 0.0;
+        for (std::size_t i = 0; i < out.size(); ++i)
+            sum += out.data()[i];
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &sum, sizeof(double));
+        expected ^= bits;
+    }
+
+    ServeParams sp;
+    sp.streams = 4;
+    sp.stagger = false;           // all four arrive together...
+    sp.batch.maxWaitMs = 5.0;     // ...and coalesce in one window.
+    sp.stream.deadlineMs = 1e6;   // generous: everything admitted.
+    sp.governor.budgetMs = 1e6;
+    sp.governor.enabled = true;
+    NnBatchEngine engine(net, inputs, 3);
+    MultiStreamServer server(sp, engine);
+    const ServeReport r = server.run(1);
+
+    EXPECT_EQ(r.framesArrived, 4);
+    EXPECT_EQ(r.framesAdmitted, 4);
+    EXPECT_EQ(r.framesShed, 0);
+    EXPECT_EQ(r.batches, 1);
+    EXPECT_DOUBLE_EQ(r.meanBatchSize, 4.0);
+
+    std::uint64_t got = 0;
+    const double checksum = engine.outputChecksum();
+    std::memcpy(&got, &checksum, sizeof(double));
+    EXPECT_EQ(got, expected);
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * adserve -- multi-stream serving-layer runner. Plays N vehicle
+ * streams through the ad_serve stack (bounded ingestion queues,
+ * deadline-aware admission control, cross-stream batched inference)
+ * and reports per-run serving outcomes: admitted-stream latency
+ * quantiles, goodput, shed rate, batching efficiency and governor
+ * mode residency.
+ *
+ * Usage:
+ *   adserve [--streams=8] [--frames=200] [--period-ms=100]
+ *           [--deadline-ms=100] [--queue-depth=1]
+ *           [--batch-max=8] [--window-ms=6] [--admission=1]
+ *           [--stagger=1] [--seed=29]
+ *           [--engine.fixed-ms=8] [--engine.marginal-ms=9]
+ *           [--measured] [--det-input=64] [--det-width=0.05]
+ *           [--nn.threads=0]
+ *           [--serve-json=out.json] [--summary]
+ *           [--metrics] [--trace <file>]
+ *   adserve --check=out.json
+ *
+ * The default engine is the seeded cost model (bit-reproducible,
+ * sweeps in milliseconds). --measured swaps in NnBatchEngine: real
+ * Network::forwardBatch calls over the shared ThreadPool, timed with
+ * a wall clock -- the serving policies under genuine multithreaded
+ * kernels.
+ *
+ * --serve-json writes a machine-readable run report; --check parses
+ * one back (obs/json.hh), validates its structure and the frame
+ * conservation invariant, and exits nonzero on any violation. The
+ * adserve smoke fixture in tools/CMakeLists.txt runs exactly that
+ * pair.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "nn/kernel_context.hh"
+#include "nn/models.hh"
+#include "nn/tensor.hh"
+#include "obs/json.hh"
+#include "obs/obs.hh"
+#include "serve/serve.hh"
+
+namespace {
+
+using namespace ad;
+
+std::vector<std::string>
+knownKeys()
+{
+    std::vector<std::string> keys = {
+        "streams",     "frames",       "period-ms", "deadline-ms",
+        "queue-depth", "batch-max",    "window-ms", "admission",
+        "stagger",     "seed",         "measured",  "det-input",
+        "det-width",   "nn.threads",   "serve-json", "summary",
+        "check",       "engine.fixed-ms", "engine.marginal-ms",
+        "engine.jitter", "engine.spike-p"};
+    for (const auto& k : obs::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : pipeline::GovernorParams::knownConfigKeys())
+        keys.push_back(k);
+    return keys;
+}
+
+void
+writeReport(const std::string& path, const serve::ServeParams& sp,
+            std::int64_t framesPerStream, const char* engine,
+            const serve::ServeReport& r)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '", path, "'");
+    const auto& q = r.admittedLatency;
+    out << "{\n"
+        << "  \"streams\": " << sp.streams << ",\n"
+        << "  \"frames_per_stream\": " << framesPerStream << ",\n"
+        << "  \"engine\": \"" << engine << "\",\n"
+        << "  \"batch_max\": " << sp.batch.maxBatch << ",\n"
+        << "  \"window_ms\": " << sp.batch.maxWaitMs << ",\n"
+        << "  \"admission\": " << (sp.admission.enabled ? 1 : 0)
+        << ",\n"
+        << "  \"arrived\": " << r.framesArrived << ",\n"
+        << "  \"admitted\": " << r.framesAdmitted << ",\n"
+        << "  \"degraded\": " << r.framesDegraded << ",\n"
+        << "  \"coasted\": " << r.framesCoasted << ",\n"
+        << "  \"shed\": " << r.framesShed << ",\n"
+        << "  \"deadline_misses\": " << r.deadlineMisses << ",\n"
+        << "  \"p50_ms\": " << q.p50 << ",\n"
+        << "  \"p99_ms\": " << q.p99 << ",\n"
+        << "  \"p9999_ms\": " << q.p9999 << ",\n"
+        << "  \"worst_ms\": " << q.worst << ",\n"
+        << "  \"goodput_fps\": " << r.goodputFps << ",\n"
+        << "  \"total_goodput_fps\": " << r.totalGoodputFps << ",\n"
+        << "  \"shed_rate\": " << r.shedRate << ",\n"
+        << "  \"batches\": " << r.batches << ",\n"
+        << "  \"mean_batch_size\": " << r.meanBatchSize << ",\n"
+        << "  \"mean_batch_wait_ms\": " << r.meanBatchWaitMs << ",\n"
+        << "  \"pressure_escalations\": " << r.pressureEscalations
+        << ",\n"
+        << "  \"duration_ms\": " << r.durationMs << "\n"
+        << "}\n";
+    std::fprintf(stderr, "serve report: %s\n", path.c_str());
+}
+
+/** Validate a --serve-json report; returns the process exit code. */
+int
+checkReport(const std::string& path)
+{
+    std::string err;
+    const auto doc = obs::json::parseFile(path, &err);
+    if (!doc) {
+        std::fprintf(stderr, "adserve --check: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    if (!doc->isObject()) {
+        std::fprintf(stderr, "adserve --check: %s: not an object\n",
+                     path.c_str());
+        return 1;
+    }
+    int failures = 0;
+    auto number = [&](const char* key) -> double {
+        const auto* v = doc->find(key);
+        if (!v || !v->isNumber()) {
+            std::fprintf(stderr,
+                         "adserve --check: missing numeric \"%s\"\n",
+                         key);
+            ++failures;
+            return 0.0;
+        }
+        return v->asNumber();
+    };
+    const double streams = number("streams");
+    const double frames = number("frames_per_stream");
+    const double arrived = number("arrived");
+    const double admitted = number("admitted");
+    const double coasted = number("coasted");
+    const double shed = number("shed");
+    number("p9999_ms");
+    number("goodput_fps");
+    number("shed_rate");
+    if (failures)
+        return 1;
+    if (arrived != streams * frames) {
+        std::fprintf(stderr,
+                     "adserve --check: arrived %.0f != streams x "
+                     "frames %.0f\n",
+                     arrived, streams * frames);
+        ++failures;
+    }
+    if (admitted + coasted + shed != arrived) {
+        std::fprintf(stderr,
+                     "adserve --check: conservation violated: "
+                     "admitted %.0f + coasted %.0f + shed %.0f != "
+                     "arrived %.0f\n",
+                     admitted, coasted, shed, arrived);
+        ++failures;
+    }
+    if (failures)
+        return 1;
+    std::fprintf(stderr, "adserve --check: %s OK\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ad;
+    const Config cfg = Config::fromArgs(argc, argv);
+    cfg.warnUnknownKeys(knownKeys());
+
+    const std::string checkPath = cfg.getString("check");
+    if (!checkPath.empty())
+        return checkReport(checkPath);
+
+    const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
+    const std::int64_t frames = cfg.getInt("frames", 200);
+
+    serve::ServeParams sp;
+    sp.streams = cfg.getInt("streams", 8);
+    sp.stream.framePeriodMs = cfg.getDouble("period-ms", 100.0);
+    sp.stream.deadlineMs = cfg.getDouble("deadline-ms", 100.0);
+    sp.stream.queueDepth = cfg.getInt("queue-depth", 1);
+    sp.batch.maxBatch = cfg.getInt("batch-max", 8);
+    sp.batch.maxWaitMs = cfg.getDouble("window-ms", 6.0);
+    sp.admission.enabled = cfg.getBool("admission", true);
+    sp.stagger = cfg.getBool("stagger", true);
+    sp.seed = static_cast<std::uint64_t>(cfg.getInt("seed", 29));
+    sp.governor =
+        pipeline::GovernorParams::fromConfig(cfg, sp.stream.deadlineMs);
+    // The per-stream governors are the admission controller's
+    // degradation actuators; they are always on in the server.
+    sp.governor.enabled = true;
+    sp.governor.budgetMs = sp.stream.deadlineMs;
+
+    serve::ServeReport report;
+    const char* engineName = "modeled";
+    if (cfg.getBool("measured", false)) {
+        engineName = "measured";
+        const int inputSize = cfg.getInt("det-input", 64);
+        const double width = cfg.getDouble("det-width", 0.05);
+        nn::Network net = nn::buildNetwork(
+            nn::detectorSpec(inputSize, width));
+        Rng weightRng(7);
+        nn::initDetectorWeights(net, weightRng);
+        // One distinct input per stream so batching order is visible
+        // to the checksum.
+        std::vector<nn::Tensor> inputs;
+        Rng inputRng(sp.seed);
+        for (int s = 0; s < sp.streams; ++s) {
+            nn::Tensor t(1, inputSize, inputSize);
+            for (std::size_t i = 0; i < t.size(); ++i)
+                t.data()[i] =
+                    static_cast<float>(inputRng.uniform(0.0, 1.0));
+            inputs.push_back(std::move(t));
+        }
+        serve::NnBatchEngine engine(
+            net, std::move(inputs),
+            nn::resolveKernelThreads(cfg.getInt("nn.threads", 0)));
+        serve::MultiStreamServer server(sp, engine);
+        report = server.run(frames);
+        std::fprintf(stderr, "output checksum: %a\n",
+                     engine.outputChecksum());
+    } else {
+        serve::ModeledEngineParams ep;
+        ep.fixedMs = cfg.getDouble("engine.fixed-ms", ep.fixedMs);
+        ep.marginalMs =
+            cfg.getDouble("engine.marginal-ms", ep.marginalMs);
+        ep.jitterSigma = cfg.getDouble("engine.jitter", ep.jitterSigma);
+        ep.spikeP = cfg.getDouble("engine.spike-p", ep.spikeP);
+        ep.seed = sp.seed * 2654435761u + 1;
+        serve::ModeledBatchEngine engine(ep);
+        serve::MultiStreamServer server(sp, engine);
+        report = server.run(frames);
+    }
+
+    if (cfg.getBool("summary", false) || obsOpt.any())
+        std::fprintf(stderr, "%s", report.toString().c_str());
+
+    const std::string jsonPath = cfg.getString("serve-json");
+    if (!jsonPath.empty())
+        writeReport(jsonPath, sp, frames, engineName, report);
+
+    obs::finish(obsOpt);
+    return 0;
+}
