@@ -13,6 +13,12 @@
  * each component (accel::cpuParallelSpeedup); the default 1 is the
  * paper's measured anchor. Even generous multicore scaling leaves
  * every bottleneck engine far above the 100 ms budget.
+ *
+ * --int8=1 additionally applies the measured quantized-DNN speedup
+ * (accel::cpuQuantizedSpeedup, anchored to BENCH_quant.json): the
+ * precision lever composes with the thread lever, and still leaves
+ * DET and TRA orders of magnitude over budget -- narrowing the
+ * arithmetic alone does not rescue the CPU.
  */
 
 #include <cstdio>
@@ -32,14 +38,18 @@ main(int argc, char** argv)
     {
         auto known = obs::knownConfigKeys();
         known.push_back("threads");
+        known.push_back("int8");
         cfg.warnUnknownKeys(known);
     }
     const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
     const int threads = cfg.getInt("threads", 1);
+    const bool int8 = cfg.getBool("int8", false);
     bench::printHeader("Figure 6",
                        "per-component latency on the multicore CPU");
     if (threads > 1)
         std::printf("(modeled with %d kernel-layer threads)\n", threads);
+    if (int8)
+        std::printf("(modeled with the int8 quantized DNN path)\n");
 
     Rng rng(6);
     const auto& w = accel::standardWorkloadRef();
@@ -52,8 +62,10 @@ main(int argc, char** argv)
           Component::Fusion, Component::MotPlan}) {
         obs::TraceSpan span(obs::tracer(), accel::componentName(c),
                             "fig6");
-        const auto dist = cpu.latency(c, w).scaledBy(
-            1.0 / accel::cpuParallelSpeedup(c, threads));
+        double speedup = accel::cpuParallelSpeedup(c, threads);
+        if (int8)
+            speedup *= accel::cpuQuantizedSpeedup(c);
+        const auto dist = cpu.latency(c, w).scaledBy(1.0 / speedup);
         const auto s = dist.summarize(200000, rng);
         if (obs::metricsEnabled()) {
             const std::string base =

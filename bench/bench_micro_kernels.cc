@@ -10,8 +10,10 @@
  * scaling sweep (seed blocked kernel vs packed kernel at 1/2/4/8
  * threads) and records it to BENCH_gemm.json (override the location
  * with --gemm-json=PATH), the artifact backing the
- * parallel-kernel-layer speedup claim in DESIGN.md. The resolved
- * output path is printed when the sweep completes.
+ * parallel-kernel-layer speedup claim in DESIGN.md. The sweep also
+ * times the int8 GEMM (nn/gemm_int8.hh) at the same shape and thread
+ * counts and records the int8-vs-fp32-packed speedup alongside. The
+ * resolved output path is printed when the sweep completes.
  */
 
 #include <benchmark/benchmark.h>
@@ -26,7 +28,9 @@
 #include "common/time.hh"
 #include "detect/yolo.hh"
 #include "nn/gemm.hh"
+#include "nn/gemm_int8.hh"
 #include "nn/models.hh"
+#include "nn/quant.hh"
 #include "nn/sparse.hh"
 #include "planning/conformal.hh"
 #include "planning/lattice.hh"
@@ -110,6 +114,52 @@ BENCHMARK(BM_GemmParallel)
     ->Args({512, 2})
     ->Args({512, 4})
     ->Args({512, 8});
+
+void
+BM_GemmInt8(benchmark::State& state)
+{
+    // The quantized kernel at the fp32-packed shapes: A pre-widened
+    // to int16 (the layer does this once for static weights), B int8.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    std::vector<std::int16_t> a(n * n);
+    std::vector<std::int8_t> b(n * n);
+    std::vector<std::int32_t> c(n * n, 0);
+    for (auto& v : a)
+        v = static_cast<std::int16_t>(rng.uniformInt(-127, 127));
+    for (auto& v : b)
+        v = static_cast<std::int8_t>(rng.uniformInt(-127, 127));
+    for (auto _ : state) {
+        nn::gemmInt8(n, n, n, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    state.SetLabel(nn::int8KernelIsa());
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_QuantConv2D(benchmark::State& state)
+{
+    // fp32 Conv2D vs its quantized replacement at the same shape
+    // (compare against BM_Conv2D at the same channel count).
+    const int channels = static_cast<int>(state.range(0));
+    nn::Conv2D conv("bench", channels, channels, 3, 1, 1);
+    Rng rng(2);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.1, 0.1));
+    nn::Tensor in(channels, 56, 56);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.data()[i] = static_cast<float>(rng.uniform(0, 1));
+    const nn::QuantConv2D qconv(conv, nn::quantizeScale(1.0f));
+    for (auto _ : state) {
+        nn::Tensor out = qconv.forward(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const auto p = conv.profile({channels, 56, 56});
+    state.SetItemsProcessed(state.iterations() * p.flops);
+}
+BENCHMARK(BM_QuantConv2D)->Arg(16)->Arg(64);
 
 void
 BM_Conv2D(benchmark::State& state)
@@ -315,6 +365,13 @@ runGemmScalingSweep(const char* path)
         v = static_cast<float>(rng.uniform(-1, 1));
     for (auto& v : b)
         v = static_cast<float>(rng.uniform(-1, 1));
+    std::vector<std::int16_t> qa(n * n);
+    std::vector<std::int8_t> qb(n * n);
+    std::vector<std::int32_t> qc(n * n);
+    for (auto& v : qa)
+        v = static_cast<std::int16_t>(rng.uniformInt(-127, 127));
+    for (auto& v : qb)
+        v = static_cast<std::int8_t>(rng.uniformInt(-127, 127));
 
     const auto bestOf = [&](const std::function<void()>& fn) {
         double best = 0;
@@ -346,12 +403,15 @@ runGemmScalingSweep(const char* path)
     std::fprintf(f, "  \"baseline_ms\": %.3f,\n", baselineMs);
     std::fprintf(f, "  \"results\": [\n");
     const int threadCounts[] = {1, 2, 4, 8};
+    double fp32SerialMs = 0;
     bool first = true;
     for (const int threads : threadCounts) {
         const nn::KernelContext ctx = nn::kernelContext(threads);
         const double ms = bestOf([&] {
             nn::gemm(n, n, n, a.data(), b.data(), c.data(), ctx);
         });
+        if (threads == 1)
+            fp32SerialMs = ms;
         if (!first)
             std::fprintf(f, ",\n");
         first = false;
@@ -362,6 +422,31 @@ runGemmScalingSweep(const char* path)
         std::printf("gemm %zux%zux%zu threads=%d: %.3f ms "
                     "(%.2fx vs seed kernel)\n",
                     n, n, n, threads, ms, baselineMs / ms);
+    }
+    std::fprintf(f, "\n  ],\n");
+
+    // The quantized kernel at the same shape: speedups are quoted
+    // against the fp32 packed serial kernel (the production fp32
+    // path), not the seed baseline.
+    std::fprintf(f, "  \"int8_isa\": \"%s\",\n", nn::int8KernelIsa());
+    std::fprintf(f, "  \"int8_results\": [\n");
+    first = true;
+    for (const int threads : threadCounts) {
+        const nn::KernelContext ctx = nn::kernelContext(threads);
+        const double ms = bestOf([&] {
+            nn::gemmInt8(n, n, n, qa.data(), qb.data(), qc.data(), ctx);
+        });
+        if (!first)
+            std::fprintf(f, ",\n");
+        first = false;
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"ms\": %.3f, "
+                     "\"speedup_vs_fp32_packed\": %.2f}",
+                     threads, ms, fp32SerialMs / ms);
+        std::printf("gemm-int8 %zux%zux%zu threads=%d: %.3f ms "
+                    "(%.2fx vs fp32 packed serial, isa=%s)\n",
+                    n, n, n, threads, ms, fp32SerialMs / ms,
+                    nn::int8KernelIsa());
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

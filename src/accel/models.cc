@@ -262,6 +262,34 @@ cpuParallelSpeedup(Component c, int threads)
     return 1.0 / ((1.0 - parallel) + parallel / threads);
 }
 
+double
+cpuQuantizedSpeedup(Component c)
+{
+    // Quantizable fraction: the DNN share from the Figure 7 cycle
+    // breakdown (same as cpuParallelSpeedup). Within-DNN speedups are
+    // the measured dnn_speedup values in BENCH_quant.json
+    // (bench_ext_quant_accuracy): DET's conv-dominated stack nets
+    // ~1.25x (im2col and (de)quantization remain fp32), TRA's
+    // FC-dominated stack ~3.1x.
+    double quantizable = 0.0;
+    double dnnSpeedup = 1.0;
+    switch (c) {
+      case Component::Det:
+        quantizable = 0.994;
+        dnnSpeedup = 1.25;
+        break;
+      case Component::Tra:
+        quantizable = 0.99;
+        dnnSpeedup = 3.1;
+        break;
+      case Component::Loc:
+      case Component::Fusion:
+      case Component::MotPlan:
+        return 1.0; // no DNN on these engines.
+    }
+    return 1.0 / ((1.0 - quantizable) + quantizable / dnnSpeedup);
+}
+
 FeAsicSpec
 feAsicSpec()
 {

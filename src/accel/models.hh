@@ -171,6 +171,20 @@ const PlatformModel& platformModel(Platform p);
  */
 double cpuParallelSpeedup(Component c, int threads);
 
+/**
+ * Amdahl's-law speedup of a component on the CPU when its DNN runs
+ * the int8 quantized kernel path (nn/quant.hh) instead of fp32. The
+ * quantizable fraction is the same DNN share cpuParallelSpeedup uses
+ * (DET ~99.4%, TRA ~99%); the within-DNN speedups are measured, not
+ * assumed -- the BENCH_quant.json artifact from
+ * bench_ext_quant_accuracy on this host (int8 GEMM runs ~4x the fp32
+ * packed kernel at 512^3, but DET's conv stack only nets ~1.25x
+ * because im2col and (de)quantization stay in full precision, while
+ * TRA's FC-heavy stack nets ~3.1x). LOC, Fusion and MotPlan carry no
+ * DNN and return 1.0.
+ */
+double cpuQuantizedSpeedup(Component c);
+
 /** The standard (paper-scale, KITTI-resolution) workload, cached. */
 const Workload& standardWorkloadRef();
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/time.hh"
+#include "nn/quant.hh"
 #include "obs/trace.hh"
 
 namespace ad::detect {
@@ -122,6 +123,21 @@ YoloDetector::YoloDetector(const DetectorParams& params)
 {
     Rng rng(params.seed);
     nn::initDetectorWeights(net_, rng);
+    if (params.precision == nn::Precision::Int8) {
+        // Calibrate over seeded uniform [0, 1] inputs -- the range
+        // Tensor::fromImage normalizes real frames into -- then lower
+        // the conv stack to int8 in place.
+        Rng calRng(params.seed ^ 0xAD0C0DE5ULL);
+        std::vector<nn::Tensor> samples;
+        for (int s = 0; s < 2; ++s) {
+            nn::Tensor t(1, params.inputSize, params.inputSize);
+            float* data = t.data();
+            for (std::size_t i = 0; i < t.size(); ++i)
+                data[i] = static_cast<float>(calRng.uniform());
+            samples.push_back(std::move(t));
+        }
+        nn::quantizeNetwork(net_, samples);
+    }
 }
 
 std::vector<Detection>

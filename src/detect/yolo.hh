@@ -66,6 +66,15 @@ struct DetectorParams
     int threads = 1;
 
     /**
+     * Numeric mode of the forward pass (the `nn.precision` knob).
+     * Int8 calibrates over seeded activations at construction and
+     * swaps conv layers for their quantized twins (nn/quant.hh); the
+     * decode stage is unchanged and final boxes are refined against
+     * the original image either way.
+     */
+    nn::Precision precision = nn::Precision::Fp32;
+
+    /**
      * The same params with the square input downscaled by `scale`,
      * rounded down to the grid's multiple-of-32 constraint and
      * floored at 64 px. The degradation governor's DEGRADED mode

@@ -1,0 +1,337 @@
+#include "nn/gemm_int8.hh"
+
+#include <vector>
+
+#if defined(__x86_64__) || defined(__amd64__)
+#define AD_NN_INT8_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ad::nn {
+
+namespace {
+
+// k is padded to a multiple of 16 so both the 8-wide SSE2 and the
+// 16-wide AVX2 inner loops run without a scalar tail; padded lanes are
+// zero and contribute nothing to the exact integer sums.
+constexpr std::size_t kStep = 16;
+
+// Row grain for sharding M across the pool (same rationale as the
+// fp32 kernel: chunks never get fewer rows than this).
+constexpr std::size_t rowGrain = 8;
+
+/**
+ * One row range of C += A * B^T over padded int16 operands: aPack is
+ * m x kPad row-major, bt is n x kPad row-major (B transposed), so
+ * every output element is one contiguous dot product.
+ */
+using RowRangeFn = void (*)(std::size_t rowLo, std::size_t rowHi,
+                            std::size_t n, std::size_t kPad,
+                            const std::int16_t* aPack,
+                            const std::int16_t* bt, std::int32_t* c);
+
+/** Dot product over int8-range int16 operands. */
+using DotFn = std::int32_t (*)(const std::int16_t* a,
+                               const std::int16_t* b, std::size_t k);
+
+void
+rowRangeScalar(std::size_t rowLo, std::size_t rowHi, std::size_t n,
+               std::size_t kPad, const std::int16_t* aPack,
+               const std::int16_t* bt, std::int32_t* c)
+{
+    for (std::size_t i = rowLo; i < rowHi; ++i) {
+        const std::int16_t* ar = aPack + i * kPad;
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::int16_t* bc = bt + j * kPad;
+            std::int32_t acc = 0;
+            for (std::size_t kk = 0; kk < kPad; ++kk)
+                acc += static_cast<std::int32_t>(ar[kk]) * bc[kk];
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+std::int32_t
+dotScalar(const std::int16_t* a, const std::int16_t* b, std::size_t k)
+{
+    std::int32_t acc = 0;
+    for (std::size_t kk = 0; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(a[kk]) * b[kk];
+    return acc;
+}
+
+#if AD_NN_INT8_X86
+
+/** Horizontal sum of four int32 lanes (SSE2). */
+inline std::int32_t
+hsum128(__m128i v)
+{
+    __m128i hi = _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));
+    v = _mm_add_epi32(v, hi);
+    hi = _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1));
+    v = _mm_add_epi32(v, hi);
+    return _mm_cvtsi128_si32(v);
+}
+
+// The SSE2 micro-kernel: 4 output columns share each A load; pmaddwd
+// retires 8 widening MACs per instruction (pairs summed into 4 int32
+// lanes). int8-range operands cannot overflow the pairwise int32 sum
+// (127 * 127 * 2 << 2^31) and the running sums stay exact for any
+// practical k, so the result is bit-identical to the scalar kernel.
+void
+rowRangeSse2(std::size_t rowLo, std::size_t rowHi, std::size_t n,
+             std::size_t kPad, const std::int16_t* aPack,
+             const std::int16_t* bt, std::int32_t* c)
+{
+    for (std::size_t i = rowLo; i < rowHi; ++i) {
+        const std::int16_t* ar = aPack + i * kPad;
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const std::int16_t* b0 = bt + j * kPad;
+            const std::int16_t* b1 = b0 + kPad;
+            const std::int16_t* b2 = b1 + kPad;
+            const std::int16_t* b3 = b2 + kPad;
+            __m128i s0 = _mm_setzero_si128();
+            __m128i s1 = s0;
+            __m128i s2 = s0;
+            __m128i s3 = s0;
+            for (std::size_t kk = 0; kk < kPad; kk += 8) {
+                const __m128i va = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(ar + kk));
+                s0 = _mm_add_epi32(
+                    s0, _mm_madd_epi16(va, _mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(b0 + kk))));
+                s1 = _mm_add_epi32(
+                    s1, _mm_madd_epi16(va, _mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(b1 + kk))));
+                s2 = _mm_add_epi32(
+                    s2, _mm_madd_epi16(va, _mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(b2 + kk))));
+                s3 = _mm_add_epi32(
+                    s3, _mm_madd_epi16(va, _mm_loadu_si128(
+                        reinterpret_cast<const __m128i*>(b3 + kk))));
+            }
+            c[i * n + j] += hsum128(s0);
+            c[i * n + j + 1] += hsum128(s1);
+            c[i * n + j + 2] += hsum128(s2);
+            c[i * n + j + 3] += hsum128(s3);
+        }
+        for (; j < n; ++j) {
+            const std::int16_t* bc = bt + j * kPad;
+            std::int32_t acc = 0;
+            for (std::size_t kk = 0; kk < kPad; ++kk)
+                acc += static_cast<std::int32_t>(ar[kk]) * bc[kk];
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+std::int32_t
+dotSse2(const std::int16_t* a, const std::int16_t* b, std::size_t k)
+{
+    __m128i s = _mm_setzero_si128();
+    std::size_t kk = 0;
+    for (; kk + 8 <= k; kk += 8) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(a + kk));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + kk));
+        s = _mm_add_epi32(s, _mm_madd_epi16(va, vb));
+    }
+    std::int32_t acc = hsum128(s);
+    for (; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(a[kk]) * b[kk];
+    return acc;
+}
+
+// AVX2 variants: 16 int16 lanes per pmaddwd. Compiled with a target
+// attribute so the binary stays runnable on baseline x86-64; the
+// dispatcher below only selects them when the CPU reports AVX2.
+__attribute__((target("avx2"))) void
+rowRangeAvx2(std::size_t rowLo, std::size_t rowHi, std::size_t n,
+             std::size_t kPad, const std::int16_t* aPack,
+             const std::int16_t* bt, std::int32_t* c)
+{
+    for (std::size_t i = rowLo; i < rowHi; ++i) {
+        const std::int16_t* ar = aPack + i * kPad;
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const std::int16_t* b0 = bt + j * kPad;
+            const std::int16_t* b1 = b0 + kPad;
+            const std::int16_t* b2 = b1 + kPad;
+            const std::int16_t* b3 = b2 + kPad;
+            __m256i s0 = _mm256_setzero_si256();
+            __m256i s1 = s0;
+            __m256i s2 = s0;
+            __m256i s3 = s0;
+            for (std::size_t kk = 0; kk < kPad; kk += 16) {
+                const __m256i va = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(ar + kk));
+                s0 = _mm256_add_epi32(
+                    s0, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(b0 + kk))));
+                s1 = _mm256_add_epi32(
+                    s1, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(b1 + kk))));
+                s2 = _mm256_add_epi32(
+                    s2, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(b2 + kk))));
+                s3 = _mm256_add_epi32(
+                    s3, _mm256_madd_epi16(va, _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i*>(b3 + kk))));
+            }
+            const __m128i t0 = _mm_add_epi32(
+                _mm256_castsi256_si128(s0),
+                _mm256_extracti128_si256(s0, 1));
+            const __m128i t1 = _mm_add_epi32(
+                _mm256_castsi256_si128(s1),
+                _mm256_extracti128_si256(s1, 1));
+            const __m128i t2 = _mm_add_epi32(
+                _mm256_castsi256_si128(s2),
+                _mm256_extracti128_si256(s2, 1));
+            const __m128i t3 = _mm_add_epi32(
+                _mm256_castsi256_si128(s3),
+                _mm256_extracti128_si256(s3, 1));
+            c[i * n + j] += hsum128(t0);
+            c[i * n + j + 1] += hsum128(t1);
+            c[i * n + j + 2] += hsum128(t2);
+            c[i * n + j + 3] += hsum128(t3);
+        }
+        for (; j < n; ++j) {
+            const std::int16_t* bc = bt + j * kPad;
+            std::int32_t acc = 0;
+            for (std::size_t kk = 0; kk < kPad; ++kk)
+                acc += static_cast<std::int32_t>(ar[kk]) * bc[kk];
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+__attribute__((target("avx2"))) std::int32_t
+dotAvx2(const std::int16_t* a, const std::int16_t* b, std::size_t k)
+{
+    __m256i s = _mm256_setzero_si256();
+    std::size_t kk = 0;
+    for (; kk + 16 <= k; kk += 16) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(a + kk));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(b + kk));
+        s = _mm256_add_epi32(s, _mm256_madd_epi16(va, vb));
+    }
+    std::int32_t acc = hsum128(_mm_add_epi32(
+        _mm256_castsi256_si128(s), _mm256_extracti128_si256(s, 1)));
+    for (; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(a[kk]) * b[kk];
+    return acc;
+}
+
+bool
+haveAvx2()
+{
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+#endif // AD_NN_INT8_X86
+
+RowRangeFn
+rowRangeKernel()
+{
+#if AD_NN_INT8_X86
+    return haveAvx2() ? rowRangeAvx2 : rowRangeSse2;
+#else
+    return rowRangeScalar;
+#endif
+}
+
+DotFn
+dotKernel()
+{
+#if AD_NN_INT8_X86
+    return haveAvx2() ? dotAvx2 : dotSse2;
+#else
+    return dotScalar;
+#endif
+}
+
+} // namespace
+
+const char*
+int8KernelIsa()
+{
+#if AD_NN_INT8_X86
+    return haveAvx2() ? "avx2" : "sse2";
+#else
+    return "scalar";
+#endif
+}
+
+void
+gemmInt8(std::size_t m, std::size_t n, std::size_t k,
+         const std::int16_t* a, const std::int8_t* b, std::int32_t* c,
+         const KernelContext& ctx)
+{
+    if (m == 0 || n == 0 || k == 0)
+        return;
+    const std::size_t kPad = (k + kStep - 1) / kStep * kStep;
+
+    // Both packed operands belong to the calling thread; workers only
+    // read them through raw pointers (thread_locals are not captured
+    // by lambdas), and kernelParallelFor joins before the next resize.
+    static thread_local std::vector<std::int16_t> aPack;
+    static thread_local std::vector<std::int16_t> btPack;
+    aPack.assign(m * kPad, 0);
+    btPack.assign(n * kPad, 0);
+    std::int16_t* aData = aPack.data();
+    std::int16_t* btData = btPack.data();
+
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk)
+            aData[i * kPad + kk] = a[i * k + kk];
+
+    // Transpose + widen B so every output element is one contiguous
+    // dot product; bt rows are disjoint pure writes, so they shard.
+    kernelParallelFor(ctx, 0, n, 64,
+                      [&, btData](std::size_t lo, std::size_t hi) {
+                          for (std::size_t j = lo; j < hi; ++j)
+                              for (std::size_t kk = 0; kk < k; ++kk)
+                                  btData[j * kPad + kk] = b[kk * n + j];
+                      });
+
+    const RowRangeFn rows = rowRangeKernel();
+    kernelParallelFor(ctx, 0, m, rowGrain,
+                      [=](std::size_t lo, std::size_t hi) {
+                          rows(lo, hi, n, kPad, aData, btData, c);
+                      });
+}
+
+void
+gemmInt8Naive(std::size_t m, std::size_t n, std::size_t k,
+              const std::int8_t* a, const std::int8_t* b,
+              std::int32_t* c)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            std::int32_t acc = c[i * n + j];
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += static_cast<std::int32_t>(a[i * k + kk]) *
+                       b[kk * n + j];
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+void
+gemvInt8(std::size_t m, std::size_t k, const std::int16_t* a,
+         const std::int16_t* x, std::int32_t* y, const KernelContext& ctx)
+{
+    const DotFn dot = dotKernel();
+    kernelParallelFor(ctx, 0, m, 64,
+                      [=](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i)
+                              y[i] += dot(a + i * k, x, k);
+                      });
+}
+
+} // namespace ad::nn

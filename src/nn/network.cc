@@ -3,10 +3,31 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace ad::nn {
+
+const char*
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::Fp32: return "fp32";
+      case Precision::Int8: return "int8";
+    }
+    return "?";
+}
+
+Precision
+parsePrecision(const std::string& text)
+{
+    if (text == "fp32")
+        return Precision::Fp32;
+    if (text == "int8")
+        return Precision::Int8;
+    fatal("unknown precision \"", text, "\" (expected fp32 or int8)");
+}
 
 std::uint64_t
 NetworkProfile::totalFlops() const
@@ -71,6 +92,17 @@ NetworkProfile::toString() const
     oss << "  total: " << totalFlops() / 1e9 << " GFLOP, "
         << totalWeightBytes() / 1e6 << " MB weights";
     return oss.str();
+}
+
+void
+Network::replaceLayer(std::size_t i, std::unique_ptr<Layer> layer)
+{
+    if (i >= layers_.size())
+        fatal("Network ", name_, ": replaceLayer index ", i,
+              " out of range (", layers_.size(), " layers)");
+    if (!layer)
+        fatal("Network ", name_, ": replaceLayer with null layer");
+    layers_[i] = std::move(layer);
 }
 
 Tensor

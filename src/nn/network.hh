@@ -22,6 +22,23 @@ class MetricRegistry;
 
 namespace ad::nn {
 
+/**
+ * Numeric mode of a network or pipeline stage. Fp32 is the seed
+ * behavior; Int8 means conv/FC layers were swapped for their quantized
+ * counterparts (quant.hh).
+ */
+enum class Precision { Fp32, Int8 };
+
+/** Short lowercase name ("fp32" / "int8"). */
+const char* precisionName(Precision p);
+
+/**
+ * Parse a precision knob value ("fp32" / "int8"); fatal() on anything
+ * else so a typoed config fails loudly instead of silently running the
+ * wrong numeric mode.
+ */
+Precision parsePrecision(const std::string& text);
+
 /** Aggregated compute/memory inventory of a whole network. */
 struct NetworkProfile
 {
@@ -71,6 +88,19 @@ class Network
     std::size_t layerCount() const { return layers_.size(); }
     const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
+    /**
+     * Swap layer i for a replacement with identical input/output
+     * shapes -- the hook quantizeNetwork (quant.hh) uses to lower
+     * conv/FC layers to int8 in place. fatal() on out-of-range i or a
+     * null layer.
+     */
+    void replaceLayer(std::size_t i, std::unique_ptr<Layer> layer);
+
+    /** Numeric mode this network currently runs in. */
+    Precision precision() const { return precision_; }
+    /** Record the numeric mode (set by quantizeNetwork). */
+    void setPrecision(Precision p) { precision_ = p; }
+
     /** Run all layers in order, serially. */
     Tensor forward(const Tensor& input) const;
 
@@ -105,6 +135,7 @@ class Network
   private:
     std::string name_;
     std::vector<std::unique_ptr<Layer>> layers_;
+    Precision precision_ = Precision::Fp32;
 };
 
 /**

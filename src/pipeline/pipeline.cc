@@ -9,14 +9,21 @@ namespace ad::pipeline {
 
 namespace {
 
-/** Fan the pipeline-wide nn.threads override out to the engines. */
+/**
+ * Fan the pipeline-wide nn.threads / nn.precision overrides out to the
+ * engines.
+ */
 PipelineParams
-applyNnThreads(PipelineParams p)
+applyNnOverrides(PipelineParams p)
 {
     if (p.nnThreads != 0) {
         p.detector.threads = p.nnThreads;
         p.trackerPool.tracker.threads = p.nnThreads;
         p.localizer.threads = p.nnThreads;
+    }
+    if (p.nnPrecision != nn::Precision::Fp32) {
+        p.detector.precision = p.nnPrecision;
+        p.trackerPool.tracker.precision = p.nnPrecision;
     }
     return p;
 }
@@ -34,7 +41,7 @@ Pipeline::Pipeline(const slam::PriorMap* map,
                    const sensors::Camera* camera,
                    const planning::RoadGraph* roadGraph,
                    const PipelineParams& params)
-    : params_(applyNnThreads(params)), camera_(camera),
+    : params_(applyNnOverrides(params)), camera_(camera),
       detector_(params_.detector), trackerPool_(params_.trackerPool),
       localizer_(map, camera, params_.localizer), fusion_(camera),
       controller_(params_.control), deadline_(params_.deadline)

@@ -52,6 +52,16 @@ struct PipelineParams
     int nnThreads = 0;
 
     /**
+     * The `nn.precision` knob applied to both DNN engines at once:
+     * Int8 lowers the DET and TRA networks to the quantized kernel
+     * path (nn/quant.hh), including the governor's warm standby
+     * detector, which inherits the detector params. Fp32 (the
+     * default) leaves the per-engine `precision` fields untouched.
+     * LOC has no DNN and is unaffected.
+     */
+    nn::Precision nnPrecision = nn::Precision::Fp32;
+
+    /**
      * Deadline watchdog knobs (100 ms budget by default). The monitor
      * observes every frame -- it is a handful of comparisons -- and
      * never influences engine behavior, so outputs are identical

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/time.hh"
+#include "nn/quant.hh"
 
 namespace ad::track {
 
@@ -44,6 +45,28 @@ GoturnTracker::GoturnTracker(const TrackerParams& params)
           return makeFcHead(params, rng);
       }())
 {
+    if (params.precision == nn::Precision::Int8) {
+        // Calibrate over seeded uniform [0, 1] crops (the normalized
+        // range of real crops). The conv branch quantizes first so the
+        // FC head calibrates on the feature maps it will actually see:
+        // the channel-concat of two quantized branch outputs.
+        Rng calRng(params.seed ^ 0xAD0C0DE5ULL);
+        std::vector<nn::Tensor> crops;
+        for (int s = 0; s < 2; ++s) {
+            nn::Tensor t(1, params.cropSize, params.cropSize);
+            float* data = t.data();
+            for (std::size_t i = 0; i < t.size(); ++i)
+                data[i] = static_cast<float>(calRng.uniform());
+            crops.push_back(std::move(t));
+        }
+        nn::quantizeNetwork(convBranch_, crops);
+        const nn::Tensor feat0 = convBranch_.forward(crops[0]);
+        const nn::Tensor feat1 = convBranch_.forward(crops[1]);
+        std::vector<nn::Tensor> fcInputs;
+        fcInputs.push_back(nn::Tensor::concatChannels(feat0, feat1));
+        fcInputs.push_back(nn::Tensor::concatChannels(feat1, feat0));
+        nn::quantizeNetwork(fcHead_, fcInputs);
+    }
 }
 
 void

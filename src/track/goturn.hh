@@ -47,6 +47,14 @@ struct TrackerParams
      * concurrency. Results are bitwise-identical for any value.
      */
     int threads = 1;
+
+    /**
+     * Numeric mode of the DNN branches (the `nn.precision` knob).
+     * Int8 calibrates both networks over seeded crops at construction
+     * and swaps conv/FC layers for their quantized twins
+     * (nn/quant.hh); the NCC refinement is unchanged.
+     */
+    nn::Precision precision = nn::Precision::Fp32;
 };
 
 /**

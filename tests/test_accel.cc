@@ -262,4 +262,39 @@ TEST(Models, FusionAndMotPlanAreNegligible)
     EXPECT_LT(cpu.latency(Component::MotPlan, w).tail9999(), 0.6);
 }
 
+TEST(Models, QuantizedSpeedupMatchesMeasuredAnchors)
+{
+    // Amdahl over the DNN share with the measured dnn_speedup values
+    // from BENCH_quant.json (DET 1.25x conv-bound, TRA 3.1x FC-bound).
+    const double det = cpuQuantizedSpeedup(Component::Det);
+    const double tra = cpuQuantizedSpeedup(Component::Tra);
+    EXPECT_NEAR(det, 1.0 / ((1.0 - 0.994) + 0.994 / 1.25), 1e-12);
+    EXPECT_NEAR(tra, 1.0 / ((1.0 - 0.99) + 0.99 / 3.1), 1e-12);
+    // The composite never exceeds the within-DNN kernel speedup.
+    EXPECT_GT(det, 1.0);
+    EXPECT_LT(det, 1.25);
+    EXPECT_GT(tra, 1.0);
+    EXPECT_LT(tra, 3.1);
+}
+
+TEST(Models, QuantizedSpeedupIsUnityOffTheDnnEngines)
+{
+    EXPECT_DOUBLE_EQ(cpuQuantizedSpeedup(Component::Loc), 1.0);
+    EXPECT_DOUBLE_EQ(cpuQuantizedSpeedup(Component::Fusion), 1.0);
+    EXPECT_DOUBLE_EQ(cpuQuantizedSpeedup(Component::MotPlan), 1.0);
+}
+
+TEST(Models, QuantizationAloneDoesNotRescueTheCpu)
+{
+    // The Section 3.2 conclusion survives the precision lever: DET
+    // and TRA tails stay far over the 100 ms budget even quantized.
+    const Workload& w = standardWorkloadRef();
+    const PlatformModel& cpu = platformModel(Platform::Cpu);
+    for (const auto c : {Component::Det, Component::Tra}) {
+        const auto scaled = cpu.latency(c, w).scaledBy(
+            1.0 / cpuQuantizedSpeedup(c));
+        EXPECT_GT(scaled.tail9999(), 100.0) << componentName(c);
+    }
+}
+
 } // namespace

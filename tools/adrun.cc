@@ -10,6 +10,7 @@
  *   adrun [--scenario=highway|urban] [--frames=100]
  *         [--resolution=HHD|KITTI|HD] [--seed=1] [--csv=out.csv]
  *         [--det-input=160] [--summary] [--nn.threads=N]
+ *         [--nn.precision=fp32|int8]
  *         [--trace <file>] [--metrics] [--obs.trace_nn]
  *         [--obs.budget_ms=100]
  *         [--faults=0.1] [--fault.*=...] [--governor] [--gov.*=...]
@@ -17,6 +18,11 @@
  * --nn.threads drives the parallel NN kernel layer in every engine:
  * 0 (the default) resolves to hardware concurrency, 1 restores the
  * exact serial behavior. Outputs are bitwise-identical either way.
+ *
+ * --nn.precision=int8 lowers the DET and TRA networks to the
+ * quantized int8 kernel path (per-channel weights, calibrated
+ * activations; see DESIGN.md "Quantized inference"). Deterministic at
+ * any thread count, accuracy-checked by bench_ext_quant_accuracy.
  *
  * --trace writes a Chrome trace_event JSON (chrome://tracing /
  * Perfetto) with per-stage spans carrying frame ids; --metrics dumps
@@ -70,7 +76,7 @@ knownKeys()
     std::vector<std::string> keys = {
         "scenario", "frames",    "resolution", "seed",      "csv",
         "det-input", "det-width", "summary",    "length",
-        "nn.threads"};
+        "nn.threads", "nn.precision"};
     for (const auto& k : obs::knownConfigKeys())
         keys.push_back(k);
     for (const auto& k : pipeline::FaultInjectorParams::knownConfigKeys())
@@ -116,6 +122,8 @@ main(int argc, char** argv)
     // override", so resolve the knob before handing it down).
     params.nnThreads =
         nn::resolveKernelThreads(cfg.getInt("nn.threads", 0));
+    params.nnPrecision =
+        nn::parsePrecision(cfg.getString("nn.precision", "fp32"));
     params.deadline.budgetMs = obsOpt.budgetMs;
     params.deadline.logViolations = obsOpt.any();
     params.faults = pipeline::FaultInjectorParams::fromConfig(cfg);

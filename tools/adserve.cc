@@ -14,7 +14,7 @@
  *           [--stagger=1] [--seed=29]
  *           [--engine.fixed-ms=8] [--engine.marginal-ms=9]
  *           [--measured] [--det-input=64] [--det-width=0.05]
- *           [--nn.threads=0]
+ *           [--nn.threads=0] [--nn.precision=fp32|int8]
  *           [--serve-json=out.json] [--summary]
  *           [--metrics] [--trace <file>]
  *   adserve --check=out.json
@@ -23,7 +23,10 @@
  * sweeps in milliseconds). --measured swaps in NnBatchEngine: real
  * Network::forwardBatch calls over the shared ThreadPool, timed with
  * a wall clock -- the serving policies under genuine multithreaded
- * kernels.
+ * kernels. --nn.precision=int8 additionally lowers the measured
+ * network to the quantized kernel path (nn/quant.hh) after a seeded
+ * calibration pass -- the serving-layer configuration the
+ * bench_ext_quant_accuracy goodput comparison runs.
  *
  * --serve-json writes a machine-readable run report; --check parses
  * one back (obs/json.hh), validates its structure and the frame
@@ -41,6 +44,7 @@
 #include "common/logging.hh"
 #include "nn/kernel_context.hh"
 #include "nn/models.hh"
+#include "nn/quant.hh"
 #include "nn/tensor.hh"
 #include "obs/json.hh"
 #include "obs/obs.hh"
@@ -57,7 +61,8 @@ knownKeys()
         "streams",     "frames",       "period-ms", "deadline-ms",
         "queue-depth", "batch-max",    "window-ms", "admission",
         "stagger",     "seed",         "measured",  "det-input",
-        "det-width",   "nn.threads",   "serve-json", "summary",
+        "det-width",   "nn.threads",   "nn.precision",
+        "serve-json",  "summary",
         "check",       "engine.fixed-ms", "engine.marginal-ms",
         "engine.jitter", "engine.spike-p"};
     for (const auto& k : obs::knownConfigKeys())
@@ -210,6 +215,22 @@ main(int argc, char** argv)
             nn::detectorSpec(inputSize, width));
         Rng weightRng(7);
         nn::initDetectorWeights(net, weightRng);
+        if (nn::parsePrecision(cfg.getString("nn.precision", "fp32")) ==
+            nn::Precision::Int8) {
+            engineName = "measured-int8";
+            // Seeded calibration at the same input distribution the
+            // engine will serve (uniform [0, 1] frames).
+            std::vector<nn::Tensor> samples;
+            Rng calRng(sp.seed ^ 0xAD0C0DE5ULL);
+            for (int s = 0; s < 2; ++s) {
+                nn::Tensor t(1, inputSize, inputSize);
+                for (std::size_t i = 0; i < t.size(); ++i)
+                    t.data()[i] =
+                        static_cast<float>(calRng.uniform());
+                samples.push_back(std::move(t));
+            }
+            nn::quantizeNetwork(net, samples);
+        }
         // One distinct input per stream so batching order is visible
         // to the checksum.
         std::vector<nn::Tensor> inputs;

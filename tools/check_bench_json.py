@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Schema validator for the checked-in BENCH_*.json artifacts.
+
+The bench harnesses (bench_micro_kernels, bench_ext_serve_scale,
+bench_ext_quant_accuracy) write machine-readable artifacts that back
+speedup/accuracy claims in DESIGN.md. CI runs this script against the
+checked-in copies so a harness refactor cannot silently change an
+artifact's shape (or drop the acceptance-bar fields) without the diff
+showing up here.
+
+Usage:
+    tools/check_bench_json.py [FILE...]
+
+With no arguments, validates every BENCH_*.json in the repository
+root. Exits nonzero listing every violation; prints one OK line per
+valid file. Only the stdlib is used.
+"""
+
+import json
+import pathlib
+import sys
+
+
+class Checker:
+    """Accumulates violations for one artifact."""
+
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def fail(self, msg):
+        self.errors.append(f"{self.path}: {msg}")
+
+    def require(self, obj, key, kinds, ctx=""):
+        """Key present and of one of `kinds`; returns the value or None."""
+        where = f"{ctx}.{key}" if ctx else key
+        if not isinstance(obj, dict) or key not in obj:
+            self.fail(f'missing "{where}"')
+            return None
+        val = obj[key]
+        # bool is an int subclass; reject it where a number is expected.
+        if isinstance(val, bool) and bool not in kinds:
+            self.fail(f'"{where}" must be {kinds}, got bool')
+            return None
+        if not isinstance(val, tuple(kinds)):
+            self.fail(f'"{where}" must be {kinds}, '
+                      f"got {type(val).__name__}")
+            return None
+        return val
+
+    def number(self, obj, key, ctx="", minimum=None):
+        val = self.require(obj, key, [int, float], ctx)
+        if val is not None and minimum is not None and val < minimum:
+            self.fail(f'"{ctx}.{key}" = {val} < {minimum}')
+        return val
+
+    def rows(self, obj, key, min_rows=1, ctx=""):
+        val = self.require(obj, key, [list], ctx)
+        if val is None:
+            return []
+        if len(val) < min_rows:
+            self.fail(f'"{key}" has {len(val)} rows, need >= {min_rows}')
+        bad = [i for i, r in enumerate(val) if not isinstance(r, dict)]
+        if bad:
+            self.fail(f'"{key}" rows {bad} are not objects')
+            return [r for r in val if isinstance(r, dict)]
+        return val
+
+
+def check_gemm(c, doc):
+    """BENCH_gemm.json: the kernel-layer scaling sweep."""
+    c.require(doc, "kernel", [str])
+    for key in ("m", "n", "k"):
+        c.number(doc, key, minimum=1)
+    c.require(doc, "baseline", [str])
+    c.number(doc, "baseline_ms", minimum=0)
+    for i, row in enumerate(c.rows(doc, "results")):
+        ctx = f"results[{i}]"
+        c.number(row, "threads", ctx, minimum=1)
+        c.number(row, "ms", ctx, minimum=0)
+        c.number(row, "speedup_vs_baseline", ctx, minimum=0)
+    c.require(doc, "int8_isa", [str])
+    for i, row in enumerate(c.rows(doc, "int8_results")):
+        ctx = f"int8_results[{i}]"
+        c.number(row, "threads", ctx, minimum=1)
+        c.number(row, "ms", ctx, minimum=0)
+        c.number(row, "speedup_vs_fp32_packed", ctx, minimum=0)
+
+
+def check_serve(c, doc):
+    """BENCH_serve.json: the multi-stream serving scaling sweep."""
+    c.require(doc, "engine", [str])
+    c.number(doc, "frames_per_stream", minimum=1)
+    c.number(doc, "budget_ms", minimum=0)
+    for i, row in enumerate(c.rows(doc, "rows")):
+        ctx = f"rows[{i}]"
+        streams = c.number(row, "streams", ctx, minimum=1)
+        frames = doc.get("frames_per_stream")
+        admitted = c.number(row, "admitted", ctx, minimum=0)
+        shed = c.number(row, "shed", ctx, minimum=0)
+        for key in ("p50_ms", "p99_ms", "p9999_ms", "goodput_fps",
+                    "shed_rate", "mean_batch_size"):
+            c.number(row, key, ctx, minimum=0)
+        c.require(row, "mode", [str], ctx)
+        # Frame conservation: nothing admitted or shed beyond what
+        # arrived (coasted frames absorb the remainder).
+        if None not in (streams, frames, admitted, shed):
+            arrived = streams * frames
+            if admitted + shed > arrived:
+                c.fail(f"{ctx}: admitted {admitted} + shed {shed} "
+                       f"> arrived {arrived}")
+
+
+def check_quant(c, doc):
+    """BENCH_quant.json: the int8 accuracy/latency sweep.
+
+    Beyond shape, this re-asserts the acceptance bars the artifact
+    exists to document: kernel speedup >= 1.8x at 512^3, DET IoU
+    degradation <= 2%, bitwise-deterministic int8 path.
+    """
+    c.require(doc, "int8_isa", [str])
+    gemm = c.require(doc, "gemm", [dict])
+    if gemm is not None:
+        speedup = c.number(gemm, "serial_speedup", "gemm", minimum=0)
+        if speedup is not None and speedup < 1.8:
+            c.fail(f"gemm.serial_speedup {speedup} < 1.8")
+        for i, row in enumerate(c.rows(gemm, "rows", ctx="gemm")):
+            ctx = f"gemm.rows[{i}]"
+            c.number(row, "threads", ctx, minimum=1)
+            c.number(row, "fp32_ms", ctx, minimum=0)
+            c.number(row, "int8_ms", ctx, minimum=0)
+    det = c.require(doc, "determinism", [dict])
+    if det is not None:
+        for key in ("gemm_bitwise_identical", "det_boxes_identical"):
+            val = c.require(det, key, [bool], "determinism")
+            if val is False:
+                c.fail(f"determinism.{key} is false")
+    acc = c.require(doc, "det", [dict])
+    if acc is not None:
+        degradation = c.number(acc, "iou_degradation", "det")
+        if degradation is not None and degradation > 0.02:
+            c.fail(f"det.iou_degradation {degradation} > 0.02")
+        for key in ("frames", "fp32_detections", "int8_detections"):
+            c.number(acc, key, "det", minimum=0)
+        for key in ("fp32_dnn_ms", "int8_dnn_ms", "dnn_speedup"):
+            c.number(acc, key, "det", minimum=0)
+    tra = c.require(doc, "tra", [dict])
+    if tra is not None:
+        c.number(tra, "mean_center_error_px", "tra", minimum=0)
+        c.number(tra, "dnn_speedup", "tra", minimum=0)
+    serve = c.require(doc, "serve", [dict])
+    if serve is not None:
+        for cell in ("fp32", "int8"):
+            obj = c.require(serve, cell, [dict], "serve")
+            if obj is not None:
+                c.number(obj, "goodput_fps", f"serve.{cell}", minimum=0)
+                c.number(obj, "p99_ms", f"serve.{cell}", minimum=0)
+        c.number(serve, "goodput_ratio", "serve", minimum=0)
+
+
+CHECKERS = {
+    "BENCH_gemm.json": check_gemm,
+    "BENCH_serve.json": check_serve,
+    "BENCH_quant.json": check_quant,
+}
+
+
+def check_file(path):
+    c = Checker(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        c.fail(str(e))
+        return c.errors
+    if not isinstance(doc, dict):
+        c.fail("top level is not an object")
+        return c.errors
+    checker = CHECKERS.get(path.name)
+    if checker is None:
+        c.fail(f"no schema registered for {path.name}; add one to "
+               "tools/check_bench_json.py")
+        return c.errors
+    checker(c, doc)
+    return c.errors
+
+
+def main(argv):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        paths = [pathlib.Path(a) for a in argv[1:]]
+    else:
+        paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print("check_bench_json: no BENCH_*.json artifacts found",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(f"FAIL {e}", file=sys.stderr)
+        else:
+            print(f"OK   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: runs clang-format (via git-clang-format)
+# over the C++ lines the current branch changes relative to a merge
+# base and fails if they drift from .clang-format. Never rewrites
+# anything, and never judges untouched history -- the tree predates
+# the formatter, so only new work is held to it.
+#
+# Usage: tools/check_format.sh [BASE]
+#   BASE defaults to origin/main (falls back to main, then HEAD~1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not found; skipping" >&2
+    exit 0
+fi
+
+base="${1:-}"
+if [ -z "$base" ]; then
+    for candidate in origin/main main "HEAD~1"; do
+        if git rev-parse --verify --quiet "$candidate" >/dev/null; then
+            base="$candidate"
+            break
+        fi
+    done
+fi
+merge_base=$(git merge-base "$base" HEAD 2>/dev/null || echo "$base")
+
+changed=$(git diff --name-only --diff-filter=ACMR "$merge_base" -- \
+    '*.cc' '*.hh')
+if [ -z "$changed" ]; then
+    echo "check_format: no C++ changes vs $merge_base"
+    exit 0
+fi
+
+# git-clang-format scopes the check to the changed lines of the
+# changed files; plain clang-format --dry-run would judge whole files
+# (including untouched legacy code) and is kept as the fallback for
+# environments that ship clang-format without the git helper.
+if command -v git-clang-format >/dev/null 2>&1; then
+    out=$(git clang-format --diff "$merge_base" -- $changed || true)
+    if [ -z "$out" ] || grep -qE \
+        "no modified files to format|did not modify" <<<"$out"; then
+        echo "check_format: OK ($(echo "$changed" | wc -l) files vs" \
+            "$merge_base)"
+        exit 0
+    fi
+    echo "$out"
+    echo "check_format: formatting drift on changed lines (see diff" \
+        "above); run 'git clang-format $merge_base' to fix" >&2
+    exit 1
+fi
+
+status=0
+for f in $changed; do
+    if ! clang-format --dry-run -Werror "$f" 2>/dev/null; then
+        echo "check_format: $f differs from .clang-format" >&2
+        status=1
+    fi
+done
+[ $status -eq 0 ] && echo "check_format: OK (whole-file fallback)"
+exit $status
