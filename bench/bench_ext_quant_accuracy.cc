@@ -17,7 +17,12 @@
  *    (adserve --measured) run fp32 and int8 -- goodput and admitted
  *    tail latency side by side;
  *  - determinism: FNV-1a checksums of the int8 GEMM output and
- *    detector boxes at 1/2/8 threads (must be bitwise identical).
+ *    detector boxes at 1/2/8 threads (must be bitwise identical);
+ *  - fusion: the DET network fused+arena-planned vs the unfused
+ *    allocating reference in both precisions -- latency, bitwise
+ *    equality at 1/2/8 threads, arena footprint (via the
+ *    MetricRegistry gauges Network::plan publishes) and the
+ *    steady-state allocation count, which must be zero.
  *
  * Emits BENCH_quant.json (override with --quant-json=PATH). The DNN
  * speedups measured here anchor accel::cpuQuantizedSpeedup -- the
@@ -42,9 +47,11 @@
 #include "common/random.hh"
 #include "common/time.hh"
 #include "detect/yolo.hh"
+#include "nn/fusion.hh"
 #include "nn/gemm.hh"
 #include "nn/gemm_int8.hh"
 #include "nn/quant.hh"
+#include "obs/metrics.hh"
 #include "sensors/camera.hh"
 #include "serve/serve.hh"
 #include "track/goturn.hh"
@@ -372,6 +379,138 @@ runTraComparison(sensors::Camera& camera)
     return res;
 }
 
+/** Fused-lowering + arena-planner comparison (the nn.fuse/nn.arena
+ *  knobs): DET network at the bench's 160 input in both precisions,
+ *  fused+planned vs the unfused allocating reference. */
+struct FusionResults
+{
+    std::size_t layersFused = 0;   ///< activations folded (fp32 DET).
+    std::size_t directConvs = 0;   ///< convs lowered to direct.
+    double detUnfusedMs = 0;       ///< fp32 forward, reference path.
+    double detFusedMs = 0;         ///< fp32 forwardArena, lowered.
+    double detInt8UnfusedMs = 0;
+    double detInt8FusedMs = 0;
+    bool bitwiseIdentical = true;  ///< fused == unfused at 1/2/8 thr.
+    std::size_t detArenaBytes = 0;  ///< via MetricRegistry gauge.
+    std::size_t detArenaValues = 0; ///< via MetricRegistry gauge.
+    double allocEventsPerFrame = 0; ///< steady-state tensor allocs.
+};
+
+FusionResults
+runFusionComparison(int reps)
+{
+    const int inputSize = 160;
+    const auto buildDet = [&](nn::Precision precision) {
+        nn::Network net = nn::buildNetwork(
+            nn::detectorSpec(inputSize, 0.25,
+                             sensors::kNumObjectClasses));
+        Rng rng(1);
+        nn::initDetectorWeights(net, rng);
+        if (precision == nn::Precision::Int8) {
+            std::vector<nn::Tensor> samples;
+            Rng calRng(0xAD0C0DE5ULL);
+            for (int s = 0; s < 2; ++s) {
+                nn::Tensor t(1, inputSize, inputSize);
+                for (std::size_t i = 0; i < t.size(); ++i)
+                    t.data()[i] =
+                        static_cast<float>(calRng.uniform());
+                samples.push_back(std::move(t));
+            }
+            nn::quantizeNetwork(net, samples);
+        }
+        return net;
+    };
+
+    nn::Tensor input(1, inputSize, inputSize);
+    Rng inRng(23);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input.data()[i] = static_cast<float>(inRng.uniform());
+
+    FusionResults res;
+    obs::metrics().setEnabled(true);
+    for (const nn::Precision precision :
+         {nn::Precision::Fp32, nn::Precision::Int8}) {
+        nn::Network unfused = buildDet(precision);
+        nn::Network fused = buildDet(precision);
+        const nn::LoweringReport report =
+            nn::lowerNetwork(fused, {1, inputSize, inputSize});
+        fused.plan({1, inputSize, inputSize});
+        if (precision == nn::Precision::Fp32) {
+            res.layersFused = report.fusedActivations;
+            res.directConvs = report.directConvs;
+            res.detArenaBytes = static_cast<std::size_t>(
+                obs::metrics().gauge("nn.det-yolo.arena_bytes")
+                    .value());
+            res.detArenaValues = static_cast<std::size_t>(
+                obs::metrics().gauge("nn.det-yolo.arena_values")
+                    .value());
+        }
+
+        // Bitwise contract at 1, 2 and max threads.
+        const nn::Tensor expected = unfused.forward(input);
+        for (const int threads : {1, 2, 8}) {
+            const nn::KernelContext ctx = nn::kernelContext(threads);
+            const nn::Tensor ref = unfused.forward(input, ctx);
+            const nn::Tensor& got = fused.forwardArena(input, ctx);
+            if (ref.size() != expected.size() ||
+                got.size() != expected.size() ||
+                std::memcmp(ref.data(), expected.data(),
+                            expected.size() * sizeof(float)) != 0 ||
+                std::memcmp(got.data(), expected.data(),
+                            expected.size() * sizeof(float)) != 0)
+                res.bitwiseIdentical = false;
+        }
+
+        // Steady-state allocation audit: after one settling frame the
+        // planned path must perform zero tensor/scratch allocations.
+        (void)fused.forwardArena(input);
+        const std::uint64_t allocBefore = nn::allocEventCount();
+        const int auditFrames = 5;
+        for (int i = 0; i < auditFrames; ++i)
+            (void)fused.forwardArena(input);
+        res.allocEventsPerFrame +=
+            static_cast<double>(nn::allocEventCount() - allocBefore) /
+            auditFrames;
+
+        // Interleave the two variants rep-by-rep so background load
+        // hits both equally; best-of then cancels transient noise
+        // instead of attributing it to whichever phase ran second.
+        double unfusedMs = 0;
+        double fusedMs = 0;
+        for (int r = 0; r < reps * 4; ++r) {
+            Stopwatch wu;
+            (void)unfused.forward(input);
+            const double u = wu.elapsedMs();
+            if (r == 0 || u < unfusedMs)
+                unfusedMs = u;
+            Stopwatch wf;
+            (void)fused.forwardArena(input);
+            const double f = wf.elapsedMs();
+            if (r == 0 || f < fusedMs)
+                fusedMs = f;
+        }
+        if (precision == nn::Precision::Fp32) {
+            res.detUnfusedMs = unfusedMs;
+            res.detFusedMs = fusedMs;
+        } else {
+            res.detInt8UnfusedMs = unfusedMs;
+            res.detInt8FusedMs = fusedMs;
+        }
+    }
+    std::printf("[fusion] det@%d: fp32 %.2f -> %.2f ms (%.2fx), int8 "
+                "%.2f -> %.2f ms (%.2fx); %zu fused, %zu direct, "
+                "arena %zu B / %zu values, alloc/frame %.1f, bitwise "
+                "%s\n",
+                inputSize, res.detUnfusedMs, res.detFusedMs,
+                res.detUnfusedMs / res.detFusedMs,
+                res.detInt8UnfusedMs, res.detInt8FusedMs,
+                res.detInt8UnfusedMs / res.detInt8FusedMs,
+                res.layersFused, res.directConvs, res.detArenaBytes,
+                res.detArenaValues, res.allocEventsPerFrame,
+                res.bitwiseIdentical ? "identical" : "DIVERGED");
+    return res;
+}
+
 struct ServeCell
 {
     serve::ServeReport report;
@@ -422,9 +561,9 @@ runServeCell(nn::Precision precision, int frames, std::uint64_t seed)
 void
 writeJson(const char* path, const GemmResults& gemm,
           const DeterminismResults& det, const DetResults& detAcc,
-          const TraResults& tra, const ServeCell& serveFp32,
-          const ServeCell& serveInt8, int serveFrames,
-          std::uint64_t seed)
+          const TraResults& tra, const FusionResults& fusion,
+          const ServeCell& serveFp32, const ServeCell& serveInt8,
+          int serveFrames, std::uint64_t seed)
 {
     std::FILE* f = std::fopen(path, "w");
     if (!f) {
@@ -475,6 +614,25 @@ writeJson(const char* path, const GemmResults& gemm,
         "\"dnn_speedup\": %.2f},\n",
         tra.steps, tra.meanCenterErrorPx, tra.fp32DnnMs, tra.int8DnnMs,
         tra.fp32DnnMs / tra.int8DnnMs);
+    std::fprintf(
+        f,
+        "  \"fusion\": {\"det_input\": 160, \"layers_fused\": %zu, "
+        "\"direct_convs\": %zu,\n"
+        "    \"det_unfused_ms\": %.3f, \"det_fused_ms\": %.3f, "
+        "\"det_speedup\": %.3f,\n"
+        "    \"det_int8_unfused_ms\": %.3f, \"det_int8_fused_ms\": "
+        "%.3f, \"det_int8_speedup\": %.3f,\n"
+        "    \"bitwise_identical\": %s,\n"
+        "    \"arena\": {\"det_arena_bytes\": %zu, "
+        "\"det_arena_values\": %zu, \"alloc_events_per_frame\": "
+        "%.1f}},\n",
+        fusion.layersFused, fusion.directConvs, fusion.detUnfusedMs,
+        fusion.detFusedMs, fusion.detUnfusedMs / fusion.detFusedMs,
+        fusion.detInt8UnfusedMs, fusion.detInt8FusedMs,
+        fusion.detInt8UnfusedMs / fusion.detInt8FusedMs,
+        fusion.bitwiseIdentical ? "true" : "false",
+        fusion.detArenaBytes, fusion.detArenaValues,
+        fusion.allocEventsPerFrame);
     const auto serveJson = [&](const char* name, const ServeCell& c) {
         const auto& r = c.report;
         std::fprintf(f,
@@ -530,6 +688,7 @@ main(int argc, char** argv)
     const DetResults detAcc = runDetComparison(frames);
     const TraResults tra = runTraComparison(camera);
     const DeterminismResults det = runDeterminism(frames[0]);
+    const FusionResults fusion = runFusionComparison(reps);
 
     std::printf("[serve] measured NnBatchEngine, 8 streams, %d frames "
                 "per stream\n",
@@ -545,8 +704,8 @@ main(int argc, char** argv)
                 serveInt8.report.goodputFps,
                 serveInt8.report.admittedLatency.p9999);
 
-    writeJson(jsonPath.c_str(), gemm, det, detAcc, tra, serveFp32,
-              serveInt8, serveFrames, seed);
+    writeJson(jsonPath.c_str(), gemm, det, detAcc, tra, fusion,
+              serveFp32, serveInt8, serveFrames, seed);
 
     // The acceptance bars this artifact backs; fail loudly when a
     // regression breaks them so CI surfaces it.
@@ -565,6 +724,25 @@ main(int argc, char** argv)
     }
     if (!det.gemmIdentical || !det.detIdentical) {
         std::fprintf(stderr, "FAIL: int8 path not deterministic\n");
+        ok = false;
+    }
+    if (!fusion.bitwiseIdentical) {
+        std::fprintf(stderr,
+                     "FAIL: fused path diverged from unfused\n");
+        ok = false;
+    }
+    if (fusion.detFusedMs > fusion.detUnfusedMs) {
+        std::fprintf(stderr,
+                     "FAIL: fused DET forward %.2f ms slower than "
+                     "unfused %.2f ms\n",
+                     fusion.detFusedMs, fusion.detUnfusedMs);
+        ok = false;
+    }
+    if (fusion.allocEventsPerFrame != 0) {
+        std::fprintf(stderr,
+                     "FAIL: fused+arena path allocated %.1f "
+                     "tensors/frame in steady state\n",
+                     fusion.allocEventsPerFrame);
         ok = false;
     }
     return ok ? 0 : 1;

@@ -29,6 +29,7 @@
 #include "detect/yolo.hh"
 #include "nn/gemm.hh"
 #include "nn/gemm_int8.hh"
+#include "nn/layers.hh"
 #include "nn/models.hh"
 #include "nn/quant.hh"
 #include "nn/sparse.hh"
@@ -178,6 +179,114 @@ BM_Conv2D(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * p.flops);
 }
 BENCHMARK(BM_Conv2D)->Arg(16)->Arg(64);
+
+void
+BM_Conv2DThenActivation(benchmark::State& state)
+{
+    // The unfused baseline for BM_Conv2DFusedActivation: Conv2D
+    // forward materializes an intermediate, then a standalone
+    // Activation layer makes a second pass over it.
+    const int channels = static_cast<int>(state.range(0));
+    nn::Conv2D conv("bench", channels, channels, 3, 1, 1);
+    nn::Activation act("act", 0.1f);
+    Rng rng(2);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.1, 0.1));
+    nn::Tensor in(channels, 56, 56);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        nn::Tensor mid = conv.forward(in);
+        nn::Tensor out = act.forward(mid);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const auto p = conv.profile({channels, 56, 56});
+    state.SetItemsProcessed(state.iterations() * p.flops);
+}
+BENCHMARK(BM_Conv2DThenActivation)->Arg(16)->Arg(64);
+
+void
+BM_Conv2DFusedActivation(benchmark::State& state)
+{
+    // The lowering pass's fused form: LeakyReLU folded into the conv
+    // epilogue, no intermediate tensor and no second memory pass.
+    const int channels = static_cast<int>(state.range(0));
+    nn::Conv2D conv("bench", channels, channels, 3, 1, 1);
+    conv.fuseActivation(0.1f);
+    Rng rng(2);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.1, 0.1));
+    nn::Tensor in(channels, 56, 56);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    for (auto _ : state) {
+        nn::Tensor out = conv.forward(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const auto p = conv.profile({channels, 56, 56});
+    state.SetItemsProcessed(state.iterations() * p.flops);
+}
+BENCHMARK(BM_Conv2DFusedActivation)->Arg(16)->Arg(64);
+
+void
+BM_Conv1x1(benchmark::State& state)
+{
+    // 1x1 convolution via im2col (range(1)=0) vs the direct path
+    // (range(1)=1) that feeds the input to GEMM without unfolding.
+    const int channels = static_cast<int>(state.range(0));
+    const bool direct = state.range(1) != 0;
+    nn::Conv2D conv("bench", channels, channels, 1, 1, 0);
+    conv.setDirectConv(direct);
+    Rng rng(2);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.1, 0.1));
+    nn::Tensor in(channels, 56, 56);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.data()[i] = static_cast<float>(rng.uniform(0, 1));
+    for (auto _ : state) {
+        nn::Tensor out = conv.forward(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const auto p = conv.profile({channels, 56, 56});
+    state.SetItemsProcessed(state.iterations() * p.flops);
+    state.SetLabel(direct ? "direct" : "im2col");
+}
+BENCHMARK(BM_Conv1x1)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void
+BM_ConvSmallSpatial(benchmark::State& state)
+{
+    // 3x3 convolution on a tiny spatial extent (the deep trunk of the
+    // DET head, where the im2col unfold dominates the arithmetic):
+    // im2col (range(1)=0) vs the scalar direct loop (range(1)=1).
+    const int size = static_cast<int>(state.range(0));
+    const bool direct = state.range(1) != 0;
+    const int channels = 64;
+    nn::Conv2D conv("bench", channels, channels, 3, 1, 1);
+    conv.setDirectConv(direct);
+    Rng rng(2);
+    for (auto& w : conv.weights())
+        w = static_cast<float>(rng.uniform(-0.1, 0.1));
+    nn::Tensor in(channels, size, size);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in.data()[i] = static_cast<float>(rng.uniform(0, 1));
+    for (auto _ : state) {
+        nn::Tensor out = conv.forward(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const auto p = conv.profile({channels, size, size});
+    state.SetItemsProcessed(state.iterations() * p.flops);
+    state.SetLabel(direct ? "direct" : "im2col");
+}
+BENCHMARK(BM_ConvSmallSpatial)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
 
 void
 BM_DetectorForward(benchmark::State& state)

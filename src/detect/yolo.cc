@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/time.hh"
+#include "nn/fusion.hh"
 #include "nn/quant.hh"
 #include "obs/trace.hh"
 
@@ -138,6 +139,13 @@ YoloDetector::YoloDetector(const DetectorParams& params)
         }
         nn::quantizeNetwork(net_, samples);
     }
+    // Lowering order contract (nn/fusion.hh): quantize first, then
+    // fuse/direct-mark, then plan the arena over the lowered graph.
+    const nn::Shape inShape{1, params.inputSize, params.inputSize};
+    if (params.fuse)
+        nn::lowerNetwork(net_, inShape);
+    if (params.arena)
+        net_.plan(inShape);
 }
 
 std::vector<Detection>
@@ -148,14 +156,24 @@ YoloDetector::detect(const Image& frame, DetectorTimings* timings)
 
     // --- DNN forward pass. ---
     double dnnMs = 0;
-    nn::Tensor out;
+    nn::Tensor scratchOut;
+    const nn::Tensor* out = &scratchOut;
     {
         obs::TraceSpan span(obs::tracer(), "det.dnn", "det");
         ScopedTimer timer(dnnMs);
         const Image resized =
             frame.resized(params_.inputSize, params_.inputSize);
-        out = net_.forward(nn::Tensor::fromImage(resized),
-                           nn::kernelContext(params_.threads));
+        if (net_.planned()) {
+            // Arena path: the reused input tensor plus the planned
+            // intermediates make the whole forward allocation-free
+            // after the first frame.
+            input_.assignFromImage(resized);
+            out = &net_.forwardArena(
+                input_, nn::kernelContext(params_.threads));
+        } else {
+            scratchOut = net_.forward(nn::Tensor::fromImage(resized),
+                                      nn::kernelContext(params_.threads));
+        }
     }
 
     // --- Decode. ---
@@ -168,7 +186,7 @@ YoloDetector::detect(const Image& frame, DetectorTimings* timings)
         const double sy =
             static_cast<double>(frame.height()) / gridSize_;
         for (const auto& c :
-             findComponents(out, params_.objectnessThreshold)) {
+             findComponents(*out, params_.objectnessThreshold)) {
             // Component cell extent mapped back to image coordinates,
             // padded by half a cell to cover partial-cell objects.
             const BBox candidate(

@@ -1,0 +1,75 @@
+#include "nn/fusion.hh"
+
+#include "nn/quant.hh"
+
+namespace ad::nn {
+
+namespace {
+
+/** Fuse the following Activation into layer i if the pair matches. */
+bool
+tryFuseActivation(Network& net, std::size_t i)
+{
+    if (i + 1 >= net.layerCount())
+        return false;
+    const auto* act = dynamic_cast<const Activation*>(&net.layer(i + 1));
+    if (!act)
+        return false;
+    const float slope = act->leakySlope();
+    Layer& layer = net.mutableLayer(i);
+    if (auto* conv = dynamic_cast<Conv2D*>(&layer))
+        conv->fuseActivation(slope);
+    else if (auto* qconv = dynamic_cast<QuantConv2D*>(&layer))
+        qconv->fuseActivation(slope);
+    else if (auto* fc = dynamic_cast<FullyConnected*>(&layer))
+        fc->fuseActivation(slope);
+    else if (auto* qfc = dynamic_cast<QuantFullyConnected*>(&layer))
+        qfc->fuseActivation(slope);
+    else
+        return false;
+    net.removeLayer(i + 1);
+    return true;
+}
+
+} // namespace
+
+LoweringReport
+lowerNetwork(Network& net, const Shape& input, const LoweringOptions& opt)
+{
+    LoweringReport report;
+    Shape s = input;
+    for (std::size_t i = 0; i < net.layerCount(); ++i) {
+        if (opt.fuseActivations && tryFuseActivation(net, i))
+            ++report.fusedActivations;
+        Layer& layer = net.mutableLayer(i);
+        const Shape out = layer.outputShape(s);
+        if (opt.directConv) {
+            if (auto* conv = dynamic_cast<Conv2D*>(&layer)) {
+                const bool oneByOne = conv->kernel() == 1 &&
+                                      conv->stride() == 1 &&
+                                      conv->pad() == 0;
+                const bool tiny =
+                    out.h * out.w <= opt.directConvMaxPixels;
+                if (oneByOne || tiny) {
+                    conv->setDirectConv(true);
+                    ++report.directConvs;
+                }
+            } else if (auto* qconv =
+                           dynamic_cast<QuantConv2D*>(&layer)) {
+                // Integer path: only the copy-free 1x1 case wins (no
+                // scalar direct kernel; see QuantConv2D::setDirectConv).
+                if (qconv->kernel() == 1 && qconv->stride() == 1 &&
+                    qconv->pad() == 0) {
+                    qconv->setDirectConv(true);
+                    ++report.directConvs;
+                }
+            }
+        }
+        // Activation preserves shape, so the fused layer's output
+        // shape equals the pre-fusion pair's.
+        s = out;
+    }
+    return report;
+}
+
+} // namespace ad::nn

@@ -1,6 +1,11 @@
 #include "nn/gemm_int8.hh"
 
+#include <atomic>
+#include <cstdlib>
 #include <vector>
+
+#include "common/logging.hh"
+#include "nn/tensor.hh"
 
 #if defined(__x86_64__) || defined(__amd64__)
 #define AD_NN_INT8_X86 1
@@ -233,24 +238,234 @@ haveAvx2()
     return have;
 }
 
+bool
+haveAvx512Vnni()
+{
+    static const bool have = __builtin_cpu_supports("avx512f") &&
+                             __builtin_cpu_supports("avx512bw") &&
+                             __builtin_cpu_supports("avx512vnni");
+    return have;
+}
+
+// VNNI byte lanes: 64 u8/s8 per zmm, so k pads to a multiple of 64.
+constexpr std::size_t kStepVnni = 64;
+
+// _mm512_reduce_add_epi32 expands through _mm512_extracti64x4_epi64,
+// whose _mm256_undefined_si256() trips a false-positive
+// -Wmaybe-uninitialized in GCC's own header; silence it for the two
+// kernels below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+// The VNNI micro-kernel consumes the biased-u8 A pack and the s8
+// transposed B pack. vpdpbusd multiplies u8 x s8 pairs (each i16
+// product fits: 255*127 = 32385, 255*-128 = -32640), sums four of
+// them sign-extended into each int32 lane and accumulates without
+// saturation -- vpdpbusds, the saturating sibling, would NOT be exact.
+// Per element: sum((a+128) * b) = sum(a*b) + 128 * colSum, so
+// subtracting 128 * colSum[j] recovers the exact signed dot product.
+// Pad lanes hold a=128 (bias of zero) against b=0: no contribution.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void
+rowRangeVnni(std::size_t rowLo, std::size_t rowHi, std::size_t n,
+             std::size_t kPad, const std::uint8_t* aPack,
+             const std::int8_t* bt, const std::int32_t* colSum,
+             std::int32_t* c)
+{
+    for (std::size_t i = rowLo; i < rowHi; ++i) {
+        const std::uint8_t* ar = aPack + i * kPad;
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const std::int8_t* b0 = bt + j * kPad;
+            const std::int8_t* b1 = b0 + kPad;
+            const std::int8_t* b2 = b1 + kPad;
+            const std::int8_t* b3 = b2 + kPad;
+            __m512i s0 = _mm512_setzero_si512();
+            __m512i s1 = s0;
+            __m512i s2 = s0;
+            __m512i s3 = s0;
+            for (std::size_t kk = 0; kk < kPad; kk += kStepVnni) {
+                const __m512i va = _mm512_loadu_si512(ar + kk);
+                s0 = _mm512_dpbusd_epi32(
+                    s0, va, _mm512_loadu_si512(b0 + kk));
+                s1 = _mm512_dpbusd_epi32(
+                    s1, va, _mm512_loadu_si512(b1 + kk));
+                s2 = _mm512_dpbusd_epi32(
+                    s2, va, _mm512_loadu_si512(b2 + kk));
+                s3 = _mm512_dpbusd_epi32(
+                    s3, va, _mm512_loadu_si512(b3 + kk));
+            }
+            c[i * n + j] +=
+                _mm512_reduce_add_epi32(s0) - 128 * colSum[j];
+            c[i * n + j + 1] +=
+                _mm512_reduce_add_epi32(s1) - 128 * colSum[j + 1];
+            c[i * n + j + 2] +=
+                _mm512_reduce_add_epi32(s2) - 128 * colSum[j + 2];
+            c[i * n + j + 3] +=
+                _mm512_reduce_add_epi32(s3) - 128 * colSum[j + 3];
+        }
+        for (; j < n; ++j) {
+            const std::int8_t* bc = bt + j * kPad;
+            __m512i s = _mm512_setzero_si512();
+            for (std::size_t kk = 0; kk < kPad; kk += kStepVnni)
+                s = _mm512_dpbusd_epi32(
+                    s, _mm512_loadu_si512(ar + kk),
+                    _mm512_loadu_si512(bc + kk));
+            c[i * n + j] +=
+                _mm512_reduce_add_epi32(s) - 128 * colSum[j];
+        }
+    }
+}
+
+// gemv stays on the pre-widened int16 layout; vpdpwssd retires two
+// int16 x int16 MACs per int32 lane per instruction across 32 lanes.
+// Exact (non-saturating) accumulation, so bit-identical to scalar.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) std::int32_t
+dotVnni(const std::int16_t* a, const std::int16_t* b, std::size_t k)
+{
+    __m512i s = _mm512_setzero_si512();
+    std::size_t kk = 0;
+    for (; kk + 32 <= k; kk += 32) {
+        const __m512i va = _mm512_loadu_si512(a + kk);
+        const __m512i vb = _mm512_loadu_si512(b + kk);
+        s = _mm512_dpwssd_epi32(s, va, vb);
+    }
+    std::int32_t acc = _mm512_reduce_add_epi32(s);
+    for (; kk < k; ++kk)
+        acc += static_cast<std::int32_t>(a[kk]) * b[kk];
+    return acc;
+}
+
+#pragma GCC diagnostic pop
+
 #endif // AD_NN_INT8_X86
 
-RowRangeFn
-rowRangeKernel()
+/** Dispatch tiers, worst to best. */
+enum class Int8Tier { Scalar = 0, Sse2, Avx2, Avx512Vnni };
+
+const char*
+tierName(Int8Tier t)
+{
+    switch (t) {
+      case Int8Tier::Scalar: return "scalar";
+      case Int8Tier::Sse2: return "sse2";
+      case Int8Tier::Avx2: return "avx2";
+      case Int8Tier::Avx512Vnni: return "avx512vnni";
+    }
+    return "?";
+}
+
+bool
+parseTierName(const std::string& name, Int8Tier& out)
+{
+    for (const Int8Tier t :
+         {Int8Tier::Scalar, Int8Tier::Sse2, Int8Tier::Avx2,
+          Int8Tier::Avx512Vnni}) {
+        if (name == tierName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+tierAvailable(Int8Tier t)
 {
 #if AD_NN_INT8_X86
-    return haveAvx2() ? rowRangeAvx2 : rowRangeSse2;
+    switch (t) {
+      case Int8Tier::Scalar: return true;
+      case Int8Tier::Sse2: return true; // x86-64 baseline.
+      case Int8Tier::Avx2: return haveAvx2();
+      case Int8Tier::Avx512Vnni: return haveAvx512Vnni();
+    }
+    return false;
 #else
+    return t == Int8Tier::Scalar;
+#endif
+}
+
+Int8Tier
+bestTier()
+{
+#if AD_NN_INT8_X86
+    if (haveAvx512Vnni())
+        return Int8Tier::Avx512Vnni;
+    if (haveAvx2())
+        return Int8Tier::Avx2;
+    return Int8Tier::Sse2;
+#else
+    return Int8Tier::Scalar;
+#endif
+}
+
+/**
+ * Resolve the ambient tier: AD_FORCE_ISA if set (parsed once; fatal
+ * on an unknown name or an unavailable tier so a typoed CI matrix
+ * entry cannot silently measure the wrong kernel), else the best the
+ * CPU supports.
+ */
+Int8Tier
+ambientTier()
+{
+    static const Int8Tier tier = [] {
+        const char* env = std::getenv("AD_FORCE_ISA");
+        if (!env || !*env)
+            return bestTier();
+        Int8Tier forced;
+        if (!parseTierName(env, forced))
+            fatal("AD_FORCE_ISA=\"", env,
+                  "\": unknown int8 ISA tier (expected scalar, sse2, "
+                  "avx2 or avx512vnni)");
+        if (!tierAvailable(forced))
+            fatal("AD_FORCE_ISA=", env,
+                  ": tier not available on this host (best is ",
+                  tierName(bestTier()), ")");
+        return forced;
+    }();
+    return tier;
+}
+
+// setInt8KernelIsa override; -1 means "no override" (ambient rules).
+std::atomic<int> forcedTier{-1};
+
+Int8Tier
+currentTier()
+{
+    const int f = forcedTier.load(std::memory_order_relaxed);
+    if (f >= 0)
+        return static_cast<Int8Tier>(f);
+    return ambientTier();
+}
+
+RowRangeFn
+rowRangeForTier(Int8Tier t)
+{
+#if AD_NN_INT8_X86
+    switch (t) {
+      case Int8Tier::Scalar: return rowRangeScalar;
+      case Int8Tier::Sse2: return rowRangeSse2;
+      default: return rowRangeAvx2;
+    }
+#else
+    (void)t;
     return rowRangeScalar;
 #endif
 }
 
 DotFn
-dotKernel()
+dotForTier(Int8Tier t)
 {
 #if AD_NN_INT8_X86
-    return haveAvx2() ? dotAvx2 : dotSse2;
+    switch (t) {
+      case Int8Tier::Scalar: return dotScalar;
+      case Int8Tier::Sse2: return dotSse2;
+      case Int8Tier::Avx2: return dotAvx2;
+      case Int8Tier::Avx512Vnni: return dotVnni;
+    }
+    return dotScalar;
 #else
+    (void)t;
     return dotScalar;
 #endif
 }
@@ -260,11 +475,33 @@ dotKernel()
 const char*
 int8KernelIsa()
 {
-#if AD_NN_INT8_X86
-    return haveAvx2() ? "avx2" : "sse2";
-#else
-    return "scalar";
-#endif
+    return tierName(currentTier());
+}
+
+std::vector<std::string>
+int8KernelIsaTiers()
+{
+    std::vector<std::string> tiers;
+    for (const Int8Tier t :
+         {Int8Tier::Scalar, Int8Tier::Sse2, Int8Tier::Avx2,
+          Int8Tier::Avx512Vnni})
+        if (tierAvailable(t))
+            tiers.emplace_back(tierName(t));
+    return tiers;
+}
+
+bool
+setInt8KernelIsa(const std::string& name)
+{
+    if (name.empty()) {
+        forcedTier.store(-1, std::memory_order_relaxed);
+        return true;
+    }
+    Int8Tier t;
+    if (!parseTierName(name, t) || !tierAvailable(t))
+        return false;
+    forcedTier.store(static_cast<int>(t), std::memory_order_relaxed);
+    return true;
 }
 
 void
@@ -274,6 +511,53 @@ gemmInt8(std::size_t m, std::size_t n, std::size_t k,
 {
     if (m == 0 || n == 0 || k == 0)
         return;
+    const Int8Tier tier = currentTier();
+
+#if AD_NN_INT8_X86
+    if (tier == Int8Tier::Avx512Vnni) {
+        // VNNI packing: A biased into u8 (pad lanes 128 = biased
+        // zero), B transposed s8 (pad 0), plus per-column sums of B
+        // for the exact +128 bias correction.
+        const std::size_t kPad =
+            (k + kStepVnni - 1) / kStepVnni * kStepVnni;
+        static thread_local std::vector<std::uint8_t> aPackU8;
+        static thread_local std::vector<std::int8_t> btPackS8;
+        static thread_local std::vector<std::int32_t> colSum;
+        scratchAssign(aPackU8, m * kPad, std::uint8_t{128});
+        scratchAssign(btPackS8, n * kPad, std::int8_t{0});
+        scratchAssign(colSum, n, std::int32_t{0});
+        std::uint8_t* aData = aPackU8.data();
+        std::int8_t* btData = btPackS8.data();
+        std::int32_t* sums = colSum.data();
+
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t kk = 0; kk < k; ++kk)
+                aData[i * kPad + kk] = static_cast<std::uint8_t>(
+                    a[i * k + kk] + 128);
+
+        kernelParallelFor(
+            ctx, 0, n, 64, [&, btData, sums](std::size_t lo,
+                                             std::size_t hi) {
+                for (std::size_t j = lo; j < hi; ++j) {
+                    std::int32_t s = 0;
+                    for (std::size_t kk = 0; kk < k; ++kk) {
+                        const std::int8_t v = b[kk * n + j];
+                        btData[j * kPad + kk] = v;
+                        s += v;
+                    }
+                    sums[j] = s;
+                }
+            });
+
+        kernelParallelFor(ctx, 0, m, rowGrain,
+                          [=](std::size_t lo, std::size_t hi) {
+                              rowRangeVnni(lo, hi, n, kPad, aData,
+                                           btData, sums, c);
+                          });
+        return;
+    }
+#endif // AD_NN_INT8_X86
+
     const std::size_t kPad = (k + kStep - 1) / kStep * kStep;
 
     // Both packed operands belong to the calling thread; workers only
@@ -281,8 +565,8 @@ gemmInt8(std::size_t m, std::size_t n, std::size_t k,
     // by lambdas), and kernelParallelFor joins before the next resize.
     static thread_local std::vector<std::int16_t> aPack;
     static thread_local std::vector<std::int16_t> btPack;
-    aPack.assign(m * kPad, 0);
-    btPack.assign(n * kPad, 0);
+    scratchAssign(aPack, m * kPad, std::int16_t{0});
+    scratchAssign(btPack, n * kPad, std::int16_t{0});
     std::int16_t* aData = aPack.data();
     std::int16_t* btData = btPack.data();
 
@@ -299,7 +583,7 @@ gemmInt8(std::size_t m, std::size_t n, std::size_t k,
                                   btData[j * kPad + kk] = b[kk * n + j];
                       });
 
-    const RowRangeFn rows = rowRangeKernel();
+    const RowRangeFn rows = rowRangeForTier(tier);
     kernelParallelFor(ctx, 0, m, rowGrain,
                       [=](std::size_t lo, std::size_t hi) {
                           rows(lo, hi, n, kPad, aData, btData, c);
@@ -326,7 +610,7 @@ void
 gemvInt8(std::size_t m, std::size_t k, const std::int16_t* a,
          const std::int16_t* x, std::int32_t* y, const KernelContext& ctx)
 {
-    const DotFn dot = dotKernel();
+    const DotFn dot = dotForTier(currentTier());
     kernelParallelFor(ctx, 0, m, 64,
                       [=](std::size_t lo, std::size_t hi) {
                           for (std::size_t i = lo; i < hi; ++i)

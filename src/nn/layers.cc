@@ -29,22 +29,21 @@ namespace {
  * shard across the kernel context with bitwise-deterministic results.
  */
 void
-im2col(const Tensor& in, int kernel, int stride, int pad, int outH,
-       int outW, std::vector<float>& cols, const KernelContext& ctx)
+im2col(const float* in, int inC, int inH, int inW, int kernel,
+       int stride, int pad, int outH, int outW, std::vector<float>& cols,
+       const KernelContext& ctx)
 {
-    const int inC = in.channels();
-    const int inH = in.height();
-    const int inW = in.width();
     const std::size_t rows =
         static_cast<std::size_t>(inC) * kernel * kernel;
-    cols.assign(rows * outH * outW, 0.0f);
+    scratchAssign(cols, rows * outH * outW, 0.0f);
     kernelParallelFor(ctx, 0, rows, 4, [&](std::size_t lo,
                                            std::size_t hi) {
         for (std::size_t rowIdx = lo; rowIdx < hi; ++rowIdx) {
             const int kx = static_cast<int>(rowIdx % kernel);
             const int ky = static_cast<int>(rowIdx / kernel % kernel);
             const int c = static_cast<int>(rowIdx / kernel / kernel);
-            const float* plane = in.channel(c);
+            const float* plane =
+                in + static_cast<std::size_t>(c) * inH * inW;
             float* dst = cols.data() +
                 rowIdx * static_cast<std::size_t>(outH) * outW;
             for (int oy = 0; oy < outH; ++oy) {
@@ -71,6 +70,26 @@ convOutDim(int in, int kernel, int stride, int pad)
 }
 
 } // namespace
+
+ForwardScratch&
+threadScratch()
+{
+    static thread_local ForwardScratch scratch;
+    return scratch;
+}
+
+void
+Layer::forwardInto(const float* in, const Shape& inShape, float* out,
+                   ForwardScratch&, const KernelContext& ctx) const
+{
+    // Allocating fallback for layers without a raw-pointer override:
+    // round-trip through the Tensor interface. Correct inside a
+    // planned network, just not allocation-free.
+    Tensor t(inShape.c, inShape.h, inShape.w);
+    std::copy(in, in + inShape.elements(), t.data());
+    const Tensor r = forwardImpl(t, ctx);
+    std::copy(r.data(), r.data() + r.size(), out);
+}
 
 Conv2D::Conv2D(std::string name, int inChannels, int outChannels,
                int kernel, int stride, int pad)
@@ -104,25 +123,138 @@ Conv2D::forwardImpl(const Tensor& in, const KernelContext& ctx) const
 {
     const Shape out = outputShape({in.channels(), in.height(), in.width()});
     Tensor result(out.c, out.h, out.w);
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                result.data(), threadScratch(), ctx);
+    return result;
+}
 
-    static thread_local std::vector<float> cols;
-    im2col(in, kernel_, stride_, pad_, out.h, out.w, cols, ctx);
+/**
+ * Direct convolution without the im2col unfold: each output channel's
+ * plane is one shard, and every output element accumulates its taps in
+ * exactly im2col's (c, ky, kx) row order -- padded taps contribute an
+ * explicit `w * 0.0f` term, the same operation GEMM performs on the
+ * zero entries of the unfolded matrix -- so the float sum chain, and
+ * therefore the result, is bit-identical to the im2col + GEMM path.
+ */
+void
+Conv2D::directRun(const float* in, const Shape& inShape,
+                  const Shape& outShape, float* out,
+                  const KernelContext& ctx) const
+{
+    const int inH = inShape.h;
+    const int inW = inShape.w;
+    const int outH = outShape.h;
+    const int outW = outShape.w;
+    const std::size_t n =
+        static_cast<std::size_t>(outH) * static_cast<std::size_t>(outW);
+    const std::size_t filterSize =
+        static_cast<std::size_t>(inChannels_) * kernel_ * kernel_;
+    kernelParallelFor(ctx, 0, static_cast<std::size_t>(outChannels_), 1,
+                      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t oc = lo; oc < hi; ++oc) {
+            const float* w = weights_.data() + oc * filterSize;
+            float* plane = out + oc * n;
+            for (int oy = 0; oy < outH; ++oy) {
+                for (int ox = 0; ox < outW; ++ox) {
+                    float acc = plane[static_cast<std::size_t>(oy) * outW +
+                                      ox];
+                    const float* wp = w;
+                    for (int c = 0; c < inChannels_; ++c) {
+                        const float* src = in +
+                            static_cast<std::size_t>(c) * inH * inW;
+                        for (int ky = 0; ky < kernel_; ++ky) {
+                            const int iy = oy * stride_ - pad_ + ky;
+                            const float* row =
+                                (iy < 0 || iy >= inH)
+                                    ? nullptr
+                                    : src + static_cast<std::size_t>(iy) *
+                                          inW;
+                            for (int kx = 0; kx < kernel_; ++kx, ++wp) {
+                                const int ix = ox * stride_ - pad_ + kx;
+                                const float v =
+                                    (!row || ix < 0 || ix >= inW)
+                                        ? 0.0f
+                                        : row[ix];
+                                acc += *wp * v;
+                            }
+                        }
+                    }
+                    plane[static_cast<std::size_t>(oy) * outW + ox] = acc;
+                }
+            }
+        }
+    });
+}
 
+/**
+ * Bias (+ optionally fused activation) pass. The zero-bias skip of the
+ * unfused path is preserved exactly: adding 0.0f is not a no-op in
+ * IEEE float (it flips -0.0 to +0.0), so the fused epilogue must make
+ * the same skip decision to stay bitwise-identical.
+ */
+void
+Conv2D::epilogue(float* out, const Shape& outShape) const
+{
+    const std::size_t n = static_cast<std::size_t>(outShape.h) *
+                          static_cast<std::size_t>(outShape.w);
+    const float slope = fusedSlope_;
+    for (int oc = 0; oc < outShape.c; ++oc) {
+        const float b = bias_[static_cast<std::size_t>(oc)];
+        float* plane = out + static_cast<std::size_t>(oc) * n;
+        if (!fusedAct_) {
+            if (b == 0.0f)
+                continue;
+            for (std::size_t i = 0; i < n; ++i)
+                plane[i] += b;
+        } else if (b != 0.0f) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const float v = plane[i] + b;
+                plane[i] = v > 0.0f ? v : slope * v;
+            }
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                const float v = plane[i];
+                plane[i] = v > 0.0f ? v : slope * v;
+            }
+        }
+    }
+}
+
+void
+Conv2D::forwardInto(const float* in, const Shape& inShape, float* out,
+                    ForwardScratch& scratch,
+                    const KernelContext& ctx) const
+{
+    const Shape out_ = outputShape(inShape);
     const std::size_t m = outChannels_;
     const std::size_t k = static_cast<std::size_t>(inChannels_) * kernel_ *
                           kernel_;
-    const std::size_t n = static_cast<std::size_t>(out.h) * out.w;
-    gemm(m, n, k, weights_.data(), cols.data(), result.data(), ctx);
+    const std::size_t n = static_cast<std::size_t>(out_.h) * out_.w;
+    std::fill(out, out + out_.elements(), 0.0f);
 
-    for (int oc = 0; oc < out.c; ++oc) {
-        const float b = bias_[oc];
-        if (b == 0.0f)
-            continue;
-        float* plane = result.channel(oc);
-        for (std::size_t i = 0; i < n; ++i)
-            plane[i] += b;
+    if (direct_ && kernel_ == 1 && stride_ == 1 && pad_ == 0) {
+        // 1x1/s1/p0: the im2col matrix IS the input (inC x (h*w)),
+        // so GEMM consumes the input planes directly -- identical
+        // operands, identical result, no unfold traffic at all.
+        gemm(m, n, k, weights_.data(), in, out, ctx);
+    } else if (direct_) {
+        directRun(in, inShape, out_, out, ctx);
+    } else {
+        im2col(in, inShape.c, inShape.h, inShape.w, kernel_, stride_,
+               pad_, out_.h, out_.w, scratch.cols, ctx);
+        gemm(m, n, k, weights_.data(), scratch.cols.data(), out, ctx);
     }
-    return result;
+    epilogue(out, out_);
+}
+
+void
+Conv2D::fuseActivation(float leakySlope)
+{
+    if (fusedAct_)
+        fatal("Conv2D ", name(), ": activation already fused");
+    fusedAct_ = true;
+    fusedSlope_ = leakySlope;
+    rename(name() + "+act");
 }
 
 LayerProfile
@@ -134,6 +266,8 @@ Conv2D::profile(const Shape& in) const
     p.kind = kind();
     p.flops = 2ULL * outChannels_ * inChannels_ * kernel_ * kernel_ *
               out.h * out.w;
+    if (fusedAct_)
+        p.flops += out.elements();
     p.weightBytes = (weights_.size() + bias_.size()) * sizeof(float);
     p.inputBytes = in.bytes();
     p.outputBytes = out.bytes();
@@ -192,28 +326,38 @@ MaxPool::outputShape(const Shape& in) const
 }
 
 Tensor
-MaxPool::forwardImpl(const Tensor& in, const KernelContext&) const
+MaxPool::forwardImpl(const Tensor& in, const KernelContext& ctx) const
 {
     const Shape out = outputShape({in.channels(), in.height(), in.width()});
     Tensor result(out.c, out.h, out.w);
-    for (int c = 0; c < out.c; ++c) {
-        const float* src = in.channel(c);
-        float* dst = result.channel(c);
-        for (int oy = 0; oy < out.h; ++oy) {
-            for (int ox = 0; ox < out.w; ++ox) {
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                result.data(), threadScratch(), ctx);
+    return result;
+}
+
+void
+MaxPool::forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch&, const KernelContext&) const
+{
+    const Shape os = outputShape(inShape);
+    for (int c = 0; c < os.c; ++c) {
+        const float* src =
+            in + static_cast<std::size_t>(c) * inShape.h * inShape.w;
+        float* dst = out + static_cast<std::size_t>(c) * os.h * os.w;
+        for (int oy = 0; oy < os.h; ++oy) {
+            for (int ox = 0; ox < os.w; ++ox) {
                 float best = -INFINITY;
                 for (int ky = 0; ky < kernel_; ++ky) {
                     const float* row = src +
                         static_cast<std::size_t>(oy * stride_ + ky) *
-                        in.width() + ox * stride_;
+                        inShape.w + ox * stride_;
                     for (int kx = 0; kx < kernel_; ++kx)
                         best = std::max(best, row[kx]);
                 }
-                dst[static_cast<std::size_t>(oy) * out.w + ox] = best;
+                dst[static_cast<std::size_t>(oy) * os.w + ox] = best;
             }
         }
     }
-    return result;
 }
 
 LayerProfile
@@ -250,30 +394,40 @@ AvgPool::outputShape(const Shape& in) const
 }
 
 Tensor
-AvgPool::forwardImpl(const Tensor& in, const KernelContext&) const
+AvgPool::forwardImpl(const Tensor& in, const KernelContext& ctx) const
 {
     const Shape out = outputShape({in.channels(), in.height(), in.width()});
     Tensor result(out.c, out.h, out.w);
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                result.data(), threadScratch(), ctx);
+    return result;
+}
+
+void
+AvgPool::forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch&, const KernelContext&) const
+{
+    const Shape os = outputShape(inShape);
     const float norm = 1.0f / static_cast<float>(kernel_ * kernel_);
-    for (int c = 0; c < out.c; ++c) {
-        const float* src = in.channel(c);
-        float* dst = result.channel(c);
-        for (int oy = 0; oy < out.h; ++oy) {
-            for (int ox = 0; ox < out.w; ++ox) {
+    for (int c = 0; c < os.c; ++c) {
+        const float* src =
+            in + static_cast<std::size_t>(c) * inShape.h * inShape.w;
+        float* dst = out + static_cast<std::size_t>(c) * os.h * os.w;
+        for (int oy = 0; oy < os.h; ++oy) {
+            for (int ox = 0; ox < os.w; ++ox) {
                 float sum = 0;
                 for (int ky = 0; ky < kernel_; ++ky) {
                     const float* row = src +
                         static_cast<std::size_t>(oy * stride_ + ky) *
-                        in.width() + ox * stride_;
+                        inShape.w + ox * stride_;
                     for (int kx = 0; kx < kernel_; ++kx)
                         sum += row[kx];
                 }
-                dst[static_cast<std::size_t>(oy) * out.w + ox] =
+                dst[static_cast<std::size_t>(oy) * os.w + ox] =
                     sum * norm;
             }
         }
     }
-    return result;
 }
 
 LayerProfile
@@ -295,28 +449,40 @@ Softmax::Softmax(std::string name) : Layer(std::move(name))
 }
 
 Tensor
-Softmax::forwardImpl(const Tensor& in, const KernelContext&) const
+Softmax::forwardImpl(const Tensor& in, const KernelContext& ctx) const
+{
+    Tensor out(in.channels(), in.height(), in.width());
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                out.data(), threadScratch(), ctx);
+    return out;
+}
+
+void
+Softmax::forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch&, const KernelContext&) const
 {
     // Per spatial position, normalize across channels (YOLO applies
     // softmax over class channels per grid cell).
-    Tensor out(in.channels(), in.height(), in.width());
-    const int c = in.channels();
-    for (int y = 0; y < in.height(); ++y) {
-        for (int x = 0; x < in.width(); ++x) {
-            float maxV = in.at(0, y, x);
+    const int c = inShape.c;
+    const std::size_t plane =
+        static_cast<std::size_t>(inShape.h) * inShape.w;
+    for (int y = 0; y < inShape.h; ++y) {
+        for (int x = 0; x < inShape.w; ++x) {
+            const std::size_t at =
+                static_cast<std::size_t>(y) * inShape.w + x;
+            float maxV = in[at];
             for (int ci = 1; ci < c; ++ci)
-                maxV = std::max(maxV, in.at(ci, y, x));
+                maxV = std::max(maxV, in[ci * plane + at]);
             float sum = 0;
             for (int ci = 0; ci < c; ++ci) {
-                const float e = std::exp(in.at(ci, y, x) - maxV);
-                out.at(ci, y, x) = e;
+                const float e = std::exp(in[ci * plane + at] - maxV);
+                out[ci * plane + at] = e;
                 sum += e;
             }
             for (int ci = 0; ci < c; ++ci)
-                out.at(ci, y, x) /= sum;
+                out[ci * plane + at] /= sum;
         }
     }
-    return out;
 }
 
 LayerProfile
@@ -338,15 +504,23 @@ Activation::Activation(std::string name, float leakySlope)
 }
 
 Tensor
-Activation::forwardImpl(const Tensor& in, const KernelContext&) const
+Activation::forwardImpl(const Tensor& in, const KernelContext& ctx) const
 {
     Tensor out = in;
-    float* data = out.data();
-    const std::size_t n = out.size();
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                out.data(), threadScratch(), ctx);
+    return out;
+}
+
+void
+Activation::forwardInto(const float* in, const Shape& inShape,
+                        float* out, ForwardScratch&,
+                        const KernelContext&) const
+{
+    const std::size_t n = inShape.elements();
     const float slope = leakySlope_;
     for (std::size_t i = 0; i < n; ++i)
-        data[i] = data[i] > 0.0f ? data[i] : slope * data[i];
-    return out;
+        out[i] = in[i] > 0.0f ? in[i] : slope * in[i];
 }
 
 LayerProfile
@@ -389,10 +563,36 @@ FullyConnected::forwardImpl(const Tensor& in,
 {
     outputShape({in.channels(), in.height(), in.width()});
     Tensor out(outFeatures_, 1, 1);
-    std::copy(bias_.begin(), bias_.end(), out.data());
-    gemv(outFeatures_, inFeatures_, weights_.data(), in.data(), out.data(),
-         ctx);
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                out.data(), threadScratch(), ctx);
     return out;
+}
+
+void
+FullyConnected::forwardInto(const float* in, const Shape& inShape,
+                            float* out, ForwardScratch&,
+                            const KernelContext& ctx) const
+{
+    outputShape(inShape);
+    std::copy(bias_.begin(), bias_.end(), out);
+    gemv(outFeatures_, inFeatures_, weights_.data(), in, out, ctx);
+    if (fusedAct_) {
+        const float slope = fusedSlope_;
+        for (int o = 0; o < outFeatures_; ++o) {
+            const float v = out[o];
+            out[o] = v > 0.0f ? v : slope * v;
+        }
+    }
+}
+
+void
+FullyConnected::fuseActivation(float leakySlope)
+{
+    if (fusedAct_)
+        fatal("FullyConnected ", name(), ": activation already fused");
+    fusedAct_ = true;
+    fusedSlope_ = leakySlope;
+    rename(name() + "+act");
 }
 
 LayerProfile
@@ -403,6 +603,8 @@ FullyConnected::profile(const Shape& in) const
     p.name = name();
     p.kind = kind();
     p.flops = 2ULL * inFeatures_ * outFeatures_;
+    if (fusedAct_)
+        p.flops += out.elements();
     p.weightBytes = (weights_.size() + bias_.size()) * sizeof(float);
     p.inputBytes = in.bytes();
     p.outputBytes = out.bytes();

@@ -68,6 +68,31 @@ struct Shape
 };
 
 /**
+ * Reusable scratch buffers for the raw-pointer execution path
+ * (Layer::forwardInto). One instance serves a whole sequential network:
+ * layers execute one at a time, so they can share buffers, and all
+ * growth is counted through scratchAssign/scratchResize -- after the
+ * plan warm-up pass has high-watermarked every buffer, steady-state
+ * frames touch the heap zero times.
+ */
+struct ForwardScratch
+{
+    std::vector<float> cols;        ///< fp32 im2col matrix.
+    std::vector<std::int8_t> qin;   ///< quantized input tensor.
+    std::vector<std::int8_t> qcols; ///< int8 im2col matrix.
+    std::vector<std::int16_t> qx;   ///< pre-widened FC activation.
+    std::vector<std::int32_t> acc;  ///< int32 GEMM/GEMV accumulators.
+};
+
+/**
+ * The shared thread-local ForwardScratch behind the legacy Tensor
+ * forward path: forwardImpl routes through forwardInto using this
+ * instance, so both paths execute identical code (and are therefore
+ * bitwise-identical by construction).
+ */
+ForwardScratch& threadScratch();
+
+/**
  * Abstract network layer. Layers are stateless with respect to
  * invocation (weights are fixed after construction), so one layer object
  * can be reused across frames.
@@ -88,6 +113,21 @@ class Layer
 
     /** Output shape for the given input shape; fatal() on mismatch. */
     virtual Shape outputShape(const Shape& in) const = 0;
+
+    /**
+     * Allocation-free execution path used by the planned/arena forward
+     * (nn/planner.hh): read the input at `in` with shape `inShape` and
+     * write the output to `out`, which the caller sized to
+     * outputShape(inShape) and which may alias arena storage (in and
+     * out never alias each other). Scratch comes from `scratch` and
+     * only grows on first use. Results are bitwise-identical to
+     * forward(). The base implementation falls back to forwardImpl
+     * through temporary tensors (allocating), so exotic layers stay
+     * correct inside a planned network without their own override.
+     */
+    virtual void forwardInto(const float* in, const Shape& inShape,
+                             float* out, ForwardScratch& scratch,
+                             const KernelContext& ctx) const;
 
     /** Execute the layer serially (the exact pre-parallel behavior). */
     Tensor
@@ -114,6 +154,13 @@ class Layer
     /** Layer execution; ctx is serial unless the caller opted in. */
     virtual Tensor forwardImpl(const Tensor& in,
                                const KernelContext& ctx) const = 0;
+
+    /**
+     * Rename the layer; the fusion pass (nn/fusion.hh) appends "+act"
+     * when it folds a following Activation into this layer so traces
+     * and profiles name the fused stage honestly.
+     */
+    void rename(std::string name) { name_ = std::move(name); }
 
   private:
     std::string name_;
@@ -156,16 +203,54 @@ class Conv2D : public Layer
     /** Set the weight for one (outC, inC, ky, kx) tap. */
     void setWeight(int oc, int ic, int ky, int kx, float value);
 
+    /**
+     * Fold a following ReLU/LeakyReLU into this layer's epilogue (the
+     * fusion lowering, nn/fusion.hh): the activation is applied in the
+     * bias pass right before the output store, so the separate
+     * Activation layer -- and its full tensor read/write -- disappears.
+     * Bitwise-identical to running the Activation afterwards: the
+     * epilogue performs the same scalar operations in the same order.
+     * Renames the layer "<name>+act".
+     */
+    void fuseActivation(float leakySlope);
+    bool hasFusedActivation() const { return fusedAct_; }
+    float fusedSlope() const { return fusedSlope_; }
+
+    /**
+     * Skip im2col: 1x1/stride-1/pad-0 convs feed the input planes to
+     * GEMM directly (the unfold would be a pure copy), and other
+     * geometries run a scalar direct loop that accumulates taps in
+     * im2col's (c, ky, kx) order with padded taps as explicit zero
+     * multiplies -- either way the result is bitwise-identical to the
+     * im2col path. Set by the lowering pass where skipping the unfold
+     * wins (1x1 always; small outputs where GEMM cannot amortize the
+     * unfold).
+     */
+    void setDirectConv(bool on) { direct_ = on; }
+    bool directConv() const { return direct_; }
+
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
+
   protected:
     Tensor forwardImpl(const Tensor& in,
                        const KernelContext& ctx) const override;
 
   private:
+    void directRun(const float* in, const Shape& inShape,
+                   const Shape& outShape, float* out,
+                   const KernelContext& ctx) const;
+    void epilogue(float* out, const Shape& outShape) const;
+
     int inChannels_;
     int outChannels_;
     int kernel_;
     int stride_;
     int pad_;
+    bool fusedAct_ = false;
+    float fusedSlope_ = 0.0f;
+    bool direct_ = false;
     std::vector<float> weights_; ///< outC x (inC * k * k), row-major.
     std::vector<float> bias_;    ///< outC.
 };
@@ -195,6 +280,10 @@ class MaxPool : public Layer
     int kernel() const { return kernel_; }
     int stride() const { return stride_; }
 
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
+
   protected:
     Tensor forwardImpl(const Tensor& in,
                        const KernelContext& ctx) const override;
@@ -216,6 +305,10 @@ class AvgPool : public Layer
 
     int kernel() const { return kernel_; }
     int stride() const { return stride_; }
+
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
 
   protected:
     Tensor forwardImpl(const Tensor& in,
@@ -239,6 +332,10 @@ class Softmax : public Layer
     Shape outputShape(const Shape& in) const override { return in; }
     LayerProfile profile(const Shape& in) const override;
 
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
+
   protected:
     Tensor forwardImpl(const Tensor& in,
                        const KernelContext& ctx) const override;
@@ -256,6 +353,10 @@ class Activation : public Layer
     LayerProfile profile(const Shape& in) const override;
 
     float leakySlope() const { return leakySlope_; }
+
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
 
   protected:
     Tensor forwardImpl(const Tensor& in,
@@ -287,6 +388,19 @@ class FullyConnected : public Layer
     std::vector<float>& bias() { return bias_; }
     const std::vector<float>& bias() const { return bias_; }
 
+    /**
+     * Fold a following ReLU/LeakyReLU into the output pass after the
+     * GEMV (see Conv2D::fuseActivation; same bitwise-identity
+     * argument). Renames the layer "<name>+act".
+     */
+    void fuseActivation(float leakySlope);
+    bool hasFusedActivation() const { return fusedAct_; }
+    float fusedSlope() const { return fusedSlope_; }
+
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
+
   protected:
     Tensor forwardImpl(const Tensor& in,
                        const KernelContext& ctx) const override;
@@ -294,6 +408,8 @@ class FullyConnected : public Layer
   private:
     int inFeatures_;
     int outFeatures_;
+    bool fusedAct_ = false;
+    float fusedSlope_ = 0.0f;
     std::vector<float> weights_; ///< out x in, row-major.
     std::vector<float> bias_;    ///< out.
 };

@@ -103,6 +103,118 @@ Network::replaceLayer(std::size_t i, std::unique_ptr<Layer> layer)
     if (!layer)
         fatal("Network ", name_, ": replaceLayer with null layer");
     layers_[i] = std::move(layer);
+    plan_.reset();
+}
+
+Layer&
+Network::mutableLayer(std::size_t i)
+{
+    if (i >= layers_.size())
+        fatal("Network ", name_, ": mutableLayer index ", i,
+              " out of range (", layers_.size(), " layers)");
+    return *layers_[i];
+}
+
+void
+Network::removeLayer(std::size_t i)
+{
+    if (i >= layers_.size())
+        fatal("Network ", name_, ": removeLayer index ", i,
+              " out of range (", layers_.size(), " layers)");
+    layers_.erase(layers_.begin() +
+                  static_cast<std::ptrdiff_t>(i));
+    plan_.reset();
+}
+
+void
+Network::plan(const Shape& input)
+{
+    if (layers_.empty())
+        fatal("Network ", name_, ": plan() on an empty network");
+    auto p = std::make_unique<NetworkPlan>();
+    p->inputShape = input;
+    Shape s = input;
+    for (const auto& layer : layers_) {
+        s = layer->outputShape(s);
+        p->shapes.push_back(s);
+    }
+
+    // Intermediates: outputs of layers 0..n-2. Each is written at step
+    // i and consumed at step i+1 (sequential chain), so its live
+    // interval is [i, i+1]. The final layer writes the dedicated
+    // output tensor instead.
+    const std::size_t n = layers_.size();
+    std::vector<ValueInterval> values;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        values.push_back({i, i + 1,
+                          p->shapes[i].elements() * sizeof(float)});
+    const ArenaPlan arena = planArena(values);
+    p->offset.resize(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        p->offset[i] = arena.offset[i] / sizeof(float);
+    p->arenaBytes = arena.totalBytes;
+    p->arenaValues = values.size();
+    p->arena.assign(arena.totalBytes / sizeof(float), 0.0f);
+    const Shape& out = p->shapes.back();
+    p->output = Tensor(out.c, out.h, out.w);
+    plan_ = std::move(p);
+
+    // Warm-up pass: drives every layer's scratch vectors to their
+    // high-water capacity so steady-state frames allocate nothing.
+    Tensor warm(input.c, input.h, input.w);
+    (void)forwardArena(warm, KernelContext::serial());
+
+    if (obs::metricsEnabled()) {
+        auto& reg = obs::metrics();
+        reg.gauge("nn." + name_ + ".arena_bytes")
+            .set(static_cast<double>(plan_->arenaBytes));
+        reg.gauge("nn." + name_ + ".arena_values")
+            .set(static_cast<double>(plan_->arenaValues));
+    }
+}
+
+std::size_t
+Network::arenaBytes() const
+{
+    return plan_ ? plan_->arenaBytes : 0;
+}
+
+const Tensor&
+Network::forwardArena(const Tensor& input, const KernelContext& ctx)
+{
+    if (!plan_)
+        fatal("Network ", name_,
+              ": forwardArena without a plan (call plan() first)");
+    NetworkPlan& p = *plan_;
+    if (input.channels() != p.inputShape.c ||
+        input.height() != p.inputShape.h ||
+        input.width() != p.inputShape.w)
+        fatal("Network ", name_, ": forwardArena input ",
+              input.channels(), "x", input.height(), "x",
+              input.width(), " does not match planned shape ",
+              p.inputShape.c, "x", p.inputShape.h, "x",
+              p.inputShape.w);
+    const std::size_t n = layers_.size();
+    const float* cur = input.data();
+    Shape curShape = p.inputShape;
+    const bool spans = obs::tracer().nnLayerSpans();
+    for (std::size_t i = 0; i < n; ++i) {
+        float* out = (i + 1 == n) ? p.output.data()
+                                  : p.arena.data() + p.offset[i];
+        if (spans) {
+            obs::TraceSpan span(obs::tracer(),
+                                name_ + "/" + layers_[i]->name(),
+                                "nn");
+            layers_[i]->forwardInto(cur, curShape, out, p.scratch,
+                                    ctx);
+        } else {
+            layers_[i]->forwardInto(cur, curShape, out, p.scratch,
+                                    ctx);
+        }
+        cur = out;
+        curShape = p.shapes[i];
+    }
+    return p.output;
 }
 
 Tensor

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nn/layers.hh"
+#include "nn/planner.hh"
 
 namespace ad::obs {
 class MetricRegistry;
@@ -89,12 +90,25 @@ class Network
     const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
     /**
+     * Mutable layer access for lowering passes (nn/fusion.hh) that
+     * rewrite layers in place (fused activations, direct-conv marks).
+     */
+    Layer& mutableLayer(std::size_t i);
+
+    /**
      * Swap layer i for a replacement with identical input/output
      * shapes -- the hook quantizeNetwork (quant.hh) uses to lower
      * conv/FC layers to int8 in place. fatal() on out-of-range i or a
-     * null layer.
+     * null layer. Drops any existing plan (offsets would be stale).
      */
     void replaceLayer(std::size_t i, std::unique_ptr<Layer> layer);
+
+    /**
+     * Remove layer i -- the hook the fusion pass uses to delete an
+     * Activation folded into its predecessor. fatal() on out-of-range
+     * i. Drops any existing plan.
+     */
+    void removeLayer(std::size_t i);
 
     /** Numeric mode this network currently runs in. */
     Precision precision() const { return precision_; }
@@ -132,10 +146,55 @@ class Network
     /** Per-layer compute/memory inventory for the given input shape. */
     NetworkProfile profile(const Shape& input) const;
 
+    /**
+     * The plan/arena phase (the `nn.arena` knob): propagate shapes for
+     * `input`, place every intermediate tensor into one reused arena
+     * via the liveness planner (nn/planner.hh), preallocate the output
+     * tensor and run one warm-up forward so all scratch buffers reach
+     * their high-water marks. After plan(), forwardArena() performs
+     * zero heap allocations per frame. Publishes
+     * "nn.<name>.arena_bytes" / "nn.<name>.arena_values" gauges when
+     * metrics are enabled. Call after any structural lowering
+     * (quantizeNetwork, lowerNetwork); structural edits drop the plan.
+     */
+    void plan(const Shape& input);
+
+    /** True once plan() has run (and no structural edit followed). */
+    bool planned() const { return plan_ != nullptr; }
+
+    /** Drop the plan, restoring the allocating forward-only state. */
+    void unplan() { plan_.reset(); }
+
+    /** Peak arena bytes of the current plan (0 when unplanned). */
+    std::size_t arenaBytes() const;
+
+    /**
+     * Planned forward pass: run all layers through their forwardInto
+     * path with intermediates in the arena; returns a reference to the
+     * plan's output tensor (valid until the next forwardArena or
+     * plan/unplan call -- copy it before running the network again on
+     * data you still need). Bitwise-identical to forward() at any
+     * thread count: both paths execute the same layer code on the same
+     * values. fatal() when no plan exists or the input shape differs
+     * from the planned one. Not reentrant: one forwardArena per
+     * network at a time (the pipeline's engines each own their
+     * networks, so this is the existing calling discipline).
+     */
+    const Tensor& forwardArena(const Tensor& input,
+                               const KernelContext& ctx);
+
+    /** Serial-context convenience overload. */
+    const Tensor&
+    forwardArena(const Tensor& input)
+    {
+        return forwardArena(input, KernelContext::serial());
+    }
+
   private:
     std::string name_;
     std::vector<std::unique_ptr<Layer>> layers_;
     Precision precision_ = Precision::Fp32;
+    std::unique_ptr<NetworkPlan> plan_;
 };
 
 /**

@@ -1,0 +1,75 @@
+#include "nn/planner.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace ad::nn {
+
+namespace {
+
+std::size_t
+alignUp(std::size_t v, std::size_t alignment)
+{
+    return (v + alignment - 1) / alignment * alignment;
+}
+
+} // namespace
+
+ArenaPlan
+planArena(const std::vector<ValueInterval>& values, std::size_t alignment)
+{
+    if (alignment == 0 || alignment % sizeof(float) != 0)
+        fatal("planArena: alignment must be a positive multiple of ",
+              sizeof(float), ", got ", alignment);
+    ArenaPlan plan;
+    plan.offset.assign(values.size(), 0);
+
+    // Largest-first placement; ties broken by index so the plan is a
+    // pure function of its input.
+    std::vector<std::size_t> order(values.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (values[a].bytes != values[b].bytes)
+                      return values[a].bytes > values[b].bytes;
+                  return a < b;
+              });
+
+    std::vector<std::size_t> placed;
+    placed.reserve(values.size());
+    for (const std::size_t idx : order) {
+        const ValueInterval& v = values[idx];
+        if (v.bytes == 0) {
+            placed.push_back(idx);
+            continue;
+        }
+        // Byte ranges of already-placed values whose live interval
+        // intersects this one; only those constrain the offset.
+        std::vector<std::pair<std::size_t, std::size_t>> busy;
+        for (const std::size_t p : placed) {
+            const ValueInterval& o = values[p];
+            if (o.bytes == 0)
+                continue;
+            if (o.start <= v.end && v.start <= o.end)
+                busy.emplace_back(plan.offset[p],
+                                  plan.offset[p] + o.bytes);
+        }
+        std::sort(busy.begin(), busy.end());
+        std::size_t candidate = 0;
+        for (const auto& [lo, hi] : busy) {
+            if (candidate + v.bytes <= lo)
+                break;
+            candidate = std::max(candidate, alignUp(hi, alignment));
+        }
+        plan.offset[idx] = candidate;
+        plan.totalBytes =
+            std::max(plan.totalBytes, candidate + v.bytes);
+        placed.push_back(idx);
+    }
+    plan.totalBytes = alignUp(plan.totalBytes, alignment);
+    return plan;
+}
+
+} // namespace ad::nn

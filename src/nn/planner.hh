@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Liveness-based static memory planner for the inference engine. A
+ * sequential network's intermediate tensors have trivially known
+ * lifetimes -- layer i's output is born at step i and dies after layer
+ * i+1 consumes it -- so all of them can be assigned offsets into ONE
+ * arena sized once at network build. The forward pass then writes every
+ * intermediate into preplanned arena storage and performs zero heap
+ * allocations per frame (the property BENCH_quant.json asserts through
+ * allocEventCount()).
+ *
+ * This is the software twin of the paper's accelerator observation
+ * (Section 4.2): the FPGA/ASIC designs stream activations through
+ * fixed on-chip buffers, never a heap. On the host the same discipline
+ * removes allocator traffic and reuses hot cache lines across layers.
+ *
+ * planArena() is the pure planning core (exposed for property tests);
+ * NetworkPlan is the materialized per-network state Network::plan()
+ * builds and Network::forwardArena() executes against.
+ */
+
+#ifndef AD_NN_PLANNER_HH
+#define AD_NN_PLANNER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "nn/tensor.hh"
+
+namespace ad::nn {
+
+/**
+ * One value (intermediate tensor) to place: live over the inclusive
+ * step interval [start, end], occupying `bytes` bytes.
+ */
+struct ValueInterval
+{
+    std::size_t start = 0;
+    std::size_t end = 0;
+    std::size_t bytes = 0;
+};
+
+/** Arena layout produced by planArena. */
+struct ArenaPlan
+{
+    /** Byte offset per value, parallel to the input vector. */
+    std::vector<std::size_t> offset;
+    /** Total arena size in bytes (aligned). */
+    std::size_t totalBytes = 0;
+};
+
+/**
+ * Greedy first-fit interval placement: process values by decreasing
+ * size and give each the lowest aligned offset that does not overlap
+ * any already-placed value whose live interval intersects its own.
+ * Values that are never simultaneously live may share bytes -- that is
+ * the whole point. Deterministic (ties broken by index), O(v^2) in the
+ * value count, which is tiny for sequential networks.
+ *
+ * @param values    live intervals with sizes.
+ * @param alignment offset alignment in bytes; must be a positive
+ *                  multiple of sizeof(float). Default 64 (one cache
+ *                  line, and enough for any SIMD width in the tree).
+ */
+ArenaPlan planArena(const std::vector<ValueInterval>& values,
+                    std::size_t alignment = 64);
+
+/**
+ * Materialized execution plan of one Network (built by
+ * Network::plan()): per-layer output shapes, arena offsets for the
+ * intermediates, the arena itself, the preallocated output tensor and
+ * the shared layer scratch. Everything the planned forward path
+ * touches lives here, allocated once.
+ */
+struct NetworkPlan
+{
+    Shape inputShape;
+    std::vector<Shape> shapes;        ///< output shape of each layer.
+    std::vector<std::size_t> offset;  ///< float offset per intermediate.
+    std::size_t arenaBytes = 0;       ///< peak arena footprint.
+    std::size_t arenaValues = 0;      ///< intermediates placed.
+    std::vector<float> arena;         ///< the reused storage.
+    Tensor output;                    ///< final layer output storage.
+    ForwardScratch scratch;           ///< shared layer scratch.
+};
+
+} // namespace ad::nn
+
+#endif // AD_NN_PLANNER_HH

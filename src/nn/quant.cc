@@ -38,7 +38,7 @@ im2colInt8(const std::int8_t* in, int inC, int inH, int inW, int kernel,
 {
     const std::size_t rows =
         static_cast<std::size_t>(inC) * kernel * kernel;
-    cols.assign(rows * outH * outW, 0);
+    scratchAssign(cols, rows * outH * outW, std::int8_t{0});
     std::int8_t* colsData = cols.data();
     kernelParallelFor(ctx, 0, rows, 4, [&, colsData](std::size_t lo,
                                                      std::size_t hi) {
@@ -234,41 +234,76 @@ QuantConv2D::forwardImpl(const Tensor& in, const KernelContext& ctx) const
     const Shape out = outputShape({in.channels(), in.height(),
                                    in.width()});
     Tensor result(out.c, out.h, out.w);
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                result.data(), threadScratch(), ctx);
+    return result;
+}
+
+void
+QuantConv2D::forwardInto(const float* in, const Shape& inShape,
+                         float* out, ForwardScratch& scratch,
+                         const KernelContext& ctx) const
+{
+    const Shape os = outputShape(inShape);
 
     // Quantize the activation at the calibrated per-tensor scale, then
     // run the integer pipeline: int8 im2col -> int8 GEMM -> exact
     // int32 accumulators. All buffers belong to the calling thread;
     // workers only touch them through kernelParallelFor shards.
-    static thread_local std::vector<std::int8_t> qin;
-    static thread_local std::vector<std::int8_t> cols;
-    static thread_local std::vector<std::int32_t> acc;
-    qin.resize(in.size());
-    quantizeTo(in.data(), in.size(), inputScale_, qin.data());
-    im2colInt8(qin.data(), in.channels(), in.height(), in.width(),
-               kernel_, stride_, pad_, out.h, out.w, cols, ctx);
+    scratchResize(scratch.qin, inShape.elements());
+    quantizeTo(in, inShape.elements(), inputScale_, scratch.qin.data());
 
     const auto m = static_cast<std::size_t>(outChannels_);
     const std::size_t k =
         static_cast<std::size_t>(inChannels_) * kernel_ * kernel_;
-    const auto n = static_cast<std::size_t>(out.h) *
-                   static_cast<std::size_t>(out.w);
-    acc.assign(m * n, 0);
-    gemmInt8(m, n, k, weights_.data(), cols.data(), acc.data(), ctx);
+    const auto n = static_cast<std::size_t>(os.h) *
+                   static_cast<std::size_t>(os.w);
+    const std::int8_t* cols;
+    if (direct_ && kernel_ == 1 && stride_ == 1 && pad_ == 0) {
+        // 1x1/s1/p0: the unfolded matrix equals the quantized input
+        // (inC x (h*w)); hand it to gemmInt8 as-is. Identical integer
+        // operands, bit-identical accumulators.
+        cols = scratch.qin.data();
+    } else {
+        im2colInt8(scratch.qin.data(), inShape.c, inShape.h, inShape.w,
+                   kernel_, stride_, pad_, os.h, os.w, scratch.qcols,
+                   ctx);
+        cols = scratch.qcols.data();
+    }
+    scratchAssign(scratch.acc, m * n, std::int32_t{0});
+    gemmInt8(m, n, k, weights_.data(), cols, scratch.acc.data(), ctx);
 
-    // Dequantize with the combined scale and add the fp32 bias; one
-    // multiply-add per output element, the whole cost of keeping the
-    // float-Tensor interface.
-    for (int oc = 0; oc < out.c; ++oc) {
+    // Dequantize with the combined scale and add the fp32 bias (plus
+    // the fused activation when lowered); one multiply-add per output
+    // element, the whole cost of keeping the float-Tensor interface.
+    const float slope = fusedSlope_;
+    for (int oc = 0; oc < os.c; ++oc) {
         const float scale =
             inputScale_ * weightScale_[static_cast<std::size_t>(oc)];
         const float b = bias_[static_cast<std::size_t>(oc)];
         const std::int32_t* accRow =
-            acc.data() + static_cast<std::size_t>(oc) * n;
-        float* plane = result.channel(oc);
-        for (std::size_t i = 0; i < n; ++i)
-            plane[i] = static_cast<float>(accRow[i]) * scale + b;
+            scratch.acc.data() + static_cast<std::size_t>(oc) * n;
+        float* plane = out + static_cast<std::size_t>(oc) * n;
+        if (!fusedAct_) {
+            for (std::size_t i = 0; i < n; ++i)
+                plane[i] = static_cast<float>(accRow[i]) * scale + b;
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                const float v = static_cast<float>(accRow[i]) * scale + b;
+                plane[i] = v > 0.0f ? v : slope * v;
+            }
+        }
     }
-    return result;
+}
+
+void
+QuantConv2D::fuseActivation(float leakySlope)
+{
+    if (fusedAct_)
+        fatal("QuantConv2D ", name(), ": activation already fused");
+    fusedAct_ = true;
+    fusedSlope_ = leakySlope;
+    rename(name() + "+act");
 }
 
 LayerProfile
@@ -280,6 +315,8 @@ QuantConv2D::profile(const Shape& in) const
     p.kind = kind();
     p.flops = 2ULL * outChannels_ * inChannels_ * kernel_ * kernel_ *
               out.h * out.w;
+    if (fusedAct_)
+        p.flops += out.elements();
     p.weightBytes = weights_.size() * sizeof(std::int8_t) +
                     (weightScale_.size() + bias_.size()) * sizeof(float);
     p.inputBytes = in.bytes();
@@ -319,28 +356,49 @@ QuantFullyConnected::forwardImpl(const Tensor& in,
                                  const KernelContext& ctx) const
 {
     outputShape({in.channels(), in.height(), in.width()});
+    Tensor out(outFeatures_, 1, 1);
+    forwardInto(in.data(), {in.channels(), in.height(), in.width()},
+                out.data(), threadScratch(), ctx);
+    return out;
+}
+
+void
+QuantFullyConnected::forwardInto(const float* in, const Shape& inShape,
+                                 float* out, ForwardScratch& scratch,
+                                 const KernelContext& ctx) const
+{
+    outputShape(inShape);
     // The activation vector is widened to int16 during quantization
     // (gemvInt8 wants both operands pre-widened -- widening rows per
     // call would double the FC cost).
-    static thread_local std::vector<std::int16_t> qx;
-    static thread_local std::vector<std::int32_t> acc;
-    qx.resize(static_cast<std::size_t>(inFeatures_));
-    quantizeTo(in.data(), static_cast<std::size_t>(inFeatures_),
-               inputScale_, qx.data());
-    acc.assign(static_cast<std::size_t>(outFeatures_), 0);
+    scratchResize(scratch.qx, static_cast<std::size_t>(inFeatures_));
+    quantizeTo(in, static_cast<std::size_t>(inFeatures_), inputScale_,
+               scratch.qx.data());
+    scratchAssign(scratch.acc, static_cast<std::size_t>(outFeatures_),
+                  std::int32_t{0});
     gemvInt8(static_cast<std::size_t>(outFeatures_),
              static_cast<std::size_t>(inFeatures_), weights_.data(),
-             qx.data(), acc.data(), ctx);
+             scratch.qx.data(), scratch.acc.data(), ctx);
 
-    Tensor out(outFeatures_, 1, 1);
-    float* data = out.data();
+    const float slope = fusedSlope_;
     for (int o = 0; o < outFeatures_; ++o) {
         const auto i = static_cast<std::size_t>(o);
-        data[i] = static_cast<float>(acc[i]) *
-                      (inputScale_ * weightScale_[i]) +
-                  bias_[i];
+        const float v = static_cast<float>(scratch.acc[i]) *
+                            (inputScale_ * weightScale_[i]) +
+                        bias_[i];
+        out[i] = (!fusedAct_ || v > 0.0f) ? v : slope * v;
     }
-    return out;
+}
+
+void
+QuantFullyConnected::fuseActivation(float leakySlope)
+{
+    if (fusedAct_)
+        fatal("QuantFullyConnected ", name(),
+              ": activation already fused");
+    fusedAct_ = true;
+    fusedSlope_ = leakySlope;
+    rename(name() + "+act");
 }
 
 LayerProfile
@@ -351,6 +409,8 @@ QuantFullyConnected::profile(const Shape& in) const
     p.name = name();
     p.kind = kind();
     p.flops = 2ULL * inFeatures_ * outFeatures_;
+    if (fusedAct_)
+        p.flops += out.elements();
     p.weightBytes = weights_.size() * sizeof(std::int8_t) +
                     (weightScale_.size() + bias_.size()) * sizeof(float);
     p.inputBytes = in.bytes();

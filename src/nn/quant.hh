@@ -139,6 +139,36 @@ class QuantConv2D : public Layer
     /** Per-output-channel weight scales. */
     const std::vector<float>& weightScale() const { return weightScale_; }
 
+    int kernel() const { return kernel_; }
+    int stride() const { return stride_; }
+    int pad() const { return pad_; }
+
+    /**
+     * Fold a following ReLU/LeakyReLU into the dequantize epilogue
+     * (see Conv2D::fuseActivation). The dequant pass always computes
+     * `acc * scale + bias` -- fused or not -- so applying the
+     * activation right after that expression is bitwise-identical to a
+     * separate Activation layer. Renames the layer "<name>+act".
+     */
+    void fuseActivation(float leakySlope);
+    bool hasFusedActivation() const { return fusedAct_; }
+    float fusedSlope() const { return fusedSlope_; }
+
+    /**
+     * Skip the int8 im2col for 1x1/stride-1/pad-0 geometry: the
+     * quantized input planes feed gemmInt8 directly (the unfold would
+     * be a pure copy). Other geometries keep the unfold -- the integer
+     * path has no scalar direct kernel because integer sums are exact
+     * in any order anyway, so there is nothing to keep bitwise-safe,
+     * only the copy to skip.
+     */
+    void setDirectConv(bool on) { direct_ = on; }
+    bool directConv() const { return direct_; }
+
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
+
   protected:
     Tensor forwardImpl(const Tensor& in,
                        const KernelContext& ctx) const override;
@@ -150,6 +180,9 @@ class QuantConv2D : public Layer
     int stride_;
     int pad_;
     float inputScale_;
+    bool fusedAct_ = false;
+    float fusedSlope_ = 0.0f;
+    bool direct_ = false;
     std::vector<std::int16_t> weights_; ///< int8-range, pre-widened.
     std::vector<float> weightScale_;    ///< per output channel.
     std::vector<float> bias_;           ///< fp32, added after dequant.
@@ -173,6 +206,18 @@ class QuantFullyConnected : public Layer
     float inputScale() const { return inputScale_; }
     const std::vector<float>& weightScale() const { return weightScale_; }
 
+    /**
+     * Fold a following ReLU/LeakyReLU into the dequantize pass (see
+     * QuantConv2D::fuseActivation). Renames the layer "<name>+act".
+     */
+    void fuseActivation(float leakySlope);
+    bool hasFusedActivation() const { return fusedAct_; }
+    float fusedSlope() const { return fusedSlope_; }
+
+    void forwardInto(const float* in, const Shape& inShape, float* out,
+                     ForwardScratch& scratch,
+                     const KernelContext& ctx) const override;
+
   protected:
     Tensor forwardImpl(const Tensor& in,
                        const KernelContext& ctx) const override;
@@ -181,6 +226,8 @@ class QuantFullyConnected : public Layer
     int inFeatures_;
     int outFeatures_;
     float inputScale_;
+    bool fusedAct_ = false;
+    float fusedSlope_ = 0.0f;
     std::vector<std::int16_t> weights_; ///< int8-range, pre-widened.
     std::vector<float> weightScale_;    ///< per output feature.
     std::vector<float> bias_;

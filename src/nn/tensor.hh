@@ -12,12 +12,54 @@
 #define AD_NN_TENSOR_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/image.hh"
 
 namespace ad::nn {
+
+/**
+ * Process-wide count of forward-path allocation events: tensor
+ * materializations plus scratch-buffer growth (scratchAssign /
+ * scratchResize below). The arena/fusion acceptance bar reads this
+ * before and after a frame to assert the planned forward path
+ * (Network::forwardArena) performs zero heap allocations after the
+ * build/plan phase. Monotonic; relaxed atomic, so cheap enough to
+ * leave always-on.
+ */
+std::uint64_t allocEventCount();
+
+namespace detail {
+/** Record one forward-path allocation event (see allocEventCount). */
+void noteAllocEvent();
+} // namespace detail
+
+/**
+ * vector::assign that counts as an allocation event only when the
+ * vector must grow. Layer scratch buffers use this so steady-state
+ * frames (capacity already high-watermarked by the plan warm-up) are
+ * provably allocation-free under the allocEventCount metric.
+ */
+template <typename T>
+void
+scratchAssign(std::vector<T>& v, std::size_t n, T fill)
+{
+    if (v.capacity() < n)
+        detail::noteAllocEvent();
+    v.assign(n, fill);
+}
+
+/** vector::resize twin of scratchAssign (no refill of existing lanes). */
+template <typename T>
+void
+scratchResize(std::vector<T>& v, std::size_t n)
+{
+    if (v.capacity() < n)
+        detail::noteAllocEvent();
+    v.resize(n);
+}
 
 /** Channel-major (CHW) float tensor with value semantics. */
 class Tensor
@@ -59,11 +101,27 @@ class Tensor
     static Tensor fromImage(const Image& img);
 
     /**
+     * In-place fromImage: overwrite this tensor with the normalized
+     * image, reusing the existing payload when capacity suffices --
+     * the allocation-free per-frame input path of the planned
+     * detector/tracker engines.
+     */
+    void assignFromImage(const Image& img);
+
+    /**
      * Build a 2c x h x w tensor by stacking two tensors channel-wise;
      * the GOTURN-style tracker concatenates target and search-region
      * features before its fully connected stack.
      */
     static Tensor concatChannels(const Tensor& a, const Tensor& b);
+
+    /**
+     * In-place concatChannels: overwrite this tensor with the stack of
+     * a and b, reusing the existing payload when the shape already
+     * matches -- the allocation-free path the planned tracker uses to
+     * rebuild its FC input every frame.
+     */
+    void assignConcat(const Tensor& a, const Tensor& b);
 
   private:
     std::size_t plane(int c) const

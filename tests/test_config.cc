@@ -105,4 +105,23 @@ TEST(Config, WarnUnknownKeysSuggestsNearestKnownKey)
     EXPECT_EQ(alien.warnUnknownKeys(known), 1);
 }
 
+TEST(Config, WarnUnknownKeysCoversNnLoweringKnobs)
+{
+    // The lowering/planner knobs must be accepted exactly and their
+    // near-miss spellings flagged (the warning suggests the intended
+    // key; the count is the observable contract).
+    const std::vector<std::string> known = {"nn.threads",
+                                            "nn.precision", "nn.fuse",
+                                            "nn.arena"};
+    Config clean;
+    clean.set("nn.fuse", "0");
+    clean.set("nn.arena", "1");
+    EXPECT_EQ(clean.warnUnknownKeys(known), 0);
+
+    Config typo;
+    typo.set("nn.fused", "0");
+    typo.set("nn.arenas", "1");
+    EXPECT_EQ(typo.warnUnknownKeys(known), 2);
+}
+
 } // namespace

@@ -123,8 +123,83 @@ TEST(AbsHistogram, PercentileClipsOutliers)
 TEST(GemmInt8, ReportsKnownIsa)
 {
     const std::string isa = int8KernelIsa();
-    EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "scalar")
+    EXPECT_TRUE(isa == "avx512vnni" || isa == "avx2" || isa == "sse2" ||
+                isa == "scalar")
         << isa;
+}
+
+TEST(GemmInt8, TierListContainsCurrentAndScalar)
+{
+    const auto tiers = int8KernelIsaTiers();
+    ASSERT_FALSE(tiers.empty());
+    EXPECT_EQ(tiers.front(), "scalar");
+    EXPECT_NE(std::find(tiers.begin(), tiers.end(),
+                        std::string(int8KernelIsa())),
+              tiers.end());
+}
+
+TEST(GemmInt8, RejectsUnknownOrUnavailableForcedIsa)
+{
+    EXPECT_FALSE(setInt8KernelIsa("avx9000"));
+    // Rejection must not disturb the ambient selection.
+    const std::string isa = int8KernelIsa();
+    EXPECT_TRUE(isa == "avx512vnni" || isa == "avx2" || isa == "sse2" ||
+                isa == "scalar")
+        << isa;
+}
+
+/**
+ * The cross-ISA contract (satellite of the VNNI tier): every dispatch
+ * tier the host can execute -- scalar, SSE2, AVX2, AVX-512-VNNI --
+ * must produce bit-identical GEMM and GEMV results. Integer sums are
+ * exact, and the VNNI tier's +128 bias trick is corrected with exact
+ * integer math, so equality is required, not approximate.
+ */
+TEST(GemmInt8, AllAvailableTiersAgreeBitwise)
+{
+    Rng rng(97);
+    const std::tuple<int, int, int> shapes[] = {
+        {65, 33, 257}, {64, 64, 256}, {16, 169, 144}, {7, 5, 3}};
+    for (const auto& [m, n, k] : shapes) {
+        const auto a = randomInt8(
+            static_cast<std::size_t>(m) * k, rng);
+        const auto b = randomInt8(
+            static_cast<std::size_t>(n) * k, rng);
+        const auto aw = widen(a);
+        const std::size_t mn = static_cast<std::size_t>(m) * n;
+
+        std::vector<std::int32_t> ref(mn, 0);
+        gemmInt8Naive(m, n, k, a.data(), b.data(), ref.data());
+
+        std::vector<std::int32_t> refVec(static_cast<std::size_t>(m),
+                                         0);
+        const auto xw = widen(randomInt8(
+            static_cast<std::size_t>(k), rng));
+        // gemv reference: scalar dot per row.
+        for (int i = 0; i < m; ++i) {
+            std::int32_t acc = 0;
+            for (int kk = 0; kk < k; ++kk)
+                acc += static_cast<std::int32_t>(aw[i * k + kk]) *
+                       xw[kk];
+            refVec[static_cast<std::size_t>(i)] = acc;
+        }
+
+        for (const std::string& tier : int8KernelIsaTiers()) {
+            ASSERT_TRUE(setInt8KernelIsa(tier)) << tier;
+            ASSERT_STREQ(int8KernelIsa(), tier.c_str());
+            std::vector<std::int32_t> got(mn, 0);
+            gemmInt8(m, n, k, aw.data(), b.data(), got.data());
+            ASSERT_EQ(got, ref)
+                << "gemm tier " << tier << " shape " << m << "x" << n
+                << "x" << k;
+            std::vector<std::int32_t> gotVec(
+                static_cast<std::size_t>(m), 0);
+            gemvInt8(m, k, aw.data(), xw.data(), gotVec.data());
+            ASSERT_EQ(gotVec, refVec)
+                << "gemv tier " << tier << " shape " << m << "x" << k;
+        }
+        ASSERT_TRUE(setInt8KernelIsa(""));
+    }
 }
 
 /** Shape sweep: the SIMD kernel must match the reference bit for bit. */

@@ -10,7 +10,7 @@
  *   adrun [--scenario=highway|urban] [--frames=100]
  *         [--resolution=HHD|KITTI|HD] [--seed=1] [--csv=out.csv]
  *         [--det-input=160] [--summary] [--nn.threads=N]
- *         [--nn.precision=fp32|int8]
+ *         [--nn.precision=fp32|int8] [--nn.fuse=1] [--nn.arena=1]
  *         [--trace <file>] [--metrics] [--obs.trace_nn]
  *         [--obs.budget_ms=100]
  *         [--faults=0.1] [--fault.*=...] [--governor] [--gov.*=...]
@@ -23,6 +23,13 @@
  * quantized int8 kernel path (per-channel weights, calibrated
  * activations; see DESIGN.md "Quantized inference"). Deterministic at
  * any thread count, accuracy-checked by bench_ext_quant_accuracy.
+ *
+ * --nn.fuse / --nn.arena (both default 1) control the graph-lowering
+ * pass (fused conv+activation epilogues, direct convolutions) and the
+ * static arena memory planner for the DET/TRA networks. Both are pure
+ * optimizations with bitwise-identical outputs; turn one off to A/B
+ * the unfused or allocating reference path (DESIGN.md "Fused lowering
+ * and the arena planner").
  *
  * --trace writes a Chrome trace_event JSON (chrome://tracing /
  * Perfetto) with per-stage spans carrying frame ids; --metrics dumps
@@ -76,7 +83,7 @@ knownKeys()
     std::vector<std::string> keys = {
         "scenario", "frames",    "resolution", "seed",      "csv",
         "det-input", "det-width", "summary",    "length",
-        "nn.threads", "nn.precision"};
+        "nn.threads", "nn.precision", "nn.fuse", "nn.arena"};
     for (const auto& k : obs::knownConfigKeys())
         keys.push_back(k);
     for (const auto& k : pipeline::FaultInjectorParams::knownConfigKeys())
@@ -124,6 +131,8 @@ main(int argc, char** argv)
         nn::resolveKernelThreads(cfg.getInt("nn.threads", 0));
     params.nnPrecision =
         nn::parsePrecision(cfg.getString("nn.precision", "fp32"));
+    params.nnFuse = cfg.getBool("nn.fuse", true);
+    params.nnArena = cfg.getBool("nn.arena", true);
     params.deadline.budgetMs = obsOpt.budgetMs;
     params.deadline.logViolations = obsOpt.any();
     params.faults = pipeline::FaultInjectorParams::fromConfig(cfg);

@@ -14,7 +14,7 @@
  *           [--stagger=1] [--seed=29]
  *           [--engine.fixed-ms=8] [--engine.marginal-ms=9]
  *           [--measured] [--det-input=64] [--det-width=0.05]
- *           [--nn.threads=0] [--nn.precision=fp32|int8]
+ *           [--nn.threads=0] [--nn.precision=fp32|int8] [--nn.fuse=1]
  *           [--serve-json=out.json] [--summary]
  *           [--metrics] [--trace <file>]
  *   adserve --check=out.json
@@ -42,6 +42,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "nn/fusion.hh"
 #include "nn/kernel_context.hh"
 #include "nn/models.hh"
 #include "nn/quant.hh"
@@ -61,7 +62,7 @@ knownKeys()
         "streams",     "frames",       "period-ms", "deadline-ms",
         "queue-depth", "batch-max",    "window-ms", "admission",
         "stagger",     "seed",         "measured",  "det-input",
-        "det-width",   "nn.threads",   "nn.precision",
+        "det-width",   "nn.threads",   "nn.precision", "nn.fuse",
         "serve-json",  "summary",
         "check",       "engine.fixed-ms", "engine.marginal-ms",
         "engine.jitter", "engine.spike-p"};
@@ -231,6 +232,11 @@ main(int argc, char** argv)
             }
             nn::quantizeNetwork(net, samples);
         }
+        // Graph lowering (the `nn.fuse` knob). The batched engine
+        // runs forwardBatch, which has no single-caller arena, so
+        // there is no nn.arena knob here -- fusion alone applies.
+        if (cfg.getBool("nn.fuse", true))
+            nn::lowerNetwork(net, {1, inputSize, inputSize});
         // One distinct input per stream so batching order is visible
         // to the checksum.
         std::vector<nn::Tensor> inputs;

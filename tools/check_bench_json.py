@@ -148,6 +148,37 @@ def check_quant(c, doc):
     if tra is not None:
         c.number(tra, "mean_center_error_px", "tra", minimum=0)
         c.number(tra, "dnn_speedup", "tra", minimum=0)
+    fusion = c.require(doc, "fusion", [dict])
+    if fusion is not None:
+        layers_fused = c.number(fusion, "layers_fused", "fusion",
+                                minimum=0)
+        if layers_fused is not None and layers_fused < 1:
+            c.fail(f"fusion.layers_fused {layers_fused} < 1")
+        c.number(fusion, "direct_convs", "fusion", minimum=0)
+        for key in ("det_unfused_ms", "det_fused_ms",
+                    "det_int8_unfused_ms", "det_int8_fused_ms"):
+            c.number(fusion, key, "fusion", minimum=0)
+        det_speedup = c.number(fusion, "det_speedup", "fusion",
+                               minimum=0)
+        if det_speedup is not None and det_speedup < 1.0:
+            c.fail(f"fusion.det_speedup {det_speedup} < 1.0 "
+                   "(fused path slower than unfused)")
+        c.number(fusion, "det_int8_speedup", "fusion", minimum=0)
+        identical = c.require(fusion, "bitwise_identical", [bool],
+                              "fusion")
+        if identical is False:
+            c.fail("fusion.bitwise_identical is false")
+        arena = c.require(fusion, "arena", [dict], "fusion")
+        if arena is not None:
+            for key in ("det_arena_bytes", "det_arena_values"):
+                val = c.number(arena, key, "fusion.arena", minimum=0)
+                if val is not None and val < 1:
+                    c.fail(f"fusion.arena.{key} {val} < 1")
+            allocs = c.number(arena, "alloc_events_per_frame",
+                              "fusion.arena", minimum=0)
+            if allocs is not None and allocs != 0:
+                c.fail("fusion.arena.alloc_events_per_frame "
+                       f"{allocs} != 0 (planned path allocates)")
     serve = c.require(doc, "serve", [dict])
     if serve is not None:
         for cell in ("fp32", "int8"):
