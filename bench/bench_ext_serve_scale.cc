@@ -22,14 +22,23 @@
  *
  * Emits BENCH_serve.json (override with --serve-json=PATH): one row
  * per (streams, window, mode) with latency quantiles, miss/shed
- * rates, goodput and batching stats. Fully virtual-clocked: the
- * sweep is bit-reproducible and runs in seconds.
+ * rates, goodput, batching stats and a per-row SLO summary (worst
+ * miss-budget burn rate, worst window p99, mean goodput ratio
+ * across streams). Fully virtual-clocked: the sweep is
+ * bit-reproducible and runs in seconds.
+ *
+ * A final pass measures the flight recorder's wall-clock overhead on
+ * the busiest served cell (recorder armed vs disarmed, min-of-reps)
+ * and records it as "flight_overhead" -- the ISSUE 7 acceptance bar
+ * is < 5 %.
  *
  * Usage:
  *   bench_ext_serve_scale [--frames=1500] [--budget-ms=100]
  *                         [--seed=29] [--serve-json=PATH]
+ *                         [--overhead-reps=5]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -37,6 +46,13 @@
 
 #include "bench_common.hh"
 #include "common/config.hh"
+#include "common/time.hh"
+#include "nn/fusion.hh"
+#include "nn/kernel_context.hh"
+#include "nn/models.hh"
+#include "nn/network.hh"
+#include "nn/tensor.hh"
+#include "obs/flight.hh"
 #include "serve/serve.hh"
 
 namespace {
@@ -82,9 +98,107 @@ runCell(int streams, double windowMs, bool served, int frames,
     return row;
 }
 
+/** Cross-stream SLO summary of one cell's report. */
+struct SloSummary
+{
+    double worstBurn = 0.0;
+    double worstP99Ms = -1.0; ///< -1 when no window resolved a p99.
+    double meanGoodput = 0.0;
+};
+
+SloSummary
+summarizeSlo(const serve::ServeReport& report)
+{
+    SloSummary s;
+    for (const auto& slo : report.streamSlo) {
+        s.worstBurn = std::max(s.worstBurn, slo.burnRate);
+        if (slo.p99Ms >= 0.0)
+            s.worstP99Ms = std::max(s.worstP99Ms, slo.p99Ms);
+        s.meanGoodput += slo.goodputRatio;
+    }
+    if (!report.streamSlo.empty())
+        s.meanGoodput /= static_cast<double>(report.streamSlo.size());
+    return s;
+}
+
+/** Flight-recorder overhead on one busy served cell. */
+struct FlightOverhead
+{
+    double onMs = 0.0;  ///< min-of-reps wall time, recorder armed.
+    double offMs = 0.0; ///< min-of-reps wall time, recorder off.
+    double pct = 0.0;   ///< 100 * (on/off - 1), clamped at 0.
+};
+
+/**
+ * Measure the recorder's wall-clock cost (ISSUE 7 acceptance:
+ * < 5 %). The modeled engine is virtual-clocked -- near-zero wall
+ * time per frame -- so measuring against it would divide the
+ * recorder's fixed nanoseconds-per-event cost by almost nothing.
+ * This pass instead serves the *measured* engine (real
+ * Network::forwardBatch calls, the work the recorder instruments in
+ * production) with the recorder armed vs disarmed, min-of-reps on
+ * each side to cancel scheduler noise. The dump path is left empty
+ * so trigger events cost a ring push but never touch the filesystem.
+ */
+FlightOverhead
+measureFlightOverhead(double budgetMs, std::uint64_t seed, int reps)
+{
+    constexpr int kStreams = 8;
+    constexpr int kFrames = 150;
+    constexpr int kInputSize = 64;
+
+    nn::Network net =
+        nn::buildNetwork(nn::detectorSpec(kInputSize, 0.05));
+    Rng weightRng(7);
+    nn::initDetectorWeights(net, weightRng);
+    nn::lowerNetwork(net, {1, kInputSize, kInputSize});
+    std::vector<nn::Tensor> inputs;
+    Rng inputRng(seed);
+    for (int s = 0; s < kStreams; ++s) {
+        nn::Tensor t(1, kInputSize, kInputSize);
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t.data()[i] = static_cast<float>(inputRng.uniform());
+        inputs.push_back(std::move(t));
+    }
+
+    auto& fl = obs::flight();
+    obs::FlightParams params;
+    params.streams = kStreams;
+    params.capacity = 1024;
+    FlightOverhead result;
+    result.onMs = result.offMs = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        for (const bool on : {false, true}) {
+            fl.configure(params);
+            fl.setEnabled(on);
+            serve::NnBatchEngine engine(
+                net, inputs, nn::resolveKernelThreads(0));
+            serve::ServeParams sp;
+            sp.streams = kStreams;
+            sp.stream.deadlineMs = budgetMs;
+            sp.batch.maxWaitMs = 4.0;
+            sp.seed = seed;
+            sp.governor.enabled = true;
+            sp.governor.budgetMs = budgetMs;
+            serve::MultiStreamServer server(sp, engine);
+            Stopwatch clock;
+            server.run(kFrames);
+            const double ms = clock.elapsedMs();
+            double& slot = on ? result.onMs : result.offMs;
+            slot = std::min(slot, ms);
+        }
+    }
+    fl.setEnabled(false);
+    if (result.offMs > 0.0)
+        result.pct =
+            std::max(0.0, 100.0 * (result.onMs / result.offMs - 1.0));
+    return result;
+}
+
 void
 writeJson(const char* path, const std::vector<SweepRow>& rows,
-          int frames, double budgetMs, std::uint64_t seed)
+          int frames, double budgetMs, std::uint64_t seed,
+          const FlightOverhead& overhead)
 {
     std::FILE* f = std::fopen(path, "w");
     if (!f) {
@@ -107,6 +221,7 @@ writeJson(const char* path, const std::vector<SweepRow>& rows,
                 ? static_cast<double>(rep.deadlineMisses) /
                       rep.framesAdmitted
                 : 0.0;
+        const SloSummary slo = summarizeSlo(rep);
         std::fprintf(
             f,
             "%s\n    {\"streams\": %d, \"window_ms\": %.1f, "
@@ -119,7 +234,9 @@ writeJson(const char* path, const std::vector<SweepRow>& rows,
             "\"mean_batch_size\": %.3f, "
             "\"pressure_escalations\": %lld, "
             "\"residency\": {\"NOMINAL\": %llu, \"DEGRADED\": %llu, "
-            "\"TRACKING_ONLY\": %llu, \"SAFE_STOP\": %llu}}",
+            "\"TRACKING_ONLY\": %llu, \"SAFE_STOP\": %llu}, "
+            "\"slo\": {\"worst_burn_rate\": %.4f, "
+            "\"worst_p99_ms\": %.3f, \"mean_goodput_ratio\": %.4f}}",
             i ? "," : "", r.streams, r.windowMs,
             r.served ? "served" : "baseline",
             static_cast<long long>(rep.framesAdmitted),
@@ -132,9 +249,14 @@ writeJson(const char* path, const std::vector<SweepRow>& rows,
             static_cast<unsigned long long>(rep.framesInMode[0]),
             static_cast<unsigned long long>(rep.framesInMode[1]),
             static_cast<unsigned long long>(rep.framesInMode[2]),
-            static_cast<unsigned long long>(rep.framesInMode[3]));
+            static_cast<unsigned long long>(rep.framesInMode[3]),
+            slo.worstBurn, slo.worstP99Ms, slo.meanGoodput);
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f,
+                 "\n  ],\n  \"flight_overhead\": "
+                 "{\"on_ms\": %.3f, \"off_ms\": %.3f, "
+                 "\"overhead_pct\": %.3f}\n}\n",
+                 overhead.onMs, overhead.offMs, overhead.pct);
     std::fclose(f);
     char resolved[4096];
     if (path[0] != '/' && ::realpath(path, resolved))
@@ -149,7 +271,8 @@ int
 main(int argc, char** argv)
 {
     const Config cfg = Config::fromArgs(argc, argv);
-    cfg.warnUnknownKeys({"frames", "budget-ms", "seed", "serve-json"});
+    cfg.warnUnknownKeys(
+        {"frames", "budget-ms", "seed", "serve-json", "overhead-reps"});
     const int frames = cfg.getInt("frames", 1500);
     const double budgetMs = cfg.getDouble("budget-ms", 100.0);
     const std::uint64_t seed =
@@ -235,6 +358,17 @@ main(int argc, char** argv)
     if (accepted)
         std::printf("first such stream count: %d\n", acceptedStreams);
 
-    writeJson(jsonPath.c_str(), rows, frames, budgetMs, seed);
+    // ISSUE 7 acceptance: the flight recorder's ring pushes must
+    // cost < 5 % of the serving run they instrument.
+    const FlightOverhead overhead = measureFlightOverhead(
+        budgetMs, seed, cfg.getInt("overhead-reps", 5));
+    std::printf("\nflight recorder overhead (measured engine): "
+                "%.3f ms on vs %.3f ms off (%.2f %%) %s\n",
+                overhead.onMs, overhead.offMs, overhead.pct,
+                overhead.pct < 5.0 ? "[within 5 % budget]"
+                                   : "[EXCEEDS 5 % budget]");
+
+    writeJson(jsonPath.c_str(), rows, frames, budgetMs, seed,
+              overhead);
     return accepted ? 0 : 1;
 }

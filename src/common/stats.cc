@@ -133,6 +133,108 @@ LatencyRecorder::clear()
     sortedValid_ = false;
 }
 
+WindowedLatencyRecorder::WindowedLatencyRecorder(std::size_t capacity)
+{
+    if (capacity < 1)
+        panic("WindowedLatencyRecorder: capacity must be >= 1");
+    ring_.resize(capacity, 0.0);
+    scratch_.resize(capacity, 0.0);
+}
+
+void
+WindowedLatencyRecorder::record(double value)
+{
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = value;
+    ++total_;
+}
+
+std::size_t
+WindowedLatencyRecorder::count() const
+{
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+}
+
+std::size_t
+WindowedLatencyRecorder::minSamplesFor(double q)
+{
+    if (q < 0.0 || q > 1.0)
+        panic("minSamplesFor: quantile ", q, " outside [0, 1]");
+    if (q >= 1.0)
+        return 1; // the maximum is resolvable from any sample.
+    // Nudge below the quotient before rounding up: 1/(1-0.9) lands at
+    // 10.000000000000002 in binary, which would demand an 11th sample.
+    return static_cast<std::size_t>(
+        std::ceil(1.0 / (1.0 - q) - 1e-9));
+}
+
+bool
+WindowedLatencyRecorder::resolvable(double q) const
+{
+    return count() >= minSamplesFor(q);
+}
+
+double
+WindowedLatencyRecorder::percentile(double q) const
+{
+    const std::size_t n = count();
+    if (n < minSamplesFor(q))
+        return kInsufficientSamples;
+    std::copy(ring_.begin(),
+              ring_.begin() + static_cast<std::ptrdiff_t>(n),
+              scratch_.begin());
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() +
+                         static_cast<std::ptrdiff_t>(rank - 1),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(n));
+    return scratch_[rank - 1];
+}
+
+double
+WindowedLatencyRecorder::mean() const
+{
+    const std::size_t n = count();
+    if (!n)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += ring_[i];
+    return sum / static_cast<double>(n);
+}
+
+double
+WindowedLatencyRecorder::worst() const
+{
+    const std::size_t n = count();
+    if (!n)
+        return 0.0;
+    return *std::max_element(
+        ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+std::size_t
+WindowedLatencyRecorder::countAbove(double threshold) const
+{
+    const std::size_t n = count();
+    std::size_t above = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (ring_[i] > threshold)
+            ++above;
+    return above;
+}
+
+void
+WindowedLatencyRecorder::clear()
+{
+    total_ = 0;
+}
+
 void
 RunningStat::push(double x)
 {

@@ -12,6 +12,7 @@
 #define AD_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,6 +102,74 @@ class LatencyRecorder
     std::vector<double> samples_;
     mutable std::vector<double> sorted_;
     mutable bool sortedValid_ = false;
+};
+
+/**
+ * Fixed-capacity rolling-window quantile recorder for SLO accounting.
+ *
+ * Keeps the last `capacity` samples in a preallocated ring and
+ * computes nearest-rank quantiles over the window with nth_element on
+ * a preallocated scratch buffer, so record() and percentile() never
+ * allocate after construction -- safe on the serving hot path.
+ *
+ * A quantile is only *resolvable* when the window holds enough
+ * samples for its nearest rank to be distinguishable from the
+ * maximum: ceil(1 / (1 - q)) samples (p99 needs 100, p99.9 needs
+ * 1000). Below that, percentile() returns kInsufficientSamples
+ * instead of an arbitrary high sample masquerading as a tail --
+ * reporting a p99.9 off 50 samples would be noise presented as
+ * signal.
+ */
+class WindowedLatencyRecorder
+{
+  public:
+    /** Returned by percentile() when the window cannot resolve q. */
+    static constexpr double kInsufficientSamples = -1.0;
+
+    /** @param capacity window size in samples (>= 1). */
+    explicit WindowedLatencyRecorder(std::size_t capacity);
+
+    /** Record one sample, evicting the oldest when full. */
+    void record(double value);
+
+    /** Window capacity fixed at construction. */
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Samples currently in the window (<= capacity). */
+    std::size_t count() const;
+
+    /** Lifetime samples recorded (including evicted ones). */
+    std::uint64_t totalRecorded() const { return total_; }
+
+    /** Samples needed before quantile q is resolvable. */
+    static std::size_t minSamplesFor(double q);
+
+    /** True when the window can resolve quantile q. */
+    bool resolvable(double q) const;
+
+    /**
+     * Nearest-rank quantile over the current window, consistent with
+     * LatencyRecorder::percentile; kInsufficientSamples when the
+     * window holds fewer than minSamplesFor(q) samples.
+     */
+    double percentile(double q) const;
+
+    /** Mean over the current window; 0 when empty. */
+    double mean() const;
+
+    /** Largest sample in the window; 0 when empty. */
+    double worst() const;
+
+    /** Window samples strictly greater than `threshold`. */
+    std::size_t countAbove(double threshold) const;
+
+    /** Forget all samples (capacity is retained). */
+    void clear();
+
+  private:
+    std::vector<double> ring_;
+    mutable std::vector<double> scratch_;
+    std::uint64_t total_ = 0;
 };
 
 /**

@@ -1,0 +1,498 @@
+#include "obs/flight.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ad::obs {
+
+namespace {
+
+/** Bounded copy into a fixed-size event field (always terminated). */
+template <std::size_t N>
+void
+copyName(char (&dst)[N], const char* src)
+{
+    std::size_t i = 0;
+    if (src)
+        for (; src[i] && i + 1 < N; ++i)
+            dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+/** Bounded append onto a terminated fixed-size event field. */
+template <std::size_t N>
+void
+appendName(char (&dst)[N], const char* src)
+{
+    std::size_t len = 0;
+    while (dst[len])
+        ++len;
+    if (src)
+        for (std::size_t i = 0; src[i] && len + 1 < N; ++i, ++len)
+            dst[len] = src[i];
+    dst[len] = '\0';
+}
+
+/** Escape into a JSON string literal (names are plain ASCII). */
+void
+appendEscaped(std::ostream& os, const char* s)
+{
+    for (; *s; ++s) {
+        if (*s == '"' || *s == '\\')
+            os << '\\';
+        os << *s;
+    }
+}
+
+} // namespace
+
+const char*
+flightKindName(FlightKind kind)
+{
+    switch (kind) {
+    case FlightKind::Span:
+        return "span";
+    case FlightKind::Metric:
+        return "metric";
+    case FlightKind::Transition:
+        return "transition";
+    case FlightKind::Admission:
+        return "admission";
+    case FlightKind::Mark:
+        return "mark";
+    case FlightKind::Perf:
+        return "perf";
+    }
+    return "?";
+}
+
+FlightRecorder::FlightRecorder()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+FlightRecorder&
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::configure(const FlightParams& params)
+{
+    std::lock_guard<std::mutex> lock(configMutex_);
+    params_ = params;
+    if (params_.streams < 1)
+        params_.streams = 1;
+    if (params_.capacity < 1)
+        params_.capacity = 1;
+    rings_.clear();
+    for (int i = 0; i < params_.streams; ++i) {
+        auto ring = std::make_unique<Ring>();
+        ring->buf.reserve(params_.capacity);
+        rings_.push_back(std::move(ring));
+    }
+    dumpsWritten_.store(0, std::memory_order_relaxed);
+    triggersSeen_.store(0, std::memory_order_relaxed);
+    lastDumpPath_.clear();
+}
+
+void
+FlightRecorder::ensureStreams(int streams)
+{
+    std::lock_guard<std::mutex> lock(configMutex_);
+    while (static_cast<int>(rings_.size()) < streams) {
+        auto ring = std::make_unique<Ring>();
+        ring->buf.reserve(params_.capacity);
+        rings_.push_back(std::move(ring));
+    }
+    if (streams > params_.streams)
+        params_.streams = streams;
+}
+
+double
+FlightRecorder::nowMs() const
+{
+    const auto d = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+void
+FlightRecorder::push(int stream, const FlightEvent& event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(configMutex_);
+    if (rings_.empty())
+        return;
+    if (stream < 0 || stream >= static_cast<int>(rings_.size()))
+        stream = 0; // out-of-range producers land in the first ring.
+    Ring& ring = *rings_[static_cast<std::size_t>(stream)];
+    std::lock_guard<std::mutex> ringLock(ring.mutex);
+    if (ring.buf.size() < params_.capacity) {
+        ring.buf.push_back(event); // within reserve: no allocation.
+    } else {
+        ring.buf[static_cast<std::size_t>(ring.total %
+                                          params_.capacity)] = event;
+    }
+    ++ring.total;
+}
+
+void
+FlightRecorder::recordSpan(int stream, const char* name,
+                           std::int64_t frame, double tMs, double durMs,
+                           int track)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Span;
+    copyName(e.name, name);
+    e.frame = frame;
+    e.tMs = tMs;
+    e.durMs = durMs;
+    e.i0 = track;
+    push(stream, e);
+}
+
+void
+FlightRecorder::recordMetric(int stream, const char* name,
+                             std::int64_t frame, double tMs,
+                             double value)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Metric;
+    copyName(e.name, name);
+    e.frame = frame;
+    e.tMs = tMs;
+    e.a = value;
+    push(stream, e);
+}
+
+void
+FlightRecorder::recordTransition(int stream, const char* reason,
+                                 std::int64_t frame, double tMs,
+                                 int from, int to, const char* fromName,
+                                 const char* toName)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Transition;
+    copyName(e.name, reason);
+    copyName(e.aux, fromName ? fromName : "?");
+    appendName(e.aux, ">");
+    appendName(e.aux, toName ? toName : "?");
+    e.frame = frame;
+    e.tMs = tMs;
+    e.i0 = from;
+    e.i1 = to;
+    push(stream, e);
+}
+
+void
+FlightRecorder::recordAdmission(int stream, const char* action,
+                                std::int64_t frame, double tMs,
+                                double costScale, bool degraded)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Admission;
+    copyName(e.name, action);
+    e.frame = frame;
+    e.tMs = tMs;
+    e.a = costScale;
+    e.i0 = degraded ? 1 : 0;
+    push(stream, e);
+}
+
+void
+FlightRecorder::recordMark(int stream, const char* name,
+                           std::int64_t frame, double tMs, double value)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Mark;
+    copyName(e.name, name);
+    e.frame = frame;
+    e.tMs = tMs;
+    e.a = value;
+    push(stream, e);
+}
+
+void
+FlightRecorder::recordPerf(int stream, const char* name,
+                           std::int64_t frame, double tMs, double durMs,
+                           const PerfDelta& delta)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Perf;
+    copyName(e.name, name);
+    e.frame = frame;
+    e.tMs = tMs;
+    e.durMs = durMs;
+    e.a = delta.taskClockMs;
+    e.b = delta.cycles;
+    e.c = delta.instructions;
+    e.d = delta.llcMisses;
+    e.i0 = delta.hardware ? 1 : 0;
+    push(stream, e);
+}
+
+void
+FlightRecorder::noteDeadlineMiss(int stream, std::int64_t frame,
+                                 double tMs, double e2eMs,
+                                 double overrunMs)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Mark;
+    copyName(e.name, "deadline.miss");
+    e.frame = frame;
+    e.tMs = tMs;
+    e.a = e2eMs;
+    e.b = overrunMs;
+    push(stream, e);
+    triggersSeen_.fetch_add(1, std::memory_order_relaxed);
+    if (params_.dumpOnMiss)
+        autoDump("deadline-miss", frame, stream);
+}
+
+void
+FlightRecorder::noteSafeStop(int stream, std::int64_t frame, double tMs)
+{
+    if (!enabled())
+        return;
+    recordMark(stream, "safe_stop.entered", frame, tMs);
+    triggersSeen_.fetch_add(1, std::memory_order_relaxed);
+    if (params_.dumpOnSafeStop)
+        autoDump("safe-stop", frame, stream);
+}
+
+void
+FlightRecorder::noteFault(int stream, const char* kind,
+                          std::int64_t frame, double tMs)
+{
+    if (!enabled())
+        return;
+    char name[sizeof(FlightEvent{}.name)];
+    copyName(name, "fault.");
+    appendName(name, kind ? kind : "?");
+    recordMark(stream, name, frame, tMs);
+    triggersSeen_.fetch_add(1, std::memory_order_relaxed);
+    if (params_.dumpOnFault)
+        autoDump("fault", frame, stream);
+}
+
+void
+FlightRecorder::autoDump(const char* reason, std::int64_t frame,
+                         int stream)
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(configMutex_);
+        if (params_.dumpPath.empty())
+            return;
+        if (dumpsWritten_.load(std::memory_order_relaxed) >=
+            params_.maxAutoDumps)
+            return;
+        path = params_.dumpPath;
+    }
+    dumpNow(path, reason, frame, stream);
+}
+
+std::string
+FlightRecorder::dumpJson(const char* reason, std::int64_t triggerFrame,
+                         int triggerStream) const
+{
+    std::ostringstream os;
+    // Round-trip exact doubles: the validator recomputes span ends
+    // from t_ms + dur_ms, so 6-digit default precision would break
+    // the nesting invariant it checks.
+    os.precision(17);
+    os << "{\n  \"flight\": {\n"
+       << "    \"version\": 1,\n"
+       << "    \"reason\": \"";
+    appendEscaped(os, reason ? reason : "on-demand");
+    os << "\",\n    \"trigger_frame\": " << triggerFrame
+       << ",\n    \"trigger_stream\": " << triggerStream
+       << ",\n    \"streams\": [";
+
+    std::lock_guard<std::mutex> lock(configMutex_);
+    for (std::size_t s = 0; s < rings_.size(); ++s) {
+        const Ring& ring = *rings_[s];
+        std::lock_guard<std::mutex> ringLock(ring.mutex);
+        // Reconstruct insertion order (oldest first), then order by
+        // time with longer spans first so nested spans follow their
+        // containers -- the dump validator leans on this.
+        std::vector<FlightEvent> events;
+        events.reserve(ring.buf.size());
+        const std::size_t n = ring.buf.size();
+        const std::size_t head = n < params_.capacity
+                                     ? 0
+                                     : static_cast<std::size_t>(
+                                           ring.total %
+                                           params_.capacity);
+        for (std::size_t i = 0; i < n; ++i)
+            events.push_back(ring.buf[(head + i) % n]);
+        std::stable_sort(events.begin(), events.end(),
+                         [](const FlightEvent& a, const FlightEvent& b) {
+                             if (a.tMs != b.tMs)
+                                 return a.tMs < b.tMs;
+                             return a.durMs > b.durMs;
+                         });
+        const std::uint64_t dropped =
+            ring.total - static_cast<std::uint64_t>(n);
+        os << (s ? "," : "") << "\n      {\"stream\": " << s
+           << ", \"recorded\": " << ring.total
+           << ", \"dropped\": " << dropped << ", \"events\": [";
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const FlightEvent& e = events[i];
+            os << (i ? "," : "") << "\n        {\"kind\": \""
+               << flightKindName(e.kind) << "\", \"name\": \"";
+            appendEscaped(os, e.name);
+            os << "\", \"frame\": " << e.frame
+               << ", \"t_ms\": " << e.tMs;
+            switch (e.kind) {
+            case FlightKind::Span:
+                os << ", \"dur_ms\": " << e.durMs
+                   << ", \"track\": " << e.i0;
+                break;
+            case FlightKind::Metric:
+            case FlightKind::Mark:
+                os << ", \"value\": " << e.a;
+                if (e.b != 0.0)
+                    os << ", \"overrun_ms\": " << e.b;
+                break;
+            case FlightKind::Transition:
+                os << ", \"transition\": \"";
+                appendEscaped(os, e.aux);
+                os << "\", \"from\": " << e.i0 << ", \"to\": " << e.i1;
+                break;
+            case FlightKind::Admission:
+                os << ", \"cost_scale\": " << e.a
+                   << ", \"degraded\": " << e.i0;
+                break;
+            case FlightKind::Perf: {
+                const double ipc = e.b > 0.0 ? e.c / e.b : 0.0;
+                os << ", \"dur_ms\": " << e.durMs
+                   << ", \"task_clock_ms\": " << e.a
+                   << ", \"cycles\": " << e.b
+                   << ", \"instructions\": " << e.c
+                   << ", \"llc_misses\": " << e.d
+                   << ", \"ipc\": " << ipc
+                   << ", \"hardware\": " << e.i0;
+                break;
+            }
+            }
+            os << "}";
+        }
+        os << "\n      ]}";
+    }
+    os << "\n    ]\n  }\n}\n";
+    return os.str();
+}
+
+bool
+FlightRecorder::dumpNow(const std::string& path, const char* reason,
+                        std::int64_t triggerFrame, int triggerStream)
+{
+    const std::string doc =
+        dumpJson(reason, triggerFrame, triggerStream);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("FlightRecorder: cannot write dump '", tmp, "'");
+            return false;
+        }
+        out << doc;
+        if (!out) {
+            warn("FlightRecorder: short write to '", tmp, "'");
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("FlightRecorder: cannot rename '", tmp, "' to '", path,
+             "'");
+        return false;
+    }
+    dumpsWritten_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(configMutex_);
+        lastDumpPath_ = path;
+    }
+    std::fprintf(stderr,
+                 "flight: dumped post-mortem (%s, frame %lld) to %s\n",
+                 reason ? reason : "on-demand",
+                 static_cast<long long>(triggerFrame), path.c_str());
+    return true;
+}
+
+int
+FlightRecorder::dumpsWritten() const
+{
+    return dumpsWritten_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FlightRecorder::triggersSeen() const
+{
+    return triggersSeen_.load(std::memory_order_relaxed);
+}
+
+std::string
+FlightRecorder::lastDumpPath() const
+{
+    std::lock_guard<std::mutex> lock(configMutex_);
+    return lastDumpPath_;
+}
+
+std::size_t
+FlightRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(configMutex_);
+    std::size_t n = 0;
+    for (const auto& ring : rings_) {
+        std::lock_guard<std::mutex> ringLock(ring->mutex);
+        n += ring->buf.size();
+    }
+    return n;
+}
+
+std::uint64_t
+FlightRecorder::droppedEvents(int stream) const
+{
+    std::lock_guard<std::mutex> lock(configMutex_);
+    if (stream < 0 || stream >= static_cast<int>(rings_.size()))
+        return 0;
+    const Ring& ring = *rings_[static_cast<std::size_t>(stream)];
+    std::lock_guard<std::mutex> ringLock(ring.mutex);
+    return ring.total - static_cast<std::uint64_t>(ring.buf.size());
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(configMutex_);
+    for (auto& ring : rings_) {
+        std::lock_guard<std::mutex> ringLock(ring->mutex);
+        ring->buf.clear();
+        ring->total = 0;
+    }
+}
+
+} // namespace ad::obs

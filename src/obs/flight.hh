@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Flight recorder: always-on, bounded-memory post-mortem capture.
+ *
+ * The paper's 100 ms tail bound is only enforceable when a miss is
+ * *diagnosable*: by the time a p99.99 outlier shows up in a summary,
+ * the frame that caused it is long gone. The flight recorder keeps a
+ * fixed-capacity ring of recent events per stream -- trace spans,
+ * metric deltas, governor transitions, admission decisions, perf
+ * samples -- and dumps them as JSON the moment something goes wrong
+ * (deadline miss, SAFE_STOP entry, fault-injector event) or on
+ * demand (`--flight-dump`). The dump holds exactly the context the
+ * aggregate quantiles discard: what the missing frame's stages cost,
+ * what mode the governor was in, what admission decided around it.
+ *
+ * Hot-path contract: events are fixed-size PODs (names copied into
+ * inline char arrays), rings are preallocated at configure() time,
+ * and record sites are gated on one relaxed atomic load -- recording
+ * neither allocates nor touches anything the engines read, so
+ * pipeline outputs are bitwise-identical with the recorder on or
+ * off. Producers stamp events with their own timeline (the serving
+ * layer's virtual clock, the pipeline's virtual frame timeline), so
+ * dumps from deterministic runs are deterministic too.
+ */
+
+#ifndef AD_OBS_FLIGHT_HH
+#define AD_OBS_FLIGHT_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/perf.hh"
+
+namespace ad::obs {
+
+/** Event taxonomy of the flight ring. */
+enum class FlightKind
+{
+    Span = 0,   ///< a completed span (mirrors a trace span).
+    Metric,     ///< one scalar observation ("e2e_ms", ...).
+    Transition, ///< a governor mode transition.
+    Admission,  ///< an admission decision (admit/coast/shed).
+    Mark,       ///< a point event (fault fired, deadline miss, ...).
+    Perf,       ///< a perf-counter delta over a span.
+};
+
+/** Written-contract kind name ("span", ..., "perf"). */
+const char* flightKindName(FlightKind kind);
+
+/**
+ * One ring entry. Fixed-size POD: pushing an event is two bounded
+ * string copies and a struct store under the ring's mutex -- no
+ * allocation ever. Field meaning varies by kind (see the JSON
+ * schema in docs/TRACING.md).
+ */
+struct FlightEvent
+{
+    FlightKind kind = FlightKind::Mark;
+    char name[24] = {};  ///< span/metric/mark name or decision.
+    char aux[32] = {};   ///< transitions: "FROM>TO"; else unused.
+    std::int64_t frame = -1; ///< frame / sequence number.
+    double tMs = 0.0;    ///< event time on the producer's timeline.
+    double durMs = 0.0;  ///< spans and perf: duration; else 0.
+    double a = 0.0;      ///< kind-specific payload (value, cost...).
+    double b = 0.0;      ///< kind-specific payload.
+    double c = 0.0;      ///< kind-specific payload.
+    double d = 0.0;      ///< kind-specific payload.
+    std::int32_t i0 = 0; ///< kind-specific payload (track, from...).
+    std::int32_t i1 = 0; ///< kind-specific payload (to-mode, ...).
+};
+
+/** Flight-recorder configuration (see obs.hh for the CLI knobs). */
+struct FlightParams
+{
+    int streams = 1;             ///< ring count (stream 0 = pipeline).
+    std::size_t capacity = 1024; ///< events retained per stream.
+    std::string dumpPath;        ///< auto/post-mortem dump location.
+    int maxAutoDumps = 1;        ///< rate limit on trigger dumps.
+    bool dumpOnMiss = true;      ///< trigger on deadline miss.
+    bool dumpOnSafeStop = true;  ///< trigger on SAFE_STOP entry.
+    bool dumpOnFault = false;    ///< trigger on fault-injector events.
+};
+
+/**
+ * The recorder: per-stream bounded rings plus trigger bookkeeping.
+ * One process-wide instance (like the tracer and metric registry);
+ * configure() is called once at tool setup and may be called again
+ * between runs (it drops recorded events).
+ */
+class FlightRecorder
+{
+  public:
+    FlightRecorder();
+
+    /** The process-wide recorder used by all instrumentation sites. */
+    static FlightRecorder& instance();
+
+    /** (Re)allocate rings and arm triggers; clears prior events. */
+    void configure(const FlightParams& params);
+
+    /** Grow the ring set to at least `streams` rings. */
+    void ensureStreams(int streams);
+
+    /** Master switch; disabled recorders ignore every event. */
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** True when record sites should push events. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** The active configuration. */
+    const FlightParams& params() const { return params_; }
+
+    /** Wall milliseconds since the recorder's construction epoch. */
+    double nowMs() const;
+
+    /** Record one completed span on `track` of `stream`'s timeline. */
+    void recordSpan(int stream, const char* name, std::int64_t frame,
+                    double tMs, double durMs, int track = 0);
+
+    /** Record one scalar observation. */
+    void recordMetric(int stream, const char* name, std::int64_t frame,
+                      double tMs, double value);
+
+    /**
+     * Record a governor transition. `fromName`/`toName` are the
+     * written-contract mode names; `from`/`to` their enum values.
+     */
+    void recordTransition(int stream, const char* reason,
+                          std::int64_t frame, double tMs, int from,
+                          int to, const char* fromName,
+                          const char* toName);
+
+    /**
+     * Record an admission decision (`action` = "admit" / "coast" /
+     * "shed"), with the engine cost scale it was admitted at.
+     */
+    void recordAdmission(int stream, const char* action,
+                         std::int64_t frame, double tMs,
+                         double costScale, bool degraded);
+
+    /** Record a point event with an optional scalar payload. */
+    void recordMark(int stream, const char* name, std::int64_t frame,
+                    double tMs, double value = 0.0);
+
+    /** Record a perf-counter delta covering [tMs, tMs + durMs]. */
+    void recordPerf(int stream, const char* name, std::int64_t frame,
+                    double tMs, double durMs, const PerfDelta& delta);
+
+    /**
+     * Deadline-miss trigger: records a "deadline.miss" mark carrying
+     * the end-to-end latency and overrun, then auto-dumps when
+     * dumpOnMiss is armed and the dump budget remains.
+     */
+    void noteDeadlineMiss(int stream, std::int64_t frame, double tMs,
+                          double e2eMs, double overrunMs);
+
+    /** SAFE_STOP trigger (same dump policy, dumpOnSafeStop). */
+    void noteSafeStop(int stream, std::int64_t frame, double tMs);
+
+    /** Fault-injector trigger (dump only when dumpOnFault). */
+    void noteFault(int stream, const char* kind, std::int64_t frame,
+                   double tMs);
+
+    /**
+     * Write a dump now, regardless of trigger policy. Events are
+     * written per stream in (t_ms, longer-span-first) order via a
+     * temp file + atomic rename.
+     * @return false (with a warning) when the file cannot be written.
+     */
+    bool dumpNow(const std::string& path, const char* reason,
+                 std::int64_t triggerFrame, int triggerStream);
+
+    /** Dumps written since configure() (auto + on-demand). */
+    int dumpsWritten() const;
+
+    /** Trigger events seen since configure() (dumped or not). */
+    std::uint64_t triggersSeen() const;
+
+    /** Path of the most recent dump; empty when none. */
+    std::string lastDumpPath() const;
+
+    /** Events currently retained across all rings. */
+    std::size_t eventCount() const;
+
+    /** Events evicted from `stream`'s ring since configure(). */
+    std::uint64_t droppedEvents(int stream) const;
+
+    /** Drop all recorded events (rings stay allocated). */
+    void clear();
+
+    /** The dump document as a JSON string (for tests). */
+    std::string dumpJson(const char* reason, std::int64_t triggerFrame,
+                         int triggerStream) const;
+
+  private:
+    /** One stream's bounded ring. */
+    struct Ring
+    {
+        mutable std::mutex mutex;
+        std::vector<FlightEvent> buf; ///< capacity-sized storage.
+        std::uint64_t total = 0;      ///< lifetime pushes.
+    };
+
+    void push(int stream, const FlightEvent& event);
+    void autoDump(const char* reason, std::int64_t frame, int stream);
+
+    std::atomic<bool> enabled_{false};
+    FlightParams params_;
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex configMutex_; ///< guards rings_ vector + dumps.
+    std::vector<std::unique_ptr<Ring>> rings_;
+    std::atomic<int> dumpsWritten_{0};
+    std::atomic<std::uint64_t> triggersSeen_{0};
+    std::string lastDumpPath_;
+};
+
+/** The process-wide recorder (shorthand for FlightRecorder::instance). */
+inline FlightRecorder&
+flight()
+{
+    return FlightRecorder::instance();
+}
+
+} // namespace ad::obs
+
+#endif // AD_OBS_FLIGHT_HH

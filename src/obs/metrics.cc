@@ -1,10 +1,26 @@
 #include "obs/metrics.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/thread_pool.hh"
 
 namespace ad::obs {
+
+void
+Histogram::setBounds(std::vector<double> bounds)
+{
+    std::sort(bounds.begin(), bounds.end());
+    std::lock_guard<std::mutex> lock(mutex_);
+    bounds_ = std::move(bounds);
+    if (bounds_.empty()) {
+        bucketCounts_.clear();
+        return;
+    }
+    bucketCounts_.assign(bounds_.size() + 1, 0);
+    for (const double v : recorder_.samples())
+        countInto(v);
+}
 
 MetricRegistry&
 MetricRegistry::instance()
@@ -41,6 +57,23 @@ MetricRegistry::histogram(const std::string& name)
     if (!slot)
         slot = std::make_unique<Histogram>();
     return *slot;
+}
+
+Histogram&
+MetricRegistry::histogram(const std::string& name,
+                          const std::vector<double>& bounds)
+{
+    Histogram* h = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto& slot = histograms_[name];
+        if (!slot)
+            slot = std::make_unique<Histogram>();
+        h = slot.get();
+    }
+    if (!bounds.empty() && h->bounds().empty())
+        h->setBounds(bounds);
+    return *h;
 }
 
 void
@@ -80,6 +113,15 @@ MetricRegistry::merge(const MetricRegistry& other)
         auto& slot = histograms_[name];
         if (!slot)
             slot = std::make_unique<Histogram>();
+        // Bounds are configuration: a target slot that lacks them
+        // (freshly created or freshly reset before the source ever
+        // merged in) adopts the source's, so merge-after-reset keeps
+        // the bucketed shape intact.
+        if (slot->bounds().empty()) {
+            const auto bounds = h->bounds();
+            if (!bounds.empty())
+                slot->setBounds(bounds);
+        }
         slot->mergeFrom(h->snapshot());
     }
 }
@@ -132,7 +174,19 @@ MetricRegistry::jsonDump() const
            << "\": {\"count\": " << s.count << ", \"mean\": " << s.mean
            << ", \"p50\": " << s.p50 << ", \"p95\": " << s.p95
            << ", \"p99\": " << s.p99 << ", \"p9999\": " << s.p9999
-           << ", \"worst\": " << s.worst << "}";
+           << ", \"worst\": " << s.worst;
+        const auto bounds = h->bounds();
+        if (!bounds.empty()) {
+            const auto counts = h->bucketCounts();
+            os << ", \"buckets\": {\"bounds\": [";
+            for (std::size_t i = 0; i < bounds.size(); ++i)
+                os << (i ? ", " : "") << bounds[i];
+            os << "], \"counts\": [";
+            for (std::size_t i = 0; i < counts.size(); ++i)
+                os << (i ? ", " : "") << counts[i];
+            os << "]}";
+        }
+        os << "}";
         first = false;
     }
     os << "\n  }\n}\n";
@@ -143,9 +197,15 @@ void
 MetricRegistry::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    counters_.clear();
-    gauges_.clear();
-    histograms_.clear();
+    // In place, never erasing: references handed out by counter()/
+    // gauge()/histogram() stay valid across reset() (the documented
+    // contract), and histogram bucket bounds survive as configuration.
+    for (auto& [name, c] : counters_)
+        c->reset();
+    for (auto& [name, g] : gauges_)
+        g->set(0.0);
+    for (auto& [name, h] : histograms_)
+        h->reset();
 }
 
 } // namespace ad::obs

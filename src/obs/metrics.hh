@@ -71,7 +71,17 @@ class Gauge
     std::atomic<double> value_{0.0};
 };
 
-/** Thread-safe latency histogram with the paper's quantile summary. */
+/**
+ * Thread-safe latency histogram with the paper's quantile summary.
+ *
+ * Optionally carries fixed bucket bounds (sorted upper edges; one
+ * implicit overflow bucket above the last edge) so exporters can
+ * render a latency distribution without re-deriving edges from the
+ * samples. Bounds are configuration, not data: reset() clears the
+ * recorded samples and counts but keeps the bounds, and registry
+ * merges propagate bounds into freshly created (or freshly reset)
+ * target slots.
+ */
 class Histogram
 {
   public:
@@ -80,6 +90,7 @@ class Histogram
     {
         std::lock_guard<std::mutex> lock(mutex_);
         recorder_.record(v);
+        countInto(v);
     }
 
     /** Merge an externally collected recorder (e.g.\ a stage's). */
@@ -88,6 +99,31 @@ class Histogram
     {
         std::lock_guard<std::mutex> lock(mutex_);
         recorder_.merge(other);
+        for (const double v : other.samples())
+            countInto(v);
+    }
+
+    /**
+     * Install bucket upper bounds (sorted ascending; sorted here if
+     * not). Counts are recomputed from the currently held samples,
+     * so setBounds may be called before or after recording.
+     */
+    void setBounds(std::vector<double> bounds);
+
+    /** Copy of the bucket upper bounds; empty when unbucketed. */
+    std::vector<double>
+    bounds() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return bounds_;
+    }
+
+    /** Per-bucket counts, size bounds()+1 (last = overflow). */
+    std::vector<std::uint64_t>
+    bucketCounts() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return bucketCounts_;
     }
 
     LatencySummary
@@ -112,16 +148,33 @@ class Histogram
         return recorder_.count();
     }
 
+    /** Drop samples and zero bucket counts; bounds are retained. */
     void
     reset()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         recorder_.clear();
+        for (auto& c : bucketCounts_)
+            c = 0;
     }
 
   private:
+    /** Count one sample into its bucket (mutex_ held). */
+    void
+    countInto(double v)
+    {
+        if (bounds_.empty())
+            return;
+        std::size_t b = 0;
+        while (b < bounds_.size() && v > bounds_[b])
+            ++b;
+        ++bucketCounts_[b];
+    }
+
     mutable std::mutex mutex_;
     LatencyRecorder recorder_;
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> bucketCounts_;
 };
 
 /**
@@ -162,6 +215,14 @@ class MetricRegistry
     Histogram& histogram(const std::string& name);
 
     /**
+     * Histogram lookup that also installs bucket bounds on first
+     * use. An existing histogram keeps the bounds it already has
+     * (first writer wins); one without bounds adopts these.
+     */
+    Histogram& histogram(const std::string& name,
+                         const std::vector<double>& bounds);
+
+    /**
      * Snapshot a thread pool's task accounting into gauges under
      * @p prefix: tasks_run, tasks_thrown, peak_queue_depth, workers.
      */
@@ -184,7 +245,13 @@ class MetricRegistry
     /** The same content as a JSON object. */
     std::string jsonDump() const;
 
-    /** Drop all metrics (counters, gauges and histograms). */
+    /**
+     * Zero every metric *in place*: counters to 0, gauges to 0,
+     * histograms emptied with their bucket bounds retained. Metric
+     * objects are never destroyed, upholding the cached-reference
+     * contract above -- a reference obtained before reset() stays
+     * valid (and observes the zeroing) after it.
+     */
     void reset();
 
   private:

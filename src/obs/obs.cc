@@ -32,18 +32,65 @@ setupFromConfig(const Config& cfg)
                       cfg.getBool("obs.metrics", false);
     opt.budgetMs = cfg.getDouble("obs.budget_ms", 100.0);
 
+    opt.flight = cfg.getBool("obs.flight", true);
+    opt.flightFile = cfg.getString("obs.flight_file");
+    if (opt.flightFile.empty())
+        opt.flightFile = "flight.json";
+    const int cap = cfg.getInt("obs.flight_capacity", 1024);
+    opt.flightCapacity =
+        cap > 0 ? static_cast<std::size_t>(cap) : std::size_t{1};
+    opt.flightMaxDumps = cfg.getInt("obs.flight_max_dumps", 1);
+
+    // --flight-dump may carry the output path or be a bare flag; a
+    // bare flag dumps to the auto-dump path.
+    std::string dumpArg = cfg.getString("flight-dump");
+    if (dumpArg == "true")
+        dumpArg.clear();
+    opt.flightDumpAtExit = cfg.has("flight-dump");
+    opt.flightDumpPath = !dumpArg.empty() ? dumpArg : opt.flightFile;
+
+    opt.perfSpans = cfg.getBool("obs.perf", false);
+
+    opt.metricsJsonPath = cfg.getString("metrics-json");
+    if (opt.metricsJsonPath == "true") {
+        warn("--metrics-json needs a file path; snapshots disabled");
+        opt.metricsJsonPath.clear();
+    }
+    opt.metricsJsonIntervalMs =
+        cfg.getDouble("obs.metrics_json_interval_ms", 500.0);
+
     tracer().setEnabled(opt.trace);
     tracer().setNnLayerSpans(opt.traceNnLayers);
-    metrics().setEnabled(opt.metricsDump);
+    tracer().setPerfSpans(opt.perfSpans);
+    metrics().setEnabled(opt.metricsDump || !opt.metricsJsonPath.empty());
+
+    FlightParams fp;
+    fp.capacity = opt.flightCapacity;
+    fp.dumpPath = opt.flightFile;
+    fp.maxAutoDumps = opt.flightMaxDumps;
+    flight().configure(fp);
+    flight().setEnabled(opt.flight);
     return opt;
 }
 
 std::vector<std::string>
 knownConfigKeys()
 {
-    return {"trace",       "metrics",        "obs.trace",
-            "obs.trace_file", "obs.trace_nn", "obs.metrics",
-            "obs.budget_ms"};
+    return {"trace",
+            "metrics",
+            "obs.trace",
+            "obs.trace_file",
+            "obs.trace_nn",
+            "obs.metrics",
+            "obs.budget_ms",
+            "obs.flight",
+            "obs.flight_file",
+            "obs.flight_capacity",
+            "obs.flight_max_dumps",
+            "flight-dump",
+            "obs.perf",
+            "metrics-json",
+            "obs.metrics_json_interval_ms"};
 }
 
 void
@@ -57,6 +104,8 @@ finish(const ObsOptions& options)
                          "(open in chrome://tracing or Perfetto)\n",
                          rec.eventCount(), options.traceFile.c_str());
     }
+    if (options.flightDumpAtExit)
+        flight().dumpNow(options.flightDumpPath, "on-demand", -1, -1);
     if (options.metricsDump) {
         metrics().captureThreadPool("thread_pool.shared",
                                     sharedWorkerPool());

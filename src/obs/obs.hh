@@ -11,9 +11,17 @@
  *   --obs.trace_nn    also emit per-NN-layer spans (off by default)
  *   --obs.metrics     bool knob form of --metrics
  *   --obs.budget_ms   deadline watchdog budget (default 100)
+ *   --obs.flight      flight recorder master switch (default on)
+ *   --obs.flight_file      post-mortem dump path (default flight.json)
+ *   --obs.flight_capacity  events retained per stream (default 1024)
+ *   --obs.flight_max_dumps auto-dump budget per run (default 1)
+ *   --flight-dump [file]   also dump the flight rings at exit
+ *   --obs.perf        sample perf counters over trace spans
+ *   --metrics-json <file>  periodic live metrics snapshot target
+ *   --obs.metrics_json_interval_ms  min ms between snapshots (500)
  *
- * -- and finish() at the end of the run to write the trace file and
- * print the metrics dump to stderr.
+ * -- and finish() at the end of the run to write the trace file,
+ * honor --flight-dump and print the metrics dump to stderr.
  */
 
 #ifndef AD_OBS_OBS_HH
@@ -23,7 +31,10 @@
 #include <vector>
 
 #include "obs/deadline.hh"
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
+#include "obs/perf.hh"
+#include "obs/snapshot.hh"
 #include "obs/trace.hh"
 
 namespace ad {
@@ -41,7 +52,23 @@ struct ObsOptions
     bool metricsDump = false;
     double budgetMs = 100.0;
 
-    bool any() const { return trace || metricsDump; }
+    bool flight = true;       ///< flight recorder armed (always-on).
+    std::string flightFile;   ///< auto/post-mortem dump path.
+    std::size_t flightCapacity = 1024; ///< events per stream ring.
+    int flightMaxDumps = 1;   ///< auto-dump budget.
+    bool flightDumpAtExit = false; ///< --flight-dump given.
+    std::string flightDumpPath; ///< --flight-dump target (or default).
+
+    bool perfSpans = false;   ///< sample perf counters over spans.
+
+    std::string metricsJsonPath; ///< live snapshot target; "" = off.
+    double metricsJsonIntervalMs = 500.0; ///< snapshot cadence.
+
+    /** True when finish() has end-of-run output to produce. */
+    bool any() const
+    {
+        return trace || metricsDump || flightDumpAtExit;
+    }
 };
 
 /**

@@ -1,0 +1,256 @@
+#include "obs/perf.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "obs/metrics.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ad::obs {
+
+namespace {
+
+/** Thread CPU time in nanoseconds (the portable fallback clock). */
+std::uint64_t
+threadCpuNs()
+{
+    timespec ts{};
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+#else
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+        return 0;
+#endif
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+#if defined(__linux__)
+/** Open one per-thread counting fd; -1 on any failure. */
+int
+openCounter(std::uint32_t type, std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    const long fd = syscall(SYS_perf_event_open, &attr, 0 /* self */,
+                            -1 /* any cpu */, -1 /* no group */, 0);
+    return static_cast<int>(fd);
+}
+
+/** Read one counter value; false when the read fails. */
+bool
+readCounter(int fd, std::uint64_t* value)
+{
+    if (fd < 0)
+        return false;
+    std::uint64_t v = 0;
+    if (::read(fd, &v, sizeof(v)) != sizeof(v))
+        return false;
+    *value = v;
+    return true;
+}
+#endif
+
+/**
+ * Per-thread counter file descriptors, opened on the thread's first
+ * read() and closed when the thread exits. `cycles` and
+ * `instructions` must both open for the thread to count as having
+ * hardware counters (IPC needs the pair); `llcMisses` is optional
+ * (some VMs expose cycles but not cache events).
+ */
+struct PerfThread
+{
+    bool opened = false;
+    int taskClockFd = -1;
+    int cyclesFd = -1;
+    int instructionsFd = -1;
+    int llcMissesFd = -1;
+    bool hardware = false;
+
+    void
+    open()
+    {
+        opened = true;
+        if (PerfSampler::forcedOff())
+            return;
+#if defined(__linux__)
+        taskClockFd = openCounter(PERF_TYPE_SOFTWARE,
+                                  PERF_COUNT_SW_TASK_CLOCK);
+        cyclesFd = openCounter(PERF_TYPE_HARDWARE,
+                               PERF_COUNT_HW_CPU_CYCLES);
+        instructionsFd = openCounter(PERF_TYPE_HARDWARE,
+                                     PERF_COUNT_HW_INSTRUCTIONS);
+        llcMissesFd = openCounter(PERF_TYPE_HARDWARE,
+                                  PERF_COUNT_HW_CACHE_MISSES);
+        hardware = cyclesFd >= 0 && instructionsFd >= 0;
+        if (!hardware) {
+            // Partial hardware support is reported as none: an IPC
+            // from one live counter would be fabricated.
+            close(cyclesFd);
+            close(instructionsFd);
+            cyclesFd = instructionsFd = -1;
+            close(llcMissesFd);
+            llcMissesFd = -1;
+        }
+#endif
+    }
+
+    void
+    close(int& fd)
+    {
+#if defined(__linux__)
+        if (fd >= 0)
+            ::close(fd);
+#endif
+        fd = -1;
+    }
+
+    ~PerfThread()
+    {
+        close(taskClockFd);
+        close(cyclesFd);
+        close(instructionsFd);
+        close(llcMissesFd);
+    }
+};
+
+PerfThread&
+perfThread()
+{
+    thread_local PerfThread t;
+    return t;
+}
+
+/**
+ * Per-thread table of the most recent published delta per span name.
+ * Fixed capacity: the instrumented span names are the five pipeline
+ * stages plus FRAME; extra names simply stop being retained.
+ */
+struct LatestDeltaTable
+{
+    static constexpr std::size_t kSlots = 16;
+    static constexpr std::size_t kNameLen = 24;
+    char names[kSlots][kNameLen] = {};
+    PerfDelta deltas[kSlots];
+    std::size_t used = 0;
+
+    PerfDelta*
+    slotFor(const char* name, bool createIfMissing)
+    {
+        for (std::size_t i = 0; i < used; ++i)
+            if (std::strncmp(names[i], name, kNameLen) == 0)
+                return &deltas[i];
+        if (!createIfMissing || used == kSlots)
+            return nullptr;
+        std::strncpy(names[used], name, kNameLen - 1);
+        names[used][kNameLen - 1] = '\0';
+        return &deltas[used++];
+    }
+};
+
+LatestDeltaTable&
+latestTable()
+{
+    thread_local LatestDeltaTable table;
+    return table;
+}
+
+} // namespace
+
+bool
+PerfSampler::forcedOff()
+{
+    // Read once per process: flipping the env var mid-run would give
+    // readings from two different worlds within one span.
+    static const bool off = [] {
+        const char* v = std::getenv("AD_PERF_DISABLE");
+        return v && v[0] == '1';
+    }();
+    return off;
+}
+
+bool
+PerfSampler::threadHasHardware()
+{
+    return perfThread().hardware;
+}
+
+PerfSampler::Reading
+PerfSampler::read()
+{
+    PerfThread& t = perfThread();
+    if (!t.opened)
+        t.open();
+    Reading r;
+#if defined(__linux__)
+    if (t.hardware) {
+        r.hardware = readCounter(t.cyclesFd, &r.cycles) &&
+                     readCounter(t.instructionsFd, &r.instructions);
+        readCounter(t.llcMissesFd, &r.llcMisses);
+    }
+    if (!readCounter(t.taskClockFd, &r.taskClockNs))
+        r.taskClockNs = threadCpuNs();
+#else
+    r.taskClockNs = threadCpuNs();
+#endif
+    if (!r.hardware)
+        r.cycles = r.instructions = r.llcMisses = 0;
+    return r;
+}
+
+PerfDelta
+PerfSampler::delta(const Reading& start, const Reading& end)
+{
+    PerfDelta d;
+    d.taskClockMs =
+        static_cast<double>(end.taskClockNs - start.taskClockNs) / 1e6;
+    d.hardware = start.hardware && end.hardware;
+    if (d.hardware) {
+        d.cycles = static_cast<double>(end.cycles - start.cycles);
+        d.instructions =
+            static_cast<double>(end.instructions - start.instructions);
+        d.llcMisses =
+            static_cast<double>(end.llcMisses - start.llcMisses);
+    }
+    return d;
+}
+
+void
+publishPerfDelta(const char* name, const PerfDelta& d)
+{
+    if (PerfDelta* slot = latestTable().slotFor(name, true))
+        *slot = d;
+    if (metricsEnabled()) {
+        auto& reg = metrics();
+        const std::string prefix = std::string("perf.") + name;
+        reg.histogram(prefix + ".task_clock_ms").record(d.taskClockMs);
+        if (d.hardware) {
+            reg.histogram(prefix + ".ipc").record(d.ipc());
+            reg.histogram(prefix + ".llc_mpki")
+                .record(d.missesPerKiloInstr());
+        }
+        reg.gauge("perf.hardware").set(d.hardware ? 1.0 : 0.0);
+    }
+}
+
+const PerfDelta*
+latestPerfDelta(const char* name)
+{
+    return latestTable().slotFor(name, false);
+}
+
+} // namespace ad::obs

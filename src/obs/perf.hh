@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hardware performance-counter sampling for trace spans. The paper's
+ * characterization (Section 5) attributes stage latency to the
+ * microarchitecture -- cycles burned, instructions retired, cache
+ * behavior -- not just wall time; PerfSampler brings that view into
+ * the reproduction. Each sampling thread lazily opens a small set of
+ * per-thread `perf_event_open` counters (task-clock, cycles,
+ * instructions, LLC misses, counting this thread only) and TraceSpan
+ * reads them at span begin/end so per-stage IPC and cache-miss rates
+ * land in the Chrome trace, the metrics registry and the flight
+ * recorder.
+ *
+ * Portability contract: when `perf_event_open` is unavailable --
+ * locked-down containers (perf_event_paranoid), non-Linux hosts, or
+ * an explicit `AD_PERF_DISABLE=1` -- the sampler silently falls back
+ * to CLOCK_THREAD_CPUTIME_ID: task-clock stays exact, the hardware
+ * columns read zero, and PerfDelta::hardware reports which world the
+ * numbers came from. Nothing in the pipeline behaves differently
+ * either way; sampling only ever observes.
+ */
+
+#ifndef AD_OBS_PERF_HH
+#define AD_OBS_PERF_HH
+
+#include <cstdint>
+
+namespace ad::obs {
+
+/** Counter deltas over one sampled interval (one trace span). */
+struct PerfDelta
+{
+    double taskClockMs = 0.0; ///< CPU time this thread ran, ms.
+    double cycles = 0.0;      ///< core cycles (0 when unavailable).
+    double instructions = 0.0; ///< instructions retired (0 when n/a).
+    double llcMisses = 0.0;   ///< last-level cache misses (0 when n/a).
+    bool hardware = false;    ///< true when the HW counters are real.
+
+    /** Instructions per cycle; 0 when cycles were not counted. */
+    double
+    ipc() const
+    {
+        return cycles > 0.0 ? instructions / cycles : 0.0;
+    }
+
+    /** LLC misses per thousand instructions; 0 when not counted. */
+    double
+    missesPerKiloInstr() const
+    {
+        return instructions > 0.0 ? 1000.0 * llcMisses / instructions
+                                  : 0.0;
+    }
+};
+
+/**
+ * Per-thread counter access. All state lives in thread-local storage
+ * (the perf fds count the calling thread only), so read() is
+ * lock-free and two pipeline worker threads never share a counter.
+ */
+class PerfSampler
+{
+  public:
+    /** Raw counter values at one instant (deltas via delta()). */
+    struct Reading
+    {
+        std::uint64_t taskClockNs = 0; ///< thread CPU time, ns.
+        std::uint64_t cycles = 0;       ///< raw cycle count.
+        std::uint64_t instructions = 0; ///< raw instruction count.
+        std::uint64_t llcMisses = 0;    ///< raw LLC miss count.
+        bool hardware = false; ///< hardware counters were live.
+    };
+
+    /**
+     * Sample the calling thread's counters, opening them on first
+     * use. Falls back to CLOCK_THREAD_CPUTIME_ID when perf events
+     * cannot be opened (never retried after the first failure).
+     */
+    static Reading read();
+
+    /** Counter deltas between two readings of the same thread. */
+    static PerfDelta delta(const Reading& start, const Reading& end);
+
+    /** True when AD_PERF_DISABLE=1 forces the portable fallback. */
+    static bool forcedOff();
+
+    /**
+     * True when the calling thread's hardware group is live (only
+     * meaningful after the thread's first read()).
+     */
+    static bool threadHasHardware();
+};
+
+/**
+ * Publish one span's counter delta: per-stage IPC / miss-rate /
+ * task-clock histograms into the metric registry (when metrics are
+ * enabled). Also retains the delta in a small per-thread table keyed
+ * by span name so the pipeline can re-emit stage deltas on its own
+ * virtual timeline into the flight recorder -- see
+ * latestPerfDelta().
+ *
+ * @param name span name ("DET", "FRAME", ...).
+ * @param d    the sampled delta.
+ */
+void publishPerfDelta(const char* name, const PerfDelta& d);
+
+/**
+ * The calling thread's most recent delta published under `name`, or
+ * nullptr when none has been. Pointers stay valid for the thread's
+ * lifetime; contents are overwritten by the next publish under the
+ * same name.
+ */
+const PerfDelta* latestPerfDelta(const char* name);
+
+} // namespace ad::obs
+
+#endif // AD_OBS_PERF_HH

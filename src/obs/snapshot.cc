@@ -1,0 +1,60 @@
+#include "obs/snapshot.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ad::obs {
+
+MetricsSnapshotter::MetricsSnapshotter(const MetricRegistry& registry,
+                                       const SnapshotOptions& options)
+    : registry_(registry), options_(options)
+{
+}
+
+bool
+MetricsSnapshotter::maybeWrite(double nowMs)
+{
+    if (options_.path.empty())
+        return false;
+    if (written_ > 0 && nowMs - lastWriteMs_ < options_.intervalMs)
+        return false;
+    return writeNow(nowMs);
+}
+
+bool
+MetricsSnapshotter::writeNow(double nowMs)
+{
+    if (options_.path.empty())
+        return false;
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"ad.metrics.v1\",\n  \"seq\": "
+       << written_ << ",\n  \"now_ms\": " << nowMs
+       << ",\n  \"metrics\": " << registry_.jsonDump() << "}\n";
+
+    const std::string tmp = options_.path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("MetricsSnapshotter: cannot write '", tmp, "'");
+            return false;
+        }
+        out << os.str();
+        if (!out) {
+            warn("MetricsSnapshotter: short write to '", tmp, "'");
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) {
+        warn("MetricsSnapshotter: cannot rename '", tmp, "' to '",
+             options_.path, "'");
+        return false;
+    }
+    lastWriteMs_ = nowMs;
+    ++written_;
+    return true;
+}
+
+} // namespace ad::obs

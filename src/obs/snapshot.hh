@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Periodic metrics snapshot exporter. Tools run for minutes; the
+ * end-of-run metrics dump tells you what happened only after the
+ * fact. The snapshotter serializes the metric registry to a JSON
+ * file at a fixed interval so external observers (the `adtop` table
+ * renderer, a shell loop, a dashboard scraper) can watch a run live.
+ *
+ * Writes are atomic: the document lands in `<path>.tmp` and is
+ * renamed over the target, so a reader polling the file never sees a
+ * torn snapshot -- it sees the previous complete one or the new
+ * complete one. The snapshot envelope carries a schema tag, a
+ * sequence number and the producer's timestamp, on top of the
+ * registry's own jsonDump() payload.
+ */
+
+#ifndef AD_OBS_SNAPSHOT_HH
+#define AD_OBS_SNAPSHOT_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace ad::obs {
+
+/** Snapshot exporter knobs. */
+struct SnapshotOptions
+{
+    std::string path;          ///< target file; empty disables.
+    double intervalMs = 500.0; ///< min producer time between writes.
+};
+
+/**
+ * Interval-gated snapshot writer over one registry. The caller
+ * supplies the clock (maybeWrite(nowMs)) so snapshots work equally
+ * under wall time (adrun's frame loop) and a single end-of-run
+ * writeNow() (adserve, whose run is virtual-clocked).
+ */
+class MetricsSnapshotter
+{
+  public:
+    /**
+     * @param registry the registry to serialize (must outlive this).
+     * @param options  target path and write interval.
+     */
+    MetricsSnapshotter(const MetricRegistry& registry,
+                       const SnapshotOptions& options);
+
+    /**
+     * Write a snapshot when at least intervalMs has passed since the
+     * last write (the first call always writes).
+     * @param nowMs producer timestamp, any monotonic ms clock.
+     * @return true when a snapshot was written.
+     */
+    bool maybeWrite(double nowMs);
+
+    /** Write a snapshot unconditionally (atomic rename). */
+    bool writeNow(double nowMs);
+
+    /** Snapshots successfully written. */
+    int snapshotsWritten() const { return written_; }
+
+    /** The configured target path. */
+    const std::string& path() const { return options_.path; }
+
+  private:
+    const MetricRegistry& registry_;
+    SnapshotOptions options_;
+    double lastWriteMs_ = 0.0;
+    int written_ = 0;
+};
+
+} // namespace ad::obs
+
+#endif // AD_OBS_SNAPSHOT_HH

@@ -109,7 +109,22 @@ TraceRecorder::record(std::string name, const char* category,
     ThreadBuffer& buf = localBuffer();
     std::lock_guard<std::mutex> lock(buf.mutex);
     buf.events.push_back({std::move(name), category, frame, buf.tid,
-                          startUs, durUs});
+                          startUs, durUs, false, PerfDelta{}});
+}
+
+void
+TraceRecorder::recordWithPerf(std::string name, const char* category,
+                              double startUs, double durUs,
+                              std::int64_t frame, const PerfDelta& perf)
+{
+    if (!enabled())
+        return;
+    if (frame == INT64_MIN)
+        frame = currentFrame();
+    ThreadBuffer& buf = localBuffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back({std::move(name), category, frame, buf.tid,
+                          startUs, durUs, true, perf});
 }
 
 std::size_t
@@ -169,7 +184,17 @@ TraceRecorder::chromeTraceJson() const
         appendJsonEscaped(os, e.category);
         os << "\",\"ph\":\"X\",\"ts\":" << e.startUs
            << ",\"dur\":" << e.durUs << ",\"pid\":1,\"tid\":" << e.tid
-           << ",\"args\":{\"frame\":" << e.frame << "}}";
+           << ",\"args\":{\"frame\":" << e.frame;
+        if (e.hasPerf) {
+            os << ",\"task_clock_ms\":" << e.perf.taskClockMs
+               << ",\"hw\":" << (e.perf.hardware ? 1 : 0);
+            if (e.perf.hardware)
+                os << ",\"ipc\":" << e.perf.ipc()
+                   << ",\"llc_mpki\":" << e.perf.missesPerKiloInstr()
+                   << ",\"cycles\":" << e.perf.cycles
+                   << ",\"instructions\":" << e.perf.instructions;
+        }
+        os << "}}";
     }
     os << "\n]}\n";
     return os.str();

@@ -23,12 +23,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/perf.hh"
 
 namespace ad::obs {
 
@@ -41,6 +44,8 @@ struct TraceEvent
     std::uint32_t tid = 0;     ///< small sequential thread id.
     double startUs = 0;        ///< microseconds since recorder epoch.
     double durUs = 0;          ///< span duration in microseconds.
+    bool hasPerf = false;      ///< perf delta sampled for this span.
+    PerfDelta perf;            ///< counter deltas (when hasPerf).
 };
 
 /**
@@ -84,6 +89,22 @@ class TraceRecorder
     }
 
     /**
+     * Opt-in switch for sampling perf counters over spans
+     * (obs.perf). Per-layer NN spans are never sampled -- two
+     * counter reads per layer would perturb what they measure.
+     */
+    void setPerfSpans(bool on)
+    {
+        perfSpans_.store(on, std::memory_order_relaxed);
+    }
+
+    /** True when spans should carry perf-counter deltas. */
+    bool perfSpansEnabled() const
+    {
+        return enabled() && perfSpans_.load(std::memory_order_relaxed);
+    }
+
+    /**
      * Tag subsequent spans with a frame id. The measured pipeline sets
      * this once per processFrame; spans on worker threads inherit it,
      * which is correct because one frame is in flight at a time.
@@ -107,6 +128,11 @@ class TraceRecorder
      */
     void record(std::string name, const char* category, double startUs,
                 double durUs, std::int64_t frame = INT64_MIN);
+
+    /** record() variant carrying a sampled perf-counter delta. */
+    void recordWithPerf(std::string name, const char* category,
+                        double startUs, double durUs, std::int64_t frame,
+                        const PerfDelta& perf);
 
     /** Total spans recorded across all threads. */
     std::size_t eventCount() const;
@@ -139,6 +165,7 @@ class TraceRecorder
 
     std::atomic<bool> enabled_{false};
     std::atomic<bool> nnLayers_{false};
+    std::atomic<bool> perfSpans_{false};
     std::atomic<std::int64_t> frame_{-1};
     /**
      * Distinguishes this recorder from a destroyed one that occupied
@@ -187,9 +214,19 @@ class TraceSpan
 
     ~TraceSpan()
     {
-        if (rec_)
-            rec_->record(std::move(name_), category_, startUs_,
-                         rec_->nowUs() - startUs_, frame_);
+        if (!rec_)
+            return;
+        const double durUs = rec_->nowUs() - startUs_;
+        if (perfOn_) {
+            const PerfDelta d =
+                PerfSampler::delta(perfStart_, PerfSampler::read());
+            publishPerfDelta(name_.c_str(), d);
+            rec_->recordWithPerf(std::move(name_), category_, startUs_,
+                                 durUs, frame_, d);
+        } else {
+            rec_->record(std::move(name_), category_, startUs_, durUs,
+                         frame_);
+        }
     }
 
     TraceSpan(const TraceSpan&) = delete;
@@ -205,6 +242,10 @@ class TraceSpan
         name_ = std::forward<Name>(name);
         category_ = category;
         frame_ = frame;
+        if (rec.perfSpansEnabled() && std::strcmp(category, "nn") != 0) {
+            perfOn_ = true;
+            perfStart_ = PerfSampler::read();
+        }
         startUs_ = rec.nowUs();
     }
 
@@ -213,6 +254,8 @@ class TraceSpan
     const char* category_ = "";
     std::int64_t frame_ = INT64_MIN;
     double startUs_ = 0;
+    bool perfOn_ = false;
+    PerfSampler::Reading perfStart_;
 };
 
 } // namespace ad::obs

@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.hh"
 
 #include "common/time.hh"
+#include "obs/flight.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sensors/corruption.hh"
@@ -258,6 +259,78 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
     deadline_.observe(frameId, sample);
     if (governor_)
         governor_->observe(frameId, sample);
+
+    // Flight recorder: the frame's history on the pipeline's virtual
+    // timeline (ms of simulated time), so a deterministic run yields
+    // a deterministic post-mortem. Purely observational -- nothing
+    // the engines read is touched.
+    auto& fl = obs::flight();
+    if (fl.enabled()) {
+        const double t0 = time_ * 1000.0;
+        const double e2e = out.latencies.endToEndMs();
+        const double perception = std::max(
+            out.latencies.locMs,
+            out.latencies.detMs + out.latencies.traMs);
+        // DET->TRA chain on track 1, LOC on track 2: the parallel
+        // perception branches partially overlap on the shared
+        // timeline, so each branch nests on its own track.
+        const struct
+        {
+            const char* name;
+            double start;
+            double dur;
+            int track;
+        } spans[] = {
+            {"FRAME", t0, e2e, 0},
+            {"DET", t0, out.latencies.detMs, 1},
+            {"TRA", t0 + out.latencies.detMs, out.latencies.traMs, 1},
+            {"LOC", t0, out.latencies.locMs, 2},
+            {"FUSION", t0 + perception, out.latencies.fusionMs, 0},
+            {"MOTPLAN", t0 + perception + out.latencies.fusionMs,
+             out.latencies.motPlanMs, 0},
+        };
+        const bool perfOn = tracerRef.perfSpansEnabled();
+        for (const auto& sp : spans) {
+            fl.recordSpan(0, sp.name, frameId, sp.start, sp.dur,
+                          sp.track);
+            // Re-emit the wall-clock perf delta sampled over this
+            // stage's trace span at the stage's virtual position.
+            if (perfOn)
+                if (const obs::PerfDelta* d =
+                        obs::latestPerfDelta(sp.name))
+                    fl.recordPerf(0, sp.name, frameId, sp.start,
+                                  sp.dur, *d);
+        }
+        fl.recordMetric(0, "e2e_ms", frameId, t0, e2e);
+        if (fault.dropFrame)
+            fl.noteFault(0, "drop_frame", frameId, t0);
+        if (fault.detFail)
+            fl.noteFault(0, "det_fail", frameId, t0);
+        if (fault.locFail)
+            fl.noteFault(0, "loc_fail", frameId, t0);
+        if (fault.traFail)
+            fl.noteFault(0, "tra_fail", frameId, t0);
+        if (fault.blackout)
+            fl.noteFault(0, "blackout", frameId, t0);
+        if (fault.noiseSigma > 0)
+            fl.noteFault(0, "pixel_noise", frameId, t0);
+        if (governor_) {
+            const auto& tx = governor_->transitions();
+            for (; govTransitionsSeen_ < tx.size();
+                 ++govTransitionsSeen_) {
+                const auto& t = tx[govTransitionsSeen_];
+                fl.recordTransition(0, t.reason.c_str(), t.frame, t0,
+                                    static_cast<int>(t.from),
+                                    static_cast<int>(t.to),
+                                    modeName(t.from), modeName(t.to));
+                if (t.to == OperatingMode::SafeStop)
+                    fl.noteSafeStop(0, t.frame, t0);
+            }
+        }
+        if (e2e > params_.deadline.budgetMs)
+            fl.noteDeadlineMiss(0, frameId, t0 + e2e, e2e,
+                                e2e - params_.deadline.budgetMs);
+    }
 
     if (obs::metricsEnabled()) {
         auto& reg = obs::metrics();

@@ -268,6 +268,8 @@ class Pipeline
     obs::DeadlineMonitor deadline_;
     double time_ = 0;
     std::int64_t frameIndex_ = 0;
+    /** Governor transitions already copied to the flight recorder. */
+    std::size_t govTransitionsSeen_ = 0;
 };
 
 } // namespace ad::pipeline

@@ -11,6 +11,7 @@
 #include "common/time.hh"
 #include "nn/kernel_context.hh"
 #include "nn/network.hh"
+#include "obs/flight.hh"
 
 namespace ad::serve {
 
@@ -111,6 +112,18 @@ ServeReport::toString() const
                    static_cast<pipeline::OperatingMode>(m))
             << '=' << framesInMode[m];
     oss << '\n';
+    if (!streamSlo.empty()) {
+        double worstP99 = -1.0, maxBurn = 0.0, meanGoodput = 0.0;
+        for (const auto& s : streamSlo) {
+            worstP99 = std::max(worstP99, s.p99Ms);
+            maxBurn = std::max(maxBurn, s.burnRate);
+            meanGoodput += s.goodputRatio;
+        }
+        meanGoodput /= static_cast<double>(streamSlo.size());
+        oss << "  slo: worst window p99 " << worstP99
+            << " ms, max burn rate " << maxBurn
+            << ", mean goodput ratio " << meanGoodput << '\n';
+    }
     return oss.str();
 }
 
@@ -153,8 +166,11 @@ MultiStreamServer::MultiStreamServer(const ServeParams& params,
         StreamParams sp = params.stream;
         if (params.stagger)
             sp.phaseMs = sp.framePeriodMs * i / params.streams;
-        registry_.addStream(sp, params.governor);
+        registry_.addStream(sp, params.governor, params.slo);
     }
+    // One flight ring per stream so a post-mortem isolates the
+    // misbehaving vehicle's recent history.
+    obs::flight().ensureStreams(params.streams);
 }
 
 ServeReport
@@ -195,10 +211,45 @@ MultiStreamServer::run(std::int64_t framesPerStream)
             Event{at, Event::Kind::EngineCheck, -1, -1, 0.0, false});
     };
 
+    // Governor transitions can land on any stream (pressure
+    // escalation picks the most-slack one), so the flight diff scans
+    // every stream; the no-transition case is one size compare each.
+    std::vector<std::size_t> txSeen(
+        static_cast<std::size_t>(params_.streams), 0);
+    const auto emitTransitions = [&](double now) {
+        auto& fl = obs::flight();
+        if (!fl.enabled())
+            return;
+        for (int i = 0; i < params_.streams; ++i) {
+            const auto& tx = registry_.stream(i).governor.transitions();
+            auto& seen = txSeen[static_cast<std::size_t>(i)];
+            for (; seen < tx.size(); ++seen) {
+                const auto& t = tx[seen];
+                fl.recordTransition(i, t.reason.c_str(), t.frame, now,
+                                    static_cast<int>(t.from),
+                                    static_cast<int>(t.to),
+                                    pipeline::modeName(t.from),
+                                    pipeline::modeName(t.to));
+                if (t.to == pipeline::OperatingMode::SafeStop)
+                    fl.noteSafeStop(i, t.frame, now);
+            }
+        }
+    };
+
     const auto promote = [&](const FrameTicket& ticket, double now) {
         StreamState& s = registry_.stream(ticket.stream);
         const AdmitDecision d = admission_.decide(
             ticket, now, backlogMs(now), params_.batch.maxWaitMs);
+        auto& fl = obs::flight();
+        if (fl.enabled()) {
+            const char* action = d.action == AdmitAction::Shed
+                                     ? "shed"
+                                     : d.action == AdmitAction::Coast
+                                           ? "coast"
+                                           : "admit";
+            fl.recordAdmission(ticket.stream, action, ticket.seq, now,
+                               d.costScale, d.degraded);
+        }
         switch (d.action) {
         case AdmitAction::Shed:
             ++s.stats.shedAdmission;
@@ -237,6 +288,9 @@ MultiStreamServer::run(std::int64_t framesPerStream)
         if (req.degraded)
             --s.stats.degraded;
         ++s.stats.shedLate;
+        obs::flight().recordAdmission(req.ticket.stream, "shed_late",
+                                      req.ticket.seq, now,
+                                      req.costScale, req.degraded);
         s.inFlight = false;
         while (!s.inFlight) {
             const auto next = s.queue.pop();
@@ -351,13 +405,22 @@ MultiStreamServer::run(std::int64_t framesPerStream)
             admission_.onCompletion(
                 FrameTicket{ev.stream, ev.seq, ev.arrivalMs},
                 latency, ev.engineServed);
+            auto& fl = obs::flight();
+            if (fl.enabled())
+                fl.recordSpan(ev.stream,
+                              ev.engineServed ? "serve" : "coast",
+                              ev.seq, ev.arrivalMs, latency);
             if (ev.engineServed) {
                 ++s.stats.completed;
                 admittedRec.record(latency);
-                if (latency > s.params.deadlineMs)
+                if (latency > s.params.deadlineMs) {
                     ++s.stats.missedDeadline;
-                else
+                    fl.noteDeadlineMiss(ev.stream, ev.seq, now,
+                                        latency,
+                                        latency - s.params.deadlineMs);
+                } else {
                     ++onTimeServed;
+                }
             } else if (latency <= s.params.deadlineMs) {
                 ++onTimeCoasted;
             }
@@ -378,11 +441,17 @@ MultiStreamServer::run(std::int64_t framesPerStream)
             break;
         }
         maybeDispatch(now);
+        emitTransitions(now);
     }
 
     ServeReport report;
+    report.streamSlo.reserve(
+        static_cast<std::size_t>(params_.streams));
     for (int i = 0; i < params_.streams; ++i) {
-        const StreamStats& st = registry_.stream(i).stats;
+        StreamState& stream = registry_.stream(i);
+        stream.slo.refresh();
+        report.streamSlo.push_back(stream.slo.snapshot());
+        const StreamStats& st = stream.stats;
         report.framesArrived += st.arrived;
         report.framesAdmitted += st.admitted;
         report.framesDegraded += st.degraded;
@@ -450,6 +519,29 @@ MultiStreamServer::publishMetrics()
         local_
             .gauge(obs::labeled(prefix + ".slack_ms", "stream", id))
             .set(s.slackMs());
+        const SloSnapshot& slo = s.slo.snapshot();
+        local_
+            .gauge(obs::labeled(prefix + ".slo.p50_ms", "stream", id))
+            .set(slo.p50Ms);
+        local_
+            .gauge(obs::labeled(prefix + ".slo.p99_ms", "stream", id))
+            .set(slo.p99Ms);
+        local_
+            .gauge(
+                obs::labeled(prefix + ".slo.p999_ms", "stream", id))
+            .set(slo.p999Ms);
+        local_
+            .gauge(
+                obs::labeled(prefix + ".slo.burn_rate", "stream", id))
+            .set(slo.burnRate);
+        local_
+            .gauge(obs::labeled(prefix + ".slo.goodput_ratio",
+                                "stream", id))
+            .set(slo.goodputRatio);
+        local_
+            .gauge(
+                obs::labeled(prefix + ".slo.miss_rate", "stream", id))
+            .set(slo.missRate);
     }
     if (obs::metricsEnabled())
         obs::metrics().merge(local_);

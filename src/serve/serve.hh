@@ -164,6 +164,8 @@ struct ServeParams
     std::uint64_t seed = 29;
     /** Prefix of metric names ("serve" unless a tool overrides). */
     std::string metricPrefix = "serve";
+    /** Per-stream SLO accounting knobs. */
+    SloParams slo;
 };
 
 /** Aggregate outcome of one serving run. */
@@ -189,6 +191,8 @@ struct ServeReport
     /** Frames spent in each governor mode, summed over streams. */
     std::array<std::uint64_t, pipeline::kOperatingModeCount>
         framesInMode{};
+    /** Final per-stream SLO snapshots, indexed by stream id. */
+    std::vector<SloSnapshot> streamSlo;
 
     /** Multi-line human-readable summary. */
     std::string toString() const;

@@ -1,0 +1,67 @@
+#include "serve/slo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ad::serve {
+
+StreamSlo::StreamSlo(const SloParams& params, double deadlineMs)
+    : params_(params),
+      budgetMs_(params.budgetMs > 0.0 ? params.budgetMs : deadlineMs),
+      window_(static_cast<std::size_t>(
+          std::max(1, params.windowFrames)))
+{
+    if (params_.targetMissRate <= 0.0)
+        fatal("StreamSlo: targetMissRate must be positive");
+    if (params_.refreshEvery < 1)
+        params_.refreshEvery = 1;
+}
+
+void
+StreamSlo::observe(double latencyMs, bool goodput)
+{
+    window_.record(latencyMs);
+    ++total_;
+    if (latencyMs > budgetMs_)
+        ++misses_;
+    if (goodput)
+        ++good_;
+    if (++sinceRefresh_ >= params_.refreshEvery) {
+        sinceRefresh_ = 0;
+        refresh();
+    }
+}
+
+void
+StreamSlo::refresh()
+{
+    snap_.window = window_.count();
+    snap_.p50Ms = window_.resolvable(0.50)
+                      ? window_.percentile(0.50)
+                      : WindowedLatencyRecorder::kInsufficientSamples;
+    snap_.p99Ms = window_.resolvable(0.99)
+                      ? window_.percentile(0.99)
+                      : WindowedLatencyRecorder::kInsufficientSamples;
+    snap_.p999Ms = window_.resolvable(0.999)
+                       ? window_.percentile(0.999)
+                       : WindowedLatencyRecorder::kInsufficientSamples;
+    snap_.total = total_;
+    snap_.misses = misses_;
+    snap_.missRate =
+        total_ > 0 ? static_cast<double>(misses_) /
+                         static_cast<double>(total_)
+                   : 0.0;
+    const std::size_t n = window_.count();
+    const double windowMissRate =
+        n > 0 ? static_cast<double>(window_.countAbove(budgetMs_)) /
+                    static_cast<double>(n)
+              : 0.0;
+    snap_.burnRate = windowMissRate / params_.targetMissRate;
+    snap_.goodputRatio =
+        total_ > 0 ? static_cast<double>(good_) /
+                         static_cast<double>(total_)
+                   : 0.0;
+}
+
+} // namespace ad::serve

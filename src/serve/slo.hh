@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-stream SLO accounting. The paper states the constraint per
+ * vehicle -- complete each frame within the latency budget at the
+ * 99.99th percentile -- and a shared machine must therefore track
+ * *each stream's* tail, not a machine-wide aggregate that lets one
+ * starved stream hide inside forty healthy ones.
+ *
+ * StreamSlo keeps a rolling window of recent completion latencies per
+ * stream and derives from it: window percentiles (p50/p99/p99.9, with
+ * an explicit "not enough samples" sentinel instead of a fabricated
+ * tail), the miss-budget burn rate (how fast the stream is spending
+ * its allowed miss fraction -- burn > 1 means the SLO is being
+ * violated *now*, long before the lifetime ratio shows it), and the
+ * goodput ratio (frames served by the engine on time, the number the
+ * operator actually sells).
+ *
+ * Hot-path contract: observe() is a ring store plus a few counter
+ * bumps; the derived snapshot is recomputed every refreshEvery
+ * completions (and on demand), so per-completion cost stays O(1) and
+ * allocation-free after construction.
+ */
+
+#ifndef AD_SERVE_SLO_HH
+#define AD_SERVE_SLO_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace ad::serve {
+
+/** SLO accounting knobs (shared by all streams of a run). */
+struct SloParams
+{
+    int windowFrames = 2048;      ///< completions in the rolling window.
+    double budgetMs = 0.0;        ///< latency budget; 0 = stream deadline.
+    double targetMissRate = 1e-4; ///< allowed miss fraction (p99.99).
+    int refreshEvery = 32;        ///< completions between snapshot refreshes.
+};
+
+/**
+ * Derived SLO state at one refresh point. Percentiles are taken over
+ * the rolling window and report kInsufficientSamples (-1) until the
+ * window holds enough samples to resolve them (see
+ * WindowedLatencyRecorder::minSamplesFor) -- a p99.9 from 40 samples
+ * would be noise dressed as a guarantee.
+ */
+struct SloSnapshot
+{
+    std::size_t window = 0;  ///< samples currently in the window.
+    double p50Ms = -1.0;     ///< window median (-1 until resolvable).
+    double p99Ms = -1.0;     ///< window p99 (-1 until resolvable).
+    double p999Ms = -1.0;    ///< window p99.9 (-1 until resolvable).
+    double missRate = 0.0;   ///< lifetime miss fraction.
+    double burnRate = 0.0;   ///< window miss rate / target miss rate.
+    double goodputRatio = 0.0; ///< lifetime on-time engine-served share.
+    std::uint64_t misses = 0;  ///< lifetime completions past budget.
+    std::uint64_t total = 0;   ///< lifetime completions observed.
+};
+
+/**
+ * One stream's SLO accountant: rolling latency window plus lifetime
+ * counters, with a cached snapshot refreshed every refreshEvery
+ * completions so readers (admission slack, metrics gauges) never pay
+ * the percentile sort on the completion path.
+ */
+class StreamSlo
+{
+  public:
+    /**
+     * @param params   shared knobs.
+     * @param deadlineMs the stream's deadline, used as the budget
+     *                   when params.budgetMs is 0.
+     */
+    StreamSlo(const SloParams& params, double deadlineMs);
+
+    /**
+     * Record one completion.
+     * @param latencyMs arrival-to-done latency.
+     * @param goodput   true when the frame was engine-served on time.
+     */
+    void observe(double latencyMs, bool goodput);
+
+    /** Recompute the cached snapshot now. */
+    void refresh();
+
+    /** The cached snapshot (refreshed every refreshEvery observes). */
+    const SloSnapshot& snapshot() const { return snap_; }
+
+    /**
+     * The window's resolvable p99 for admission slack, or -1 while
+     * the window is too small to state one.
+     */
+    double tailMs() const { return snap_.p99Ms; }
+
+    /** The effective latency budget (ms). */
+    double budgetMs() const { return budgetMs_; }
+
+    /** Lifetime completions observed. */
+    std::uint64_t total() const { return total_; }
+
+    /** Lifetime completions past the budget. */
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    SloParams params_;
+    double budgetMs_;
+    WindowedLatencyRecorder window_;
+    std::uint64_t total_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t good_ = 0;
+    int sinceRefresh_ = 0;
+    SloSnapshot snap_;
+};
+
+} // namespace ad::serve
+
+#endif // AD_SERVE_SLO_HH

@@ -40,10 +40,11 @@ FrameQueue::pop()
 }
 
 StreamState::StreamState(int id_, const StreamParams& params_,
-                         const pipeline::GovernorParams& governorParams)
+                         const pipeline::GovernorParams& governorParams,
+                         const SloParams& sloParams)
     : id(id_), params(params_), queue(params_.queueDepth),
       deadline(obs::DeadlineParams{params_.deadlineMs, false, 0}),
-      governor(governorParams)
+      governor(governorParams), slo(sloParams, params_.deadlineMs)
 {
 }
 
@@ -54,6 +55,8 @@ StreamState::observeCompletion(std::int64_t frame, double latencyMs,
     tailEstimateMs = std::max(latencyMs, tailEstimateMs * tailDecay);
     if (engineServed)
         servedLatency.record(latencyMs);
+    slo.observe(latencyMs,
+                engineServed && latencyMs <= params.deadlineMs);
     // The watchdog sees the whole serving latency on the DET axis:
     // queueing + batching + inference is the detection branch of the
     // stream's frame, and endToEndMs() then equals latencyMs.
@@ -66,16 +69,24 @@ StreamState::observeCompletion(std::int64_t frame, double latencyMs,
 double
 StreamState::slackMs() const
 {
-    return std::max(0.0, params.deadlineMs - tailEstimateMs);
+    double tail = tailEstimateMs;
+    // The window p99 only participates once resolvable (>= 100
+    // samples); before that it reports the -1 sentinel and slack
+    // rests on the peak-decay estimate alone.
+    const double sloTail = slo.tailMs();
+    if (sloTail >= 0.0)
+        tail = std::max(tail, sloTail);
+    return std::max(0.0, params.deadlineMs - tail);
 }
 
 int
 StreamRegistry::addStream(const StreamParams& params,
-                          const pipeline::GovernorParams& governorParams)
+                          const pipeline::GovernorParams& governorParams,
+                          const SloParams& sloParams)
 {
     const int id = static_cast<int>(streams_.size());
-    streams_.push_back(
-        std::make_unique<StreamState>(id, params, governorParams));
+    streams_.push_back(std::make_unique<StreamState>(
+        id, params, governorParams, sloParams));
     return id;
 }
 

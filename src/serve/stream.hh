@@ -34,6 +34,7 @@
 #include "common/stats.hh"
 #include "obs/deadline.hh"
 #include "pipeline/governor.hh"
+#include "serve/slo.hh"
 
 namespace ad::serve {
 
@@ -115,7 +116,8 @@ struct StreamStats
 struct StreamState
 {
     StreamState(int id, const StreamParams& params,
-                const pipeline::GovernorParams& governorParams);
+                const pipeline::GovernorParams& governorParams,
+                const SloParams& sloParams = {});
 
     int id;
     StreamParams params;
@@ -140,6 +142,9 @@ struct StreamState
     /** Latency of engine-served (admitted) frames, arrival->done. */
     LatencyRecorder servedLatency;
 
+    /** Rolling-window SLO accountant (percentiles, burn, goodput). */
+    StreamSlo slo;
+
     /**
      * Record one completion into the tail estimate, watchdog and
      * governor. Coasted frames (engineServed = false) feed the
@@ -149,7 +154,13 @@ struct StreamState
     void observeCompletion(std::int64_t frame, double latencyMs,
                            double tailDecay, bool engineServed);
 
-    /** Budget minus the tail estimate, floored at zero. */
+    /**
+     * Budget minus the tail estimate, floored at zero. Once the SLO
+     * window can resolve a p99 it tightens the estimate: slack is
+     * measured against the larger of the peak-decay estimate and the
+     * window tail, so a stream whose tail is quietly climbing loses
+     * its "sheddable" slack before a single spike lands.
+     */
     double slackMs() const;
 };
 
@@ -167,7 +178,8 @@ class StreamRegistry
      * @return its dense id (0-based).
      */
     int addStream(const StreamParams& params,
-                  const pipeline::GovernorParams& governorParams);
+                  const pipeline::GovernorParams& governorParams,
+                  const SloParams& sloParams = {});
 
     std::size_t size() const { return streams_.size(); }
 

@@ -2,19 +2,26 @@
  * @file
  * Tests for the metric registry and the deadline watchdog: counter
  * atomicity under parallelFor contention, gauge/histogram semantics,
- * thread-pool capture, dump contents, violation counting against
- * synthetic latencies and critical-path stage attribution.
+ * histogram bucket bounds (survive reset, propagate across merges),
+ * in-place registry reset, the snapshot exporter's envelope and
+ * interval gating, thread-pool capture, dump contents, violation
+ * counting against synthetic latencies and critical-path stage
+ * attribution.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/parallel_for.hh"
 #include "common/thread_pool.hh"
 #include "obs/deadline.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/snapshot.hh"
 
 namespace {
 
@@ -183,6 +190,183 @@ TEST(MetricRegistry, LabeledComposesCanonicalNames)
     reg.counter(obs::labeled("serve.frames", "stream", "3")).add();
     EXPECT_NE(reg.textDump().find("serve.frames{stream=3}"),
               std::string::npos);
+}
+
+TEST(Histogram, BucketCountsFollowBounds)
+{
+    obs::Histogram h;
+    h.setBounds({1.0, 2.0, 5.0});
+    h.record(0.5);  // bucket 0 (<= 1).
+    h.record(1.5);  // bucket 1.
+    h.record(2.0);  // bucket 1 (upper edges are inclusive).
+    h.record(3.0);  // bucket 2.
+    h.record(10.0); // overflow.
+    EXPECT_EQ(h.bucketCounts(),
+              (std::vector<std::uint64_t>{1, 2, 1, 1}));
+
+    // reset drops samples and counts but keeps the bounds.
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 2.0, 5.0}));
+    EXPECT_EQ(h.bucketCounts(),
+              (std::vector<std::uint64_t>{0, 0, 0, 0}));
+    h.record(4.0);
+    EXPECT_EQ(h.bucketCounts(),
+              (std::vector<std::uint64_t>{0, 0, 1, 0}));
+}
+
+TEST(Histogram, SetBoundsRecountsHeldSamples)
+{
+    obs::Histogram h;
+    h.record(0.5);
+    h.record(7.0);
+    // Bounds installed after recording: counts are rebuilt from the
+    // held samples (and unsorted input is sorted).
+    h.setBounds({5.0, 1.0});
+    EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 5.0}));
+    EXPECT_EQ(h.bucketCounts(), (std::vector<std::uint64_t>{1, 0, 1}));
+}
+
+TEST(MetricRegistry, HistogramBoundsFirstWriterWins)
+{
+    MetricRegistry reg;
+    auto& h = reg.histogram("lat", {10.0, 20.0});
+    EXPECT_EQ(h.bounds(), (std::vector<double>{10.0, 20.0}));
+    // A second lookup with different bounds keeps the first set.
+    auto& again = reg.histogram("lat", {1.0});
+    EXPECT_EQ(&again, &h);
+    EXPECT_EQ(h.bounds(), (std::vector<double>{10.0, 20.0}));
+    // The plain overload resolves to the same object too.
+    EXPECT_EQ(&reg.histogram("lat"), &h);
+}
+
+TEST(MetricRegistry, MergePropagatesBucketBounds)
+{
+    MetricRegistry worker;
+    auto& wh = worker.histogram("stage_ms", {1.0, 10.0});
+    wh.record(0.5);
+    wh.record(5.0);
+
+    // Merge into a registry that has never seen the histogram: the
+    // created slot adopts the source's bounds and counts.
+    MetricRegistry global;
+    global.merge(worker);
+    auto& gh = global.histogram("stage_ms");
+    EXPECT_EQ(gh.bounds(), (std::vector<double>{1.0, 10.0}));
+    EXPECT_EQ(gh.bucketCounts(),
+              (std::vector<std::uint64_t>{1, 1, 0}));
+}
+
+TEST(MetricRegistry, MergeAfterResetPreservesBucketBounds)
+{
+    // The regression this guards: reset() used to destroy metric
+    // objects, so a reset-then-merge lost the histogram's bucket
+    // configuration (and dangled cached references).
+    MetricRegistry worker;
+    worker.histogram("stage_ms", {1.0, 10.0}).record(5.0);
+
+    MetricRegistry global;
+    global.merge(worker);
+    global.reset();
+    EXPECT_EQ(global.histogram("stage_ms").count(), 0u);
+    EXPECT_EQ(global.histogram("stage_ms").bounds(),
+              (std::vector<double>{1.0, 10.0}));
+
+    global.merge(worker);
+    EXPECT_EQ(global.histogram("stage_ms").count(), 1u);
+    EXPECT_EQ(global.histogram("stage_ms").bucketCounts(),
+              (std::vector<std::uint64_t>{0, 1, 0}));
+}
+
+TEST(MetricRegistry, ResetZeroesInPlaceKeepingCachedReferences)
+{
+    MetricRegistry reg;
+    auto& c = reg.counter("c");
+    auto& g = reg.gauge("g");
+    auto& h = reg.histogram("h");
+    c.add(3);
+    g.set(7.0);
+    h.record(1.0);
+
+    reg.reset();
+    // The same objects, observed through pre-reset references.
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(&reg.counter("c"), &c);
+    EXPECT_EQ(&reg.histogram("h"), &h);
+
+    c.add();
+    EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(MetricRegistry, JsonDumpCarriesBucketArrays)
+{
+    MetricRegistry reg;
+    auto& h = reg.histogram("lat_ms", {1.0, 2.0});
+    h.record(0.5);
+    h.record(1.5);
+    h.record(9.0);
+
+    std::string error;
+    const auto doc = obs::json::parse(reg.jsonDump(), &error);
+    ASSERT_TRUE(doc) << error;
+    const auto* hist = doc->find("histograms");
+    ASSERT_TRUE(hist && hist->isObject());
+    const auto* lat = hist->find("lat_ms");
+    ASSERT_TRUE(lat && lat->isObject());
+    const auto* buckets = lat->find("buckets");
+    ASSERT_TRUE(buckets && buckets->isObject());
+    const auto* bounds = buckets->find("bounds");
+    const auto* counts = buckets->find("counts");
+    ASSERT_TRUE(bounds && bounds->isArray());
+    ASSERT_TRUE(counts && counts->isArray());
+    ASSERT_EQ(bounds->asArray().size(), 2u);
+    ASSERT_EQ(counts->asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(counts->asArray()[0].asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(counts->asArray()[1].asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(counts->asArray()[2].asNumber(), 1.0);
+}
+
+TEST(MetricsSnapshotter, WritesEnvelopeAndHonorsInterval)
+{
+    const std::string path = "test_metrics_snapshot.json";
+    MetricRegistry reg;
+    reg.counter("frames").add(5);
+
+    obs::MetricsSnapshotter snap(reg, {path, 100.0});
+    EXPECT_TRUE(snap.maybeWrite(0.0)); // first call always writes.
+    EXPECT_FALSE(snap.maybeWrite(50.0));
+    reg.counter("frames").add(5);
+    EXPECT_TRUE(snap.maybeWrite(150.0));
+    EXPECT_EQ(snap.snapshotsWritten(), 2);
+
+    std::string error;
+    const auto doc = obs::json::parseFile(path, &error);
+    ASSERT_TRUE(doc) << error;
+    const auto* schema = doc->find("schema");
+    ASSERT_TRUE(schema && schema->isString());
+    EXPECT_EQ(schema->asString(), "ad.metrics.v1");
+    const auto* seq = doc->find("seq");
+    ASSERT_TRUE(seq && seq->isNumber());
+    EXPECT_DOUBLE_EQ(seq->asNumber(), 1.0); // 0-based sequence.
+    const auto* now = doc->find("now_ms");
+    ASSERT_TRUE(now && now->isNumber());
+    EXPECT_DOUBLE_EQ(now->asNumber(), 150.0);
+    const auto* metrics = doc->find("metrics");
+    ASSERT_TRUE(metrics && metrics->isObject());
+    const auto* counters = metrics->find("counters");
+    ASSERT_TRUE(counters && counters->isObject());
+    const auto* frames = counters->find("frames");
+    ASSERT_TRUE(frames && frames->isNumber());
+    EXPECT_DOUBLE_EQ(frames->asNumber(), 10.0);
+
+    // No stale temp file is left behind by the atomic rename.
+    std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "r");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp)
+        std::fclose(tmp);
+    std::remove(path.c_str());
 }
 
 TEST(DeadlineMonitor, CountsViolationsAgainstBudget)

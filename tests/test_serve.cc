@@ -474,4 +474,145 @@ TEST(NnBatchEngine, BatchedInferenceMatchesSerialChecksum)
     EXPECT_EQ(got, expected);
 }
 
+TEST(StreamSlo, BurnRateAndGoodputFromSyntheticCompletions)
+{
+    SloParams params;
+    params.windowFrames = 100;
+    params.targetMissRate = 0.01; // 1% allowed misses.
+    params.refreshEvery = 1;
+    StreamSlo slo(params, 100.0); // budget = deadline = 100 ms.
+
+    for (int i = 0; i < 95; ++i)
+        slo.observe(50.0, true);
+    for (int i = 0; i < 5; ++i)
+        slo.observe(150.0, false); // late, not goodput.
+
+    const SloSnapshot& s = slo.snapshot();
+    EXPECT_EQ(s.total, 100u);
+    EXPECT_EQ(s.misses, 5u);
+    EXPECT_DOUBLE_EQ(s.missRate, 0.05);
+    // Window miss rate 0.05 against a 0.01 target: burning 5x.
+    EXPECT_DOUBLE_EQ(s.burnRate, 5.0);
+    EXPECT_DOUBLE_EQ(s.goodputRatio, 0.95);
+    // 100 samples resolve p50 and p99 but not p99.9.
+    EXPECT_DOUBLE_EQ(s.p50Ms, 50.0);
+    EXPECT_DOUBLE_EQ(s.p99Ms, 150.0);
+    EXPECT_DOUBLE_EQ(
+        s.p999Ms, WindowedLatencyRecorder::kInsufficientSamples);
+}
+
+TEST(StreamSlo, PercentilesGatedOnResolvability)
+{
+    SloParams params;
+    params.windowFrames = 2048;
+    params.refreshEvery = 1;
+    StreamSlo slo(params, 100.0);
+
+    slo.observe(10.0, true);
+    EXPECT_DOUBLE_EQ(
+        slo.snapshot().p50Ms,
+        WindowedLatencyRecorder::kInsufficientSamples);
+    slo.observe(20.0, true);
+    // Two samples resolve the median, still no p99.
+    EXPECT_DOUBLE_EQ(slo.snapshot().p50Ms, 10.0);
+    EXPECT_DOUBLE_EQ(
+        slo.snapshot().p99Ms,
+        WindowedLatencyRecorder::kInsufficientSamples);
+    EXPECT_DOUBLE_EQ(slo.tailMs(),
+                     WindowedLatencyRecorder::kInsufficientSamples);
+}
+
+TEST(StreamSlo, BudgetDefaultsToDeadlineUnlessOverridden)
+{
+    SloParams params;
+    EXPECT_DOUBLE_EQ(StreamSlo(params, 80.0).budgetMs(), 80.0);
+    params.budgetMs = 50.0;
+    EXPECT_DOUBLE_EQ(StreamSlo(params, 80.0).budgetMs(), 50.0);
+}
+
+TEST(StreamSlo, RefreshCadenceKeepsSnapshotOffTheHotPath)
+{
+    SloParams params;
+    params.refreshEvery = 32;
+    StreamSlo slo(params, 100.0);
+    for (int i = 0; i < 31; ++i)
+        slo.observe(10.0, true);
+    // 31 completions: the cached snapshot has not refreshed yet.
+    EXPECT_EQ(slo.snapshot().total, 0u);
+    slo.observe(10.0, true);
+    EXPECT_EQ(slo.snapshot().total, 32u);
+    // refresh() recomputes on demand regardless of cadence.
+    slo.observe(10.0, true);
+    slo.refresh();
+    EXPECT_EQ(slo.snapshot().total, 33u);
+}
+
+TEST(StreamState, ResolvedSloTailTightensSlack)
+{
+    StreamRegistry registry;
+    registry.addStream(StreamParams{}, pipeline::GovernorParams{});
+    StreamState& s = registry.stream(0);
+    // A high early peak decayed away: the peak-decay estimate alone
+    // would report generous slack...
+    s.observeCompletion(0, 90.0, 0.5, true);
+    for (int i = 1; i <= 100; ++i)
+        s.observeCompletion(i, 85.0, 0.5, true);
+    // ...but the window p99 keeps slack honest. Refresh on demand:
+    // the default cadence (every 32) last fired at 96 samples, one
+    // short of p99 resolvability.
+    s.slo.refresh();
+    ASSERT_GE(s.slo.snapshot().p99Ms, 85.0);
+    EXPECT_LE(s.slackMs(), 100.0 - s.slo.snapshot().p99Ms + 1e-9);
+}
+
+TEST(MultiStreamServer, ReportCarriesPerStreamSloSnapshots)
+{
+    ServeParams sp = modeledParams(4, true);
+    sp.slo.refreshEvery = 8;
+    ModeledBatchEngine engine(ModeledEngineParams{});
+    MultiStreamServer server(sp, engine);
+    const ServeReport r = server.run(300);
+
+    ASSERT_EQ(r.streamSlo.size(), 4u);
+    for (const auto& s : r.streamSlo) {
+        EXPECT_GT(s.total, 0u);
+        EXPECT_GE(s.goodputRatio, 0.0);
+        EXPECT_LE(s.goodputRatio, 1.0);
+        EXPECT_GE(s.burnRate, 0.0);
+        EXPECT_LE(s.misses, s.total);
+        // 300 completions resolve p50 and p99 (window default 2048).
+        EXPECT_GT(s.p50Ms, 0.0);
+        EXPECT_GE(s.p99Ms, s.p50Ms);
+    }
+    // The SLO gauges land in the server-local registry per stream.
+    const std::string dump = server.localMetrics().textDump();
+    EXPECT_NE(dump.find("serve.slo.p99_ms{stream=0}"),
+              std::string::npos);
+    EXPECT_NE(dump.find("serve.slo.burn_rate{stream=3}"),
+              std::string::npos);
+    EXPECT_NE(dump.find("serve.slo.goodput_ratio{stream=1}"),
+              std::string::npos);
+}
+
+TEST(MultiStreamServer, SloSnapshotsAreBitReproducible)
+{
+    ServeParams sp = modeledParams(3, true);
+    ModeledBatchEngine e1(ModeledEngineParams{});
+    ModeledBatchEngine e2(ModeledEngineParams{});
+    MultiStreamServer s1(sp, e1);
+    MultiStreamServer s2(sp, e2);
+    const ServeReport a = s1.run(200);
+    const ServeReport b = s2.run(200);
+    ASSERT_EQ(a.streamSlo.size(), b.streamSlo.size());
+    for (std::size_t i = 0; i < a.streamSlo.size(); ++i) {
+        EXPECT_EQ(a.streamSlo[i].total, b.streamSlo[i].total);
+        EXPECT_EQ(a.streamSlo[i].misses, b.streamSlo[i].misses);
+        EXPECT_DOUBLE_EQ(a.streamSlo[i].p99Ms, b.streamSlo[i].p99Ms);
+        EXPECT_DOUBLE_EQ(a.streamSlo[i].burnRate,
+                         b.streamSlo[i].burnRate);
+        EXPECT_DOUBLE_EQ(a.streamSlo[i].goodputRatio,
+                         b.streamSlo[i].goodputRatio);
+    }
+}
+
 } // namespace

@@ -225,4 +225,94 @@ TEST(RunningStat, EmptyAndSingle)
     EXPECT_DOUBLE_EQ(st.stddev(), 0.0);
 }
 
+TEST(WindowedLatencyRecorder, ExactNearestRankOnKnownWindow)
+{
+    ad::WindowedLatencyRecorder rec(100);
+    // 1..100 in shuffled-ish order: nearest rank is order-invariant.
+    for (int i = 100; i >= 1; --i)
+        rec.record(i);
+    EXPECT_EQ(rec.count(), 100u);
+    // Nearest rank ceil(q * 100): p50 -> 50th smallest = 50.
+    EXPECT_DOUBLE_EQ(rec.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.90), 90.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(rec.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(rec.worst(), 100.0);
+    EXPECT_DOUBLE_EQ(rec.mean(), 50.5);
+    EXPECT_EQ(rec.countAbove(90.0), 10u);
+}
+
+TEST(WindowedLatencyRecorder, MinSamplesForMatchesClosedForm)
+{
+    using W = ad::WindowedLatencyRecorder;
+    EXPECT_EQ(W::minSamplesFor(0.5), 2u);
+    EXPECT_EQ(W::minSamplesFor(0.9), 10u);
+    EXPECT_EQ(W::minSamplesFor(0.99), 100u);
+    EXPECT_EQ(W::minSamplesFor(0.999), 1000u);
+    EXPECT_EQ(W::minSamplesFor(1.0), 1u);
+    EXPECT_EQ(W::minSamplesFor(0.0), 1u);
+}
+
+TEST(WindowedLatencyRecorder, SentinelUntilResolvable)
+{
+    ad::WindowedLatencyRecorder rec(4096);
+    rec.record(10.0);
+    // One sample resolves the max but neither p50 nor any tail.
+    EXPECT_DOUBLE_EQ(rec.percentile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(
+        rec.percentile(0.5),
+        ad::WindowedLatencyRecorder::kInsufficientSamples);
+    for (int i = 0; i < 998; ++i)
+        rec.record(10.0);
+    // 999 samples: p99 resolves, p99.9 still needs 1000.
+    EXPECT_TRUE(rec.resolvable(0.99));
+    EXPECT_FALSE(rec.resolvable(0.999));
+    EXPECT_DOUBLE_EQ(
+        rec.percentile(0.999),
+        ad::WindowedLatencyRecorder::kInsufficientSamples);
+    rec.record(10.0);
+    EXPECT_TRUE(rec.resolvable(0.999));
+    EXPECT_DOUBLE_EQ(rec.percentile(0.999), 10.0);
+}
+
+TEST(WindowedLatencyRecorder, TailNeverResolvableBeyondCapacity)
+{
+    // A 100-slot window can never honestly state a p99.9.
+    ad::WindowedLatencyRecorder rec(100);
+    for (int i = 0; i < 5000; ++i)
+        rec.record(1.0);
+    EXPECT_FALSE(rec.resolvable(0.999));
+    EXPECT_DOUBLE_EQ(
+        rec.percentile(0.999),
+        ad::WindowedLatencyRecorder::kInsufficientSamples);
+}
+
+TEST(WindowedLatencyRecorder, WindowWrapEvictsOldest)
+{
+    ad::WindowedLatencyRecorder rec(4);
+    for (int i = 1; i <= 4; ++i)
+        rec.record(i);
+    for (int i = 0; i < 4; ++i)
+        rec.record(100.0 + i);
+    EXPECT_EQ(rec.count(), 4u);
+    EXPECT_EQ(rec.totalRecorded(), 8u);
+    // Only the second batch remains in the window.
+    EXPECT_EQ(rec.countAbove(99.5), 4u);
+    EXPECT_DOUBLE_EQ(rec.percentile(0.5), 101.0);
+    EXPECT_DOUBLE_EQ(rec.worst(), 103.0);
+}
+
+TEST(WindowedLatencyRecorder, ClearEmptiesTheWindow)
+{
+    ad::WindowedLatencyRecorder rec(8);
+    rec.record(5.0);
+    rec.clear();
+    EXPECT_EQ(rec.count(), 0u);
+    EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rec.worst(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        rec.percentile(1.0),
+        ad::WindowedLatencyRecorder::kInsufficientSamples);
+}
+
 } // namespace

@@ -12,8 +12,16 @@
  *         [--det-input=160] [--summary] [--nn.threads=N]
  *         [--nn.precision=fp32|int8] [--nn.fuse=1] [--nn.arena=1]
  *         [--trace <file>] [--metrics] [--obs.trace_nn]
- *         [--obs.budget_ms=100]
+ *         [--obs.budget_ms=100] [--obs.perf] [--flight-dump[=file]]
+ *         [--metrics-json=live.json]
  *         [--faults=0.1] [--fault.*=...] [--governor] [--gov.*=...]
+ *
+ * The flight recorder is always on: the last --obs.flight_capacity
+ * events per stream are retained in bounded rings, auto-dumped as
+ * JSON on deadline miss or SAFE_STOP entry, and dumped at exit with
+ * --flight-dump. --obs.perf samples hardware counters over every
+ * stage span (portable fallback when perf_event_open is
+ * unavailable); --metrics-json exports live snapshots adtop renders.
  *
  * --nn.threads drives the parallel NN kernel layer in every engine:
  * 0 (the default) resolves to hardware concurrency, 1 restores the
@@ -53,6 +61,7 @@
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "common/time.hh"
 #include "nn/kernel_context.hh"
 #include "nn/network.hh"
 #include "obs/obs.hh"
@@ -160,6 +169,12 @@ main(int argc, char** argv)
                 "e2e_ms,localized,relocalized,detections,tracks,"
                 "mode,dropped\n";
 
+    obs::MetricsSnapshotter snapshotter(
+        obs::metrics(), obs::SnapshotOptions{
+                            obsOpt.metricsJsonPath,
+                            obsOpt.metricsJsonIntervalMs});
+    Stopwatch runClock;
+
     sensors::World world = scenario.world;
     for (int i = 0; i < frames; ++i) {
         world.step(0.1);
@@ -180,6 +195,7 @@ main(int argc, char** argv)
                  << ',' << pipeline::modeName(out.mode) << ','
                  << out.frameDropped << '\n';
         }
+        snapshotter.maybeWrite(runClock.elapsedMs());
     }
 
     std::fprintf(stderr, "\n%d frames processed\n", frames);
@@ -224,6 +240,11 @@ main(int argc, char** argv)
             reg.counter("faults.tra_fails").add(c.traFails);
         }
     }
+    if (!obsOpt.metricsJsonPath.empty() &&
+        snapshotter.writeNow(runClock.elapsedMs()))
+        std::fprintf(stderr, "metrics-json: wrote %d snapshots to %s\n",
+                     snapshotter.snapshotsWritten(),
+                     snapshotter.path().c_str());
     obs::finish(obsOpt);
     return 0;
 }

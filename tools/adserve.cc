@@ -16,8 +16,17 @@
  *           [--measured] [--det-input=64] [--det-width=0.05]
  *           [--nn.threads=0] [--nn.precision=fp32|int8] [--nn.fuse=1]
  *           [--serve-json=out.json] [--summary]
- *           [--metrics] [--trace <file>]
+ *           [--metrics] [--trace <file>] [--metrics-json=live.json]
+ *           [--flight-dump[=file]] [--slo.window=2048]
+ *           [--slo.target-miss-rate=1e-4]
  *   adserve --check=out.json
+ *
+ * Every run keeps per-stream SLO accounts (rolling-window
+ * p50/p99/p99.9, miss-budget burn rate, goodput ratio) that land in
+ * the JSON report's "slo" array, the per-stream metric gauges and
+ * the admission controller's slack estimate. The flight recorder
+ * keeps one bounded ring per stream and dumps a post-mortem on
+ * deadline miss or SAFE_STOP (see docs/TRACING.md).
  *
  * The default engine is the seeded cost model (bit-reproducible,
  * sweeps in milliseconds). --measured swaps in NnBatchEngine: real
@@ -65,7 +74,8 @@ knownKeys()
         "det-width",   "nn.threads",   "nn.precision", "nn.fuse",
         "serve-json",  "summary",
         "check",       "engine.fixed-ms", "engine.marginal-ms",
-        "engine.jitter", "engine.spike-p"};
+        "engine.jitter", "engine.spike-p",
+        "slo.window",  "slo.target-miss-rate"};
     for (const auto& k : obs::knownConfigKeys())
         keys.push_back(k);
     for (const auto& k : pipeline::GovernorParams::knownConfigKeys())
@@ -108,7 +118,22 @@ writeReport(const std::string& path, const serve::ServeParams& sp,
         << "  \"mean_batch_wait_ms\": " << r.meanBatchWaitMs << ",\n"
         << "  \"pressure_escalations\": " << r.pressureEscalations
         << ",\n"
-        << "  \"duration_ms\": " << r.durationMs << "\n"
+        << "  \"duration_ms\": " << r.durationMs << ",\n"
+        << "  \"slo\": [";
+    for (std::size_t i = 0; i < r.streamSlo.size(); ++i) {
+        const auto& s = r.streamSlo[i];
+        out << (i ? "," : "") << "\n    {\"stream\": " << i
+            << ", \"window\": " << s.window
+            << ", \"p50_ms\": " << s.p50Ms
+            << ", \"p99_ms\": " << s.p99Ms
+            << ", \"p999_ms\": " << s.p999Ms
+            << ", \"miss_rate\": " << s.missRate
+            << ", \"burn_rate\": " << s.burnRate
+            << ", \"goodput_ratio\": " << s.goodputRatio
+            << ", \"misses\": " << s.misses
+            << ", \"total\": " << s.total << "}";
+    }
+    out << "\n  ]\n"
         << "}\n";
     std::fprintf(stderr, "serve report: %s\n", path.c_str());
 }
@@ -167,6 +192,51 @@ checkReport(const std::string& path)
                      admitted, coasted, shed, arrived);
         ++failures;
     }
+    const auto* slo = doc->find("slo");
+    if (!slo || !slo->isArray()) {
+        std::fprintf(stderr,
+                     "adserve --check: missing \"slo\" array\n");
+        ++failures;
+    } else {
+        if (static_cast<double>(slo->asArray().size()) != streams) {
+            std::fprintf(stderr,
+                         "adserve --check: slo has %zu entries, "
+                         "expected %.0f\n",
+                         slo->asArray().size(), streams);
+            ++failures;
+        }
+        static const char* kSloFields[] = {
+            "stream",    "window",       "p50_ms", "p99_ms",
+            "p999_ms",   "miss_rate",    "burn_rate",
+            "goodput_ratio", "misses",   "total"};
+        for (std::size_t i = 0; i < slo->asArray().size(); ++i) {
+            const auto& entry = slo->asArray()[i];
+            for (const char* field : kSloFields) {
+                const auto* v =
+                    entry.isObject() ? entry.find(field) : nullptr;
+                if (!v || !v->isNumber()) {
+                    std::fprintf(stderr,
+                                 "adserve --check: slo[%zu] lacks "
+                                 "numeric \"%s\"\n",
+                                 i, field);
+                    ++failures;
+                }
+            }
+            if (!entry.isObject())
+                continue;
+            const auto* misses = entry.find("misses");
+            const auto* total = entry.find("total");
+            if (misses && total && misses->isNumber() &&
+                total->isNumber() &&
+                misses->asNumber() > total->asNumber()) {
+                std::fprintf(stderr,
+                             "adserve --check: slo[%zu] misses "
+                             "exceed total\n",
+                             i);
+                ++failures;
+            }
+        }
+    }
     if (failures)
         return 1;
     std::fprintf(stderr, "adserve --check: %s OK\n", path.c_str());
@@ -205,6 +275,9 @@ main(int argc, char** argv)
     // degradation actuators; they are always on in the server.
     sp.governor.enabled = true;
     sp.governor.budgetMs = sp.stream.deadlineMs;
+    sp.slo.windowFrames = cfg.getInt("slo.window", sp.slo.windowFrames);
+    sp.slo.targetMissRate =
+        cfg.getDouble("slo.target-miss-rate", sp.slo.targetMissRate);
 
     serve::ServeReport report;
     const char* engineName = "modeled";
@@ -274,6 +347,19 @@ main(int argc, char** argv)
     const std::string jsonPath = cfg.getString("serve-json");
     if (!jsonPath.empty())
         writeReport(jsonPath, sp, frames, engineName, report);
+
+    // The serving run is virtual-clocked, so periodic snapshots make
+    // no sense; publish one end-of-run snapshot stamped with the
+    // virtual duration instead.
+    if (!obsOpt.metricsJsonPath.empty()) {
+        obs::MetricsSnapshotter snapshotter(
+            obs::metrics(), obs::SnapshotOptions{
+                                obsOpt.metricsJsonPath,
+                                obsOpt.metricsJsonIntervalMs});
+        if (snapshotter.writeNow(report.durationMs))
+            std::fprintf(stderr, "metrics-json: wrote snapshot to %s\n",
+                         snapshotter.path().c_str());
+    }
 
     obs::finish(obsOpt);
     return 0;

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * adtop -- live text view of a running tool's metrics snapshot.
+ *
+ * adrun/adserve export the metric registry to a JSON file at a fixed
+ * interval (--metrics-json, atomic rename). adtop renders that file
+ * as two tables: per-stream serving state (arrivals, admissions,
+ * sheds, deadline misses, SLO window percentiles, miss-budget burn
+ * rate, goodput, slack) and per-stage pipeline state (latency
+ * quantiles plus perf-counter IPC / cache behavior when sampled).
+ * With --follow it re-reads the file on an interval and redraws, a
+ * minimal `top` for the serving machine; --once prints a single
+ * frame (the smoke-test mode).
+ *
+ * Usage:
+ *   adtop <metrics.json> [--once] [--follow] [--interval-ms=N]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace {
+
+using ad::obs::json::Value;
+
+/** One stream's row, assembled from labeled metrics. */
+struct StreamRow
+{
+    double arrived = 0, admitted = 0, shed = 0, misses = 0;
+    double p50 = -1, p99 = -1, p999 = -1;
+    double burn = 0, goodput = 0, slack = 0;
+    bool any = false;
+};
+
+/**
+ * Split "serve.latency_ms{stream=3}" into its base name and stream
+ * id; returns false for unlabeled names.
+ */
+bool
+splitStreamLabel(const std::string& key, std::string* base, int* id)
+{
+    const auto open = key.find("{stream=");
+    if (open == std::string::npos || key.back() != '}')
+        return false;
+    *base = key.substr(0, open);
+    *id = std::atoi(key.c_str() + open + 8);
+    return true;
+}
+
+/** Base name's suffix after the tool's metric prefix ("serve."). */
+std::string
+suffixOf(const std::string& base)
+{
+    const auto dot = base.find('.');
+    return dot == std::string::npos ? base : base.substr(dot + 1);
+}
+
+double
+histField(const Value& h, const char* field)
+{
+    const Value* v = h.find(field);
+    return v && v->isNumber() ? v->asNumber() : 0.0;
+}
+
+int
+render(const std::string& path)
+{
+    std::string error;
+    const auto doc = ad::obs::json::parseFile(path, &error);
+    if (!doc || !doc->isObject()) {
+        std::fprintf(stderr, "adtop: cannot read '%s': %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    // Accept both the snapshot envelope and a bare registry dump.
+    const Value* metrics = doc->find("metrics");
+    if (!metrics)
+        metrics = &*doc;
+    const Value* counters = metrics->find("counters");
+    const Value* gauges = metrics->find("gauges");
+    const Value* histograms = metrics->find("histograms");
+    if (!counters || !gauges || !histograms) {
+        std::fprintf(stderr, "adtop: '%s' is not a metrics snapshot\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const Value* seq = doc->find("seq");
+    const Value* nowMs = doc->find("now_ms");
+    std::printf("adtop: %s", path.c_str());
+    if (seq && seq->isNumber() && nowMs && nowMs->isNumber())
+        std::printf("  (snapshot %ld at %.1f ms)",
+                    static_cast<long>(seq->asNumber()),
+                    nowMs->asNumber());
+    std::printf("\n");
+
+    std::map<int, StreamRow> rows;
+    std::string base;
+    int id = 0;
+    for (const auto& [key, v] : counters->asObject()) {
+        if (!splitStreamLabel(key, &base, &id) || !v.isNumber())
+            continue;
+        StreamRow& r = rows[id];
+        r.any = true;
+        const std::string f = suffixOf(base);
+        if (f == "frames_arrived")
+            r.arrived = v.asNumber();
+        else if (f == "frames_admitted")
+            r.admitted = v.asNumber();
+        else if (f == "frames_shed")
+            r.shed = v.asNumber();
+        else if (f == "deadline_misses")
+            r.misses = v.asNumber();
+    }
+    for (const auto& [key, v] : gauges->asObject()) {
+        if (!splitStreamLabel(key, &base, &id) || !v.isNumber())
+            continue;
+        StreamRow& r = rows[id];
+        r.any = true;
+        const std::string f = suffixOf(base);
+        if (f == "slo.p50_ms")
+            r.p50 = v.asNumber();
+        else if (f == "slo.p99_ms")
+            r.p99 = v.asNumber();
+        else if (f == "slo.p999_ms")
+            r.p999 = v.asNumber();
+        else if (f == "slo.burn_rate")
+            r.burn = v.asNumber();
+        else if (f == "slo.goodput_ratio")
+            r.goodput = v.asNumber();
+        else if (f == "slack_ms")
+            r.slack = v.asNumber();
+    }
+
+    if (!rows.empty()) {
+        std::printf("%-7s %8s %8s %6s %6s %8s %8s %8s %6s %6s %7s\n",
+                    "stream", "arrived", "admitted", "shed", "miss",
+                    "p50ms", "p99ms", "p99.9ms", "burn", "good",
+                    "slack");
+        for (const auto& [sid, r] : rows) {
+            if (!r.any)
+                continue;
+            std::printf("%-7d %8.0f %8.0f %6.0f %6.0f %8.2f %8.2f "
+                        "%8.2f %6.2f %6.2f %7.1f\n",
+                        sid, r.arrived, r.admitted, r.shed, r.misses,
+                        r.p50, r.p99, r.p999, r.burn, r.goodput,
+                        r.slack);
+        }
+    }
+
+    // Stage table: pipeline latency histograms plus perf samples.
+    bool header = false;
+    for (const auto& [key, v] : histograms->asObject()) {
+        const bool pipelineStage =
+            key.rfind("pipeline.", 0) == 0 &&
+            key.size() > 3 && key.compare(key.size() - 3, 3, "_ms") == 0;
+        const bool perfClock =
+            key.rfind("perf.", 0) == 0 &&
+            key.size() > 14 &&
+            key.compare(key.size() - 14, 14, ".task_clock_ms") == 0;
+        if ((!pipelineStage && !perfClock) || !v.isObject())
+            continue;
+        if (!header) {
+            std::printf("%-28s %8s %8s %8s %8s %8s\n", "stage",
+                        "count", "mean", "p50", "p99", "worst");
+            header = true;
+        }
+        std::printf("%-28s %8.0f %8.3f %8.3f %8.3f %8.3f\n",
+                    key.c_str(), histField(v, "count"),
+                    histField(v, "mean"), histField(v, "p50"),
+                    histField(v, "p99"), histField(v, "worst"));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    bool follow = false;
+    long intervalMs = 1000;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--follow")
+            follow = true;
+        else if (arg == "--once")
+            follow = false;
+        else if (arg.rfind("--interval-ms=", 0) == 0)
+            intervalMs = std::strtol(arg.c_str() + 14, nullptr, 10);
+        else if (path.empty())
+            path = arg;
+        else {
+            std::fprintf(stderr, "adtop: unexpected argument '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "usage: adtop <metrics.json> [--once] [--follow] "
+                     "[--interval-ms=N]\n");
+        return 1;
+    }
+    if (intervalMs < 1)
+        intervalMs = 1;
+
+    while (true) {
+        if (follow)
+            std::printf("\033[2J\033[H"); // clear + home.
+        const int status = render(path);
+        if (!follow)
+            return status;
+        std::fflush(stdout);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
+}

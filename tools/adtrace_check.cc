@@ -9,12 +9,23 @@
  * on success, 1 with a diagnostic otherwise -- the obs_smoke ctest
  * chains this after an adrun --trace run.
  *
+ * With --flight the file is validated as a flight-recorder
+ * post-mortem dump instead: the schema (version, reason, per-stream
+ * event arrays), per-stream monotone non-decreasing timestamps,
+ * span nesting per (stream, track), the recorded/dropped/retained
+ * conservation, and every --require=NAME event name.
+ *
  * Usage:
  *   adtrace_check <trace.json> [--min-events=N] [--require=NAME]...
+ *   adtrace_check --flight <flight.json> [--min-events=N]
+ *                 [--require=NAME]...
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -32,6 +43,132 @@ fail(const std::string& message)
     return 1;
 }
 
+/** Fetch a required numeric field of an object. */
+const Value*
+numberField(const Value& obj, const char* key)
+{
+    const Value* v = obj.find(key);
+    return v && v->isNumber() ? v : nullptr;
+}
+
+const std::set<std::string> kFlightKinds = {
+    "span", "metric", "transition", "admission", "mark", "perf"};
+
+/** Validate one flight dump; returns the process exit status. */
+int
+checkFlight(const std::string& path, long minEvents,
+            const std::vector<std::string>& required)
+{
+    std::string error;
+    const auto doc = ad::obs::json::parseFile(path, &error);
+    if (!doc)
+        return fail("'" + path + "' is not valid JSON: " + error);
+    if (!doc->isObject())
+        return fail("top-level value is not an object");
+    const Value* flight = doc->find("flight");
+    if (!flight || !flight->isObject())
+        return fail("missing flight object");
+    if (!numberField(*flight, "version"))
+        return fail("flight lacks a numeric version");
+    const Value* reason = flight->find("reason");
+    if (!reason || !reason->isString())
+        return fail("flight lacks a string reason");
+    if (!numberField(*flight, "trigger_frame") ||
+        !numberField(*flight, "trigger_stream"))
+        return fail("flight lacks trigger_frame/trigger_stream");
+    const Value* streams = flight->find("streams");
+    if (!streams || !streams->isArray())
+        return fail("missing flight.streams array");
+
+    std::size_t totalEvents = 0;
+    std::set<std::string> names;
+    for (std::size_t s = 0; s < streams->asArray().size(); ++s) {
+        const Value& stream = streams->asArray()[s];
+        const std::string where = "stream " + std::to_string(s);
+        if (!stream.isObject())
+            return fail(where + " is not an object");
+        const Value* recorded = numberField(stream, "recorded");
+        const Value* dropped = numberField(stream, "dropped");
+        if (!numberField(stream, "stream") || !recorded || !dropped)
+            return fail(where +
+                        " lacks stream/recorded/dropped numbers");
+        const Value* events = stream.find("events");
+        if (!events || !events->isArray())
+            return fail(where + " lacks an events array");
+        const auto& arr = events->asArray();
+        if (recorded->asNumber() !=
+            dropped->asNumber() + static_cast<double>(arr.size()))
+            return fail(where + ": recorded != dropped + retained");
+
+        double lastT = -std::numeric_limits<double>::infinity();
+        // Per-track stack of open span end times: a new span must
+        // either start after the top ends (sibling) or end within
+        // it (child); anything else is a partial overlap.
+        std::map<long, std::vector<double>> openEnds;
+        constexpr double eps = 1e-9;
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            const Value& e = arr[i];
+            const std::string at =
+                where + " event " + std::to_string(i);
+            if (!e.isObject())
+                return fail(at + " is not an object");
+            const Value* kind = e.find("kind");
+            const Value* name = e.find("name");
+            const Value* t = numberField(e, "t_ms");
+            if (!kind || !kind->isString() ||
+                !kFlightKinds.count(kind->asString()))
+                return fail(at + " has a missing or unknown kind");
+            if (!name || !name->isString())
+                return fail(at + " lacks a string name");
+            if (!t)
+                return fail(at + " lacks a numeric t_ms");
+            if (!numberField(e, "frame"))
+                return fail(at + " lacks a numeric frame");
+            if (t->asNumber() < lastT - eps)
+                return fail(at + " breaks timestamp monotonicity (" +
+                            std::to_string(t->asNumber()) + " after " +
+                            std::to_string(lastT) + ")");
+            lastT = std::max(lastT, t->asNumber());
+            if (kind->asString() == "span") {
+                const Value* dur = numberField(e, "dur_ms");
+                const Value* track = numberField(e, "track");
+                if (!dur || dur->asNumber() < 0)
+                    return fail(at + " span lacks a valid dur_ms");
+                if (!track)
+                    return fail(at + " span lacks a track");
+                const double start = t->asNumber();
+                const double end = start + dur->asNumber();
+                auto& stack =
+                    openEnds[static_cast<long>(track->asNumber())];
+                while (!stack.empty() && start >= stack.back() - eps)
+                    stack.pop_back();
+                if (!stack.empty() && end > stack.back() + eps)
+                    return fail(at + " span overlaps its enclosing "
+                                     "span without nesting");
+                stack.push_back(end);
+            }
+            names.insert(name->asString());
+            ++totalEvents;
+        }
+    }
+
+    if (static_cast<long>(totalEvents) < minEvents)
+        return fail("only " + std::to_string(totalEvents) +
+                    " flight events, expected at least " +
+                    std::to_string(minEvents));
+    for (const auto& want : required)
+        if (!names.count(want))
+            return fail("required event '" + want +
+                        "' missing from flight dump");
+
+    std::printf(
+        "adtrace_check: %s ok (flight dump, %zu streams, %zu events, "
+        "%zu names)\n",
+        path.c_str(), streams->asArray().size(), totalEvents,
+        names.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -39,6 +176,7 @@ main(int argc, char** argv)
 {
     std::string path;
     long minEvents = 1;
+    bool flightMode = false;
     std::vector<std::string> required;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -46,14 +184,18 @@ main(int argc, char** argv)
             minEvents = std::strtol(arg.c_str() + 13, nullptr, 10);
         else if (arg.rfind("--require=", 0) == 0)
             required.push_back(arg.substr(10));
+        else if (arg == "--flight")
+            flightMode = true;
         else if (path.empty())
             path = arg;
         else
             return fail("unexpected argument '" + arg + "'");
     }
     if (path.empty())
-        return fail("usage: adtrace_check <trace.json> "
+        return fail("usage: adtrace_check [--flight] <trace.json> "
                     "[--min-events=N] [--require=NAME]...");
+    if (flightMode)
+        return checkFlight(path, minEvents, required);
 
     std::string error;
     const auto doc = ad::obs::json::parseFile(path, &error);

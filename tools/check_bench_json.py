@@ -102,6 +102,17 @@ def check_serve(c, doc):
                     "shed_rate", "mean_batch_size"):
             c.number(row, key, ctx, minimum=0)
         c.require(row, "mode", [str], ctx)
+        # Per-stream SLO summary (worst burn rate / window p99 across
+        # streams, mean goodput ratio). worst_p99_ms may be the -1
+        # sentinel when no stream's window resolved a p99.
+        slo = c.require(row, "slo", [dict], ctx)
+        if slo is not None:
+            c.number(slo, "worst_burn_rate", f"{ctx}.slo", minimum=0)
+            c.number(slo, "worst_p99_ms", f"{ctx}.slo", minimum=-1)
+            ratio = c.number(slo, "mean_goodput_ratio", f"{ctx}.slo",
+                             minimum=0)
+            if ratio is not None and ratio > 1.0:
+                c.fail(f"{ctx}.slo.mean_goodput_ratio {ratio} > 1")
         # Frame conservation: nothing admitted or shed beyond what
         # arrived (coasted frames absorb the remainder).
         if None not in (streams, frames, admitted, shed):
@@ -109,6 +120,22 @@ def check_serve(c, doc):
             if admitted + shed > arrived:
                 c.fail(f"{ctx}: admitted {admitted} + shed {shed} "
                        f"> arrived {arrived}")
+    check_serve_overhead(c, doc)
+
+
+def check_serve_overhead(c, doc):
+    """The flight-recorder overhead block of BENCH_serve.json."""
+    overhead = c.require(doc, "flight_overhead", [dict])
+    if overhead is None:
+        return
+    c.number(overhead, "on_ms", "flight_overhead", minimum=0)
+    c.number(overhead, "off_ms", "flight_overhead", minimum=0)
+    pct = c.number(overhead, "overhead_pct", "flight_overhead",
+                   minimum=0)
+    # ISSUE 7 acceptance bar: recording costs < 5 % of the measured
+    # serving run it instruments.
+    if pct is not None and pct >= 5.0:
+        c.fail(f"flight_overhead.overhead_pct {pct} >= 5")
 
 
 def check_quant(c, doc):
