@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Fixed-capacity MPMC queue used to carry frames across asynchronous
+ * stage boundaries. The frame-graph executor (pipeline/frame_graph.hh)
+ * gives every stage-to-stage edge one bounded queue sized to the
+ * pipeline depth, so backpressure is structural: a producer stage can
+ * never run more than `capacity` frames ahead of its consumer, and a
+ * full edge is a bug in the admission gate rather than an unbounded
+ * buffer quietly absorbing it.
+ *
+ * Two usage modes:
+ *  - non-blocking (tryPush / tryPop / peek): what the executor uses
+ *    under its own scheduling lock, where a full or empty queue is a
+ *    scheduling fact, not something to wait on;
+ *  - blocking (push / pop / close): a conventional producer/consumer
+ *    channel for callers that do want to wait, with close() releasing
+ *    both sides for shutdown.
+ */
+
+#ifndef AD_COMMON_BOUNDED_QUEUE_HH
+#define AD_COMMON_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ad {
+
+/**
+ * Fixed-capacity FIFO queue, safe for concurrent producers and
+ * consumers. Capacity is set at construction and never grows; all
+ * operations are O(1) amortized and hold one short mutex.
+ */
+template <typename T> class BoundedQueue
+{
+  public:
+    /** @param capacity maximum queued items (at least 1). */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    /** Items the queue can hold. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Items currently queued. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    /** True when nothing is queued. */
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.empty();
+    }
+
+    /**
+     * Enqueue without blocking.
+     * @return false when the queue is full or closed.
+     */
+    bool
+    tryPush(T value)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue without blocking.
+     * @return nullopt when the queue is empty.
+     */
+    std::optional<T>
+    tryPop()
+    {
+        std::optional<T> out;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (items_.empty())
+                return out;
+            out = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return out;
+    }
+
+    /** Copy of the oldest queued item; nullopt when empty. */
+    std::optional<T>
+    peek() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return std::nullopt;
+        return items_.front();
+    }
+
+    /**
+     * Enqueue, waiting while the queue is full.
+     * @return false when the queue was closed before space appeared.
+     */
+    bool
+    push(T value)
+    {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notFull_.wait(lock, [this] {
+                return closed_ || items_.size() < capacity_;
+            });
+            if (closed_)
+                return false;
+            items_.push_back(std::move(value));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue, waiting while the queue is empty.
+     * @return nullopt only after close() with the queue drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::optional<T> out;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock,
+                           [this] { return closed_ || !items_.empty(); });
+            if (items_.empty())
+                return out; // closed and drained
+            out = std::move(items_.front());
+            items_.pop_front();
+        }
+        notFull_.notify_one();
+        return out;
+    }
+
+    /**
+     * Close the queue: push() fails from now on, pop() drains what
+     * remains and then returns nullopt, and every waiter wakes.
+     * Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    /** True once close() has been called. */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    const std::size_t capacity_;      ///< fixed at construction.
+    mutable std::mutex mutex_;        ///< guards items_ and closed_.
+    std::condition_variable notEmpty_; ///< wakes pop() waiters.
+    std::condition_variable notFull_;  ///< wakes push() waiters.
+    std::deque<T> items_;             ///< FIFO storage (never resized
+                                      ///< beyond capacity_).
+    bool closed_ = false;             ///< set by close().
+};
+
+} // namespace ad
+
+#endif // AD_COMMON_BOUNDED_QUEUE_HH

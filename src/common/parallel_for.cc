@@ -1,8 +1,10 @@
 #include "common/parallel_for.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -12,22 +14,74 @@ namespace ad {
 
 namespace {
 
-/** Completion latch + first-exception capture shared by the chunks. */
+/**
+ * Shared state of one fork: the static chunk table behind an atomic
+ * claim cursor, plus a completion latch and first-exception capture.
+ *
+ * Chunks are claimed (not pre-assigned): the calling thread and the
+ * pool helper tasks all pull from `next` until it passes `chunks`.
+ * Claim order varies with scheduling, chunk boundaries never do, and
+ * the parallelFor determinism contract (disjoint outputs per index)
+ * makes the order unobservable. Helpers that arrive after the table
+ * is drained claim nothing and finish immediately, which is what
+ * makes nested forks starvation-free: a worker-thread caller whose
+ * helpers are all stuck behind busy workers just claims every chunk
+ * inline.
+ *
+ * Heap-allocated (shared_ptr) because late helper tasks can outlive
+ * the parallelFor call that spawned them: the caller returns once all
+ * *chunks* are done, not once all helpers have run.
+ */
 struct ForkState
 {
+    std::atomic<std::size_t> next{0}; ///< claim cursor over chunks.
+    std::size_t chunks = 0;
+    std::size_t begin = 0;
+    std::size_t base = 0; ///< chunk size floor (range / chunks).
+    std::size_t rem = 0;  ///< chunks carrying one extra index.
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+
     std::mutex mutex;
     std::condition_variable done;
-    std::size_t remaining = 0;
+    std::size_t completed = 0;
     std::exception_ptr error;
 
-    void
-    finish(std::exception_ptr e)
+    /** Static bounds of chunk i (depend only on range and chunks). */
+    std::pair<std::size_t, std::size_t>
+    chunkBounds(std::size_t i) const
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (e && !error)
-            error = std::move(e);
-        if (--remaining == 0)
-            done.notify_all();
+        const std::size_t lo =
+            begin + i * base + std::min<std::size_t>(i, rem);
+        return {lo, lo + base + (i < rem ? 1 : 0)};
+    }
+
+    /**
+     * Claim and run chunks until the table is drained.
+     * @return chunks this call completed.
+     */
+    std::size_t
+    claimAndRun()
+    {
+        std::size_t ran = 0;
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= chunks)
+                return ran;
+            std::exception_ptr e;
+            try {
+                const auto [lo, hi] = chunkBounds(i);
+                (*fn)(lo, hi);
+            } catch (...) {
+                e = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            if (e && !error)
+                error = std::move(e);
+            if (++completed == chunks)
+                done.notify_all();
+            ++ran;
+        }
     }
 };
 
@@ -51,64 +105,33 @@ parallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
     const std::size_t chunks =
         std::min(limit, (range + grain - 1) / grain);
 
-    if (!pool || chunks <= 1 || ThreadPool::insideWorker()) {
+    if (!pool || chunks <= 1) {
         fn(begin, end);
         return;
     }
 
-    // Static even split: chunk i covers base indices plus one extra for
-    // the first `rem` chunks. Boundaries depend only on (range, chunks).
-    const std::size_t base = range / chunks;
-    const std::size_t rem = range % chunks;
-    const auto chunkBounds = [&](std::size_t i) {
-        const std::size_t lo =
-            begin + i * base + std::min<std::size_t>(i, rem);
-        return std::pair<std::size_t, std::size_t>(
-            lo, lo + base + (i < rem ? 1 : 0));
-    };
+    auto state = std::make_shared<ForkState>();
+    state->chunks = chunks;
+    state->begin = begin;
+    state->base = range / chunks;
+    state->rem = range % chunks;
+    state->fn = &fn;
 
-    ForkState state;
-    state.remaining = chunks - 1;
-    std::size_t submitted = 0;
-    for (std::size_t i = 1; i < chunks; ++i) {
-        const auto [lo, hi] = chunkBounds(i);
-        const bool accepted = pool->submit([&fn, &state, lo, hi] {
-            std::exception_ptr e;
-            try {
-                fn(lo, hi);
-            } catch (...) {
-                e = std::current_exception();
-            }
-            state.finish(std::move(e));
-        });
-        if (!accepted)
-            break; // pool shutting down; run the rest inline below
-        ++submitted;
-    }
+    // One helper per chunk beyond the caller's first claim. A helper
+    // that finds the table drained exits without touching fn, so
+    // over-submitting costs nothing and a shutting-down pool that
+    // refuses helpers just leaves more chunks for the caller.
+    for (std::size_t i = 1; i < chunks; ++i)
+        if (!pool->submit([state] { state->claimAndRun(); }))
+            break;
 
-    // The caller executes chunk 0 (and any chunks a shutting-down pool
-    // refused) instead of idling on the latch.
-    std::exception_ptr callerError;
-    try {
-        const auto [lo, hi] = chunkBounds(0);
-        fn(lo, hi);
-        for (std::size_t i = submitted + 1; i < chunks; ++i) {
-            const auto [l2, h2] = chunkBounds(i);
-            fn(l2, h2);
-        }
-    } catch (...) {
-        callerError = std::current_exception();
-    }
+    state->claimAndRun();
 
-    if (submitted > 0) {
-        std::unique_lock<std::mutex> lock(state.mutex);
-        state.remaining -= chunks - 1 - submitted; // never-submitted
-        state.done.wait(lock, [&state] { return state.remaining == 0; });
-    }
-    if (callerError)
-        std::rethrow_exception(callerError);
-    if (state.error)
-        std::rethrow_exception(state.error);
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock,
+                     [&] { return state->completed == state->chunks; });
+    if (state->error)
+        std::rethrow_exception(state->error);
 }
 
 ThreadPool&

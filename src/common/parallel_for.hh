@@ -33,9 +33,19 @@ class ThreadPool;
  * The range is split into at most min(maxThreads, workers + 1) chunks
  * of at least `grain` indices each (static partitioning; chunk
  * boundaries depend only on the range and chunk count). Runs inline
- * when pool is null, the range fits one grain, only one chunk would
- * result, or the caller is itself a pool worker (nested parallelFor
- * degrades to serial instead of risking worker starvation).
+ * when pool is null, the range fits one grain, or only one chunk
+ * would result.
+ *
+ * Chunk *boundaries* are static but chunk *assignment* is dynamic:
+ * chunks sit behind an atomic cursor that the calling thread and a
+ * set of pool helper tasks claim from until the list is exhausted.
+ * Under the determinism contract the claim order is unobservable, and
+ * the scheme makes nested forks safe without serializing them: a
+ * caller that is itself a pool worker (a frame-graph stage task
+ * running an NN kernel) claims chunks like anyone else, idle workers
+ * steal what they can, and when every worker is busy the caller
+ * simply claims the whole list inline -- the pre-claiming behavior --
+ * so a fork can never deadlock the pool however deep it nests.
  *
  * Exceptions thrown by fn are caught per chunk; the first one is
  * rethrown on the calling thread after every chunk has finished, so a

@@ -81,8 +81,10 @@ class ThreadPool
 
     /**
      * True when the calling thread is a worker of *any* ThreadPool.
-     * parallelFor uses this to degrade to inline execution instead of
-     * blocking a worker on sub-chunks it might itself be needed for.
+     * Kept as a diagnostic for code that must behave differently on
+     * a worker (parallelFor no longer needs it: its claim-based
+     * chunk table lets worker-thread callers fork safely, running
+     * every unclaimed chunk themselves if no other worker is free).
      */
     static bool insideWorker();
 

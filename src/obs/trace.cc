@@ -98,6 +98,35 @@ TraceRecorder::localBuffer()
     return *slot;
 }
 
+namespace {
+
+/**
+ * Per-thread frame override installed by ScopedTraceFrame; INT64_MIN
+ * means "no override, fall back to the recorder's global frame".
+ */
+thread_local std::int64_t threadFrameOverride = INT64_MIN;
+
+} // namespace
+
+std::int64_t
+TraceRecorder::resolveFrame() const
+{
+    if (threadFrameOverride != INT64_MIN)
+        return threadFrameOverride;
+    return currentFrame();
+}
+
+ScopedTraceFrame::ScopedTraceFrame(std::int64_t frame)
+    : prev_(threadFrameOverride)
+{
+    threadFrameOverride = frame;
+}
+
+ScopedTraceFrame::~ScopedTraceFrame()
+{
+    threadFrameOverride = prev_;
+}
+
 void
 TraceRecorder::record(std::string name, const char* category,
                       double startUs, double durUs, std::int64_t frame)
@@ -105,7 +134,7 @@ TraceRecorder::record(std::string name, const char* category,
     if (!enabled())
         return;
     if (frame == INT64_MIN)
-        frame = currentFrame();
+        frame = resolveFrame();
     ThreadBuffer& buf = localBuffer();
     std::lock_guard<std::mutex> lock(buf.mutex);
     buf.events.push_back({std::move(name), category, frame, buf.tid,
@@ -120,7 +149,7 @@ TraceRecorder::recordWithPerf(std::string name, const char* category,
     if (!enabled())
         return;
     if (frame == INT64_MIN)
-        frame = currentFrame();
+        frame = resolveFrame();
     ThreadBuffer& buf = localBuffer();
     std::lock_guard<std::mutex> lock(buf.mutex);
     buf.events.push_back({std::move(name), category, frame, buf.tid,

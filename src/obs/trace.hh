@@ -105,9 +105,12 @@ class TraceRecorder
     }
 
     /**
-     * Tag subsequent spans with a frame id. The measured pipeline sets
+     * Tag subsequent spans with a frame id. The serial pipeline sets
      * this once per processFrame; spans on worker threads inherit it,
-     * which is correct because one frame is in flight at a time.
+     * which is correct while one frame is in flight at a time. When
+     * the async frame-graph executor overlaps frames it instead scopes
+     * each stage task with a ScopedTraceFrame, whose thread-local
+     * override takes precedence over this global.
      */
     void setFrame(std::int64_t frame)
     {
@@ -118,6 +121,13 @@ class TraceRecorder
     {
         return frame_.load(std::memory_order_relaxed);
     }
+
+    /**
+     * The frame id unresolved spans on this thread will be tagged
+     * with: the thread-local ScopedTraceFrame override when one is
+     * active, this recorder's currentFrame() otherwise.
+     */
+    std::int64_t resolveFrame() const;
 
     /** Microseconds since the recorder's construction epoch. */
     double nowUs() const;
@@ -186,6 +196,37 @@ tracer()
 {
     return TraceRecorder::instance();
 }
+
+/**
+ * RAII thread-local frame override for cross-thread span parenting.
+ *
+ * The async frame-graph executor runs stages of different frames on
+ * the same worker pool concurrently, so a single global "current
+ * frame" can no longer tag spans correctly. The executor wraps each
+ * stage task in a ScopedTraceFrame; every span the task records
+ * (including nested NN-layer spans on the same thread) resolves its
+ * frame id from this override instead of the global, restoring the
+ * previous override on destruction so nested scopes compose.
+ *
+ * Spans started on one thread and finished on another are not
+ * supported (TraceSpan is not movable), so resolving at record time
+ * on the recording thread is sufficient.
+ */
+class ScopedTraceFrame
+{
+  public:
+    /** Override the calling thread's span frame id with @p frame. */
+    explicit ScopedTraceFrame(std::int64_t frame);
+
+    /** Restore the previous override (or none). */
+    ~ScopedTraceFrame();
+
+    ScopedTraceFrame(const ScopedTraceFrame&) = delete;
+    ScopedTraceFrame& operator=(const ScopedTraceFrame&) = delete;
+
+  private:
+    std::int64_t prev_;
+};
 
 /**
  * RAII span. Construction samples the clock only when the recorder is

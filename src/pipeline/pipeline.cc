@@ -63,12 +63,21 @@ Pipeline::Pipeline(const slam::PriorMap* map,
         degradedDetector_.emplace(params_.detector.scaledInput(
             params_.governor.degradedDetScale));
     }
+    if (params_.async)
+        setupExecutor();
 }
 
 void
 Pipeline::reset(const Pose2& pose, const Vec2& velocity,
                 const Vec2& destination)
 {
+    if (exec_) {
+        exec_->drain();
+        exec_.reset();
+        std::lock_guard<std::mutex> lock(readyMutex_);
+        ready_.clear();
+    }
+    pendingOdom_.clear();
     localizer_.reset(pose, velocity);
     if (mission_)
         mission_->plan(pose.pos, destination);
@@ -79,56 +88,231 @@ Pipeline::reset(const Pose2& pose, const Vec2& velocity,
     lastDetections_.clear();
     detStaleFrames_ = 0;
     locStaleFrames_ = 0;
+    if (params_.async)
+        setupExecutor();
+}
+
+void
+Pipeline::feedOdometry(const sensors::OdometryReading& odometry)
+{
+    if (exec_) {
+        // Applied by the next submitted frame's LOC stage, in frame
+        // order, so async runs see the readings exactly where a
+        // serial run would.
+        pendingOdom_.push_back(odometry);
+        return;
+    }
+    localizer_.feedOdometry(odometry);
+}
+
+FrameGraph
+Pipeline::buildGraph()
+{
+    // The Figure 1 dataflow: DET and LOC consume the (possibly
+    // corrupted) frame in parallel, TRA consumes DET, FUSION joins
+    // TRA with LOC, and planning consumes the fused scene plus the
+    // pose. Each stage fn returns its virtual cost so the executor's
+    // timeline composes exactly like endToEndMs().
+    auto job = [this](std::int64_t f) -> FrameJob& {
+        return jobs_[static_cast<std::size_t>(f % depth_)];
+    };
+    FrameGraph g;
+    senseStage_ = g.addStage("SENSE", {}, [this, job](std::int64_t f) {
+        stageSense(job(f));
+        return 0.0;
+    });
+    detStage_ =
+        g.addStage("DET", {"SENSE"}, [this, job](std::int64_t f) {
+            FrameJob& j = job(f);
+            stageDet(j);
+            return j.out.latencies.detMs;
+        });
+    locStage_ =
+        g.addStage("LOC", {"SENSE"}, [this, job](std::int64_t f) {
+            FrameJob& j = job(f);
+            stageLoc(j);
+            return j.out.latencies.locMs;
+        });
+    traStage_ = g.addStage("TRA", {"SENSE", "DET"},
+                           [this, job](std::int64_t f) {
+                               FrameJob& j = job(f);
+                               stageTra(j);
+                               return j.out.latencies.traMs;
+                           });
+    fusionStage_ = g.addStage("FUSION", {"TRA", "LOC"},
+                              [this, job](std::int64_t f) {
+                                  FrameJob& j = job(f);
+                                  stageFusion(j);
+                                  return j.out.latencies.fusionMs;
+                              });
+    planStage_ = g.addStage("MOTPLAN", {"FUSION", "LOC"},
+                            [this, job](std::int64_t f) {
+                                FrameJob& j = job(f);
+                                stagePlan(j);
+                                return j.out.latencies.motPlanMs;
+                            });
+    return g;
+}
+
+void
+Pipeline::setupExecutor()
+{
+    depth_ = std::max(1, params_.asyncDepth);
+    jobs_ = std::vector<FrameJob>(static_cast<std::size_t>(depth_));
+    planQueue_.clear();
+    // Pre-stage the first `depth` plans from the governor's current
+    // (fully observed, nothing in flight) state; commits keep the
+    // queue topped up from then on.
+    if (governor_)
+        for (int i = 0; i < depth_; ++i)
+            planQueue_.push_back(governor_->plan(frameIndex_ + i));
+
+    FrameGraphExecutor::Params ep;
+    ep.depth = depth_;
+    ep.scheduleSeed = params_.scheduleSeed;
+    exec_ = std::make_unique<FrameGraphExecutor>(
+        buildGraph(), ep,
+        // Admission (submit order, under the executor lock): draw the
+        // frame's fault plan and pop its staged governor plan -- the
+        // seeded draws happen in frame order whatever the workers do.
+        [this](std::int64_t execFrame) {
+            FrameJob& job =
+                jobs_[static_cast<std::size_t>(execFrame % depth_)];
+            job = FrameJob{};
+            job.id = frameIndex_++;
+            job.dt = pendingDt_;
+            job.egoSpeed = pendingSpeed_;
+            job.timeS = time_;
+            job.image = *pendingImage_;
+            job.frame = &job.image;
+            job.odom = std::move(pendingOdom_);
+            pendingOdom_.clear();
+            job.fault = faults_ ? faults_->planFrame() : FaultPlan{};
+            if (governor_) {
+                job.plan = planQueue_.front();
+                planQueue_.pop_front();
+            }
+            job.out.frameId = job.id;
+            job.out.mode = job.plan.mode;
+            job.out.frameDropped = job.fault.dropFrame;
+            if (obs::tracer().enabled())
+                job.traceStartUs = obs::tracer().nowUs();
+        },
+        // Commit (frame order, under the executor lock): the shared
+        // epilogue plus staging the plan for frame id + depth.
+        [this](std::int64_t execFrame,
+               const FrameGraphExecutor::FrameTiming& timing) {
+            FrameJob& job =
+                jobs_[static_cast<std::size_t>(execFrame % depth_)];
+            commitJob(job, &timing);
+            std::lock_guard<std::mutex> lock(readyMutex_);
+            ready_.push_back(std::move(job.out));
+        });
 }
 
 FrameOutput
 Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
 {
-    FrameOutput out;
+    FrameJob job;
     time_ += dt;
-    const std::int64_t frameId = frameIndex_++;
+    job.id = frameIndex_++;
+    job.dt = dt;
+    job.egoSpeed = egoSpeed;
+    job.timeS = time_;
+    job.frame = &image;
+    job.out.frameId = job.id;
     auto& tracerRef = obs::tracer();
     if (tracerRef.enabled())
-        tracerRef.setFrame(frameId);
-    obs::TraceSpan frameSpan(tracerRef, "FRAME", "frame", frameId);
+        tracerRef.setFrame(job.id);
+    obs::TraceSpan frameSpan(tracerRef, "FRAME", "frame", job.id);
 
     // Fault plan for this frame (a fixed number of seeded draws) and
     // the governor's actuation plan. With both subsystems disabled
     // this degenerates to "run everything", the pre-governor flow.
-    const FaultPlan fault =
-        faults_ ? faults_->planFrame() : FaultPlan{};
-    const FramePlan plan = governor_ ? governor_->plan(frameId)
-                                     : FramePlan{};
-    out.mode = plan.mode;
-    out.frameDropped = fault.dropFrame;
+    job.fault = faults_ ? faults_->planFrame() : FaultPlan{};
+    job.plan = governor_ ? governor_->plan(job.id) : FramePlan{};
+    job.out.mode = job.plan.mode;
+    job.out.frameDropped = job.fault.dropFrame;
 
+    stageSense(job);
+    stageDet(job);
+    stageLoc(job);
+    stageTra(job);
+    stageFusion(job);
+    stagePlan(job);
+    commitJob(job, nullptr);
+    return std::move(job.out);
+}
+
+std::vector<FrameOutput>
+Pipeline::submitFrame(const Image& image, double dt, double egoSpeed)
+{
+    std::vector<FrameOutput> outs;
+    if (!exec_) {
+        outs.push_back(processFrame(image, dt, egoSpeed));
+        return outs;
+    }
+    time_ += dt;
+    pendingImage_ = &image;
+    pendingDt_ = dt;
+    pendingSpeed_ = egoSpeed;
+    exec_->submit(time_ * 1000.0);
+    std::lock_guard<std::mutex> lock(readyMutex_);
+    while (!ready_.empty()) {
+        outs.push_back(std::move(ready_.front()));
+        ready_.pop_front();
+    }
+    return outs;
+}
+
+std::vector<FrameOutput>
+Pipeline::drainAsync()
+{
+    std::vector<FrameOutput> outs;
+    if (!exec_)
+        return outs;
+    exec_->drain();
+    std::lock_guard<std::mutex> lock(readyMutex_);
+    while (!ready_.empty()) {
+        outs.push_back(std::move(ready_.front()));
+        ready_.pop_front();
+    }
+    return outs;
+}
+
+void
+Pipeline::stageSense(FrameJob& job)
+{
     // Sensor corruption reaches the engines through the pixels; the
     // frame is copied only when a corruption fault actually fired.
-    const Image* frame = &image;
-    Image corrupted;
-    if (!fault.dropFrame &&
-        (fault.blackout || fault.noiseSigma > 0)) {
-        corrupted = image;
-        if (fault.blackout) {
-            sensors::blackout(corrupted);
+    if (!job.fault.dropFrame &&
+        (job.fault.blackout || job.fault.noiseSigma > 0)) {
+        job.corrupted = *job.frame;
+        if (job.fault.blackout) {
+            sensors::blackout(job.corrupted);
         } else {
-            Rng noiseRng(fault.noiseSeed);
-            sensors::addPixelNoise(corrupted, noiseRng,
-                                   fault.noiseSigma);
+            Rng noiseRng(job.fault.noiseSeed);
+            sensors::addPixelNoise(job.corrupted, noiseRng,
+                                   job.fault.noiseSigma);
         }
-        frame = &corrupted;
+        job.frame = &job.corrupted;
     }
+}
 
+void
+Pipeline::stageDet(FrameJob& job)
+{
     // --- (1a) Object detection. ---
-    detect::DetectorTimings detTimings;
+    FrameOutput& out = job.out;
     const int maxStale = params_.governor.maxStaleFrames;
-    const bool wantDet = plan.runDet && !fault.dropFrame;
-    if (wantDet && !fault.detFail) {
-        obs::TraceSpan span(tracerRef, "DET");
+    const bool wantDet = job.plan.runDet && !job.fault.dropFrame;
+    if (wantDet && !job.fault.detFail) {
+        obs::TraceSpan span(obs::tracer(), "DET");
         detect::YoloDetector& det =
-            plan.degradedDet && degradedDetector_ ? *degradedDetector_
-                                                  : detector_;
-        out.detections = det.detect(*frame, &detTimings);
+            job.plan.degradedDet && degradedDetector_
+                ? *degradedDetector_
+                : detector_;
+        out.detections = det.detect(*job.frame, &job.detTimings);
         out.detRan = true;
         lastDetections_ = out.detections;
         detStaleFrames_ = 0;
@@ -142,71 +326,88 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
         }
     }
     out.latencies.detMs =
-        detTimings.totalMs + spikeOn(fault, obs::Stage::Det);
-    cycles_.detDnnMs += detTimings.dnnMs;
-    cycles_.detOtherMs += detTimings.decodeMs;
+        job.detTimings.totalMs + spikeOn(job.fault, obs::Stage::Det);
+}
 
+void
+Pipeline::stageLoc(FrameJob& job)
+{
     // --- (1b) Localization (logically parallel with DET). ---
-    if (!fault.dropFrame && !fault.locFail) {
-        obs::TraceSpan span(tracerRef, "LOC");
-        out.localization = localizer_.localize(*frame, dt);
+    FrameOutput& out = job.out;
+    for (const auto& odo : job.odom)
+        localizer_.feedOdometry(odo);
+    if (!job.fault.dropFrame && !job.fault.locFail) {
+        obs::TraceSpan span(obs::tracer(), "LOC");
+        out.localization = localizer_.localize(*job.frame, job.dt);
         if (out.localization.ok) {
-            if (dt > 0)
+            if (job.dt > 0)
                 lastLocVelocity_ =
                     (out.localization.pose.pos - lastLocPose_.pos) *
-                    (1.0 / dt);
+                    (1.0 / job.dt);
             lastLocPose_ = out.localization.pose;
             locStaleFrames_ = 0;
         }
     } else {
         // LOC never ran: dead-reckon from the last good pose under
         // the bounded-staleness contract; blowing the bound forces
-        // SAFE_STOP (docs/OPERATING_MODES.md).
-        lastLocPose_.pos += lastLocVelocity_ * dt;
+        // SAFE_STOP at commit (docs/OPERATING_MODES.md).
+        lastLocPose_.pos += lastLocVelocity_ * job.dt;
         out.localization.pose = lastLocPose_;
         out.localization.ok = false;
         out.localization.lost = true;
         out.locFellBack = true;
         ++locStaleFrames_;
-        if (governor_ && locStaleFrames_ > maxStale)
-            governor_->forceSafeStop(frameId, "stale:LOC");
+        if (governor_ &&
+            locStaleFrames_ > params_.governor.maxStaleFrames)
+            job.locStaleExceeded = true;
     }
     out.latencies.locMs = out.localization.timings.totalMs +
-                          spikeOn(fault, obs::Stage::Loc);
-    cycles_.locFeMs += out.localization.timings.feMs;
-    cycles_.locOtherMs +=
-        out.localization.timings.totalMs - out.localization.timings.feMs;
+                          spikeOn(job.fault, obs::Stage::Loc);
+}
 
+void
+Pipeline::stageTra(FrameJob& job)
+{
     // --- (1c) Object tracking. ---
-    track::PoolTimings traTimings;
+    FrameOutput& out = job.out;
     {
-        obs::TraceSpan span(tracerRef, "TRA");
-        if (fault.dropFrame || fault.traFail) {
-            trackerPool_.coastBlind(&traTimings);
+        obs::TraceSpan span(obs::tracer(), "TRA");
+        if (job.fault.dropFrame || job.fault.traFail) {
+            trackerPool_.coastBlind(&job.traTimings);
             out.traCoasted = true;
-        } else if (!plan.runDet) {
+        } else if (!job.plan.runDet) {
             // Deliberately skipped detection (interval stretching /
             // TRACKING_ONLY): GOTURN coasting without miss counting.
-            trackerPool_.coast(*frame, &traTimings);
+            trackerPool_.coast(*job.frame, &job.traTimings);
             out.traCoasted = true;
         } else {
-            trackerPool_.update(*frame, out.detections, &traTimings);
+            trackerPool_.update(*job.frame, out.detections,
+                                &job.traTimings);
         }
     }
     out.tracks = trackerPool_.tracks();
     out.latencies.traMs =
-        traTimings.totalMs + spikeOn(fault, obs::Stage::Tra);
-    cycles_.traDnnMs += traTimings.tracker.dnnMs;
-    cycles_.traOtherMs += traTimings.totalMs - traTimings.tracker.dnnMs;
+        job.traTimings.totalMs + spikeOn(job.fault, obs::Stage::Tra);
+}
 
+void
+Pipeline::stageFusion(FrameJob& job)
+{
     // --- (2) Fusion onto the world coordinate space. ---
+    FrameOutput& out = job.out;
     {
-        obs::TraceSpan span(tracerRef, "FUSION");
-        out.scene = fusion_.fuse(out.tracks, out.localization.pose, dt,
-                                 time_);
+        obs::TraceSpan span(obs::tracer(), "FUSION");
+        out.scene = fusion_.fuse(out.tracks, out.localization.pose,
+                                 job.dt, job.timeS);
     }
     out.latencies.fusionMs =
-        fusion_.lastFuseMs() + spikeOn(fault, obs::Stage::Fusion);
+        fusion_.lastFuseMs() + spikeOn(job.fault, obs::Stage::Fusion);
+}
+
+void
+Pipeline::stagePlan(FrameJob& job)
+{
+    FrameOutput& out = job.out;
 
     // --- (4) Mission planning: only on deviation. ---
     if (mission_)
@@ -215,7 +416,7 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
 
     // --- (3) Motion planning on the fused scene. ---
     {
-        obs::TraceSpan span(tracerRef, "MOTPLAN");
+        obs::TraceSpan span(obs::tracer(), "MOTPLAN");
         Stopwatch watch;
         std::vector<planning::PredictedObstacle> obstacles;
         obstacles.reserve(out.scene.objects.size());
@@ -227,19 +428,53 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
             params_.motionPlanner);
         out.latencies.motPlanMs = watch.elapsedMs();
     }
-    out.latencies.motPlanMs += spikeOn(fault, obs::Stage::MotPlan);
+    out.latencies.motPlanMs += spikeOn(job.fault, obs::Stage::MotPlan);
 
     // --- (5) Vehicle control. ---
     planning::VehicleState state;
     state.pose = out.localization.pose;
-    state.speed = egoSpeed;
-    out.command = controller_.control(state, out.trajectory, dt);
-    if (plan.safeStop) {
+    state.speed = job.egoSpeed;
+    out.command = controller_.control(state, out.trajectory, job.dt);
+    if (job.plan.safeStop) {
         // SAFE_STOP actuation: hold the wheel straight and brake at
         // the controller's limit until the governor recovers.
         out.command.steering = 0.0;
         out.command.acceleration = -params_.control.maxBrake;
     }
+}
+
+void
+Pipeline::commitJob(FrameJob& job,
+                    const FrameGraphExecutor::FrameTiming* timing)
+{
+    FrameOutput& out = job.out;
+    const std::int64_t frameId = job.id;
+
+    // Async mode has no enclosing TraceSpan (stages record their own
+    // spans from pool threads); emit the wall-clock
+    // admission-to-commit FRAME span here instead.
+    if (timing) {
+        auto& tracerRef = obs::tracer();
+        if (tracerRef.enabled())
+            tracerRef.record("FRAME", "frame", job.traceStartUs,
+                             tracerRef.nowUs() - job.traceStartUs,
+                             frameId);
+    }
+
+    // Bounded-staleness escalation surfaced by the LOC stage; raised
+    // here so the transition lands before this frame's observe(),
+    // exactly where the serial flow raised it.
+    if (governor_ && job.locStaleExceeded)
+        governor_->forceSafeStop(frameId, "stale:LOC");
+
+    cycles_.detDnnMs += job.detTimings.dnnMs;
+    cycles_.detOtherMs += job.detTimings.decodeMs;
+    cycles_.locFeMs += out.localization.timings.feMs;
+    cycles_.locOtherMs += out.localization.timings.totalMs -
+                          out.localization.timings.feMs;
+    cycles_.traDnnMs += job.traTimings.tracker.dnnMs;
+    cycles_.traOtherMs +=
+        job.traTimings.totalMs - job.traTimings.tracker.dnnMs;
 
     detRec_.record(out.latencies.detMs);
     traRec_.record(out.latencies.traMs);
@@ -247,12 +482,17 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
     fusionRec_.record(out.latencies.fusionMs);
     motRec_.record(out.latencies.motPlanMs);
     e2eRec_.record(out.latencies.endToEndMs());
+    out.pipelinedMs = timing ? timing->commitMs - timing->arrivalMs
+                             : out.latencies.endToEndMs();
+    pipelinedRec_.record(out.pipelinedMs);
 
     // Deadline watchdog: every frame, whatever the obs switches say
     // (observe() is a few comparisons and mutates nothing the engines
     // read). Injected virtual spikes are included in the sample, so
     // the watchdog and governor see faults exactly as they would see
-    // real stalls.
+    // real stalls. Both consume the *composition* latency -- the
+    // per-frame cost independent of pipelining -- so their decisions
+    // are identical across execution modes.
     const obs::FrameLatencySample sample{
         out.latencies.detMs, out.latencies.traMs, out.latencies.locMs,
         out.latencies.fusionMs, out.latencies.motPlanMs};
@@ -263,10 +503,13 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
     // Flight recorder: the frame's history on the pipeline's virtual
     // timeline (ms of simulated time), so a deterministic run yields
     // a deterministic post-mortem. Purely observational -- nothing
-    // the engines read is touched.
+    // the engines read is touched. The async path emits the same six
+    // spans per frame (event conservation), positioned at the
+    // executor's virtual stage times instead of the serial layout.
     auto& fl = obs::flight();
     if (fl.enabled()) {
-        const double t0 = time_ * 1000.0;
+        auto& tracerRef = obs::tracer();
+        const double t0 = job.timeS * 1000.0;
         const double e2e = out.latencies.endToEndMs();
         const double perception = std::max(
             out.latencies.locMs,
@@ -274,13 +517,14 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
         // DET->TRA chain on track 1, LOC on track 2: the parallel
         // perception branches partially overlap on the shared
         // timeline, so each branch nests on its own track.
-        const struct
+        struct SpanRow
         {
             const char* name;
             double start;
             double dur;
             int track;
-        } spans[] = {
+        };
+        SpanRow spans[] = {
             {"FRAME", t0, e2e, 0},
             {"DET", t0, out.latencies.detMs, 1},
             {"TRA", t0 + out.latencies.detMs, out.latencies.traMs, 1},
@@ -289,6 +533,25 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
             {"MOTPLAN", t0 + perception + out.latencies.fusionMs,
              out.latencies.motPlanMs, 0},
         };
+        if (timing) {
+            // Executor placement: admission shift plus cross-frame
+            // stage contention, the actual pipelined schedule.
+            auto at = [&](int stage) {
+                return timing->stages[static_cast<std::size_t>(stage)];
+            };
+            spans[0].start = timing->admitMs;
+            spans[0].dur = timing->commitMs - timing->admitMs;
+            spans[1].start = at(detStage_).startMs;
+            spans[1].dur = at(detStage_).durMs;
+            spans[2].start = at(traStage_).startMs;
+            spans[2].dur = at(traStage_).durMs;
+            spans[3].start = at(locStage_).startMs;
+            spans[3].dur = at(locStage_).durMs;
+            spans[4].start = at(fusionStage_).startMs;
+            spans[4].dur = at(fusionStage_).durMs;
+            spans[5].start = at(planStage_).startMs;
+            spans[5].dur = at(planStage_).durMs;
+        }
         const bool perfOn = tracerRef.perfSpansEnabled();
         for (const auto& sp : spans) {
             fl.recordSpan(0, sp.name, frameId, sp.start, sp.dur,
@@ -302,17 +565,17 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
                                   sp.dur, *d);
         }
         fl.recordMetric(0, "e2e_ms", frameId, t0, e2e);
-        if (fault.dropFrame)
+        if (job.fault.dropFrame)
             fl.noteFault(0, "drop_frame", frameId, t0);
-        if (fault.detFail)
+        if (job.fault.detFail)
             fl.noteFault(0, "det_fail", frameId, t0);
-        if (fault.locFail)
+        if (job.fault.locFail)
             fl.noteFault(0, "loc_fail", frameId, t0);
-        if (fault.traFail)
+        if (job.fault.traFail)
             fl.noteFault(0, "tra_fail", frameId, t0);
-        if (fault.blackout)
+        if (job.fault.blackout)
             fl.noteFault(0, "blackout", frameId, t0);
-        if (fault.noiseSigma > 0)
+        if (job.fault.noiseSigma > 0)
             fl.noteFault(0, "pixel_noise", frameId, t0);
         if (governor_) {
             const auto& tx = governor_->transitions();
@@ -344,12 +607,13 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
             .record(out.latencies.motPlanMs);
         reg.histogram("pipeline.e2e_ms")
             .record(out.latencies.endToEndMs());
+        reg.histogram("pipeline.pipelined_ms").record(out.pipelinedMs);
         reg.counter("pipeline.mission_replans")
             .add(out.missionReplanned ? 1 : 0);
         reg.counter("pipeline.frames_dropped")
             .add(out.frameDropped ? 1 : 0);
         reg.counter("pipeline.det_skipped")
-            .add(!plan.runDet ? 1 : 0);
+            .add(!job.plan.runDet ? 1 : 0);
         reg.counter("pipeline.det_fallback")
             .add(out.detFellBack ? 1 : 0);
         reg.counter("pipeline.loc_fallback")
@@ -357,7 +621,11 @@ Pipeline::processFrame(const Image& image, double dt, double egoSpeed)
         reg.counter("pipeline.tra_coasted")
             .add(out.traCoasted ? 1 : 0);
     }
-    return out;
+
+    // Stage the governor plan for the frame `depth` ahead, computed
+    // with exactly the feedback available now (frames <= this one).
+    if (timing && governor_)
+        planQueue_.push_back(governor_->plan(frameId + depth_));
 }
 
 } // namespace ad::pipeline

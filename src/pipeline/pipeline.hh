@@ -11,11 +11,22 @@
  * Per-stage latencies are recorded per frame; the end-to-end latency
  * composes as max(LOC, DET + TRA) + FUSION + MOTPLAN, reflecting the
  * parallel branches.
+ *
+ * Two execution modes share the same stage bodies: the serial path
+ * (processFrame) runs the stages in topological order on the calling
+ * thread, and the async path (`pipeline.async`, submitFrame) runs
+ * them through the frame-graph executor (frame_graph.hh) so stages
+ * of up to `pipeline.depth` consecutive frames overlap. Outputs are
+ * bitwise-identical across modes at depth 1 and deterministic at
+ * every depth, worker count, and schedule seed.
  */
 
 #ifndef AD_PIPELINE_PIPELINE_HH
 #define AD_PIPELINE_PIPELINE_HH
 
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/stats.hh"
@@ -23,6 +34,7 @@
 #include "obs/deadline.hh"
 #include "fusion/fusion.hh"
 #include "pipeline/fault_injector.hh"
+#include "pipeline/frame_graph.hh"
 #include "pipeline/governor.hh"
 #include "planning/conformal.hh"
 #include "planning/control.hh"
@@ -94,6 +106,35 @@ struct PipelineParams
     FaultInjectorParams faults;
 
     /**
+     * The `pipeline.async` knob: run frames through the frame-graph
+     * executor (pipeline/frame_graph.hh) so stages of consecutive
+     * frames overlap -- DET of frame k runs while TRA/LOC/FUSION of
+     * frame k+1 are in flight. Off by default (the serial path). The
+     * async path is bitwise-identical to serial at depth 1 and
+     * deterministic (schedule-independent) at every depth; the
+     * governor's actuation plan lags its serial counterpart by
+     * depth-1 frames of feedback (see docs/DESIGN.md).
+     */
+    bool async = false;
+
+    /**
+     * The `pipeline.depth` knob: max frames in flight when
+     * `async` is set (>= 1; 1 degenerates to serial scheduling with
+     * the async machinery). Each graph edge buffers at most this many
+     * frames, so admission backpressure is bounded.
+     */
+    int asyncDepth = 2;
+
+    /**
+     * The `pipeline.seed` knob: seed for the executor's dispatch-order
+     * shuffle. 0 (default) dispatches ready stages deterministically
+     * by (frame, topological rank); any other value perturbs only the
+     * real dispatch order, never outputs -- the determinism tests
+     * sweep it to prove schedule independence.
+     */
+    std::uint64_t scheduleSeed = 0;
+
+    /**
      * Degradation governor (`gov.*` knobs / adrun `--governor`).
      * Disabled by default -- the pipeline then runs every stage every
      * frame (NOMINAL behavior, identical to the pre-governor system).
@@ -147,6 +188,17 @@ struct FrameOutput
     bool locFellBack = false;
     /** Tracks advanced by coasting rather than a full update. */
     bool traCoasted = false;
+
+    /** Frame id (submit order); -1 before the pipeline assigns one. */
+    std::int64_t frameId = -1;
+
+    /**
+     * The frame's pipelined latency on the virtual timeline: commit
+     * minus arrival, which includes queueing behind earlier in-flight
+     * frames. Equals latencies.endToEndMs() on the serial path and in
+     * an unloaded async pipeline.
+     */
+    double pipelinedMs = 0;
 };
 
 /**
@@ -173,16 +225,16 @@ class Pipeline
 
     /**
      * Provide wheel odometry for the interval before the next frame;
-     * forwarded to the localization engine's motion model.
+     * forwarded to the localization engine's motion model. In async
+     * mode the reading is buffered and applied by the next submitted
+     * frame's LOC stage, preserving the serial ordering.
      */
-    void
-    feedOdometry(const sensors::OdometryReading& odometry)
-    {
-        localizer_.feedOdometry(odometry);
-    }
+    void feedOdometry(const sensors::OdometryReading& odometry);
 
     /**
-     * Process one camera frame through all engines.
+     * Process one camera frame through all engines, serially. Must
+     * not be mixed with submitFrame() when `pipeline.async` is set --
+     * it bypasses the executor's stage ordering.
      *
      * @param image the frame.
      * @param dt seconds since the previous frame.
@@ -191,6 +243,29 @@ class Pipeline
     FrameOutput processFrame(const Image& image, double dt,
                              double egoSpeed);
 
+    /**
+     * Submit one frame to the async frame-graph executor, blocking
+     * while `pipeline.depth` frames are in flight, and collect every
+     * frame that has committed since the last call (zero or more,
+     * in frame order; outputs trail submissions by up to the depth).
+     * Falls back to processFrame() when async mode is off, returning
+     * that single output.
+     */
+    std::vector<FrameOutput> submitFrame(const Image& image, double dt,
+                                         double egoSpeed);
+
+    /**
+     * Block until every submitted frame has committed and return the
+     * remaining outputs in frame order (empty in serial mode).
+     */
+    std::vector<FrameOutput> drainAsync();
+
+    /** True when the async frame-graph executor is active. */
+    bool asyncEnabled() const { return exec_ != nullptr; }
+
+    /** The async executor, or null in serial mode (for benchmarks). */
+    const FrameGraphExecutor* executor() const { return exec_.get(); }
+
     /** Per-stage latency recorders over all processed frames. */
     const LatencyRecorder& detLatency() const { return detRec_; }
     const LatencyRecorder& traLatency() const { return traRec_; }
@@ -198,6 +273,15 @@ class Pipeline
     const LatencyRecorder& fusionLatency() const { return fusionRec_; }
     const LatencyRecorder& motPlanLatency() const { return motRec_; }
     const LatencyRecorder& endToEndLatency() const { return e2eRec_; }
+
+    /**
+     * Pipelined (commit minus arrival) latency per frame on the
+     * virtual timeline; matches endToEndLatency() on the serial path.
+     */
+    const LatencyRecorder& pipelinedLatency() const
+    {
+        return pipelinedRec_;
+    }
 
     /** Aggregate cycle attribution for the Figure 7 breakdown. */
     struct CycleBreakdown
@@ -238,6 +322,59 @@ class Pipeline
     }
 
   private:
+    /**
+     * Everything one in-flight frame carries between stages. Stage
+     * methods write disjoint fields; the executor's per-stage frame
+     * ordering makes every engine see frames in submit order, so the
+     * engines themselves need no locking.
+     */
+    struct FrameJob
+    {
+        std::int64_t id = -1;     ///< pipeline frame id.
+        double traceStartUs = 0;  ///< wall-clock trace stamp at admission.
+        double dt = 0;            ///< seconds since previous frame.
+        double egoSpeed = 0;      ///< ego speed for the controller.
+        double timeS = 0;         ///< mission clock at this frame (s).
+        Image image;              ///< owned copy (async mode only).
+        const Image* frame = nullptr; ///< input after SENSE.
+        Image corrupted;          ///< corrupted copy when a fault fired.
+        FaultPlan fault;          ///< this frame's fault draws.
+        FramePlan plan;           ///< governor actuation plan.
+        detect::DetectorTimings detTimings;
+        track::PoolTimings traTimings;
+        FrameOutput out;          ///< the result under construction.
+        bool locStaleExceeded = false; ///< LOC blew the staleness bound.
+        std::vector<sensors::OdometryReading> odom; ///< buffered input.
+    };
+
+    /** Sensor corruption (pixel faults) ahead of DET/LOC. */
+    void stageSense(FrameJob& job);
+    /** (1a) Object detection, with stale-detection fallback. */
+    void stageDet(FrameJob& job);
+    /** (1b) Localization, with dead-reckoning fallback. */
+    void stageLoc(FrameJob& job);
+    /** (1c) Object tracking (update, coast, or blind-coast). */
+    void stageTra(FrameJob& job);
+    /** (2) Fusion onto the world coordinate space. */
+    void stageFusion(FrameJob& job);
+    /** (3)(4)(5) Mission check, motion planning, vehicle control. */
+    void stagePlan(FrameJob& job);
+
+    /**
+     * Frame-ordered epilogue: safe-stop escalation, cycle and latency
+     * aggregation, deadline/governor feedback, flight recorder and
+     * metrics. @p timing is the executor's virtual-timeline record
+     * (null on the serial path, which re-derives the serial layout).
+     */
+    void commitJob(FrameJob& job,
+                   const FrameGraphExecutor::FrameTiming* timing);
+
+    /** Declare the stage DAG over this pipeline's stage methods. */
+    FrameGraph buildGraph();
+
+    /** (Re)create the executor and pre-stage the first plans. */
+    void setupExecutor();
+
     PipelineParams params_;
     const sensors::Camera* camera_;
     detect::YoloDetector detector_;
@@ -264,12 +401,38 @@ class Pipeline
     LatencyRecorder fusionRec_;
     LatencyRecorder motRec_;
     LatencyRecorder e2eRec_;
+    LatencyRecorder pipelinedRec_;
     CycleBreakdown cycles_;
     obs::DeadlineMonitor deadline_;
     double time_ = 0;
     std::int64_t frameIndex_ = 0;
     /** Governor transitions already copied to the flight recorder. */
     std::size_t govTransitionsSeen_ = 0;
+
+    // --- Async frame-graph state (unused on the serial path). ---
+    int depth_ = 1;               ///< clamped pipeline.depth.
+    std::vector<FrameJob> jobs_;  ///< ring, indexed frame % depth.
+    /**
+     * Staged governor plans: commit of frame j computes the plan for
+     * frame j + depth (after observing j), and frame admission pops
+     * the front. At depth 1 this reproduces the serial plan stream
+     * exactly; at depth D the plan lags D-1 frames of feedback but is
+     * schedule-independent either way.
+     */
+    std::deque<FramePlan> planQueue_;
+    std::vector<sensors::OdometryReading> pendingOdom_;
+    const Image* pendingImage_ = nullptr; ///< staged for admission.
+    double pendingDt_ = 0;
+    double pendingSpeed_ = 0;
+    std::mutex readyMutex_;          ///< guards ready_ only.
+    std::deque<FrameOutput> ready_;  ///< committed, not yet collected.
+    int senseStage_ = -1, detStage_ = -1, locStage_ = -1;
+    int traStage_ = -1, fusionStage_ = -1, planStage_ = -1;
+    /**
+     * The executor; declared last so it is destroyed (and drained)
+     * before any state its in-flight stage tasks touch.
+     */
+    std::unique_ptr<FrameGraphExecutor> exec_;
 };
 
 } // namespace ad::pipeline

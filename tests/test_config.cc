@@ -1,14 +1,21 @@
 /**
  * @file
  * Tests for the key=value configuration store and its command-line
- * parser, which drive the bench harness parameter sweeps.
+ * parser, which drive the bench harness parameter sweeps. Also the
+ * knob-documentation gate: every registered config key must appear
+ * in docs/CONFIG.md.
  */
 
 #include <gtest/gtest.h>
 
 #include <array>
+#include <fstream>
+#include <sstream>
 
 #include "common/config.hh"
+#include "obs/obs.hh"
+#include "pipeline/fault_injector.hh"
+#include "pipeline/governor.hh"
 
 namespace {
 
@@ -122,6 +129,50 @@ TEST(Config, WarnUnknownKeysCoversNnLoweringKnobs)
     typo.set("nn.fused", "0");
     typo.set("nn.arenas", "1");
     EXPECT_EQ(typo.warnUnknownKeys(known), 2);
+}
+
+TEST(Config, EveryRegisteredKnobIsDocumented)
+{
+    // docs/CONFIG.md is the manual's knob reference. This gate makes
+    // it impossible to register a new key -- in a knownConfigKeys()
+    // registry or in a tool's knownKeys() list -- without adding a
+    // row there: every key below must appear verbatim (as `key`) in
+    // the document.
+    std::ifstream in(AD_SOURCE_DIR "/docs/CONFIG.md");
+    ASSERT_TRUE(in) << "docs/CONFIG.md missing";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string doc = buf.str();
+
+    std::vector<std::string> keys;
+    for (const auto& k : ad::obs::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k :
+         ad::pipeline::FaultInjectorParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k :
+         ad::pipeline::GovernorParams::knownConfigKeys())
+        keys.push_back(k);
+    // The tool-private lists, kept in sync by hand with
+    // tools/adrun.cc and tools/adserve.cc knownKeys().
+    for (const char* k :
+         {"scenario", "frames", "resolution", "seed", "csv",
+          "det-input", "det-width", "summary", "length", "nn.threads",
+          "nn.precision", "nn.fuse", "nn.arena", "pipeline.async",
+          "pipeline.depth", "pipeline.seed"})
+        keys.push_back(k);
+    for (const char* k :
+         {"streams", "period-ms", "deadline-ms", "queue-depth",
+          "batch-max", "window-ms", "admission", "stagger", "measured",
+          "serve-json", "check", "engine.fixed-ms",
+          "engine.marginal-ms", "engine.jitter", "engine.spike-p",
+          "slo.window", "slo.target-miss-rate"})
+        keys.push_back(k);
+
+    for (const auto& key : keys)
+        EXPECT_NE(doc.find("`" + key + "`"), std::string::npos)
+            << "knob \"" << key
+            << "\" is not documented in docs/CONFIG.md";
 }
 
 } // namespace

@@ -4,10 +4,18 @@
  * the modeled-mode system explorer: full scenario drives exercising
  * every engine, the Figure 1 latency composition, the Figure 11/12
  * configuration machinery and the Section 2.4 constraint checker.
+ * Also the async frame-graph execution mode: serial-vs-async bitwise
+ * equivalence, determinism under faults + governor escalation while
+ * frames overlap, and flight-recorder event conservation.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
+#include "obs/flight.hh"
+#include "obs/json.hh"
 #include "pipeline/constraints.hh"
 #include "pipeline/pipeline.hh"
 #include "sensors/scenario.hh"
@@ -186,6 +194,213 @@ TEST_F(PipelineIntegrationTest, DeterministicAcrossRuns)
     for (std::size_t i = 0; i < posesA.size(); ++i)
         EXPECT_DOUBLE_EQ(posesA[i], posesB[i]) << i;
     EXPECT_EQ(detsA, detsB);
+}
+
+/**
+ * Everything semantically produced by one frame, flattened so two
+ * runs can be compared bit for bit (doubles compare equal only when
+ * the bits match; no tolerance anywhere).
+ */
+std::vector<double>
+outputSignature(const FrameOutput& out)
+{
+    std::vector<double> sig;
+    sig.push_back(static_cast<double>(out.frameId));
+    sig.push_back(static_cast<double>(out.mode));
+    sig.push_back(static_cast<double>(out.frameDropped));
+    sig.push_back(static_cast<double>(out.detRan));
+    sig.push_back(static_cast<double>(out.detFellBack));
+    sig.push_back(static_cast<double>(out.locFellBack));
+    sig.push_back(static_cast<double>(out.traCoasted));
+    sig.push_back(static_cast<double>(out.detections.size()));
+    for (const auto& d : out.detections) {
+        sig.push_back(d.box.x);
+        sig.push_back(d.box.y);
+        sig.push_back(d.box.w);
+        sig.push_back(d.box.h);
+        sig.push_back(d.confidence);
+    }
+    sig.push_back(static_cast<double>(out.tracks.size()));
+    for (const auto& t : out.tracks) {
+        sig.push_back(static_cast<double>(t.id));
+        sig.push_back(t.box.x);
+        sig.push_back(t.box.y);
+        sig.push_back(t.velocityPx.x);
+        sig.push_back(t.velocityPx.y);
+    }
+    sig.push_back(static_cast<double>(out.localization.ok));
+    sig.push_back(static_cast<double>(out.localization.relocalized));
+    sig.push_back(out.localization.pose.pos.x);
+    sig.push_back(out.localization.pose.pos.y);
+    sig.push_back(out.localization.pose.theta);
+    sig.push_back(out.command.steering);
+    sig.push_back(out.command.acceleration);
+    return sig;
+}
+
+/**
+ * Drive `frames` frames through one pipeline via the submit/drain
+ * interface (which degrades to processFrame when async is off) and
+ * return the per-frame signatures in frame order.
+ */
+std::vector<std::vector<double>>
+driveOutputs(const slam::PriorMap* map, const sensors::Camera* camera,
+             const sensors::Scenario& scenario,
+             const PipelineParams& params, int frames,
+             std::vector<OperatingMode>* modes = nullptr)
+{
+    Pipeline pipe(map, camera, nullptr, params);
+    sensors::World world = scenario.world;
+    Pose2 ego = scenario.ego.pose;
+    pipe.reset(ego, {10, 0}, {140, params.laneCenterY});
+
+    std::vector<FrameOutput> outs;
+    for (int i = 0; i < frames; ++i) {
+        world.step(0.1);
+        ego.pos.x += 1.0;
+        const sensors::Frame frame = camera->render(world, ego);
+        for (auto& out : pipe.submitFrame(frame.image, 0.1, 10.0))
+            outs.push_back(std::move(out));
+    }
+    for (auto& out : pipe.drainAsync())
+        outs.push_back(std::move(out));
+    std::sort(outs.begin(), outs.end(),
+              [](const FrameOutput& a, const FrameOutput& b) {
+                  return a.frameId < b.frameId;
+              });
+
+    std::vector<std::vector<double>> sigs;
+    for (const FrameOutput& out : outs) {
+        sigs.push_back(outputSignature(out));
+        if (modes)
+            modes->push_back(out.mode);
+    }
+    return sigs;
+}
+
+TEST_F(PipelineIntegrationTest, AsyncMatrixMatchesSerialBitwise)
+{
+    // The tentpole determinism claim: with the governor off, the
+    // async executor produces bitwise-identical outputs to the
+    // serial path at every queue depth and kernel thread count --
+    // engine state advances in frame order regardless of how stage
+    // executions interleave on the virtual timeline.
+    const int frames = 6;
+    for (const int threads : {1, 2, 8}) {
+        PipelineParams params = testParams();
+        params.laneCenterY = scenario_->world.road().laneCenter(1);
+        params.nnThreads = threads;
+        const auto serial =
+            driveOutputs(map_, camera_, *scenario_, params, frames);
+        ASSERT_EQ(serial.size(), static_cast<std::size_t>(frames));
+        for (const int depth : {1, 2, 3}) {
+            params.async = true;
+            params.asyncDepth = depth;
+            const auto async = driveOutputs(map_, camera_, *scenario_,
+                                            params, frames);
+            EXPECT_EQ(serial, async)
+                << "threads " << threads << " depth " << depth;
+        }
+    }
+}
+
+TEST_F(PipelineIntegrationTest, AsyncDepthOneWithGovernorMatchesSerial)
+{
+    // At depth 1 the commit of frame k precedes the admission of
+    // frame k+1, so the governor's plan feedback has zero lag and
+    // the async path must reproduce the serial run bit for bit even
+    // with faults and the governor active.
+    PipelineParams params = testParams();
+    params.laneCenterY = scenario_->world.road().laneCenter(1);
+    params.faults = FaultInjectorParams::scaledMix(0.5, 7);
+    params.governor.enabled = true;
+    const auto serial =
+        driveOutputs(map_, camera_, *scenario_, params, 8);
+    params.async = true;
+    params.asyncDepth = 1;
+    const auto async =
+        driveOutputs(map_, camera_, *scenario_, params, 8);
+    EXPECT_EQ(serial, async);
+}
+
+TEST_F(PipelineIntegrationTest, AsyncEscalationMidOverlapDeterministic)
+{
+    // Governor escalation while three frames are in flight: an
+    // impossible budget forces NOMINAL -> DEGRADED -> ... while the
+    // executor overlaps frames. The run must replay identically
+    // (plans are staged at commit and consumed at admission, both in
+    // frame order) and must actually escalate.
+    PipelineParams params = testParams();
+    params.laneCenterY = scenario_->world.road().laneCenter(1);
+    params.faults = FaultInjectorParams::scaledMix(0.4, 11);
+    params.governor.enabled = true;
+    params.governor.budgetMs = 0.5; // every frame misses.
+    params.async = true;
+    params.asyncDepth = 3;
+
+    std::vector<OperatingMode> modesA, modesB;
+    const auto runA = driveOutputs(map_, camera_, *scenario_, params,
+                                   10, &modesA);
+    const auto runB = driveOutputs(map_, camera_, *scenario_, params,
+                                   10, &modesB);
+    EXPECT_EQ(runA, runB);
+    EXPECT_EQ(modesA, modesB);
+    EXPECT_EQ(modesA.front(), OperatingMode::Nominal);
+    EXPECT_TRUE(std::find(modesA.begin(), modesA.end(),
+                          OperatingMode::Degraded) != modesA.end());
+    EXPECT_NE(modesA.back(), OperatingMode::Nominal);
+}
+
+/** Per-(kind, name) event counts in one flight dump. */
+std::map<std::string, int>
+flightEventCounts()
+{
+    std::string error;
+    const auto doc = obs::json::parse(
+        obs::flight().dumpJson("test", -1, -1), &error);
+    EXPECT_TRUE(doc) << error;
+    std::map<std::string, int> counts;
+    if (!doc)
+        return counts;
+    for (const auto& stream :
+         doc->find("flight")->find("streams")->asArray())
+        for (const auto& ev : stream.find("events")->asArray())
+            ++counts[ev.find("kind")->asString() + ":" +
+                     ev.find("name")->asString()];
+    return counts;
+}
+
+TEST_F(PipelineIntegrationTest, AsyncFlightEventsConserved)
+{
+    // The async path repositions flight spans onto the executor's
+    // virtual stage times but must emit exactly the same events per
+    // frame as the serial path: same six spans, same e2e metric,
+    // same fault notes.
+    PipelineParams params = testParams();
+    params.laneCenterY = scenario_->world.road().laneCenter(1);
+    params.faults = FaultInjectorParams::scaledMix(0.5, 13);
+
+    obs::FlightParams fp;
+    fp.capacity = 4096;
+    fp.dumpOnMiss = false;
+    fp.dumpOnSafeStop = false;
+    auto& fl = obs::flight();
+
+    fl.configure(fp);
+    fl.setEnabled(true);
+    driveOutputs(map_, camera_, *scenario_, params, 8);
+    const auto serialCounts = flightEventCounts();
+
+    fl.configure(fp); // clears the rings.
+    params.async = true;
+    params.asyncDepth = 3;
+    driveOutputs(map_, camera_, *scenario_, params, 8);
+    const auto asyncCounts = flightEventCounts();
+    fl.setEnabled(false);
+
+    EXPECT_FALSE(serialCounts.empty());
+    EXPECT_EQ(serialCounts, asyncCounts);
+    EXPECT_GE(serialCounts.count("span:FRAME"), 1u);
 }
 
 TEST(SystemConfig, NameIsReadable)

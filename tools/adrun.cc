@@ -11,6 +11,8 @@
  *         [--resolution=HHD|KITTI|HD] [--seed=1] [--csv=out.csv]
  *         [--det-input=160] [--summary] [--nn.threads=N]
  *         [--nn.precision=fp32|int8] [--nn.fuse=1] [--nn.arena=1]
+ *         [--pipeline.async=0] [--pipeline.depth=2]
+ *         [--pipeline.seed=0]
  *         [--trace <file>] [--metrics] [--obs.trace_nn]
  *         [--obs.budget_ms=100] [--obs.perf] [--flight-dump[=file]]
  *         [--metrics-json=live.json]
@@ -38,6 +40,14 @@
  * optimizations with bitwise-identical outputs; turn one off to A/B
  * the unfused or allocating reference path (DESIGN.md "Fused lowering
  * and the arena planner").
+ *
+ * --pipeline.async=1 runs frames through the frame-graph executor
+ * (src/pipeline/frame_graph.hh): stages of up to --pipeline.depth
+ * consecutive frames overlap on the shared worker pool, raising
+ * throughput toward 1/max(stage) while per-frame outputs stay
+ * bitwise-identical to the serial path at depth 1 and deterministic
+ * at every depth (--pipeline.seed perturbs only dispatch order; see
+ * docs/DESIGN.md "Async frame-graph execution").
  *
  * --trace writes a Chrome trace_event JSON (chrome://tracing /
  * Perfetto) with per-stage spans carrying frame ids; --metrics dumps
@@ -92,7 +102,8 @@ knownKeys()
     std::vector<std::string> keys = {
         "scenario", "frames",    "resolution", "seed",      "csv",
         "det-input", "det-width", "summary",    "length",
-        "nn.threads", "nn.precision", "nn.fuse", "nn.arena"};
+        "nn.threads", "nn.precision", "nn.fuse", "nn.arena",
+        "pipeline.async", "pipeline.depth", "pipeline.seed"};
     for (const auto& k : obs::knownConfigKeys())
         keys.push_back(k);
     for (const auto& k : pipeline::FaultInjectorParams::knownConfigKeys())
@@ -142,6 +153,10 @@ main(int argc, char** argv)
         nn::parsePrecision(cfg.getString("nn.precision", "fp32"));
     params.nnFuse = cfg.getBool("nn.fuse", true);
     params.nnArena = cfg.getBool("nn.arena", true);
+    params.async = cfg.getBool("pipeline.async", false);
+    params.asyncDepth = cfg.getInt("pipeline.depth", 2);
+    params.scheduleSeed = static_cast<std::uint64_t>(
+        cfg.getInt("pipeline.seed", 0));
     params.deadline.budgetMs = obsOpt.budgetMs;
     params.deadline.logViolations = obsOpt.any();
     params.faults = pipeline::FaultInjectorParams::fromConfig(cfg);
@@ -175,6 +190,22 @@ main(int argc, char** argv)
                             obsOpt.metricsJsonIntervalMs});
     Stopwatch runClock;
 
+    // One CSV row per committed frame. Async outputs trail their
+    // submissions by up to pipeline.depth frames, so rows are keyed
+    // by the output's own frame id, not the loop index.
+    const auto writeRow = [&](const pipeline::FrameOutput& out) {
+        if (!csv)
+            return;
+        const auto& l = out.latencies;
+        *csv << out.frameId << ',' << l.detMs << ',' << l.traMs << ','
+             << l.locMs << ',' << l.fusionMs << ',' << l.motPlanMs
+             << ',' << l.endToEndMs() << ',' << out.localization.ok
+             << ',' << out.localization.relocalized << ','
+             << out.detections.size() << ',' << out.tracks.size()
+             << ',' << pipeline::modeName(out.mode) << ','
+             << out.frameDropped << '\n';
+    };
+
     sensors::World world = scenario.world;
     for (int i = 0; i < frames; ++i) {
         world.step(0.1);
@@ -182,21 +213,14 @@ main(int argc, char** argv)
         if (ego.pos.x > world.road().length - 20)
             ego.pos.x = 20;
         const sensors::Frame frame = camera.render(world, ego);
-        const auto out =
-            pipe.processFrame(frame.image, 0.1, scenario.ego.speed);
-        if (csv) {
-            const auto& l = out.latencies;
-            *csv << i << ',' << l.detMs << ',' << l.traMs << ','
-                 << l.locMs << ',' << l.fusionMs << ',' << l.motPlanMs
-                 << ',' << l.endToEndMs() << ','
-                 << out.localization.ok << ','
-                 << out.localization.relocalized << ','
-                 << out.detections.size() << ',' << out.tracks.size()
-                 << ',' << pipeline::modeName(out.mode) << ','
-                 << out.frameDropped << '\n';
-        }
+        // submitFrame runs serially unless --pipeline.async is set.
+        for (const auto& out :
+             pipe.submitFrame(frame.image, 0.1, scenario.ego.speed))
+            writeRow(out);
         snapshotter.maybeWrite(runClock.elapsedMs());
     }
+    for (const auto& out : pipe.drainAsync())
+        writeRow(out);
 
     std::fprintf(stderr, "\n%d frames processed\n", frames);
     std::fprintf(stderr, "DET     %s\n",
@@ -207,6 +231,10 @@ main(int argc, char** argv)
                  pipe.locLatency().summary().toString().c_str());
     std::fprintf(stderr, "E2E     %s\n",
                  pipe.endToEndLatency().summary().toString().c_str());
+    if (pipe.asyncEnabled())
+        std::fprintf(
+            stderr, "PIPELINED %s\n",
+            pipe.pipelinedLatency().summary().toString().c_str());
 
     const auto& watchdog = pipe.deadlineMonitor();
     std::fprintf(stderr, "%s", watchdog.report().c_str());

@@ -2,7 +2,8 @@
 """Schema validator for the checked-in BENCH_*.json artifacts.
 
 The bench harnesses (bench_micro_kernels, bench_ext_serve_scale,
-bench_ext_quant_accuracy) write machine-readable artifacts that back
+bench_ext_quant_accuracy, bench_ext_pipeline_overlap) write
+machine-readable artifacts that back
 speedup/accuracy claims in DESIGN.md. CI runs this script against the
 checked-in copies so a harness refactor cannot silently change an
 artifact's shape (or drop the acceptance-bar fields) without the diff
@@ -216,10 +217,63 @@ def check_quant(c, doc):
         c.number(serve, "goodput_ratio", "serve", minimum=0)
 
 
+def check_pipeline(c, doc):
+    """BENCH_pipeline.json: the frame-graph pipelining sweep.
+
+    Beyond shape, re-asserts the ISSUE 8 acceptance bars: async
+    depth >= 2 sustains >= 1.3x serial virtual throughput, the paced
+    p99.99 pipelined latency holds the 100 ms budget at every depth,
+    and every row is bitwise-reproducible (depth 1 vs the serial
+    path, all depths across schedule seeds).
+    """
+    c.number(doc, "frames_paced", minimum=1)
+    c.number(doc, "frames_saturated", minimum=1)
+    budget = c.number(doc, "budget_ms", minimum=0)
+    stages = c.require(doc, "stage_mean_ms", [dict])
+    if stages is not None:
+        for key in ("det", "tra", "loc", "fusion", "motplan"):
+            c.number(stages, key, "stage_mean_ms", minimum=0)
+    serial = c.require(doc, "serial", [dict])
+    if serial is not None:
+        c.number(serial, "throughput_fps", "serial", minimum=0)
+        c.number(serial, "virtual_makespan_ms", "serial", minimum=0)
+        p9999 = c.number(serial, "p9999_pipelined_ms", "serial",
+                         minimum=0)
+        if None not in (p9999, budget) and p9999 > budget:
+            c.fail(f"serial.p9999_pipelined_ms {p9999} > budget "
+                   f"{budget}")
+    depths = set()
+    for i, row in enumerate(c.rows(doc, "rows", min_rows=3)):
+        ctx = f"rows[{i}]"
+        depth = c.number(row, "depth", ctx, minimum=1)
+        if depth is not None:
+            depths.add(depth)
+        c.number(row, "throughput_fps", ctx, minimum=0)
+        speedup = c.number(row, "speedup_vs_serial", ctx, minimum=0)
+        if (None not in (depth, speedup) and depth >= 2
+                and speedup < 1.3):
+            c.fail(f"{ctx}: depth {depth} speedup_vs_serial "
+                   f"{speedup} < 1.3")
+        p9999 = c.number(row, "p9999_pipelined_ms", ctx, minimum=0)
+        if None not in (p9999, budget) and p9999 > budget:
+            c.fail(f"{ctx}: p9999_pipelined_ms {p9999} > budget "
+                   f"{budget}")
+        c.number(row, "e2e_p9999_ms", ctx, minimum=0)
+        c.number(row, "deadline_misses", ctx, minimum=0)
+        identical = c.require(row, "bitwise_identical", [bool], ctx)
+        if identical is False:
+            c.fail(f"{ctx}: bitwise_identical is false")
+    # The acceptance claim covers depths 1-3 specifically.
+    for depth in (1, 2, 3):
+        if depth not in depths:
+            c.fail(f'"rows" has no entry for depth {depth}')
+
+
 CHECKERS = {
     "BENCH_gemm.json": check_gemm,
     "BENCH_serve.json": check_serve,
     "BENCH_quant.json": check_quant,
+    "BENCH_pipeline.json": check_pipeline,
 }
 
 
