@@ -199,6 +199,23 @@ FlightRecorder::recordTransition(int stream, const char* reason,
 }
 
 void
+FlightRecorder::recordMigration(int stream, std::int64_t epoch,
+                                double tMs, int fromShard, int toShard)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Transition;
+    copyName(e.name, "fleet.migrate");
+    copyName(e.aux, "shard");
+    e.frame = epoch;
+    e.tMs = tMs;
+    e.i0 = fromShard;
+    e.i1 = toShard;
+    push(stream, e);
+}
+
+void
 FlightRecorder::recordAdmission(int stream, const char* action,
                                 std::int64_t frame, double tMs,
                                 double costScale, bool degraded)

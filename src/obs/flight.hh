@@ -155,6 +155,16 @@ class FlightRecorder
     void recordMark(int stream, const char* name, std::int64_t frame,
                     double tMs, double value = 0.0);
 
+    /**
+     * Record a fleet stream migration: the stream's dispatch
+     * ownership moved from shard `fromShard` to shard `toShard` at
+     * rebalancing epoch `epoch`. Lands in the stream's own ring (a
+     * post-mortem of a misbehaving vehicle shows every machine that
+     * served it) as a transition event over shard ids.
+     */
+    void recordMigration(int stream, std::int64_t epoch, double tMs,
+                         int fromShard, int toShard);
+
     /** Record a perf-counter delta covering [tMs, tMs + durMs]. */
     void recordPerf(int stream, const char* name, std::int64_t frame,
                     double tMs, double durMs, const PerfDelta& delta);

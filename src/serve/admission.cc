@@ -91,18 +91,19 @@ void
 AdmissionController::evaluatePressure(std::int64_t globalFrame,
                                       double engineBacklogMs)
 {
-    if (!params_.enabled)
+    if (!params_.enabled || !params_.pressureEnabled)
         return;
     if (++arrivalsSinceEval_ < params_.evalPeriodFrames)
         return;
     arrivalsSinceEval_ = 0;
 
     // Pressure is backlog in units of the (common) budget; use the
-    // first stream's budget as the reference -- streams share the
-    // paper's 100 ms constraint.
-    if (registry_.size() == 0)
+    // first resident stream's budget as the reference -- streams
+    // share the paper's 100 ms constraint.
+    const StreamState* first = registry_.firstActive();
+    if (!first)
         return;
-    const double budget = registry_.stream(0).params.deadlineMs;
+    const double budget = first->params.deadlineMs;
     const double pressure = engineBacklogMs / budget;
     if (pressure <= params_.degradePressure)
         return;

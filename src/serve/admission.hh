@@ -68,6 +68,14 @@ struct AdmissionParams
      * which one most-slack stream is escalated per evaluation.
      */
     double degradePressure = 0.8;
+    /**
+     * Run the per-server pressure-escalation policy. The fleet layer
+     * turns this off on multi-shard servers: which stream loses
+     * quality first is then a fleet-wide decision (lowest criticality
+     * across every shard), made by the FleetCoordinator instead of by
+     * whichever shard happens to saturate.
+     */
+    bool pressureEnabled = true;
     /** Arrivals between pressure evaluations. */
     int evalPeriodFrames = 8;
     /**

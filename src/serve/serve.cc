@@ -129,36 +129,12 @@ ServeReport::toString() const
 
 // ----------------------------------------------------------------- server
 
-/** One discrete event of the serving loop (ordered by time, kind). */
-struct MultiStreamServer::Event
-{
-    enum class Kind { Completion = 0, Arrival = 1, EngineCheck = 2 };
-
-    double timeMs = 0.0;
-    Kind kind = Kind::Arrival;
-    int stream = -1;
-    std::int64_t seq = -1;
-    double arrivalMs = 0.0;
-    bool engineServed = false; ///< Completion: needed the engine.
-
-    bool
-    operator>(const Event& o) const
-    {
-        if (timeMs != o.timeMs)
-            return timeMs > o.timeMs;
-        if (kind != o.kind)
-            return static_cast<int>(kind) > static_cast<int>(o.kind);
-        if (stream != o.stream)
-            return stream > o.stream;
-        return seq > o.seq;
-    }
-};
-
 MultiStreamServer::MultiStreamServer(const ServeParams& params,
                                      BatchEngine& engine)
     : params_(params), engine_(engine), scheduler_(params.batch),
       admission_(params.admission, registry_),
-      postRng_(params.seed ^ 0xa5a5a5a5a5a5a5a5ull)
+      postRng_(params.seed ^ 0xa5a5a5a5a5a5a5a5ull),
+      pendingCheckMs_(std::numeric_limits<double>::infinity())
 {
     if (params.streams < 1)
         fatal("MultiStreamServer: need at least one stream");
@@ -166,292 +142,421 @@ MultiStreamServer::MultiStreamServer(const ServeParams& params,
         StreamParams sp = params.stream;
         if (params.stagger)
             sp.phaseMs = sp.framePeriodMs * i / params.streams;
-        registry_.addStream(sp, params.governor, params.slo);
+        const int slot =
+            registry_.addStream(sp, params.governor, params.slo);
+        tokens_.push_back(
+            registry_.stream(slot).acquireOwnership(shardId_));
+        txSeen_.push_back(0);
     }
     // One flight ring per stream so a post-mortem isolates the
     // misbehaving vehicle's recent history.
     obs::flight().ensureStreams(params.streams);
 }
 
-ServeReport
-MultiStreamServer::run(std::int64_t framesPerStream)
+MultiStreamServer::MultiStreamServer(const ServeParams& params,
+                                     BatchEngine& engine, ShardTag,
+                                     int shardId)
+    : params_(params), engine_(engine), scheduler_(params.batch),
+      admission_(params.admission, registry_),
+      postRng_(params.seed ^ 0xa5a5a5a5a5a5a5a5ull),
+      shardId_(shardId),
+      pendingCheckMs_(std::numeric_limits<double>::infinity())
 {
-    std::priority_queue<Event, std::vector<Event>,
-                        std::greater<Event>>
-        events;
-    double engineFreeAtMs = 0.0;
-    double pendingCheckMs =
-        std::numeric_limits<double>::infinity();
-    std::int64_t globalArrivals = 0;
-    LatencyRecorder admittedRec(
-        static_cast<std::size_t>(framesPerStream) *
-        static_cast<std::size_t>(params_.streams));
-    std::int64_t onTimeServed = 0;
-    std::int64_t onTimeCoasted = 0;
-    double lastEventMs = 0.0;
+    // Empty shard: the fleet imports streams and ensures flight
+    // rings for the whole fleet-global stream space itself.
+}
 
-    const auto samplePost = [&]() {
-        return params_.postMeanMs *
-               postRng_.lognormal(-0.5 * params_.postJitterSigma *
-                                      params_.postJitterSigma,
-                                  params_.postJitterSigma);
-    };
+double
+MultiStreamServer::samplePost()
+{
+    return params_.postMeanMs *
+           postRng_.lognormal(-0.5 * params_.postJitterSigma *
+                                  params_.postJitterSigma,
+                              params_.postJitterSigma);
+}
 
-    const auto backlogMs = [&](double now) {
-        return std::max(0.0, engineFreeAtMs - now) +
-               scheduler_.pendingCostScale() *
-                   admission_.expectedCostMs();
-    };
+double
+MultiStreamServer::engineBacklogMs(double nowMs) const
+{
+    return std::max(0.0, engineFreeAtMs_ - nowMs) +
+           scheduler_.pendingCostScale() *
+               admission_.expectedCostMs();
+}
 
-    const auto scheduleCheck = [&](double at) {
-        if (at >= pendingCheckMs)
+void
+MultiStreamServer::scheduleCheck(double at)
+{
+    if (at >= pendingCheckMs_)
+        return;
+    pendingCheckMs_ = at;
+    events_.push(
+        Event{at, Event::Kind::EngineCheck, -1, -1, 0.0, false});
+}
+
+StreamState&
+MultiStreamServer::ownedStream(int slot, const char* what)
+{
+    StreamState* s = registry_.find(slot);
+    if (!s)
+        fatal(std::string("MultiStreamServer: ") + what +
+              " touched vacant slot " + std::to_string(slot) +
+              " (stream migrated away with events pending?)");
+    s->assertOwnership(tokens_[static_cast<std::size_t>(slot)], what);
+    return *s;
+}
+
+// Governor transitions can land on any stream (pressure escalation
+// picks the most-slack one), so the flight diff scans every stream;
+// the no-transition case is one size compare each.
+void
+MultiStreamServer::emitTransitions(double now)
+{
+    auto& fl = obs::flight();
+    if (!fl.enabled())
+        return;
+    for (std::size_t i = 0; i < registry_.size(); ++i) {
+        const StreamState* s = registry_.find(static_cast<int>(i));
+        if (!s)
+            continue;
+        const auto& tx = s->governor.transitions();
+        auto& seen = txSeen_[i];
+        for (; seen < tx.size(); ++seen) {
+            const auto& t = tx[seen];
+            fl.recordTransition(s->id, t.reason.c_str(), t.frame, now,
+                                static_cast<int>(t.from),
+                                static_cast<int>(t.to),
+                                pipeline::modeName(t.from),
+                                pipeline::modeName(t.to));
+            if (t.to == pipeline::OperatingMode::SafeStop)
+                fl.noteSafeStop(s->id, t.frame, now);
+        }
+    }
+}
+
+void
+MultiStreamServer::promote(const FrameTicket& ticket, double now)
+{
+    StreamState& s = ownedStream(ticket.stream, "promote");
+    const AdmitDecision d = admission_.decide(
+        ticket, now, engineBacklogMs(now), params_.batch.maxWaitMs);
+    auto& fl = obs::flight();
+    if (fl.enabled()) {
+        const char* action = d.action == AdmitAction::Shed
+                                 ? "shed"
+                                 : d.action == AdmitAction::Coast
+                                       ? "coast"
+                                       : "admit";
+        fl.recordAdmission(s.id, action, ticket.seq, now, d.costScale,
+                           d.degraded);
+    }
+    switch (d.action) {
+    case AdmitAction::Shed:
+        ++s.stats.shedAdmission;
+        if (observer_)
+            observer_->onShed(s, now, "admission");
+        break;
+    case AdmitAction::Coast: {
+        ++s.stats.coasted;
+        s.inFlight = true;
+        events_.push(Event{now + params_.coastMs,
+                           Event::Kind::Completion, ticket.stream,
+                           ticket.seq, ticket.arrivalMs, false});
+        break;
+    }
+    case AdmitAction::Admit: {
+        ++s.stats.admitted;
+        if (d.degraded)
+            ++s.stats.degraded;
+        InferenceRequest req;
+        req.ticket = ticket;
+        req.enqueueMs = now;
+        req.deadlineMs = ticket.deadlineMs(s.params);
+        req.costScale = d.costScale;
+        req.degraded = d.degraded;
+        scheduler_.enqueue(req);
+        s.inFlight = true;
+        break;
+    }
+    }
+}
+
+// A frame shed after admission (it queued too long): undo its admit
+// accounting and free the stream for its next waiter.
+void
+MultiStreamServer::shedLate(const InferenceRequest& req, double now)
+{
+    StreamState& s = ownedStream(req.ticket.stream, "shedLate");
+    --s.stats.admitted;
+    if (req.degraded)
+        --s.stats.degraded;
+    ++s.stats.shedLate;
+    obs::flight().recordAdmission(s.id, "shed_late", req.ticket.seq,
+                                  now, req.costScale, req.degraded);
+    if (observer_)
+        observer_->onShed(s, now, "late");
+    s.inFlight = false;
+    while (!s.inFlight) {
+        const auto next = s.queue.pop();
+        if (!next)
+            break;
+        promote(*next, now);
+    }
+}
+
+// Dispatch a batch if one is due; otherwise arrange a wake-up.
+void
+MultiStreamServer::maybeDispatch(double now)
+{
+    while (true) {
+        if (engineFreeAtMs_ > now) {
+            scheduleCheck(engineFreeAtMs_);
             return;
-        pendingCheckMs = at;
-        events.push(
-            Event{at, Event::Kind::EngineCheck, -1, -1, 0.0, false});
-    };
-
-    // Governor transitions can land on any stream (pressure
-    // escalation picks the most-slack one), so the flight diff scans
-    // every stream; the no-transition case is one size compare each.
-    std::vector<std::size_t> txSeen(
-        static_cast<std::size_t>(params_.streams), 0);
-    const auto emitTransitions = [&](double now) {
-        auto& fl = obs::flight();
-        if (!fl.enabled())
+        }
+        const auto at = scheduler_.nextDispatchMs(now);
+        if (!at)
             return;
-        for (int i = 0; i < params_.streams; ++i) {
-            const auto& tx = registry_.stream(i).governor.transitions();
-            auto& seen = txSeen[static_cast<std::size_t>(i)];
-            for (; seen < tx.size(); ++seen) {
-                const auto& t = tx[seen];
-                fl.recordTransition(i, t.reason.c_str(), t.frame, now,
-                                    static_cast<int>(t.from),
-                                    static_cast<int>(t.to),
-                                    pipeline::modeName(t.from),
-                                    pipeline::modeName(t.to));
-                if (t.to == pipeline::OperatingMode::SafeStop)
-                    fl.noteSafeStop(i, t.frame, now);
+        if (*at > now) {
+            scheduleCheck(*at);
+            return;
+        }
+        auto batch = scheduler_.tryDispatch(now);
+        if (!batch)
+            return;
+        // Late shed: the tail guarantee is enforced here, at the
+        // last decision point before engine time is spent. A frame
+        // stays in the batch only if even a risk-inflated
+        // (contention-spiked) batch cost meets its deadline;
+        // anything else would either miss anyway or drag the whole
+        // batch's completion past its co-batched peers'.
+        const double risk = params_.admission.riskFactor;
+        const double perUnit = admission_.expectedCostMs();
+        for (bool changed = params_.admission.enabled; changed;) {
+            changed = false;
+            const double worstDoneMs =
+                now + risk * perUnit * batch->totalCostScale() +
+                params_.postMeanMs + params_.admission.headroomMs;
+            for (std::size_t i = 0; i < batch->items.size(); ++i) {
+                if (worstDoneMs <= batch->items[i].deadlineMs)
+                    continue;
+                shedLate(batch->items[i], now);
+                batch->items.erase(batch->items.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+                changed = true;
+                break;
             }
         }
-    };
+        if (batch->items.empty())
+            continue; // everything was too late; try the rest.
+        const double cost = engine_.runBatch(*batch);
+        admission_.onBatchExecuted(cost, batch->totalCostScale());
+        // Keep the batcher's dispatch-by bound in step with the
+        // measured cost: reserve worst-case inference + post +
+        // headroom.
+        scheduler_.setLatestStartSlackMs(
+            risk * admission_.expectedCostMs() + params_.postMeanMs +
+            params_.admission.headroomMs);
+        engineFreeAtMs_ = now + cost;
+        for (const auto& item : batch->items) {
+            const double post = samplePost();
+            events_.push(Event{now + cost + post,
+                               Event::Kind::Completion,
+                               item.ticket.stream, item.ticket.seq,
+                               item.ticket.arrivalMs, true});
+        }
+        scheduleCheck(engineFreeAtMs_);
+        return;
+    }
+}
 
-    const auto promote = [&](const FrameTicket& ticket, double now) {
-        StreamState& s = registry_.stream(ticket.stream);
-        const AdmitDecision d = admission_.decide(
-            ticket, now, backlogMs(now), params_.batch.maxWaitMs);
+void
+MultiStreamServer::processEvent(const Event& ev)
+{
+    const double now = ev.timeMs;
+    lastEventMs_ = std::max(lastEventMs_, now);
+
+    switch (ev.kind) {
+    case Event::Kind::Arrival: {
+        StreamState& s = ownedStream(ev.stream, "arrival");
+        ++s.stats.arrived;
+        if (framesPerStream_ > 0 && ev.seq + 1 < framesPerStream_) {
+            const double next = now + s.params.framePeriodMs;
+            events_.push(Event{next, Event::Kind::Arrival, ev.stream,
+                               ev.seq + 1, next, false});
+        }
+        admission_.evaluatePressure(globalArrivals_++,
+                                    engineBacklogMs(now));
+        const FrameTicket ticket{ev.stream, ev.seq, now};
+        if (s.inFlight) {
+            if (const auto evicted = s.queue.push(ticket)) {
+                ++s.stats.shedStale;
+                if (observer_)
+                    observer_->onShed(s, now, "stale");
+            }
+        } else {
+            promote(ticket, now);
+        }
+        break;
+    }
+    case Event::Kind::Completion: {
+        StreamState& s = ownedStream(ev.stream, "completion");
+        const double latency = now - ev.arrivalMs;
+        admission_.onCompletion(
+            FrameTicket{ev.stream, ev.seq, ev.arrivalMs}, latency,
+            ev.engineServed);
         auto& fl = obs::flight();
-        if (fl.enabled()) {
-            const char* action = d.action == AdmitAction::Shed
-                                     ? "shed"
-                                     : d.action == AdmitAction::Coast
-                                           ? "coast"
-                                           : "admit";
-            fl.recordAdmission(ticket.stream, action, ticket.seq, now,
-                               d.costScale, d.degraded);
+        if (fl.enabled())
+            fl.recordSpan(s.id, ev.engineServed ? "serve" : "coast",
+                          ev.seq, ev.arrivalMs, latency);
+        if (ev.engineServed) {
+            ++s.stats.completed;
+            admittedRec_.record(latency);
+            if (latency > s.params.deadlineMs) {
+                ++s.stats.missedDeadline;
+                fl.noteDeadlineMiss(s.id, ev.seq, now, latency,
+                                    latency - s.params.deadlineMs);
+            } else {
+                ++onTimeServed_;
+            }
+        } else if (latency <= s.params.deadlineMs) {
+            ++onTimeCoasted_;
         }
-        switch (d.action) {
-        case AdmitAction::Shed:
-            ++s.stats.shedAdmission;
-            break;
-        case AdmitAction::Coast: {
-            ++s.stats.coasted;
-            s.inFlight = true;
-            events.push(Event{now + params_.coastMs,
-                              Event::Kind::Completion, ticket.stream,
-                              ticket.seq, ticket.arrivalMs, false});
-            break;
-        }
-        case AdmitAction::Admit: {
-            ++s.stats.admitted;
-            if (d.degraded)
-                ++s.stats.degraded;
-            InferenceRequest req;
-            req.ticket = ticket;
-            req.enqueueMs = now;
-            req.deadlineMs = ticket.deadlineMs(s.params);
-            req.costScale = d.costScale;
-            req.degraded = d.degraded;
-            scheduler_.enqueue(req);
-            s.inFlight = true;
-            break;
-        }
-        }
-    };
-
-    // A frame shed after admission (it queued too long): undo its
-    // admit accounting and free the stream for its next waiter.
-    const auto shedLate = [&](const InferenceRequest& req,
-                              double now) {
-        StreamState& s = registry_.stream(req.ticket.stream);
-        --s.stats.admitted;
-        if (req.degraded)
-            --s.stats.degraded;
-        ++s.stats.shedLate;
-        obs::flight().recordAdmission(req.ticket.stream, "shed_late",
-                                      req.ticket.seq, now,
-                                      req.costScale, req.degraded);
+        if (observer_)
+            observer_->onCompletion(s, latency, ev.engineServed);
         s.inFlight = false;
+        // Drain: a promoted frame may itself be shed, freeing the
+        // stream for the next waiter.
         while (!s.inFlight) {
             const auto next = s.queue.pop();
             if (!next)
                 break;
             promote(*next, now);
         }
-    };
+        break;
+    }
+    case Event::Kind::EngineCheck:
+        pendingCheckMs_ = std::numeric_limits<double>::infinity();
+        break;
+    }
+    maybeDispatch(now);
+    emitTransitions(now);
+}
 
-    // Dispatch a batch if one is due; otherwise arrange a wake-up.
-    const auto maybeDispatch = [&](double now) {
-        while (true) {
-            if (engineFreeAtMs > now) {
-                scheduleCheck(engineFreeAtMs);
-                return;
-            }
-            const auto at = scheduler_.nextDispatchMs(now);
-            if (!at)
-                return;
-            if (*at > now) {
-                scheduleCheck(*at);
-                return;
-            }
-            auto batch = scheduler_.tryDispatch(now);
-            if (!batch)
-                return;
-            // Late shed: the tail guarantee is enforced here, at the
-            // last decision point before engine time is spent. A
-            // frame stays in the batch only if even a risk-inflated
-            // (contention-spiked) batch cost meets its deadline;
-            // anything else would either miss anyway or drag the
-            // whole batch's completion past its co-batched peers'.
-            const double risk = params_.admission.riskFactor;
-            const double perUnit = admission_.expectedCostMs();
-            for (bool changed = params_.admission.enabled; changed;) {
-                changed = false;
-                const double worstDoneMs =
-                    now +
-                    risk * perUnit * batch->totalCostScale() +
-                    params_.postMeanMs +
-                    params_.admission.headroomMs;
-                for (std::size_t i = 0; i < batch->items.size();
-                     ++i) {
-                    if (worstDoneMs <= batch->items[i].deadlineMs)
-                        continue;
-                    shedLate(batch->items[i], now);
-                    batch->items.erase(batch->items.begin() +
-                                       static_cast<std::ptrdiff_t>(i));
-                    changed = true;
-                    break;
-                }
-            }
-            if (batch->items.empty())
-                continue; // everything was too late; try the rest.
-            const double cost = engine_.runBatch(*batch);
-            admission_.onBatchExecuted(cost, batch->totalCostScale());
-            // Keep the batcher's dispatch-by bound in step with the
-            // measured cost: reserve worst-case inference + post +
-            // headroom.
-            scheduler_.setLatestStartSlackMs(
-                risk * admission_.expectedCostMs() +
-                params_.postMeanMs + params_.admission.headroomMs);
-            engineFreeAtMs = now + cost;
-            for (const auto& item : batch->items) {
-                const double post = samplePost();
-                events.push(Event{now + cost + post,
-                                  Event::Kind::Completion,
-                                  item.ticket.stream, item.ticket.seq,
-                                  item.ticket.arrivalMs, true});
-            }
-            scheduleCheck(engineFreeAtMs);
-            return;
-        }
-    };
+void
+MultiStreamServer::injectArrival(int slot, std::int64_t seq,
+                                 double timeMs)
+{
+    if (!registry_.find(slot))
+        fatal("MultiStreamServer: injectArrival into vacant slot " +
+              std::to_string(slot));
+    events_.push(
+        Event{timeMs, Event::Kind::Arrival, slot, seq, timeMs, false});
+}
 
+void
+MultiStreamServer::stepUntil(double untilMs)
+{
+    while (!events_.empty() && events_.top().timeMs <= untilMs) {
+        const Event ev = events_.top();
+        events_.pop();
+        processEvent(ev);
+    }
+}
+
+void
+MultiStreamServer::drain()
+{
+    stepUntil(std::numeric_limits<double>::infinity());
+}
+
+double
+MultiStreamServer::nextEventMs() const
+{
+    return events_.empty() ? std::numeric_limits<double>::infinity()
+                           : events_.top().timeMs;
+}
+
+bool
+MultiStreamServer::migratable(int slot) const
+{
+    const StreamState* s = registry_.find(slot);
+    return s && !s->inFlight && s->queue.empty();
+}
+
+std::unique_ptr<StreamState>
+MultiStreamServer::exportStream(int slot)
+{
+    if (!migratable(slot))
+        fatal("MultiStreamServer: exportStream(" +
+              std::to_string(slot) +
+              "): stream is absent or not quiescent");
+    StreamState& s = registry_.stream(slot);
+    s.releaseOwnership(tokens_[static_cast<std::size_t>(slot)]);
+    tokens_[static_cast<std::size_t>(slot)] = OwnershipToken{};
+    txSeen_[static_cast<std::size_t>(slot)] = 0;
+    return registry_.extract(slot);
+}
+
+int
+MultiStreamServer::importStream(std::unique_ptr<StreamState> stream)
+{
+    if (!stream)
+        fatal("MultiStreamServer: importStream of null stream");
+    StreamState& ref = *stream;
+    const int slot = registry_.adopt(std::move(stream));
+    const auto idx = static_cast<std::size_t>(slot);
+    if (idx >= tokens_.size()) {
+        tokens_.resize(idx + 1);
+        txSeen_.resize(idx + 1, 0);
+    }
+    tokens_[idx] = ref.acquireOwnership(shardId_);
+    // The stream's governor history was already emitted to flight by
+    // the previous owner; only new transitions are ours to emit.
+    txSeen_[idx] = ref.governor.transitions().size();
+    return slot;
+}
+
+bool
+MultiStreamServer::escalateStream(int slot, std::int64_t frame,
+                                  pipeline::OperatingMode cap,
+                                  const char* reason)
+{
+    StreamState& s = ownedStream(slot, "escalate");
+    const pipeline::OperatingMode mode = s.governor.mode();
+    if (mode >= cap)
+        return false;
+    s.governor.requestEscalation(
+        frame,
+        static_cast<pipeline::OperatingMode>(static_cast<int>(mode) +
+                                             1),
+        reason);
+    return true;
+}
+
+ServeReport
+MultiStreamServer::run(std::int64_t framesPerStream)
+{
+    framesPerStream_ = framesPerStream;
     for (int i = 0; i < params_.streams; ++i) {
         const StreamState& s = registry_.stream(i);
-        events.push(Event{s.params.phaseMs, Event::Kind::Arrival, i,
-                          0, s.params.phaseMs, false});
+        events_.push(Event{s.params.phaseMs, Event::Kind::Arrival, i,
+                           0, s.params.phaseMs, false});
     }
+    drain();
+    return buildReport();
+}
 
-    while (!events.empty()) {
-        const Event ev = events.top();
-        events.pop();
-        const double now = ev.timeMs;
-        lastEventMs = std::max(lastEventMs, now);
-
-        switch (ev.kind) {
-        case Event::Kind::Arrival: {
-            StreamState& s = registry_.stream(ev.stream);
-            ++s.stats.arrived;
-            if (ev.seq + 1 < framesPerStream) {
-                const double next = now + s.params.framePeriodMs;
-                events.push(Event{next, Event::Kind::Arrival,
-                                  ev.stream, ev.seq + 1, next,
-                                  false});
-            }
-            admission_.evaluatePressure(globalArrivals++,
-                                        backlogMs(now));
-            const FrameTicket ticket{ev.stream, ev.seq, now};
-            if (s.inFlight) {
-                if (const auto evicted = s.queue.push(ticket))
-                    ++s.stats.shedStale;
-            } else {
-                promote(ticket, now);
-            }
-            break;
-        }
-        case Event::Kind::Completion: {
-            StreamState& s = registry_.stream(ev.stream);
-            const double latency = now - ev.arrivalMs;
-            admission_.onCompletion(
-                FrameTicket{ev.stream, ev.seq, ev.arrivalMs},
-                latency, ev.engineServed);
-            auto& fl = obs::flight();
-            if (fl.enabled())
-                fl.recordSpan(ev.stream,
-                              ev.engineServed ? "serve" : "coast",
-                              ev.seq, ev.arrivalMs, latency);
-            if (ev.engineServed) {
-                ++s.stats.completed;
-                admittedRec.record(latency);
-                if (latency > s.params.deadlineMs) {
-                    ++s.stats.missedDeadline;
-                    fl.noteDeadlineMiss(ev.stream, ev.seq, now,
-                                        latency,
-                                        latency - s.params.deadlineMs);
-                } else {
-                    ++onTimeServed;
-                }
-            } else if (latency <= s.params.deadlineMs) {
-                ++onTimeCoasted;
-            }
-            s.inFlight = false;
-            // Drain: a promoted frame may itself be shed, freeing
-            // the stream for the next waiter.
-            while (!s.inFlight) {
-                const auto next = s.queue.pop();
-                if (!next)
-                    break;
-                promote(*next, now);
-            }
-            break;
-        }
-        case Event::Kind::EngineCheck:
-            pendingCheckMs =
-                std::numeric_limits<double>::infinity();
-            break;
-        }
-        maybeDispatch(now);
-        emitTransitions(now);
-    }
-
+ServeReport
+MultiStreamServer::buildReport()
+{
     ServeReport report;
-    report.streamSlo.reserve(
-        static_cast<std::size_t>(params_.streams));
-    for (int i = 0; i < params_.streams; ++i) {
-        StreamState& stream = registry_.stream(i);
-        stream.slo.refresh();
-        report.streamSlo.push_back(stream.slo.snapshot());
-        const StreamStats& st = stream.stats;
+    report.streamSlo.reserve(registry_.size());
+    for (std::size_t i = 0; i < registry_.size(); ++i) {
+        StreamState* stream = registry_.find(static_cast<int>(i));
+        if (!stream)
+            continue;
+        stream->slo.refresh();
+        report.streamSlo.push_back(stream->slo.snapshot());
+        const StreamStats& st = stream->stats;
         report.framesArrived += st.arrived;
         report.framesAdmitted += st.admitted;
         report.framesDegraded += st.degraded;
@@ -459,18 +564,17 @@ MultiStreamServer::run(std::int64_t framesPerStream)
         report.framesShed +=
             st.shedAdmission + st.shedStale + st.shedLate;
         report.deadlineMisses += st.missedDeadline;
-        const auto& inMode =
-            registry_.stream(i).governor.framesInMode();
+        const auto& inMode = stream->governor.framesInMode();
         for (std::size_t m = 0; m < pipeline::kOperatingModeCount;
              ++m)
             report.framesInMode[m] += inMode[m];
     }
-    report.admittedLatency = admittedRec.summary();
-    report.durationMs = lastEventMs;
-    if (lastEventMs > 0) {
-        report.goodputFps = 1000.0 * onTimeServed / lastEventMs;
+    report.admittedLatency = admittedRec_.summary();
+    report.durationMs = lastEventMs_;
+    if (lastEventMs_ > 0) {
+        report.goodputFps = 1000.0 * onTimeServed_ / lastEventMs_;
         report.totalGoodputFps =
-            1000.0 * (onTimeServed + onTimeCoasted) / lastEventMs;
+            1000.0 * (onTimeServed_ + onTimeCoasted_) / lastEventMs_;
     }
     if (report.framesArrived > 0)
         report.shedRate = static_cast<double>(report.framesShed) /
@@ -489,11 +593,16 @@ MultiStreamServer::publishMetrics()
 {
     // Per-stream labeled metrics land in the server-local registry;
     // one merge at the end of the run touches the global lock once
-    // instead of once per frame.
+    // instead of once per frame. Labels use the fleet-global stream
+    // id, so a migrated stream keeps one metric series across shards
+    // (the per-shard series are distinguished by metricPrefix).
     const std::string& prefix = params_.metricPrefix;
-    for (int i = 0; i < params_.streams; ++i) {
-        const StreamState& s = registry_.stream(i);
-        const std::string id = std::to_string(i);
+    for (std::size_t i = 0; i < registry_.size(); ++i) {
+        const StreamState* sp = registry_.find(static_cast<int>(i));
+        if (!sp)
+            continue;
+        const StreamState& s = *sp;
+        const std::string id = std::to_string(s.id);
         local_
             .counter(obs::labeled(prefix + ".frames_arrived",
                                   "stream", id))

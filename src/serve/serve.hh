@@ -34,6 +34,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -199,32 +200,196 @@ struct ServeReport
 };
 
 /**
+ * Callback surface for a supervising layer above one server. The
+ * fleet tier registers one observer per shard to feed shard-level
+ * SLO accounting (burn-rate rebalancing needs to see sheds, which
+ * never reach a stream's completion-based SLO window) without the
+ * server knowing anything about shards. All callbacks run on the
+ * serving event loop at event time; a null observer costs one
+ * branch per event.
+ */
+class ServeObserver
+{
+  public:
+    virtual ~ServeObserver() = default;
+
+    /** One frame finished (engine-served or coasted). */
+    virtual void onCompletion(const StreamState& stream,
+                              double latencyMs, bool engineServed) = 0;
+
+    /**
+     * One frame shed. `why` is "admission" (predicted late at
+     * arrival), "stale" (evicted by the freshest-frame policy) or
+     * "late" (dropped at dispatch).
+     */
+    virtual void onShed(const StreamState& stream, double nowMs,
+                        const char* why) = 0;
+};
+
+/**
  * The multi-stream serving loop. Construction registers the
  * streams; run() plays `framesPerStream` camera frames per stream
  * through admission, batching and the engine on virtual time.
+ *
+ * The loop is also usable as a *steppable co-simulation*: the fleet
+ * tier constructs per-shard servers with the ShardTag overload
+ * (empty, streams arrive via importStream), feeds arrivals with
+ * injectArrival and advances every shard's virtual clock in
+ * lockstep epochs with stepUntil. run() is implemented on exactly
+ * this machinery -- one event queue, one total event order -- so a
+ * single-shard fleet run reproduces run() bit for bit.
+ *
+ * Ownership: the server holds one OwnershipToken per resident
+ * stream and asserts it on every dispatch-side touch. exportStream
+ * releases the token (migration handoff); a server that kept
+ * dispatching a migrated-away stream dies on the stale token
+ * instead of double-serving the vehicle.
  */
 class MultiStreamServer
 {
   public:
+    /** Tag selecting the empty (fleet shard) construction path. */
+    struct ShardTag
+    {
+    };
+
     MultiStreamServer(const ServeParams& params, BatchEngine& engine);
+
+    /**
+     * Fleet-shard server: starts with no streams (params.streams is
+     * ignored); the fleet imports streams and injects arrivals.
+     * @param shardId owner id stamped into ownership tokens.
+     */
+    MultiStreamServer(const ServeParams& params, BatchEngine& engine,
+                      ShardTag, int shardId);
 
     /** Serve every stream for the given number of camera frames. */
     ServeReport run(std::int64_t framesPerStream);
+
+    // ------------------------------------ fleet co-simulation API
+
+    /** Feed one camera arrival of the stream at `slot`. */
+    void injectArrival(int slot, std::int64_t seq, double timeMs);
+
+    /** Process every pending event with time <= untilMs. */
+    void stepUntil(double untilMs);
+
+    /** Process every pending event (run to quiescence). */
+    void drain();
+
+    /** Time of the next pending event (+inf when idle). */
+    double nextEventMs() const;
+
+    /** Final accounting over resident streams; call once, at end. */
+    ServeReport buildReport();
+
+    /** Predicted engine-busy time ahead of a request arriving now. */
+    double engineBacklogMs(double nowMs) const;
+
+    /** Latest event time processed so far. */
+    double lastEventMs() const { return lastEventMs_; }
+
+    /** Register the supervising observer (nullptr to clear). */
+    void setObserver(ServeObserver* observer) { observer_ = observer; }
+
+    // ---------------------------------------- stream migration
+
+    /**
+     * True when the stream at `slot` is resident and quiescent (no
+     * frame queued or in flight): only such streams may migrate, so
+     * no pending event can ever reference a vacated slot.
+     */
+    bool migratable(int slot) const;
+
+    /**
+     * Hand the stream at `slot` off (releases this server's
+     * ownership token and vacates the slot). Fatal unless
+     * migratable(slot).
+     */
+    std::unique_ptr<StreamState> exportStream(int slot);
+
+    /**
+     * Adopt a stream handed off by another server; acquires a fresh
+     * ownership token. @return the slot it landed in.
+     */
+    int importStream(std::unique_ptr<StreamState> stream);
+
+    /**
+     * Escalate the governor of the stream at `slot` one mode level
+     * (fleet degradation arbitration; the per-server analogue is
+     * AdmissionController::evaluatePressure). No-op above `cap`.
+     * @return true when a level was actually taken.
+     */
+    bool escalateStream(int slot, std::int64_t frame,
+                        pipeline::OperatingMode cap,
+                        const char* reason);
+
+    // ------------------------------------------------- accessors
 
     const StreamRegistry& registry() const { return registry_; }
     const BatchScheduler& scheduler() const { return scheduler_; }
     const AdmissionController& admission() const { return admission_; }
 
+    /** Engine-served completion latencies recorded on this server. */
+    const LatencyRecorder& admittedRecorder() const
+    {
+        return admittedRec_;
+    }
+
+    /** Engine-served frames that completed inside their budget. */
+    std::int64_t onTimeServed() const { return onTimeServed_; }
+
+    /** Coasted frames that completed inside their budget. */
+    std::int64_t onTimeCoasted() const { return onTimeCoasted_; }
+
     /**
      * Server-local metric registry (per-stream labeled counters and
-     * latency histograms). run() merges it into the global registry
-     * when metrics are enabled.
+     * latency histograms). buildReport() merges it into the global
+     * registry when metrics are enabled.
      */
     const obs::MetricRegistry& localMetrics() const { return local_; }
 
   private:
-    struct Event;
+    /** One discrete event (ordered by time, kind, stream, seq). */
+    struct Event
+    {
+        enum class Kind
+        {
+            Completion = 0,
+            Arrival = 1,
+            EngineCheck = 2
+        };
 
+        double timeMs = 0.0;
+        Kind kind = Kind::Arrival;
+        int stream = -1;
+        std::int64_t seq = -1;
+        double arrivalMs = 0.0;
+        bool engineServed = false; ///< Completion: needed the engine.
+
+        bool
+        operator>(const Event& o) const
+        {
+            if (timeMs != o.timeMs)
+                return timeMs > o.timeMs;
+            if (kind != o.kind)
+                return static_cast<int>(kind) >
+                       static_cast<int>(o.kind);
+            if (stream != o.stream)
+                return stream > o.stream;
+            return seq > o.seq;
+        }
+    };
+
+    void processEvent(const Event& ev);
+    double samplePost();
+    void scheduleCheck(double at);
+    void emitTransitions(double now);
+    void promote(const FrameTicket& ticket, double now);
+    void shedLate(const InferenceRequest& req, double now);
+    void maybeDispatch(double now);
+    /** Resident stream at `slot` with a current ownership token. */
+    StreamState& ownedStream(int slot, const char* what);
     void publishMetrics();
 
     ServeParams params_;
@@ -234,6 +399,24 @@ class MultiStreamServer
     AdmissionController admission_;
     Rng postRng_;
     obs::MetricRegistry local_;
+    ServeObserver* observer_ = nullptr;
+    int shardId_ = 0;
+
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        events_;
+    /** Self-schedule arrivals up to this many frames (run() mode);
+        -1 in fleet mode, where arrivals are injected. */
+    std::int64_t framesPerStream_ = -1;
+    double engineFreeAtMs_ = 0.0;
+    double pendingCheckMs_ = 0.0; ///< set to +inf in the ctor.
+    std::int64_t globalArrivals_ = 0;
+    LatencyRecorder admittedRec_;
+    std::int64_t onTimeServed_ = 0;
+    std::int64_t onTimeCoasted_ = 0;
+    double lastEventMs_ = 0.0;
+    std::vector<OwnershipToken> tokens_;  ///< by slot.
+    std::vector<std::size_t> txSeen_;     ///< transitions emitted, by slot.
 };
 
 } // namespace ad::serve

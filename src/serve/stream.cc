@@ -1,6 +1,7 @@
 #include "serve/stream.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -79,6 +80,48 @@ StreamState::slackMs() const
     return std::max(0.0, params.deadlineMs - tail);
 }
 
+OwnershipToken
+StreamState::acquireOwnership(int newOwner)
+{
+    if (owner_ >= 0)
+        fatal("StreamState: stream " + std::to_string(id) +
+              " already owned by " + std::to_string(owner_) +
+              "; handoff requires an explicit release first");
+    if (newOwner < 0)
+        fatal("StreamState: invalid owner id");
+    owner_ = newOwner;
+    return OwnershipToken{id, epoch_};
+}
+
+void
+StreamState::releaseOwnership(const OwnershipToken& token)
+{
+    assertOwnership(token, "release");
+    owner_ = -1;
+    ++epoch_; // every outstanding copy of the token is now stale.
+}
+
+bool
+StreamState::ownershipCurrent(const OwnershipToken& token) const
+{
+    return owner_ >= 0 && token.stream == id && token.epoch == epoch_;
+}
+
+void
+StreamState::assertOwnership(const OwnershipToken& token,
+                             const char* what) const
+{
+    if (ownershipCurrent(token))
+        return;
+    fatal(std::string("StreamState: stale ownership token on ") +
+          what + " of stream " + std::to_string(id) + " (token epoch " +
+          std::to_string(token.epoch) + ", stream epoch " +
+          std::to_string(epoch_) + ", owner " +
+          std::to_string(owner_) +
+          "): a migrated stream may only be dispatched by its "
+          "current owner");
+}
+
 int
 StreamRegistry::addStream(const StreamParams& params,
                           const pipeline::GovernorParams& governorParams,
@@ -90,12 +133,73 @@ StreamRegistry::addStream(const StreamParams& params,
     return id;
 }
 
+int
+StreamRegistry::adopt(std::unique_ptr<StreamState> stream)
+{
+    if (!stream)
+        fatal("StreamRegistry: adopt of null stream");
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        if (streams_[i])
+            continue;
+        streams_[i] = std::move(stream);
+        return static_cast<int>(i);
+    }
+    streams_.push_back(std::move(stream));
+    return static_cast<int>(streams_.size() - 1);
+}
+
+std::unique_ptr<StreamState>
+StreamRegistry::extract(int slot)
+{
+    if (slot < 0 || static_cast<std::size_t>(slot) >= streams_.size() ||
+        !streams_[static_cast<std::size_t>(slot)])
+        fatal("StreamRegistry: extract of vacant slot " +
+              std::to_string(slot));
+    return std::move(streams_[static_cast<std::size_t>(slot)]);
+}
+
+StreamState*
+StreamRegistry::find(int slot)
+{
+    if (slot < 0 || static_cast<std::size_t>(slot) >= streams_.size())
+        return nullptr;
+    return streams_[static_cast<std::size_t>(slot)].get();
+}
+
+const StreamState*
+StreamRegistry::find(int slot) const
+{
+    if (slot < 0 || static_cast<std::size_t>(slot) >= streams_.size())
+        return nullptr;
+    return streams_[static_cast<std::size_t>(slot)].get();
+}
+
+const StreamState*
+StreamRegistry::firstActive() const
+{
+    for (const auto& s : streams_)
+        if (s)
+            return s.get();
+    return nullptr;
+}
+
+std::size_t
+StreamRegistry::active() const
+{
+    std::size_t n = 0;
+    for (const auto& s : streams_)
+        if (s)
+            ++n;
+    return n;
+}
+
 std::int64_t
 StreamRegistry::totalArrived() const
 {
     std::int64_t sum = 0;
     for (const auto& s : streams_)
-        sum += s->stats.arrived;
+        if (s)
+            sum += s->stats.arrived;
     return sum;
 }
 
@@ -104,13 +208,14 @@ StreamRegistry::mostSlackStream(pipeline::OperatingMode cap) const
 {
     int best = -1;
     double bestSlack = -1.0;
-    for (const auto& s : streams_) {
-        if (s->governor.mode() >= cap)
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        const auto& s = streams_[i];
+        if (!s || s->governor.mode() >= cap)
             continue;
         const double slack = s->slackMs();
         if (slack > bestSlack) {
             bestSlack = slack;
-            best = s->id;
+            best = static_cast<int>(i);
         }
     }
     return best;

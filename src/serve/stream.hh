@@ -92,6 +92,26 @@ class FrameQueue
     std::deque<FrameTicket> queue_;
 };
 
+/**
+ * Capability to dispatch frames of one stream. The serving layer
+ * used to assume a single owner per stream for the stream's whole
+ * lifetime; the fleet layer migrates streams between shards, and a
+ * migration bug (two shards both believing they own a stream) would
+ * double-dispatch frames. The token makes ownership explicit: it is
+ * issued by StreamState::acquireOwnership, invalidated by
+ * releaseOwnership (which bumps the stream's handoff epoch), and
+ * every dispatch-side touch asserts the token is still current. A
+ * stale token -- the race a missed handoff would produce -- is a
+ * fatal error, not a silent double dispatch.
+ */
+struct OwnershipToken
+{
+    int stream = -1;         ///< stream id the token covers.
+    std::uint64_t epoch = 0; ///< handoff generation it was issued at.
+
+    bool valid() const { return stream >= 0; }
+};
+
 /** Lifetime counters of one stream (see DESIGN.md section 9). */
 struct StreamStats
 {
@@ -162,38 +182,107 @@ struct StreamState
      * its "sheddable" slack before a single spike lands.
      */
     double slackMs() const;
+
+    // ------------------------------------------------ ownership
+
+    /**
+     * Take exclusive dispatch ownership. Fatal if the stream is
+     * already owned: a shard may only import a stream the previous
+     * owner has explicitly released (the handoff protocol), never
+     * steal one.
+     */
+    OwnershipToken acquireOwnership(int owner);
+
+    /**
+     * Release ownership with the token it was granted under. Bumps
+     * the handoff epoch so every outstanding copy of the token goes
+     * stale. Fatal on a stale or foreign token.
+     */
+    void releaseOwnership(const OwnershipToken& token);
+
+    /** True when the token still confers dispatch rights. */
+    bool ownershipCurrent(const OwnershipToken& token) const;
+
+    /**
+     * Assert the token is current before a dispatch-side touch;
+     * fatal (with `what` in the message) otherwise. This is the
+     * assert that turns a double-dispatch race into a crash.
+     */
+    void assertOwnership(const OwnershipToken& token,
+                         const char* what) const;
+
+    /** Current owner id, or -1 when unowned. */
+    int owner() const { return owner_; }
+
+    /** Handoff generation (bumped by every release). */
+    std::uint64_t ownershipEpoch() const { return epoch_; }
+
+  private:
+    int owner_ = -1;
+    std::uint64_t epoch_ = 0;
 };
 
 /**
- * Owner of all registered streams. Streams are registered before the
- * serving loop starts and never removed (a disconnected vehicle is a
- * stream that stops producing arrivals), so lookups are index-based
- * and the serving hot path never allocates or locks here.
+ * Owner of all registered streams. Lookups are slot-indexed and the
+ * serving hot path never allocates or locks here. In single-server
+ * use the slot space is dense and slot == stream id. The fleet layer
+ * migrates streams between per-shard registries: extract() leaves a
+ * vacant slot behind and adopt() reuses the lowest vacant slot, so a
+ * shard's slot indices stay stable for its resident streams while a
+ * migrated-in stream keeps its fleet-global StreamState::id.
  */
 class StreamRegistry
 {
   public:
     /**
      * Register one stream.
-     * @return its dense id (0-based).
+     * @return its slot (0-based; equals the stream id in
+     *         single-server use where slots are dense).
      */
     int addStream(const StreamParams& params,
                   const pipeline::GovernorParams& governorParams,
                   const SloParams& sloParams = {});
 
+    /**
+     * Adopt an existing stream (migration import). Reuses the lowest
+     * vacant slot, appending when none is vacant.
+     * @return the slot it landed in.
+     */
+    int adopt(std::unique_ptr<StreamState> stream);
+
+    /**
+     * Remove the stream at `slot` (migration export), leaving the
+     * slot vacant. Fatal when the slot is already vacant.
+     */
+    std::unique_ptr<StreamState> extract(int slot);
+
+    /** Slot count, including vacant slots. */
     std::size_t size() const { return streams_.size(); }
 
-    StreamState& stream(int id) { return *streams_[id]; }
-    const StreamState& stream(int id) const { return *streams_[id]; }
+    /** Occupied slots. */
+    std::size_t active() const;
+
+    StreamState& stream(int slot) { return *streams_[slot]; }
+    const StreamState& stream(int slot) const
+    {
+        return *streams_[slot];
+    }
+
+    /** Stream at `slot`, or nullptr when the slot is vacant. */
+    StreamState* find(int slot);
+    const StreamState* find(int slot) const;
+
+    /** The lowest-slot occupied stream, or nullptr when empty. */
+    const StreamState* firstActive() const;
 
     /** Sum of `arrived` over all streams. */
     std::int64_t totalArrived() const;
 
     /**
-     * The stream with the largest admission slack among those whose
+     * The slot with the largest admission slack among those whose
      * governor still has a level to give (mode < cap). Ties resolve
-     * to the lowest id, keeping the policy deterministic. Returns -1
-     * when every stream is already at or beyond the cap.
+     * to the lowest slot, keeping the policy deterministic. Returns
+     * -1 when every stream is already at or beyond the cap.
      */
     int mostSlackStream(pipeline::OperatingMode cap) const;
 

@@ -13,6 +13,8 @@
 #include <sstream>
 
 #include "common/config.hh"
+#include "fleet/fleet.hh"
+#include "fleet/loadgen.hh"
 #include "obs/obs.hh"
 #include "pipeline/fault_injector.hh"
 #include "pipeline/governor.hh"
@@ -153,8 +155,15 @@ TEST(Config, EveryRegisteredKnobIsDocumented)
     for (const auto& k :
          ad::pipeline::GovernorParams::knownConfigKeys())
         keys.push_back(k);
+    for (const auto& k : ad::fleet::FleetParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : ad::fleet::RebalanceParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : ad::fleet::LoadGenParams::knownConfigKeys())
+        keys.push_back(k);
     // The tool-private lists, kept in sync by hand with
-    // tools/adrun.cc and tools/adserve.cc knownKeys().
+    // tools/adrun.cc, tools/adserve.cc and tools/adfleet.cc
+    // knownKeys().
     for (const char* k :
          {"scenario", "frames", "resolution", "seed", "csv",
           "det-input", "det-width", "summary", "length", "nn.threads",
@@ -167,6 +176,8 @@ TEST(Config, EveryRegisteredKnobIsDocumented)
           "serve-json", "check", "engine.fixed-ms",
           "engine.marginal-ms", "engine.jitter", "engine.spike-p",
           "slo.window", "slo.target-miss-rate"})
+        keys.push_back(k);
+    for (const char* k : {"fleet-json"})
         keys.push_back(k);
 
     for (const auto& key : keys)

@@ -269,8 +269,80 @@ def check_pipeline(c, doc):
             c.fail(f'"rows" has no entry for depth {depth}')
 
 
+def check_fleet(c, doc):
+    """BENCH_fleet.json: the fleet shard-scaling sweep.
+
+    Beyond shape, re-asserts the ISSUE 9 acceptance bars: every
+    multi-shard row at >= 512 streams (there must be at least one)
+    holds the admitted fleet-wide p99.99 inside the budget, 1->4
+    shard goodput at 512 streams is >= 0.8x linear, and the
+    triple-run migration log and fleet summary are bitwise
+    identical (over a non-empty migration log).
+    """
+    c.require(doc, "engine", [str])
+    c.number(doc, "horizon_ms", minimum=1)
+    budget = c.number(doc, "budget_ms", minimum=0)
+    tail_rows = 0
+    for i, row in enumerate(c.rows(doc, "rows", min_rows=3)):
+        ctx = f"rows[{i}]"
+        shards = c.number(row, "shards", ctx, minimum=1)
+        streams = c.number(row, "streams", ctx, minimum=1)
+        admitted = c.number(row, "admitted", ctx, minimum=0)
+        shed = c.number(row, "shed", ctx, minimum=0)
+        arrived = c.number(row, "arrived", ctx, minimum=0)
+        p9999 = c.number(row, "p9999_ms", ctx, minimum=0)
+        for key in ("streams_admitted", "goodput_fps",
+                    "total_goodput_fps", "shed_rate", "epochs",
+                    "migrations", "fleet_escalations"):
+            c.number(row, key, ctx, minimum=0)
+        if None not in (admitted, shed, arrived):
+            if admitted + shed > arrived:
+                c.fail(f"{ctx}: admitted {admitted} + shed {shed} "
+                       f"> arrived {arrived}")
+        # The fleet-scale tail bar: >= 512 streams over >= 2 shards
+        # must hold the paper's budget at the admitted tier.
+        if None not in (shards, streams, p9999, budget):
+            if shards >= 2 and streams >= 512:
+                tail_rows += 1
+                if p9999 > budget:
+                    c.fail(f"{ctx}: p9999_ms {p9999} > budget "
+                           f"{budget} at {streams} streams x "
+                           f"{shards} shards")
+        shard_rows = c.rows(row, "shard_rows", ctx=ctx)
+        if shards is not None and len(shard_rows) != shards:
+            c.fail(f"{ctx}: shard_rows has {len(shard_rows)} "
+                   f"entries, expected {shards}")
+        for k, srow in enumerate(shard_rows):
+            sctx = f"{ctx}.shard_rows[{k}]"
+            for key in ("shard", "streams_final", "p9999_ms",
+                        "goodput_fps", "burn_rate", "migrations_in",
+                        "migrations_out"):
+                c.number(srow, key, sctx, minimum=0)
+    if tail_rows == 0:
+        c.fail('"rows" has no multi-shard entry at >= 512 streams')
+    scaling = c.require(doc, "scaling", [dict])
+    if scaling is not None:
+        c.number(scaling, "goodput_1shard_fps", "scaling", minimum=0)
+        c.number(scaling, "goodput_4shard_fps", "scaling", minimum=0)
+        ratio = c.number(scaling, "ratio_vs_linear", "scaling",
+                         minimum=0)
+        if ratio is not None and ratio < 0.8:
+            c.fail(f"scaling.ratio_vs_linear {ratio} < 0.8")
+    det = c.require(doc, "determinism", [dict])
+    if det is not None:
+        for key in ("migration_log_identical", "summary_identical"):
+            val = c.require(det, key, [bool], "determinism")
+            if val is False:
+                c.fail(f"determinism.{key} is false")
+        moves = c.number(det, "migrations", "determinism", minimum=0)
+        if moves is not None and moves < 1:
+            c.fail("determinism.migrations is 0 (the identity check "
+                   "ran over an empty migration log)")
+
+
 CHECKERS = {
     "BENCH_gemm.json": check_gemm,
+    "BENCH_fleet.json": check_fleet,
     "BENCH_serve.json": check_serve,
     "BENCH_quant.json": check_quant,
     "BENCH_pipeline.json": check_pipeline,
