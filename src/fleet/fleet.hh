@@ -60,7 +60,7 @@ namespace ad::fleet {
 /** Rebalancing + arbitration knobs (`fleet.rebalance.*`). */
 struct RebalanceParams
 {
-    bool enabled = true;
+    bool enabled = true; ///< run the rebalancer at epoch boundaries.
     /** Epoch length (virtual ms): shards co-simulate in lockstep
         epochs; rebalancing and arbitration run at the boundaries. */
     double periodMs = 1000.0;
@@ -96,7 +96,7 @@ struct FleetParams
     serve::ServeParams serve;
     /** Cost model of each owned modeled engine replica. */
     serve::ModeledEngineParams engine;
-    RebalanceParams rebalance;
+    RebalanceParams rebalance; ///< rebalancing + arbitration knobs.
     /** Global stream admission: max streams per shard (0 = no cap).
         Over cap, the coordinator rejects fleet-wide
         lowest-criticality streams first. */
@@ -120,8 +120,8 @@ struct Migration
     std::int64_t epoch = 0; ///< rebalancing epoch index.
     double tMs = 0.0;       ///< epoch boundary (virtual ms).
     int stream = -1;        ///< fleet-global stream id.
-    int fromShard = -1;
-    int toShard = -1;
+    int fromShard = -1;     ///< shard the stream left.
+    int toShard = -1;       ///< shard the stream moved to.
     double burnFrom = 0.0;  ///< source-shard burn at the decision.
     double burnTo = 0.0;    ///< destination-shard burn.
 };
@@ -134,9 +134,14 @@ struct Migration
 class FleetRegistry
 {
   public:
+    /** Registry for `streams` streams over `shards` shards; nothing
+        is placed until place() is called. */
     FleetRegistry(int streams, int shards);
 
+    /** Shard count the registry was built for. */
     int shards() const { return shards_; }
+
+    /** Fleet-global stream count. */
     int streams() const { return static_cast<int>(locs_.size()); }
 
     /** Current shard of `stream` (-1 when not placed). */
@@ -151,6 +156,7 @@ class FleetRegistry
         return locs_[static_cast<std::size_t>(stream)].slot;
     }
 
+    /** True once `stream` has been placed on some shard. */
     bool placed(int stream) const { return shardOf(stream) >= 0; }
 
     /** Record (initial or migrated) placement. */
@@ -178,13 +184,17 @@ class FleetRegistry
 class FleetCoordinator
 {
   public:
+    /** Decide global admission for the load's stream population. */
     FleetCoordinator(const FleetParams& params,
                      const ScenarioLoadGen& load);
 
     /** Streams granted service under the global admission cap. */
     const std::vector<bool>& admitted() const { return admitted_; }
 
+    /** Streams granted service. */
     int streamsAdmitted() const { return streamsAdmitted_; }
+
+    /** Streams rejected by the global admission cap. */
     int streamsRejected() const
     {
         return static_cast<int>(admitted_.size()) - streamsAdmitted_;
@@ -194,11 +204,11 @@ class FleetCoordinator
         shard whose governor still has a level to give). */
     struct Candidate
     {
-        int stream = -1;
-        int shard = -1;
-        int slot = -1;
-        int criticality = 0;
-        double slackMs = 0.0;
+        int stream = -1;     ///< fleet-global stream id.
+        int shard = -1;      ///< shard the stream resides on.
+        int slot = -1;       ///< per-shard registry slot.
+        int criticality = 0; ///< stream criticality class.
+        double slackMs = 0.0; ///< deadline slack at the decision.
     };
 
     /**
@@ -218,41 +228,41 @@ class FleetCoordinator
 /** Per-shard row of the fleet report. */
 struct ShardSummary
 {
-    int shard = -1;
+    int shard = -1;                ///< shard index.
     int streamsFinal = 0;          ///< resident streams at the end.
-    std::int64_t arrivalsInjected = 0;
+    std::int64_t arrivalsInjected = 0; ///< tape arrivals routed here.
     std::int64_t completions = 0;  ///< engine-served + coasted here.
     std::int64_t sheds = 0;        ///< shed here (event-time).
-    std::int64_t batches = 0;
+    std::int64_t batches = 0;      ///< engine batches dispatched.
     LatencySummary admittedLatency; ///< engine-served latencies here.
-    double goodputFps = 0.0;
+    double goodputFps = 0.0;       ///< on-time frames per second.
     double burnRate = 0.0;         ///< final shard SLO burn.
-    std::int64_t migrationsIn = 0;
-    std::int64_t migrationsOut = 0;
+    std::int64_t migrationsIn = 0;  ///< streams migrated onto here.
+    std::int64_t migrationsOut = 0; ///< streams migrated away.
 };
 
 /** Aggregate outcome of one fleet run. */
 struct FleetReport
 {
-    int shards = 0;
-    int streamsRequested = 0;
+    int shards = 0;          ///< engine replicas in the fleet.
+    int streamsRequested = 0; ///< streams the tape carries.
     int streamsAdmitted = 0; ///< granted service (global admission).
-    std::int64_t framesArrived = 0;
-    std::int64_t framesAdmitted = 0;
-    std::int64_t framesDegraded = 0;
-    std::int64_t framesCoasted = 0;
-    std::int64_t framesShed = 0;
-    std::int64_t deadlineMisses = 0;
+    std::int64_t framesArrived = 0;  ///< tape arrivals, fleet-wide.
+    std::int64_t framesAdmitted = 0; ///< frames served by an engine.
+    std::int64_t framesDegraded = 0; ///< served at a degraded level.
+    std::int64_t framesCoasted = 0;  ///< skipped while a batch ran.
+    std::int64_t framesShed = 0;     ///< dropped by admission.
+    std::int64_t deadlineMisses = 0; ///< served past the budget.
     LatencySummary admittedLatency; ///< fleet-wide, merged shards.
-    double durationMs = 0.0;
-    double goodputFps = 0.0;
-    double totalGoodputFps = 0.0;
-    double shedRate = 0.0;
-    std::int64_t epochs = 0;
-    std::int64_t migrations = 0;
-    std::int64_t fleetEscalations = 0;
-    std::vector<ShardSummary> shardRows;
-    std::vector<Migration> migrationLog;
+    double durationMs = 0.0;    ///< virtual span of the run.
+    double goodputFps = 0.0;    ///< on-time frames/s, fleet-wide.
+    double totalGoodputFps = 0.0; ///< includes late completions.
+    double shedRate = 0.0;      ///< shed / arrived.
+    std::int64_t epochs = 0;    ///< rebalancing epochs stepped.
+    std::int64_t migrations = 0; ///< streams moved between shards.
+    std::int64_t fleetEscalations = 0; ///< coordinator escalations.
+    std::vector<ShardSummary> shardRows; ///< per-shard rows.
+    std::vector<Migration> migrationLog; ///< every logged move.
     /** Final per-stream SLO snapshots by fleet-global id (rejected
         streams report the default snapshot). */
     std::vector<serve::SloSnapshot> streamSlo;
@@ -292,12 +302,15 @@ class ShardedServer
                   const ScenarioLoadGen& load,
                   std::vector<serve::BatchEngine*> engines);
 
-    ~ShardedServer();
+    ~ShardedServer(); ///< out-of-line for the Shard pimpl.
 
     /** Play the scenario tape to completion. Call once. */
     FleetReport run();
 
+    /** Placement authority (post-run inspection in tests). */
     const FleetRegistry& registry() const { return registry_; }
+
+    /** Admission/arbitration policy (post-run inspection). */
     const FleetCoordinator& coordinator() const
     {
         return coordinator_;

@@ -58,6 +58,10 @@ LoadGenParams::fromConfig(const Config& cfg)
     p.hotEndMs = cfg.getDouble("fleet.loadgen.hot-end-ms", p.hotEndMs);
     p.criticalityClasses = cfg.getInt(
         "fleet.loadgen.criticality-classes", p.criticalityClasses);
+    p.speedMinMps = cfg.getDouble("fleet.loadgen.speed-min-mps",
+                                  p.speedMinMps);
+    p.speedMaxMps = cfg.getDouble("fleet.loadgen.speed-max-mps",
+                                  p.speedMaxMps);
     p.seed = static_cast<std::uint64_t>(
         cfg.getInt("fleet.loadgen.seed", static_cast<int>(p.seed)));
     return p;
@@ -85,6 +89,8 @@ LoadGenParams::knownConfigKeys()
             "fleet.loadgen.hot-start-ms",
             "fleet.loadgen.hot-end-ms",
             "fleet.loadgen.criticality-classes",
+            "fleet.loadgen.speed-min-mps",
+            "fleet.loadgen.speed-max-mps",
             "fleet.loadgen.seed"};
 }
 
@@ -106,6 +112,8 @@ ScenarioLoadGen::ScenarioLoadGen(const LoadGenParams& params)
          params.hotResidue < 0 ||
          params.hotResidue >= params.hotModulus))
         fatal("ScenarioLoadGen: invalid hot-block knobs");
+    if (params.speedMinMps <= 0.0 || params.speedMaxMps <= 0.0)
+        fatal("ScenarioLoadGen: speeds must be positive");
 
     const bool bounded = params.framesPerStream > 0;
     criticality_.resize(static_cast<std::size_t>(params.streams));
@@ -178,6 +186,18 @@ ScenarioLoadGen::phaseMs(int stream) const
     return params_.stagger
                ? params_.periodMs * stream / params_.streams
                : 0.0;
+}
+
+double
+ScenarioLoadGen::speedMps(int stream) const
+{
+    // Its own RNG stream (like criticality) so speed assignments
+    // survive any change to the arrival-tape ingredients.
+    Rng rng(streamSeed(params_.seed ^ 0x5feedfeed5ull, stream));
+    return rng.uniform(std::min(params_.speedMinMps,
+                                params_.speedMaxMps),
+                       std::max(params_.speedMinMps,
+                                params_.speedMaxMps));
 }
 
 } // namespace ad::fleet

@@ -63,23 +63,30 @@ struct LoadGenParams
 
     double burstP = 0.0;       ///< P(burst after a frame).
     int burstLen = 3;          ///< extra frames per burst.
-    double burstPeriodMs = 20.0;
+    double burstPeriodMs = 20.0; ///< intra-burst frame spacing.
 
     double rampAmplitude = 0.0; ///< diurnal modulation depth [0,1).
-    double rampPeriodMs = 10000.0;
+    double rampPeriodMs = 10000.0; ///< modulation wavelength.
 
     double stragglerFraction = 0.0; ///< streams that may stall.
     double stallP = 0.01;      ///< P(stall after a frame | straggler).
     double stallMs = 500.0;    ///< stall duration.
 
     int hotModulus = 0;        ///< 0 = no hot block.
-    int hotResidue = 0;
+    int hotResidue = 0;        ///< hot streams: id mod modulus == this.
     double hotFactor = 4.0;    ///< rate multiplier inside the window.
-    double hotStartMs = 0.0;
-    double hotEndMs = 0.0;
+    double hotStartMs = 0.0;   ///< hot window start (virtual ms).
+    double hotEndMs = 0.0;     ///< hot window end (virtual ms).
 
     int criticalityClasses = 3; ///< per-stream classes 0..C-1.
-    std::uint64_t seed = 101;
+
+    /** Per-stream ego speed band (m/s): each vehicle draws a fixed
+        cruise speed in [min, max] from its own seed hash. Consumed
+        by the map tier's pose-driven prefetch (the prefetch horizon
+        turns speed into a lookahead distance). */
+    double speedMinMps = 8.0;
+    double speedMaxMps = 20.0; ///< cruise-speed band upper edge.
+    std::uint64_t seed = 101;  ///< tape generation seed.
 
     /** Read every `fleet.loadgen.*` knob (defaults from *this). */
     static LoadGenParams fromConfig(const Config& cfg);
@@ -91,9 +98,9 @@ struct LoadGenParams
 /** One synthetic camera arrival. */
 struct ArrivalEvent
 {
-    double tMs = 0.0;
-    int stream = -1;
-    std::int64_t seq = -1;
+    double tMs = 0.0;     ///< arrival time (virtual ms).
+    int stream = -1;      ///< fleet-global stream id.
+    std::int64_t seq = -1; ///< per-stream frame sequence number.
 };
 
 /**
@@ -107,8 +114,10 @@ struct ArrivalEvent
 class ScenarioLoadGen
 {
   public:
+    /** Generate the full tape (fatal on nonsense parameters). */
     explicit ScenarioLoadGen(const LoadGenParams& params);
 
+    /** The generation parameters. */
     const LoadGenParams& params() const { return params_; }
 
     /** The full arrival tape, sorted by (t, stream, seq). */
@@ -125,6 +134,13 @@ class ScenarioLoadGen
 
     /** Arrival phase offset of `stream` (stagger). */
     double phaseMs(int stream) const;
+
+    /**
+     * Fixed cruise speed of `stream` in m/s, drawn from the stream's
+     * own seed hash inside [speedMinMps, speedMaxMps] -- partition-
+     * independent like everything else on the tape.
+     */
+    double speedMps(int stream) const;
 
     /** Frames emitted for `stream` (after burst/stall expansion). */
     std::int64_t framesForStream(int stream) const

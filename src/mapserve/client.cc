@@ -1,0 +1,80 @@
+#include "mapserve/client.hh"
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace ad::mapserve {
+
+MapClientParams
+MapClientParams::fromConfig(const Config& cfg)
+{
+    MapClientParams p;
+    p.cacheTiles = static_cast<std::size_t>(cfg.getInt(
+        "mapserve.client.cache-tiles",
+        static_cast<int>(p.cacheTiles)));
+    p.prefetch = cfg.getBool("mapserve.client.prefetch", p.prefetch);
+    p.horizonMs =
+        cfg.getDouble("mapserve.client.horizon-ms", p.horizonMs);
+    return p;
+}
+
+std::vector<std::string>
+MapClientParams::knownConfigKeys()
+{
+    return {"mapserve.client.cache-tiles", "mapserve.client.prefetch",
+            "mapserve.client.horizon-ms"};
+}
+
+MapClient::MapClient(const MapClientParams& params) : params_(params)
+{
+    if (params_.cacheTiles < 1)
+        fatal("MapClient: cache-tiles must be >= 1");
+}
+
+const Tile*
+MapClient::find(TileId id)
+{
+    auto it = cache_.find(id);
+    if (it == cache_.end())
+        return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    ++stats_.hits;
+    return &it->second.tile;
+}
+
+const Tile*
+MapClient::peek(TileId id) const
+{
+    const auto it = cache_.find(id);
+    return it == cache_.end() ? nullptr : &it->second.tile;
+}
+
+void
+MapClient::install(Tile&& tile)
+{
+    inFlight_.erase(tile.id);
+    ++stats_.installs;
+    auto it = cache_.find(tile.id);
+    if (it != cache_.end()) {
+        it->second.tile = std::move(tile);
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        return;
+    }
+    const TileId id = tile.id;
+    lru_.push_front(id);
+    cache_[id] = Entry{std::move(tile), lru_.begin()};
+    if (cache_.size() > params_.cacheTiles) {
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+float
+MapClient::lastPushed(TileId id) const
+{
+    const auto it = pushed_.find(id);
+    return it == pushed_.end() ? -1.0f : it->second;
+}
+
+} // namespace ad::mapserve

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Map-service tile model and compressed wire codec.
+ *
+ * The paper's storage constraint (Section 2.4.3: a US-scale prior map
+ * is ~41 TB) means tiles move -- vehicle to disk, server to vehicle --
+ * far more often than they are rebuilt, so the map service ships them
+ * in a compressed encoding. The codec here exploits the structure
+ * appearance gives a tile: landmarks mapped under the same conditions
+ * share most of their descriptor bits with a per-tile *anchor*, so
+ * each descriptor is stored as a sparse byte-level delta from the
+ * anchor (a 32-bit presence mask plus only the differing bytes).
+ * Round-trip is exact by construction -- decode(encode(t)) == t down
+ * to every descriptor bit -- which the codec tests pin; compression is
+ * a size win, never an accuracy trade.
+ *
+ * Versioning lives beside the payload: every tile carries a
+ * monotonically increasing version stamp, bumped by the server each
+ * time a crowd-sourced delta merge touches the tile, so readers can
+ * tell a stale cached copy from the current epoch.
+ */
+
+#ifndef AD_MAPSERVE_TILE_CODEC_HH
+#define AD_MAPSERVE_TILE_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vision/brief.hh"
+
+namespace ad::mapserve {
+
+/** Integer tile coordinate in the world tile grid. */
+struct TileId
+{
+    std::int32_t x = 0; ///< tile column (floor(posX / tileSize)).
+    std::int32_t y = 0; ///< tile row (floor(posY / tileSize)).
+
+    /** Lexicographic (x, y) order for map keys. */
+    bool operator<(const TileId& o) const
+    {
+        return x != o.x ? x < o.x : y < o.y;
+    }
+
+    /** Exact coordinate equality. */
+    bool operator==(const TileId&) const = default;
+
+    /** Canonical "x,y" rendering (version log, test diagnostics). */
+    std::string toString() const;
+};
+
+/** One landmark inside a tile, positions relative to the tile origin. */
+struct TilePoint
+{
+    std::int32_t id = 0;  ///< landmark id, unique within the tile.
+    float dx = 0.0f;      ///< x offset from the tile origin (m).
+    float dy = 0.0f;      ///< y offset from the tile origin (m).
+    float height = 0.0f;  ///< feature height above ground (m).
+    vision::Descriptor desc; ///< 256-bit rBRIEF descriptor.
+
+    /** Field-wise equality, descriptor bits included. */
+    bool operator==(const TilePoint&) const = default;
+};
+
+/** One prior-map tile: identity, version stamp and landmark payload. */
+struct Tile
+{
+    TileId id;                ///< grid coordinate.
+    std::uint64_t version = 0; ///< merge generation (server-stamped).
+    /**
+     * Appearance stamp: the illumination state the tile's descriptors
+     * were captured under (0 = mapping-time baseline). Crowd-sourced
+     * delta updates refresh descriptors toward the live appearance
+     * and move this stamp with them.
+     */
+    float appearance = 0.0f;
+    std::vector<TilePoint> points; ///< landmarks, ascending id.
+
+    /** Field-wise equality over identity, stamps and payload. */
+    bool operator==(const Tile&) const = default;
+};
+
+/**
+ * Encode a tile's payload (appearance + points) into the compressed
+ * wire format. Identity and version travel outside the payload (the
+ * server stamps them on the response). Descriptors are packed as
+ * sparse byte deltas against the first point's descriptor (the
+ * anchor); a tile with zero points encodes to a bare header.
+ */
+std::vector<std::uint8_t> encodeTile(const Tile& tile);
+
+/**
+ * Decode a payload produced by encodeTile. Exact inverse: the
+ * returned tile compares equal (bitwise descriptors included) to the
+ * encoded one with `id` and `version` filled from the arguments.
+ * Fatal on a truncated or corrupt buffer -- the transport is assumed
+ * reliable; corruption is a bug, not an operating condition.
+ */
+Tile decodeTile(TileId id, std::uint64_t version,
+                const std::vector<std::uint8_t>& bytes);
+
+/**
+ * Uncompressed payload size of a tile (the bytes a raw fixed-width
+ * encoding would ship: 48 per point plus the header). The bench's
+ * compression-ratio figure is rawTileBytes / encoded size.
+ */
+std::size_t rawTileBytes(const Tile& tile);
+
+/**
+ * Order-sensitive FNV-1a checksum over the tile's canonical payload
+ * (version, appearance, every point field and descriptor word). Two
+ * tiles agree on the checksum iff a run produced identical content --
+ * the version-stamp log embeds it so log equality certifies merged
+ * *content*, not just merge counts.
+ */
+std::uint64_t tileChecksum(const Tile& tile);
+
+/**
+ * One crowd-sourced descriptor refresh: a vehicle re-observed a
+ * mapped landmark under the current appearance and pushes the fresh
+ * descriptor. The (vehicle, seq) pair orders updates from one
+ * vehicle; the server's merge sorts on (tile, point, tMs, vehicle,
+ * seq) so the merged result is independent of arrival order.
+ */
+struct DeltaUpdate
+{
+    TileId tile;              ///< tile the landmark lives in.
+    std::int32_t pointId = 0; ///< landmark id within the tile.
+    std::int32_t vehicle = -1; ///< reporting vehicle (stream id).
+    std::int64_t seq = 0;     ///< per-vehicle push sequence number.
+    double tMs = 0.0;         ///< observation time (virtual ms).
+    float appearance = 0.0f;  ///< appearance the refresh was seen at.
+    vision::Descriptor desc;  ///< the refreshed descriptor.
+};
+
+} // namespace ad::mapserve
+
+#endif // AD_MAPSERVE_TILE_CODEC_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic synthetic tile world for the map service.
+ *
+ * The map service needs a country-scale prior map to serve without
+ * carrying one: WorldModel materializes any tile of a toroidal
+ * `worldTiles` x `worldTiles` grid on demand from pure hash functions
+ * of (seed, tile, point), so a 4096-tile world costs nothing until a
+ * vehicle drives into it and two processes with the same seed see the
+ * identical map -- the property every determinism bar in
+ * BENCH_map.json leans on.
+ *
+ * Appearance is the second axis: the world carries an *illumination
+ * state* `a` in [0, 1], and each landmark descriptor owns `driftBits`
+ * appearance-sensitive bit slots, each with a hash-derived threshold
+ * u_k -- slot k is flipped iff u_k < a. Two observations of the same
+ * landmark at appearances a1 < a2 therefore differ in exactly the
+ * slots whose thresholds fall in (a1, a2], making the Hamming error
+ * between a stored tile and the live world proportional to the
+ * appearance gap -- the drift signal the crowd-sourced delta updates
+ * exist to close.
+ */
+
+#ifndef AD_MAPSERVE_WORLD_HH
+#define AD_MAPSERVE_WORLD_HH
+
+#include <cstdint>
+
+#include "mapserve/tile_codec.hh"
+
+namespace ad::mapserve {
+
+/** Synthetic-world knobs (`mapserve.world-*`, `mapserve.tile-size-m`). */
+struct WorldParams
+{
+    int worldTiles = 64;      ///< grid edge in tiles (toroidal).
+    double tileSizeM = 50.0;  ///< tile edge length (m).
+    int pointsPerTile = 24;   ///< landmarks per tile.
+    /**
+     * Appearance-sensitive bit slots per descriptor. Bounds the
+     * Hamming error illumination drift can induce and therefore the
+     * error the update path can repair.
+     */
+    int driftBits = 96;
+    std::uint64_t seed = 41;  ///< world generation seed.
+};
+
+/**
+ * The deterministic world: every query is a pure function of the
+ * seed, so tiles need no storage and no two calls can disagree.
+ */
+class WorldModel
+{
+  public:
+    /** Validates and captures the parameters (fatal on nonsense). */
+    explicit WorldModel(const WorldParams& params);
+
+    /** The generation parameters. */
+    const WorldParams& params() const { return params_; }
+
+    /** World edge length in meters (worldTiles x tileSizeM). */
+    double extentM() const;
+
+    /** Total tiles in the world grid. */
+    std::int64_t tileCount() const;
+
+    /** Tile under a world position, wrapping into the torus. */
+    TileId tileFor(double x, double y) const;
+
+    /** Wrap a coordinate into [0, extentM). */
+    double wrap(double x) const;
+
+    /**
+     * Materialize a tile as captured at illumination `appearance`:
+     * landmark ids, positions and heights are appearance-invariant;
+     * descriptors carry the drift mask of `appearance`. Version is 0
+     * (the server stamps versions, not the world).
+     */
+    Tile tileAt(TileId id, float appearance) const;
+
+    /**
+     * The descriptor a vehicle observes live for landmark
+     * `pointIndex` of `id` at illumination `appearance`.
+     */
+    vision::Descriptor observed(TileId id, int pointIndex,
+                                float appearance) const;
+
+    /**
+     * Mean Hamming distance (bits) between a stored tile's
+     * descriptors and live observations at `appearance` -- the
+     * localization-relevant appearance error of the stored copy.
+     * Points are matched by index; 0 for an empty tile.
+     */
+    double meanHammingBits(const Tile& tile, float appearance) const;
+
+  private:
+    WorldParams params_;
+};
+
+} // namespace ad::mapserve
+
+#endif // AD_MAPSERVE_WORLD_HH

@@ -216,6 +216,23 @@ FlightRecorder::recordMigration(int stream, std::int64_t epoch,
 }
 
 void
+FlightRecorder::recordTileStall(int stream, std::int64_t frame,
+                                double tMs, int tileX, int tileY)
+{
+    if (!enabled())
+        return;
+    FlightEvent e;
+    e.kind = FlightKind::Mark;
+    copyName(e.name, "map.tile.stall");
+    copyName(e.aux, "tile");
+    e.frame = frame;
+    e.tMs = tMs;
+    e.i0 = tileX;
+    e.i1 = tileY;
+    push(stream, e);
+}
+
+void
 FlightRecorder::recordAdmission(int stream, const char* action,
                                 std::int64_t frame, double tMs,
                                 double costScale, bool degraded)

@@ -165,6 +165,17 @@ class FlightRecorder
     void recordMigration(int stream, std::int64_t epoch, double tMs,
                          int fromShard, int toShard);
 
+    /**
+     * Record a cold-tile localization stall: vehicle `stream`
+     * needed map tile (tileX, tileY) at frame `frame` and found it
+     * cold -- the LOC path is blocked on a demand fetch. Lands as a
+     * "map.tile.stall" mark carrying the tile coordinate, so a
+     * post-mortem of a misbehaving vehicle shows exactly where on
+     * the map its localization went blind.
+     */
+    void recordTileStall(int stream, std::int64_t frame, double tMs,
+                         int tileX, int tileY);
+
     /** Record a perf-counter delta covering [tMs, tMs + durMs]. */
     void recordPerf(int stream, const char* name, std::int64_t frame,
                     double tMs, double durMs, const PerfDelta& delta);

@@ -145,6 +145,46 @@ TiledMapStore::queryRadius(const Vec2& center, double radius)
     return result;
 }
 
+std::size_t
+TiledMapStore::prefetch(const Vec2& pos, const Vec2& velocity,
+                        double horizonS)
+{
+    // Walk the predicted path at half-tile steps so no tile the
+    // segment crosses is skipped, deduplicating consecutive keys.
+    const Vec2 end{pos.x + velocity.x * horizonS,
+                   pos.y + velocity.y * horizonS};
+    const double dx = end.x - pos.x;
+    const double dy = end.y - pos.y;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    const int steps =
+        1 + static_cast<int>(dist / (params_.tileSize * 0.5));
+    std::size_t loaded = 0;
+    TileKey last{INT32_MIN, INT32_MIN};
+    for (int s = 0; s <= steps; ++s) {
+        const double f = static_cast<double>(s) / steps;
+        const TileKey key =
+            keyFor({pos.x + dx * f, pos.y + dy * f});
+        if (!(key < last) && !(last < key))
+            continue;
+        last = key;
+        bool warm = false;
+        for (const auto& entry : cache_) {
+            if (!(entry.first < key) && !(key < entry.first)) {
+                warm = true;
+                break;
+            }
+        }
+        if (warm) {
+            ++stats_.prefetchHits;
+            continue;
+        }
+        loadTile(key);
+        ++stats_.prefetchLoads;
+        ++loaded;
+    }
+    return loaded;
+}
+
 void
 TiledMapStore::dropCache()
 {

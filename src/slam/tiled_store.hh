@@ -38,6 +38,8 @@ struct TileStats
     std::uint64_t bytesRead = 0;   ///< serialized bytes paged in.
     std::uint64_t tilesOnDisk = 0;
     std::uint64_t bytesOnDisk = 0;
+    std::uint64_t prefetchLoads = 0; ///< tiles paged in by prefetch().
+    std::uint64_t prefetchHits = 0;  ///< prefetch() tiles already warm.
 
     double
     hitRate() const
@@ -74,6 +76,19 @@ class TiledMapStore
      * tiles through the cache.
      */
     std::vector<MapPoint> queryRadius(const Vec2& center, double radius);
+
+    /**
+     * Pose-driven prefetch: warm every tile under the straight-line
+     * path from `pos` to `pos + velocity * horizonS` (the pose the
+     * ego motion predicts `horizonS` seconds ahead), so the
+     * localization query that arrives when the vehicle gets there
+     * hits the page cache instead of stalling on disk. Tiles paged
+     * in count as prefetchLoads, already-warm ones as prefetchHits.
+     *
+     * @return tiles newly paged in by this call.
+     */
+    std::size_t prefetch(const Vec2& pos, const Vec2& velocity,
+                         double horizonS);
 
     const TileStats& stats() const { return stats_; }
 

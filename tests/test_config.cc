@@ -15,6 +15,7 @@
 #include "common/config.hh"
 #include "fleet/fleet.hh"
 #include "fleet/loadgen.hh"
+#include "mapserve/sim.hh"
 #include "obs/obs.hh"
 #include "pipeline/fault_injector.hh"
 #include "pipeline/governor.hh"
@@ -161,6 +162,15 @@ TEST(Config, EveryRegisteredKnobIsDocumented)
         keys.push_back(k);
     for (const auto& k : ad::fleet::LoadGenParams::knownConfigKeys())
         keys.push_back(k);
+    for (const auto& k :
+         ad::mapserve::MapServeSimParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k :
+         ad::mapserve::TileServerParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k :
+         ad::mapserve::MapClientParams::knownConfigKeys())
+        keys.push_back(k);
     // The tool-private lists, kept in sync by hand with
     // tools/adrun.cc, tools/adserve.cc and tools/adfleet.cc
     // knownKeys().
@@ -177,7 +187,7 @@ TEST(Config, EveryRegisteredKnobIsDocumented)
           "engine.marginal-ms", "engine.jitter", "engine.spike-p",
           "slo.window", "slo.target-miss-rate"})
         keys.push_back(k);
-    for (const char* k : {"fleet-json"})
+    for (const char* k : {"fleet-json", "map-json"})
         keys.push_back(k);
 
     for (const auto& key : keys)

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * admapserve -- multi-vehicle tiled map-service runner. Plays the
+ * fleet loadgen's arrival tape through the map-service co-sim
+ * (mapserve/sim.hh): every vehicle's localization frames page prior-
+ * map tiles from the shared TileServer (bounded per-vehicle queues,
+ * cross-vehicle batching, deadline-aware admission, server-side LRU
+ * cache), with pose-driven prefetch, compressed tile transport and
+ * crowd-sourced delta updates under illumination drift.
+ *
+ * Usage:
+ *   admapserve [--fleet.loadgen.streams=64]
+ *              [--fleet.loadgen.horizon-ms=10000]
+ *              [--mapserve.client.prefetch=1]
+ *              [--mapserve.client.horizon-ms=3000]
+ *              [--mapserve.server.cache-tiles=64]
+ *              [--mapserve.drift-per-min=0.2] [...]
+ *              [--map-json=out.json] [--summary] [--metrics]
+ *   admapserve --check=out.json
+ *
+ * --map-json writes a machine-readable report; --check parses one
+ * back and validates structure plus the conservation invariants
+ * (frames = warm + stalled + coasted; every submitted request is
+ * served, shed or evicted; cache hits + misses = served; merged
+ * updates never exceed pushed ones) and exits nonzero on any
+ * violation. The admapserve smoke fixture runs exactly that pair.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "mapserve/sim.hh"
+#include "obs/json.hh"
+#include "obs/obs.hh"
+
+namespace {
+
+using namespace ad;
+
+std::vector<std::string>
+knownKeys()
+{
+    std::vector<std::string> keys = {"map-json", "summary", "check"};
+    for (const auto& k : mapserve::MapServeSimParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : mapserve::TileServerParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : mapserve::MapClientParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : fleet::LoadGenParams::knownConfigKeys())
+        keys.push_back(k);
+    for (const auto& k : obs::knownConfigKeys())
+        keys.push_back(k);
+    return keys;
+}
+
+/** FNV-1a over the version-stamp log (determinism fingerprint). */
+std::uint64_t
+logFnv(const std::string& s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+writeReport(const std::string& path, const mapserve::MapServeReport& r)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '", path, "'");
+    out << "{\n"
+        << "  \"vehicles\": " << r.vehicles << ",\n"
+        << "  \"frames\": " << r.frames << ",\n"
+        << "  \"warm\": " << r.framesWarm << ",\n"
+        << "  \"stalled\": " << r.framesStalled << ",\n"
+        << "  \"coasted\": " << r.framesCoasted << ",\n"
+        << "  \"steady_stalls\": " << r.steadyStalls << ",\n"
+        << "  \"cold_starts\": " << r.coldStarts << ",\n"
+        << "  \"prefetch_issued\": " << r.prefetchIssued << ",\n"
+        << "  \"prefetch_shed\": " << r.prefetchShed << ",\n"
+        << "  \"prefetch_late\": " << r.prefetchLate << ",\n"
+        << "  \"stale_reads\": " << r.staleReads << ",\n"
+        << "  \"stale_refreshes\": " << r.staleRefreshes << ",\n"
+        << "  \"updates_pushed\": " << r.updatesPushed << ",\n"
+        << "  \"updates_merged\": " << r.server.updatesMerged << ",\n"
+        << "  \"merge_epochs\": " << r.server.mergeEpochs << ",\n"
+        << "  \"tiles_merged\": " << r.server.tilesMerged << ",\n"
+        << "  \"submitted\": " << r.server.submitted << ",\n"
+        << "  \"served\": " << r.server.served << ",\n"
+        << "  \"admission_shed\": " << r.server.admissionShed << ",\n"
+        << "  \"queue_evictions\": " << r.server.queueEvictions
+        << ",\n"
+        << "  \"batches\": " << r.server.batches << ",\n"
+        << "  \"cache_hits\": " << r.server.cacheHits << ",\n"
+        << "  \"cache_misses\": " << r.server.cacheMisses << ",\n"
+        << "  \"bytes_served\": " << r.server.bytesServed << ",\n"
+        << "  \"raw_bytes\": " << r.server.rawBytes << ",\n"
+        << "  \"compression_ratio\": " << r.compressionRatio << ",\n"
+        << "  \"hit_rate\": " << r.prefetchHitRate << ",\n"
+        << "  \"fetch_p50_ms\": " << r.fetchLatency.p50 << ",\n"
+        << "  \"fetch_p99_ms\": " << r.fetchLatency.p99 << ",\n"
+        << "  \"demand_p99_ms\": " << r.demandLatency.p99 << ",\n"
+        << "  \"stall_p99_ms\": " << r.stallMs.p99 << ",\n"
+        << "  \"peak_err_bits\": " << r.peakErrBits << ",\n"
+        << "  \"final_err_bits\": " << r.finalErrBits << ",\n"
+        << "  \"duration_ms\": " << r.durationMs << ",\n"
+        << "  \"version_log_fnv\": " << logFnv(r.versionLog) << "\n"
+        << "}\n";
+    std::fprintf(stderr, "map report: %s\n", path.c_str());
+}
+
+/** Validate a --map-json report; returns the process exit code. */
+int
+checkReport(const std::string& path)
+{
+    std::string err;
+    const auto doc = obs::json::parseFile(path, &err);
+    if (!doc) {
+        std::fprintf(stderr, "admapserve --check: %s: %s\n",
+                     path.c_str(), err.c_str());
+        return 1;
+    }
+    if (!doc->isObject()) {
+        std::fprintf(stderr, "admapserve --check: %s: not an object\n",
+                     path.c_str());
+        return 1;
+    }
+    int failures = 0;
+    auto number = [&](const char* key) -> double {
+        const auto* v = doc->find(key);
+        if (!v || !v->isNumber()) {
+            std::fprintf(
+                stderr,
+                "admapserve --check: missing numeric \"%s\"\n", key);
+            ++failures;
+            return 0.0;
+        }
+        return v->asNumber();
+    };
+    const double vehicles = number("vehicles");
+    const double frames = number("frames");
+    const double warm = number("warm");
+    const double stalled = number("stalled");
+    const double coasted = number("coasted");
+    const double steady = number("steady_stalls");
+    const double cold = number("cold_starts");
+    const double submitted = number("submitted");
+    const double served = number("served");
+    const double admissionShed = number("admission_shed");
+    const double evicted = number("queue_evictions");
+    const double cacheHits = number("cache_hits");
+    const double cacheMisses = number("cache_misses");
+    const double bytes = number("bytes_served");
+    const double raw = number("raw_bytes");
+    const double pushed = number("updates_pushed");
+    const double merged = number("updates_merged");
+    number("batches");
+    number("fetch_p99_ms");
+    number("hit_rate");
+    number("version_log_fnv");
+    if (failures)
+        return 1;
+    if (vehicles < 1 || frames < 1) {
+        std::fprintf(stderr,
+                     "admapserve --check: implausible vehicle/frame "
+                     "counts\n");
+        ++failures;
+    }
+    if (warm + stalled + coasted != frames) {
+        std::fprintf(stderr,
+                     "admapserve --check: frame conservation "
+                     "violated: warm %.0f + stalled %.0f + coasted "
+                     "%.0f != frames %.0f\n",
+                     warm, stalled, coasted, frames);
+        ++failures;
+    }
+    if (steady + cold != stalled) {
+        std::fprintf(stderr,
+                     "admapserve --check: stall split violated: "
+                     "steady %.0f + cold %.0f != stalled %.0f\n",
+                     steady, cold, stalled);
+        ++failures;
+    }
+    if (served + admissionShed + evicted != submitted) {
+        std::fprintf(stderr,
+                     "admapserve --check: request conservation "
+                     "violated: served %.0f + shed %.0f + evicted "
+                     "%.0f != submitted %.0f\n",
+                     served, admissionShed, evicted, submitted);
+        ++failures;
+    }
+    if (cacheHits + cacheMisses != served) {
+        std::fprintf(stderr,
+                     "admapserve --check: cache accounting violated: "
+                     "%.0f + %.0f != served %.0f\n",
+                     cacheHits, cacheMisses, served);
+        ++failures;
+    }
+    if (served > 0 && (bytes <= 0 || raw < bytes)) {
+        std::fprintf(stderr,
+                     "admapserve --check: compression accounting "
+                     "violated: bytes %.0f raw %.0f\n",
+                     bytes, raw);
+        ++failures;
+    }
+    if (merged > pushed) {
+        std::fprintf(stderr,
+                     "admapserve --check: merged %.0f > pushed %.0f\n",
+                     merged, pushed);
+        ++failures;
+    }
+    if (failures)
+        return 1;
+    std::fprintf(stderr, "admapserve --check: %s OK\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace ad;
+    const Config cfg = Config::fromArgs(argc, argv);
+    cfg.warnUnknownKeys(knownKeys());
+
+    const std::string checkPath = cfg.getString("check");
+    if (!checkPath.empty())
+        return checkReport(checkPath);
+
+    const obs::ObsOptions obsOpt = obs::setupFromConfig(cfg);
+
+    const fleet::LoadGenParams lp =
+        fleet::LoadGenParams::fromConfig(cfg);
+    const fleet::ScenarioLoadGen load(lp);
+
+    const mapserve::MapServeSimParams sp =
+        mapserve::MapServeSimParams::fromConfig(cfg);
+
+    mapserve::MapServeSim sim(sp, load);
+    const mapserve::MapServeReport report = sim.run();
+
+    if (cfg.getBool("summary", false) || obsOpt.any())
+        std::fprintf(stderr, "%s", report.toString().c_str());
+
+    const std::string jsonPath = cfg.getString("map-json");
+    if (!jsonPath.empty())
+        writeReport(jsonPath, report);
+
+    if (!obsOpt.metricsJsonPath.empty()) {
+        obs::MetricsSnapshotter snapshotter(
+            obs::metrics(), obs::SnapshotOptions{
+                                obsOpt.metricsJsonPath,
+                                obsOpt.metricsJsonIntervalMs});
+        if (snapshotter.writeNow(report.durationMs))
+            std::fprintf(stderr, "metrics: %s\n",
+                         obsOpt.metricsJsonPath.c_str());
+    }
+    return 0;
+}

@@ -340,9 +340,110 @@ def check_fleet(c, doc):
                    "ran over an empty migration log)")
 
 
+def check_map(c, doc):
+    """BENCH_map.json: the map-service scaling sweep.
+
+    Beyond shape, re-asserts the ISSUE 10 acceptance bars: every
+    prefetch-on row has zero steady-state cold-tile stalls while the
+    no-prefetch baseline at >= 256 vehicles stalls steadily, demand
+    p99 holds the budget at >= 256 vehicles with prefetch on, the
+    update loop ends with strictly less map error than a frozen map
+    over a transport that compresses, and the triple-run version log
+    and summary are bitwise identical over a non-empty log.
+    """
+    c.number(doc, "horizon_ms", minimum=1)
+    budget = c.number(doc, "budget_ms", minimum=0)
+    prefetch_rows = 0
+    latency_rows = 0
+    baseline_steady = 0
+    for i, row in enumerate(c.rows(doc, "rows", min_rows=4)):
+        ctx = f"rows[{i}]"
+        vehicles = c.number(row, "vehicles", ctx, minimum=1)
+        prefetch = c.require(row, "prefetch", [bool], ctx)
+        frames = c.number(row, "frames", ctx, minimum=1)
+        warm = c.number(row, "warm", ctx, minimum=0)
+        stalled = c.number(row, "stalled", ctx, minimum=0)
+        steady = c.number(row, "steady_stalls", ctx, minimum=0)
+        cold = c.number(row, "cold_starts", ctx, minimum=0)
+        p99 = c.number(row, "demand_p99_ms", ctx, minimum=0)
+        for key in ("prefetch_issued", "prefetch_late",
+                    "stale_reads", "hit_rate", "fetch_p99_ms",
+                    "stall_p99_ms", "cache_hits", "cache_misses"):
+            c.number(row, key, ctx, minimum=0)
+        ratio = c.number(row, "compression_ratio", ctx, minimum=0)
+        if ratio is not None and ratio <= 1.0:
+            c.fail(f"{ctx}: compression_ratio {ratio} <= 1")
+        # Frame conservation and the stall split (coasted frames
+        # absorb the remainder of warm + stalled).
+        if None not in (frames, warm, stalled):
+            if warm + stalled > frames:
+                c.fail(f"{ctx}: warm {warm} + stalled {stalled} "
+                       f"> frames {frames}")
+        if None not in (steady, cold, stalled):
+            if steady + cold != stalled:
+                c.fail(f"{ctx}: steady {steady} + cold {cold} "
+                       f"!= stalled {stalled}")
+        if None in (vehicles, prefetch, steady, p99, budget):
+            continue
+        if prefetch:
+            prefetch_rows += 1
+            # The headline zero bar: pose-driven prefetch leaves no
+            # steady-state cold-tile stalls at any fleet size.
+            if steady != 0:
+                c.fail(f"{ctx}: steady_stalls {steady} != 0 with "
+                       "prefetch on")
+            if vehicles >= 256:
+                latency_rows += 1
+                if p99 > budget:
+                    c.fail(f"{ctx}: demand_p99_ms {p99} > budget "
+                           f"{budget} at {vehicles} vehicles")
+        elif vehicles >= 256:
+            baseline_steady += steady
+    if prefetch_rows == 0:
+        c.fail('"rows" has no prefetch-on entry')
+    if latency_rows == 0:
+        c.fail('"rows" has no prefetch-on entry at >= 256 vehicles')
+    if baseline_steady == 0:
+        c.fail("no-prefetch baseline at >= 256 vehicles has zero "
+               "steady stalls (the zero bar proves nothing)")
+    conv = c.require(doc, "convergence", [dict])
+    if conv is not None:
+        err_on = c.number(conv, "final_err_updates_on",
+                          "convergence", minimum=0)
+        err_off = c.number(conv, "final_err_updates_off",
+                           "convergence", minimum=0)
+        if None not in (err_on, err_off) and err_on >= err_off:
+            c.fail(f"convergence: final_err_updates_on {err_on} >= "
+                   f"final_err_updates_off {err_off}")
+        c.number(conv, "peak_err_bits", "convergence", minimum=0)
+        for key in ("updates_pushed", "updates_merged"):
+            val = c.number(conv, key, "convergence", minimum=0)
+            if val is not None and val < 1:
+                c.fail(f"convergence.{key} is 0 (the update loop "
+                       "never ran)")
+        ratio = c.number(conv, "compression_ratio", "convergence",
+                         minimum=0)
+        if ratio is not None and ratio <= 1.0:
+            c.fail(f"convergence.compression_ratio {ratio} <= 1")
+        if c.require(conv, "pass", [bool], "convergence") is False:
+            c.fail("convergence.pass is false")
+    det = c.require(doc, "determinism", [dict])
+    if det is not None:
+        for key in ("version_log_identical", "summary_identical"):
+            val = c.require(det, key, [bool], "determinism")
+            if val is False:
+                c.fail(f"determinism.{key} is false")
+        epochs = c.number(det, "merge_epochs", "determinism",
+                          minimum=0)
+        if epochs is not None and epochs < 1:
+            c.fail("determinism.merge_epochs is 0 (the identity "
+                   "check ran over an empty version log)")
+
+
 CHECKERS = {
     "BENCH_gemm.json": check_gemm,
     "BENCH_fleet.json": check_fleet,
+    "BENCH_map.json": check_map,
     "BENCH_serve.json": check_serve,
     "BENCH_quant.json": check_quant,
     "BENCH_pipeline.json": check_pipeline,

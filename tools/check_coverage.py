@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over a gcov-instrumented build.
+
+Runs gcov (JSON intermediate format) over every .gcda the test suite
+left in a -DAD_COVERAGE=ON build tree, aggregates executed/executable
+lines per source file under src/, and fails if total line coverage
+drops below the floor recorded in tools/coverage_baseline.txt. The
+floor is a ratchet: raise it when coverage genuinely improves, never
+lower it to make a regression pass.
+
+Only the stdlib and the gcov binary (part of gcc) are used -- no
+gcovr/lcov dependency.
+
+Usage:
+    tools/check_coverage.py BUILD_DIR [--baseline=FILE] [--gcov=BIN]
+                            [--print-files]
+
+Exits nonzero when coverage is below the baseline, when no coverage
+data is found, or when gcov output cannot be parsed.
+"""
+
+import argparse
+import gzip
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    """Every .gcda (runtime counters) under the build tree."""
+    return sorted(build_dir.rglob("*.gcda"))
+
+
+def run_gcov(gcov, gcda_files, scratch):
+    """Run gcov in JSON mode; returns the .gcov.json.gz paths.
+
+    gcov writes one json.gz per input into the working directory, so
+    everything runs inside a scratch dir to keep the build tree
+    clean. Batched to keep command lines bounded.
+    """
+    batch = 400
+    for i in range(0, len(gcda_files), batch):
+        chunk = [str(p) for p in gcda_files[i:i + batch]]
+        proc = subprocess.run(
+            [gcov, "--json-format"] + chunk,
+            cwd=scratch, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            print(f"check_coverage: gcov failed: {proc.stderr}",
+                  file=sys.stderr)
+            sys.exit(1)
+    return sorted(pathlib.Path(scratch).glob("*.gcov.json.gz"))
+
+
+def accumulate(json_paths, repo_root):
+    """Per-file {executable, executed} line sets from gcov JSON.
+
+    Line sets (not counts) are unioned across translation units: a
+    header inlined into many TUs counts each line once, executed if
+    any TU executed it -- the same semantics gcovr uses.
+    """
+    per_file = {}
+    for path in json_paths:
+        with gzip.open(path, "rt") as f:
+            doc = json.load(f)
+        for unit in doc.get("files", []):
+            name = pathlib.Path(unit["file"])
+            if not name.is_absolute():
+                name = (repo_root / name).resolve()
+            try:
+                rel = name.resolve().relative_to(repo_root)
+            except ValueError:
+                continue  # system/third-party header.
+            if rel.parts[:1] != ("src",):
+                continue
+            entry = per_file.setdefault(
+                str(rel), {"executable": set(), "executed": set()})
+            for line in unit.get("lines", []):
+                num = line["line_number"]
+                entry["executable"].add(num)
+                if line["count"] > 0:
+                    entry["executed"].add(num)
+    return per_file
+
+
+def read_baseline(path):
+    """The coverage floor: first non-comment line, a percentage."""
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            return float(line)
+    print(f"check_coverage: no baseline value in {path}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("build_dir", type=pathlib.Path)
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=None)
+    parser.add_argument("--gcov", default="gcov")
+    parser.add_argument("--print-files", action="store_true",
+                        help="per-file coverage table")
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    baseline_path = args.baseline or (
+        repo_root / "tools" / "coverage_baseline.txt")
+    floor = read_baseline(baseline_path)
+
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        print(f"check_coverage: no .gcda files under "
+              f"{args.build_dir} (build with -DAD_COVERAGE=ON and "
+              "run the tests first)", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory() as scratch:
+        json_paths = run_gcov(args.gcov, gcda, scratch)
+        per_file = accumulate(json_paths, repo_root)
+
+    if not per_file:
+        print("check_coverage: gcov produced no data for src/",
+              file=sys.stderr)
+        return 1
+
+    total_exec = 0
+    total_lines = 0
+    rows = []
+    for name in sorted(per_file):
+        entry = per_file[name]
+        lines = len(entry["executable"])
+        hit = len(entry["executed"] & entry["executable"])
+        total_lines += lines
+        total_exec += hit
+        rows.append((name, hit, lines))
+    if args.print_files:
+        for name, hit, lines in rows:
+            pct = 100.0 * hit / lines if lines else 0.0
+            print(f"{pct:6.1f}%  {hit:6d}/{lines:<6d}  {name}")
+
+    pct = 100.0 * total_exec / total_lines if total_lines else 0.0
+    print(f"line coverage: {total_exec}/{total_lines} = {pct:.2f}% "
+          f"(floor {floor:.2f}%)")
+    if pct < floor:
+        print(f"check_coverage: FAIL: {pct:.2f}% < baseline floor "
+              f"{floor:.2f}% -- new code needs tests (or the floor "
+              "in tools/coverage_baseline.txt is stale)",
+              file=sys.stderr)
+        return 1
+    print("check_coverage: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
